@@ -1,0 +1,135 @@
+//! Boolean OR and AND (Section 5.2, "Boolean or and and").
+//!
+//! The paper encodes `1` as a random λ-bit string and `0` as zeros, XORs
+//! the encodings, and decodes "any nonzero bit → 1". We carry out the same
+//! construction inside the Prio field: `Encode(0) = 0 ∈ F`, `Encode(1) = `
+//! uniform random element of `F`; the servers' *sum* is zero iff all
+//! clients held 0, except with probability `≈ 1/|F| ≤ 2^−63` (playing the
+//! role of the paper's `2^−λ`). Every field element is a valid encoding,
+//! so `Valid` is trivially satisfiable and costs **zero** `×` gates.
+//!
+//! Leakage: exactly the OR (or AND) — this AFE is or-private.
+
+use crate::{Afe, AfeError};
+use prio_circuit::{Circuit, CircuitBuilder};
+use prio_field::FieldElement;
+
+/// AFE computing the boolean OR of one bit per client.
+#[derive(Clone, Debug, Default)]
+pub struct OrAfe;
+
+/// AFE computing the boolean AND of one bit per client (OR of negations,
+/// by De Morgan).
+#[derive(Clone, Debug, Default)]
+pub struct AndAfe;
+
+fn trivial_circuit<F: FieldElement>(len: usize) -> Circuit<F> {
+    // Any vector is valid: assert the constant zero.
+    let mut b = CircuitBuilder::new(len);
+    let z = b.constant(F::zero());
+    b.assert_zero(z);
+    b.finish()
+}
+
+fn encode_indicator<F: FieldElement, R: rand::Rng + ?Sized>(set: bool, rng: &mut R) -> Vec<F> {
+    if set {
+        // Nonzero w.h.p.; even a zero draw only degrades to a false "all
+        // zero" exactly as in the paper's 2^−λ failure case.
+        vec![F::random(rng)]
+    } else {
+        vec![F::zero()]
+    }
+}
+
+impl<F: FieldElement> Afe<F> for OrAfe {
+    type Input = bool;
+    type Output = bool;
+
+    fn encoded_len(&self) -> usize {
+        1
+    }
+
+    fn encode<R: rand::Rng + ?Sized>(&self, input: &bool, rng: &mut R) -> Result<Vec<F>, AfeError> {
+        Ok(encode_indicator(*input, rng))
+    }
+
+    fn valid_circuit(&self) -> Circuit<F> {
+        trivial_circuit(1)
+    }
+
+    fn decode(&self, sigma: &[F], _num_clients: usize) -> Result<bool, AfeError> {
+        if sigma.len() != 1 {
+            return Err(AfeError::MalformedAggregate("expected 1 component".into()));
+        }
+        Ok(sigma[0] != F::zero())
+    }
+}
+
+impl<F: FieldElement> Afe<F> for AndAfe {
+    type Input = bool;
+    type Output = bool;
+
+    fn encoded_len(&self) -> usize {
+        1
+    }
+
+    fn encode<R: rand::Rng + ?Sized>(&self, input: &bool, rng: &mut R) -> Result<Vec<F>, AfeError> {
+        // AND(x₁…xₙ) = ¬OR(¬x₁…¬xₙ).
+        Ok(encode_indicator(!*input, rng))
+    }
+
+    fn valid_circuit(&self) -> Circuit<F> {
+        trivial_circuit(1)
+    }
+
+    fn decode(&self, sigma: &[F], _num_clients: usize) -> Result<bool, AfeError> {
+        if sigma.len() != 1 {
+            return Err(AfeError::MalformedAggregate("expected 1 component".into()));
+        }
+        Ok(sigma[0] == F::zero())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::roundtrip;
+    use prio_field::Field64;
+
+    #[test]
+    fn or_truth_table() {
+        let afe = OrAfe;
+        assert!(!roundtrip::<Field64, _>(&afe, &[false, false, false], 1).unwrap());
+        assert!(roundtrip::<Field64, _>(&afe, &[false, true, false], 2).unwrap());
+        assert!(roundtrip::<Field64, _>(&afe, &[true, true, true], 3).unwrap());
+        assert!(!roundtrip::<Field64, _>(&afe, &[false], 4).unwrap());
+    }
+
+    #[test]
+    fn and_truth_table() {
+        let afe = AndAfe;
+        assert!(roundtrip::<Field64, _>(&afe, &[true, true, true], 5).unwrap());
+        assert!(!roundtrip::<Field64, _>(&afe, &[true, false, true], 6).unwrap());
+        assert!(!roundtrip::<Field64, _>(&afe, &[false, false], 7).unwrap());
+        assert!(roundtrip::<Field64, _>(&afe, &[true], 8).unwrap());
+    }
+
+    #[test]
+    fn valid_circuit_accepts_everything() {
+        let afe = OrAfe;
+        let c: Circuit<Field64> = afe.valid_circuit();
+        assert_eq!(c.num_mul_gates(), 0);
+        assert!(c.is_valid(&[Field64::from_u64(123456789)]));
+        assert!(c.is_valid(&[Field64::zero()]));
+    }
+
+    #[test]
+    fn two_true_clients_do_not_cancel_whp() {
+        // Two random encodings summing to zero has probability 1/|F|; over
+        // a few hundred trials it must never happen.
+        let afe = OrAfe;
+        for seed in 0..200 {
+            assert!(roundtrip::<Field64, _>(&afe, &[true, true], seed).unwrap());
+        }
+    }
+}

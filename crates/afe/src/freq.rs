@@ -1,0 +1,170 @@
+//! Frequency counts / histograms (Section 5.2, "Frequency count").
+//!
+//! Each client one-hot-encodes its value from a small domain
+//! `D = {0, …, B−1}`; the accumulated vector *is* the histogram. `Valid`
+//! checks the one-hot property (each cell a bit, cells sum to 1), costing
+//! `B` `×` gates, which bounds a malicious client's influence to ±1 on a
+//! single cell — the robustness story of the paper's introduction.
+//!
+//! The histogram suffices to compute quantiles and related order statistics
+//! ([`quantile`]). Leakage: the histogram itself.
+
+use crate::{Afe, AfeError};
+use prio_circuit::{gadgets, Circuit, CircuitBuilder};
+use prio_field::FieldElement;
+
+/// AFE for frequency counts over `{0, …, buckets−1}`.
+#[derive(Clone, Debug)]
+pub struct FrequencyAfe {
+    buckets: usize,
+}
+
+impl FrequencyAfe {
+    /// Creates a histogram AFE with `buckets` cells.
+    ///
+    /// # Panics
+    /// Panics if `buckets == 0`.
+    pub fn new(buckets: usize) -> Self {
+        assert!(buckets >= 1, "need at least one bucket");
+        FrequencyAfe { buckets }
+    }
+
+    /// Number of cells.
+    pub fn buckets(&self) -> usize {
+        self.buckets
+    }
+}
+
+impl<F: FieldElement> Afe<F> for FrequencyAfe {
+    type Input = usize;
+    type Output = Vec<u64>;
+
+    fn encoded_len(&self) -> usize {
+        self.buckets
+    }
+
+    fn encode<R: rand::Rng + ?Sized>(
+        &self,
+        input: &usize,
+        _rng: &mut R,
+    ) -> Result<Vec<F>, AfeError> {
+        if *input >= self.buckets {
+            return Err(AfeError::InputOutOfRange(format!(
+                "{input} outside 0..{}",
+                self.buckets
+            )));
+        }
+        let mut out = vec![F::zero(); self.buckets];
+        out[*input] = F::one();
+        Ok(out)
+    }
+
+    fn valid_circuit(&self) -> Circuit<F> {
+        let mut b = CircuitBuilder::new(self.buckets);
+        let cells = b.inputs();
+        gadgets::assert_one_hot(&mut b, &cells);
+        b.finish()
+    }
+
+    fn decode(&self, sigma: &[F], num_clients: usize) -> Result<Vec<u64>, AfeError> {
+        if sigma.len() != self.buckets {
+            return Err(AfeError::MalformedAggregate("length mismatch".into()));
+        }
+        let counts: Option<Vec<u64>> = sigma
+            .iter()
+            .map(|v| v.try_to_u128().and_then(|c| u64::try_from(c).ok()))
+            .collect();
+        let counts =
+            counts.ok_or_else(|| AfeError::MalformedAggregate("count overflow".into()))?;
+        let total: u64 = counts.iter().sum();
+        if total != num_clients as u64 {
+            return Err(AfeError::MalformedAggregate(format!(
+                "histogram mass {total} != client count {num_clients}"
+            )));
+        }
+        Ok(counts)
+    }
+}
+
+/// Computes the `q`-quantile bucket (0 ≤ q ≤ 1) from a histogram: the
+/// smallest bucket index at which the cumulative count reaches `q·n`.
+pub fn quantile(counts: &[u64], q: f64) -> Option<usize> {
+    let total: u64 = counts.iter().sum();
+    if total == 0 || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let target = (q * total as f64).ceil().max(1.0) as u64;
+    let mut acc = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        acc += c;
+        if acc >= target {
+            return Some(i);
+        }
+    }
+    Some(counts.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::roundtrip;
+    use prio_field::Field64;
+    use proptest::prelude::*;
+
+    #[test]
+    fn histogram_roundtrip() {
+        let afe = FrequencyAfe::new(5);
+        let inputs = vec![0usize, 1, 1, 4, 1, 0];
+        let counts = roundtrip::<Field64, _>(&afe, &inputs, 1).unwrap();
+        assert_eq!(counts, vec![2, 3, 0, 0, 1]);
+    }
+
+    #[test]
+    fn robustness_checks() {
+        let afe = FrequencyAfe::new(4);
+        let circuit: Circuit<Field64> = afe.valid_circuit();
+        // "Stuff the ballot": put 5 votes in one cell — rejected.
+        let mut enc = vec![Field64::zero(); 4];
+        enc[2] = Field64::from_u64(5);
+        assert!(!circuit.is_valid(&enc));
+        // Vote for two cells — rejected.
+        let mut enc = vec![Field64::zero(); 4];
+        enc[0] = Field64::one();
+        enc[1] = Field64::one();
+        assert!(!circuit.is_valid(&enc));
+        // Abstain (all zero) — rejected: sum must be exactly 1.
+        assert!(!circuit.is_valid(&vec![Field64::zero(); 4]));
+    }
+
+    #[test]
+    fn mass_check_on_decode() {
+        let afe = FrequencyAfe::new(3);
+        let sigma = vec![Field64::one(), Field64::zero(), Field64::zero()];
+        assert!(Afe::<Field64>::decode(&afe, &sigma, 2).is_err()); // claims 2 clients, mass 1
+        assert!(Afe::<Field64>::decode(&afe, &sigma, 1).is_ok());
+    }
+
+    #[test]
+    fn quantiles() {
+        let counts = vec![5u64, 0, 3, 2]; // n = 10
+        assert_eq!(quantile(&counts, 0.0), Some(0));
+        assert_eq!(quantile(&counts, 0.5), Some(0));
+        assert_eq!(quantile(&counts, 0.51), Some(2));
+        assert_eq!(quantile(&counts, 0.8), Some(2));
+        assert_eq!(quantile(&counts, 1.0), Some(3));
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(quantile(&[0], 0.5), None);
+    }
+
+    proptest! {
+        #[test]
+        fn counts_match_reference(inputs in prop::collection::vec(0usize..8, 1..30)) {
+            let afe = FrequencyAfe::new(8);
+            let mut expect = vec![0u64; 8];
+            for &i in &inputs {
+                expect[i] += 1;
+            }
+            prop_assert_eq!(roundtrip::<Field64, _>(&afe, &inputs, 2).unwrap(), expect);
+        }
+    }
+}

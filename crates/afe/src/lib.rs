@@ -1,0 +1,156 @@
+//! Affine-aggregatable encodings (AFEs) — Section 5 and Appendix G of the
+//! Prio paper.
+//!
+//! An AFE turns "compute `f(x_1, …, x_n)` privately" into "compute a *sum*
+//! privately", which Prio already knows how to do: each client maps its
+//! value through [`Afe::encode`] into a vector over the Prio field, proves
+//! the vector well-formed against [`Afe::valid_circuit`] with a SNIP, the
+//! servers accumulate the first `k'` components of all valid encodings, and
+//! anyone can run [`Afe::decode`] on the published sum to recover the
+//! statistic.
+//!
+//! Implemented encodings:
+//!
+//! | AFE | paper section | `×` gates |
+//! |-----|---------------|-----------|
+//! | [`sum::SumAfe`] (b-bit integer sum / mean) | §5.2 | `b` |
+//! | [`variance::VarianceAfe`] (variance / stddev) | §5.2 | `b + 2b + 1` |
+//! | [`boolean::OrAfe`] / [`boolean::AndAfe`] | §5.2 | 0 |
+//! | [`minmax::MaxAfe`] / [`minmax::MinAfe`] (exact, small range) | §5.2 | 0 |
+//! | [`minmax::ApproxMaxAfe`] (c-approx, large range) | §5.2 | 0 |
+//! | [`freq::FrequencyAfe`] (histogram / quantiles) | §5.2 | `B` |
+//! | [`sets::SetUnionAfe`] / [`sets::SetIntersectionAfe`] | §5.2 | 0 |
+//! | [`linreg::LinRegAfe`] (d-dim least squares) | §5.3 | `O(d² + d·b)` |
+//! | [`sketch::CountMinAfe`] (approx counts, large domain) | App. G | rows·cols |
+//! | [`mostpop::MostPopularAfe`] (majority string) | App. G | `b` |
+//! | [`r2::RSquaredAfe`] (model-fit R²) | App. G | `2 + (b bits)` |
+//!
+//! Every implementation documents its leakage function `f̂` — what the sum
+//! of encodings reveals beyond the statistic itself (Definition 13).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod boolean;
+pub mod freq;
+pub mod linreg;
+pub mod minmax;
+pub mod mostpop;
+pub mod r2;
+pub mod sets;
+pub mod sketch;
+pub mod sum;
+pub mod variance;
+
+use prio_circuit::Circuit;
+use prio_field::FieldElement;
+
+/// Errors from AFE encoding/decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AfeError {
+    /// The client's input is outside the domain `D` this AFE was configured
+    /// for (an *honest* client error; a malicious client is caught by the
+    /// SNIP instead).
+    InputOutOfRange(String),
+    /// The aggregate vector has the wrong length or an impossible value.
+    MalformedAggregate(String),
+    /// The configured field is too small for the requested parameters
+    /// (e.g. `n·2^b` exceeds the modulus).
+    FieldTooSmall(String),
+}
+
+impl std::fmt::Display for AfeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AfeError::InputOutOfRange(s) => write!(f, "input out of range: {s}"),
+            AfeError::MalformedAggregate(s) => write!(f, "malformed aggregate: {s}"),
+            AfeError::FieldTooSmall(s) => write!(f, "field too small: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for AfeError {}
+
+/// An affine-aggregatable encoding `(Encode, Valid, Decode)` for an
+/// aggregation function `f : D^n → A` (Appendix F, Definitions 11–13).
+pub trait Afe<F: FieldElement> {
+    /// The client data type `D`.
+    type Input;
+    /// The aggregate type `A`.
+    type Output;
+
+    /// Encoding length `k` (the vector a client submits and proves).
+    fn encoded_len(&self) -> usize;
+
+    /// Truncated length `k' ≤ k`: how many leading components the servers
+    /// accumulate. Validation uses all `k` components; decoding only `k'`.
+    fn trunc_len(&self) -> usize {
+        self.encoded_len()
+    }
+
+    /// Maps a client input to its length-`k` encoding. Randomized for some
+    /// AFEs (boolean, sketches). Fails only on out-of-domain inputs.
+    fn encode<R: rand::Rng + ?Sized>(
+        &self,
+        input: &Self::Input,
+        rng: &mut R,
+    ) -> Result<Vec<F>, AfeError>;
+
+    /// The arithmetic circuit accepting exactly the well-formed encodings.
+    fn valid_circuit(&self) -> Circuit<F>;
+
+    /// Recovers `f(x_1, …, x_n)` from `σ = Σ_i Trunc_{k'}(Encode(x_i))` and
+    /// the number of contributing clients.
+    fn decode(&self, sigma: &[F], num_clients: usize) -> Result<Self::Output, AfeError>;
+
+    /// Convenience: checks an encoding against the `Valid` circuit in the
+    /// clear (clients use this as a self-check; servers use the SNIP).
+    fn is_valid_encoding(&self, encoding: &[F]) -> bool {
+        encoding.len() == self.encoded_len() && self.valid_circuit().is_valid(encoding)
+    }
+}
+
+/// Helper: accumulates truncated encodings the way the servers do, for
+/// tests and examples. Returns `σ`.
+pub fn aggregate_encodings<F: FieldElement, A: Afe<F>>(afe: &A, encodings: &[Vec<F>]) -> Vec<F> {
+    let kp = afe.trunc_len();
+    let mut sigma = vec![F::zero(); kp];
+    for e in encodings {
+        assert_eq!(e.len(), afe.encoded_len(), "encoding length");
+        for (s, &v) in sigma.iter_mut().zip(e[..kp].iter()) {
+            *s += v;
+        }
+    }
+    sigma
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Full pipeline check: encode inputs, verify each encoding against the
+    /// Valid circuit, aggregate, decode, compare to expectation.
+    pub fn roundtrip<F, A>(
+        afe: &A,
+        inputs: &[A::Input],
+        seed: u64,
+    ) -> Result<A::Output, AfeError>
+    where
+        F: FieldElement,
+        A: Afe<F>,
+    {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let circuit = afe.valid_circuit();
+        assert_eq!(circuit.num_inputs(), afe.encoded_len());
+        let mut encodings = Vec::new();
+        for input in inputs {
+            let e = afe.encode(input, &mut rng)?;
+            assert_eq!(e.len(), afe.encoded_len());
+            assert!(circuit.is_valid(&e), "honest encoding failed Valid");
+            encodings.push(e);
+        }
+        let sigma = aggregate_encodings(afe, &encodings);
+        afe.decode(&sigma, inputs.len())
+    }
+}

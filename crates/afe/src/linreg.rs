@@ -1,0 +1,355 @@
+//! Private least-squares linear regression (Section 5.3, "Machine
+//! learning"), after Karr et al., hardened against malicious clients.
+//!
+//! Each client holds a training example `(x̄, y)` with `d` features of `b`
+//! bits each. To fit `h(x̄) = c_0 + c_1 x⁽¹⁾ + … + c_d x⁽ᵈ⁾` the servers
+//! only need the *moment sums* `Σ x_i`, `Σ x_i x_j`, `Σ y`, `Σ x_i y`
+//! (the normal equations are linear in these), so the client encodes:
+//!
+//! `( x_1..x_d, y, {x_i·x_j}_{i≤j}, {x_i·y}, bits(x_1)…bits(x_d), bits(y) )`
+//!
+//! `Valid` range-checks every feature and `y` via bit decomposition and
+//! re-derives every product with one `×` gate — `d(d+3)/2 + (d+1)·b + d`
+//! gates total. The servers accumulate only the moment prefix (`k'`).
+//!
+//! Leakage `f̂`: the regression coefficients *plus* the full moment matrix
+//! (mean/covariance of the features), exactly as stated in the paper.
+
+use crate::{Afe, AfeError};
+use prio_circuit::{gadgets, Circuit, CircuitBuilder};
+use prio_field::FieldElement;
+
+/// A training example: `d` features and a label, all `b`-bit integers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Example {
+    /// Feature vector (length `d`).
+    pub features: Vec<u64>,
+    /// Label.
+    pub y: u64,
+}
+
+/// AFE for `d`-dimensional least-squares regression on `b`-bit data.
+#[derive(Clone, Debug)]
+pub struct LinRegAfe {
+    dim: usize,
+    bits: u32,
+}
+
+impl LinRegAfe {
+    /// Creates a regression AFE with `dim` features of `bits` bits each.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or `bits` is outside `1..=31`.
+    pub fn new(dim: usize, bits: u32) -> Self {
+        assert!(dim >= 1, "need at least one feature");
+        assert!(bits >= 1 && bits <= 31, "bits must be in 1..=31");
+        LinRegAfe { dim, bits }
+    }
+
+    /// Number of features `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Feature bit width `b`.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    fn num_cross(&self) -> usize {
+        self.dim * (self.dim + 1) / 2
+    }
+
+    /// Index layout helpers. Layout:
+    /// `[x (d)] [y (1)] [xx (d(d+1)/2)] [xy (d)] [x bits (d·b)] [y bits (b)]`
+    fn idx_y(&self) -> usize {
+        self.dim
+    }
+    fn idx_xx(&self) -> usize {
+        self.dim + 1
+    }
+    fn idx_xy(&self) -> usize {
+        self.idx_xx() + self.num_cross()
+    }
+    fn idx_xbits(&self) -> usize {
+        self.idx_xy() + self.dim
+    }
+    fn idx_ybits(&self) -> usize {
+        self.idx_xbits() + self.dim * self.bits as usize
+    }
+
+    /// Flattened position of the cross term `x_i·x_j` (`i ≤ j`).
+    fn cross_pos(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i <= j && j < self.dim);
+        // Row-major upper triangle: offset(i) = Σ_{k<i}(d−k) = i(2d−i+1)/2.
+        i * (2 * self.dim - i + 1) / 2 + (j - i)
+    }
+}
+
+impl<F: FieldElement> Afe<F> for LinRegAfe {
+    type Input = Example;
+    /// Fitted coefficients `(c_0, c_1, …, c_d)` (intercept first).
+    type Output = Vec<f64>;
+
+    fn encoded_len(&self) -> usize {
+        self.idx_ybits() + self.bits as usize
+    }
+
+    fn trunc_len(&self) -> usize {
+        // The moment prefix: x, y, xx, xy.
+        self.idx_xbits()
+    }
+
+    fn encode<R: rand::Rng + ?Sized>(
+        &self,
+        input: &Example,
+        _rng: &mut R,
+    ) -> Result<Vec<F>, AfeError> {
+        if input.features.len() != self.dim {
+            return Err(AfeError::InputOutOfRange(format!(
+                "expected {} features, got {}",
+                self.dim,
+                input.features.len()
+            )));
+        }
+        let limit = 1u64 << self.bits;
+        for &v in input.features.iter().chain(std::iter::once(&input.y)) {
+            if v >= limit {
+                return Err(AfeError::InputOutOfRange(format!(
+                    "{v} does not fit in {} bits",
+                    self.bits
+                )));
+            }
+        }
+        let mut out = Vec::with_capacity(Afe::<F>::encoded_len(self));
+        for &x in &input.features {
+            out.push(F::from_u64(x));
+        }
+        out.push(F::from_u64(input.y));
+        for i in 0..self.dim {
+            for j in i..self.dim {
+                out.push(F::from_u64(input.features[i] * input.features[j]));
+            }
+        }
+        for &x in &input.features {
+            out.push(F::from_u64(x * input.y));
+        }
+        for &x in &input.features {
+            for k in 0..self.bits {
+                out.push(F::from_u64((x >> k) & 1));
+            }
+        }
+        for k in 0..self.bits {
+            out.push(F::from_u64((input.y >> k) & 1));
+        }
+        Ok(out)
+    }
+
+    fn valid_circuit(&self) -> Circuit<F> {
+        let b_usize = self.bits as usize;
+        let mut b = CircuitBuilder::new(Afe::<F>::encoded_len(self));
+        let xs: Vec<_> = (0..self.dim).map(|i| b.input(i)).collect();
+        let y = b.input(self.idx_y());
+        // Range checks.
+        for (i, &x) in xs.iter().enumerate() {
+            let bits: Vec<_> = (0..b_usize)
+                .map(|k| b.input(self.idx_xbits() + i * b_usize + k))
+                .collect();
+            gadgets::assert_range_by_bits(&mut b, x, &bits);
+        }
+        let ybits: Vec<_> = (0..b_usize).map(|k| b.input(self.idx_ybits() + k)).collect();
+        gadgets::assert_range_by_bits(&mut b, y, &ybits);
+        // Cross terms.
+        for i in 0..self.dim {
+            for j in i..self.dim {
+                let claimed = b.input(self.idx_xx() + self.cross_pos(i, j));
+                gadgets::assert_product(&mut b, xs[i], xs[j], claimed);
+            }
+        }
+        // x·y terms.
+        for (i, &x) in xs.iter().enumerate() {
+            let claimed = b.input(self.idx_xy() + i);
+            gadgets::assert_product(&mut b, x, y, claimed);
+        }
+        b.finish()
+    }
+
+    fn decode(&self, sigma: &[F], num_clients: usize) -> Result<Vec<f64>, AfeError> {
+        if sigma.len() != Afe::<F>::trunc_len(self) {
+            return Err(AfeError::MalformedAggregate("length mismatch".into()));
+        }
+        if num_clients == 0 {
+            return Err(AfeError::MalformedAggregate("zero clients".into()));
+        }
+        let val = |f: F| -> Result<f64, AfeError> {
+            f.try_to_u128()
+                .map(|v| v as f64)
+                .ok_or_else(|| AfeError::MalformedAggregate("moment overflow".into()))
+        };
+        let d = self.dim;
+        // Normal equations: A·c = rhs over the (d+1)-dim coefficient space.
+        let mut a = vec![vec![0.0f64; d + 1]; d + 1];
+        let mut rhs = vec![0.0f64; d + 1];
+        a[0][0] = num_clients as f64;
+        for i in 0..d {
+            let sx = val(sigma[i])?;
+            a[0][i + 1] = sx;
+            a[i + 1][0] = sx;
+        }
+        for i in 0..d {
+            for j in i..d {
+                let sxx = val(sigma[self.idx_xx() + self.cross_pos(i, j)])?;
+                a[i + 1][j + 1] = sxx;
+                a[j + 1][i + 1] = sxx;
+            }
+        }
+        rhs[0] = val(sigma[self.idx_y()])?;
+        for i in 0..d {
+            rhs[i + 1] = val(sigma[self.idx_xy() + i])?;
+        }
+        solve_linear(a, rhs).ok_or_else(|| {
+            AfeError::MalformedAggregate("singular normal equations (degenerate data)".into())
+        })
+    }
+}
+
+/// Solves `A·x = b` by Gaussian elimination with partial pivoting.
+/// Returns `None` if `A` is (numerically) singular.
+pub fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    debug_assert!(a.len() == n && a.iter().all(|row| row.len() == n));
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..n {
+            let factor = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0f64; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in row + 1..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::roundtrip;
+    use prio_field::{Field128, Field64};
+
+    fn examples_on_line(slope: u64, intercept: u64, xs: &[u64]) -> Vec<Example> {
+        xs.iter()
+            .map(|&x| Example {
+                features: vec![x],
+                y: slope * x + intercept,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_exact_line() {
+        let afe = LinRegAfe::new(1, 8);
+        let data = examples_on_line(3, 7, &[1, 2, 5, 9, 13]);
+        let coeffs = roundtrip::<Field64, _>(&afe, &data, 1).unwrap();
+        assert!((coeffs[0] - 7.0).abs() < 1e-6, "{coeffs:?}");
+        assert!((coeffs[1] - 3.0).abs() < 1e-6, "{coeffs:?}");
+    }
+
+    #[test]
+    fn recovers_multivariate_plane() {
+        // y = 2 + 3·x1 + 5·x2 on a grid.
+        let afe = LinRegAfe::new(2, 8);
+        let mut data = Vec::new();
+        for x1 in [0u64, 1, 2, 3, 7] {
+            for x2 in [0u64, 2, 4, 9] {
+                data.push(Example {
+                    features: vec![x1, x2],
+                    y: 2 + 3 * x1 + 5 * x2,
+                });
+            }
+        }
+        let coeffs = roundtrip::<Field128, _>(&afe, &data, 2).unwrap();
+        assert!((coeffs[0] - 2.0).abs() < 1e-5, "{coeffs:?}");
+        assert!((coeffs[1] - 3.0).abs() < 1e-5, "{coeffs:?}");
+        assert!((coeffs[2] - 5.0).abs() < 1e-5, "{coeffs:?}");
+    }
+
+    #[test]
+    fn least_squares_on_noisy_data() {
+        // Points NOT on a line: check against a hand-computed fit.
+        // Data: (0,1), (1,3), (2,4). Least squares: slope 1.5, intercept 1/6...
+        // Normal equations: n=3, Σx=3, Σx²=5, Σy=8, Σxy=11.
+        // [3 3; 3 5]·[c0 c1]ᵀ = [8 11]ᵀ → c1 = (3·11−3·8)/(3·5−9) = 9/6 = 1.5,
+        // c0 = (8 − 3·1.5)/3 = 7/6.
+        let afe = LinRegAfe::new(1, 4);
+        let data = vec![
+            Example { features: vec![0], y: 1 },
+            Example { features: vec![1], y: 3 },
+            Example { features: vec![2], y: 4 },
+        ];
+        let coeffs = roundtrip::<Field64, _>(&afe, &data, 3).unwrap();
+        assert!((coeffs[0] - 7.0 / 6.0).abs() < 1e-9, "{coeffs:?}");
+        assert!((coeffs[1] - 1.5).abs() < 1e-9, "{coeffs:?}");
+    }
+
+    #[test]
+    fn valid_rejects_forged_moments() {
+        let afe = LinRegAfe::new(2, 6);
+        let circuit: Circuit<Field64> = afe.valid_circuit();
+        let mut rng = rand::rng();
+        let ex = Example {
+            features: vec![9, 17],
+            y: 30,
+        };
+        let mut enc: Vec<Field64> = afe.encode(&ex, &mut rng).unwrap();
+        assert!(circuit.is_valid(&enc));
+        // Tamper with the x1·x2 cross term (a "poisoning" attempt that
+        // would skew the covariance matrix).
+        let pos = afe.idx_xx() + afe.cross_pos(0, 1);
+        enc[pos] += Field64::one();
+        assert!(!circuit.is_valid(&enc));
+    }
+
+    #[test]
+    fn gate_count_matches_formula() {
+        for (d, b) in [(1usize, 4u32), (3, 8), (10, 14)] {
+            let afe = LinRegAfe::new(d, b);
+            let c: Circuit<Field64> = afe.valid_circuit();
+            let expect = (d + 1) * b as usize + d * (d + 1) / 2 + d;
+            assert_eq!(c.num_mul_gates(), expect, "d={d} b={b}");
+        }
+    }
+
+    #[test]
+    fn solve_linear_singular() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve_linear(a, vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn solve_linear_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve_linear(a, vec![5.0, -3.0]).unwrap();
+        assert_eq!(x, vec![5.0, -3.0]);
+    }
+}

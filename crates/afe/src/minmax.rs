@@ -1,0 +1,324 @@
+//! MIN and MAX over small integer ranges, and the c-approximate variant for
+//! large ranges (Section 5.2, "min and max").
+//!
+//! For a range `{0, …, B−1}` the client encodes its value in unary as `B`
+//! threshold indicators and the servers take a bitwise OR (for max) or AND
+//! (for min) using the boolean construction of [`crate::boolean`]:
+//! position `i` of a max encoding is "my value is ≥ i". The largest
+//! position whose OR is set is the maximum.
+//!
+//! For large ranges (e.g. 64-bit packet counters) the range is split into
+//! `log_c B` geometric bins `[c^j, c^{j+1})` and the small-range scheme is
+//! run over bins, giving a multiplicative c-approximation.
+//!
+//! Like the boolean AFE, `Valid` is trivial (0 `×` gates): any vector is a
+//! valid encoding, and a malicious client's power is bounded by choosing an
+//! arbitrary value — exactly the robustness the definition permits.
+//! Leakage: the per-threshold OR/AND pattern (monotone, so equivalent to
+//! the min/max itself).
+
+use crate::{Afe, AfeError};
+use prio_circuit::{Circuit, CircuitBuilder};
+use prio_field::FieldElement;
+
+fn trivial_circuit<F: FieldElement>(len: usize) -> Circuit<F> {
+    let mut b = CircuitBuilder::new(len);
+    let z = b.constant(F::zero());
+    b.assert_zero(z);
+    b.finish()
+}
+
+/// AFE for the exact maximum over `{0, …, range−1}`.
+#[derive(Clone, Debug)]
+pub struct MaxAfe {
+    range: u64,
+}
+
+impl MaxAfe {
+    /// Creates a max AFE over `{0, …, range−1}`.
+    ///
+    /// # Panics
+    /// Panics if `range == 0`.
+    pub fn new(range: u64) -> Self {
+        assert!(range >= 1, "range must be nonzero");
+        MaxAfe { range }
+    }
+}
+
+impl<F: FieldElement> Afe<F> for MaxAfe {
+    type Input = u64;
+    type Output = u64;
+
+    fn encoded_len(&self) -> usize {
+        self.range as usize
+    }
+
+    fn encode<R: rand::Rng + ?Sized>(&self, input: &u64, rng: &mut R) -> Result<Vec<F>, AfeError> {
+        if *input >= self.range {
+            return Err(AfeError::InputOutOfRange(format!(
+                "{input} outside 0..{}",
+                self.range
+            )));
+        }
+        // OR-indicator of "x ≥ i" at position i.
+        Ok((0..self.range)
+            .map(|i| if *input >= i { F::random(rng) } else { F::zero() })
+            .collect())
+    }
+
+    fn valid_circuit(&self) -> Circuit<F> {
+        trivial_circuit(self.range as usize)
+    }
+
+    fn decode(&self, sigma: &[F], _num_clients: usize) -> Result<u64, AfeError> {
+        if sigma.len() != self.range as usize {
+            return Err(AfeError::MalformedAggregate("length mismatch".into()));
+        }
+        // Largest threshold some client reached. Position 0 is always set
+        // (every value is ≥ 0) as long as at least one client contributed.
+        let max = sigma
+            .iter()
+            .rposition(|&v| v != F::zero())
+            .ok_or_else(|| AfeError::MalformedAggregate("no clients contributed".into()))?;
+        Ok(max as u64)
+    }
+}
+
+/// AFE for the exact minimum over `{0, …, range−1}`.
+#[derive(Clone, Debug)]
+pub struct MinAfe {
+    range: u64,
+}
+
+impl MinAfe {
+    /// Creates a min AFE over `{0, …, range−1}`.
+    ///
+    /// # Panics
+    /// Panics if `range == 0`.
+    pub fn new(range: u64) -> Self {
+        assert!(range >= 1, "range must be nonzero");
+        MinAfe { range }
+    }
+}
+
+impl<F: FieldElement> Afe<F> for MinAfe {
+    type Input = u64;
+    type Output = u64;
+
+    fn encoded_len(&self) -> usize {
+        self.range as usize
+    }
+
+    fn encode<R: rand::Rng + ?Sized>(&self, input: &u64, rng: &mut R) -> Result<Vec<F>, AfeError> {
+        if *input >= self.range {
+            return Err(AfeError::InputOutOfRange(format!(
+                "{input} outside 0..{}",
+                self.range
+            )));
+        }
+        // AND-indicator of "x ≥ i": random when the predicate FAILS.
+        Ok((0..self.range)
+            .map(|i| if *input >= i { F::zero() } else { F::random(rng) })
+            .collect())
+    }
+
+    fn valid_circuit(&self) -> Circuit<F> {
+        trivial_circuit(self.range as usize)
+    }
+
+    fn decode(&self, sigma: &[F], _num_clients: usize) -> Result<u64, AfeError> {
+        if sigma.len() != self.range as usize {
+            return Err(AfeError::MalformedAggregate("length mismatch".into()));
+        }
+        // min = largest i with AND("everyone ≥ i") still true, i.e. the
+        // largest i whose accumulated cell is zero; cells are zero exactly
+        // for i ≤ min (w.h.p.).
+        let mut min = 0u64;
+        for (i, &v) in sigma.iter().enumerate() {
+            if v == F::zero() {
+                min = i as u64;
+            } else {
+                break;
+            }
+        }
+        Ok(min)
+    }
+}
+
+/// A `c`-approximate answer: the true extremum lies in `[lo, hi]`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ApproxRange {
+    /// Lower bound of the bin the extremum fell into.
+    pub lo: u64,
+    /// Upper bound (inclusive).
+    pub hi: u64,
+}
+
+/// AFE for a multiplicative-`c` approximate maximum over `{0, …, B−1}` with
+/// `log_c B` geometric bins.
+#[derive(Clone, Debug)]
+pub struct ApproxMaxAfe {
+    /// Bin lower boundaries: `[0, 1, c, c², …]`.
+    boundaries: Vec<u64>,
+    bound: u64,
+    inner: MaxAfe,
+}
+
+impl ApproxMaxAfe {
+    /// Creates an approximate max AFE over `{0, …, bound−1}` with
+    /// approximation factor `c ≥ 2`.
+    ///
+    /// # Panics
+    /// Panics if `c < 2` or `bound == 0`.
+    pub fn new(bound: u64, c: u64) -> Self {
+        assert!(c >= 2, "approximation factor must be at least 2");
+        assert!(bound >= 1, "bound must be nonzero");
+        let mut boundaries = vec![0u64, 1];
+        let mut edge = 1u64;
+        while edge < bound {
+            edge = edge.saturating_mul(c);
+            boundaries.push(edge.min(bound));
+        }
+        boundaries.dedup();
+        let bins = boundaries.len() - 1;
+        ApproxMaxAfe {
+            boundaries,
+            bound,
+            inner: MaxAfe::new(bins as u64),
+        }
+    }
+
+    fn bin_of(&self, x: u64) -> u64 {
+        // Largest j with boundaries[j] <= x.
+        (self.boundaries.partition_point(|&b| b <= x) - 1) as u64
+    }
+
+    /// Number of bins (the encoding length).
+    pub fn num_bins(&self) -> usize {
+        self.boundaries.len() - 1
+    }
+}
+
+impl<F: FieldElement> Afe<F> for ApproxMaxAfe {
+    type Input = u64;
+    type Output = ApproxRange;
+
+    fn encoded_len(&self) -> usize {
+        self.num_bins()
+    }
+
+    fn encode<R: rand::Rng + ?Sized>(&self, input: &u64, rng: &mut R) -> Result<Vec<F>, AfeError> {
+        if *input >= self.bound {
+            return Err(AfeError::InputOutOfRange(format!(
+                "{input} outside 0..{}",
+                self.bound
+            )));
+        }
+        self.inner.encode(&self.bin_of(*input), rng)
+    }
+
+    fn valid_circuit(&self) -> Circuit<F> {
+        Afe::<F>::valid_circuit(&self.inner)
+    }
+
+    fn decode(&self, sigma: &[F], num_clients: usize) -> Result<ApproxRange, AfeError> {
+        let bin = self.inner.decode(sigma, num_clients)? as usize;
+        Ok(ApproxRange {
+            lo: self.boundaries[bin],
+            hi: self.boundaries[bin + 1].saturating_sub(1).min(self.bound - 1),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::roundtrip;
+    use prio_field::Field64;
+    use proptest::prelude::*;
+
+    #[test]
+    fn max_roundtrip() {
+        let afe = MaxAfe::new(250); // car speeds 0..250 km/h
+        let speeds = vec![88u64, 120, 61, 199, 0];
+        assert_eq!(roundtrip::<Field64, _>(&afe, &speeds, 1).unwrap(), 199);
+    }
+
+    #[test]
+    fn min_roundtrip() {
+        let afe = MinAfe::new(250);
+        let speeds = vec![88u64, 120, 61, 199];
+        assert_eq!(roundtrip::<Field64, _>(&afe, &speeds, 2).unwrap(), 61);
+    }
+
+    #[test]
+    fn single_client() {
+        let max = MaxAfe::new(16);
+        let min = MinAfe::new(16);
+        assert_eq!(roundtrip::<Field64, _>(&max, &[7], 3).unwrap(), 7);
+        assert_eq!(roundtrip::<Field64, _>(&min, &[7], 4).unwrap(), 7);
+    }
+
+    #[test]
+    fn boundary_values() {
+        let max = MaxAfe::new(10);
+        assert_eq!(roundtrip::<Field64, _>(&max, &[0, 0], 5).unwrap(), 0);
+        assert_eq!(roundtrip::<Field64, _>(&max, &[9, 0], 6).unwrap(), 9);
+        let min = MinAfe::new(10);
+        assert_eq!(roundtrip::<Field64, _>(&min, &[9, 9], 7).unwrap(), 9);
+        assert_eq!(roundtrip::<Field64, _>(&min, &[0, 9], 8).unwrap(), 0);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let afe = MaxAfe::new(10);
+        let mut rng = rand::rng();
+        assert!(matches!(
+            Afe::<Field64>::encode(&afe, &10, &mut rng),
+            Err(AfeError::InputOutOfRange(_))
+        ));
+    }
+
+    #[test]
+    fn approx_max_brackets_truth() {
+        let afe = ApproxMaxAfe::new(1 << 20, 2);
+        let values = vec![3u64, 900_000, 17];
+        let out = roundtrip::<Field64, _>(&afe, &values, 9).unwrap();
+        assert!(out.lo <= 900_000 && 900_000 <= out.hi, "{out:?}");
+        // Factor-2 bins: hi/lo ≤ 2.
+        assert!(out.hi < out.lo * 2 || out.lo <= 1);
+    }
+
+    #[test]
+    fn approx_max_is_compact() {
+        let afe = ApproxMaxAfe::new(u64::MAX / 2, 2);
+        // ~63 bins instead of 2^63 unary cells.
+        assert!(afe.num_bins() < 70, "bins = {}", afe.num_bins());
+    }
+
+    proptest! {
+        #[test]
+        fn max_matches_reference(values in prop::collection::vec(0u64..64, 1..12)) {
+            let afe = MaxAfe::new(64);
+            let expect = *values.iter().max().unwrap();
+            prop_assert_eq!(roundtrip::<Field64, _>(&afe, &values, 10).unwrap(), expect);
+        }
+
+        #[test]
+        fn min_matches_reference(values in prop::collection::vec(0u64..64, 1..12)) {
+            let afe = MinAfe::new(64);
+            let expect = *values.iter().min().unwrap();
+            prop_assert_eq!(roundtrip::<Field64, _>(&afe, &values, 11).unwrap(), expect);
+        }
+
+        #[test]
+        fn approx_max_within_factor(values in prop::collection::vec(1u64..1_000_000, 1..8)) {
+            let afe = ApproxMaxAfe::new(1 << 30, 4);
+            let truth = *values.iter().max().unwrap();
+            let out = roundtrip::<Field64, _>(&afe, &values, 12).unwrap();
+            prop_assert!(out.lo <= truth && truth <= out.hi);
+            // Multiplicative factor c = 4 (lo can be 1 for tiny bins).
+            prop_assert!(out.hi <= out.lo.max(1) * 4);
+        }
+    }
+}

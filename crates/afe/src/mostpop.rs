@@ -1,0 +1,140 @@
+//! Most-popular string (Appendix G, "Most popular"), after Bassily–Smith.
+//!
+//! When one `b`-bit string is held by *more than half* the clients, it can
+//! be recovered bit-by-bit: each client submits its string's bits; for each
+//! position, the majority bit is the popular string's bit. `Valid` checks
+//! each component is a bit (`b` `×` gates).
+//!
+//! Leakage: the per-position counts of set bits (strictly more than the
+//! popular string itself; the paper notes this AFE "leaks quite a bit").
+
+use crate::{Afe, AfeError};
+use prio_circuit::{gadgets, Circuit, CircuitBuilder};
+use prio_field::FieldElement;
+
+/// AFE recovering the majority string of `bits`-bit client strings.
+#[derive(Clone, Debug)]
+pub struct MostPopularAfe {
+    bits: u32,
+}
+
+/// Result of decoding the most-popular-string AFE.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MajorityString {
+    /// The recovered string (valid when a true majority string exists).
+    pub value: u64,
+    /// Per-bit set counts, the AFE's actual leakage `f̂`.
+    pub bit_counts: Vec<u64>,
+}
+
+impl MostPopularAfe {
+    /// Creates the AFE for `bits`-bit strings.
+    ///
+    /// # Panics
+    /// Panics unless `1 ≤ bits ≤ 64`.
+    pub fn new(bits: u32) -> Self {
+        assert!(bits >= 1 && bits <= 64);
+        MostPopularAfe { bits }
+    }
+}
+
+impl<F: FieldElement> Afe<F> for MostPopularAfe {
+    type Input = u64;
+    type Output = MajorityString;
+
+    fn encoded_len(&self) -> usize {
+        self.bits as usize
+    }
+
+    fn encode<R: rand::Rng + ?Sized>(
+        &self,
+        input: &u64,
+        _rng: &mut R,
+    ) -> Result<Vec<F>, AfeError> {
+        if self.bits < 64 && *input >= (1u64 << self.bits) {
+            return Err(AfeError::InputOutOfRange(format!(
+                "{input} does not fit in {} bits",
+                self.bits
+            )));
+        }
+        Ok((0..self.bits)
+            .map(|i| F::from_u64((*input >> i) & 1))
+            .collect())
+    }
+
+    fn valid_circuit(&self) -> Circuit<F> {
+        let mut b = CircuitBuilder::new(self.bits as usize);
+        let ws = b.inputs();
+        gadgets::assert_bits(&mut b, &ws);
+        b.finish()
+    }
+
+    fn decode(&self, sigma: &[F], num_clients: usize) -> Result<MajorityString, AfeError> {
+        if sigma.len() != self.bits as usize {
+            return Err(AfeError::MalformedAggregate("length mismatch".into()));
+        }
+        let counts: Option<Vec<u64>> = sigma
+            .iter()
+            .map(|v| v.try_to_u128().and_then(|c| u64::try_from(c).ok()))
+            .collect();
+        let counts =
+            counts.ok_or_else(|| AfeError::MalformedAggregate("count overflow".into()))?;
+        let mut value = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            // Round to 0 or n, whichever is closer (strict majority).
+            if 2 * c > num_clients as u64 {
+                value |= 1 << i;
+            }
+        }
+        Ok(MajorityString {
+            value,
+            bit_counts: counts,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::roundtrip;
+    use prio_field::Field64;
+
+    #[test]
+    fn recovers_majority_string() {
+        let afe = MostPopularAfe::new(16);
+        let popular = 0xBEEF_u64;
+        let mut inputs = vec![popular; 7];
+        inputs.extend([0x1234u64, 0xFFFF, 0x0000]); // 7 of 10 > 50%
+        let out = roundtrip::<Field64, _>(&afe, &inputs, 1).unwrap();
+        assert_eq!(out.value, popular);
+    }
+
+    #[test]
+    fn unanimous() {
+        let afe = MostPopularAfe::new(8);
+        let out = roundtrip::<Field64, _>(&afe, &vec![0xA5u64; 5], 2).unwrap();
+        assert_eq!(out.value, 0xA5);
+        assert_eq!(out.bit_counts, vec![5, 0, 5, 0, 0, 5, 0, 5]);
+    }
+
+    #[test]
+    fn no_majority_gives_garbage_but_counts_are_exact() {
+        let afe = MostPopularAfe::new(4);
+        let inputs = vec![0b0011u64, 0b1100]; // no majority anywhere
+        let out = roundtrip::<Field64, _>(&afe, &inputs, 3).unwrap();
+        assert_eq!(out.bit_counts, vec![1, 1, 1, 1]);
+        assert_eq!(out.value, 0); // ties round down
+    }
+
+    #[test]
+    fn valid_circuit_rejects_non_bits() {
+        let afe = MostPopularAfe::new(4);
+        let c: Circuit<Field64> = afe.valid_circuit();
+        assert!(!c.is_valid(&[
+            Field64::from_u64(2),
+            Field64::zero(),
+            Field64::zero(),
+            Field64::zero()
+        ]));
+    }
+}

@@ -1,0 +1,283 @@
+//! Evaluating a *public* regression model's fit on private data: the R²
+//! coefficient (Appendix G, "Evaluating an arbitrary ML model").
+//!
+//! The servers hold a public linear model `M(x̄) = c_0 + Σ c_i x_i` (integer
+//! coefficients; fixed-point scaling is the caller's concern) and want
+//! `R² = 1 − Σ(y_i − ŷ_i)² / Var(y)·n` over client-held points `(x̄, y)`.
+//!
+//! Each client encodes `(y, y², (y − M(x̄))², x̄, bits(y))`; `Valid`
+//! recomputes `y²` and the residual square with two `×` gates (plus the
+//! range check on `y`), since `M(x̄)` is an affine public function of the
+//! encoded features. Decoding needs only the first three components.
+//!
+//! Leakage `f̂`: R² plus the mean and variance of `y` (per the paper).
+
+use crate::{Afe, AfeError};
+use prio_circuit::{gadgets, Circuit, CircuitBuilder};
+use prio_field::FieldElement;
+
+/// A public linear model with integer coefficients, intercept first.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinearModel {
+    /// `(c_0, c_1, …, c_d)`.
+    pub coefficients: Vec<i64>,
+}
+
+impl LinearModel {
+    /// Number of features `d`.
+    pub fn dim(&self) -> usize {
+        self.coefficients.len() - 1
+    }
+
+    /// Predicts `ŷ = c_0 + Σ c_i x_i` (as a signed integer).
+    pub fn predict(&self, features: &[u64]) -> i64 {
+        self.coefficients[0]
+            + self.coefficients[1..]
+                .iter()
+                .zip(features)
+                .map(|(&c, &x)| c * x as i64)
+                .sum::<i64>()
+    }
+}
+
+/// A labelled data point for model evaluation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Point {
+    /// Feature vector (length `d`).
+    pub features: Vec<u64>,
+    /// True label.
+    pub y: u64,
+}
+
+/// AFE computing the R² coefficient of a public [`LinearModel`].
+#[derive(Clone, Debug)]
+pub struct RSquaredAfe {
+    model: LinearModel,
+    bits: u32,
+}
+
+impl RSquaredAfe {
+    /// Creates the AFE for evaluating `model` on `bits`-bit labels.
+    ///
+    /// # Panics
+    /// Panics if the model has no features or `bits` is outside `1..=31`.
+    pub fn new(model: LinearModel, bits: u32) -> Self {
+        assert!(model.dim() >= 1, "model needs at least one feature");
+        assert!(bits >= 1 && bits <= 31);
+        RSquaredAfe { model, bits }
+    }
+
+    fn dim(&self) -> usize {
+        self.model.dim()
+    }
+
+    /// Layout: `[y, y², resid², x (d), bits(y) (b)]`.
+    fn idx_x(&self) -> usize {
+        3
+    }
+    fn idx_ybits(&self) -> usize {
+        3 + self.dim()
+    }
+}
+
+impl<F: FieldElement> Afe<F> for RSquaredAfe {
+    type Input = Point;
+    type Output = f64;
+
+    fn encoded_len(&self) -> usize {
+        3 + self.dim() + self.bits as usize
+    }
+
+    fn trunc_len(&self) -> usize {
+        3
+    }
+
+    fn encode<R: rand::Rng + ?Sized>(
+        &self,
+        input: &Point,
+        _rng: &mut R,
+    ) -> Result<Vec<F>, AfeError> {
+        if input.features.len() != self.dim() {
+            return Err(AfeError::InputOutOfRange("feature arity".into()));
+        }
+        if input.y >= (1u64 << self.bits) {
+            return Err(AfeError::InputOutOfRange(format!(
+                "label {} exceeds {} bits",
+                input.y, self.bits
+            )));
+        }
+        let resid = input.y as i64 - self.model.predict(&input.features);
+        let mut out = Vec::with_capacity(Afe::<F>::encoded_len(self));
+        out.push(F::from_u64(input.y));
+        out.push(F::from_u64(input.y * input.y));
+        // Residual square computed in the field: matches the circuit's
+        // in-field arithmetic even when resid is "negative".
+        let resid_f = F::from_i64(resid);
+        out.push(resid_f * resid_f);
+        for &x in &input.features {
+            out.push(F::from_u64(x));
+        }
+        for k in 0..self.bits {
+            out.push(F::from_u64((input.y >> k) & 1));
+        }
+        Ok(out)
+    }
+
+    fn valid_circuit(&self) -> Circuit<F> {
+        let mut b = CircuitBuilder::new(Afe::<F>::encoded_len(self));
+        let y = b.input(0);
+        let y_sq = b.input(1);
+        let resid_sq = b.input(2);
+        let xs: Vec<_> = (0..self.dim()).map(|i| b.input(self.idx_x() + i)).collect();
+        let ybits: Vec<_> = (0..self.bits as usize)
+            .map(|k| b.input(self.idx_ybits() + k))
+            .collect();
+        gadgets::assert_range_by_bits(&mut b, y, &ybits);
+        gadgets::assert_square(&mut b, y, y_sq);
+        // resid = y − (c_0 + Σ c_i·x_i): affine in the inputs.
+        let coeffs: Vec<F> = self.model.coefficients[1..]
+            .iter()
+            .map(|&c| F::from_i64(c))
+            .collect();
+        let pred_linear = b.weighted_sum(&xs, &coeffs);
+        let pred = b.add_const(pred_linear, F::from_i64(self.model.coefficients[0]));
+        let resid = b.sub(y, pred);
+        gadgets::assert_square(&mut b, resid, resid_sq);
+        b.finish()
+    }
+
+    fn decode(&self, sigma: &[F], num_clients: usize) -> Result<f64, AfeError> {
+        if sigma.len() != 3 {
+            return Err(AfeError::MalformedAggregate("length mismatch".into()));
+        }
+        if num_clients == 0 {
+            return Err(AfeError::MalformedAggregate("zero clients".into()));
+        }
+        let to_f64 = |f: F| -> Result<f64, AfeError> {
+            f.try_to_u128()
+                .map(|v| v as f64)
+                .ok_or_else(|| AfeError::MalformedAggregate("overflow".into()))
+        };
+        let sum_y = to_f64(sigma[0])?;
+        let sum_ysq = to_f64(sigma[1])?;
+        let sum_resid = to_f64(sigma[2])?;
+        let n = num_clients as f64;
+        let ss_total = sum_ysq - sum_y * sum_y / n; // n·Var(y)
+        if ss_total <= 0.0 {
+            return Err(AfeError::MalformedAggregate(
+                "labels have zero variance; R² undefined".into(),
+            ));
+        }
+        Ok(1.0 - sum_resid / ss_total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::roundtrip;
+    use prio_field::Field128;
+
+    #[test]
+    fn perfect_model_has_r2_one() {
+        let model = LinearModel {
+            coefficients: vec![2, 3],
+        };
+        let afe = RSquaredAfe::new(model.clone(), 12);
+        let data: Vec<Point> = [1u64, 4, 9, 13]
+            .iter()
+            .map(|&x| Point {
+                features: vec![x],
+                y: model.predict(&[x]) as u64,
+            })
+            .collect();
+        let r2 = roundtrip::<Field128, _>(&afe, &data, 1).unwrap();
+        assert!((r2 - 1.0).abs() < 1e-9, "r2 = {r2}");
+    }
+
+    #[test]
+    fn bad_model_has_low_r2() {
+        // Model predicts a constant 8; data actually follows y = 3x.
+        let model = LinearModel {
+            coefficients: vec![8, 0],
+        };
+        let afe = RSquaredAfe::new(model, 12);
+        let data: Vec<Point> = [0u64, 2, 5, 11]
+            .iter()
+            .map(|&x| Point {
+                features: vec![x],
+                y: 3 * x,
+            })
+            .collect();
+        let r2 = roundtrip::<Field128, _>(&afe, &data, 2).unwrap();
+        assert!(r2 < 0.6, "r2 = {r2}");
+    }
+
+    #[test]
+    fn matches_reference_computation() {
+        let model = LinearModel {
+            coefficients: vec![1, 2, -1],
+        };
+        let afe = RSquaredAfe::new(model.clone(), 10);
+        let data = vec![
+            Point { features: vec![3, 1], y: 7 },
+            Point { features: vec![5, 2], y: 8 },
+            Point { features: vec![2, 4], y: 3 },
+            Point { features: vec![8, 8], y: 9 },
+        ];
+        let r2 = roundtrip::<Field128, _>(&afe, &data, 3).unwrap();
+        // Reference: R² = 1 − Σ(y−ŷ)² / (Σy² − (Σy)²/n)
+        let n = data.len() as f64;
+        let sum_y: f64 = data.iter().map(|p| p.y as f64).sum();
+        let sum_ysq: f64 = data.iter().map(|p| (p.y * p.y) as f64).sum();
+        let ss_res: f64 = data
+            .iter()
+            .map(|p| {
+                let r = p.y as f64 - model.predict(&p.features) as f64;
+                r * r
+            })
+            .sum();
+        let expect = 1.0 - ss_res / (sum_ysq - sum_y * sum_y / n);
+        assert!((r2 - expect).abs() < 1e-9, "{r2} vs {expect}");
+    }
+
+    #[test]
+    fn valid_rejects_residual_lie() {
+        let model = LinearModel {
+            coefficients: vec![0, 1],
+        };
+        let afe = RSquaredAfe::new(model, 8);
+        let circuit: Circuit<Field128> = afe.valid_circuit();
+        let mut rng = rand::rng();
+        // Honest point: y = 10, x = 4 → resid = 6, resid² = 36.
+        let mut enc: Vec<Field128> = afe
+            .encode(
+                &Point {
+                    features: vec![4],
+                    y: 10,
+                },
+                &mut rng,
+            )
+            .unwrap();
+        assert!(circuit.is_valid(&enc));
+        // Claim a zero residual to inflate R².
+        enc[2] = Field128::zero();
+        assert!(!circuit.is_valid(&enc));
+    }
+
+    #[test]
+    fn zero_variance_rejected() {
+        let model = LinearModel {
+            coefficients: vec![0, 1],
+        };
+        let afe = RSquaredAfe::new(model, 8);
+        let data = vec![
+            Point { features: vec![1], y: 5 },
+            Point { features: vec![9], y: 5 },
+        ];
+        assert!(matches!(
+            roundtrip::<Field128, _>(&afe, &data, 4),
+            Err(AfeError::MalformedAggregate(_))
+        ));
+    }
+}

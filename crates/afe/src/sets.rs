@@ -1,0 +1,202 @@
+//! Private set union and intersection over a small universe (Section 5.2,
+//! "Sets").
+//!
+//! A set over universe `{0, …, B−1}` is its characteristic vector; union is
+//! element-wise OR and intersection element-wise AND, each implemented with
+//! the field-indicator trick of [`crate::boolean`]. `Valid` is trivial
+//! (0 `×` gates). Leakage: the resulting set.
+
+use crate::{Afe, AfeError};
+use prio_circuit::{Circuit, CircuitBuilder};
+use prio_field::FieldElement;
+use std::collections::BTreeSet;
+
+fn trivial_circuit<F: FieldElement>(len: usize) -> Circuit<F> {
+    let mut b = CircuitBuilder::new(len);
+    let z = b.constant(F::zero());
+    b.assert_zero(z);
+    b.finish()
+}
+
+fn check_set(set: &BTreeSet<usize>, universe: usize) -> Result<(), AfeError> {
+    if let Some(&max) = set.iter().next_back() {
+        if max >= universe {
+            return Err(AfeError::InputOutOfRange(format!(
+                "element {max} outside universe 0..{universe}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// AFE computing the union of per-client sets.
+#[derive(Clone, Debug)]
+pub struct SetUnionAfe {
+    universe: usize,
+}
+
+impl SetUnionAfe {
+    /// Creates a union AFE over universe `{0, …, universe−1}`.
+    ///
+    /// # Panics
+    /// Panics if `universe == 0`.
+    pub fn new(universe: usize) -> Self {
+        assert!(universe >= 1);
+        SetUnionAfe { universe }
+    }
+}
+
+impl<F: FieldElement> Afe<F> for SetUnionAfe {
+    type Input = BTreeSet<usize>;
+    type Output = BTreeSet<usize>;
+
+    fn encoded_len(&self) -> usize {
+        self.universe
+    }
+
+    fn encode<R: rand::Rng + ?Sized>(
+        &self,
+        input: &BTreeSet<usize>,
+        rng: &mut R,
+    ) -> Result<Vec<F>, AfeError> {
+        check_set(input, self.universe)?;
+        Ok((0..self.universe)
+            .map(|i| {
+                if input.contains(&i) {
+                    F::random(rng)
+                } else {
+                    F::zero()
+                }
+            })
+            .collect())
+    }
+
+    fn valid_circuit(&self) -> Circuit<F> {
+        trivial_circuit(self.universe)
+    }
+
+    fn decode(&self, sigma: &[F], _num_clients: usize) -> Result<BTreeSet<usize>, AfeError> {
+        if sigma.len() != self.universe {
+            return Err(AfeError::MalformedAggregate("length mismatch".into()));
+        }
+        Ok(sigma
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v != F::zero())
+            .map(|(i, _)| i)
+            .collect())
+    }
+}
+
+/// AFE computing the intersection of per-client sets.
+#[derive(Clone, Debug)]
+pub struct SetIntersectionAfe {
+    universe: usize,
+}
+
+impl SetIntersectionAfe {
+    /// Creates an intersection AFE over universe `{0, …, universe−1}`.
+    ///
+    /// # Panics
+    /// Panics if `universe == 0`.
+    pub fn new(universe: usize) -> Self {
+        assert!(universe >= 1);
+        SetIntersectionAfe { universe }
+    }
+}
+
+impl<F: FieldElement> Afe<F> for SetIntersectionAfe {
+    type Input = BTreeSet<usize>;
+    type Output = BTreeSet<usize>;
+
+    fn encoded_len(&self) -> usize {
+        self.universe
+    }
+
+    fn encode<R: rand::Rng + ?Sized>(
+        &self,
+        input: &BTreeSet<usize>,
+        rng: &mut R,
+    ) -> Result<Vec<F>, AfeError> {
+        check_set(input, self.universe)?;
+        // AND-indicator: random when the element is ABSENT.
+        Ok((0..self.universe)
+            .map(|i| {
+                if input.contains(&i) {
+                    F::zero()
+                } else {
+                    F::random(rng)
+                }
+            })
+            .collect())
+    }
+
+    fn valid_circuit(&self) -> Circuit<F> {
+        trivial_circuit(self.universe)
+    }
+
+    fn decode(&self, sigma: &[F], _num_clients: usize) -> Result<BTreeSet<usize>, AfeError> {
+        if sigma.len() != self.universe {
+            return Err(AfeError::MalformedAggregate("length mismatch".into()));
+        }
+        Ok(sigma
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v == F::zero())
+            .map(|(i, _)| i)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::roundtrip;
+    use prio_field::Field64;
+
+    fn set(elems: &[usize]) -> BTreeSet<usize> {
+        elems.iter().copied().collect()
+    }
+
+    #[test]
+    fn union_roundtrip() {
+        let afe = SetUnionAfe::new(8);
+        let inputs = vec![set(&[0, 3]), set(&[3, 5]), set(&[])];
+        let out = roundtrip::<Field64, _>(&afe, &inputs, 1).unwrap();
+        assert_eq!(out, set(&[0, 3, 5]));
+    }
+
+    #[test]
+    fn intersection_roundtrip() {
+        let afe = SetIntersectionAfe::new(8);
+        let inputs = vec![set(&[0, 3, 5, 7]), set(&[3, 5, 7]), set(&[3, 7])];
+        let out = roundtrip::<Field64, _>(&afe, &inputs, 2).unwrap();
+        assert_eq!(out, set(&[3, 7]));
+    }
+
+    #[test]
+    fn empty_intersection() {
+        let afe = SetIntersectionAfe::new(4);
+        let inputs = vec![set(&[0]), set(&[1])];
+        let out = roundtrip::<Field64, _>(&afe, &inputs, 3).unwrap();
+        assert_eq!(out, set(&[]));
+    }
+
+    #[test]
+    fn full_union() {
+        let afe = SetUnionAfe::new(4);
+        let inputs = vec![set(&[0, 1]), set(&[2, 3])];
+        let out = roundtrip::<Field64, _>(&afe, &inputs, 4).unwrap();
+        assert_eq!(out, set(&[0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn out_of_universe_rejected() {
+        let afe = SetUnionAfe::new(4);
+        let mut rng = rand::rng();
+        assert!(matches!(
+            Afe::<Field64>::encode(&afe, &set(&[4]), &mut rng),
+            Err(AfeError::InputOutOfRange(_))
+        ));
+    }
+}

@@ -1,0 +1,255 @@
+//! Approximate frequency counts over large domains via a count-min sketch
+//! (Appendix G, "Approximate counts"; following Melis et al. and
+//! Cormode–Muthukrishnan).
+//!
+//! The one-hot histogram AFE needs `B` cells — hopeless for, say, the
+//! domain of all URLs. Instead each client inserts its value into a
+//! `rows × cols` count-min sketch (`rows = ⌈ln 1/δ⌉`, `cols = ⌈e/ε⌉`):
+//! one-hot in each row at position `h_j(x)` for pairwise-independent public
+//! hashes `h_j`. The aggregated sketch over-estimates any count by at most
+//! `ε·n` with probability `1 − δ`.
+//!
+//! `Valid` checks the one-hot property per row (`rows·cols` `×` gates) —
+//! this is the robustness upgrade over Melis et al. that the paper
+//! contributes: a malicious client can shift each row's mass by at most one
+//! cell. Leakage: the sketch itself (as the paper notes).
+
+use crate::{Afe, AfeError};
+use prio_circuit::{gadgets, Circuit, CircuitBuilder};
+use prio_field::FieldElement;
+
+/// Parameters (ε, δ) for a count-min sketch.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct SketchParams {
+    /// Additive over-estimate bound as a fraction of `n`.
+    pub epsilon: f64,
+    /// Failure probability of the bound.
+    pub delta: f64,
+}
+
+impl SketchParams {
+    /// The paper's "low resolution" browser-stats configuration
+    /// (δ = 2^−10, ε = 1/10).
+    pub fn low_res() -> Self {
+        SketchParams {
+            epsilon: 0.1,
+            delta: (2.0f64).powi(-10),
+        }
+    }
+
+    /// The paper's "high resolution" configuration (δ = 2^−20, ε = 1/100).
+    pub fn high_res() -> Self {
+        SketchParams {
+            epsilon: 0.01,
+            delta: (2.0f64).powi(-20),
+        }
+    }
+
+    /// Number of hash rows: `⌈ln(1/δ)⌉`.
+    pub fn rows(&self) -> usize {
+        (1.0 / self.delta).ln().ceil().max(1.0) as usize
+    }
+
+    /// Cells per row: `⌈e/ε⌉`.
+    pub fn cols(&self) -> usize {
+        (std::f64::consts::E / self.epsilon).ceil().max(1.0) as usize
+    }
+}
+
+/// Pairwise-independent hash family `h(x) = ((a·x + b) mod P) mod cols`
+/// over the Mersenne prime `P = 2^61 − 1`.
+#[derive(Clone, Debug)]
+struct HashRow {
+    a: u64,
+    b: u64,
+}
+
+const HASH_P: u128 = (1 << 61) - 1;
+
+impl HashRow {
+    fn eval(&self, x: u64, cols: usize) -> usize {
+        let v = ((self.a as u128 * x as u128) + self.b as u128) % HASH_P;
+        (v % cols as u128) as usize
+    }
+}
+
+/// The decoded aggregate: a count-min sketch queryable for any element.
+#[derive(Clone, Debug)]
+pub struct CountMinSketch {
+    rows: Vec<Vec<u64>>,
+    hashes: Vec<HashRow>,
+    cols: usize,
+}
+
+impl CountMinSketch {
+    /// Point query: an upper bound on the number of clients holding `x`
+    /// (within `ε·n` of the truth with probability `1 − δ`).
+    pub fn query(&self, x: u64) -> u64 {
+        self.hashes
+            .iter()
+            .zip(&self.rows)
+            .map(|(h, row)| row[h.eval(x, self.cols)])
+            .min()
+            .unwrap_or(0)
+    }
+}
+
+/// AFE inserting one `u64` per client into a shared count-min sketch.
+#[derive(Clone, Debug)]
+pub struct CountMinAfe {
+    params: SketchParams,
+    hashes: Vec<HashRow>,
+    rows: usize,
+    cols: usize,
+}
+
+impl CountMinAfe {
+    /// Creates a sketch AFE; `deployment_seed` fixes the public hash
+    /// functions (all clients and servers must share it).
+    pub fn new(params: SketchParams, deployment_seed: u64) -> Self {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(deployment_seed);
+        let rows = params.rows();
+        let cols = params.cols();
+        let hashes = (0..rows)
+            .map(|_| HashRow {
+                a: rng.random_range(1..(1u64 << 61) - 1),
+                b: rng.random_range(0..(1u64 << 61) - 1),
+            })
+            .collect();
+        CountMinAfe {
+            params,
+            hashes,
+            rows,
+            cols,
+        }
+    }
+
+    /// Sketch geometry `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> SketchParams {
+        self.params
+    }
+}
+
+impl<F: FieldElement> Afe<F> for CountMinAfe {
+    type Input = u64;
+    type Output = CountMinSketch;
+
+    fn encoded_len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    fn encode<R: rand::Rng + ?Sized>(
+        &self,
+        input: &u64,
+        _rng: &mut R,
+    ) -> Result<Vec<F>, AfeError> {
+        let mut out = vec![F::zero(); self.rows * self.cols];
+        for (j, h) in self.hashes.iter().enumerate() {
+            out[j * self.cols + h.eval(*input, self.cols)] = F::one();
+        }
+        Ok(out)
+    }
+
+    fn valid_circuit(&self) -> Circuit<F> {
+        let mut b = CircuitBuilder::new(self.rows * self.cols);
+        for j in 0..self.rows {
+            let row: Vec<_> = (0..self.cols)
+                .map(|i| b.input(j * self.cols + i))
+                .collect();
+            gadgets::assert_one_hot(&mut b, &row);
+        }
+        b.finish()
+    }
+
+    fn decode(&self, sigma: &[F], _num_clients: usize) -> Result<CountMinSketch, AfeError> {
+        if sigma.len() != self.rows * self.cols {
+            return Err(AfeError::MalformedAggregate("length mismatch".into()));
+        }
+        let mut rows = Vec::with_capacity(self.rows);
+        for j in 0..self.rows {
+            let row: Option<Vec<u64>> = sigma[j * self.cols..(j + 1) * self.cols]
+                .iter()
+                .map(|v| v.try_to_u128().and_then(|c| u64::try_from(c).ok()))
+                .collect();
+            rows.push(row.ok_or_else(|| {
+                AfeError::MalformedAggregate("count overflow".into())
+            })?);
+        }
+        Ok(CountMinSketch {
+            rows,
+            hashes: self.hashes.clone(),
+            cols: self.cols,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::roundtrip;
+    use prio_field::Field64;
+
+    #[test]
+    fn params_shapes() {
+        let low = SketchParams::low_res();
+        assert_eq!(low.rows(), 7); // ceil(ln 2^10) = ceil(6.93)
+        assert_eq!(low.cols(), 28); // ceil(e/0.1)
+        let high = SketchParams::high_res();
+        assert_eq!(high.rows(), 14);
+        assert_eq!(high.cols(), 272);
+    }
+
+    #[test]
+    fn queries_upper_bound_and_are_close() {
+        let afe = CountMinAfe::new(SketchParams::low_res(), 99);
+        // 30 clients: value 7 held by 12, value 1000000007 by 10, others once.
+        let mut inputs = Vec::new();
+        inputs.extend(std::iter::repeat(7u64).take(12));
+        inputs.extend(std::iter::repeat(1_000_000_007u64).take(10));
+        inputs.extend([3u64, 55, 92817, 4_294_967_295, 17, 18, 19, 20]);
+        let sketch = roundtrip::<Field64, _>(&afe, &inputs, 1).unwrap();
+        let n = inputs.len() as u64;
+        // CM sketches never under-estimate.
+        assert!(sketch.query(7) >= 12);
+        assert!(sketch.query(1_000_000_007) >= 10);
+        // ...and with ε = 0.1, over-estimate by at most ~εn (loose check).
+        assert!(sketch.query(7) <= 12 + n / 5);
+        assert!(sketch.query(424242) <= n / 5);
+    }
+
+    #[test]
+    fn one_hot_enforced_per_row() {
+        let afe = CountMinAfe::new(SketchParams::low_res(), 1);
+        let circuit: Circuit<Field64> = afe.valid_circuit();
+        let mut rng = rand::rng();
+        let good: Vec<Field64> = afe.encode(&123, &mut rng).unwrap();
+        assert!(circuit.is_valid(&good));
+        // Stuff 2 marks into the first row.
+        let mut bad = good.clone();
+        let (_, cols) = afe.shape();
+        let extra = (0..cols)
+            .position(|i| bad[i] == Field64::zero())
+            .unwrap();
+        bad[extra] = Field64::one();
+        assert!(!circuit.is_valid(&bad));
+    }
+
+    #[test]
+    fn deployment_seed_fixes_hashes() {
+        let a = CountMinAfe::new(SketchParams::low_res(), 7);
+        let b = CountMinAfe::new(SketchParams::low_res(), 7);
+        let c = CountMinAfe::new(SketchParams::low_res(), 8);
+        let mut rng = rand::rng();
+        let ea: Vec<Field64> = a.encode(&999, &mut rng).unwrap();
+        let eb: Vec<Field64> = b.encode(&999, &mut rng).unwrap();
+        let ec: Vec<Field64> = c.encode(&999, &mut rng).unwrap();
+        assert_eq!(ea, eb);
+        assert_ne!(ea, ec);
+    }
+}

@@ -1,0 +1,226 @@
+//! Integer sum and arithmetic mean (Section 5.2, "Integer sum and mean").
+//!
+//! `Encode(x) = (x, β_0, …, β_{b−1})` where the `β`s are the binary digits
+//! of `x`. `Valid` checks each `β` is a bit and that they recombine to `x`
+//! (`b` multiplication gates). `Decode` reads the first component of the
+//! sum: `σ_1 = Σ x_i`. Leakage: exactly the sum (sum-private).
+
+use crate::{Afe, AfeError};
+use prio_circuit::{gadgets, Circuit, CircuitBuilder};
+use prio_field::FieldElement;
+
+/// AFE for sums of `b`-bit unsigned integers.
+#[derive(Clone, Debug)]
+pub struct SumAfe {
+    bits: u32,
+}
+
+impl SumAfe {
+    /// Creates a sum AFE over `bits`-bit integers (`0 ≤ x < 2^bits`).
+    ///
+    /// # Panics
+    /// Panics if `bits` is 0 or above 64.
+    pub fn new(bits: u32) -> Self {
+        assert!(bits >= 1 && bits <= 64, "bits must be in 1..=64");
+        SumAfe { bits }
+    }
+
+    /// Bit width `b`.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Largest number of clients the field can aggregate without overflow:
+    /// `n·(2^b − 1) < p` must hold.
+    pub fn max_clients<F: FieldElement>(&self) -> u128 {
+        let max_val = (1u128 << self.bits) - 1;
+        if max_val == 0 {
+            return u128::MAX;
+        }
+        // p ≥ 2^(MODULUS_BITS − 1); use a conservative bound that never
+        // overflows u128.
+        let p_lower_bound_bits = F::MODULUS_BITS.min(127) - 1;
+        (1u128 << p_lower_bound_bits) / max_val
+    }
+}
+
+impl<F: FieldElement> Afe<F> for SumAfe {
+    type Input = u64;
+    type Output = u128;
+
+    fn encoded_len(&self) -> usize {
+        1 + self.bits as usize
+    }
+
+    fn trunc_len(&self) -> usize {
+        1
+    }
+
+    fn encode<R: rand::Rng + ?Sized>(
+        &self,
+        input: &u64,
+        _rng: &mut R,
+    ) -> Result<Vec<F>, AfeError> {
+        if self.bits < 64 && *input >= (1u64 << self.bits) {
+            return Err(AfeError::InputOutOfRange(format!(
+                "{input} does not fit in {} bits",
+                self.bits
+            )));
+        }
+        let mut out = Vec::with_capacity(Afe::<F>::encoded_len(self));
+        out.push(F::from_u64(*input));
+        for i in 0..self.bits {
+            out.push(F::from_u64((*input >> i) & 1));
+        }
+        Ok(out)
+    }
+
+    fn valid_circuit(&self) -> Circuit<F> {
+        let mut b = CircuitBuilder::new(Afe::<F>::encoded_len(self));
+        let x = b.input(0);
+        let bit_wires: Vec<_> = (1..=self.bits as usize).map(|i| b.input(i)).collect();
+        gadgets::assert_range_by_bits(&mut b, x, &bit_wires);
+        b.finish()
+    }
+
+    fn decode(&self, sigma: &[F], _num_clients: usize) -> Result<u128, AfeError> {
+        if sigma.len() != 1 {
+            return Err(AfeError::MalformedAggregate(format!(
+                "expected 1 component, got {}",
+                sigma.len()
+            )));
+        }
+        sigma[0]
+            .try_to_u128()
+            .ok_or_else(|| AfeError::MalformedAggregate("sum exceeds u128".into()))
+    }
+}
+
+/// AFE for the arithmetic mean of `b`-bit integers: identical wire format
+/// to [`SumAfe`]; `decode` divides by `n` over the rationals.
+#[derive(Clone, Debug)]
+pub struct MeanAfe {
+    inner: SumAfe,
+}
+
+impl MeanAfe {
+    /// Creates a mean AFE over `bits`-bit integers.
+    pub fn new(bits: u32) -> Self {
+        MeanAfe {
+            inner: SumAfe::new(bits),
+        }
+    }
+}
+
+impl<F: FieldElement> Afe<F> for MeanAfe {
+    type Input = u64;
+    type Output = f64;
+
+    fn encoded_len(&self) -> usize {
+        Afe::<F>::encoded_len(&self.inner)
+    }
+
+    fn trunc_len(&self) -> usize {
+        1
+    }
+
+    fn encode<R: rand::Rng + ?Sized>(&self, input: &u64, rng: &mut R) -> Result<Vec<F>, AfeError> {
+        self.inner.encode(input, rng)
+    }
+
+    fn valid_circuit(&self) -> Circuit<F> {
+        self.inner.valid_circuit()
+    }
+
+    fn decode(&self, sigma: &[F], num_clients: usize) -> Result<f64, AfeError> {
+        if num_clients == 0 {
+            return Err(AfeError::MalformedAggregate("mean of zero clients".into()));
+        }
+        let total: u128 = self.inner.decode(sigma, num_clients)?;
+        Ok(total as f64 / num_clients as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::roundtrip;
+    use prio_field::{Field128, Field64};
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sum_roundtrip() {
+        let afe = SumAfe::new(4);
+        let inputs: Vec<u64> = vec![0, 15, 7, 3, 8];
+        let total = roundtrip::<Field64, _>(&afe, &inputs, 1).unwrap();
+        assert_eq!(total, 33);
+    }
+
+    #[test]
+    fn sum_rejects_out_of_range_input() {
+        let afe = SumAfe::new(4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let res: Result<Vec<Field64>, _> = afe.encode(&16, &mut rng);
+        assert!(matches!(res, Err(AfeError::InputOutOfRange(_))));
+    }
+
+    #[test]
+    fn valid_rejects_lying_encodings() {
+        let afe = SumAfe::new(4);
+        let circuit: prio_circuit::Circuit<Field64> = afe.valid_circuit();
+        // Claim x = 10 but bits say 2: robustness attack from Section 1.
+        let mut enc: Vec<Field64> = vec![
+            Field64::from_u64(10),
+            Field64::zero(),
+            Field64::one(),
+            Field64::zero(),
+            Field64::zero(),
+        ];
+        assert!(!circuit.is_valid(&enc));
+        // Claim a huge x with non-bit digits.
+        enc[1] = Field64::from_u64(999);
+        assert!(!circuit.is_valid(&enc));
+    }
+
+    #[test]
+    fn mean_roundtrip() {
+        let afe = MeanAfe::new(8);
+        let inputs: Vec<u64> = vec![10, 20, 30, 40];
+        let mean = roundtrip::<Field64, _>(&afe, &inputs, 3).unwrap();
+        assert!((mean - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gate_count_is_b() {
+        for bits in [1u32, 4, 14, 32] {
+            let afe = SumAfe::new(bits);
+            let c: prio_circuit::Circuit<Field128> = afe.valid_circuit();
+            assert_eq!(c.num_mul_gates(), bits as usize);
+        }
+    }
+
+    #[test]
+    fn max_clients_reasonable() {
+        let afe = SumAfe::new(4);
+        assert!(afe.max_clients::<Field64>() > 1u128 << 50);
+    }
+
+    proptest! {
+        #[test]
+        fn sum_matches_reference(values in prop::collection::vec(0u64..256, 1..20)) {
+            let afe = SumAfe::new(8);
+            let expect: u128 = values.iter().map(|&v| v as u128).sum();
+            let got = roundtrip::<Field64, _>(&afe, &values, 42).unwrap();
+            prop_assert_eq!(got, expect);
+        }
+
+        #[test]
+        fn encodings_always_validate(v in 0u64..16) {
+            let afe = SumAfe::new(4);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(v);
+            let e: Vec<Field64> = afe.encode(&v, &mut rng).unwrap();
+            prop_assert!(afe.is_valid_encoding(&e));
+        }
+    }
+}

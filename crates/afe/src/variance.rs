@@ -1,0 +1,181 @@
+//! Variance and standard deviation (Section 5.2, "Variance and stddev").
+//!
+//! Uses `Var(X) = E[X²] − E[X]²`: each client encodes `(x, x²)`, both with
+//! their binary digits so the servers can range-check them, plus one `×`
+//! gate asserting the square relation. Leakage `f̂`: the mean *and* the
+//! variance (the paper notes this AFE is private w.r.t. the pair).
+
+use crate::{Afe, AfeError};
+use prio_circuit::{gadgets, Circuit, CircuitBuilder};
+use prio_field::FieldElement;
+
+/// Decoded output of the variance AFE.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct MeanVar {
+    /// `E[X]`.
+    pub mean: f64,
+    /// `Var(X) = E[X²] − E[X]²`.
+    pub variance: f64,
+}
+
+impl MeanVar {
+    /// Standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance.max(0.0).sqrt()
+    }
+}
+
+/// AFE for the variance of `b`-bit integers.
+///
+/// Layout: `(x, x², bits(x) [b], bits(x²) [2b])`, so `k = 2 + 3b` and
+/// `k' = 2` (only `Σx` and `Σx²` are accumulated).
+#[derive(Clone, Debug)]
+pub struct VarianceAfe {
+    bits: u32,
+}
+
+impl VarianceAfe {
+    /// Creates a variance AFE over `bits`-bit integers.
+    ///
+    /// # Panics
+    /// Panics unless `1 ≤ bits ≤ 31` (so `x²` fits in 62 bits).
+    pub fn new(bits: u32) -> Self {
+        assert!(bits >= 1 && bits <= 31, "bits must be in 1..=31");
+        VarianceAfe { bits }
+    }
+}
+
+impl<F: FieldElement> Afe<F> for VarianceAfe {
+    type Input = u64;
+    type Output = MeanVar;
+
+    fn encoded_len(&self) -> usize {
+        2 + 3 * self.bits as usize
+    }
+
+    fn trunc_len(&self) -> usize {
+        2
+    }
+
+    fn encode<R: rand::Rng + ?Sized>(
+        &self,
+        input: &u64,
+        _rng: &mut R,
+    ) -> Result<Vec<F>, AfeError> {
+        if *input >= (1u64 << self.bits) {
+            return Err(AfeError::InputOutOfRange(format!(
+                "{input} does not fit in {} bits",
+                self.bits
+            )));
+        }
+        let sq = input * input;
+        let mut out = Vec::with_capacity(Afe::<F>::encoded_len(self));
+        out.push(F::from_u64(*input));
+        out.push(F::from_u64(sq));
+        for i in 0..self.bits {
+            out.push(F::from_u64((*input >> i) & 1));
+        }
+        for i in 0..2 * self.bits {
+            out.push(F::from_u64((sq >> i) & 1));
+        }
+        Ok(out)
+    }
+
+    fn valid_circuit(&self) -> Circuit<F> {
+        let b_usize = self.bits as usize;
+        let mut b = CircuitBuilder::new(Afe::<F>::encoded_len(self));
+        let x = b.input(0);
+        let xsq = b.input(1);
+        let x_bits: Vec<_> = (0..b_usize).map(|i| b.input(2 + i)).collect();
+        let sq_bits: Vec<_> = (0..2 * b_usize).map(|i| b.input(2 + b_usize + i)).collect();
+        gadgets::assert_range_by_bits(&mut b, x, &x_bits);
+        gadgets::assert_range_by_bits(&mut b, xsq, &sq_bits);
+        gadgets::assert_square(&mut b, x, xsq);
+        b.finish()
+    }
+
+    fn decode(&self, sigma: &[F], num_clients: usize) -> Result<MeanVar, AfeError> {
+        if sigma.len() != 2 {
+            return Err(AfeError::MalformedAggregate(format!(
+                "expected 2 components, got {}",
+                sigma.len()
+            )));
+        }
+        if num_clients == 0 {
+            return Err(AfeError::MalformedAggregate("zero clients".into()));
+        }
+        let sum_x = sigma[0]
+            .try_to_u128()
+            .ok_or_else(|| AfeError::MalformedAggregate("Σx overflow".into()))?;
+        let sum_sq = sigma[1]
+            .try_to_u128()
+            .ok_or_else(|| AfeError::MalformedAggregate("Σx² overflow".into()))?;
+        let n = num_clients as f64;
+        let mean = sum_x as f64 / n;
+        let variance = sum_sq as f64 / n - mean * mean;
+        Ok(MeanVar { mean, variance })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::roundtrip;
+    use prio_field::Field64;
+    use proptest::prelude::*;
+
+    fn reference(values: &[u64]) -> MeanVar {
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<u64>() as f64 / n;
+        let var = values.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n;
+        MeanVar {
+            mean,
+            variance: var,
+        }
+    }
+
+    #[test]
+    fn variance_roundtrip() {
+        let afe = VarianceAfe::new(8);
+        let inputs = vec![1u64, 5, 9, 13];
+        let out = roundtrip::<Field64, _>(&afe, &inputs, 1).unwrap();
+        let expect = reference(&inputs);
+        assert!((out.mean - expect.mean).abs() < 1e-9);
+        assert!((out.variance - expect.variance).abs() < 1e-6);
+        assert!((out.stddev() - expect.variance.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn constant_inputs_have_zero_variance() {
+        let afe = VarianceAfe::new(6);
+        let out = roundtrip::<Field64, _>(&afe, &vec![42u64; 10], 2).unwrap();
+        assert!((out.mean - 42.0).abs() < 1e-9);
+        assert!(out.variance.abs() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_square_lie() {
+        let afe = VarianceAfe::new(4);
+        let circuit: prio_circuit::Circuit<Field64> = afe.valid_circuit();
+        let mut rng = rand::rng();
+        let mut enc: Vec<Field64> = afe.encode(&5u64, &mut rng).unwrap();
+        assert!(circuit.is_valid(&enc));
+        // Claim x² = 26 (and fix up its bits accordingly): x·x ≠ 26.
+        enc[1] = Field64::from_u64(26);
+        for i in 0..8u64 {
+            enc[2 + 4 + i as usize] = Field64::from_u64((26 >> i) & 1);
+        }
+        assert!(!circuit.is_valid(&enc));
+    }
+
+    proptest! {
+        #[test]
+        fn matches_reference(values in prop::collection::vec(0u64..64, 2..15)) {
+            let afe = VarianceAfe::new(6);
+            let out = roundtrip::<Field64, _>(&afe, &values, 7).unwrap();
+            let expect = reference(&values);
+            prop_assert!((out.mean - expect.mean).abs() < 1e-9);
+            prop_assert!((out.variance - expect.variance).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! The comparison systems from the paper's evaluation (Section 6):
+//!
+//! * [`noprivacy`] — a single server collecting plaintext submissions
+//!   ("No privacy" line of Figures 4, 5, 8; Table 9). The performance
+//!   ceiling.
+//! * [`norobust`] — the Section-3 secret-sharing scheme with no proof at
+//!   all ("No robustness"). Privacy but a single malicious client can
+//!   corrupt the aggregate.
+//! * [`nizk`] — private aggregation with per-component Pedersen commitments
+//!   and Chaum–Pedersen OR-proofs over our ed25519 group, standing in for
+//!   the paper's discrete-log NIZK baseline (Kursawe et al. / PrivEx
+//!   style). Robust, but every bit costs the client and servers public-key
+//!   operations.
+//! * [`snark`] — an analytic cost model for zkSNARK-based submissions
+//!   (Pinocchio/libsnark), exactly as the paper estimates rather than runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod nizk;
+pub mod noprivacy;
+pub mod norobust;
+pub mod snark;

@@ -1,0 +1,95 @@
+//! The "no privacy" baseline: one server, plaintext submissions.
+//!
+//! Matches the paper's dummy scheme "in which a single server accepts
+//! encrypted client data submissions directly from the clients with no
+//! privacy protection whatsoever" — the throughput ceiling every figure
+//! normalizes against. Client cost is just serialization (plus transport
+//! encryption, handled elsewhere); server cost is one vector addition.
+
+use prio_field::FieldElement;
+use prio_net::wire::{get_field_vec, put_field_vec, WireError};
+
+/// Builds the plaintext submission packet for an encoding.
+pub fn client_packet<F: FieldElement>(encoding: &[F]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(4 + encoding.len() * F::ENCODED_LEN);
+    put_field_vec(&mut buf, encoding);
+    buf
+}
+
+/// The single aggregation server.
+pub struct NoPrivacyServer<F: FieldElement> {
+    accumulator: Vec<F>,
+    processed: u64,
+}
+
+impl<F: FieldElement> NoPrivacyServer<F> {
+    /// Creates a server accumulating vectors of length `len`.
+    pub fn new(len: usize) -> Self {
+        NoPrivacyServer {
+            accumulator: vec![F::zero(); len],
+            processed: 0,
+        }
+    }
+
+    /// Parses and accumulates one submission.
+    pub fn process(&mut self, packet: &[u8]) -> Result<(), WireError> {
+        let mut slice = packet;
+        let v: Vec<F> = get_field_vec(&mut slice)?;
+        if v.len() != self.accumulator.len() {
+            return Err(WireError("submission length mismatch"));
+        }
+        for (acc, x) in self.accumulator.iter_mut().zip(v) {
+            *acc += x;
+        }
+        self.processed += 1;
+        Ok(())
+    }
+
+    /// The aggregate.
+    pub fn aggregate(&self) -> &[F] {
+        &self.accumulator
+    }
+
+    /// Number of processed submissions.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prio_field::Field64;
+
+    #[test]
+    fn sums_plaintext() {
+        let mut server = NoPrivacyServer::<Field64>::new(3);
+        server
+            .process(&client_packet(&[1u64, 2, 3].map(Field64::from_u64)))
+            .unwrap();
+        server
+            .process(&client_packet(&[10u64, 20, 30].map(Field64::from_u64)))
+            .unwrap();
+        assert_eq!(
+            server.aggregate(),
+            &[11u64, 22, 33].map(Field64::from_u64)
+        );
+        assert_eq!(server.processed(), 2);
+    }
+
+    #[test]
+    fn rejects_wrong_length() {
+        let mut server = NoPrivacyServer::<Field64>::new(3);
+        assert!(server
+            .process(&client_packet(&[Field64::from_u64(1)]))
+            .is_err());
+    }
+
+    #[test]
+    fn no_privacy_at_all() {
+        // The point of the baseline: the packet literally contains x.
+        let packet = client_packet(&[Field64::from_u64(42)]);
+        // First 4 bytes are the length prefix; the value is readable.
+        assert_eq!(u64::from_le_bytes(packet[4..12].try_into().unwrap()), 42);
+    }
+}

@@ -1,0 +1,227 @@
+//! A builder for [`Circuit`]s.
+
+use crate::{Circuit, Op, WireId};
+use prio_field::FieldElement;
+
+/// Incrementally constructs a [`Circuit`] in topological order.
+///
+/// ```
+/// use prio_circuit::CircuitBuilder;
+/// use prio_field::{Field64, FieldElement};
+///
+/// // Valid iff x0 is a bit: x0 * (x0 - 1) == 0.
+/// let mut b = CircuitBuilder::<Field64>::new(1);
+/// let x = b.input(0);
+/// let xm1 = b.add_const(x, -Field64::one());
+/// let prod = b.mul(x, xm1);
+/// b.assert_zero(prod);
+/// let circuit = b.finish();
+/// assert!(circuit.is_valid(&[Field64::one()]));
+/// assert!(!circuit.is_valid(&[Field64::from_u64(2)]));
+/// ```
+#[derive(Clone, Debug)]
+pub struct CircuitBuilder<F: FieldElement> {
+    num_inputs: usize,
+    ops: Vec<Op<F>>,
+    mul_gates: Vec<usize>,
+    assertions: Vec<WireId>,
+}
+
+impl<F: FieldElement> CircuitBuilder<F> {
+    /// Starts a circuit over `num_inputs` input wires.
+    pub fn new(num_inputs: usize) -> Self {
+        CircuitBuilder {
+            num_inputs,
+            ops: Vec::new(),
+            mul_gates: Vec::new(),
+            assertions: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, op: Op<F>) -> WireId {
+        let id = WireId(self.num_inputs + self.ops.len());
+        self.ops.push(op);
+        id
+    }
+
+    fn check(&self, w: WireId) {
+        assert!(
+            w.0 < self.num_inputs + self.ops.len(),
+            "wire {:?} does not exist yet",
+            w
+        );
+    }
+
+    /// References input wire `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= num_inputs`.
+    pub fn input(&self, i: usize) -> WireId {
+        assert!(i < self.num_inputs, "input index out of range");
+        WireId(i)
+    }
+
+    /// All input wires.
+    pub fn inputs(&self) -> Vec<WireId> {
+        (0..self.num_inputs).map(WireId).collect()
+    }
+
+    /// Introduces a public constant wire.
+    pub fn constant(&mut self, c: F) -> WireId {
+        self.push(Op::Const(c))
+    }
+
+    /// `a + b`.
+    pub fn add(&mut self, a: WireId, b: WireId) -> WireId {
+        self.check(a);
+        self.check(b);
+        self.push(Op::Add(a, b))
+    }
+
+    /// `a - b`.
+    pub fn sub(&mut self, a: WireId, b: WireId) -> WireId {
+        self.check(a);
+        self.check(b);
+        self.push(Op::Sub(a, b))
+    }
+
+    /// `a · c` for a public constant `c` (free: not a `×` gate).
+    pub fn mul_const(&mut self, a: WireId, c: F) -> WireId {
+        self.check(a);
+        self.push(Op::MulConst(a, c))
+    }
+
+    /// `a + c` for a public constant `c`.
+    pub fn add_const(&mut self, a: WireId, c: F) -> WireId {
+        self.check(a);
+        self.push(Op::AddConst(a, c))
+    }
+
+    /// `a · b` — a true multiplication gate, counted in `M`.
+    pub fn mul(&mut self, a: WireId, b: WireId) -> WireId {
+        self.check(a);
+        self.check(b);
+        let op_idx = self.ops.len();
+        let id = self.push(Op::Mul(a, b));
+        self.mul_gates.push(op_idx);
+        id
+    }
+
+    /// Sums a list of wires (empty sum is the zero constant).
+    pub fn sum(&mut self, wires: &[WireId]) -> WireId {
+        match wires.split_first() {
+            None => self.constant(F::zero()),
+            Some((&first, rest)) => {
+                let mut acc = first;
+                for &w in rest {
+                    acc = self.add(acc, w);
+                }
+                acc
+            }
+        }
+    }
+
+    /// Computes `Σ coeff_i · w_i` (an affine combination; free).
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn weighted_sum(&mut self, wires: &[WireId], coeffs: &[F]) -> WireId {
+        assert_eq!(wires.len(), coeffs.len(), "length mismatch");
+        let terms: Vec<WireId> = wires
+            .iter()
+            .zip(coeffs)
+            .map(|(&w, &c)| self.mul_const(w, c))
+            .collect();
+        self.sum(&terms)
+    }
+
+    /// Asserts that `w` must be zero for a valid input.
+    pub fn assert_zero(&mut self, w: WireId) {
+        self.check(w);
+        self.assertions.push(w);
+    }
+
+    /// Asserts `a == b`.
+    pub fn assert_eq(&mut self, a: WireId, b: WireId) {
+        let d = self.sub(a, b);
+        self.assert_zero(d);
+    }
+
+    /// Asserts `w == c` for a public constant.
+    pub fn assert_const(&mut self, w: WireId, c: F) {
+        let d = self.add_const(w, -c);
+        self.assert_zero(d);
+    }
+
+    /// Number of `×` gates so far.
+    pub fn num_mul_gates(&self) -> usize {
+        self.mul_gates.len()
+    }
+
+    /// Finalizes the circuit.
+    ///
+    /// # Panics
+    /// Panics if no assertion was registered (a `Valid` predicate that
+    /// accepts everything should still assert a constant zero explicitly).
+    pub fn finish(self) -> Circuit<F> {
+        assert!(
+            !self.assertions.is_empty(),
+            "circuit has no assertions; call assert_zero at least once"
+        );
+        Circuit::from_parts(self.num_inputs, self.ops, self.mul_gates, self.assertions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prio_field::Field64;
+
+    #[test]
+    fn weighted_sum_matches_manual() {
+        let mut b = CircuitBuilder::<Field64>::new(3);
+        let wires = b.inputs();
+        let coeffs = [1u64, 2, 4].map(Field64::from_u64);
+        let ws = b.weighted_sum(&wires, &coeffs);
+        b.assert_const(ws, Field64::from_u64(11));
+        let c = b.finish();
+        // 1*1 + 2*1 + 4*2 = 11
+        assert!(c.is_valid(&[1, 1, 2].map(Field64::from_u64)));
+        assert!(!c.is_valid(&[1, 1, 3].map(Field64::from_u64)));
+        assert_eq!(c.num_mul_gates(), 0);
+    }
+
+    #[test]
+    fn empty_sum_is_zero() {
+        let mut b = CircuitBuilder::<Field64>::new(1);
+        let z = b.sum(&[]);
+        b.assert_zero(z);
+        let c = b.finish();
+        assert!(c.is_valid(&[Field64::from_u64(123)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "no assertions")]
+    fn finish_requires_assertion() {
+        let b = CircuitBuilder::<Field64>::new(1);
+        let _ = b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn input_bounds() {
+        let b = CircuitBuilder::<Field64>::new(2);
+        let _ = b.input(2);
+    }
+
+    #[test]
+    fn assert_eq_works() {
+        let mut b = CircuitBuilder::<Field64>::new(2);
+        let x = b.input(0);
+        let y = b.input(1);
+        b.assert_eq(x, y);
+        let c = b.finish();
+        assert!(c.is_valid(&[5, 5].map(Field64::from_u64)));
+        assert!(!c.is_valid(&[5, 6].map(Field64::from_u64)));
+    }
+}

@@ -1,0 +1,195 @@
+//! Reusable circuit gadgets for building `Valid` predicates.
+//!
+//! These encode the recurring patterns of Section 5.2: bit checks, binary
+//! decomposition consistency, one-hot checks, and squaring relations. Each
+//! gadget documents its `×`-gate cost, since SNIP proof size is linear in
+//! the total count (Table 2).
+
+use crate::{CircuitBuilder, WireId};
+use prio_field::FieldElement;
+
+/// Asserts that `w ∈ {0, 1}` by requiring `w·(w − 1) = 0`.
+///
+/// Cost: 1 `×` gate.
+pub fn assert_bit<F: FieldElement>(b: &mut CircuitBuilder<F>, w: WireId) {
+    let wm1 = b.add_const(w, -F::one());
+    let prod = b.mul(w, wm1);
+    b.assert_zero(prod);
+}
+
+/// Asserts that every wire in `ws` is a bit.
+///
+/// Cost: `ws.len()` `×` gates.
+pub fn assert_bits<F: FieldElement>(b: &mut CircuitBuilder<F>, ws: &[WireId]) {
+    for &w in ws {
+        assert_bit(b, w);
+    }
+}
+
+/// Asserts that `value = Σ 2^i · bits[i]` — the binary-decomposition
+/// consistency check of the integer-sum AFE ("the bits represent x").
+///
+/// Cost: 0 `×` gates (affine).
+pub fn assert_binary_decomposition<F: FieldElement>(
+    b: &mut CircuitBuilder<F>,
+    value: WireId,
+    bits: &[WireId],
+) {
+    let mut pow = F::one();
+    let coeffs: Vec<F> = bits
+        .iter()
+        .map(|_| {
+            let c = pow;
+            pow = pow + pow;
+            c
+        })
+        .collect();
+    let recombined = b.weighted_sum(bits, &coeffs);
+    b.assert_eq(value, recombined);
+}
+
+/// Asserts that `x` is a `bit_width`-bit integer, given its claimed bit
+/// wires: all bits are 0/1 and they recombine to `x`.
+///
+/// Cost: `bit_width` `×` gates.
+pub fn assert_range_by_bits<F: FieldElement>(
+    b: &mut CircuitBuilder<F>,
+    x: WireId,
+    bits: &[WireId],
+) {
+    assert_bits(b, bits);
+    assert_binary_decomposition(b, x, bits);
+}
+
+/// Asserts that the wires form a one-hot vector: each is a bit and they sum
+/// to exactly one (the frequency-count AFE check of Section 5.2).
+///
+/// Cost: `ws.len()` `×` gates.
+pub fn assert_one_hot<F: FieldElement>(b: &mut CircuitBuilder<F>, ws: &[WireId]) {
+    assert_bits(b, ws);
+    let total = b.sum(ws);
+    b.assert_const(total, F::one());
+}
+
+/// Asserts `y = x²` (the variance AFE's consistency check).
+///
+/// Cost: 1 `×` gate.
+pub fn assert_square<F: FieldElement>(b: &mut CircuitBuilder<F>, x: WireId, y: WireId) {
+    let xx = b.mul(x, x);
+    b.assert_eq(y, xx);
+}
+
+/// Asserts `z = x·y` (the regression AFE's cross-term check).
+///
+/// Cost: 1 `×` gate.
+pub fn assert_product<F: FieldElement>(
+    b: &mut CircuitBuilder<F>,
+    x: WireId,
+    y: WireId,
+    z: WireId,
+) {
+    let xy = b.mul(x, y);
+    b.assert_eq(z, xy);
+}
+
+/// Asserts that the unary ("threshold") encoding used by the min/max AFE is
+/// monotone non-increasing: each wire is a bit and `w[i] ≥ w[i+1]`, enforced
+/// as `(w[i+1])·(w[i+1] − w[i]) = 0` combined with bit checks.
+///
+/// Cost: `2·ws.len() − 1` `×` gates.
+pub fn assert_monotone_bits<F: FieldElement>(b: &mut CircuitBuilder<F>, ws: &[WireId]) {
+    assert_bits(b, ws);
+    for pair in ws.windows(2) {
+        let (hi, lo) = (pair[0], pair[1]);
+        // If lo = 1 then hi must be 1: lo·(lo − hi) = 0.
+        let diff = b.sub(lo, hi);
+        let prod = b.mul(lo, diff);
+        b.assert_zero(prod);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prio_field::Field64;
+
+    fn f(vals: &[u64]) -> Vec<Field64> {
+        vals.iter().map(|&v| Field64::from_u64(v)).collect()
+    }
+
+    #[test]
+    fn bit_gadget() {
+        let mut b = CircuitBuilder::<Field64>::new(1);
+        let x = b.input(0);
+        assert_bit(&mut b, x);
+        let c = b.finish();
+        assert!(c.is_valid(&f(&[0])));
+        assert!(c.is_valid(&f(&[1])));
+        assert!(!c.is_valid(&f(&[2])));
+        assert_eq!(c.num_mul_gates(), 1);
+    }
+
+    #[test]
+    fn binary_decomposition_gadget() {
+        // Inputs: x, b0, b1, b2 — valid iff bits are 0/1 and x = b0+2b1+4b2.
+        let mut b = CircuitBuilder::<Field64>::new(4);
+        let x = b.input(0);
+        let bits = [b.input(1), b.input(2), b.input(3)];
+        assert_range_by_bits(&mut b, x, &bits);
+        let c = b.finish();
+        assert!(c.is_valid(&f(&[5, 1, 0, 1])));
+        assert!(c.is_valid(&f(&[0, 0, 0, 0])));
+        assert!(c.is_valid(&f(&[7, 1, 1, 1])));
+        assert!(!c.is_valid(&f(&[5, 1, 0, 0]))); // bits say 1, x says 5
+        assert!(!c.is_valid(&f(&[5, 5, 0, 1]))); // non-bit
+        assert_eq!(c.num_mul_gates(), 3);
+    }
+
+    #[test]
+    fn one_hot_gadget() {
+        let mut b = CircuitBuilder::<Field64>::new(4);
+        let ws = b.inputs();
+        assert_one_hot(&mut b, &ws);
+        let c = b.finish();
+        assert!(c.is_valid(&f(&[0, 0, 1, 0])));
+        assert!(!c.is_valid(&f(&[0, 0, 0, 0]))); // sums to 0
+        assert!(!c.is_valid(&f(&[1, 0, 1, 0]))); // sums to 2
+        assert!(!c.is_valid(&f(&[0, 0, 2, 0]))); // non-bit even though... 2 is not a bit
+    }
+
+    #[test]
+    fn square_gadget() {
+        let mut b = CircuitBuilder::<Field64>::new(2);
+        let x = b.input(0);
+        let y = b.input(1);
+        assert_square(&mut b, x, y);
+        let c = b.finish();
+        assert!(c.is_valid(&f(&[9, 81])));
+        assert!(!c.is_valid(&f(&[9, 80])));
+    }
+
+    #[test]
+    fn product_gadget() {
+        let mut b = CircuitBuilder::<Field64>::new(3);
+        let (x, y, z) = (b.input(0), b.input(1), b.input(2));
+        assert_product(&mut b, x, y, z);
+        let c = b.finish();
+        assert!(c.is_valid(&f(&[3, 7, 21])));
+        assert!(!c.is_valid(&f(&[3, 7, 22])));
+    }
+
+    #[test]
+    fn monotone_gadget() {
+        let mut b = CircuitBuilder::<Field64>::new(4);
+        let ws = b.inputs();
+        assert_monotone_bits(&mut b, &ws);
+        let c = b.finish();
+        assert!(c.is_valid(&f(&[1, 1, 1, 0])));
+        assert!(c.is_valid(&f(&[1, 0, 0, 0])));
+        assert!(c.is_valid(&f(&[0, 0, 0, 0])));
+        assert!(c.is_valid(&f(&[1, 1, 1, 1])));
+        assert!(!c.is_valid(&f(&[0, 1, 1, 0]))); // rises after a fall
+        assert!(!c.is_valid(&f(&[1, 0, 1, 0])));
+        assert_eq!(c.num_mul_gates(), 4 + 3);
+    }
+}

@@ -1,0 +1,344 @@
+//! Arithmetic circuits for Prio `Valid` predicates.
+//!
+//! A Prio server must decide whether a client's secret-shared vector `x`
+//! satisfies an arbitrary public predicate `Valid(x)` (Section 4 of the
+//! paper). `Valid` is expressed as an *arithmetic circuit* over the Prio
+//! field: addition, subtraction, multiplication-by-constant, and — the only
+//! expensive kind — `×` gates between two non-constant wires. The SNIP proof
+//! length and the client's proving time both scale with the number `M` of
+//! `×` gates (Table 2), so AFE designers work hard to minimize it
+//! (Section 5.2).
+//!
+//! Two evaluation modes matter:
+//!
+//! * [`Circuit::evaluate`]: the client evaluates the circuit in the clear to
+//!   learn every wire value (SNIP Step 1);
+//! * [`Circuit::evaluate_on_shares`]: each server walks the same circuit
+//!   over *additive shares*, substituting the client-supplied share of
+//!   `h(t)` for the output of the `t`-th `×` gate (SNIP Step 2). Affine
+//!   gates commute with additive sharing, so this needs no communication.
+//!
+//! Following the paper's Appendix-I "circuit optimization", a circuit has a
+//! *list* of assertion wires that must all evaluate to zero for the input to
+//! be valid; the verifier checks a random linear combination of them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod gadgets;
+
+pub use builder::CircuitBuilder;
+
+use prio_field::FieldElement;
+
+/// Identifies a wire: inputs come first (`0..num_inputs`), then one wire per
+/// operation in topological order.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct WireId(pub usize);
+
+/// A circuit operation. Each op defines one new wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op<F: FieldElement> {
+    /// A public constant.
+    Const(F),
+    /// Wire addition.
+    Add(WireId, WireId),
+    /// Wire subtraction.
+    Sub(WireId, WireId),
+    /// Multiplication by a public constant.
+    MulConst(WireId, F),
+    /// Addition of a public constant.
+    AddConst(WireId, F),
+    /// A true multiplication gate between two non-constant wires; the `t`-th
+    /// such gate (in topological order) is bound to `h(t)` in the SNIP.
+    Mul(WireId, WireId),
+}
+
+/// An arithmetic circuit representing a `Valid` predicate.
+///
+/// The input is valid iff *every* wire in `assertions` evaluates to zero.
+#[derive(Clone, Debug)]
+pub struct Circuit<F: FieldElement> {
+    num_inputs: usize,
+    ops: Vec<Op<F>>,
+    /// Indices into `ops` of the `Mul` gates, in topological order.
+    mul_gates: Vec<usize>,
+    /// Wires that must all be zero for a valid input.
+    assertions: Vec<WireId>,
+}
+
+/// The clear-text evaluation trace of a circuit: everything the SNIP prover
+/// needs from Step 1.
+#[derive(Clone, Debug)]
+pub struct Trace<F: FieldElement> {
+    /// Value of every wire (inputs then op outputs).
+    pub wires: Vec<F>,
+    /// Left inputs `u_t` of each `×` gate, `t = 1..=M` (index 0 unused by
+    /// the caller, which prepends the random `u_0`).
+    pub mul_left: Vec<F>,
+    /// Right inputs `v_t` of each `×` gate.
+    pub mul_right: Vec<F>,
+    /// Values of the assertion wires.
+    pub assertions: Vec<F>,
+}
+
+/// The share-side evaluation result at one server: shares of the `×`-gate
+/// input wires and of the assertion wires.
+#[derive(Clone, Debug)]
+pub struct ShareTrace<F: FieldElement> {
+    /// Shares of `u_t` for `t = 1..=M`.
+    pub mul_left: Vec<F>,
+    /// Shares of `v_t` for `t = 1..=M`.
+    pub mul_right: Vec<F>,
+    /// Shares of the assertion wires.
+    pub assertions: Vec<F>,
+}
+
+impl<F: FieldElement> Circuit<F> {
+    /// Number of input wires.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number `M` of true multiplication gates.
+    pub fn num_mul_gates(&self) -> usize {
+        self.mul_gates.len()
+    }
+
+    /// Number of assertion (must-be-zero) wires.
+    pub fn num_assertions(&self) -> usize {
+        self.assertions.len()
+    }
+
+    /// Total number of wires (inputs + op outputs).
+    pub fn num_wires(&self) -> usize {
+        self.num_inputs + self.ops.len()
+    }
+
+    /// Evaluates the circuit in the clear (the client side, SNIP Step 1).
+    ///
+    /// # Panics
+    /// Panics if `input.len() != self.num_inputs()`.
+    pub fn evaluate(&self, input: &[F]) -> Trace<F> {
+        assert_eq!(input.len(), self.num_inputs, "input arity mismatch");
+        let mut wires = Vec::with_capacity(self.num_wires());
+        wires.extend_from_slice(input);
+        let mut mul_left = Vec::with_capacity(self.mul_gates.len());
+        let mut mul_right = Vec::with_capacity(self.mul_gates.len());
+        for op in &self.ops {
+            let v = match *op {
+                Op::Const(c) => c,
+                Op::Add(a, b) => wires[a.0] + wires[b.0],
+                Op::Sub(a, b) => wires[a.0] - wires[b.0],
+                Op::MulConst(a, c) => wires[a.0] * c,
+                Op::AddConst(a, c) => wires[a.0] + c,
+                Op::Mul(a, b) => {
+                    mul_left.push(wires[a.0]);
+                    mul_right.push(wires[b.0]);
+                    wires[a.0] * wires[b.0]
+                }
+            };
+            wires.push(v);
+        }
+        let assertions = self.assertions.iter().map(|w| wires[w.0]).collect();
+        Trace {
+            wires,
+            mul_left,
+            mul_right,
+            assertions,
+        }
+    }
+
+    /// Returns true iff every assertion wire evaluates to zero on `input`.
+    pub fn is_valid(&self, input: &[F]) -> bool {
+        self.evaluate(input)
+            .assertions
+            .iter()
+            .all(|&a| a == F::zero())
+    }
+
+    /// Evaluates the circuit over additive shares (the server side, SNIP
+    /// Step 2).
+    ///
+    /// * `input_share` — this server's share of the client vector `x`;
+    /// * `mul_output_shares` — this server's shares of the `×`-gate output
+    ///   values, i.e. `[h(ω^t)]` for `t = 1..=M` (from the client's proof);
+    /// * `is_leader` — exactly one server must pass `true`: additive sharing
+    ///   of a public constant `c` is `c` at the leader and `0` elsewhere.
+    ///
+    /// Affine gates operate share-locally; `×`-gate outputs are *read from
+    /// the proof* rather than computed, which is what makes server
+    /// evaluation communication-free.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch of `input_share` or `mul_output_shares`.
+    pub fn evaluate_on_shares(
+        &self,
+        input_share: &[F],
+        mul_output_shares: &[F],
+        is_leader: bool,
+    ) -> ShareTrace<F> {
+        assert_eq!(input_share.len(), self.num_inputs, "input arity mismatch");
+        assert_eq!(
+            mul_output_shares.len(),
+            self.mul_gates.len(),
+            "need one h share per multiplication gate"
+        );
+        let lead = |c: F| if is_leader { c } else { F::zero() };
+        let mut wires = Vec::with_capacity(self.num_wires());
+        wires.extend_from_slice(input_share);
+        let mut mul_left = Vec::with_capacity(self.mul_gates.len());
+        let mut mul_right = Vec::with_capacity(self.mul_gates.len());
+        let mut next_mul = 0usize;
+        for op in &self.ops {
+            let v = match *op {
+                Op::Const(c) => lead(c),
+                Op::Add(a, b) => wires[a.0] + wires[b.0],
+                Op::Sub(a, b) => wires[a.0] - wires[b.0],
+                Op::MulConst(a, c) => wires[a.0] * c,
+                Op::AddConst(a, c) => wires[a.0] + lead(c),
+                Op::Mul(a, b) => {
+                    mul_left.push(wires[a.0]);
+                    mul_right.push(wires[b.0]);
+                    let out = mul_output_shares[next_mul];
+                    next_mul += 1;
+                    out
+                }
+            };
+            wires.push(v);
+        }
+        let assertions = self.assertions.iter().map(|w| wires[w.0]).collect();
+        ShareTrace {
+            mul_left,
+            mul_right,
+            assertions,
+        }
+    }
+
+    /// The assertion wires.
+    pub fn assertion_wires(&self) -> &[WireId] {
+        &self.assertions
+    }
+
+    /// The operation list (read-only, for inspection and cost models).
+    pub fn ops(&self) -> &[Op<F>] {
+        &self.ops
+    }
+
+    pub(crate) fn from_parts(
+        num_inputs: usize,
+        ops: Vec<Op<F>>,
+        mul_gates: Vec<usize>,
+        assertions: Vec<WireId>,
+    ) -> Self {
+        Circuit {
+            num_inputs,
+            ops,
+            mul_gates,
+            assertions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prio_field::{share_additive_vec, unshare_additive_vec, Field64};
+    use rand::SeedableRng;
+
+    fn bit_circuit(n: usize) -> Circuit<Field64> {
+        // Valid iff every input is 0/1: assert x_i * (x_i - 1) == 0.
+        let mut b = CircuitBuilder::<Field64>::new(n);
+        for i in 0..n {
+            let x = b.input(i);
+            let xm1 = b.add_const(x, -Field64::one());
+            let prod = b.mul(x, xm1);
+            b.assert_zero(prod);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn clear_evaluation() {
+        let c = bit_circuit(4);
+        assert_eq!(c.num_mul_gates(), 4);
+        assert!(c.is_valid(&[0, 1, 1, 0].map(Field64::from_u64)));
+        assert!(!c.is_valid(&[0, 2, 1, 0].map(Field64::from_u64)));
+    }
+
+    #[test]
+    fn trace_records_mul_wires() {
+        let c = bit_circuit(2);
+        let t = c.evaluate(&[1, 0].map(Field64::from_u64));
+        assert_eq!(t.mul_left, vec![Field64::from_u64(1), Field64::zero()]);
+        assert_eq!(t.mul_right, vec![Field64::zero(), -Field64::one()]);
+        assert_eq!(t.assertions, vec![Field64::zero(); 2]);
+    }
+
+    #[test]
+    fn share_evaluation_reconstructs_clear_values() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let c = bit_circuit(5);
+        let input: Vec<Field64> = [1u64, 0, 1, 1, 0].map(Field64::from_u64).to_vec();
+        let trace = c.evaluate(&input);
+        // Compute the true mul outputs and share everything.
+        let mul_out: Vec<Field64> = trace
+            .mul_left
+            .iter()
+            .zip(&trace.mul_right)
+            .map(|(&a, &b)| a * b)
+            .collect();
+        let in_shares = share_additive_vec(&input, 3, &mut rng);
+        let out_shares = share_additive_vec(&mul_out, 3, &mut rng);
+        let traces: Vec<_> = (0..3)
+            .map(|i| c.evaluate_on_shares(&in_shares[i], &out_shares[i], i == 0))
+            .collect();
+        // Reassembling share traces must match the clear trace.
+        let lefts: Vec<Vec<Field64>> = traces.iter().map(|t| t.mul_left.clone()).collect();
+        let rights: Vec<Vec<Field64>> = traces.iter().map(|t| t.mul_right.clone()).collect();
+        let asserts: Vec<Vec<Field64>> = traces.iter().map(|t| t.assertions.clone()).collect();
+        assert_eq!(unshare_additive_vec(&lefts), trace.mul_left);
+        assert_eq!(unshare_additive_vec(&rights), trace.mul_right);
+        assert_eq!(unshare_additive_vec(&asserts), trace.assertions);
+    }
+
+    #[test]
+    fn share_evaluation_with_constants() {
+        // Circuit with constants exercises the leader convention:
+        // assert (x0 + 3) * (x1 - 3) - c == 0 with c = (x0+3)(x1-3).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(32);
+        let mut b = CircuitBuilder::<Field64>::new(2);
+        let x0 = b.input(0);
+        let x1 = b.input(1);
+        let a = b.add_const(x0, Field64::from_u64(3));
+        let d = b.add_const(x1, -Field64::from_u64(3));
+        let prod = b.mul(a, d);
+        let expect = b.constant(Field64::from_u64((2 + 3) * (10 - 3)));
+        let diff = b.sub(prod, expect);
+        b.assert_zero(diff);
+        let c = b.finish();
+
+        let input = vec![Field64::from_u64(2), Field64::from_u64(10)];
+        assert!(c.is_valid(&input));
+        let trace = c.evaluate(&input);
+        let mul_out: Vec<Field64> = trace
+            .mul_left
+            .iter()
+            .zip(&trace.mul_right)
+            .map(|(&a, &b)| a * b)
+            .collect();
+        let in_shares = share_additive_vec(&input, 2, &mut rng);
+        let out_shares = share_additive_vec(&mul_out, 2, &mut rng);
+        let t0 = c.evaluate_on_shares(&in_shares[0], &out_shares[0], true);
+        let t1 = c.evaluate_on_shares(&in_shares[1], &out_shares[1], false);
+        assert_eq!(t0.assertions[0] + t1.assertions[0], Field64::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let c = bit_circuit(3);
+        let _ = c.evaluate(&[Field64::zero()]);
+    }
+}

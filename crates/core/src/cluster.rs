@@ -1,0 +1,303 @@
+//! A deterministic single-threaded simulation of the full server cluster,
+//! with exact per-server byte accounting of the verification protocol.
+//!
+//! Used by tests, examples, and the bandwidth experiment (Figure 6). The
+//! leader-star topology matches the deployed system: non-leaders exchange
+//! messages only with the leader, which is why adding servers barely
+//! changes per-server load (Figure 5's observation).
+
+use crate::client::ClientSubmission;
+use crate::messages::{pack_decisions, ServerMsg};
+use crate::server::{Server, ServerConfig};
+use prio_afe::Afe;
+use prio_field::FieldElement;
+use prio_net::wire::Wire;
+use prio_snip::{decide, HForm, VerifierContext, VerifyMode};
+use rand::{Rng, SeedableRng};
+
+/// A simulated `s`-server Prio cluster.
+pub struct Cluster<F: FieldElement, A: Afe<F>> {
+    servers: Vec<Server<F, A>>,
+    ctx: Option<VerifierContext<F>>,
+    processed_in_batch: usize,
+    /// Submissions per verification context (the paper's `Q ≈ 2^10`).
+    batch_size: usize,
+    ctx_rng: rand::rngs::StdRng,
+    /// Verification bytes each server has *sent*.
+    sent_bytes: Vec<u64>,
+}
+
+impl<F: FieldElement, A: Afe<F> + Clone> Cluster<F, A> {
+    /// Builds a cluster of `num_servers` servers for the given AFE.
+    pub fn new(afe: A, num_servers: usize, verify_mode: VerifyMode) -> Self {
+        Self::with_options(afe, num_servers, verify_mode, HForm::PointValue, 1024)
+    }
+
+    /// Full-control constructor (h form and context batch size).
+    pub fn with_options(
+        afe: A,
+        num_servers: usize,
+        verify_mode: VerifyMode,
+        h_form: HForm,
+        batch_size: usize,
+    ) -> Self {
+        assert!(num_servers >= 2, "Prio needs at least two servers");
+        assert!(batch_size >= 1);
+        let servers = (0..num_servers)
+            .map(|index| {
+                Server::new(
+                    afe.clone(),
+                    ServerConfig {
+                        index,
+                        num_servers,
+                        verify_mode,
+                        h_form,
+                    },
+                )
+            })
+            .collect();
+        Cluster {
+            servers,
+            ctx: None,
+            processed_in_batch: 0,
+            batch_size,
+            ctx_rng: rand::rngs::StdRng::seed_from_u64(0x5052_494f),
+            sent_bytes: vec![0; num_servers],
+        }
+    }
+
+    fn refresh_context_if_needed(&mut self) {
+        if self.ctx.is_none() || self.processed_in_batch >= self.batch_size {
+            let seed: u64 = self.ctx_rng.random();
+            self.ctx = Some(self.servers[0].make_context(seed));
+            self.processed_in_batch = 0;
+        }
+    }
+
+    /// Processes one client submission through the full pipeline:
+    /// unpack → SNIP verify (with byte accounting) → accumulate/reject.
+    /// Returns whether the submission was accepted.
+    pub fn process(&mut self, sub: &ClientSubmission<F>) -> bool {
+        let s = self.servers.len();
+        assert_eq!(sub.blobs.len(), s, "one blob per server");
+        self.refresh_context_if_needed();
+        self.processed_in_batch += 1;
+        let ctx = self.ctx.as_ref().expect("context refreshed");
+
+        // Unpack. A structurally malformed blob is rejected outright (the
+        // servers can detect this locally; no protocol needed).
+        let mut unpacked = Vec::with_capacity(s);
+        for (i, blob) in sub.blobs.iter().enumerate() {
+            match self.servers[i].unpack(blob, sub.prg_label) {
+                Ok(pair) => unpacked.push(pair),
+                Err(_) => {
+                    for server in &mut self.servers {
+                        server.reject();
+                    }
+                    return false;
+                }
+            }
+        }
+
+        // Round 1 at every server.
+        let mut states = Vec::with_capacity(s);
+        let mut round1 = Vec::with_capacity(s);
+        for (i, (x, proof)) in unpacked.iter().enumerate() {
+            match self.servers[i].round1(ctx, x, proof) {
+                Ok((st, msg)) => {
+                    states.push(st);
+                    round1.push(msg);
+                }
+                Err(_) => {
+                    for server in &mut self.servers {
+                        server.reject();
+                    }
+                    return false;
+                }
+            }
+        }
+
+        // Byte accounting, leader-star topology:
+        // non-leader i → leader: Round1([m_i]); leader → each non-leader:
+        // Round1Combined([Σm]); non-leader → leader: Round2; leader → all:
+        // Decisions.
+        let r1_size = ServerMsg::Round1(vec![round1[1]]).to_wire_bytes().len() as u64;
+        let combined = vec![prio_snip::Round1Msg {
+            d: round1.iter().map(|m| m.d).sum(),
+            e: round1.iter().map(|m| m.e).sum(),
+        }];
+        let comb_size = ServerMsg::Round1Combined(combined.clone())
+            .to_wire_bytes()
+            .len() as u64;
+        let round2: Vec<_> = (0..s)
+            .map(|i| self.servers[i].round2(&states[i], &combined))
+            .collect();
+        let r2_size = ServerMsg::Round2(vec![round2[1]]).to_wire_bytes().len() as u64;
+        let accepted = decide(&round2);
+        let dec_size = ServerMsg::<F>::Decisions(pack_decisions(&[accepted]))
+            .to_wire_bytes()
+            .len() as u64;
+        for i in 1..s {
+            self.sent_bytes[i] += r1_size + r2_size;
+        }
+        self.sent_bytes[0] += (comb_size + dec_size) * (s as u64 - 1);
+
+        if accepted {
+            for (i, (x, _)) in unpacked.iter().enumerate() {
+                self.servers[i].accumulate(x);
+            }
+        } else {
+            for server in &mut self.servers {
+                server.reject();
+            }
+        }
+        accepted
+    }
+
+    /// Publishes and sums the accumulators: `σ = Σ_j A_j` (Figure 1d).
+    pub fn aggregate(&self) -> Vec<F> {
+        let kp = self.servers[0].accumulator().len();
+        let mut sigma = vec![F::zero(); kp];
+        for server in &self.servers {
+            for (acc, &v) in sigma.iter_mut().zip(server.accumulator()) {
+                *acc += v;
+            }
+        }
+        sigma
+    }
+
+    /// Decodes the aggregate through the AFE.
+    pub fn decode(&self) -> Result<A::Output, prio_afe::AfeError> {
+        let sigma = self.aggregate();
+        self.servers[0]
+            .afe()
+            .decode(&sigma, self.servers[0].accepted() as usize)
+    }
+
+    /// Number of accepted submissions.
+    pub fn accepted(&self) -> u64 {
+        self.servers[0].accepted()
+    }
+
+    /// Number of rejected submissions.
+    pub fn rejected(&self) -> u64 {
+        self.servers[0].rejected()
+    }
+
+    /// Verification bytes sent per server so far (index 0 = leader).
+    pub fn verification_bytes_sent(&self) -> &[u64] {
+        &self.sent_bytes
+    }
+
+    /// Number of servers.
+    pub fn num_servers(&self) -> usize {
+        self.servers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{Client, ClientConfig, ShareBlob};
+    use prio_afe::freq::FrequencyAfe;
+    use prio_afe::sum::SumAfe;
+    use prio_field::Field64;
+    use rand::SeedableRng;
+
+    #[test]
+    fn end_to_end_sum() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut cluster: Cluster<Field64, _> =
+            Cluster::new(SumAfe::new(4), 3, VerifyMode::FixedPoint);
+        let mut client = Client::new(SumAfe::new(4), ClientConfig::new(3));
+        let values = [3u64, 14, 0, 7, 15, 9];
+        for v in values {
+            let sub = client.submit(&v, &mut rng).unwrap();
+            assert!(cluster.process(&sub));
+        }
+        assert_eq!(cluster.accepted(), 6);
+        let total = cluster.decode().unwrap();
+        assert_eq!(total, values.iter().map(|&v| v as u128).sum::<u128>());
+    }
+
+    #[test]
+    fn end_to_end_histogram() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let afe = FrequencyAfe::new(4);
+        let mut cluster: Cluster<Field64, _> = Cluster::new(afe.clone(), 2, VerifyMode::FixedPoint);
+        let mut client = Client::new(afe, ClientConfig::new(2));
+        for v in [0usize, 1, 1, 3, 1] {
+            let sub = client.submit(&v, &mut rng).unwrap();
+            assert!(cluster.process(&sub));
+        }
+        assert_eq!(cluster.decode().unwrap(), vec![1, 3, 0, 1]);
+    }
+
+    #[test]
+    fn cheating_submission_is_rejected_and_not_aggregated() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut cluster: Cluster<Field64, _> =
+            Cluster::new(SumAfe::new(4), 2, VerifyMode::FixedPoint);
+        let mut client = Client::new(SumAfe::new(4), ClientConfig::new(2));
+        // Two honest submissions.
+        for v in [5u64, 6] {
+            let sub = client.submit(&v, &mut rng).unwrap();
+            assert!(cluster.process(&sub));
+        }
+        // A cheater tampers with its explicit share to claim a huge value
+        // (the Section-1 ballot-stuffing attack).
+        let mut sub = client.submit(&1, &mut rng).unwrap();
+        if let ShareBlob::Explicit(v) = &mut sub.blobs[1] {
+            v[0] += Field64::from_u64(1000);
+        } else {
+            panic!("last blob should be explicit");
+        }
+        assert!(!cluster.process(&sub));
+        assert_eq!(cluster.accepted(), 2);
+        assert_eq!(cluster.rejected(), 1);
+        // The aggregate only contains the honest values.
+        assert_eq!(cluster.decode().unwrap(), 11);
+    }
+
+    #[test]
+    fn malformed_blob_rejected_locally() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut cluster: Cluster<Field64, _> =
+            Cluster::new(SumAfe::new(4), 2, VerifyMode::FixedPoint);
+        let mut client = Client::new(SumAfe::new(4), ClientConfig::new(2));
+        let mut sub = client.submit(&1, &mut rng).unwrap();
+        sub.blobs[1] = ShareBlob::Explicit(vec![Field64::zero(); 2]);
+        assert!(!cluster.process(&sub));
+        assert_eq!(cluster.rejected(), 1);
+    }
+
+    #[test]
+    fn non_leader_bytes_are_constant_in_submission_size() {
+        // The heart of Figure 6: verification traffic is independent of L.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut small: Cluster<Field64, _> =
+            Cluster::new(SumAfe::new(2), 3, VerifyMode::FixedPoint);
+        let mut big: Cluster<Field64, _> =
+            Cluster::new(SumAfe::new(60), 3, VerifyMode::FixedPoint);
+        let mut c_small = Client::new(SumAfe::new(2), ClientConfig::new(3));
+        let mut c_big = Client::new(SumAfe::new(60), ClientConfig::new(3));
+        small.process(&c_small.submit(&1, &mut rng).unwrap());
+        big.process(&c_big.submit(&(1 << 50), &mut rng).unwrap());
+        assert_eq!(
+            small.verification_bytes_sent()[1],
+            big.verification_bytes_sent()[1]
+        );
+    }
+
+    #[test]
+    fn interpolate_mode_agrees() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut cluster: Cluster<Field64, _> =
+            Cluster::new(SumAfe::new(8), 2, VerifyMode::Interpolate);
+        let mut client = Client::new(SumAfe::new(8), ClientConfig::new(2));
+        for v in [100u64, 200] {
+            assert!(cluster.process(&client.submit(&v, &mut rng).unwrap()));
+        }
+        assert_eq!(cluster.decode().unwrap(), 300);
+    }
+}

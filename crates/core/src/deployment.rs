@@ -1,0 +1,453 @@
+//! A multi-threaded Prio deployment: one OS thread per server, framed
+//! messages over the simulated network, leader-coordinated batch
+//! verification.
+//!
+//! This is the driver behind the throughput experiments (Figures 4 and 5,
+//! Table 9): submissions are fed in batches, the servers run the two
+//! SNIP broadcast rounds per batch, and the leader distributes decisions.
+//! Per-batch message complexity matches the paper's deployment: the leader
+//! transmits `s−1` times more than a non-leader, and adding servers leaves
+//! per-server work nearly unchanged.
+
+use crate::client::ClientSubmission;
+use crate::messages::{blob_from_bytes, blob_to_bytes, pack_decisions, unpack_decisions, ServerMsg};
+use crate::server::{Server, ServerConfig};
+use prio_afe::Afe;
+use prio_field::FieldElement;
+use prio_net::wire::Wire;
+use prio_net::{Endpoint, NetStats, NodeId, SimNetwork};
+use prio_snip::{decide, HForm, Round1Msg, VerifyMode};
+use std::thread::JoinHandle;
+
+/// Deployment configuration.
+#[derive(Clone, Debug)]
+pub struct DeploymentConfig {
+    /// Number of servers `s ≥ 2`.
+    pub num_servers: usize,
+    /// Verification strategy.
+    pub verify_mode: VerifyMode,
+    /// `h` transmission format clients use.
+    pub h_form: HForm,
+    /// Optional uniform link latency (WAN model).
+    pub latency: Option<std::time::Duration>,
+}
+
+impl DeploymentConfig {
+    /// Default: `s` servers, fixed-point verification, no latency.
+    pub fn new(num_servers: usize) -> Self {
+        DeploymentConfig {
+            num_servers,
+            verify_mode: VerifyMode::FixedPoint,
+            h_form: HForm::PointValue,
+            latency: None,
+        }
+    }
+}
+
+/// Result of a deployment run.
+#[derive(Clone, Debug)]
+pub struct DeploymentReport {
+    /// Submissions accepted.
+    pub accepted: u64,
+    /// Submissions rejected.
+    pub rejected: u64,
+    /// The summed accumulator `σ`.
+    pub sigma: Vec<u64>,
+    /// Network statistics at publish time.
+    pub stats: NetStats,
+}
+
+/// A running multi-threaded deployment.
+pub struct Deployment<F: FieldElement> {
+    driver: Endpoint,
+    server_ids: Vec<NodeId>,
+    handles: Vec<JoinHandle<()>>,
+    net: SimNetwork,
+    next_seed: u64,
+    accepted: u64,
+    rejected: u64,
+    _marker: std::marker::PhantomData<F>,
+}
+
+impl<F: FieldElement> Deployment<F> {
+    /// Spawns `s` server threads for the given AFE.
+    pub fn start<A>(afe: A, cfg: DeploymentConfig) -> Self
+    where
+        A: Afe<F> + Clone + Send + 'static,
+    {
+        assert!(cfg.num_servers >= 2, "Prio needs at least two servers");
+        let net = SimNetwork::with_latency(cfg.latency);
+        let driver = net.endpoint();
+        let endpoints: Vec<Endpoint> = (0..cfg.num_servers).map(|_| net.endpoint()).collect();
+        let server_ids: Vec<NodeId> = endpoints.iter().map(|e| e.id()).collect();
+        let driver_id = driver.id();
+
+        let handles = endpoints
+            .into_iter()
+            .enumerate()
+            .map(|(index, ep)| {
+                let afe = afe.clone();
+                let ids = server_ids.clone();
+                let server = Server::new(
+                    afe,
+                    ServerConfig {
+                        index,
+                        num_servers: cfg.num_servers,
+                        verify_mode: cfg.verify_mode,
+                        h_form: cfg.h_form,
+                    },
+                );
+                std::thread::spawn(move || server_main(server, ep, ids, driver_id))
+            })
+            .collect();
+
+        Deployment {
+            driver,
+            server_ids,
+            handles,
+            net,
+            next_seed: 1,
+            accepted: 0,
+            rejected: 0,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Feeds a batch of submissions through the cluster; blocks until the
+    /// leader reports the accept/reject decisions. Returns the decisions.
+    pub fn run_batch(&mut self, subs: &[ClientSubmission<F>]) -> Vec<bool> {
+        let _ = &self.server_ids;
+        let ctx_seed = self.next_seed;
+        self.next_seed += 1;
+        for (i, &sid) in self.server_ids.iter().enumerate() {
+            let msg: ServerMsg<F> = ServerMsg::ClientBatch {
+                ctx_seed,
+                labels: subs.iter().map(|sub| sub.prg_label).collect(),
+                blobs: subs.iter().map(|sub| blob_to_bytes(&sub.blobs[i])).collect(),
+            };
+            self.driver
+                .send(sid, msg.to_wire_bytes())
+                .expect("server alive");
+        }
+        // The leader forwards its decisions to the driver.
+        let env = self.driver.recv().expect("leader reply");
+        let msg = ServerMsg::<F>::from_wire_bytes(&env.payload).expect("valid decisions");
+        let ServerMsg::Decisions(bits) = msg else {
+            panic!("expected decisions, got {msg:?}");
+        };
+        let decisions = unpack_decisions(&bits, subs.len());
+        for &d in &decisions {
+            if d {
+                self.accepted += 1;
+            } else {
+                self.rejected += 1;
+            }
+        }
+        decisions
+    }
+
+    /// Publishes the accumulators and shuts the servers down.
+    pub fn finish(self) -> DeploymentReport {
+        let s = self.server_ids.len();
+        for &sid in &self.server_ids {
+            self.driver
+                .send(sid, ServerMsg::<F>::PublishRequest.to_wire_bytes())
+                .expect("server alive");
+        }
+        let mut sigma: Option<Vec<F>> = None;
+        for _ in 0..s {
+            let env = self.driver.recv().expect("accumulator reply");
+            let msg = ServerMsg::<F>::from_wire_bytes(&env.payload).expect("valid accumulator");
+            let ServerMsg::Accumulator(acc) = msg else {
+                panic!("expected accumulator");
+            };
+            match &mut sigma {
+                None => sigma = Some(acc),
+                Some(total) => {
+                    for (t, v) in total.iter_mut().zip(acc) {
+                        *t += v;
+                    }
+                }
+            }
+        }
+        for &sid in &self.server_ids {
+            let _ = self.driver.send(sid, ServerMsg::<F>::Shutdown.to_wire_bytes());
+        }
+        for h in self.handles {
+            let _ = h.join();
+        }
+        let sigma = sigma.unwrap_or_default();
+        DeploymentReport {
+            accepted: self.accepted,
+            rejected: self.rejected,
+            sigma: sigma
+                .iter()
+                .map(|v| v.try_to_u128().map(|x| x as u64).unwrap_or(u64::MAX))
+                .collect(),
+            stats: self.net.stats(),
+        }
+    }
+
+    /// Publishes accumulators *without* shutting down, returning the raw
+    /// field-element aggregate (for decoding via the AFE).
+    pub fn network(&self) -> &SimNetwork {
+        &self.net
+    }
+
+    /// Server node ids (index 0 = leader).
+    pub fn server_ids(&self) -> &[NodeId] {
+        &self.server_ids
+    }
+}
+
+/// The server event loop.
+fn server_main<F: FieldElement, A: Afe<F>>(
+    mut server: Server<F, A>,
+    ep: Endpoint,
+    ids: Vec<NodeId>,
+    driver: NodeId,
+) {
+    let s = ids.len();
+    let my_index = ids.iter().position(|&id| id == ep.id()).expect("registered");
+    let leader_id = ids[0];
+    let is_leader = my_index == 0;
+
+    loop {
+        let Ok(env) = ep.recv() else { return };
+        let Ok(msg) = ServerMsg::<F>::from_wire_bytes(&env.payload) else {
+            continue; // drop garbage
+        };
+        match msg {
+            ServerMsg::ClientBatch {
+                ctx_seed,
+                labels,
+                blobs,
+            } => {
+                let ctx = server.make_context(ctx_seed);
+                let count = blobs.len();
+                // Unpack and run round 1 for every submission; submissions
+                // that fail locally are flagged and voted "reject".
+                let mut xs = Vec::with_capacity(count);
+                let mut states = Vec::with_capacity(count);
+                let mut round1 = Vec::with_capacity(count);
+                let mut local_ok = vec![true; count];
+                for (j, blob_bytes) in blobs.iter().enumerate() {
+                    let parsed = blob_from_bytes::<F>(blob_bytes)
+                        .ok()
+                        .and_then(|blob| server.unpack(&blob, labels[j]).ok())
+                        .and_then(|(x, proof)| {
+                            server.round1(&ctx, &x, &proof).ok().map(|r| (x, r))
+                        });
+                    match parsed {
+                        Some((x, (st, msg))) => {
+                            xs.push(x);
+                            states.push(Some(st));
+                            round1.push(msg);
+                        }
+                        None => {
+                            xs.push(Vec::new());
+                            states.push(None);
+                            round1.push(Round1Msg {
+                                d: F::zero(),
+                                e: F::zero(),
+                            });
+                            local_ok[j] = false;
+                        }
+                    }
+                }
+
+                let decisions: Vec<bool> = if is_leader {
+                    // Gather round-1 vectors from the others.
+                    let mut all_r1 = vec![round1.clone()];
+                    for _ in 1..s {
+                        let env = ep.recv().expect("round1");
+                        let Ok(ServerMsg::Round1(v)) =
+                            ServerMsg::<F>::from_wire_bytes(&env.payload)
+                        else {
+                            panic!("protocol violation: expected Round1");
+                        };
+                        all_r1.push(v);
+                    }
+                    // Combine per submission and redistribute.
+                    let combined: Vec<Round1Msg<F>> = (0..count)
+                        .map(|j| Round1Msg {
+                            d: all_r1.iter().map(|v| v[j].d).sum(),
+                            e: all_r1.iter().map(|v| v[j].e).sum(),
+                        })
+                        .collect();
+                    let comb_msg = ServerMsg::Round1Combined(combined.clone()).to_wire_bytes();
+                    for &sid in &ids[1..] {
+                        ep.send(sid, comb_msg.clone()).expect("send combined");
+                    }
+                    // Own round 2 plus gathered round 2s.
+                    let own_r2: Vec<_> = states
+                        .iter()
+                        .enumerate()
+                        .map(|(j, st)| match st {
+                            Some(st) => server.round2(st, &combined[j..=j]),
+                            None => prio_snip::Round2Msg {
+                                sigma: F::one(), // poison: force rejection
+                                out: F::one(),
+                            },
+                        })
+                        .collect();
+                    let mut all_r2 = vec![own_r2];
+                    for _ in 1..s {
+                        let env = ep.recv().expect("round2");
+                        let Ok(ServerMsg::Round2(v)) =
+                            ServerMsg::<F>::from_wire_bytes(&env.payload)
+                        else {
+                            panic!("protocol violation: expected Round2");
+                        };
+                        all_r2.push(v);
+                    }
+                    let decisions: Vec<bool> = (0..count)
+                        .map(|j| {
+                            let msgs: Vec<_> = all_r2.iter().map(|v| v[j]).collect();
+                            decide(&msgs)
+                        })
+                        .collect();
+                    let dec_msg =
+                        ServerMsg::<F>::Decisions(pack_decisions(&decisions)).to_wire_bytes();
+                    for &sid in &ids[1..] {
+                        ep.send(sid, dec_msg.clone()).expect("send decisions");
+                    }
+                    ep.send(driver, dec_msg).expect("notify driver");
+                    decisions
+                } else {
+                    ep.send(leader_id, ServerMsg::Round1(round1).to_wire_bytes())
+                        .expect("send round1");
+                    let env = ep.recv().expect("combined");
+                    let Ok(ServerMsg::Round1Combined(combined)) =
+                        ServerMsg::<F>::from_wire_bytes(&env.payload)
+                    else {
+                        panic!("protocol violation: expected Round1Combined");
+                    };
+                    let r2: Vec<_> = states
+                        .iter()
+                        .enumerate()
+                        .map(|(j, st)| match st {
+                            Some(st) => server.round2(st, &combined[j..=j]),
+                            None => prio_snip::Round2Msg {
+                                sigma: F::one(),
+                                out: F::one(),
+                            },
+                        })
+                        .collect();
+                    ep.send(leader_id, ServerMsg::Round2(r2).to_wire_bytes())
+                        .expect("send round2");
+                    let env = ep.recv().expect("decisions");
+                    let Ok(ServerMsg::Decisions(bits)) =
+                        ServerMsg::<F>::from_wire_bytes(&env.payload)
+                    else {
+                        panic!("protocol violation: expected Decisions");
+                    };
+                    unpack_decisions(&bits, count)
+                };
+
+                for (j, &ok) in decisions.iter().enumerate() {
+                    if ok && local_ok[j] {
+                        server.accumulate(&xs[j]);
+                    } else {
+                        server.reject();
+                    }
+                }
+            }
+            ServerMsg::PublishRequest => {
+                let acc = server.accumulator().to_vec();
+                ep.send(driver, ServerMsg::Accumulator(acc).to_wire_bytes())
+                    .expect("publish");
+            }
+            ServerMsg::Shutdown => return,
+            other => panic!("unexpected message at server {my_index}: {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{Client, ClientConfig, ShareBlob};
+    use prio_afe::sum::SumAfe;
+    use prio_field::Field64;
+    use rand::SeedableRng;
+
+    #[test]
+    fn threaded_end_to_end() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let afe = SumAfe::new(4);
+        let mut deployment: Deployment<Field64> =
+            Deployment::start(afe, DeploymentConfig::new(3));
+        let mut client = Client::new(SumAfe::new(4), ClientConfig::new(3));
+        let values = [1u64, 2, 3, 4, 5, 15];
+        let subs: Vec<_> = values
+            .iter()
+            .map(|v| client.submit(v, &mut rng).unwrap())
+            .collect();
+        let decisions = deployment.run_batch(&subs);
+        assert!(decisions.iter().all(|&d| d));
+        let report = deployment.finish();
+        assert_eq!(report.accepted, 6);
+        assert_eq!(report.sigma[0], 30);
+    }
+
+    #[test]
+    fn threaded_rejects_cheater() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let afe = SumAfe::new(4);
+        let mut deployment: Deployment<Field64> =
+            Deployment::start(afe, DeploymentConfig::new(2));
+        let mut client = Client::new(SumAfe::new(4), ClientConfig::new(2));
+        let good = client.submit(&7, &mut rng).unwrap();
+        let mut bad = client.submit(&1, &mut rng).unwrap();
+        if let ShareBlob::Explicit(v) = &mut bad.blobs[1] {
+            v[0] += Field64::from_u64(500);
+        }
+        let decisions = deployment.run_batch(&[good, bad]);
+        assert_eq!(decisions, vec![true, false]);
+        let report = deployment.finish();
+        assert_eq!(report.accepted, 1);
+        assert_eq!(report.rejected, 1);
+        assert_eq!(report.sigma[0], 7);
+    }
+
+    #[test]
+    fn multiple_batches_accumulate() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let afe = SumAfe::new(8);
+        let mut deployment: Deployment<Field64> =
+            Deployment::start(afe, DeploymentConfig::new(4));
+        let mut client = Client::new(SumAfe::new(8), ClientConfig::new(4));
+        let mut expect = 0u64;
+        for batch in 0..3 {
+            let subs: Vec<_> = (0..4u64)
+                .map(|i| {
+                    let v = batch * 10 + i;
+                    expect += v;
+                    client.submit(&v, &mut rng).unwrap()
+                })
+                .collect();
+            deployment.run_batch(&subs);
+        }
+        let report = deployment.finish();
+        assert_eq!(report.accepted, 12);
+        assert_eq!(report.sigma[0], expect);
+        // Leader sent more bytes than any non-leader (star topology).
+        let leader = deployment_stats_leader_bytes(&report);
+        assert!(leader.0 >= leader.1, "{leader:?}");
+    }
+
+    fn deployment_stats_leader_bytes(report: &DeploymentReport) -> (u64, u64) {
+        // Node 0 is the driver; node 1 is the leader.
+        let mut by_node: Vec<(NodeId, u64)> = report
+            .stats
+            .bytes_sent
+            .iter()
+            .map(|(&k, &v)| (k, v))
+            .collect();
+        by_node.sort();
+        let leader = by_node[1].1;
+        let max_non_leader = by_node[2..].iter().map(|&(_, v)| v).max().unwrap_or(0);
+        (leader, max_non_leader)
+    }
+}

@@ -1,0 +1,37 @@
+//! The full Prio pipeline (Figure 1 / Appendix H of the paper):
+//!
+//! 1. **Upload** — each client AFE-encodes its private value, splits the
+//!    encoding and a SNIP proof into one share per server (PRG-compressed:
+//!    all but one share is a 32-byte seed, Appendix I), and sends each
+//!    server its share over a sealed channel.
+//! 2. **Validate** — the servers jointly verify the SNIP (two broadcast
+//!    rounds, four field elements per server) and reject malformed
+//!    submissions.
+//! 3. **Aggregate** — each server adds the truncated encoding share of
+//!    every *accepted* submission into its local accumulator.
+//! 4. **Publish** — the servers reveal their accumulators; their sum is the
+//!    sum of encodings, which the AFE decoder turns into the statistic.
+//!
+//! Two drivers are provided:
+//!
+//! * [`cluster::Cluster`] — a deterministic, single-threaded simulation of
+//!   `s` servers with exact byte accounting. Used by tests, examples, and
+//!   the bandwidth experiment (Figure 6).
+//! * [`deployment::Deployment`] — `s` real server threads exchanging framed
+//!   messages over the [`prio_net`] fabric, with leader-coordinated batch
+//!   verification. Used by the throughput experiments (Figures 4 and 5,
+//!   Table 9).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod cluster;
+pub mod deployment;
+pub mod messages;
+pub mod server;
+
+pub use client::{Client, ClientConfig, ClientSubmission, ShareBlob};
+pub use cluster::Cluster;
+pub use deployment::{Deployment, DeploymentConfig, DeploymentReport};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,230 @@
+//! A single Prio aggregation server.
+
+use crate::client::{ShareBlob, ShareLayout};
+use prio_afe::Afe;
+use prio_circuit::Circuit;
+use prio_field::FieldElement;
+use prio_snip::{
+    verifier::{verify_round1, verify_round2},
+    HForm, Round1Msg, Round2Msg, ServerState, SnipError, SnipProofShare, VerifierContext,
+    VerifyMode,
+};
+use rand::SeedableRng;
+
+/// Per-server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// This server's index (`0` is the leader).
+    pub index: usize,
+    /// Total number of servers `s`.
+    pub num_servers: usize,
+    /// Polynomial-evaluation strategy (Appendix-I fixed-point by default).
+    pub verify_mode: VerifyMode,
+    /// `h` transmission format the clients use.
+    pub h_form: HForm,
+}
+
+/// One Prio aggregation server: unpacks submission shares, participates in
+/// SNIP verification, and maintains the running accumulator (Figure 1,
+/// steps b–d).
+pub struct Server<F: FieldElement, A: Afe<F>> {
+    afe: A,
+    circuit: Circuit<F>,
+    layout: ShareLayout,
+    cfg: ServerConfig,
+    accumulator: Vec<F>,
+    accepted: u64,
+    rejected: u64,
+}
+
+impl<F: FieldElement, A: Afe<F>> Server<F, A> {
+    /// Creates a server for the given AFE.
+    pub fn new(afe: A, cfg: ServerConfig) -> Self {
+        let circuit = afe.valid_circuit();
+        let layout = ShareLayout::for_gates(afe.encoded_len(), circuit.num_mul_gates(), cfg.h_form);
+        let accumulator = vec![F::zero(); afe.trunc_len()];
+        Server {
+            afe,
+            circuit,
+            layout,
+            cfg,
+            accumulator,
+            accepted: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Whether this server coordinates verification.
+    pub fn is_leader(&self) -> bool {
+        self.cfg.index == 0
+    }
+
+    /// The shared layout.
+    pub fn layout(&self) -> ShareLayout {
+        self.layout
+    }
+
+    /// The `Valid` circuit.
+    pub fn circuit(&self) -> &Circuit<F> {
+        &self.circuit
+    }
+
+    /// The AFE.
+    pub fn afe(&self) -> &A {
+        &self.afe
+    }
+
+    /// Unpacks this server's share blob into `(x_share, proof_share)`.
+    pub fn unpack(
+        &self,
+        blob: &ShareBlob<F>,
+        prg_label: u64,
+    ) -> Result<(Vec<F>, SnipProofShare<F>), SnipError> {
+        match blob {
+            ShareBlob::Seed(seed) => Ok(self.layout.expand(seed, prg_label)),
+            ShareBlob::Explicit(flat) => self
+                .layout
+                .unflatten(flat)
+                .ok_or(SnipError::Malformed("flattened share length")),
+        }
+    }
+
+    /// Derives the batch verification context from a shared seed. All
+    /// servers derive the identical `(r, ρ)` — this models the leader
+    /// broadcasting fresh verification randomness once per batch
+    /// (Appendix I amortizes the kernel precomputation over the batch).
+    pub fn make_context(&self, ctx_seed: u64) -> VerifierContext<F> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(ctx_seed);
+        VerifierContext::random(
+            &self.circuit,
+            self.cfg.num_servers,
+            self.cfg.verify_mode,
+            &mut rng,
+        )
+    }
+
+    /// Runs SNIP verification round 1 for one submission.
+    pub fn round1(
+        &self,
+        ctx: &VerifierContext<F>,
+        x_share: &[F],
+        proof: &SnipProofShare<F>,
+    ) -> Result<(ServerState<F>, Round1Msg<F>), SnipError> {
+        verify_round1(ctx, &self.circuit, x_share, proof, self.is_leader())
+    }
+
+    /// Runs SNIP verification round 2 for one submission.
+    pub fn round2(&self, state: &ServerState<F>, combined: &[Round1Msg<F>]) -> Round2Msg<F> {
+        verify_round2(state, combined)
+    }
+
+    /// Folds an accepted submission's truncated share into the accumulator
+    /// (Figure 1c).
+    pub fn accumulate(&mut self, x_share: &[F]) {
+        let kp = self.accumulator.len();
+        for (acc, &v) in self.accumulator.iter_mut().zip(&x_share[..kp]) {
+            *acc += v;
+        }
+        self.accepted += 1;
+    }
+
+    /// Records a rejected submission.
+    pub fn reject(&mut self) {
+        self.rejected += 1;
+    }
+
+    /// The local accumulator (published in Figure 1d).
+    pub fn accumulator(&self) -> &[F] {
+        &self.accumulator
+    }
+
+    /// Number of accepted submissions.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Number of rejected submissions.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{Client, ClientConfig};
+    use prio_afe::sum::SumAfe;
+    use prio_field::Field64;
+    use prio_snip::decide;
+    use rand::SeedableRng;
+
+    fn make_servers(s: usize) -> Vec<Server<Field64, SumAfe>> {
+        (0..s)
+            .map(|i| {
+                Server::new(
+                    SumAfe::new(4),
+                    ServerConfig {
+                        index: i,
+                        num_servers: s,
+                        verify_mode: VerifyMode::FixedPoint,
+                        h_form: HForm::PointValue,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn manual_pipeline() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let s = 3;
+        let mut servers = make_servers(s);
+        let mut client: Client<Field64, _> =
+            Client::new(SumAfe::new(4), ClientConfig::new(s));
+
+        let mut expected_sum = 0u64;
+        for value in [3u64, 15, 0, 9] {
+            expected_sum += value;
+            let sub = client.submit(&value, &mut rng).unwrap();
+            let ctx = servers[0].make_context(42);
+            let unpacked: Vec<_> = (0..s)
+                .map(|i| servers[i].unpack(&sub.blobs[i], sub.prg_label).unwrap())
+                .collect();
+            let r1: Vec<_> = (0..s)
+                .map(|i| {
+                    servers[i]
+                        .round1(&ctx, &unpacked[i].0, &unpacked[i].1)
+                        .unwrap()
+                })
+                .collect();
+            let msgs: Vec<_> = r1.iter().map(|(_, m)| *m).collect();
+            let r2: Vec<_> = (0..s)
+                .map(|i| servers[i].round2(&r1[i].0, &msgs))
+                .collect();
+            assert!(decide(&r2));
+            for (i, (x, _)) in unpacked.iter().enumerate() {
+                servers[i].accumulate(x);
+            }
+        }
+        let total: Field64 = servers.iter().map(|sv| sv.accumulator()[0]).sum();
+        assert_eq!(total, Field64::from_u64(expected_sum));
+        assert!(servers.iter().all(|sv| sv.accepted() == 4));
+    }
+
+    #[test]
+    fn contexts_agree_across_servers() {
+        let servers = make_servers(4);
+        let ctx0 = servers[0].make_context(123);
+        let ctx3 = servers[3].make_context(123);
+        assert_eq!(ctx0.point(), ctx3.point());
+        let other = servers[0].make_context(124);
+        assert_ne!(ctx0.point(), other.point());
+    }
+
+    #[test]
+    fn unpack_rejects_malformed_explicit() {
+        let servers = make_servers(2);
+        let blob = ShareBlob::Explicit(vec![Field64::zero(); 3]);
+        assert!(servers[0].unpack(&blob, 0).is_err());
+    }
+}

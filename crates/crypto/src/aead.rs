@@ -1,0 +1,135 @@
+//! ChaCha20-Poly1305 authenticated encryption (RFC 8439 §2.8).
+//!
+//! This is the symmetric half of the "box" construction Prio clients use to
+//! seal their submission shares to each server.
+
+use crate::chacha::{self, ChaCha20};
+use crate::poly1305::{poly1305, tags_equal};
+
+/// Length of the authentication tag appended to every ciphertext.
+pub const TAG_LEN: usize = 16;
+
+/// Decryption failure: the ciphertext or associated data was tampered with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AeadError;
+
+impl std::fmt::Display for AeadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AEAD authentication failed")
+    }
+}
+
+impl std::error::Error for AeadError {}
+
+fn poly_key(key: &[u8; 32], nonce: &[u8; 12]) -> [u8; 32] {
+    let mut block0 = [0u8; chacha::BLOCK_LEN];
+    chacha::block(key, 0, nonce, &mut block0);
+    let mut pk = [0u8; 32];
+    pk.copy_from_slice(&block0[..32]);
+    pk
+}
+
+fn mac_input(aad: &[u8], ciphertext: &[u8]) -> Vec<u8> {
+    let mut mac_data = Vec::with_capacity(aad.len() + ciphertext.len() + 32);
+    mac_data.extend_from_slice(aad);
+    mac_data.resize(mac_data.len().div_ceil(16) * 16, 0);
+    mac_data.extend_from_slice(ciphertext);
+    mac_data.resize(mac_data.len().div_ceil(16) * 16, 0);
+    mac_data.extend_from_slice(&(aad.len() as u64).to_le_bytes());
+    mac_data.extend_from_slice(&(ciphertext.len() as u64).to_le_bytes());
+    mac_data
+}
+
+/// Encrypts `plaintext` with associated data `aad`; returns
+/// `ciphertext || tag`.
+pub fn seal(key: &[u8; 32], nonce: &[u8; 12], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+    let mut out = plaintext.to_vec();
+    ChaCha20::new(key, nonce, 1).apply_keystream(&mut out);
+    let tag = poly1305(&poly_key(key, nonce), &mac_input(aad, &out));
+    out.extend_from_slice(&tag);
+    out
+}
+
+/// Verifies and decrypts `ciphertext || tag`; returns the plaintext.
+pub fn open(
+    key: &[u8; 32],
+    nonce: &[u8; 12],
+    aad: &[u8],
+    sealed: &[u8],
+) -> Result<Vec<u8>, AeadError> {
+    if sealed.len() < TAG_LEN {
+        return Err(AeadError);
+    }
+    let (ciphertext, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+    let expect = poly1305(&poly_key(key, nonce), &mac_input(aad, ciphertext));
+    let tag: [u8; 16] = tag.try_into().map_err(|_| AeadError)?;
+    if !tags_equal(&expect, &tag) {
+        return Err(AeadError);
+    }
+    let mut out = ciphertext.to_vec();
+    ChaCha20::new(key, nonce, 1).apply_keystream(&mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let key = [0x11u8; 32];
+        let nonce = [0x22u8; 12];
+        let msg = b"the aggregate is 42";
+        let sealed = seal(&key, &nonce, b"header", msg);
+        assert_eq!(sealed.len(), msg.len() + TAG_LEN);
+        let opened = open(&key, &nonce, b"header", &sealed).unwrap();
+        assert_eq!(opened, msg);
+    }
+
+    #[test]
+    fn rejects_tampered_ciphertext() {
+        let key = [0x11u8; 32];
+        let nonce = [0x22u8; 12];
+        let mut sealed = seal(&key, &nonce, b"", b"secret");
+        sealed[0] ^= 1;
+        assert_eq!(open(&key, &nonce, b"", &sealed), Err(AeadError));
+    }
+
+    #[test]
+    fn rejects_tampered_tag() {
+        let key = [0x11u8; 32];
+        let nonce = [0x22u8; 12];
+        let mut sealed = seal(&key, &nonce, b"", b"secret");
+        let n = sealed.len();
+        sealed[n - 1] ^= 0x80;
+        assert_eq!(open(&key, &nonce, b"", &sealed), Err(AeadError));
+    }
+
+    #[test]
+    fn rejects_wrong_aad() {
+        let key = [0x11u8; 32];
+        let nonce = [0x22u8; 12];
+        let sealed = seal(&key, &nonce, b"aad-one", b"secret");
+        assert_eq!(open(&key, &nonce, b"aad-two", &sealed), Err(AeadError));
+    }
+
+    #[test]
+    fn rejects_wrong_key_or_nonce() {
+        let sealed = seal(&[1u8; 32], &[2u8; 12], b"", b"secret");
+        assert!(open(&[3u8; 32], &[2u8; 12], b"", &sealed).is_err());
+        assert!(open(&[1u8; 32], &[4u8; 12], b"", &sealed).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        assert_eq!(open(&[0u8; 32], &[0u8; 12], b"", &[1, 2, 3]), Err(AeadError));
+    }
+
+    #[test]
+    fn empty_plaintext() {
+        let key = [5u8; 32];
+        let nonce = [6u8; 12];
+        let sealed = seal(&key, &nonce, b"hdr", b"");
+        assert_eq!(open(&key, &nonce, b"hdr", &sealed).unwrap(), b"");
+    }
+}

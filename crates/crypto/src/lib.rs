@@ -1,0 +1,37 @@
+//! Cryptographic substrate for the Prio reproduction.
+//!
+//! The Prio paper assumes a handful of standard primitives that are *not*
+//! part of its contribution but are required to run the system:
+//!
+//! * a PRG (the paper uses AES-CTR) for the share-compression optimization of
+//!   Appendix I — here [`prg::Prg`], built on ChaCha20;
+//! * an authenticated public-key encryption scheme (the paper uses NaCl
+//!   "box") for client→server packets — here [`sealed`], built on an
+//!   X25519-style Diffie–Hellman over our from-scratch [`ed25519`] group and
+//!   the [`aead`] ChaCha20-Poly1305 construction;
+//! * an elliptic-curve group for the NIZK comparison baseline (the paper uses
+//!   OpenSSL's NIST P-256) — here [`ed25519`];
+//! * a hash for Fiat–Shamir challenges in the NIZK baseline — here
+//!   [`hash::ChaChaHash`], a sponge over the ChaCha permutation.
+//!
+//! Everything is implemented from scratch on top of `std` and the raw
+//! 256-bit integer machinery in `prio-field`. These implementations favour
+//! clarity over side-channel hardening: this repository is a research
+//! reproduction, not a production cryptography library.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aead;
+pub mod chacha;
+pub mod ed25519;
+pub mod hash;
+pub mod poly1305;
+pub mod prg;
+pub mod sealed;
+
+pub use aead::{open, seal, AeadError};
+pub use chacha::ChaCha20;
+pub use ed25519::{Point, Scalar};
+pub use hash::ChaChaHash;
+pub use prg::{Prg, Seed, SEED_LEN};

@@ -1,0 +1,209 @@
+//! The Poly1305 one-time authenticator (RFC 8439 §2.5).
+//!
+//! Used by the [`crate::aead`] module to authenticate client→server Prio
+//! packets, mirroring the paper's use of NaCl "box".
+
+/// Computes the 16-byte Poly1305 tag of `msg` under the one-time `key`.
+pub fn poly1305(key: &[u8; 32], msg: &[u8]) -> [u8; 16] {
+    // r is clamped per the RFC.
+    let mut r = [0u8; 16];
+    r.copy_from_slice(&key[..16]);
+    r[3] &= 15;
+    r[7] &= 15;
+    r[11] &= 15;
+    r[15] &= 15;
+    r[4] &= 252;
+    r[8] &= 252;
+    r[12] &= 252;
+
+    // Arithmetic mod 2^130 - 5 with 26-bit limbs (five limbs).
+    let r0 = (u32::from_le_bytes(r[0..4].try_into().unwrap()) & 0x3ff_ffff) as u64;
+    let r1 = ((u32::from_le_bytes(r[3..7].try_into().unwrap()) >> 2) & 0x3ff_ff03) as u64;
+    let r2 = ((u32::from_le_bytes(r[6..10].try_into().unwrap()) >> 4) & 0x3ff_c0ff) as u64;
+    let r3 = ((u32::from_le_bytes(r[9..13].try_into().unwrap()) >> 6) & 0x3f0_3fff) as u64;
+    let r4 = ((u32::from_le_bytes(r[12..16].try_into().unwrap()) >> 8) & 0x00f_ffff) as u64;
+
+    let s1 = r1 * 5;
+    let s2 = r2 * 5;
+    let s3 = r3 * 5;
+    let s4 = r4 * 5;
+
+    let mut h = [0u64; 5];
+
+    let mut chunks = msg.chunks_exact(16);
+    let mut process = |block: &[u8; 17]| {
+        // Add the block (with its high bit) into h.
+        let t0 = u32::from_le_bytes(block[0..4].try_into().unwrap()) as u64;
+        let t1 = u32::from_le_bytes(block[4..8].try_into().unwrap()) as u64;
+        let t2 = u32::from_le_bytes(block[8..12].try_into().unwrap()) as u64;
+        let t3 = u32::from_le_bytes(block[12..16].try_into().unwrap()) as u64;
+        let hibit = (block[16] as u64) << 24;
+
+        h[0] += t0 & 0x3ff_ffff;
+        h[1] += ((t0 >> 26) | (t1 << 6)) & 0x3ff_ffff;
+        h[2] += ((t1 >> 20) | (t2 << 12)) & 0x3ff_ffff;
+        h[3] += ((t2 >> 14) | (t3 << 18)) & 0x3ff_ffff;
+        h[4] += (t3 >> 8) | hibit;
+
+        // h *= r (mod 2^130 - 5), schoolbook with the 5x folding trick.
+        let d0 = h[0] * r0 + h[1] * s4 + h[2] * s3 + h[3] * s2 + h[4] * s1;
+        let d1 = h[0] * r1 + h[1] * r0 + h[2] * s4 + h[3] * s3 + h[4] * s2;
+        let d2 = h[0] * r2 + h[1] * r1 + h[2] * r0 + h[3] * s4 + h[4] * s3;
+        let d3 = h[0] * r3 + h[1] * r2 + h[2] * r1 + h[3] * r0 + h[4] * s4;
+        let d4 = h[0] * r4 + h[1] * r3 + h[2] * r2 + h[3] * r1 + h[4] * r0;
+
+        // Carry propagation.
+        let mut c;
+        let mut d = [d0, d1, d2, d3, d4];
+        c = d[0] >> 26;
+        h[0] = d[0] & 0x3ff_ffff;
+        d[1] += c;
+        c = d[1] >> 26;
+        h[1] = d[1] & 0x3ff_ffff;
+        d[2] += c;
+        c = d[2] >> 26;
+        h[2] = d[2] & 0x3ff_ffff;
+        d[3] += c;
+        c = d[3] >> 26;
+        h[3] = d[3] & 0x3ff_ffff;
+        d[4] += c;
+        c = d[4] >> 26;
+        h[4] = d[4] & 0x3ff_ffff;
+        h[0] += c * 5;
+        c = h[0] >> 26;
+        h[0] &= 0x3ff_ffff;
+        h[1] += c;
+    };
+
+    for chunk in chunks.by_ref() {
+        let mut block = [0u8; 17];
+        block[..16].copy_from_slice(chunk);
+        block[16] = 1;
+        process(&block);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut block = [0u8; 17];
+        block[..rem.len()].copy_from_slice(rem);
+        block[rem.len()] = 1; // padding bit goes *inside* the 17-byte block
+        process(&block);
+    }
+
+    // Full reduction of h mod 2^130 - 5.
+    let mut c = h[1] >> 26;
+    h[1] &= 0x3ff_ffff;
+    h[2] += c;
+    c = h[2] >> 26;
+    h[2] &= 0x3ff_ffff;
+    h[3] += c;
+    c = h[3] >> 26;
+    h[3] &= 0x3ff_ffff;
+    h[4] += c;
+    c = h[4] >> 26;
+    h[4] &= 0x3ff_ffff;
+    h[0] += c * 5;
+    c = h[0] >> 26;
+    h[0] &= 0x3ff_ffff;
+    h[1] += c;
+
+    // Compute h + -p and select.
+    let mut g = [0u64; 5];
+    g[0] = h[0] + 5;
+    c = g[0] >> 26;
+    g[0] &= 0x3ff_ffff;
+    g[1] = h[1] + c;
+    c = g[1] >> 26;
+    g[1] &= 0x3ff_ffff;
+    g[2] = h[2] + c;
+    c = g[2] >> 26;
+    g[2] &= 0x3ff_ffff;
+    g[3] = h[3] + c;
+    c = g[3] >> 26;
+    g[3] &= 0x3ff_ffff;
+    g[4] = h[4].wrapping_add(c).wrapping_sub(1 << 26);
+
+    let underflow = (g[4] >> 63) == 1; // borrow means h < p, keep h
+    let sel = if underflow { h } else { g };
+
+    // Serialize sel as a 128-bit little-endian value and add s (key[16..]).
+    let h0 = (sel[0] | (sel[1] << 26)) as u32;
+    let h1 = ((sel[1] >> 6) | (sel[2] << 20)) as u32;
+    let h2 = ((sel[2] >> 12) | (sel[3] << 14)) as u32;
+    let h3 = ((sel[3] >> 18) | (sel[4] << 8)) as u32;
+
+    let s0 = u32::from_le_bytes(key[16..20].try_into().unwrap());
+    let s1w = u32::from_le_bytes(key[20..24].try_into().unwrap());
+    let s2w = u32::from_le_bytes(key[24..28].try_into().unwrap());
+    let s3w = u32::from_le_bytes(key[28..32].try_into().unwrap());
+
+    let mut acc = h0 as u64 + s0 as u64;
+    let t0 = acc as u32;
+    acc = (acc >> 32) + h1 as u64 + s1w as u64;
+    let t1 = acc as u32;
+    acc = (acc >> 32) + h2 as u64 + s2w as u64;
+    let t2 = acc as u32;
+    acc = (acc >> 32) + h3 as u64 + s3w as u64;
+    let t3 = acc as u32;
+
+    let mut tag = [0u8; 16];
+    tag[0..4].copy_from_slice(&t0.to_le_bytes());
+    tag[4..8].copy_from_slice(&t1.to_le_bytes());
+    tag[8..12].copy_from_slice(&t2.to_le_bytes());
+    tag[12..16].copy_from_slice(&t3.to_le_bytes());
+    tag
+}
+
+/// Constant-time-ish tag comparison (sufficient for this research code).
+pub fn tags_equal(a: &[u8; 16], b: &[u8; 16]) -> bool {
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 8439 §2.5.2 test vector.
+    #[test]
+    fn rfc8439_vector() {
+        let key: [u8; 32] = [
+            0x85, 0xd6, 0xbe, 0x78, 0x57, 0x55, 0x6d, 0x33, 0x7f, 0x44, 0x52, 0xfe, 0x42, 0xd5,
+            0x06, 0xa8, 0x01, 0x03, 0x80, 0x8a, 0xfb, 0x0d, 0xb2, 0xfd, 0x4a, 0xbf, 0xf6, 0xaf,
+            0x41, 0x49, 0xf5, 0x1b,
+        ];
+        let msg = b"Cryptographic Forum Research Group";
+        let tag = poly1305(&key, msg);
+        let expect: [u8; 16] = [
+            0xa8, 0x06, 0x1d, 0xc1, 0x30, 0x51, 0x36, 0xc6, 0xc2, 0x2b, 0x8b, 0xaf, 0x0c, 0x01,
+            0x27, 0xa9,
+        ];
+        assert_eq!(tag, expect);
+    }
+
+    #[test]
+    fn empty_message() {
+        // Tag of the empty message is just s.
+        let mut key = [0u8; 32];
+        key[16..].copy_from_slice(&[0xabu8; 16]);
+        assert_eq!(poly1305(&key, b""), [0xab; 16]);
+    }
+
+    #[test]
+    fn tag_changes_with_message() {
+        let key = [0x42u8; 32];
+        assert_ne!(poly1305(&key, b"hello"), poly1305(&key, b"hellp"));
+        assert_ne!(poly1305(&key, b"hello"), poly1305(&key, b"hello\0"));
+    }
+
+    #[test]
+    fn tags_equal_works() {
+        let a = [1u8; 16];
+        let mut b = a;
+        assert!(tags_equal(&a, &b));
+        b[15] ^= 1;
+        assert!(!tags_equal(&a, &b));
+    }
+}

@@ -1,0 +1,167 @@
+//! A seeded PRG for share compression (Appendix I of the paper).
+//!
+//! The naive way to split a length-`L` vector into `s` additive shares
+//! costs `s·L` field elements of upload. The paper's optimization replaces
+//! the first `s − 1` shares with 32-byte PRG seeds: share `i` is the
+//! deterministic expansion `PRG(seed_i)`, and only the last share is sent
+//! explicitly, cutting the upload to `L + O(1)` elements. [`Prg`] is that
+//! expander, built on ChaCha20, with field-element output via rejection
+//! sampling so the shares are uniform in `F_p`.
+
+use crate::chacha::ChaCha20;
+use prio_field::FieldElement;
+
+/// Length of a PRG seed in bytes.
+pub const SEED_LEN: usize = 32;
+
+/// A PRG seed: the compressed representation of a share vector.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Seed(pub [u8; SEED_LEN]);
+
+impl Seed {
+    /// Samples a fresh random seed.
+    pub fn random<R: rand::Rng + ?Sized>(rng: &mut R) -> Self {
+        let mut bytes = [0u8; SEED_LEN];
+        rng.fill_bytes(&mut bytes);
+        Seed(bytes)
+    }
+}
+
+/// A deterministic pseudo-random generator expanding a [`Seed`] into bytes
+/// and field elements.
+#[derive(Clone)]
+pub struct Prg {
+    stream: ChaCha20,
+}
+
+impl Prg {
+    /// Creates a PRG from a seed with a domain-separation label; the same
+    /// `(seed, label)` pair always yields the same stream. Distinct labels
+    /// (e.g. per-share indices) yield independent streams.
+    pub fn new(seed: &Seed, label: u64) -> Self {
+        let mut nonce = [0u8; 12];
+        nonce[..8].copy_from_slice(&label.to_le_bytes());
+        Prg {
+            stream: ChaCha20::new(&seed.0, &nonce, 0),
+        }
+    }
+
+    /// Fills `out` with pseudo-random bytes.
+    pub fn fill_bytes(&mut self, out: &mut [u8]) {
+        self.stream.fill(out);
+    }
+
+    /// Produces the next uniform field element by rejection sampling.
+    pub fn next_field<F: FieldElement>(&mut self) -> F {
+        let result: Result<F, std::convert::Infallible> = F::from_byte_source(|buf| {
+            self.fill_bytes(buf);
+            Ok(())
+        });
+        match result {
+            Ok(x) => x,
+            Err(e) => match e {},
+        }
+    }
+
+    /// Expands the seed into a length-`n` vector of uniform field elements —
+    /// the PRG-compressed share vector of Appendix I.
+    pub fn expand_field_vec<F: FieldElement>(&mut self, n: usize) -> Vec<F> {
+        (0..n).map(|_| self.next_field()).collect()
+    }
+}
+
+/// Splits `xs` into `n` shares where the first `n − 1` are PRG seeds and the
+/// last is the explicit residual vector; returns `(seeds, residual)`.
+///
+/// Reconstruction: share `i < n−1` is `Prg::new(&seeds[i], label).expand…`,
+/// and all `n` share vectors sum to `xs`.
+pub fn share_with_prg<F: FieldElement, R: rand::Rng + ?Sized>(
+    xs: &[F],
+    n: usize,
+    label: u64,
+    rng: &mut R,
+) -> (Vec<Seed>, Vec<F>) {
+    assert!(n >= 1, "need at least one share");
+    let seeds: Vec<Seed> = (0..n - 1).map(|_| Seed::random(rng)).collect();
+    let mut residual = xs.to_vec();
+    for seed in &seeds {
+        let mut prg = Prg::new(seed, label);
+        for r in residual.iter_mut() {
+            *r -= prg.next_field::<F>();
+        }
+    }
+    (seeds, residual)
+}
+
+/// Expands one PRG share back into its vector form.
+pub fn expand_share<F: FieldElement>(seed: &Seed, label: u64, n: usize) -> Vec<F> {
+    Prg::new(seed, label).expand_field_vec(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prio_field::{Field128, Field64};
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_expansion() {
+        let seed = Seed([42u8; 32]);
+        let a: Vec<Field64> = Prg::new(&seed, 0).expand_field_vec(100);
+        let b: Vec<Field64> = Prg::new(&seed, 0).expand_field_vec(100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn labels_are_independent() {
+        let seed = Seed([42u8; 32]);
+        let a: Vec<Field64> = Prg::new(&seed, 0).expand_field_vec(8);
+        let b: Vec<Field64> = Prg::new(&seed, 1).expand_field_vec(8);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn prg_shares_reconstruct() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let xs: Vec<Field128> = (0..50).map(|_| Field128::random(&mut rng)).collect();
+        for n in 1..=5 {
+            let (seeds, residual) = share_with_prg(&xs, n, 7, &mut rng);
+            assert_eq!(seeds.len(), n - 1);
+            let mut sum = residual.clone();
+            for seed in &seeds {
+                let expanded: Vec<Field128> = expand_share(seed, 7, xs.len());
+                for (s, e) in sum.iter_mut().zip(expanded) {
+                    *s += e;
+                }
+            }
+            assert_eq!(sum, xs, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn rejection_sampling_is_uniform_smoke() {
+        // Mean of many samples should be near p/2.
+        let seed = Seed([7u8; 32]);
+        let mut prg = Prg::new(&seed, 0);
+        let n = 4096u64;
+        let mut acc: u128 = 0;
+        for _ in 0..n {
+            acc += prg.next_field::<Field64>().as_u64() as u128;
+        }
+        let mean = acc / n as u128;
+        let p = prio_field::field64::MODULUS as u128;
+        assert!(mean > p / 4 && mean < 3 * p / 4);
+    }
+
+    #[test]
+    fn upload_size_is_compressed() {
+        // The whole point: n-1 seeds of 32 bytes + one explicit vector,
+        // instead of n explicit vectors.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let xs: Vec<Field64> = (0..1000).map(|_| Field64::random(&mut rng)).collect();
+        let (seeds, residual) = share_with_prg(&xs, 5, 0, &mut rng);
+        let compressed = seeds.len() * SEED_LEN + residual.len() * 8;
+        let naive = 5 * xs.len() * 8;
+        assert!(compressed * 4 < naive, "{compressed} vs {naive}");
+    }
+}

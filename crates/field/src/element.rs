@@ -1,0 +1,267 @@
+//! The [`FieldElement`] trait: the arithmetic interface shared by all Prio
+//! fields.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// An element of a prime field `F_p` with high two-adicity (i.e., `2^k`
+/// divides `p - 1` for large `k`), as required by the NTT-based polynomial
+/// operations in Prio's SNIP construction.
+///
+/// Implementations must be constant-size, `Copy`, and implement the full
+/// ring-operation surface. All operations are total; division is expressed
+/// through [`FieldElement::inv`] (which panics on zero, mirroring field
+/// semantics where `0` has no inverse).
+pub trait FieldElement:
+    Copy
+    + Clone
+    + Debug
+    + Default
+    + PartialEq
+    + Eq
+    + Hash
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + Sum
+    + Product
+{
+    /// Number of bytes in the canonical little-endian serialization.
+    const ENCODED_LEN: usize;
+
+    /// Largest `k` such that `2^k` divides `p - 1`; the field supports NTTs
+    /// of size up to `2^k`.
+    const TWO_ADICITY: u32;
+
+    /// Number of bits of `p` (the field modulus).
+    const MODULUS_BITS: u32;
+
+    /// A human-readable name used in benchmark reports ("Field64" etc.).
+    const NAME: &'static str;
+
+    /// The additive identity.
+    fn zero() -> Self;
+
+    /// The multiplicative identity.
+    fn one() -> Self;
+
+    /// Embeds an unsigned 64-bit integer into the field.
+    fn from_u64(v: u64) -> Self;
+
+    /// Embeds an unsigned 128-bit integer into the field (reduced mod `p`).
+    fn from_u128(v: u128) -> Self;
+
+    /// Embeds a signed integer: negative values map to `p - |v|`.
+    fn from_i64(v: i64) -> Self {
+        if v >= 0 {
+            Self::from_u64(v as u64)
+        } else {
+            -Self::from_u64(v.unsigned_abs())
+        }
+    }
+
+    /// Returns the canonical residue as a `u128` if it fits, `None` otherwise.
+    ///
+    /// Aggregate decoding uses this: Prio sums stay far below the modulus by
+    /// construction (the field is sized so sums never wrap), so decoders can
+    /// safely read accumulated values back out as integers.
+    fn try_to_u128(self) -> Option<u128>;
+
+    /// Returns the canonical residue as a `u128`.
+    ///
+    /// # Panics
+    /// Panics if the residue does not fit in 128 bits (only possible for
+    /// fields wider than 128 bits).
+    fn to_u128(self) -> u128 {
+        self.try_to_u128()
+            .expect("field element does not fit in u128")
+    }
+
+    /// Interprets the residue as a signed value in `(-p/2, p/2]`, returning
+    /// `None` if its magnitude exceeds `i128`. Useful for decoding aggregates
+    /// of signed data.
+    fn to_i128(self) -> Option<i128>;
+
+    /// Raises `self` to the power `exp`.
+    fn pow(self, exp: u128) -> Self {
+        let mut base = self;
+        let mut acc = Self::one();
+        let mut e = exp;
+        while e != 0 {
+            if e & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics if `self` is zero.
+    fn inv(self) -> Self;
+
+    /// A fixed generator of the multiplicative group `F_p^*`.
+    fn generator() -> Self;
+
+    /// A primitive `2^k`-th root of unity.
+    ///
+    /// # Panics
+    /// Panics if `k > Self::TWO_ADICITY`.
+    fn root_of_unity(k: u32) -> Self;
+
+    /// Samples a uniformly random field element.
+    fn random<R: rand::Rng + ?Sized>(rng: &mut R) -> Self;
+
+    /// Serializes the canonical residue as little-endian bytes into `out`.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != Self::ENCODED_LEN`.
+    fn write_le_bytes(self, out: &mut [u8]);
+
+    /// Deserializes a canonical little-endian residue; returns `None` if the
+    /// value is not fully reduced (`>= p`) or `bytes` has the wrong length.
+    fn read_le_bytes(bytes: &[u8]) -> Option<Self>;
+
+    /// Serializes to an owned byte vector.
+    fn to_bytes_vec(self) -> Vec<u8> {
+        let mut v = vec![0u8; Self::ENCODED_LEN];
+        self.write_le_bytes(&mut v);
+        v
+    }
+
+    /// Derives a field element from a byte stream by rejection sampling.
+    ///
+    /// Used to expand PRG output into uniformly distributed field elements
+    /// (Appendix I share compression). The closure yields successive blocks
+    /// of `ENCODED_LEN` pseudo-random bytes; blocks encoding values `>= p`
+    /// are rejected and the next block is drawn.
+    fn from_byte_source<E>(mut next_block: impl FnMut(&mut [u8]) -> Result<(), E>) -> Result<Self, E> {
+        let mut buf = vec![0u8; Self::ENCODED_LEN];
+        loop {
+            next_block(&mut buf)?;
+            // Every supported modulus has its top bit set within the encoded
+            // width, so the rejection rate is below 1/2 per block.
+            if let Some(x) = Self::read_le_bytes(&buf) {
+                return Ok(x);
+            }
+        }
+    }
+}
+
+/// Extension helpers for slices of field elements.
+pub trait FieldSliceExt<F: FieldElement> {
+    /// Adds `other` into `self` element-wise.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    fn add_assign_slice(&mut self, other: &[F]);
+    /// Subtracts `other` from `self` element-wise.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    fn sub_assign_slice(&mut self, other: &[F]);
+    /// Computes the inner product with `other`.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    fn dot(&self, other: &[F]) -> F;
+}
+
+impl<F: FieldElement> FieldSliceExt<F> for [F] {
+    fn add_assign_slice(&mut self, other: &[F]) {
+        assert_eq!(self.len(), other.len(), "length mismatch");
+        for (a, b) in self.iter_mut().zip(other) {
+            *a += *b;
+        }
+    }
+
+    fn sub_assign_slice(&mut self, other: &[F]) {
+        assert_eq!(self.len(), other.len(), "length mismatch");
+        for (a, b) in self.iter_mut().zip(other) {
+            *a -= *b;
+        }
+    }
+
+    fn dot(&self, other: &[F]) -> F {
+        assert_eq!(self.len(), other.len(), "length mismatch");
+        self.iter()
+            .zip(other)
+            .fold(F::zero(), |acc, (a, b)| acc + *a * *b)
+    }
+}
+
+/// Implements the std operator traits for a field type in terms of inherent
+/// `add_impl` / `sub_impl` / `mul_impl` / `neg_impl` methods.
+macro_rules! impl_field_ops {
+    ($t:ty) => {
+        impl std::ops::Add for $t {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                self.add_impl(rhs)
+            }
+        }
+        impl std::ops::Sub for $t {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                self.sub_impl(rhs)
+            }
+        }
+        impl std::ops::Mul for $t {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: Self) -> Self {
+                self.mul_impl(rhs)
+            }
+        }
+        impl std::ops::Neg for $t {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                self.neg_impl()
+            }
+        }
+        impl std::ops::AddAssign for $t {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                *self = self.add_impl(rhs);
+            }
+        }
+        impl std::ops::SubAssign for $t {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                *self = self.sub_impl(rhs);
+            }
+        }
+        impl std::ops::MulAssign for $t {
+            #[inline]
+            fn mul_assign(&mut self, rhs: Self) {
+                *self = self.mul_impl(rhs);
+            }
+        }
+        impl std::iter::Sum for $t {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                iter.fold(<$t as $crate::FieldElement>::zero(), |a, b| a + b)
+            }
+        }
+        impl std::iter::Product for $t {
+            fn product<I: Iterator<Item = Self>>(iter: I) -> Self {
+                iter.fold(<$t as $crate::FieldElement>::one(), |a, b| a * b)
+            }
+        }
+    };
+}
+pub(crate) use impl_field_ops;

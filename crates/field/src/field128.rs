@@ -1,0 +1,341 @@
+//! `Field128`: a 128-bit NTT-friendly prime field in Montgomery form.
+//!
+//! The modulus `p = 2^66·(2^62 - 7) + 2^66 + 1 =
+//! 340282366920938462946865773367900766209` is the field used by the
+//! production `libprio` Rust implementation. It has two-adicity 66 and
+//! multiplicative generator 7. Elements are kept in Montgomery
+//! representation (`x·2^128 mod p`) so multiplication costs one 128×128→256
+//! widening multiply plus one Montgomery reduction.
+
+use crate::element::{impl_field_ops, FieldElement};
+
+/// The 128-bit modulus.
+pub const MODULUS: u128 = 340282366920938462946865773367900766209;
+
+/// `-p^{-1} mod 2^128`, computed at compile time by Newton iteration.
+const NP: u128 = neg_inv_mod_2_128(MODULUS);
+
+/// `R = 2^128 mod p` (the Montgomery radix residue, i.e. `one()`).
+const R: u128 = MODULUS.wrapping_neg(); // valid because p > 2^127
+
+/// `R^2 mod p`, used to convert into Montgomery form.
+const R2: u128 = compute_r2();
+
+const fn neg_inv_mod_2_128(p: u128) -> u128 {
+    // Newton–Hensel lifting: x_{k+1} = x_k (2 - p x_k) doubles the number of
+    // correct low bits each round; 7 rounds reach 128 bits from 1 bit.
+    let mut x: u128 = 1;
+    let mut i = 0;
+    while i < 7 {
+        x = x.wrapping_mul(2u128.wrapping_sub(p.wrapping_mul(x)));
+        i += 1;
+    }
+    x.wrapping_neg()
+}
+
+const fn compute_r2() -> u128 {
+    // R ≡ 2^128 (mod p), so doubling R 128 times gives R·2^128 ≡ R² (mod p).
+    let mut r2 = R;
+    let mut i = 0;
+    while i < 128 {
+        let doubled = r2 << 1;
+        // r2 < p, so 2·r2 < 2^129; detect wraparound via the shifted-out bit.
+        let wrapped = r2 >> 127 == 1;
+        r2 = if wrapped {
+            // value = 2^128 + doubled; value mod p = doubled + (2^128 - p)
+            doubled.wrapping_add(MODULUS.wrapping_neg())
+        } else {
+            doubled
+        };
+        if r2 >= MODULUS {
+            r2 -= MODULUS;
+        }
+        i += 1;
+    }
+    r2
+}
+
+/// Full 128×128→256-bit multiplication, returning `(hi, lo)`.
+#[inline]
+const fn mul_wide(a: u128, b: u128) -> (u128, u128) {
+    let a0 = a as u64 as u128;
+    let a1 = a >> 64;
+    let b0 = b as u64 as u128;
+    let b1 = b >> 64;
+    let ll = a0 * b0;
+    let lh = a0 * b1;
+    let hl = a1 * b0;
+    let hh = a1 * b1;
+    let (mid, mid_c) = lh.overflowing_add(hl);
+    let (lo, lo_c) = ll.overflowing_add((mid as u64 as u128) << 64);
+    let hi = hh + (mid >> 64) + ((mid_c as u128) << 64) + lo_c as u128;
+    (hi, lo)
+}
+
+/// Montgomery reduction: given `t = hi·2^128 + lo < p·2^128`, returns
+/// `t·2^{-128} mod p`.
+#[inline]
+const fn redc(hi: u128, lo: u128) -> u128 {
+    let m = lo.wrapping_mul(NP);
+    let (m_hi, m_lo) = mul_wide(m, MODULUS);
+    // lo + m_lo is ≡ 0 (mod 2^128) by construction of m; only the carry
+    // out matters.
+    let (_, carry) = lo.overflowing_add(m_lo);
+    let (r, o1) = hi.overflowing_add(m_hi);
+    let (r, o2) = r.overflowing_add(carry as u128);
+    if o1 || o2 {
+        // True value is 2^128 + r with r < p; subtracting p modulo 2^128
+        // yields the reduced representative.
+        r.wrapping_sub(MODULUS)
+    } else if r >= MODULUS {
+        r - MODULUS
+    } else {
+        r
+    }
+}
+
+/// An element of the 128-bit Prio field, stored in Montgomery form.
+#[derive(Copy, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Field128(u128);
+
+impl Field128 {
+    /// Returns the canonical (non-Montgomery) residue.
+    pub fn as_u128(self) -> u128 {
+        redc(0, self.0)
+    }
+
+    /// Constructs an element from a canonical residue `< p`.
+    ///
+    /// # Panics
+    /// Panics if `v >= p`.
+    pub fn new(v: u128) -> Self {
+        assert!(v < MODULUS, "residue out of range");
+        Field128(redc_mul(v, R2))
+    }
+
+    #[inline]
+    fn add_impl(self, rhs: Self) -> Self {
+        let (s, over) = self.0.overflowing_add(rhs.0);
+        Field128(if over {
+            s.wrapping_sub(MODULUS)
+        } else if s >= MODULUS {
+            s - MODULUS
+        } else {
+            s
+        })
+    }
+
+    #[inline]
+    fn sub_impl(self, rhs: Self) -> Self {
+        let (d, borrow) = self.0.overflowing_sub(rhs.0);
+        Field128(if borrow { d.wrapping_add(MODULUS) } else { d })
+    }
+
+    #[inline]
+    fn mul_impl(self, rhs: Self) -> Self {
+        Field128(redc_mul(self.0, rhs.0))
+    }
+
+    #[inline]
+    fn neg_impl(self) -> Self {
+        if self.0 == 0 {
+            self
+        } else {
+            Field128(MODULUS - self.0)
+        }
+    }
+}
+
+#[inline]
+const fn redc_mul(a: u128, b: u128) -> u128 {
+    let (hi, lo) = mul_wide(a, b);
+    redc(hi, lo)
+}
+
+impl std::fmt::Debug for Field128 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Field128({})", self.as_u128())
+    }
+}
+
+impl_field_ops!(Field128);
+
+impl FieldElement for Field128 {
+    const ENCODED_LEN: usize = 16;
+    const TWO_ADICITY: u32 = 66;
+    const MODULUS_BITS: u32 = 128;
+    const NAME: &'static str = "Field128";
+
+    fn zero() -> Self {
+        Field128(0)
+    }
+
+    fn one() -> Self {
+        Field128(R)
+    }
+
+    fn from_u64(v: u64) -> Self {
+        Field128(redc_mul(v as u128, R2))
+    }
+
+    fn from_u128(v: u128) -> Self {
+        let v = if v >= MODULUS { v - MODULUS } else { v };
+        Field128(redc_mul(v, R2))
+    }
+
+    fn try_to_u128(self) -> Option<u128> {
+        Some(self.as_u128())
+    }
+
+    fn to_i128(self) -> Option<i128> {
+        let v = self.as_u128();
+        if v > MODULUS / 2 {
+            let mag = MODULUS - v;
+            if mag > i128::MAX as u128 {
+                None
+            } else {
+                Some(-(mag as i128))
+            }
+        } else if v > i128::MAX as u128 {
+            None
+        } else {
+            Some(v as i128)
+        }
+    }
+
+    fn inv(self) -> Self {
+        assert!(self.0 != 0, "inverse of zero");
+        self.pow(MODULUS - 2)
+    }
+
+    fn generator() -> Self {
+        Self::from_u64(7)
+    }
+
+    fn root_of_unity(k: u32) -> Self {
+        assert!(k <= Self::TWO_ADICITY, "two-adicity exceeded");
+        let mut w = Self::generator().pow((MODULUS - 1) >> 66);
+        for _ in k..Self::TWO_ADICITY {
+            w *= w;
+        }
+        w
+    }
+
+    fn random<R: rand::Rng + ?Sized>(rng: &mut R) -> Self {
+        loop {
+            let v: u128 = rng.random();
+            if v < MODULUS {
+                // A uniform residue is also uniform in Montgomery form, so
+                // skip the conversion multiply.
+                return Field128(v);
+            }
+        }
+    }
+
+    fn write_le_bytes(self, out: &mut [u8]) {
+        assert_eq!(out.len(), Self::ENCODED_LEN);
+        out.copy_from_slice(&self.as_u128().to_le_bytes());
+    }
+
+    fn read_le_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != Self::ENCODED_LEN {
+            return None;
+        }
+        let v = u128::from_le_bytes(bytes.try_into().ok()?);
+        if v < MODULUS {
+            Some(Field128::new(v))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primality::is_prime_u128;
+    use proptest::prelude::*;
+
+    #[test]
+    fn modulus_is_prime() {
+        assert!(is_prime_u128(MODULUS));
+    }
+
+    #[test]
+    fn two_adicity() {
+        assert_eq!((MODULUS - 1).trailing_zeros(), 66);
+    }
+
+    #[test]
+    fn montgomery_constants() {
+        // NP * p ≡ -1 (mod 2^128)
+        assert_eq!(MODULUS.wrapping_mul(NP), u128::MAX);
+        // one() decodes to 1
+        assert_eq!(Field128::one().as_u128(), 1);
+        assert_eq!(Field128::from_u64(1), Field128::one());
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        // p - 1 = 2^66 * 3 * 3491 * 440340496364689 (complete factorization;
+        // the large cofactor is prime by Miller–Rabin).
+        let g = Field128::generator();
+        let order = MODULUS - 1;
+        for q in [2u128, 3, 3491, 440340496364689] {
+            assert_ne!(g.pow(order / q), Field128::one(), "q = {q}");
+        }
+        assert_eq!(g.pow(order), Field128::one());
+    }
+
+    #[test]
+    fn roots_of_unity() {
+        let w = Field128::root_of_unity(66);
+        assert_ne!(w.pow(1u128 << 65), Field128::one());
+        assert_eq!(w.pow(1u128 << 66), Field128::one());
+        assert_eq!(Field128::root_of_unity(1), -Field128::one());
+    }
+
+    fn arb_elem() -> impl Strategy<Value = Field128> {
+        any::<u128>().prop_map(Field128::from_u128)
+    }
+
+    proptest! {
+        #[test]
+        fn mul_matches_schoolbook(a in any::<u64>(), b in any::<u64>()) {
+            // Products of 64-bit values do not wrap mod p, giving an exact
+            // integer reference.
+            let fa = Field128::from_u64(a);
+            let fb = Field128::from_u64(b);
+            prop_assert_eq!((fa * fb).as_u128(), (a as u128) * (b as u128));
+        }
+
+        #[test]
+        fn field_axioms(a in arb_elem(), b in arb_elem(), c in arb_elem()) {
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_eq!(a * b, b * a);
+            prop_assert_eq!((a + b) + c, a + (b + c));
+            prop_assert_eq!((a * b) * c, a * (b * c));
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+            prop_assert_eq!(a - b + b, a);
+            prop_assert_eq!(a + (-a), Field128::zero());
+        }
+
+        #[test]
+        fn inverse_property(a in arb_elem()) {
+            prop_assume!(a != Field128::zero());
+            prop_assert_eq!(a * a.inv(), Field128::one());
+        }
+
+        #[test]
+        fn canonical_roundtrip(a in arb_elem()) {
+            prop_assert_eq!(Field128::new(a.as_u128()), a);
+            prop_assert_eq!(Field128::read_le_bytes(&a.to_bytes_vec()), Some(a));
+        }
+    }
+
+    #[test]
+    fn rejects_unreduced_bytes() {
+        assert_eq!(Field128::read_le_bytes(&MODULUS.to_le_bytes()), None);
+        assert_eq!(Field128::read_le_bytes(&u128::MAX.to_le_bytes()), None);
+    }
+}

@@ -1,0 +1,203 @@
+//! `Field32`: a tiny NTT-friendly field, `p = 3·2^30 + 1 = 3221225473`.
+//!
+//! Used only in tests and property-based checks: its small size makes
+//! soundness-failure probabilities non-negligible and observable, which is
+//! useful for validating the Schwartz–Zippel analysis of Section 4.3, and it
+//! keeps exhaustive tests fast.
+
+use crate::element::{impl_field_ops, FieldElement};
+
+/// The modulus `3·2^30 + 1`.
+pub const MODULUS: u32 = 3 * (1 << 30) + 1;
+
+/// An element of `F_p` for `p = 3·2^30 + 1`, stored canonically.
+#[derive(Copy, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Field32(u32);
+
+impl Field32 {
+    /// Constructs an element from a canonical residue.
+    ///
+    /// # Panics
+    /// Panics if `v >= p`.
+    pub const fn new(v: u32) -> Self {
+        assert!(v < MODULUS, "residue out of range");
+        Field32(v)
+    }
+
+    /// Returns the canonical residue.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    #[inline]
+    fn add_impl(self, rhs: Self) -> Self {
+        let s = self.0 as u64 + rhs.0 as u64;
+        Field32(if s >= MODULUS as u64 {
+            (s - MODULUS as u64) as u32
+        } else {
+            s as u32
+        })
+    }
+
+    #[inline]
+    fn sub_impl(self, rhs: Self) -> Self {
+        if self.0 >= rhs.0 {
+            Field32(self.0 - rhs.0)
+        } else {
+            Field32(self.0 + (MODULUS - rhs.0))
+        }
+    }
+
+    #[inline]
+    fn mul_impl(self, rhs: Self) -> Self {
+        Field32(((self.0 as u64 * rhs.0 as u64) % MODULUS as u64) as u32)
+    }
+
+    #[inline]
+    fn neg_impl(self) -> Self {
+        if self.0 == 0 {
+            self
+        } else {
+            Field32(MODULUS - self.0)
+        }
+    }
+}
+
+impl std::fmt::Debug for Field32 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Field32({})", self.0)
+    }
+}
+
+impl_field_ops!(Field32);
+
+impl FieldElement for Field32 {
+    const ENCODED_LEN: usize = 4;
+    const TWO_ADICITY: u32 = 30;
+    const MODULUS_BITS: u32 = 32;
+    const NAME: &'static str = "Field32";
+
+    fn zero() -> Self {
+        Field32(0)
+    }
+
+    fn one() -> Self {
+        Field32(1)
+    }
+
+    fn from_u64(v: u64) -> Self {
+        Field32((v % MODULUS as u64) as u32)
+    }
+
+    fn from_u128(v: u128) -> Self {
+        Field32((v % MODULUS as u128) as u32)
+    }
+
+    fn try_to_u128(self) -> Option<u128> {
+        Some(self.0 as u128)
+    }
+
+    fn to_i128(self) -> Option<i128> {
+        if self.0 > MODULUS / 2 {
+            Some(-((MODULUS - self.0) as i128))
+        } else {
+            Some(self.0 as i128)
+        }
+    }
+
+    fn inv(self) -> Self {
+        assert!(self.0 != 0, "inverse of zero");
+        self.pow((MODULUS - 2) as u128)
+    }
+
+    fn generator() -> Self {
+        Field32(5)
+    }
+
+    fn root_of_unity(k: u32) -> Self {
+        assert!(k <= Self::TWO_ADICITY, "two-adicity exceeded");
+        let mut w = Self::generator().pow(((MODULUS - 1) >> 30) as u128);
+        for _ in k..Self::TWO_ADICITY {
+            w *= w;
+        }
+        w
+    }
+
+    fn random<R: rand::Rng + ?Sized>(rng: &mut R) -> Self {
+        loop {
+            let v: u32 = rng.random();
+            if v < MODULUS {
+                return Field32(v);
+            }
+        }
+    }
+
+    fn write_le_bytes(self, out: &mut [u8]) {
+        assert_eq!(out.len(), Self::ENCODED_LEN);
+        out.copy_from_slice(&self.0.to_le_bytes());
+    }
+
+    fn read_le_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != Self::ENCODED_LEN {
+            return None;
+        }
+        let v = u32::from_le_bytes(bytes.try_into().ok()?);
+        if v < MODULUS {
+            Some(Field32(v))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primality::is_prime_u128;
+    use proptest::prelude::*;
+
+    #[test]
+    fn modulus_is_prime() {
+        assert!(is_prime_u128(MODULUS as u128));
+    }
+
+    #[test]
+    fn generator_order() {
+        // p - 1 = 2^30 * 3.
+        let g = Field32::generator();
+        assert_ne!(g.pow(((MODULUS - 1) / 2) as u128), Field32::one());
+        assert_ne!(g.pow(((MODULUS - 1) / 3) as u128), Field32::one());
+        assert_eq!(g.pow((MODULUS - 1) as u128), Field32::one());
+    }
+
+    #[test]
+    fn known_root() {
+        assert_eq!(Field32::root_of_unity(30).as_u32(), 125);
+    }
+
+    proptest! {
+        #[test]
+        fn axioms(a in any::<u32>(), b in any::<u32>(), c in any::<u32>()) {
+            let (a, b, c) = (
+                Field32::from_u64(a as u64),
+                Field32::from_u64(b as u64),
+                Field32::from_u64(c as u64),
+            );
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+            prop_assert_eq!(a - b + b, a);
+            prop_assert_eq!((a * b) * c, a * (b * c));
+        }
+
+        #[test]
+        fn inv(a in 1u32..MODULUS) {
+            let a = Field32::new(a);
+            prop_assert_eq!(a * a.inv(), Field32::one());
+        }
+
+        #[test]
+        fn roundtrip(a in 0u32..MODULUS) {
+            let a = Field32::new(a);
+            prop_assert_eq!(Field32::read_le_bytes(&a.to_bytes_vec()), Some(a));
+        }
+    }
+}

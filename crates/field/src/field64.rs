@@ -1,0 +1,316 @@
+//! `Field64`: the 64-bit "Goldilocks" prime field, `p = 2^64 - 2^32 + 1`.
+//!
+//! This is our stand-in for the paper's 87-bit FFT-friendly field: it is the
+//! natural machine-word-sized NTT field in Rust, with two-adicity 32 (NTTs up
+//! to size `2^32`). Reduction exploits the identity `2^64 ≡ 2^32 - 1 (mod p)`.
+
+use crate::element::{impl_field_ops, FieldElement};
+
+/// The Goldilocks modulus `2^64 - 2^32 + 1`.
+pub const MODULUS: u64 = 0xffff_ffff_0000_0001;
+
+const EPSILON: u64 = 0xffff_ffff; // 2^32 - 1 == 2^64 mod p
+
+/// An element of `F_p` for `p = 2^64 - 2^32 + 1`, stored as a canonical
+/// residue in `[0, p)`.
+#[derive(Copy, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Field64(u64);
+
+impl Field64 {
+    /// Constructs an element from a canonical residue.
+    ///
+    /// # Panics
+    /// Panics if `v >= p`.
+    pub const fn new(v: u64) -> Self {
+        assert!(v < MODULUS, "residue out of range");
+        Field64(v)
+    }
+
+    /// Returns the canonical residue.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn add_impl(self, rhs: Self) -> Self {
+        let (sum, over) = self.0.overflowing_add(rhs.0);
+        // If the addition wrapped mod 2^64, compensate by adding
+        // 2^64 mod p = EPSILON. The compensated add cannot wrap again because
+        // sum < p - 1 + EPSILON < 2^64 whenever `over` is set.
+        let (sum, over2) = sum.overflowing_add(if over { EPSILON } else { 0 });
+        debug_assert!(!over2);
+        let _ = over2;
+        if sum >= MODULUS {
+            Field64(sum - MODULUS)
+        } else {
+            Field64(sum)
+        }
+    }
+
+    #[inline]
+    fn sub_impl(self, rhs: Self) -> Self {
+        let (diff, borrow) = self.0.overflowing_sub(rhs.0);
+        // A borrow means we wrapped mod 2^64; subtract EPSILON to compensate.
+        let (diff, borrow2) = diff.overflowing_sub(if borrow { EPSILON } else { 0 });
+        debug_assert!(!borrow2);
+        let _ = borrow2;
+        Field64(diff)
+    }
+
+    #[inline]
+    fn mul_impl(self, rhs: Self) -> Self {
+        Field64(reduce128((self.0 as u128) * (rhs.0 as u128)))
+    }
+
+    #[inline]
+    fn neg_impl(self) -> Self {
+        if self.0 == 0 {
+            self
+        } else {
+            Field64(MODULUS - self.0)
+        }
+    }
+}
+
+/// Reduces a 128-bit product modulo `p = 2^64 - 2^32 + 1`.
+///
+/// Writing `x = hi·2^64 + lo` and `hi = hi_hi·2^32 + hi_lo`, we use
+/// `2^64 ≡ 2^32 - 1` and `2^96 ≡ -1 (mod p)`:
+/// `x ≡ lo - hi_hi + hi_lo·(2^32 - 1) (mod p)`.
+#[inline]
+fn reduce128(x: u128) -> u64 {
+    let lo = x as u64;
+    let hi = (x >> 64) as u64;
+    let hi_hi = hi >> 32;
+    let hi_lo = hi & EPSILON;
+
+    // t0 = lo - hi_hi (mod p)
+    let (mut t0, borrow) = lo.overflowing_sub(hi_hi);
+    if borrow {
+        t0 = t0.wrapping_sub(EPSILON);
+    }
+    // t1 = hi_lo * (2^32 - 1) < 2^64
+    let t1 = hi_lo * EPSILON;
+    // result = t0 + t1 (mod p)
+    let (mut res, over) = t0.overflowing_add(t1);
+    if over {
+        res = res.wrapping_add(EPSILON);
+    }
+    if res >= MODULUS {
+        res -= MODULUS;
+    }
+    res
+}
+
+impl std::fmt::Debug for Field64 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Field64({})", self.0)
+    }
+}
+
+impl_field_ops!(Field64);
+
+impl FieldElement for Field64 {
+    const ENCODED_LEN: usize = 8;
+    const TWO_ADICITY: u32 = 32;
+    const MODULUS_BITS: u32 = 64;
+    const NAME: &'static str = "Field64";
+
+    fn zero() -> Self {
+        Field64(0)
+    }
+
+    fn one() -> Self {
+        Field64(1)
+    }
+
+    fn from_u64(v: u64) -> Self {
+        if v >= MODULUS {
+            Field64(v - MODULUS)
+        } else {
+            Field64(v)
+        }
+    }
+
+    fn from_u128(v: u128) -> Self {
+        Field64(reduce128(v))
+    }
+
+    fn try_to_u128(self) -> Option<u128> {
+        Some(self.0 as u128)
+    }
+
+    fn to_i128(self) -> Option<i128> {
+        if self.0 > MODULUS / 2 {
+            Some(-((MODULUS - self.0) as i128))
+        } else {
+            Some(self.0 as i128)
+        }
+    }
+
+    fn inv(self) -> Self {
+        assert!(self.0 != 0, "inverse of zero");
+        self.pow((MODULUS - 2) as u128)
+    }
+
+    fn generator() -> Self {
+        Field64(7)
+    }
+
+    fn root_of_unity(k: u32) -> Self {
+        assert!(k <= Self::TWO_ADICITY, "two-adicity exceeded");
+        // omega = g^((p-1) / 2^32), then square up to the requested order.
+        let mut w = Self::generator().pow(((MODULUS - 1) >> 32) as u128);
+        for _ in k..Self::TWO_ADICITY {
+            w *= w;
+        }
+        w
+    }
+
+    fn random<R: rand::Rng + ?Sized>(rng: &mut R) -> Self {
+        loop {
+            let v: u64 = rng.random();
+            if v < MODULUS {
+                return Field64(v);
+            }
+        }
+    }
+
+    fn write_le_bytes(self, out: &mut [u8]) {
+        assert_eq!(out.len(), Self::ENCODED_LEN);
+        out.copy_from_slice(&self.0.to_le_bytes());
+    }
+
+    fn read_le_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != Self::ENCODED_LEN {
+            return None;
+        }
+        let v = u64::from_le_bytes(bytes.try_into().ok()?);
+        if v < MODULUS {
+            Some(Field64(v))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primality::is_prime_u128;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn modulus_is_prime() {
+        assert!(is_prime_u128(MODULUS as u128));
+    }
+
+    #[test]
+    fn two_adicity() {
+        let m = MODULUS - 1;
+        assert_eq!(m.trailing_zeros(), 32);
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        // ord(7) divides p-1 = 2^32 * m; check 7^((p-1)/q) != 1 for each
+        // prime divisor q of p-1. p-1 = 2^32 * 3 * 5 * 17 * 257 * 65537.
+        let g = Field64::generator();
+        for q in [2u128, 3, 5, 17, 257, 65537] {
+            assert_ne!(g.pow(((MODULUS - 1) as u128) / q), Field64::one());
+        }
+    }
+
+    #[test]
+    fn known_root_of_unity() {
+        assert_eq!(Field64::root_of_unity(32).as_u64(), 1753635133440165772);
+        assert_eq!(Field64::root_of_unity(1), -Field64::one());
+        assert_eq!(Field64::root_of_unity(0), Field64::one());
+    }
+
+    #[test]
+    fn root_orders() {
+        for k in [1u32, 2, 5, 16] {
+            let w = Field64::root_of_unity(k);
+            assert_eq!(w.pow(1u128 << k), Field64::one());
+            assert_ne!(w.pow(1u128 << (k - 1)), Field64::one());
+        }
+    }
+
+    fn arb_elem() -> impl Strategy<Value = Field64> {
+        any::<u64>().prop_map(Field64::from_u64)
+    }
+
+    proptest! {
+        #[test]
+        fn mul_matches_u128_reference(a in arb_elem(), b in arb_elem()) {
+            let expect = ((a.as_u64() as u128) * (b.as_u64() as u128)) % (MODULUS as u128);
+            prop_assert_eq!((a * b).as_u64() as u128, expect);
+        }
+
+        #[test]
+        fn add_matches_u128_reference(a in arb_elem(), b in arb_elem()) {
+            let expect = ((a.as_u64() as u128) + (b.as_u64() as u128)) % (MODULUS as u128);
+            prop_assert_eq!((a + b).as_u64() as u128, expect);
+        }
+
+        #[test]
+        fn sub_add_roundtrip(a in arb_elem(), b in arb_elem()) {
+            prop_assert_eq!(a - b + b, a);
+        }
+
+        #[test]
+        fn field_axioms(a in arb_elem(), b in arb_elem(), c in arb_elem()) {
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_eq!(a * b, b * a);
+            prop_assert_eq!((a + b) + c, a + (b + c));
+            prop_assert_eq!((a * b) * c, a * (b * c));
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+            prop_assert_eq!(a + Field64::zero(), a);
+            prop_assert_eq!(a * Field64::one(), a);
+            prop_assert_eq!(a + (-a), Field64::zero());
+        }
+
+        #[test]
+        fn inverse_property(a in arb_elem()) {
+            prop_assume!(a != Field64::zero());
+            prop_assert_eq!(a * a.inv(), Field64::one());
+        }
+
+        #[test]
+        fn serialization_roundtrip(a in arb_elem()) {
+            let bytes = a.to_bytes_vec();
+            prop_assert_eq!(Field64::read_le_bytes(&bytes), Some(a));
+        }
+    }
+
+    #[test]
+    fn rejects_non_canonical_bytes() {
+        let bytes = u64::MAX.to_le_bytes();
+        assert_eq!(Field64::read_le_bytes(&bytes), None);
+        assert_eq!(Field64::read_le_bytes(&MODULUS.to_le_bytes()), None);
+        assert_eq!(Field64::read_le_bytes(&[0u8; 4]), None);
+    }
+
+    #[test]
+    fn signed_decode() {
+        assert_eq!(Field64::from_i64(-5).to_i128(), Some(-5));
+        assert_eq!(Field64::from_i64(5).to_i128(), Some(5));
+        assert_eq!(Field64::from_i64(-5) + Field64::from_i64(5), Field64::zero());
+    }
+
+    #[test]
+    fn random_is_well_distributed_smoke() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut acc = 0u128;
+        const N: usize = 4096;
+        for _ in 0..N {
+            acc += Field64::random(&mut rng).as_u64() as u128;
+        }
+        let mean = acc / N as u128;
+        // Mean of uniform samples should be near p/2; allow a wide band.
+        let p = MODULUS as u128;
+        assert!(mean > p / 4 && mean < 3 * p / 4, "mean {mean} suspicious");
+    }
+}

@@ -1,0 +1,262 @@
+//! Radix-2 number-theoretic transform (NTT).
+//!
+//! Prio's SNIP prover interpolates the polynomials `f` and `g` through the
+//! multiplication-gate wire values and multiplies them into `h = f·g`
+//! (Section 4.2). Placing the wire values on a power-of-two domain of roots
+//! of unity — exactly as the paper's FLINT-backed implementation does — turns
+//! interpolation into an inverse NTT and polynomial multiplication into two
+//! forward NTTs plus a pointwise product, for `O(M log M)` prover time
+//! (Table 2).
+
+use crate::FieldElement;
+
+/// A precomputed NTT plan for transforms of size `n = 2^k`.
+///
+/// Holds the twiddle factors for the forward and inverse transforms; build
+/// once per size and reuse across submissions.
+#[derive(Clone, Debug)]
+pub struct NttPlan<F: FieldElement> {
+    n: usize,
+    /// ω^i for i in 0..n/2, ω a primitive n-th root of unity.
+    twiddles: Vec<F>,
+    /// ω^{-i} for i in 0..n/2.
+    inv_twiddles: Vec<F>,
+    /// n^{-1} in F.
+    n_inv: F,
+    /// ω itself.
+    omega: F,
+}
+
+impl<F: FieldElement> NttPlan<F> {
+    /// Creates a plan for size `n`, which must be a power of two not
+    /// exceeding `2^F::TWO_ADICITY`.
+    ///
+    /// # Panics
+    /// Panics if `n` is not a power of two, is zero, or exceeds the field's
+    /// two-adic subgroup.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two() && n > 0, "NTT size must be a power of two");
+        let log_n = n.trailing_zeros();
+        assert!(
+            log_n <= F::TWO_ADICITY,
+            "NTT size 2^{log_n} exceeds field two-adicity {}",
+            F::TWO_ADICITY
+        );
+        let omega = F::root_of_unity(log_n);
+        let omega_inv = omega.inv();
+        let mut twiddles = Vec::with_capacity(n / 2);
+        let mut inv_twiddles = Vec::with_capacity(n / 2);
+        let mut w = F::one();
+        let mut wi = F::one();
+        for _ in 0..n / 2 {
+            twiddles.push(w);
+            inv_twiddles.push(wi);
+            w *= omega;
+            wi *= omega_inv;
+        }
+        if n == 1 {
+            // Size-1 transform: no twiddles needed, but keep vectors aligned.
+            twiddles.push(F::one());
+            inv_twiddles.push(F::one());
+        }
+        NttPlan {
+            n,
+            twiddles,
+            inv_twiddles,
+            n_inv: F::from_u64(n as u64).inv(),
+            omega,
+        }
+    }
+
+    /// Transform size.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// The primitive `n`-th root of unity used as the evaluation domain
+    /// generator: domain point `t` is `omega^t`.
+    pub fn omega(&self) -> F {
+        self.omega
+    }
+
+    /// Returns the evaluation domain `[ω^0, ω^1, ..., ω^{n-1}]`.
+    pub fn domain(&self) -> Vec<F> {
+        let mut out = Vec::with_capacity(self.n);
+        let mut w = F::one();
+        for _ in 0..self.n {
+            out.push(w);
+            w *= self.omega;
+        }
+        out
+    }
+
+    /// In-place forward NTT: `values[i] <- P(ω^i)` where `P` has
+    /// coefficients `values` on input.
+    ///
+    /// # Panics
+    /// Panics if `values.len() != self.size()`.
+    pub fn forward(&self, values: &mut [F]) {
+        self.transform(values, false);
+    }
+
+    /// In-place inverse NTT: recovers coefficients from evaluations on the
+    /// domain.
+    ///
+    /// # Panics
+    /// Panics if `values.len() != self.size()`.
+    pub fn inverse(&self, values: &mut [F]) {
+        self.transform(values, true);
+        for v in values.iter_mut() {
+            *v *= self.n_inv;
+        }
+    }
+
+    fn transform(&self, values: &mut [F], invert: bool) {
+        let n = self.n;
+        assert_eq!(values.len(), n, "buffer length must equal plan size");
+        if n == 1 {
+            return;
+        }
+        bit_reverse_permute(values);
+        let twiddles = if invert {
+            &self.inv_twiddles
+        } else {
+            &self.twiddles
+        };
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let step = n / len; // stride into the twiddle table
+            for start in (0..n).step_by(len) {
+                for i in 0..half {
+                    let w = twiddles[i * step];
+                    let u = values[start + i];
+                    let v = values[start + i + half] * w;
+                    values[start + i] = u + v;
+                    values[start + i + half] = u - v;
+                }
+            }
+            len <<= 1;
+        }
+    }
+}
+
+/// Permutes a slice into bit-reversed index order.
+fn bit_reverse_permute<F: Copy>(values: &mut [F]) {
+    let n = values.len();
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u64).reverse_bits() >> (64 - bits);
+        let j = j as usize;
+        if i < j {
+            values.swap(i, j);
+        }
+    }
+}
+
+/// Convenience: next power of two at least `n` (and at least 1).
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Field128, Field32, Field64};
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    fn naive_eval<F: FieldElement>(coeffs: &[F], x: F) -> F {
+        coeffs
+            .iter()
+            .rev()
+            .fold(F::zero(), |acc, &c| acc * x + c)
+    }
+
+    fn check_roundtrip<F: FieldElement>(n: usize, seed: u64) {
+        let plan = NttPlan::<F>::new(n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let coeffs: Vec<F> = (0..n).map(|_| F::random(&mut rng)).collect();
+        let mut buf = coeffs.clone();
+        plan.forward(&mut buf);
+        // Spot-check a few evaluations against Horner.
+        let domain = plan.domain();
+        for i in [0usize, 1, n / 2, n - 1] {
+            if i < n {
+                assert_eq!(buf[i], naive_eval(&coeffs, domain[i]), "point {i}");
+            }
+        }
+        plan.inverse(&mut buf);
+        assert_eq!(buf, coeffs);
+    }
+
+    #[test]
+    fn roundtrip_field64() {
+        for (i, n) in [1usize, 2, 4, 8, 32, 256, 1024].iter().enumerate() {
+            check_roundtrip::<Field64>(*n, i as u64);
+        }
+    }
+
+    #[test]
+    fn roundtrip_field128() {
+        for (i, n) in [2usize, 16, 128].iter().enumerate() {
+            check_roundtrip::<Field128>(*n, 100 + i as u64);
+        }
+    }
+
+    #[test]
+    fn roundtrip_field32() {
+        for (i, n) in [2usize, 8, 64].iter().enumerate() {
+            check_roundtrip::<Field32>(*n, 200 + i as u64);
+        }
+    }
+
+    #[test]
+    fn forward_of_constant() {
+        // The NTT of a constant polynomial is that constant at every point.
+        let plan = NttPlan::<Field64>::new(8);
+        let mut buf = vec![Field64::zero(); 8];
+        buf[0] = Field64::from_u64(5);
+        plan.forward(&mut buf);
+        assert!(buf.iter().all(|&v| v == Field64::from_u64(5)));
+    }
+
+    #[test]
+    fn domain_is_cyclic() {
+        let plan = NttPlan::<Field64>::new(16);
+        let d = plan.domain();
+        assert_eq!(d[0], Field64::one());
+        assert_eq!(d[1].pow(16), Field64::one());
+        assert_eq!(d[8], -Field64::one());
+        // All distinct.
+        let set: std::collections::HashSet<_> = d.iter().collect();
+        assert_eq!(set.len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2() {
+        let _ = NttPlan::<Field64>::new(12);
+    }
+
+    proptest! {
+        #[test]
+        fn linearity(seed in any::<u64>()) {
+            let n = 32;
+            let plan = NttPlan::<Field64>::new(n);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let a: Vec<Field64> = (0..n).map(|_| Field64::random(&mut rng)).collect();
+            let b: Vec<Field64> = (0..n).map(|_| Field64::random(&mut rng)).collect();
+            let sum: Vec<Field64> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+            let mut fa = a.clone();
+            let mut fb = b.clone();
+            let mut fsum = sum.clone();
+            plan.forward(&mut fa);
+            plan.forward(&mut fb);
+            plan.forward(&mut fsum);
+            for i in 0..n {
+                prop_assert_eq!(fsum[i], fa[i] + fb[i]);
+            }
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Polynomial operations over Prio fields: Horner evaluation, NTT-based
+//! multiplication and interpolation, and the fixed-point Lagrange kernel of
+//! the paper's "verification without interpolation" optimization
+//! (Appendix I).
+
+use crate::ntt::{next_pow2, NttPlan};
+use crate::{batch_inverse, FieldElement};
+
+/// Evaluates the polynomial with coefficient vector `coeffs` (low degree
+/// first) at `x` by Horner's rule.
+pub fn eval<F: FieldElement>(coeffs: &[F], x: F) -> F {
+    coeffs.iter().rev().fold(F::zero(), |acc, &c| acc * x + c)
+}
+
+/// Multiplies two coefficient-form polynomials via NTT.
+///
+/// The result has length `a.len() + b.len() - 1` (or is empty if either
+/// input is empty).
+pub fn mul<F: FieldElement>(a: &[F], b: &[F]) -> Vec<F> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let out_len = a.len() + b.len() - 1;
+    let n = next_pow2(out_len);
+    let plan = NttPlan::<F>::new(n);
+    let mut fa = vec![F::zero(); n];
+    fa[..a.len()].copy_from_slice(a);
+    let mut fb = vec![F::zero(); n];
+    fb[..b.len()].copy_from_slice(b);
+    plan.forward(&mut fa);
+    plan.forward(&mut fb);
+    for (x, y) in fa.iter_mut().zip(&fb) {
+        *x *= *y;
+    }
+    plan.inverse(&mut fa);
+    fa.truncate(out_len);
+    fa
+}
+
+/// Interpolates the unique polynomial of degree `< n` through the
+/// evaluations `evals` on the power-of-two root-of-unity domain of size
+/// `n = evals.len()`; returns its coefficients.
+///
+/// # Panics
+/// Panics if `evals.len()` is not a power of two.
+pub fn interpolate_pow2<F: FieldElement>(evals: &[F]) -> Vec<F> {
+    let plan = NttPlan::<F>::new(evals.len());
+    let mut buf = evals.to_vec();
+    plan.inverse(&mut buf);
+    buf
+}
+
+/// Evaluates a coefficient-form polynomial on the full power-of-two domain
+/// of size `n >= coeffs.len()`.
+pub fn evaluate_pow2<F: FieldElement>(coeffs: &[F], n: usize) -> Vec<F> {
+    assert!(n >= coeffs.len(), "domain too small for the polynomial");
+    let plan = NttPlan::<F>::new(n);
+    let mut buf = vec![F::zero(); n];
+    buf[..coeffs.len()].copy_from_slice(coeffs);
+    plan.forward(&mut buf);
+    buf
+}
+
+/// A precomputed Lagrange evaluation kernel for a root-of-unity domain and a
+/// *fixed* evaluation point `r`.
+///
+/// Given evaluations `P(ω^t)` of a polynomial of degree `< n`, computes
+/// `P(r)` as a single inner product `Σ_t λ_t(r)·P(ω^t)` — no interpolation
+/// required. This is the Appendix-I optimization: the Prio servers fix `r`
+/// for a batch of `Q` submissions, precompute the kernel once, and verify
+/// each SNIP with `O(n)` multiplications instead of `O(n log n)`.
+///
+/// Over the domain `{ω^t}` the Lagrange basis has the closed form
+/// `λ_t(r) = (r^n − 1)·ω^t / (n·(r − ω^t))`, derived from the vanishing
+/// polynomial `Z(x) = x^n − 1` with `Z'(ω^t) = n·ω^{−t}`.
+#[derive(Clone, Debug)]
+pub struct LagrangeKernel<F: FieldElement> {
+    weights: Vec<F>,
+    point: F,
+    /// True if `r` happened to land on the domain (then `weights` is a
+    /// selector vector).
+    on_domain: bool,
+}
+
+impl<F: FieldElement> LagrangeKernel<F> {
+    /// Builds the kernel for domain size `n` (a power of two) and evaluation
+    /// point `r`.
+    ///
+    /// # Panics
+    /// Panics if `n` is not a power of two or exceeds the field two-adicity.
+    pub fn new(n: usize, r: F) -> Self {
+        let plan = NttPlan::<F>::new(n);
+        let domain = plan.domain();
+        // If r is a domain point, evaluation is just selection.
+        if let Some(idx) = domain.iter().position(|&d| d == r) {
+            let mut weights = vec![F::zero(); n];
+            weights[idx] = F::one();
+            return LagrangeKernel {
+                weights,
+                point: r,
+                on_domain: true,
+            };
+        }
+        let z_r = r.pow(n as u128) - F::one(); // Z(r) = r^n - 1, nonzero off-domain
+        let n_inv = F::from_u64(n as u64).inv();
+        let diffs: Vec<F> = domain.iter().map(|&d| r - d).collect();
+        let inv_diffs = batch_inverse(&diffs);
+        let weights = domain
+            .iter()
+            .zip(inv_diffs)
+            .map(|(&w_t, inv_diff)| z_r * n_inv * w_t * inv_diff)
+            .collect();
+        LagrangeKernel {
+            weights,
+            point: r,
+            on_domain: false,
+        }
+    }
+
+    /// The evaluation point `r`.
+    pub fn point(&self) -> F {
+        self.point
+    }
+
+    /// Whether the point coincides with a domain element (a soundness hazard
+    /// the SNIP verifier must avoid; see Appendix D.2).
+    pub fn is_on_domain(&self) -> bool {
+        self.on_domain
+    }
+
+    /// The kernel weights `λ_t(r)`.
+    pub fn weights(&self) -> &[F] {
+        &self.weights
+    }
+
+    /// Computes `P(r)` from evaluations of `P` on the domain.
+    ///
+    /// # Panics
+    /// Panics if `evals.len()` differs from the domain size.
+    pub fn eval(&self, evals: &[F]) -> F {
+        assert_eq!(evals.len(), self.weights.len(), "length mismatch");
+        evals
+            .iter()
+            .zip(&self.weights)
+            .fold(F::zero(), |acc, (&e, &w)| acc + e * w)
+    }
+}
+
+/// Interpolates through arbitrary (distinct) points by classic Lagrange
+/// interpolation in `O(n^2)`. Used only in tests and as a reference
+/// implementation for the NTT path.
+pub fn interpolate_naive<F: FieldElement>(points: &[(F, F)]) -> Vec<F> {
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut coeffs = vec![F::zero(); n];
+    for (i, &(xi, yi)) in points.iter().enumerate() {
+        // basis_i(x) = Π_{j≠i} (x - x_j) / (x_i - x_j)
+        let mut basis = vec![F::one()];
+        let mut denom = F::one();
+        for (j, &(xj, _)) in points.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            // basis *= (x - xj)
+            let mut next = vec![F::zero(); basis.len() + 1];
+            for (k, &c) in basis.iter().enumerate() {
+                next[k + 1] += c;
+                next[k] -= c * xj;
+            }
+            basis = next;
+            denom *= xi - xj;
+        }
+        let scale = yi * denom.inv();
+        for (k, &c) in basis.iter().enumerate() {
+            coeffs[k] += c * scale;
+        }
+    }
+    coeffs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Field128, Field64};
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    fn rand_poly<F: FieldElement>(deg: usize, seed: u64) -> Vec<F> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..=deg).map(|_| F::random(&mut rng)).collect()
+    }
+
+    #[test]
+    fn horner_basics() {
+        // p(x) = 3 + 2x + x^2
+        let p: Vec<Field64> = [3u64, 2, 1].iter().map(|&c| Field64::from_u64(c)).collect();
+        assert_eq!(eval(&p, Field64::from_u64(0)), Field64::from_u64(3));
+        assert_eq!(eval(&p, Field64::from_u64(2)), Field64::from_u64(11));
+        assert_eq!(eval::<Field64>(&[], Field64::from_u64(5)), Field64::zero());
+    }
+
+    #[test]
+    fn mul_matches_schoolbook() {
+        let a = rand_poly::<Field64>(7, 1);
+        let b = rand_poly::<Field64>(12, 2);
+        let fast = mul(&a, &b);
+        let mut slow = vec![Field64::zero(); a.len() + b.len() - 1];
+        for (i, &x) in a.iter().enumerate() {
+            for (j, &y) in b.iter().enumerate() {
+                slow[i + j] += x * y;
+            }
+        }
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn mul_empty() {
+        assert!(mul::<Field64>(&[], &[Field64::one()]).is_empty());
+    }
+
+    #[test]
+    fn interpolate_evaluate_roundtrip() {
+        let coeffs = rand_poly::<Field128>(15, 3);
+        let evals = evaluate_pow2(&coeffs, 16);
+        let back = interpolate_pow2(&evals);
+        assert_eq!(back, coeffs);
+    }
+
+    #[test]
+    fn lagrange_kernel_matches_interpolation() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let coeffs = rand_poly::<Field64>(31, 5);
+        let evals = evaluate_pow2(&coeffs, 32);
+        for _ in 0..8 {
+            let r = Field64::random(&mut rng);
+            let kernel = LagrangeKernel::new(32, r);
+            assert_eq!(kernel.eval(&evals), eval(&coeffs, r));
+        }
+    }
+
+    #[test]
+    fn lagrange_kernel_on_domain_point() {
+        let coeffs = rand_poly::<Field64>(7, 6);
+        let evals = evaluate_pow2(&coeffs, 8);
+        let plan = NttPlan::<Field64>::new(8);
+        let domain = plan.domain();
+        let kernel = LagrangeKernel::new(8, domain[3]);
+        assert!(kernel.is_on_domain());
+        assert_eq!(kernel.eval(&evals), evals[3]);
+    }
+
+    #[test]
+    fn naive_interpolation_reference() {
+        let pts: Vec<(Field64, Field64)> = vec![
+            (Field64::from_u64(1), Field64::from_u64(2)),
+            (Field64::from_u64(2), Field64::from_u64(5)),
+            (Field64::from_u64(3), Field64::from_u64(10)),
+        ];
+        // These points lie on x^2 + 1.
+        let coeffs = interpolate_naive(&pts);
+        assert_eq!(
+            coeffs,
+            vec![Field64::from_u64(1), Field64::zero(), Field64::from_u64(1)]
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn kernel_is_linear(seed in any::<u64>()) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let r = Field64::random(&mut rng);
+            let kernel = LagrangeKernel::new(16, r);
+            let a = rand_poly::<Field64>(15, seed.wrapping_add(1));
+            let b = rand_poly::<Field64>(15, seed.wrapping_add(2));
+            let ea = evaluate_pow2(&a, 16);
+            let eb = evaluate_pow2(&b, 16);
+            let esum: Vec<Field64> = ea.iter().zip(&eb).map(|(&x, &y)| x + y).collect();
+            prop_assert_eq!(kernel.eval(&esum), kernel.eval(&ea) + kernel.eval(&eb));
+        }
+
+        #[test]
+        fn interpolate_through_degree_bound(seed in any::<u64>()) {
+            // Interpolating a degree-(n-1) polynomial's evaluations recovers it.
+            let coeffs = rand_poly::<Field64>(7, seed);
+            let evals = evaluate_pow2(&coeffs, 8);
+            prop_assert_eq!(interpolate_pow2(&evals), coeffs);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Miller–Rabin primality testing for `u128` values.
+//!
+//! Used by the test suite to verify field moduli from scratch (no constants
+//! are trusted without an in-repo check).
+
+/// Computes `a·b mod m` without overflow via binary double-and-add.
+fn mulmod(mut a: u128, mut b: u128, m: u128) -> u128 {
+    debug_assert!(m > 0);
+    a %= m;
+    let mut acc: u128 = 0;
+    while b > 0 {
+        if b & 1 == 1 {
+            acc = addmod(acc, a, m);
+        }
+        a = addmod(a, a, m);
+        b >>= 1;
+    }
+    acc
+}
+
+#[inline]
+fn addmod(a: u128, b: u128, m: u128) -> u128 {
+    // a, b < m <= 2^127 would avoid overflow, but m may exceed 2^127;
+    // use wrapping arithmetic with explicit overflow detection.
+    let (s, over) = a.overflowing_add(b);
+    if over || s >= m {
+        s.wrapping_sub(m)
+    } else {
+        s
+    }
+}
+
+fn powmod(mut base: u128, mut exp: u128, m: u128) -> u128 {
+    let mut acc: u128 = 1 % m;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mulmod(acc, base, m);
+        }
+        base = mulmod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Miller–Rabin with a fixed base set; deterministic for all 64-bit inputs
+/// and overwhelming confidence for the (non-adversarial) 128-bit moduli we
+/// validate in tests.
+pub fn is_prime_u128(n: u128) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u128, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n % p == 0 {
+            return n == p;
+        }
+    }
+    let mut d = n - 1;
+    let mut r = 0u32;
+    while d % 2 == 0 {
+        d /= 2;
+        r += 1;
+    }
+    'outer: for a in [
+        2u128, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71,
+    ] {
+        let mut x = powmod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r.saturating_sub(1) {
+            x = mulmod(x, x, n);
+            if x == n - 1 {
+                continue 'outer;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes_and_composites() {
+        let primes = [2u128, 3, 5, 7, 97, 65537, 1_000_003];
+        let composites = [1u128, 4, 561, 1105, 6601, 1_000_001, 65536];
+        for p in primes {
+            assert!(is_prime_u128(p), "{p} should be prime");
+        }
+        for c in composites {
+            assert!(!is_prime_u128(c), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn mersenne_and_fermat() {
+        assert!(is_prime_u128((1u128 << 61) - 1)); // M61
+        assert!(!is_prime_u128((1u128 << 67) - 1)); // M67 is composite
+        assert!(is_prime_u128((1u128 << 16) + 1)); // F4 = 65537
+        assert!(!is_prime_u128((1u128 << 32) + 1)); // F5 is composite
+    }
+
+    #[test]
+    fn mulmod_no_overflow() {
+        let m = u128::MAX - 58; // arbitrary large odd modulus
+        let a = u128::MAX - 100;
+        let b = u128::MAX - 200;
+        // (m - 100 + 58 - ... ) sanity: verify (a*b) mod m == ((a mod m)*(b mod m)) mod m
+        // using the identity a = m - 42? Just check against small decomposition:
+        // a ≡ -42-58+... — simpler: a mod m = a - 0 = a (a < m). Check commutativity
+        // and a known small case.
+        assert_eq!(mulmod(a, 1, m), a % m);
+        assert_eq!(mulmod(a, b, m), mulmod(b, a, m));
+        assert_eq!(mulmod(1 << 100, 1 << 27, u128::MAX), (1u128 << 127) % u128::MAX);
+    }
+}

@@ -1,0 +1,524 @@
+//! Raw 256-bit integer arithmetic and a runtime-configurable Montgomery
+//! multiplication context.
+//!
+//! This module backs [`crate::Field256`] and is reused by `prio-crypto` for
+//! the ed25519 base field (`2^255 - 19`) and scalar field (mod `ℓ`): one
+//! CIOS Montgomery engine, three moduli.
+
+/// A 256-bit unsigned integer stored as four little-endian 64-bit limbs.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Default)]
+pub struct U256(pub [u64; 4]);
+
+impl std::fmt::Debug for U256 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "0x{:016x}{:016x}{:016x}{:016x}",
+            self.0[3], self.0[2], self.0[1], self.0[0]
+        )
+    }
+}
+
+impl U256 {
+    /// The value 0.
+    pub const ZERO: U256 = U256([0; 4]);
+    /// The value 1.
+    pub const ONE: U256 = U256([1, 0, 0, 0]);
+
+    /// Builds from a `u64`.
+    pub const fn from_u64(v: u64) -> Self {
+        U256([v, 0, 0, 0])
+    }
+
+    /// Builds from a `u128`.
+    pub const fn from_u128(v: u128) -> Self {
+        U256([v as u64, (v >> 64) as u64, 0, 0])
+    }
+
+    /// Returns the value as `u128` if the upper limbs are zero.
+    pub fn try_to_u128(self) -> Option<u128> {
+        if self.0[2] == 0 && self.0[3] == 0 {
+            Some((self.0[0] as u128) | ((self.0[1] as u128) << 64))
+        } else {
+            None
+        }
+    }
+
+    /// True iff the value is zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == [0; 4]
+    }
+
+    /// True iff the value is odd.
+    pub fn is_odd(self) -> bool {
+        self.0[0] & 1 == 1
+    }
+
+    /// Returns bit `i` (little-endian numbering).
+    pub fn bit(self, i: u32) -> bool {
+        (self.0[(i / 64) as usize] >> (i % 64)) & 1 == 1
+    }
+
+    /// Index of the highest set bit, or `None` for zero.
+    pub fn highest_bit(self) -> Option<u32> {
+        for limb in (0..4).rev() {
+            if self.0[limb] != 0 {
+                return Some(limb as u32 * 64 + 63 - self.0[limb].leading_zeros());
+            }
+        }
+        None
+    }
+
+    /// Addition with carry-out.
+    pub const fn overflowing_add(self, rhs: U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut carry = 0u64;
+        let mut i = 0;
+        while i < 4 {
+            let s = self.0[i] as u128 + rhs.0[i] as u128 + carry as u128;
+            out[i] = s as u64;
+            carry = (s >> 64) as u64;
+            i += 1;
+        }
+        (U256(out), carry != 0)
+    }
+
+    /// Subtraction with borrow-out.
+    pub const fn overflowing_sub(self, rhs: U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut borrow = 0u64;
+        let mut i = 0;
+        while i < 4 {
+            let (d1, b1) = self.0[i].overflowing_sub(rhs.0[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out[i] = d2;
+            borrow = (b1 as u64) + (b2 as u64);
+            i += 1;
+        }
+        (U256(out), borrow != 0)
+    }
+
+    /// Wrapping addition mod `2^256`.
+    pub const fn wrapping_add(self, rhs: U256) -> U256 {
+        self.overflowing_add(rhs).0
+    }
+
+    /// Wrapping subtraction mod `2^256`.
+    pub const fn wrapping_sub(self, rhs: U256) -> U256 {
+        self.overflowing_sub(rhs).0
+    }
+
+    /// Shifts left by one bit (dropping overflow).
+    pub const fn shl1(self) -> U256 {
+        let mut out = [0u64; 4];
+        let mut carry = 0u64;
+        let mut i = 0;
+        while i < 4 {
+            out[i] = (self.0[i] << 1) | carry;
+            carry = self.0[i] >> 63;
+            i += 1;
+        }
+        U256(out)
+    }
+
+    /// Shifts right by one bit.
+    pub const fn shr1(self) -> U256 {
+        let mut out = [0u64; 4];
+        let mut i = 0;
+        while i < 4 {
+            out[i] = self.0[i] >> 1;
+            if i < 3 {
+                out[i] |= self.0[i + 1] << 63;
+            }
+            i += 1;
+        }
+        U256(out)
+    }
+
+    /// Full 256×256→512-bit multiplication; returns eight LE limbs.
+    pub fn mul_wide(self, rhs: U256) -> [u64; 8] {
+        let mut out = [0u64; 8];
+        for i in 0..4 {
+            let mut carry = 0u64;
+            for j in 0..4 {
+                let (lo, hi) = mac(out[i + j], self.0[i], rhs.0[j], carry);
+                out[i + j] = lo;
+                carry = hi;
+            }
+            out[i + 4] = carry;
+        }
+        out
+    }
+
+    /// Parses 32 little-endian bytes.
+    pub fn from_le_bytes(bytes: &[u8; 32]) -> Self {
+        let mut limbs = [0u64; 4];
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            *limb = u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().unwrap());
+        }
+        U256(limbs)
+    }
+
+    /// Serializes to 32 little-endian bytes.
+    pub fn to_le_bytes(self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            out[i * 8..(i + 1) * 8].copy_from_slice(&self.0[i].to_le_bytes());
+        }
+        out
+    }
+}
+
+impl Ord for U256 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        for i in (0..4).rev() {
+            match self.0[i].cmp(&other.0[i]) {
+                std::cmp::Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl PartialOrd for U256 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// `acc + a·b + carry` returned as `(lo, hi)`.
+#[inline]
+const fn mac(acc: u64, a: u64, b: u64, carry: u64) -> (u64, u64) {
+    let t = acc as u128 + (a as u128) * (b as u128) + carry as u128;
+    (t as u64, (t >> 64) as u64)
+}
+
+/// Reduces a 512-bit value (eight LE limbs) modulo `m` by binary long
+/// division. Slow (512 shift/subtract steps) but only used during context
+/// setup and hash-to-scalar conversions.
+pub fn mod_wide_slow(limbs: &[u64; 8], m: U256) -> U256 {
+    assert!(!m.is_zero(), "modulus must be nonzero");
+    let mut rem = U256::ZERO;
+    for bit in (0..512).rev() {
+        // rem = rem*2 + bit; rem stays < 2m < 2^257, so track the shifted-out
+        // bit explicitly.
+        let msb = rem.bit(255);
+        rem = rem.shl1();
+        if (limbs[bit / 64] >> (bit % 64)) & 1 == 1 {
+            rem.0[0] |= 1;
+        }
+        if msb || rem >= m {
+            rem = rem.wrapping_sub(m);
+        }
+    }
+    rem
+}
+
+/// A Montgomery-multiplication context for a fixed odd 256-bit modulus.
+///
+/// All values passed to [`MontCtx::mul`], [`MontCtx::add`], etc. are in
+/// Montgomery form (`x·2^256 mod m`); convert with [`MontCtx::to_mont`] /
+/// [`MontCtx::from_mont`].
+#[derive(Clone, Debug)]
+pub struct MontCtx {
+    /// The modulus `m`.
+    pub modulus: U256,
+    /// `-m^{-1} mod 2^64`.
+    pub n0: u64,
+    /// `2^256 mod m` — the Montgomery representation of 1.
+    pub one: U256,
+    /// `(2^256)^2 mod m`.
+    pub r2: U256,
+}
+
+impl MontCtx {
+    /// Builds a context for an odd modulus.
+    ///
+    /// # Panics
+    /// Panics if `modulus` is even or zero.
+    pub fn new(modulus: U256) -> Self {
+        assert!(modulus.is_odd(), "Montgomery modulus must be odd");
+        // n0 = -m^{-1} mod 2^64 by Newton–Hensel lifting.
+        let m0 = modulus.0[0];
+        let mut inv: u64 = 1;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(m0.wrapping_mul(inv)));
+        }
+        let n0 = inv.wrapping_neg();
+
+        // one = 2^256 mod m: reduce [0,0,0,0,1,0,0,0] (=2^256) as a wide value.
+        let mut wide = [0u64; 8];
+        wide[4] = 1;
+        let one = mod_wide_slow(&wide, modulus);
+        // r2 = (2^256)^2 mod m = one^2 mod m.
+        let r2 = mod_wide_slow(&one.mul_wide(one), modulus);
+        MontCtx {
+            modulus,
+            n0,
+            one,
+            r2,
+        }
+    }
+
+    /// Converts a canonical residue (`< m`) to Montgomery form.
+    pub fn to_mont(&self, x: U256) -> U256 {
+        debug_assert!(x < self.modulus);
+        self.mul(x, self.r2)
+    }
+
+    /// Converts from Montgomery form back to a canonical residue.
+    pub fn from_mont(&self, x: U256) -> U256 {
+        // REDC of the 512-bit value (0, x).
+        self.mont_reduce([x.0[0], x.0[1], x.0[2], x.0[3], 0, 0, 0, 0])
+    }
+
+    /// Montgomery multiplication (CIOS): returns `a·b·2^{-256} mod m`.
+    pub fn mul(&self, a: U256, b: U256) -> U256 {
+        self.mont_reduce(a.mul_wide(b))
+    }
+
+    /// Montgomery squaring.
+    pub fn square(&self, a: U256) -> U256 {
+        self.mul(a, a)
+    }
+
+    fn mont_reduce(&self, t: [u64; 8]) -> U256 {
+        let m = &self.modulus.0;
+        let mut t = t;
+        let mut extra = 0u64; // the 2^512 overflow column
+        for i in 0..4 {
+            let k = t[i].wrapping_mul(self.n0);
+            let mut carry = 0u64;
+            for j in 0..4 {
+                let (lo, hi) = mac(t[i + j], k, m[j], carry);
+                t[i + j] = lo;
+                carry = hi;
+            }
+            // Propagate the carry into the remaining upper limbs.
+            let mut j = i + 4;
+            while carry != 0 && j < 8 {
+                let (s, c) = t[j].overflowing_add(carry);
+                t[j] = s;
+                carry = c as u64;
+                j += 1;
+            }
+            extra += carry; // carry out of limb 7
+        }
+        let mut r = U256([t[4], t[5], t[6], t[7]]);
+        if extra != 0 || r >= self.modulus {
+            r = r.wrapping_sub(self.modulus);
+        }
+        r
+    }
+
+    /// Modular addition of Montgomery-form values.
+    pub fn add(&self, a: U256, b: U256) -> U256 {
+        let (s, over) = a.overflowing_add(b);
+        if over || s >= self.modulus {
+            s.wrapping_sub(self.modulus)
+        } else {
+            s
+        }
+    }
+
+    /// Modular subtraction of Montgomery-form values.
+    pub fn sub(&self, a: U256, b: U256) -> U256 {
+        let (d, borrow) = a.overflowing_sub(b);
+        if borrow {
+            d.wrapping_add(self.modulus)
+        } else {
+            d
+        }
+    }
+
+    /// Modular negation.
+    pub fn neg(&self, a: U256) -> U256 {
+        if a.is_zero() {
+            a
+        } else {
+            self.modulus.wrapping_sub(a)
+        }
+    }
+
+    /// Exponentiation by a 256-bit exponent (square-and-multiply, MSB-first).
+    pub fn pow(&self, base: U256, exp: U256) -> U256 {
+        let mut acc = self.one;
+        let Some(top) = exp.highest_bit() else {
+            return self.one; // x^0 = 1
+        };
+        for i in (0..=top).rev() {
+            acc = self.square(acc);
+            if exp.bit(i) {
+                acc = self.mul(acc, base);
+            }
+        }
+        acc
+    }
+
+    /// Inverse via Fermat's little theorem (`a^{m-2}`); requires `m` prime.
+    ///
+    /// # Panics
+    /// Panics if `a` is zero.
+    pub fn inv(&self, a: U256) -> U256 {
+        assert!(!a.is_zero(), "inverse of zero");
+        let exp = self.modulus.wrapping_sub(U256::from_u64(2));
+        self.pow(a, exp)
+    }
+
+    /// Reduces a 512-bit little-endian value modulo `m` and returns it in
+    /// Montgomery form. Used for deriving scalars from hash output.
+    pub fn from_wide_le_bytes(&self, bytes: &[u8; 64]) -> U256 {
+        let mut limbs = [0u64; 8];
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            *limb = u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().unwrap());
+        }
+        let canonical = mod_wide_slow(&limbs, self.modulus);
+        self.to_mont(canonical)
+    }
+}
+
+/// Miller–Rabin primality test over 256-bit integers, used by the test suite
+/// to validate field moduli.
+pub fn is_prime_u256(n: U256, rounds: usize) -> bool {
+    if n < U256::from_u64(2) {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let pp = U256::from_u64(p);
+        if n == pp {
+            return true;
+        }
+        // Divisibility check via mod_wide_slow.
+        let mut wide = [0u64; 8];
+        wide[..4].copy_from_slice(&n.0);
+        if mod_wide_slow(&wide, pp).is_zero() {
+            return false;
+        }
+    }
+    if !n.is_odd() {
+        return false;
+    }
+    let ctx = MontCtx::new(n);
+    let n_minus_1 = n.wrapping_sub(U256::ONE);
+    let mut d = n_minus_1;
+    let mut r = 0u32;
+    while !d.is_odd() {
+        d = d.shr1();
+        r += 1;
+    }
+    let one_m = ctx.one;
+    let neg_one_m = ctx.neg(ctx.one);
+    // Fixed pseudo-random bases derived from small primes; adequate for
+    // validating known constants (not adversarial input).
+    let bases: Vec<u64> = [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53]
+        .iter()
+        .copied()
+        .take(rounds.max(8))
+        .collect();
+    'outer: for a in bases {
+        let a = ctx.to_mont(U256::from_u64(a));
+        let mut x = ctx.pow(a, d);
+        if x == one_m || x == neg_one_m {
+            continue;
+        }
+        for _ in 0..r.saturating_sub(1) {
+            x = ctx.square(x);
+            if x == neg_one_m {
+                continue 'outer;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = U256([u64::MAX, 5, 0, 17]);
+        let b = U256([3, u64::MAX, u64::MAX, 2]);
+        let (s, _) = a.overflowing_add(b);
+        let (d, borrow) = s.overflowing_sub(b);
+        assert!(!borrow);
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn mul_wide_matches_u128() {
+        let a = U256::from_u128(0xdead_beef_1234_5678_9abc_def0_1111_2222);
+        let b = U256::from_u128(0x1234_5678);
+        let wide = a.mul_wide(b);
+        // Upper half must be zero for this small product.
+        assert_eq!(&wide[4..], &[0u64; 4]);
+        let expect = 0xdead_beef_1234_5678_9abc_def0_1111_2222u128 as u128;
+        // Reference via two u128 multiplies on the split halves.
+        let lo = (expect as u64 as u128) * 0x1234_5678u128;
+        let hi = (expect >> 64) * 0x1234_5678u128;
+        let limb0 = lo as u64;
+        let limb1 = ((lo >> 64) + (hi as u64 as u128)) as u64;
+        assert_eq!(wide[0], limb0);
+        assert_eq!(wide[1], limb1);
+    }
+
+    #[test]
+    fn mod_wide_small_cases() {
+        let mut wide = [0u64; 8];
+        wide[0] = 1000;
+        assert_eq!(mod_wide_slow(&wide, U256::from_u64(7)), U256::from_u64(6));
+        wide[0] = 12;
+        assert_eq!(mod_wide_slow(&wide, U256::from_u64(12)), U256::ZERO);
+    }
+
+    #[test]
+    fn mont_roundtrip() {
+        // Modulus: the Goldilocks prime, small enough to cross-check.
+        let m = U256::from_u64(0xffff_ffff_0000_0001);
+        let ctx = MontCtx::new(m);
+        for v in [0u64, 1, 2, 12345, 0xffff_fffe_ffff_ffff] {
+            let x = U256::from_u64(v);
+            assert_eq!(ctx.from_mont(ctx.to_mont(x)), x, "v = {v}");
+        }
+        let a = ctx.to_mont(U256::from_u64(1 << 40));
+        let b = ctx.to_mont(U256::from_u64(1 << 41));
+        let prod = ctx.from_mont(ctx.mul(a, b));
+        let expect = ((1u128 << 81) % 0xffff_ffff_0000_0001u128) as u64;
+        assert_eq!(prod, U256::from_u64(expect));
+    }
+
+    #[test]
+    fn pow_and_inv() {
+        let m = U256::from_u64(1_000_003); // prime
+        let ctx = MontCtx::new(m);
+        let a = ctx.to_mont(U256::from_u64(777));
+        // Fermat: a^(m-1) = 1.
+        assert_eq!(ctx.pow(a, U256::from_u64(1_000_002)), ctx.one);
+        let ainv = ctx.inv(a);
+        assert_eq!(ctx.mul(a, ainv), ctx.one);
+    }
+
+    #[test]
+    fn miller_rabin_small() {
+        assert!(is_prime_u256(U256::from_u64(2), 8));
+        assert!(is_prime_u256(U256::from_u64(3), 8));
+        assert!(is_prime_u256(U256::from_u64(1_000_003), 8));
+        assert!(!is_prime_u256(U256::from_u64(1_000_001), 8)); // 101 × 9901
+        assert!(!is_prime_u256(U256::from_u64(561), 8)); // Carmichael
+        assert!(is_prime_u256(U256::from_u64(0xffff_ffff_0000_0001), 8));
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let a = U256([1, 2, 3, 4]);
+        assert_eq!(U256::from_le_bytes(&a.to_le_bytes()), a);
+    }
+
+    #[test]
+    fn comparison() {
+        assert!(U256([0, 0, 0, 1]) > U256([u64::MAX, u64::MAX, u64::MAX, 0]));
+        assert!(U256::ZERO < U256::ONE);
+    }
+}

@@ -1,0 +1,25 @@
+//! An in-process simulated network for the Prio server cluster.
+//!
+//! The paper's evaluation runs five servers in five Amazon EC2 data centers.
+//! This crate substitutes an in-process message-passing fabric with the two
+//! properties the evaluation actually measures:
+//!
+//! * **exact byte accounting** per link and per node (Figure 6 reports
+//!   per-server bytes transferred per client submission);
+//! * **real concurrency**: each simulated server runs on its own OS thread
+//!   and communicates only through framed messages over channels, so
+//!   coordination costs are exercised for the throughput numbers
+//!   (Figures 4, 5; Table 9).
+//!
+//! An optional per-link latency models WAN round trips. Message framing is
+//! explicit ([`wire`]) — every byte that would cross a socket is serialized
+//! for real, so the byte counters measure honest wire sizes rather than
+//! in-memory struct sizes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod sim;
+pub mod wire;
+
+pub use sim::{Endpoint, NetStats, NodeId, SimNetwork};

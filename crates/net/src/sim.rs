@@ -1,0 +1,302 @@
+//! The simulated message fabric: endpoints, channels, byte accounting, and
+//! optional link latency.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Identifies a node (server or client proxy) on the simulated network.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// A framed message in flight.
+#[derive(Clone, Debug)]
+pub struct Envelope {
+    /// Sender.
+    pub src: NodeId,
+    /// Payload bytes (already wire-encoded by the caller).
+    pub payload: Vec<u8>,
+}
+
+struct Inner {
+    mailboxes: Mutex<HashMap<NodeId, Sender<Envelope>>>,
+    /// Bytes sent, indexed by source node.
+    sent: Mutex<HashMap<NodeId, Arc<AtomicU64>>>,
+    /// Bytes received, indexed by destination node.
+    received: Mutex<HashMap<NodeId, Arc<AtomicU64>>>,
+    /// Messages sent, indexed by source node.
+    msgs: Mutex<HashMap<NodeId, Arc<AtomicU64>>>,
+    latency: Option<Duration>,
+    next_id: AtomicU64,
+}
+
+/// The simulated network fabric. Cheap to clone (shared handle).
+#[derive(Clone)]
+pub struct SimNetwork {
+    inner: Arc<Inner>,
+}
+
+impl Default for SimNetwork {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimNetwork {
+    /// Creates a fabric with zero latency (pure CPU-bound simulation).
+    pub fn new() -> Self {
+        Self::with_latency(None)
+    }
+
+    /// Creates a fabric that delays every delivery by `latency`, modelling
+    /// a uniform WAN link (the paper's cross-datacenter deployment).
+    pub fn with_latency(latency: Option<Duration>) -> Self {
+        SimNetwork {
+            inner: Arc::new(Inner {
+                mailboxes: Mutex::new(HashMap::new()),
+                sent: Mutex::new(HashMap::new()),
+                received: Mutex::new(HashMap::new()),
+                msgs: Mutex::new(HashMap::new()),
+                latency,
+                next_id: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Registers a new endpoint with its own mailbox.
+    pub fn endpoint(&self) -> Endpoint {
+        let id = NodeId(self.inner.next_id.fetch_add(1, Ordering::Relaxed) as usize);
+        let (tx, rx) = unbounded();
+        self.inner.mailboxes.lock().insert(id, tx);
+        let counters = |map: &Mutex<HashMap<NodeId, Arc<AtomicU64>>>| {
+            map.lock().entry(id).or_default().clone()
+        };
+        Endpoint {
+            id,
+            net: self.clone(),
+            rx,
+            sent: counters(&self.inner.sent),
+            received: counters(&self.inner.received),
+            msgs: counters(&self.inner.msgs),
+        }
+    }
+
+    fn deliver(&self, src: NodeId, dst: NodeId, payload: Vec<u8>) -> Result<(), SendError> {
+        if let Some(latency) = self.inner.latency {
+            std::thread::sleep(latency);
+        }
+        let n = payload.len() as u64;
+        let tx = {
+            let boxes = self.inner.mailboxes.lock();
+            boxes.get(&dst).cloned().ok_or(SendError::UnknownNode)?
+        };
+        tx.send(Envelope { src, payload })
+            .map_err(|_| SendError::Closed)?;
+        if let Some(c) = self.inner.received.lock().get(&dst) {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Per-node traffic statistics.
+    pub fn stats(&self) -> NetStats {
+        let collect = |map: &Mutex<HashMap<NodeId, Arc<AtomicU64>>>| {
+            map.lock()
+                .iter()
+                .map(|(&k, v)| (k, v.load(Ordering::Relaxed)))
+                .collect()
+        };
+        NetStats {
+            bytes_sent: collect(&self.inner.sent),
+            bytes_received: collect(&self.inner.received),
+            messages_sent: collect(&self.inner.msgs),
+        }
+    }
+
+    /// Resets all byte/message counters (e.g. between benchmark phases).
+    pub fn reset_stats(&self) {
+        for map in [&self.inner.sent, &self.inner.received, &self.inner.msgs] {
+            for counter in map.lock().values() {
+                counter.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Traffic totals per node, in bytes and message counts.
+#[derive(Clone, Debug, Default)]
+pub struct NetStats {
+    /// Bytes sent, per source node.
+    pub bytes_sent: HashMap<NodeId, u64>,
+    /// Bytes received, per destination node.
+    pub bytes_received: HashMap<NodeId, u64>,
+    /// Messages sent, per source node.
+    pub messages_sent: HashMap<NodeId, u64>,
+}
+
+impl NetStats {
+    /// Total bytes sent across all nodes.
+    pub fn total_sent(&self) -> u64 {
+        self.bytes_sent.values().sum()
+    }
+}
+
+/// Errors from sending on the fabric.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SendError {
+    /// Destination was never registered.
+    UnknownNode,
+    /// Destination endpoint was dropped.
+    Closed,
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendError::UnknownNode => write!(f, "unknown destination node"),
+            SendError::Closed => write!(f, "destination endpoint closed"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// One node's handle: a mailbox plus byte counters.
+pub struct Endpoint {
+    id: NodeId,
+    net: SimNetwork,
+    rx: Receiver<Envelope>,
+    sent: Arc<AtomicU64>,
+    received: Arc<AtomicU64>,
+    msgs: Arc<AtomicU64>,
+}
+
+impl Endpoint {
+    /// This endpoint's node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Sends `payload` to `dst`, counting its bytes.
+    pub fn send(&self, dst: NodeId, payload: Vec<u8>) -> Result<(), SendError> {
+        self.sent.fetch_add(payload.len() as u64, Ordering::Relaxed);
+        self.msgs.fetch_add(1, Ordering::Relaxed);
+        self.net.deliver(self.id, dst, payload)
+    }
+
+    /// Blocking receive.
+    pub fn recv(&self) -> Result<Envelope, RecvError> {
+        self.rx.recv().map_err(|_| RecvError)
+    }
+
+    /// Receive with a timeout (for shutdown paths).
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, RecvError> {
+        self.rx.recv_timeout(timeout).map_err(|_| RecvError)
+    }
+
+    /// Bytes this endpoint has sent.
+    pub fn bytes_sent(&self) -> u64 {
+        self.sent.load(Ordering::Relaxed)
+    }
+
+    /// Bytes this endpoint has received.
+    pub fn bytes_received(&self) -> u64 {
+        self.received.load(Ordering::Relaxed)
+    }
+}
+
+/// Receive failed: all senders dropped or timeout elapsed.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "receive failed (closed or timed out)")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_and_receive() {
+        let net = SimNetwork::new();
+        let a = net.endpoint();
+        let b = net.endpoint();
+        a.send(b.id(), b"hello".to_vec()).unwrap();
+        let env = b.recv().unwrap();
+        assert_eq!(env.src, a.id());
+        assert_eq!(env.payload, b"hello");
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let net = SimNetwork::new();
+        let a = net.endpoint();
+        let b = net.endpoint();
+        a.send(b.id(), vec![0u8; 100]).unwrap();
+        a.send(b.id(), vec![0u8; 28]).unwrap();
+        b.send(a.id(), vec![0u8; 7]).unwrap();
+        assert_eq!(a.bytes_sent(), 128);
+        assert_eq!(b.bytes_received(), 128);
+        assert_eq!(b.bytes_sent(), 7);
+        assert_eq!(a.bytes_received(), 7);
+        let stats = net.stats();
+        assert_eq!(stats.total_sent(), 135);
+        assert_eq!(stats.messages_sent[&a.id()], 2);
+        net.reset_stats();
+        assert_eq!(net.stats().total_sent(), 0);
+    }
+
+    #[test]
+    fn unknown_destination() {
+        let net = SimNetwork::new();
+        let a = net.endpoint();
+        assert_eq!(
+            a.send(NodeId(999), vec![1]),
+            Err(SendError::UnknownNode)
+        );
+    }
+
+    #[test]
+    fn cross_thread_messaging() {
+        let net = SimNetwork::new();
+        let a = net.endpoint();
+        let b = net.endpoint();
+        let b_id = b.id();
+        let handle = std::thread::spawn(move || {
+            // Echo server: double each byte, send back.
+            let env = b.recv().unwrap();
+            let doubled: Vec<u8> = env.payload.iter().map(|&x| x * 2).collect();
+            b.send(env.src, doubled).unwrap();
+        });
+        a.send(b_id, vec![1, 2, 3]).unwrap();
+        let reply = a.recv().unwrap();
+        assert_eq!(reply.payload, vec![2, 4, 6]);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_elapses() {
+        let net = SimNetwork::new();
+        let a = net.endpoint();
+        assert!(a.recv_timeout(Duration::from_millis(10)).is_err());
+    }
+
+    #[test]
+    fn latency_is_applied() {
+        let net = SimNetwork::with_latency(Some(Duration::from_millis(20)));
+        let a = net.endpoint();
+        let b = net.endpoint();
+        let start = std::time::Instant::now();
+        a.send(b.id(), vec![1]).unwrap();
+        let _ = b.recv().unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+}

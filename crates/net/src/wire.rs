@@ -1,0 +1,197 @@
+//! Length-delimited wire encoding for protocol messages.
+//!
+//! Hand-rolled (rather than derived) so message sizes are byte-exact and
+//! stable: Figure 6's bandwidth numbers are measured off these encodings.
+//! All integers are little-endian; vectors are length-prefixed with `u32`.
+
+use bytes::{Buf, BufMut};
+use prio_field::FieldElement;
+
+/// Error from decoding a wire message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub &'static str);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A type with a canonical wire encoding.
+pub trait Wire: Sized {
+    /// Appends the encoding of `self` to `buf`.
+    fn encode<B: BufMut>(&self, buf: &mut B);
+    /// Decodes a value, consuming bytes from `buf`.
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError>;
+
+    /// Convenience: encodes into a fresh vector.
+    fn to_wire_bytes(&self) -> Vec<u8> {
+        let mut v = Vec::new();
+        self.encode(&mut v);
+        v
+    }
+
+    /// Convenience: decodes from a slice, requiring full consumption.
+    fn from_wire_bytes(mut bytes: &[u8]) -> Result<Self, WireError> {
+        let v = Self::decode(&mut bytes)?;
+        if bytes.has_remaining() {
+            return Err(WireError("trailing bytes"));
+        }
+        Ok(v)
+    }
+}
+
+/// Writes a `u32` length prefix.
+pub fn put_len<B: BufMut>(buf: &mut B, len: usize) {
+    buf.put_u32_le(u32::try_from(len).expect("length exceeds u32"));
+}
+
+/// Reads a `u32` length prefix, bounding it by the remaining bytes to avoid
+/// pathological allocations.
+pub fn get_len<B: Buf>(buf: &mut B) -> Result<usize, WireError> {
+    if buf.remaining() < 4 {
+        return Err(WireError("truncated length"));
+    }
+    Ok(buf.get_u32_le() as usize)
+}
+
+impl Wire for u64 {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u64_le(*self);
+    }
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError> {
+        if buf.remaining() < 8 {
+            return Err(WireError("truncated u64"));
+        }
+        Ok(buf.get_u64_le())
+    }
+}
+
+impl Wire for u8 {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u8(*self);
+    }
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError> {
+        if buf.remaining() < 1 {
+            return Err(WireError("truncated u8"));
+        }
+        Ok(buf.get_u8())
+    }
+}
+
+impl Wire for bool {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u8(*self as u8);
+    }
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError("invalid bool")),
+        }
+    }
+}
+
+impl Wire for Vec<u8> {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        put_len(buf, self.len());
+        buf.put_slice(self);
+    }
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError> {
+        let len = get_len(buf)?;
+        if buf.remaining() < len {
+            return Err(WireError("truncated byte vector"));
+        }
+        let mut v = vec![0u8; len];
+        buf.copy_to_slice(&mut v);
+        Ok(v)
+    }
+}
+
+/// Encodes a field element (canonical little-endian residue).
+pub fn put_field<F: FieldElement, B: BufMut>(buf: &mut B, x: F) {
+    let mut tmp = vec![0u8; F::ENCODED_LEN];
+    x.write_le_bytes(&mut tmp);
+    buf.put_slice(&tmp);
+}
+
+/// Decodes a field element, rejecting non-canonical residues.
+pub fn get_field<F: FieldElement, B: Buf>(buf: &mut B) -> Result<F, WireError> {
+    if buf.remaining() < F::ENCODED_LEN {
+        return Err(WireError("truncated field element"));
+    }
+    let mut tmp = vec![0u8; F::ENCODED_LEN];
+    buf.copy_to_slice(&mut tmp);
+    F::read_le_bytes(&tmp).ok_or(WireError("non-canonical field element"))
+}
+
+/// Encodes a field-element vector with a length prefix.
+pub fn put_field_vec<F: FieldElement, B: BufMut>(buf: &mut B, xs: &[F]) {
+    put_len(buf, xs.len());
+    for &x in xs {
+        put_field(buf, x);
+    }
+}
+
+/// Decodes a length-prefixed field-element vector.
+pub fn get_field_vec<F: FieldElement, B: Buf>(buf: &mut B) -> Result<Vec<F>, WireError> {
+    let len = get_len(buf)?;
+    if buf.remaining() < len.saturating_mul(F::ENCODED_LEN) {
+        return Err(WireError("truncated field vector"));
+    }
+    (0..len).map(|_| get_field(buf)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prio_field::{Field128, Field64, FieldElement};
+    use rand::SeedableRng;
+
+    #[test]
+    fn primitive_roundtrips() {
+        assert_eq!(u64::from_wire_bytes(&42u64.to_wire_bytes()), Ok(42));
+        assert_eq!(bool::from_wire_bytes(&true.to_wire_bytes()), Ok(true));
+        let v = vec![1u8, 2, 3];
+        assert_eq!(Vec::<u8>::from_wire_bytes(&v.to_wire_bytes()), Ok(v));
+    }
+
+    #[test]
+    fn field_vec_roundtrip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let xs: Vec<Field128> = (0..17).map(|_| Field128::random(&mut rng)).collect();
+        let mut buf = Vec::new();
+        put_field_vec(&mut buf, &xs);
+        assert_eq!(buf.len(), 4 + 17 * 16);
+        let mut slice = buf.as_slice();
+        let back: Vec<Field128> = get_field_vec(&mut slice).unwrap();
+        assert_eq!(back, xs);
+    }
+
+    #[test]
+    fn rejects_truncation_and_garbage() {
+        let mut buf = Vec::new();
+        put_field::<Field64, _>(&mut buf, Field64::from_u64(5));
+        let mut short = &buf[..4];
+        assert!(get_field::<Field64, _>(&mut short).is_err());
+        // Non-canonical residue.
+        let mut bad = u64::MAX.to_le_bytes().to_vec();
+        let mut slice = bad.as_mut_slice() as &[u8];
+        assert!(get_field::<Field64, _>(&mut slice).is_err());
+        // Bool with invalid tag.
+        assert!(bool::from_wire_bytes(&[7]).is_err());
+        // Trailing bytes rejected.
+        assert!(u64::from_wire_bytes(&[0u8; 12]).is_err());
+    }
+
+    #[test]
+    fn length_bomb_rejected() {
+        // A claimed huge vector with no backing bytes must error, not OOM.
+        let mut buf = Vec::new();
+        put_len(&mut buf, usize::MAX & 0xffff_ffff);
+        let mut slice = buf.as_slice();
+        assert!(get_field_vec::<Field64, _>(&mut slice).is_err());
+    }
+}

@@ -1,0 +1,177 @@
+//! Beaver multiplication triples (Appendix C.2).
+//!
+//! A triple `(a, b, c)` with `c = a·b` lets `s` servers multiply two
+//! additively shared values with one broadcast each. In Prio the *client*
+//! deals the triple — a malformed triple shifts the polynomial identity test
+//! by a constant `α`, which the soundness analysis (Appendix D.1) shows
+//! cannot help a cheating client.
+
+use prio_field::{share_additive, FieldElement};
+
+/// A Beaver triple in the clear.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct BeaverTriple<F: FieldElement> {
+    /// Random mask for the left operand.
+    pub a: F,
+    /// Random mask for the right operand.
+    pub b: F,
+    /// The product `a·b`.
+    pub c: F,
+}
+
+/// One server's additive share of a triple.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct BeaverShare<F: FieldElement> {
+    /// Share of `a`.
+    pub a: F,
+    /// Share of `b`.
+    pub b: F,
+    /// Share of `c`.
+    pub c: F,
+}
+
+impl<F: FieldElement> BeaverTriple<F> {
+    /// Samples a fresh random triple.
+    pub fn random<R: rand::Rng + ?Sized>(rng: &mut R) -> Self {
+        let a = F::random(rng);
+        let b = F::random(rng);
+        BeaverTriple { a, b, c: a * b }
+    }
+
+    /// Splits the triple into `s` additive shares.
+    pub fn share<R: rand::Rng + ?Sized>(&self, s: usize, rng: &mut R) -> Vec<BeaverShare<F>> {
+        let aa = share_additive(self.a, s, rng);
+        let bb = share_additive(self.b, s, rng);
+        let cc = share_additive(self.c, s, rng);
+        aa.into_iter()
+            .zip(bb)
+            .zip(cc)
+            .map(|((a, b), c)| BeaverShare { a, b, c })
+            .collect()
+    }
+}
+
+/// The message each server broadcasts in a Beaver multiplication:
+/// `d = [y] − [a]`, `e = [z] − [b]`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct BeaverMsg<F: FieldElement> {
+    /// Masked left operand share.
+    pub d: F,
+    /// Masked right operand share.
+    pub e: F,
+}
+
+/// Computes this server's broadcast for multiplying shares `y_share·z_share`.
+pub fn beaver_round1<F: FieldElement>(
+    y_share: F,
+    z_share: F,
+    triple: &BeaverShare<F>,
+) -> BeaverMsg<F> {
+    BeaverMsg {
+        d: y_share - triple.a,
+        e: z_share - triple.b,
+    }
+}
+
+/// After all broadcasts are known, computes this server's share of the
+/// product: `σ_i = d·e/s + d·[b]_i + e·[a]_i + [c]_i`.
+pub fn beaver_round2<F: FieldElement>(
+    msgs: &[BeaverMsg<F>],
+    triple: &BeaverShare<F>,
+    s_inv: F,
+) -> F {
+    let d: F = msgs.iter().map(|m| m.d).sum();
+    let e: F = msgs.iter().map(|m| m.e).sum();
+    d * e * s_inv + d * triple.b + e * triple.a + triple.c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prio_field::{Field128, Field64};
+    use rand::SeedableRng;
+
+    fn run_mpc_mul<F: FieldElement>(y: F, z: F, s: usize, seed: u64) -> F {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let triple = BeaverTriple::random(&mut rng);
+        let tshares = triple.share(s, &mut rng);
+        let yshares = share_additive(y, s, &mut rng);
+        let zshares = share_additive(z, s, &mut rng);
+        let msgs: Vec<_> = (0..s)
+            .map(|i| beaver_round1(yshares[i], zshares[i], &tshares[i]))
+            .collect();
+        let s_inv = F::from_u64(s as u64).inv();
+        (0..s)
+            .map(|i| beaver_round2(&msgs, &tshares[i], s_inv))
+            .sum()
+    }
+
+    #[test]
+    fn triple_relation() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            let t = BeaverTriple::<Field64>::random(&mut rng);
+            assert_eq!(t.c, t.a * t.b);
+        }
+    }
+
+    #[test]
+    fn shares_reconstruct() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let t = BeaverTriple::<Field128>::random(&mut rng);
+        let shares = t.share(4, &mut rng);
+        let a: Field128 = shares.iter().map(|s| s.a).sum();
+        let b: Field128 = shares.iter().map(|s| s.b).sum();
+        let c: Field128 = shares.iter().map(|s| s.c).sum();
+        assert_eq!((a, b, c), (t.a, t.b, t.c));
+    }
+
+    #[test]
+    fn mpc_multiplication_is_correct() {
+        for (i, s) in [2usize, 3, 5, 10].iter().enumerate() {
+            let y = Field64::from_u64(123456);
+            let z = Field64::from_u64(789);
+            assert_eq!(
+                run_mpc_mul(y, z, *s, i as u64),
+                y * z,
+                "s = {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn mpc_multiplication_random_values() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for i in 0..10 {
+            let y = Field128::random(&mut rng);
+            let z = Field128::random(&mut rng);
+            assert_eq!(run_mpc_mul(y, z, 3, 100 + i), y * z);
+        }
+    }
+
+    #[test]
+    fn corrupted_triple_shifts_product_by_constant() {
+        // The soundness argument rests on this: if c = a·b + α, the MPC
+        // result is y·z + α, independent of y and z.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let alpha = Field64::from_u64(999);
+        for i in 0..5 {
+            let y = Field64::random(&mut rng);
+            let z = Field64::random(&mut rng);
+            let mut triple = BeaverTriple::random(&mut rng);
+            triple.c += alpha;
+            let s = 3;
+            let tshares = triple.share(s, &mut rng);
+            let yshares = share_additive(y, s, &mut rng);
+            let zshares = share_additive(z, s, &mut rng);
+            let msgs: Vec<_> = (0..s)
+                .map(|j| beaver_round1(yshares[j], zshares[j], &tshares[j]))
+                .collect();
+            let s_inv = Field64::from_u64(s as u64).inv();
+            let result: Field64 = (0..s)
+                .map(|j| beaver_round2(&msgs, &tshares[j], s_inv))
+                .sum();
+            assert_eq!(result, y * z + alpha, "iteration {i}");
+        }
+    }
+}

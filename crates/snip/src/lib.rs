@@ -1,0 +1,154 @@
+//! Secret-shared non-interactive proofs (SNIPs) — Section 4 of the paper.
+//!
+//! A SNIP lets a client (the prover) convince `s` servers (the verifiers)
+//! that its additively secret-shared vector `x` satisfies an arithmetic
+//! circuit predicate `Valid(x)`, while:
+//!
+//! * **Correctness** — honest submissions are always accepted;
+//! * **Soundness** — if all servers are honest, a malformed submission is
+//!   rejected except with probability `≈ (2M+1)/|F|` (`M` = number of `×`
+//!   gates), even against computationally unbounded cheating clients;
+//! * **Zero knowledge** — if the client and at least one server are honest,
+//!   the servers learn nothing about `x` beyond `Valid(x) = 1`.
+//!
+//! The construction (Section 4.2):
+//!
+//! 1. The client evaluates `Valid(x)`, collects the left/right input values
+//!    `u_t, v_t` of each `×` gate, prepends *random* `u_0, v_0`, and
+//!    interpolates polynomials `f` and `g` through them on a power-of-two
+//!    root-of-unity domain (gate `t` ↔ domain point `ω^t`). It sends each
+//!    server an additive share of `π = (u_0, v_0, h = f·g, a, b, c)` where
+//!    `(a, b, c)` is a random Beaver multiplication triple (`c = a·b`).
+//! 2. Each server re-derives shares of every wire of the circuit — affine
+//!    gates commute with additive sharing, and `×`-gate outputs are read
+//!    from the client's share of `h` — and so obtains shares of `f` and `g`
+//!    in evaluation form.
+//! 3. The servers run a Schwartz–Zippel identity test on
+//!    `r·(f(r)·g(r) − h(r))` at a random point `r`, using one Beaver-triple
+//!    multiplication (Appendix C.2) so each server broadcasts only *two
+//!    field elements* — the server-to-server cost is independent of both
+//!    the submission length and the circuit size (Table 2, Figure 6).
+//! 4. The servers publish shares of a random linear combination of the
+//!    circuit's assertion wires and accept iff both the identity test and
+//!    the combination are zero.
+//!
+//! The module also implements the Appendix-I optimizations ("verification
+//! without interpolation" via fixed-`r` Lagrange kernels, and point-value
+//! transmission of `h`) and the Appendix-E "Prio-MPC" variant in [`mpc`],
+//! where the servers evaluate a *private* `Valid` circuit themselves with
+//! client-supplied Beaver triples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod beaver;
+pub mod mpc;
+pub mod prover;
+pub mod verifier;
+
+pub use beaver::BeaverTriple;
+pub use prover::{prove, ProveOptions};
+pub use verifier::{
+    decide, Round1Msg, Round2Msg, ServerState, SnipError, VerifierContext, VerifyMode,
+};
+
+use prio_field::FieldElement;
+
+/// How the prover transmits the polynomial `h` to the servers.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum HForm {
+    /// Evaluations of `h` on the `2N`-point domain (Appendix-I optimized
+    /// path: servers never interpolate `h`).
+    #[default]
+    PointValue,
+    /// Raw coefficients (the unoptimized form described in Section 4.2);
+    /// servers must NTT-evaluate `h` themselves.
+    Coefficients,
+}
+
+/// One server's additive share of a SNIP proof
+/// `π = (u_0, v_0, h, a, b, c)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnipProofShare<F: FieldElement> {
+    /// Share of the random value `f(ω^0)` masking the `f` polynomial.
+    pub u0: F,
+    /// Share of the random value `g(ω^0)`.
+    pub v0: F,
+    /// Share of `h = f·g`, in the representation given by `h_form`. Empty
+    /// when the circuit has no `×` gates.
+    pub h: Vec<F>,
+    /// Representation of the `h` field.
+    pub h_form: HForm,
+    /// Share of the Beaver triple component `a`.
+    pub a: F,
+    /// Share of the Beaver triple component `b`.
+    pub b: F,
+    /// Share of the Beaver triple component `c = a·b`.
+    pub c: F,
+}
+
+impl<F: FieldElement> SnipProofShare<F> {
+    /// Serialized size of this share in bytes (used by the bandwidth
+    /// accounting of Figure 6).
+    pub fn encoded_len(&self) -> usize {
+        (self.h.len() + 5) * F::ENCODED_LEN + 1 // +1 for the h_form tag
+    }
+}
+
+/// Domain geometry shared by the prover and verifiers for a circuit with
+/// `M` multiplication gates.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Domain {
+    /// Number of `×` gates.
+    pub m: usize,
+    /// Size of the `f`/`g` evaluation domain: `next_pow2(m + 1)`.
+    pub n: usize,
+}
+
+impl Domain {
+    /// Computes the domain for a circuit with `m` multiplication gates.
+    pub fn for_mul_gates(m: usize) -> Self {
+        let n = (m + 1).next_power_of_two();
+        Domain { m, n }
+    }
+
+    /// Size of the `h` evaluation domain (`2N`), or 0 when `m == 0`.
+    pub fn h_domain(&self) -> usize {
+        if self.m == 0 {
+            0
+        } else {
+            2 * self.n
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prio_field::Field64;
+
+    #[test]
+    fn domain_geometry() {
+        assert_eq!(Domain::for_mul_gates(0), Domain { m: 0, n: 1 });
+        assert_eq!(Domain::for_mul_gates(1), Domain { m: 1, n: 2 });
+        assert_eq!(Domain::for_mul_gates(3), Domain { m: 3, n: 4 });
+        assert_eq!(Domain::for_mul_gates(4), Domain { m: 4, n: 8 });
+        assert_eq!(Domain::for_mul_gates(1024), Domain { m: 1024, n: 2048 });
+        assert_eq!(Domain::for_mul_gates(0).h_domain(), 0);
+        assert_eq!(Domain::for_mul_gates(5).h_domain(), 16);
+    }
+
+    #[test]
+    fn proof_share_size_is_linear_in_m() {
+        let share = SnipProofShare::<Field64> {
+            u0: Field64::zero(),
+            v0: Field64::zero(),
+            h: vec![Field64::zero(); 16],
+            h_form: HForm::PointValue,
+            a: Field64::zero(),
+            b: Field64::zero(),
+            c: Field64::zero(),
+        };
+        assert_eq!(share.encoded_len(), (16 + 5) * 8 + 1);
+    }
+}

@@ -1,0 +1,360 @@
+//! The "Prio-MPC" variant (Section 4.4 / Appendix E): server-side `Valid`
+//! evaluation.
+//!
+//! When the `Valid` predicate is a *server secret* (e.g. a proprietary spam
+//! filter), the client cannot evaluate it and therefore cannot build a SNIP
+//! for it. Instead:
+//!
+//! 1. the client ships `M` Beaver multiplication triples alongside its
+//!    `x` share, plus an ordinary SNIP proving the triples are well-formed
+//!    (`c_t = a_t·b_t` for all `t` — a circuit with exactly `M` `×` gates);
+//! 2. the servers verify that SNIP, then run Beaver's MPC protocol
+//!    (Appendix C.2) to evaluate `Valid(x)` gate by gate, consuming one
+//!    triple per `×` gate and broadcasting two field elements per gate;
+//! 3. the servers publish shares of the random linear combination of the
+//!    assertion wires, as in the plain SNIP.
+//!
+//! Server-to-server traffic is `Θ(M)` — this is the "Prio-MPC" line of
+//! Figures 4 and 6, visibly more expensive than the `O(1)` SNIP but still
+//! far cheaper than public-key NIZK verification. Privacy holds only
+//! against honest-but-curious servers (Appendix E).
+
+use crate::beaver::{beaver_round1, beaver_round2, BeaverMsg, BeaverShare, BeaverTriple};
+use crate::prover::{prove, ProveOptions};
+use crate::verifier::{
+    decide, verify_round1, verify_round2, SnipError, VerifierContext,
+};
+use crate::SnipProofShare;
+use prio_circuit::{gadgets, Circuit, CircuitBuilder, Op};
+use prio_field::{share_additive_vec, FieldElement, FieldSliceExt};
+
+/// Builds the triple-correctness circuit for `m` triples: inputs are
+/// `(a_1..a_m, b_1..b_m, c_1..c_m)` and the predicate asserts
+/// `c_t = a_t·b_t` for every `t` (exactly `m` `×` gates).
+pub fn triple_check_circuit<F: FieldElement>(m: usize) -> Circuit<F> {
+    let mut b = CircuitBuilder::new(3 * m);
+    for t in 0..m {
+        let a = b.input(t);
+        let bb = b.input(m + t);
+        let c = b.input(2 * m + t);
+        gadgets::assert_product(&mut b, a, bb, c);
+    }
+    if m == 0 {
+        let z = b.constant(F::zero());
+        b.assert_zero(z);
+    }
+    b.finish()
+}
+
+/// One server's part of a Prio-MPC client submission.
+#[derive(Clone, Debug)]
+pub struct MpcSubmissionShare<F: FieldElement> {
+    /// Share of the client's data vector `x`.
+    pub x_share: Vec<F>,
+    /// Shares of the `M` Beaver triples (one per `×` gate of `Valid`).
+    pub triples: Vec<BeaverShare<F>>,
+    /// SNIP share proving the triples well-formed.
+    pub triple_proof: SnipProofShare<F>,
+}
+
+impl<F: FieldElement> MpcSubmissionShare<F> {
+    /// Serialized size in bytes (for the Figure-6 accounting).
+    pub fn encoded_len(&self) -> usize {
+        (self.x_share.len() + 3 * self.triples.len()) * F::ENCODED_LEN
+            + self.triple_proof.encoded_len()
+    }
+}
+
+/// Client side: prepares a Prio-MPC submission for a `Valid` circuit with
+/// `num_mul_gates` `×` gates. The client does *not* need the circuit itself
+/// — only its gate count (which the servers publish).
+pub fn mpc_prepare<F: FieldElement, R: rand::Rng + ?Sized>(
+    input: &[F],
+    num_mul_gates: usize,
+    num_servers: usize,
+    rng: &mut R,
+) -> Vec<MpcSubmissionShare<F>> {
+    let m = num_mul_gates;
+    let triples: Vec<BeaverTriple<F>> = (0..m).map(|_| BeaverTriple::random(rng)).collect();
+    // Flatten (a.. , b.., c..) for the correctness SNIP.
+    let mut triple_vec = Vec::with_capacity(3 * m);
+    triple_vec.extend(triples.iter().map(|t| t.a));
+    triple_vec.extend(triples.iter().map(|t| t.b));
+    triple_vec.extend(triples.iter().map(|t| t.c));
+    let check = triple_check_circuit::<F>(m);
+    let proof = prove(&check, &triple_vec, num_servers, ProveOptions::default(), rng);
+
+    let x_shares = share_additive_vec(input, num_servers, rng);
+    let mut per_triple_shares: Vec<Vec<BeaverShare<F>>> =
+        (0..num_servers).map(|_| Vec::with_capacity(m)).collect();
+    for t in &triples {
+        for (i, sh) in t.share(num_servers, rng).into_iter().enumerate() {
+            per_triple_shares[i].push(sh);
+        }
+    }
+
+    x_shares
+        .into_iter()
+        .zip(per_triple_shares)
+        .zip(proof)
+        .map(|((x_share, triples), triple_proof)| MpcSubmissionShare {
+            x_share,
+            triples,
+            triple_proof,
+        })
+        .collect()
+}
+
+/// Outcome of a Prio-MPC verification run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MpcOutcome {
+    /// Whether the servers accepted the submission.
+    pub accepted: bool,
+    /// Bytes broadcast per server during the run (triple-SNIP broadcasts +
+    /// per-gate Beaver messages + the output share).
+    pub bytes_per_server: usize,
+    /// Number of broadcast rounds (2 for the SNIP + one per `×` gate +
+    /// 1 for the output; gates at equal depth could be batched, this counts
+    /// the sequential worst case).
+    pub rounds: usize,
+}
+
+/// Server side, simulated in lockstep: verifies the triple SNIP, evaluates
+/// `Valid` by Beaver MPC, and checks the assertion combination.
+///
+/// `rho` are the assertion-combination coefficients all servers agreed on.
+pub fn mpc_verify_and_evaluate<F: FieldElement>(
+    valid: &Circuit<F>,
+    submissions: &[MpcSubmissionShare<F>],
+    triple_ctx: &VerifierContext<F>,
+    rho: &[F],
+) -> Result<MpcOutcome, SnipError> {
+    let s = submissions.len();
+    assert!(s >= 1, "need at least one server");
+    assert_eq!(rho.len(), valid.num_assertions(), "rho arity");
+    let m = valid.num_mul_gates();
+    let check = triple_check_circuit::<F>(m);
+    let mut bytes = 0usize;
+    let mut rounds = 0usize;
+
+    // Phase 1: verify the triple SNIP.
+    for sub in submissions {
+        if sub.triples.len() != m {
+            return Err(SnipError::Malformed("triple count"));
+        }
+    }
+    let mut states = Vec::with_capacity(s);
+    let mut r1 = Vec::with_capacity(s);
+    for (i, sub) in submissions.iter().enumerate() {
+        let mut tvec = Vec::with_capacity(3 * m);
+        tvec.extend(sub.triples.iter().map(|t| t.a));
+        tvec.extend(sub.triples.iter().map(|t| t.b));
+        tvec.extend(sub.triples.iter().map(|t| t.c));
+        let (st, msg) = verify_round1(triple_ctx, &check, &tvec, &sub.triple_proof, i == 0)?;
+        states.push(st);
+        r1.push(msg);
+    }
+    bytes += 2 * F::ENCODED_LEN; // d, e per server
+    rounds += 1;
+    let r2: Vec<_> = states.iter().map(|st| verify_round2(st, &r1)).collect();
+    bytes += 2 * F::ENCODED_LEN; // sigma, out per server
+    rounds += 1;
+    if !decide(&r2) {
+        return Ok(MpcOutcome {
+            accepted: false,
+            bytes_per_server: bytes,
+            rounds,
+        });
+    }
+
+    // Phase 2: Beaver-evaluate the Valid circuit over shares.
+    let s_inv = F::from_u64(s as u64).inv();
+    let mut wires: Vec<Vec<F>> = submissions
+        .iter()
+        .map(|sub| {
+            let mut w = Vec::with_capacity(valid.num_wires());
+            w.extend_from_slice(&sub.x_share);
+            w
+        })
+        .collect();
+    for sub in submissions {
+        if sub.x_share.len() != valid.num_inputs() {
+            return Err(SnipError::Malformed("x share arity"));
+        }
+    }
+    let mut next_triple = 0usize;
+    for op in valid.ops() {
+        match *op {
+            Op::Const(c) => {
+                for (i, w) in wires.iter_mut().enumerate() {
+                    w.push(if i == 0 { c } else { F::zero() });
+                }
+            }
+            Op::Add(a, b) => {
+                for w in wires.iter_mut() {
+                    let v = w[a.0] + w[b.0];
+                    w.push(v);
+                }
+            }
+            Op::Sub(a, b) => {
+                for w in wires.iter_mut() {
+                    let v = w[a.0] - w[b.0];
+                    w.push(v);
+                }
+            }
+            Op::MulConst(a, c) => {
+                for w in wires.iter_mut() {
+                    let v = w[a.0] * c;
+                    w.push(v);
+                }
+            }
+            Op::AddConst(a, c) => {
+                for (i, w) in wires.iter_mut().enumerate() {
+                    let v = w[a.0] + if i == 0 { c } else { F::zero() };
+                    w.push(v);
+                }
+            }
+            Op::Mul(a, b) => {
+                // One Beaver round: every server broadcasts (d, e).
+                let msgs: Vec<BeaverMsg<F>> = wires
+                    .iter()
+                    .enumerate()
+                    .map(|(i, w)| {
+                        beaver_round1(w[a.0], w[b.0], &submissions[i].triples[next_triple])
+                    })
+                    .collect();
+                bytes += 2 * F::ENCODED_LEN;
+                rounds += 1;
+                for (i, w) in wires.iter_mut().enumerate() {
+                    let prod =
+                        beaver_round2(&msgs, &submissions[i].triples[next_triple], s_inv);
+                    w.push(prod);
+                }
+                next_triple += 1;
+            }
+        }
+    }
+
+    // Phase 3: assertion check.
+    let outs: Vec<F> = wires
+        .iter()
+        .map(|w| {
+            let asserts: Vec<F> = valid
+                .assertion_wires()
+                .iter()
+                .map(|wid| w[wid.0])
+                .collect();
+            asserts.dot(rho)
+        })
+        .collect();
+    bytes += F::ENCODED_LEN;
+    rounds += 1;
+    let total: F = outs.iter().copied().sum();
+    Ok(MpcOutcome {
+        accepted: total == F::zero(),
+        bytes_per_server: bytes,
+        rounds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prio_field::Field64;
+    use rand::SeedableRng;
+
+    fn bits_circuit(n: usize) -> Circuit<Field64> {
+        let mut b = CircuitBuilder::new(n);
+        let inputs = b.inputs();
+        gadgets::assert_bits(&mut b, &inputs);
+        b.finish()
+    }
+
+    fn run(
+        valid: &Circuit<Field64>,
+        input: &[Field64],
+        s: usize,
+        seed: u64,
+        corrupt: impl FnOnce(&mut Vec<MpcSubmissionShare<Field64>>),
+    ) -> MpcOutcome {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut subs = mpc_prepare(input, valid.num_mul_gates(), s, &mut rng);
+        corrupt(&mut subs);
+        let check = triple_check_circuit::<Field64>(valid.num_mul_gates());
+        let ctx = VerifierContext::random(&check, s, VerifyMode::FixedPoint, &mut rng);
+        let rho: Vec<Field64> = (0..valid.num_assertions())
+            .map(|_| Field64::random(&mut rng))
+            .collect();
+        mpc_verify_and_evaluate(valid, &subs, &ctx, &rho).unwrap()
+    }
+
+    #[test]
+    fn accepts_valid_input() {
+        let valid = bits_circuit(6);
+        let input: Vec<Field64> = [1u64, 0, 1, 1, 0, 1].map(Field64::from_u64).to_vec();
+        for s in [2usize, 3, 5] {
+            let out = run(&valid, &input, s, s as u64, |_| {});
+            assert!(out.accepted, "s = {s}");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_input() {
+        let valid = bits_circuit(4);
+        let input: Vec<Field64> = [1u64, 3, 0, 1].map(Field64::from_u64).to_vec();
+        let out = run(&valid, &input, 3, 7, |_| {});
+        assert!(!out.accepted);
+    }
+
+    #[test]
+    fn rejects_bad_triples() {
+        let valid = bits_circuit(4);
+        let input: Vec<Field64> = [1u64, 1, 0, 1].map(Field64::from_u64).to_vec();
+        let out = run(&valid, &input, 3, 8, |subs| {
+            subs[1].triples[2].c += Field64::one();
+        });
+        assert!(!out.accepted);
+    }
+
+    #[test]
+    fn bandwidth_is_linear_in_gates() {
+        let small = bits_circuit(4);
+        let big = bits_circuit(64);
+        let input_small: Vec<Field64> = vec![Field64::one(); 4];
+        let input_big: Vec<Field64> = vec![Field64::one(); 64];
+        let o_small = run(&small, &input_small, 3, 9, |_| {});
+        let o_big = run(&big, &input_big, 3, 10, |_| {});
+        assert!(o_big.bytes_per_server > 10 * o_small.bytes_per_server / 2);
+        assert_eq!(o_big.rounds, 64 + 3);
+    }
+
+    #[test]
+    fn triple_check_circuit_shape() {
+        let c = triple_check_circuit::<Field64>(5);
+        assert_eq!(c.num_inputs(), 15);
+        assert_eq!(c.num_mul_gates(), 5);
+        // Valid triples pass, broken ones fail.
+        let mut input: Vec<Field64> = Vec::new();
+        let a: Vec<Field64> = (1..=5u64).map(Field64::from_u64).collect();
+        let b: Vec<Field64> = (11..=15u64).map(Field64::from_u64).collect();
+        let prod: Vec<Field64> = a.iter().zip(&b).map(|(&x, &y)| x * y).collect();
+        input.extend(&a);
+        input.extend(&b);
+        input.extend(&prod);
+        assert!(c.is_valid(&input));
+        input[10] += Field64::one();
+        assert!(!c.is_valid(&input));
+    }
+
+    #[test]
+    fn zero_gate_circuit() {
+        let mut b = CircuitBuilder::<Field64>::new(2);
+        let x = b.input(0);
+        let y = b.input(1);
+        b.assert_eq(x, y);
+        let valid = b.finish();
+        let input = vec![Field64::from_u64(9), Field64::from_u64(9)];
+        let out = run(&valid, &input, 2, 11, |_| {});
+        assert!(out.accepted);
+    }
+}

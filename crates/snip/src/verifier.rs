@@ -1,0 +1,585 @@
+//! The SNIP verifier (server side) — Steps 2–4 of Section 4.2.
+//!
+//! Verification is a two-round broadcast protocol among the servers:
+//!
+//! * **Round 1** — each server reconstructs wire shares from `(x, h)`
+//!   shares, computes `[f(r)]`, `[r·g(r)]`, `[r·h(r)]` at the agreed random
+//!   point `r`, and broadcasts the Beaver-masked pair
+//!   `(d, e) = ([f(r)] − [a], [r·g(r)] − [b])`.
+//! * **Round 2** — each server combines the broadcasts into its share
+//!   `σ_i` of `r·(f(r)·g(r) − h(r))` plus its share of the random linear
+//!   combination of assertion wires, and broadcasts both.
+//!
+//! The servers accept iff both sums are zero. Per submission each server
+//! broadcasts exactly **four field elements** regardless of submission
+//! length or circuit size — the constant-bandwidth property of Figure 6.
+
+use crate::{Domain, HForm, SnipProofShare};
+use prio_circuit::Circuit;
+use prio_field::poly::{self, LagrangeKernel};
+use prio_field::{FieldElement, FieldSliceExt};
+
+/// Verification failures that are detectable locally (before the broadcast
+/// rounds). Protocol-level rejection (bad proof) is signalled by
+/// [`decide`] returning `false` instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnipError {
+    /// The proof share is structurally invalid (wrong lengths/format).
+    Malformed(&'static str),
+    /// The agreed evaluation point hits the interpolation domain, which
+    /// would break the zero-knowledge masking; the servers must resample.
+    BadEvalPoint,
+    /// Context/circuit mismatch (wrong assertion count, wrong gate count).
+    ContextMismatch(&'static str),
+}
+
+impl std::fmt::Display for SnipError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnipError::Malformed(what) => write!(f, "malformed SNIP proof share: {what}"),
+            SnipError::BadEvalPoint => write!(f, "evaluation point lies on the NTT domain"),
+            SnipError::ContextMismatch(what) => write!(f, "verifier context mismatch: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnipError {}
+
+/// Strategy for evaluating the shared polynomials at `r`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum VerifyMode {
+    /// Appendix-I optimization: precompute Lagrange kernels for the fixed
+    /// point `r` once per batch; each verification is then a dot product
+    /// (`O(M)` multiplications).
+    #[default]
+    FixedPoint,
+    /// Naive path: inverse-NTT the shares to coefficients and evaluate by
+    /// Horner (`O(M log M)` per submission). Kept for the ablation
+    /// benchmark.
+    Interpolate,
+}
+
+/// Per-batch verification context: the random evaluation point `r`, the
+/// assertion-combination coefficients `ρ`, and (in [`VerifyMode::FixedPoint`])
+/// the precomputed Lagrange kernels.
+///
+/// All servers in a batch must construct this from the *same* `(r, ρ)` —
+/// in the full system the leader samples them and broadcasts (Appendix I
+/// amortizes one `r` over a batch of submissions).
+#[derive(Clone, Debug)]
+pub struct VerifierContext<F: FieldElement> {
+    dom: Domain,
+    r: F,
+    kernel_n: Option<LagrangeKernel<F>>,
+    kernel_2n: Option<LagrangeKernel<F>>,
+    rho: Vec<F>,
+    s_inv: F,
+    num_servers: usize,
+    mode: VerifyMode,
+}
+
+impl<F: FieldElement> VerifierContext<F> {
+    /// Builds a context for `circuit` with explicit `(r, rho)`.
+    ///
+    /// Fails with [`SnipError::BadEvalPoint`] if `r` lies on the `2N`
+    /// evaluation domain (i.e. `r^{2N} = 1`): such a point would unmask a
+    /// wire value (Appendix D.2) — resample and retry.
+    pub fn new(
+        circuit: &Circuit<F>,
+        num_servers: usize,
+        r: F,
+        rho: Vec<F>,
+        mode: VerifyMode,
+    ) -> Result<Self, SnipError> {
+        if rho.len() != circuit.num_assertions() {
+            return Err(SnipError::ContextMismatch(
+                "one rho coefficient required per assertion wire",
+            ));
+        }
+        if num_servers == 0 {
+            return Err(SnipError::ContextMismatch("need at least one server"));
+        }
+        let dom = Domain::for_mul_gates(circuit.num_mul_gates());
+        let (kernel_n, kernel_2n) = if dom.m == 0 {
+            (None, None)
+        } else {
+            if r.pow(2 * dom.n as u128) == F::one() {
+                return Err(SnipError::BadEvalPoint);
+            }
+            match mode {
+                VerifyMode::FixedPoint => (
+                    Some(LagrangeKernel::new(dom.n, r)),
+                    Some(LagrangeKernel::new(2 * dom.n, r)),
+                ),
+                VerifyMode::Interpolate => (None, None),
+            }
+        };
+        Ok(VerifierContext {
+            dom,
+            r,
+            kernel_n,
+            kernel_2n,
+            rho,
+            s_inv: F::from_u64(num_servers as u64).inv(),
+            num_servers,
+            mode,
+        })
+    }
+
+    /// Samples `(r, ρ)` at random (rejecting bad `r`) and builds the
+    /// context. Convenience for tests and single-batch runs.
+    pub fn random<R: rand::Rng + ?Sized>(
+        circuit: &Circuit<F>,
+        num_servers: usize,
+        mode: VerifyMode,
+        rng: &mut R,
+    ) -> Self {
+        loop {
+            let r = F::random(rng);
+            let rho: Vec<F> = (0..circuit.num_assertions())
+                .map(|_| F::random(rng))
+                .collect();
+            match Self::new(circuit, num_servers, r, rho, mode) {
+                Ok(ctx) => return ctx,
+                Err(SnipError::BadEvalPoint) => continue,
+                Err(e) => panic!("context construction failed: {e}"),
+            }
+        }
+    }
+
+    /// The evaluation point.
+    pub fn point(&self) -> F {
+        self.r
+    }
+
+    /// Number of servers this context was built for.
+    pub fn num_servers(&self) -> usize {
+        self.num_servers
+    }
+
+    /// Evaluates a degree-`< len` polynomial given by shares of its values
+    /// on the size-`len` domain, at `r`.
+    fn eval_shared(&self, evals: &[F], kernel: Option<&LagrangeKernel<F>>) -> F {
+        match self.mode {
+            VerifyMode::FixedPoint => kernel
+                .expect("kernel present in FixedPoint mode")
+                .eval(evals),
+            VerifyMode::Interpolate => {
+                let coeffs = poly::interpolate_pow2(evals);
+                poly::eval(&coeffs, self.r)
+            }
+        }
+    }
+}
+
+/// Round-1 broadcast: the Beaver-masked evaluations.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Round1Msg<F: FieldElement> {
+    /// `[f(r)] − [a]`.
+    pub d: F,
+    /// `[r·g(r)] − [b]`.
+    pub e: F,
+}
+
+/// Round-2 broadcast: shares of the identity test and the assertion
+/// combination.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Round2Msg<F: FieldElement> {
+    /// Share of `r·(f(r)·g(r) − h(r))` (+ the triple error `c − ab`).
+    pub sigma: F,
+    /// Share of `Σ_j ρ_j · w_j` over assertion wires `w_j`.
+    pub out: F,
+}
+
+/// Number of bytes a server broadcasts to verify one submission
+/// (`d, e, σ, out`).
+pub fn broadcast_bytes_per_server<F: FieldElement>() -> usize {
+    4 * F::ENCODED_LEN
+}
+
+/// State a server carries between the two rounds.
+#[derive(Clone, Debug)]
+pub struct ServerState<F: FieldElement> {
+    rh_r: F,
+    a: F,
+    b: F,
+    c: F,
+    out: F,
+    s_inv: F,
+    /// True when the circuit has no `×` gates (identity test degenerates).
+    trivial: bool,
+}
+
+/// Round 1 at one server: derive wire shares, evaluate at `r`, emit the
+/// masked broadcast.
+///
+/// `is_leader` must be true at exactly one server (it owns the additive
+/// share of public constants).
+pub fn verify_round1<F: FieldElement>(
+    ctx: &VerifierContext<F>,
+    circuit: &Circuit<F>,
+    x_share: &[F],
+    proof: &SnipProofShare<F>,
+    is_leader: bool,
+) -> Result<(ServerState<F>, Round1Msg<F>), SnipError> {
+    if ctx.dom.m != circuit.num_mul_gates() {
+        return Err(SnipError::ContextMismatch("circuit gate count"));
+    }
+    if ctx.rho.len() != circuit.num_assertions() {
+        return Err(SnipError::ContextMismatch("assertion count"));
+    }
+    if x_share.len() != circuit.num_inputs() {
+        return Err(SnipError::Malformed("input share arity"));
+    }
+
+    if ctx.dom.m == 0 {
+        // Affine predicate: no polynomial test; only the assertion check.
+        let strace = circuit.evaluate_on_shares(x_share, &[], is_leader);
+        let out = strace.assertions.dot(&ctx.rho);
+        let state = ServerState {
+            rh_r: F::zero(),
+            a: F::zero(),
+            b: F::zero(),
+            c: F::zero(),
+            out,
+            s_inv: ctx.s_inv,
+            trivial: true,
+        };
+        return Ok((state, Round1Msg { d: F::zero(), e: F::zero() }));
+    }
+
+    // Normalize h to point-value form on the 2N domain.
+    let h_len = ctx.dom.h_domain();
+    if proof.h.len() != h_len {
+        return Err(SnipError::Malformed("h length"));
+    }
+    let h_evals: Vec<F> = match proof.h_form {
+        HForm::PointValue => proof.h.clone(),
+        HForm::Coefficients => poly::evaluate_pow2(&proof.h, h_len),
+    };
+
+    // ×-gate output shares are h evaluated at the even-indexed 2N-domain
+    // points ω_{2N}^{2t} = ω_N^t, t = 1..=M.
+    let mul_out: Vec<F> = (1..=ctx.dom.m).map(|t| h_evals[2 * t]).collect();
+    let strace = circuit.evaluate_on_shares(x_share, &mul_out, is_leader);
+
+    // Wire-value shares on the f/g domain (index 0 = the random mask).
+    let mut u = vec![F::zero(); ctx.dom.n];
+    let mut v = vec![F::zero(); ctx.dom.n];
+    u[0] = proof.u0;
+    v[0] = proof.v0;
+    u[1..=ctx.dom.m].copy_from_slice(&strace.mul_left);
+    v[1..=ctx.dom.m].copy_from_slice(&strace.mul_right);
+
+    let f_r = ctx.eval_shared(&u, ctx.kernel_n.as_ref());
+    let g_r = ctx.eval_shared(&v, ctx.kernel_n.as_ref());
+    let h_r = ctx.eval_shared(&h_evals, ctx.kernel_2n.as_ref());
+
+    let rg_r = ctx.r * g_r;
+    let rh_r = ctx.r * h_r;
+    let out = strace.assertions.dot(&ctx.rho);
+
+    let state = ServerState {
+        rh_r,
+        a: proof.a,
+        b: proof.b,
+        c: proof.c,
+        out,
+        s_inv: ctx.s_inv,
+        trivial: false,
+    };
+    let msg = Round1Msg {
+        d: f_r - proof.a,
+        e: rg_r - proof.b,
+    };
+    Ok((state, msg))
+}
+
+/// Round 2 at one server: fold all round-1 broadcasts into the σ share.
+pub fn verify_round2<F: FieldElement>(
+    state: &ServerState<F>,
+    round1: &[Round1Msg<F>],
+) -> Round2Msg<F> {
+    if state.trivial {
+        return Round2Msg {
+            sigma: F::zero(),
+            out: state.out,
+        };
+    }
+    let d: F = round1.iter().map(|m| m.d).sum();
+    let e: F = round1.iter().map(|m| m.e).sum();
+    // Beaver product share of f(r)·(r·g(r)), minus the r·h(r) share:
+    // σ_i = d·e/s + d·[b] + e·[a] + [c] − [r·h(r)].
+    let sigma = d * e * state.s_inv + d * state.b + e * state.a + state.c - state.rh_r;
+    Round2Msg {
+        sigma,
+        out: state.out,
+    }
+}
+
+/// Final decision from all round-2 broadcasts: accept iff both the
+/// polynomial identity test and the assertion combination sum to zero.
+pub fn decide<F: FieldElement>(round2: &[Round2Msg<F>]) -> bool {
+    let sigma: F = round2.iter().map(|m| m.sigma).sum();
+    let out: F = round2.iter().map(|m| m.out).sum();
+    sigma == F::zero() && out == F::zero()
+}
+
+/// Runs the whole verification among `s` in-process servers; returns the
+/// accept/reject decision. Convenience for tests, examples, and
+/// single-machine benchmarks.
+///
+/// # Panics
+/// Panics if share counts differ from `ctx.num_servers()`.
+pub fn run_verification<F: FieldElement>(
+    ctx: &VerifierContext<F>,
+    circuit: &Circuit<F>,
+    x_shares: &[Vec<F>],
+    proof_shares: &[SnipProofShare<F>],
+) -> Result<bool, SnipError> {
+    let s = ctx.num_servers();
+    assert_eq!(x_shares.len(), s, "one x share per server");
+    assert_eq!(proof_shares.len(), s, "one proof share per server");
+    let mut states = Vec::with_capacity(s);
+    let mut round1 = Vec::with_capacity(s);
+    for i in 0..s {
+        let (st, msg) = verify_round1(ctx, circuit, &x_shares[i], &proof_shares[i], i == 0)?;
+        states.push(st);
+        round1.push(msg);
+    }
+    let round2: Vec<_> = states.iter().map(|st| verify_round2(st, &round1)).collect();
+    Ok(decide(&round2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prover::{prove, ProveOptions};
+    use crate::HForm;
+    use prio_circuit::{gadgets, CircuitBuilder};
+    use prio_field::{share_additive_vec, Field32, Field64, FieldElement};
+    use rand::SeedableRng;
+
+    fn bits_circuit<F: FieldElement>(n: usize) -> Circuit<F> {
+        let mut b = CircuitBuilder::new(n);
+        let inputs = b.inputs();
+        gadgets::assert_bits(&mut b, &inputs);
+        b.finish()
+    }
+
+    fn roundtrip<F: FieldElement>(
+        circuit: &Circuit<F>,
+        input: &[F],
+        s: usize,
+        mode: VerifyMode,
+        seed: u64,
+    ) -> bool {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let proof = prove(circuit, input, s, ProveOptions::default(), &mut rng);
+        let x_shares = share_additive_vec(input, s, &mut rng);
+        let ctx = VerifierContext::random(circuit, s, mode, &mut rng);
+        run_verification(&ctx, circuit, &x_shares, &proof).unwrap()
+    }
+
+    #[test]
+    fn accepts_valid_submissions() {
+        let circuit = bits_circuit::<Field64>(10);
+        let input: Vec<Field64> = [1u64, 0, 1, 1, 0, 0, 1, 0, 1, 1]
+            .map(Field64::from_u64)
+            .to_vec();
+        for s in [2usize, 3, 5] {
+            assert!(roundtrip(&circuit, &input, s, VerifyMode::FixedPoint, s as u64));
+            assert!(roundtrip(&circuit, &input, s, VerifyMode::Interpolate, 10 + s as u64));
+        }
+    }
+
+    #[test]
+    fn accepts_affine_circuit() {
+        // M = 0 path.
+        let mut b = CircuitBuilder::<Field64>::new(3);
+        let ws = b.inputs();
+        let sum = b.sum(&ws);
+        b.assert_const(sum, Field64::from_u64(6));
+        let circuit = b.finish();
+        let input = [1u64, 2, 3].map(Field64::from_u64).to_vec();
+        assert!(roundtrip(&circuit, &input, 3, VerifyMode::FixedPoint, 1));
+        let bad = [1u64, 2, 4].map(Field64::from_u64).to_vec();
+        // Dishonest "prover" on affine circuit: share invalid input directly.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let proof = prove(&circuit, &input, 3, ProveOptions::default(), &mut rng);
+        let x_shares = share_additive_vec(&bad, 3, &mut rng);
+        let ctx = VerifierContext::random(&circuit, 3, VerifyMode::FixedPoint, &mut rng);
+        assert!(!run_verification(&ctx, &circuit, &x_shares, &proof).unwrap());
+    }
+
+    #[test]
+    fn rejects_invalid_input_with_forged_shares() {
+        // A cheating client shares x = 2 (not a bit) but builds the proof
+        // "honestly" for that x: h is consistent, but the assertion wire is
+        // nonzero, so the output check fires.
+        let circuit = bits_circuit::<Field64>(4);
+        let bad_input = [2u64, 0, 1, 0].map(Field64::from_u64).to_vec();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        // Build a proof for the bad input by bypassing the honesty debug
+        // check: construct the proof manually via the prover on a release
+        // path — emulate by evaluating the circuit on bad input ourselves.
+        // Easiest faithful attack: prove over the bad input in release mode;
+        // here we inline the prover's logic via prove() on a valid input and
+        // then swap the x shares to the bad input. The h values then do not
+        // match x, so the *identity test* fires instead.
+        let good_input = [1u64, 0, 1, 0].map(Field64::from_u64).to_vec();
+        let proof = prove(&circuit, &good_input, 3, ProveOptions::default(), &mut rng);
+        let x_shares = share_additive_vec(&bad_input, 3, &mut rng);
+        let mut rejections = 0;
+        for _ in 0..20 {
+            let ctx = VerifierContext::random(&circuit, 3, VerifyMode::FixedPoint, &mut rng);
+            if !run_verification(&ctx, &circuit, &x_shares, &proof).unwrap() {
+                rejections += 1;
+            }
+        }
+        assert_eq!(rejections, 20, "cheater escaped the identity test");
+    }
+
+    #[test]
+    fn rejects_tampered_h() {
+        let circuit = bits_circuit::<Field64>(4);
+        let input = [1u64, 0, 1, 0].map(Field64::from_u64).to_vec();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut proof = prove(&circuit, &input, 2, ProveOptions::default(), &mut rng);
+        // Corrupt one evaluation of h in one share: claims a different gate
+        // output.
+        proof[0].h[2] += Field64::one();
+        let x_shares = share_additive_vec(&input, 2, &mut rng);
+        let mut rejections = 0;
+        for _ in 0..20 {
+            let ctx = VerifierContext::random(&circuit, 2, VerifyMode::FixedPoint, &mut rng);
+            if !run_verification(&ctx, &circuit, &x_shares, &proof).unwrap() {
+                rejections += 1;
+            }
+        }
+        assert_eq!(rejections, 20);
+    }
+
+    #[test]
+    fn rejects_bad_beaver_triple() {
+        // c ≠ a·b shifts σ by a constant; with r independent of the shift
+        // the test still catches it.
+        let circuit = bits_circuit::<Field64>(4);
+        let input = [1u64, 1, 1, 0].map(Field64::from_u64).to_vec();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut proof = prove(&circuit, &input, 2, ProveOptions::default(), &mut rng);
+        proof[1].c += Field64::from_u64(7);
+        let x_shares = share_additive_vec(&input, 2, &mut rng);
+        let ctx = VerifierContext::random(&circuit, 2, VerifyMode::FixedPoint, &mut rng);
+        assert!(!run_verification(&ctx, &circuit, &x_shares, &proof).unwrap());
+    }
+
+    #[test]
+    fn soundness_error_is_observable_in_tiny_field() {
+        // In Field32 (p ≈ 3.2e9) the Schwartz–Zippel failure probability is
+        // (2M+1)/p per run — still astronomically small for 20 runs, so all
+        // runs must reject; this test mostly exercises the Field32 SNIP path.
+        let circuit = bits_circuit::<Field32>(3);
+        let input = [1u64, 0, 1].map(Field32::from_u64).to_vec();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut proof = prove(&circuit, &input, 2, ProveOptions::default(), &mut rng);
+        proof[0].h[4] += Field32::one();
+        let x_shares = share_additive_vec(&input, 2, &mut rng);
+        for _ in 0..20 {
+            let ctx = VerifierContext::random(&circuit, 2, VerifyMode::FixedPoint, &mut rng);
+            assert!(!run_verification(&ctx, &circuit, &x_shares, &proof).unwrap());
+        }
+    }
+
+    #[test]
+    fn coefficient_form_verifies() {
+        let circuit = bits_circuit::<Field64>(5);
+        let input = [0u64, 1, 1, 0, 1].map(Field64::from_u64).to_vec();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let opts = ProveOptions {
+            h_form: HForm::Coefficients,
+        };
+        let proof = prove(&circuit, &input, 3, opts, &mut rng);
+        let x_shares = share_additive_vec(&input, 3, &mut rng);
+        let ctx = VerifierContext::random(&circuit, 3, VerifyMode::FixedPoint, &mut rng);
+        assert!(run_verification(&ctx, &circuit, &x_shares, &proof).unwrap());
+    }
+
+    #[test]
+    fn malformed_proof_is_detected_locally() {
+        let circuit = bits_circuit::<Field64>(4);
+        let input = [1u64, 0, 1, 0].map(Field64::from_u64).to_vec();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let mut proof = prove(&circuit, &input, 2, ProveOptions::default(), &mut rng);
+        proof[0].h.pop(); // wrong length
+        let x_shares = share_additive_vec(&input, 2, &mut rng);
+        let ctx = VerifierContext::random(&circuit, 2, VerifyMode::FixedPoint, &mut rng);
+        let err = verify_round1(&ctx, &circuit, &x_shares[0], &proof[0], true).unwrap_err();
+        assert_eq!(err, SnipError::Malformed("h length"));
+    }
+
+    #[test]
+    fn bad_eval_point_is_rejected() {
+        let circuit = bits_circuit::<Field64>(3); // N = 4, 2N = 8
+        let omega = Field64::root_of_unity(3); // 8th root: on the 2N domain
+        let rho = vec![Field64::one(); circuit.num_assertions()];
+        let err = VerifierContext::new(&circuit, 2, omega, rho, VerifyMode::FixedPoint)
+            .unwrap_err();
+        assert_eq!(err, SnipError::BadEvalPoint);
+    }
+
+    #[test]
+    fn modes_agree() {
+        // FixedPoint and Interpolate must compute identical transcripts.
+        let circuit = bits_circuit::<Field64>(6);
+        let input = [1u64, 1, 0, 0, 1, 0].map(Field64::from_u64).to_vec();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let proof = prove(&circuit, &input, 2, ProveOptions::default(), &mut rng);
+        let x_shares = share_additive_vec(&input, 2, &mut rng);
+        let r = Field64::from_u64(0x1234_5678_9abc);
+        let rho: Vec<Field64> = (0..circuit.num_assertions())
+            .map(|i| Field64::from_u64(1000 + i as u64))
+            .collect();
+        let ctx_fast = VerifierContext::new(&circuit, 2, r, rho.clone(), VerifyMode::FixedPoint)
+            .unwrap();
+        let ctx_slow =
+            VerifierContext::new(&circuit, 2, r, rho, VerifyMode::Interpolate).unwrap();
+        for i in 0..2 {
+            let (_, m_fast) =
+                verify_round1(&ctx_fast, &circuit, &x_shares[i], &proof[i], i == 0).unwrap();
+            let (_, m_slow) =
+                verify_round1(&ctx_slow, &circuit, &x_shares[i], &proof[i], i == 0).unwrap();
+            assert_eq!(m_fast, m_slow);
+        }
+    }
+
+    #[test]
+    fn broadcast_size_is_constant() {
+        assert_eq!(broadcast_bytes_per_server::<Field64>(), 32);
+        assert_eq!(broadcast_bytes_per_server::<prio_field::Field128>(), 64);
+    }
+
+    #[test]
+    fn zero_knowledge_smoke_masked_broadcasts() {
+        // The round-1 broadcasts are Beaver-masked: re-running with fresh
+        // prover randomness on the same input must give different (d, e).
+        let circuit = bits_circuit::<Field64>(4);
+        let input = [1u64, 0, 0, 1].map(Field64::from_u64).to_vec();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let r = Field64::from_u64(987654321);
+        let rho: Vec<Field64> = vec![Field64::one(); circuit.num_assertions()];
+        let ctx =
+            VerifierContext::new(&circuit, 2, r, rho, VerifyMode::FixedPoint).unwrap();
+        let mut transcripts = Vec::new();
+        for _ in 0..2 {
+            let proof = prove(&circuit, &input, 2, ProveOptions::default(), &mut rng);
+            let x_shares = share_additive_vec(&input, 2, &mut rng);
+            let (_, m0) =
+                verify_round1(&ctx, &circuit, &x_shares[0], &proof[0], true).unwrap();
+            let (_, m1) =
+                verify_round1(&ctx, &circuit, &x_shares[1], &proof[1], false).unwrap();
+            transcripts.push((m0.d + m1.d, m0.e + m1.e)); // reconstructed d, e
+        }
+        assert_ne!(transcripts[0], transcripts[1]);
+    }
+}

@@ -1,0 +1,1 @@
+//! Placeholder root crate (under construction).
