@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Offline CI for the Prio reproduction workspace.
+#
+# The workspace has zero crates.io dependencies (see shims/), so everything
+# runs with --offline and never touches the network. Bare cargo commands
+# cover every member crate via the root manifest's default-members list.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test -q"
+cargo test -q --offline
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --offline --all-targets -- -D warnings
+
+echo "CI OK"

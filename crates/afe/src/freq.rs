@@ -133,7 +133,7 @@ mod tests {
         enc[1] = Field64::one();
         assert!(!circuit.is_valid(&enc));
         // Abstain (all zero) — rejected: sum must be exactly 1.
-        assert!(!circuit.is_valid(&vec![Field64::zero(); 4]));
+        assert!(!circuit.is_valid(&[Field64::zero(); 4]));
     }
 
     #[test]

@@ -42,7 +42,7 @@ impl LinRegAfe {
     /// Panics if `dim == 0` or `bits` is outside `1..=31`.
     pub fn new(dim: usize, bits: u32) -> Self {
         assert!(dim >= 1, "need at least one feature");
-        assert!(bits >= 1 && bits <= 31, "bits must be in 1..=31");
+        assert!((1..=31).contains(&bits), "bits must be in 1..=31");
         LinRegAfe { dim, bits }
     }
 
@@ -232,9 +232,12 @@ pub fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
         a.swap(col, pivot);
         b.swap(col, pivot);
         for row in col + 1..n {
-            let factor = a[row][col] / a[col][col];
-            for k in col..n {
-                a[row][k] -= factor * a[col][k];
+            let (upper, lower) = a.split_at_mut(row);
+            let pivot_row = &upper[col];
+            let this_row = &mut lower[0];
+            let factor = this_row[col] / pivot_row[col];
+            for (x, &p) in this_row[col..].iter_mut().zip(&pivot_row[col..]) {
+                *x -= factor * p;
             }
             b[row] -= factor * b[col];
         }

@@ -33,7 +33,7 @@ impl MostPopularAfe {
     /// # Panics
     /// Panics unless `1 ≤ bits ≤ 64`.
     pub fn new(bits: u32) -> Self {
-        assert!(bits >= 1 && bits <= 64);
+        assert!((1..=64).contains(&bits));
         MostPopularAfe { bits }
     }
 }
@@ -112,7 +112,7 @@ mod tests {
     #[test]
     fn unanimous() {
         let afe = MostPopularAfe::new(8);
-        let out = roundtrip::<Field64, _>(&afe, &vec![0xA5u64; 5], 2).unwrap();
+        let out = roundtrip::<Field64, _>(&afe, &[0xA5u64; 5], 2).unwrap();
         assert_eq!(out.value, 0xA5);
         assert_eq!(out.bit_counts, vec![5, 0, 5, 0, 0, 5, 0, 5]);
     }

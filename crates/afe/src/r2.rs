@@ -63,7 +63,7 @@ impl RSquaredAfe {
     /// Panics if the model has no features or `bits` is outside `1..=31`.
     pub fn new(model: LinearModel, bits: u32) -> Self {
         assert!(model.dim() >= 1, "model needs at least one feature");
-        assert!(bits >= 1 && bits <= 31);
+        assert!((1..=31).contains(&bits));
         RSquaredAfe { model, bits }
     }
 

@@ -210,8 +210,8 @@ mod tests {
         let afe = CountMinAfe::new(SketchParams::low_res(), 99);
         // 30 clients: value 7 held by 12, value 1000000007 by 10, others once.
         let mut inputs = Vec::new();
-        inputs.extend(std::iter::repeat(7u64).take(12));
-        inputs.extend(std::iter::repeat(1_000_000_007u64).take(10));
+        inputs.extend(std::iter::repeat_n(7u64, 12));
+        inputs.extend(std::iter::repeat_n(1_000_000_007u64, 10));
         inputs.extend([3u64, 55, 92817, 4_294_967_295, 17, 18, 19, 20]);
         let sketch = roundtrip::<Field64, _>(&afe, &inputs, 1).unwrap();
         let n = inputs.len() as u64;

@@ -21,7 +21,7 @@ impl SumAfe {
     /// # Panics
     /// Panics if `bits` is 0 or above 64.
     pub fn new(bits: u32) -> Self {
-        assert!(bits >= 1 && bits <= 64, "bits must be in 1..=64");
+        assert!((1..=64).contains(&bits), "bits must be in 1..=64");
         SumAfe { bits }
     }
 

@@ -40,7 +40,7 @@ impl VarianceAfe {
     /// # Panics
     /// Panics unless `1 ≤ bits ≤ 31` (so `x²` fits in 62 bits).
     pub fn new(bits: u32) -> Self {
-        assert!(bits >= 1 && bits <= 31, "bits must be in 1..=31");
+        assert!((1..=31).contains(&bits), "bits must be in 1..=31");
         VarianceAfe { bits }
     }
 }
@@ -148,7 +148,7 @@ mod tests {
     #[test]
     fn constant_inputs_have_zero_variance() {
         let afe = VarianceAfe::new(6);
-        let out = roundtrip::<Field64, _>(&afe, &vec![42u64; 10], 2).unwrap();
+        let out = roundtrip::<Field64, _>(&afe, &[42u64; 10], 2).unwrap();
         assert!((out.mean - 42.0).abs() < 1e-9);
         assert!(out.variance.abs() < 1e-6);
     }

@@ -91,8 +91,8 @@ pub fn prove_bit<R: rand::Rng + ?Sized>(
         let w = Scalar::random(rng);
         let a0 = h.mul(&w);
         let ch = challenge(c, &a0, &a1);
-        let c0 = ch.sub(c1);
-        let z0 = w.add(c0.mul(*r));
+        let c0 = ch - c1;
+        let z0 = w + c0 * *r;
         OrProof {
             a0,
             a1,
@@ -109,8 +109,8 @@ pub fn prove_bit<R: rand::Rng + ?Sized>(
         let w = Scalar::random(rng);
         let a1 = h.mul(&w);
         let ch = challenge(c, &a0, &a1);
-        let c1 = ch.sub(c0);
-        let z1 = w.add(c1.mul(*r));
+        let c1 = ch - c0;
+        let z1 = w + c1 * *r;
         OrProof {
             a0,
             a1,
@@ -125,7 +125,7 @@ pub fn prove_bit<R: rand::Rng + ?Sized>(
 /// Verifies an OR-proof against a commitment.
 pub fn verify_bit(c: &Point, proof: &OrProof, h: &Point) -> bool {
     let ch = challenge(c, &proof.a0, &proof.a1);
-    if !ch.sub(proof.c0).sub(proof.c1).to_bytes().iter().all(|&b| b == 0) {
+    if !(ch - proof.c0 - proof.c1).to_bytes().iter().all(|&b| b == 0) {
         return false;
     }
     // h^{z0} == A0 · C^{c0}
@@ -204,10 +204,10 @@ fn share_scalar<R: rand::Rng + ?Sized>(
     let mut acc = Scalar::zero();
     for shares in out.iter_mut().take(s - 1) {
         let share = Scalar::random(rng);
-        acc = acc.add(share);
+        acc = acc + share;
         shares.push(share);
     }
-    out[s - 1].push(value.sub(acc));
+    out[s - 1].push(value - acc);
 }
 
 /// The NIZK aggregation cluster (run in lockstep; verification work is
@@ -266,10 +266,10 @@ impl NizkCluster {
         }
         for i in 0..self.num_servers {
             for (acc, &x) in self.x_acc[i].iter_mut().zip(&sub.x_shares[i]) {
-                *acc = acc.add(x);
+                *acc = *acc + x;
             }
             for (acc, &r) in self.r_acc[i].iter_mut().zip(&sub.r_shares[i]) {
-                *acc = acc.add(r);
+                *acc = *acc + r;
             }
         }
         for (prod, c) in self.commitment_product.iter_mut().zip(&sub.commitments) {
@@ -288,9 +288,9 @@ impl NizkCluster {
         let mut out = Vec::with_capacity(self.len);
         for j in 0..self.len {
             let sum_x = (0..self.num_servers)
-                .fold(Scalar::zero(), |acc, i| acc.add(self.x_acc[i][j]));
+                .fold(Scalar::zero(), |acc, i| acc + self.x_acc[i][j]);
             let sum_r = (0..self.num_servers)
-                .fold(Scalar::zero(), |acc, i| acc.add(self.r_acc[i][j]));
+                .fold(Scalar::zero(), |acc, i| acc + self.r_acc[i][j]);
             // g^{Σx} · h^{Σr} must equal the product of commitments.
             let lhs = Point::mul_base(&sum_x).add(&self.h.mul(&sum_r));
             if !lhs.equals(&self.commitment_product[j]) {
@@ -348,7 +348,7 @@ mod tests {
         let h = pedersen_h();
         let (c, r) = commit_bit(true, &h, &mut rng);
         let mut proof = prove_bit(true, &c, &r, &h, &mut rng);
-        proof.z0 = proof.z0.add(Scalar::from_u64(1));
+        proof.z0 = proof.z0 + Scalar::from_u64(1);
         assert!(!verify_bit(&c, &proof, &h));
     }
 
@@ -401,7 +401,7 @@ mod tests {
         let mut cluster = NizkCluster::new(2, 1);
         let h = cluster.h();
         let mut sub = client_submission(&[true], 2, &h, &mut rng);
-        sub.x_shares[0][0] = sub.x_shares[0][0].add(Scalar::from_u64(3));
+        sub.x_shares[0][0] = sub.x_shares[0][0] + Scalar::from_u64(3);
         assert!(cluster.process(&sub)); // proofs pass
         assert_eq!(cluster.publish(), None); // but the opening fails
     }

@@ -129,26 +129,6 @@ impl Scalar {
         Scalar(curve().sc.from_wide_le_bytes(bytes))
     }
 
-    /// Scalar addition.
-    pub fn add(self, rhs: Scalar) -> Scalar {
-        Scalar(curve().sc.add(self.0, rhs.0))
-    }
-
-    /// Scalar subtraction.
-    pub fn sub(self, rhs: Scalar) -> Scalar {
-        Scalar(curve().sc.sub(self.0, rhs.0))
-    }
-
-    /// Scalar multiplication.
-    pub fn mul(self, rhs: Scalar) -> Scalar {
-        Scalar(curve().sc.mul(self.0, rhs.0))
-    }
-
-    /// Scalar negation.
-    pub fn neg(self) -> Scalar {
-        Scalar(curve().sc.neg(self.0))
-    }
-
     /// Multiplicative inverse (ℓ is prime).
     ///
     /// # Panics
@@ -174,6 +154,34 @@ impl Scalar {
 
     fn canonical(self) -> U256 {
         curve().sc.from_mont(self.0)
+    }
+}
+
+impl std::ops::Add for Scalar {
+    type Output = Scalar;
+    fn add(self, rhs: Scalar) -> Scalar {
+        Scalar(curve().sc.add(self.0, rhs.0))
+    }
+}
+
+impl std::ops::Sub for Scalar {
+    type Output = Scalar;
+    fn sub(self, rhs: Scalar) -> Scalar {
+        Scalar(curve().sc.sub(self.0, rhs.0))
+    }
+}
+
+impl std::ops::Mul for Scalar {
+    type Output = Scalar;
+    fn mul(self, rhs: Scalar) -> Scalar {
+        Scalar(curve().sc.mul(self.0, rhs.0))
+    }
+}
+
+impl std::ops::Neg for Scalar {
+    type Output = Scalar;
+    fn neg(self) -> Scalar {
+        Scalar(curve().sc.neg(self.0))
     }
 }
 
@@ -439,11 +447,11 @@ mod tests {
         let b = Scalar::random(&mut rng);
         // (a+b)·B = a·B + b·B
         assert_eq!(
-            Point::mul_base(&a.add(b)),
+            Point::mul_base(&(a + b)),
             Point::mul_base(&a).add(&Point::mul_base(&b))
         );
         // (a·b)·B = a·(b·B)
-        assert_eq!(Point::mul_base(&a.mul(b)), Point::mul_base(&b).mul(&a));
+        assert_eq!(Point::mul_base(&(a * b)), Point::mul_base(&b).mul(&a));
     }
 
     #[test]
@@ -483,9 +491,9 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(14);
         let a = Scalar::random(&mut rng);
         let b = Scalar::random(&mut rng);
-        assert_eq!(a.add(b).sub(b), a);
-        assert_eq!(a.mul(b).mul(b.invert()), a);
-        assert_eq!(a.add(a.neg()), Scalar::zero());
+        assert_eq!(a + b - b, a);
+        assert_eq!(a * b * b.invert(), a);
+        assert_eq!(a + (-a), Scalar::zero());
         let bytes = a.to_bytes();
         assert_eq!(Scalar::from_bytes(&bytes), Some(a));
     }

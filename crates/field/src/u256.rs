@@ -454,7 +454,7 @@ mod tests {
         let wide = a.mul_wide(b);
         // Upper half must be zero for this small product.
         assert_eq!(&wide[4..], &[0u64; 4]);
-        let expect = 0xdead_beef_1234_5678_9abc_def0_1111_2222u128 as u128;
+        let expect = 0xdead_beef_1234_5678_9abc_def0_1111_2222u128;
         // Reference via two u128 multiplies on the split halves.
         let lo = (expect as u64 as u128) * 0x1234_5678u128;
         let hi = (expect >> 64) * 0x1234_5678u128;

@@ -1,12 +1,17 @@
 //! The simulated message fabric: endpoints, channels, byte accounting, and
 //! optional link latency.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
+
+/// Locks a std mutex, ignoring poison: the fabric's maps hold only counters
+/// and senders, which stay consistent even if a holder panicked.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Identifies a node (server or client proxy) on the simulated network.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -69,10 +74,10 @@ impl SimNetwork {
     /// Registers a new endpoint with its own mailbox.
     pub fn endpoint(&self) -> Endpoint {
         let id = NodeId(self.inner.next_id.fetch_add(1, Ordering::Relaxed) as usize);
-        let (tx, rx) = unbounded();
-        self.inner.mailboxes.lock().insert(id, tx);
+        let (tx, rx) = channel();
+        lock(&self.inner.mailboxes).insert(id, tx);
         let counters = |map: &Mutex<HashMap<NodeId, Arc<AtomicU64>>>| {
-            map.lock().entry(id).or_default().clone()
+            lock(map).entry(id).or_default().clone()
         };
         Endpoint {
             id,
@@ -90,12 +95,12 @@ impl SimNetwork {
         }
         let n = payload.len() as u64;
         let tx = {
-            let boxes = self.inner.mailboxes.lock();
+            let boxes = lock(&self.inner.mailboxes);
             boxes.get(&dst).cloned().ok_or(SendError::UnknownNode)?
         };
         tx.send(Envelope { src, payload })
             .map_err(|_| SendError::Closed)?;
-        if let Some(c) = self.inner.received.lock().get(&dst) {
+        if let Some(c) = lock(&self.inner.received).get(&dst) {
             c.fetch_add(n, Ordering::Relaxed);
         }
         Ok(())
@@ -104,7 +109,7 @@ impl SimNetwork {
     /// Per-node traffic statistics.
     pub fn stats(&self) -> NetStats {
         let collect = |map: &Mutex<HashMap<NodeId, Arc<AtomicU64>>>| {
-            map.lock()
+            lock(map)
                 .iter()
                 .map(|(&k, v)| (k, v.load(Ordering::Relaxed)))
                 .collect()
@@ -119,7 +124,7 @@ impl SimNetwork {
     /// Resets all byte/message counters (e.g. between benchmark phases).
     pub fn reset_stats(&self) {
         for map in [&self.inner.sent, &self.inner.received, &self.inner.msgs] {
-            for counter in map.lock().values() {
+            for counter in lock(map).values() {
                 counter.store(0, Ordering::Relaxed);
             }
         }

@@ -260,6 +260,7 @@ pub fn mpc_verify_and_evaluate<F: FieldElement>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::VerifyMode;
     use prio_field::Field64;
     use rand::SeedableRng;
 

@@ -1,0 +1,278 @@
+//! In-workspace shim for the subset of the `proptest` API used by this
+//! workspace's tests.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the pieces the test suites rely on: the [`proptest!`] macro, [`any`],
+//! range and [`prop::collection::vec`] strategies, [`Strategy::prop_map`],
+//! and the `prop_assert*` macros.
+//!
+//! Semantics differ from real proptest in two deliberate ways: inputs are
+//! drawn from a fixed-seed deterministic generator (no persisted failure
+//! files, fully reproducible runs), and there is no shrinking — a failing
+//! case panics immediately with the generated inputs visible in the
+//! assertion message. Each `#[test]` body runs [`NUM_CASES`] times.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::ops::Range;
+
+/// Number of random cases each property test runs.
+pub const NUM_CASES: u64 = 64;
+
+/// Builds the deterministic generator for case `case` of the test named
+/// `name`. Used by the [`proptest!`] macro; public so the macro expansion
+/// can reach it.
+pub fn case_rng(name: &str, case: u64) -> StdRng {
+    // FNV-1a over the test name, mixed with the case index, so every test
+    // gets an independent but reproducible stream.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// A source of random test-case values.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value from `rng`.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps this strategy's output through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Types with a canonical "uniform over the whole domain" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws a uniform value from `rng`.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.random()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, u128, usize, bool);
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy producing uniform values over `T`'s whole domain.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! impl_strategy_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_strategy_range!(u32, u64, usize);
+
+impl Strategy for Range<u8> {
+    type Value = u8;
+    fn generate(&self, rng: &mut StdRng) -> u8 {
+        rng.random_range(u32::from(self.start)..u32::from(self.end)) as u8
+    }
+}
+
+impl Strategy for Range<u128> {
+    type Value = u128;
+    fn generate(&self, rng: &mut StdRng) -> u128 {
+        // Sample below the span via two 64-bit draws; spans above 2^64 only
+        // appear in field tests where uniformity-mod-span is sufficient.
+        let span = self.end - self.start;
+        let wide = (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64());
+        self.start + wide % span
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod prop {
+    /// Strategies over collections.
+    pub mod collection {
+        use super::super::{Strategy, StdRng};
+        use rand::Rng;
+        use std::ops::Range;
+
+        /// The strategy returned by [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let len = rng.random_range(self.len.clone());
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// Strategy producing vectors of `element` with a length drawn from
+        /// `len`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+    }
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Strategy,
+    };
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Each function body runs [`NUM_CASES`] times with fresh inputs from a
+/// deterministic per-test stream. No shrinking: a failure panics with the
+/// first offending inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                for case in 0..$crate::NUM_CASES {
+                    let mut prop_rng = $crate::case_rng(stringify!($name), case);
+                    $(let $arg = $crate::Strategy::generate(&$strat, &mut prop_rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+///
+/// Expands to a `continue` of the case loop, so it is only usable directly
+/// inside a [`proptest!`] body (as in real proptest).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// `assert!` under a proptest-compatible name (no shrinking, panics).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name (no shrinking, panics).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name (no shrinking, panics).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_vecs_stay_in_bounds() {
+        let mut rng = crate::case_rng("bounds", 0);
+        for _ in 0..200 {
+            let v = Strategy::generate(&(3u64..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let xs = Strategy::generate(&prop::collection::vec(0u64..64, 2..15), &mut rng);
+            assert!((2..15).contains(&xs.len()));
+            assert!(xs.iter().all(|&x| x < 64));
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = crate::case_rng("map", 1);
+        let doubled = Strategy::generate(&(1u64..10).prop_map(|x| x * 2), &mut rng);
+        assert!(doubled % 2 == 0 && (2..20).contains(&doubled));
+    }
+
+    #[test]
+    fn case_rng_is_deterministic_per_name_and_case() {
+        use rand::RngCore;
+        assert_eq!(
+            crate::case_rng("t", 3).next_u64(),
+            crate::case_rng("t", 3).next_u64()
+        );
+        assert_ne!(
+            crate::case_rng("t", 3).next_u64(),
+            crate::case_rng("t", 4).next_u64()
+        );
+        assert_ne!(
+            crate::case_rng("t", 3).next_u64(),
+            crate::case_rng("u", 3).next_u64()
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn macro_generates_cases(a in any::<u32>(), b in 1u64..100) {
+            prop_assert!((1..100).contains(&b));
+            prop_assert_eq!(u64::from(a) + b, b + u64::from(a));
+        }
+    }
+}

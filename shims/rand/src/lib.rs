@@ -1,0 +1,280 @@
+//! In-workspace shim for the subset of the `rand` 0.9 API used by this
+//! workspace.
+//!
+//! The build environment has no access to crates.io, so this crate provides a
+//! drop-in replacement for the call sites the Prio reproduction actually
+//! uses: [`Rng::random`], [`Rng::random_range`], [`RngCore::fill_bytes`],
+//! [`SeedableRng::seed_from_u64`], [`rngs::StdRng`], and the process-entropy
+//! constructor [`rng()`].
+//!
+//! The generator behind [`rngs::StdRng`] is xoshiro256** (Blackman & Vigna),
+//! a fast shift-register generator in the lineage of the four-tap GFSR
+//! generators; state is expanded from a `u64` seed with SplitMix64. It is
+//! deterministic, portable, and **not** cryptographically secure — all
+//! cryptographic randomness in the workspace flows through `prio_crypto`'s
+//! PRG, never through this crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core of a random number generator: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Returns the next uniform `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next uniform `u32`.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with uniform bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let last = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&last[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Types that can be sampled uniformly from an [`RngCore`].
+///
+/// Mirrors `rand`'s `StandardUniform` distribution for the primitive types
+/// the workspace samples.
+pub trait Random: Sized {
+    /// Draws a uniform value from `rng`.
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_random_uint {
+    ($($t:ty),*) => {$(
+        impl Random for $t {
+            fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                // For types no wider than u64 this truncates a full u64,
+                // which preserves uniformity.
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_random_uint!(u8, u16, u32, u64, usize);
+
+impl Random for u128 {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Random for bool {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that [`Rng::random_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws a uniform value in the range from `rng`.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u128;
+                // Lemire's multiply-shift reduction of a uniform u64; the
+                // bias is < span / 2^64, far below what any test observes.
+                let hi = ((u128::from(rng.next_u64()) * span) >> 64) as $t;
+                self.start + hi
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                // Widen to u128 so end == MAX doesn't overflow the span.
+                let span = end as u128 - start as u128 + 1;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                let hi = ((u128::from(rng.next_u64()) * span) >> 64) as $t;
+                start + hi
+            }
+        }
+    )*};
+}
+
+impl_sample_range_uint!(u32, u64, usize);
+
+/// User-facing sampling methods, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a uniform value of type `T`.
+    fn random<T: Random>(&mut self) -> T {
+        T::random(self)
+    }
+
+    /// Draws a uniform value from `range`.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Generators that can be deterministically constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a `u64` seed; equal seeds yield equal streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256**
+    /// seeded via SplitMix64.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut state),
+                    splitmix64(&mut state),
+                    splitmix64(&mut state),
+                    splitmix64(&mut state),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Returns a fresh generator seeded from process entropy.
+///
+/// Mirrors `rand::rng()`. Each call yields an independently seeded
+/// [`rngs::StdRng`]; the seed mixes the process's hash-table keys (randomized
+/// per process by the OS) with a global call counter, so repeated calls in
+/// one process never collide.
+pub fn rng() -> rngs::StdRng {
+    use std::hash::{BuildHasher, Hasher};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static CALLS: AtomicU64 = AtomicU64::new(0);
+    let mut hasher = std::collections::hash_map::RandomState::new().build_hasher();
+    hasher.write_u64(CALLS.fetch_add(1, Ordering::Relaxed));
+    rngs::StdRng::seed_from_u64(hasher.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = rngs::StdRng::seed_from_u64(42);
+        let mut b = rngs::StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = rngs::StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        for len in [0usize, 1, 7, 8, 9, 31, 32, 33] {
+            let mut rng = rngs::StdRng::seed_from_u64(7);
+            let mut buf = vec![0u8; len];
+            rng.fill_bytes(&mut buf);
+            // A seeded refill must reproduce the same bytes.
+            let mut rng2 = rngs::StdRng::seed_from_u64(7);
+            let mut buf2 = vec![0u8; len];
+            rng2.fill_bytes(&mut buf2);
+            assert_eq!(buf, buf2);
+        }
+    }
+
+    #[test]
+    fn random_range_stays_in_bounds() {
+        let mut rng = rngs::StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.random_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.random_range(5u32..=5);
+            assert_eq!(w, 5);
+            // Inclusive ranges ending at the type MAX must not overflow.
+            let x = rng.random_range(u64::MAX - 1..=u64::MAX);
+            assert!(x >= u64::MAX - 1);
+            let _ = rng.random_range(0u64..=u64::MAX);
+        }
+    }
+
+    #[test]
+    fn random_samples_all_widths() {
+        let mut rng = rngs::StdRng::seed_from_u64(9);
+        let _: u32 = rng.random();
+        let _: u64 = rng.random();
+        let v: u128 = rng.random();
+        assert!(v > u128::from(u64::MAX) || v <= u128::from(u64::MAX));
+        let _: bool = rng.random();
+    }
+
+    #[test]
+    fn process_rng_yields_distinct_generators() {
+        let mut a = rng();
+        let mut b = rng();
+        // Two draws from independently seeded generators; equality would be
+        // a 2^-64 coincidence (or a broken counter).
+        assert_ne!(
+            (a.next_u64(), a.next_u64()),
+            (b.next_u64(), b.next_u64())
+        );
+    }
+}

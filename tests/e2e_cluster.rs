@@ -1,0 +1,66 @@
+//! Workspace-level end-to-end test: the full Prio pipeline over the sum AFE.
+//!
+//! Exercises every layer at once — `prio_afe` client encoding, `prio_snip`
+//! proof generation and two-round verification, `prio_core` accumulation and
+//! publishing — the way a deployment composes them, rather than through any
+//! single crate's unit tests.
+
+use prio_afe::sum::SumAfe;
+use prio_core::{Client, ClientConfig, Cluster, ShareBlob};
+use prio_field::{Field64, FieldElement};
+use prio_snip::VerifyMode;
+use rand::SeedableRng;
+
+#[test]
+fn sum_pipeline_aggregates_honest_and_rejects_malformed() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xe2e);
+    let bits = 10;
+    let num_servers = 3;
+    let mut cluster: Cluster<Field64, _> = Cluster::new(
+        SumAfe::new(bits),
+        num_servers,
+        VerifyMode::FixedPoint,
+    );
+    let mut client = Client::new(SumAfe::new(bits), ClientConfig::new(num_servers));
+
+    // Phase 1: honest clients. Client encode → SNIP verify → aggregate.
+    let values = [0u64, 1, 512, 1023, 77, 300];
+    for v in values {
+        let sub = client.submit(&v, &mut rng).expect("encoding in range");
+        assert!(cluster.process(&sub), "honest submission must be accepted");
+    }
+
+    // Phase 2: a cheater tampers with its explicit share after proving
+    // (the ballot-stuffing attack of Section 1). The SNIP must catch it.
+    let mut cheat = client.submit(&1, &mut rng).unwrap();
+    match &mut cheat.blobs[num_servers - 1] {
+        ShareBlob::Explicit(share) => share[0] += Field64::from_u64(5000),
+        ShareBlob::Seed(_) => panic!("last blob should be the explicit share"),
+    }
+    assert!(
+        !cluster.process(&cheat),
+        "tampered submission must be rejected"
+    );
+
+    // Phase 3: a structurally malformed blob (wrong length) is rejected
+    // locally, without even entering SNIP verification.
+    let mut garbled = client.submit(&2, &mut rng).unwrap();
+    garbled.blobs[0] = ShareBlob::Explicit(vec![Field64::zero(); 1]);
+    assert!(
+        !cluster.process(&garbled),
+        "malformed submission must be rejected"
+    );
+
+    // Phase 4: publish. Only the honest values appear in the statistic.
+    assert_eq!(cluster.accepted(), values.len() as u64);
+    assert_eq!(cluster.rejected(), 2);
+    let total = cluster.decode().expect("aggregate decodes");
+    assert_eq!(total, values.iter().map(|&v| u128::from(v)).sum::<u128>());
+
+    // The verification protocol actually moved bytes between servers, and
+    // non-leaders all sent the same (constant-size) traffic.
+    let sent = cluster.verification_bytes_sent();
+    assert!(sent[0] > 0, "leader must broadcast");
+    assert!(sent[1] > 0, "non-leaders must reply");
+    assert_eq!(sent[1], sent[2], "star topology is symmetric");
+}
