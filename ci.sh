@@ -16,4 +16,8 @@ cargo test -q --offline
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --offline --all-targets -- -D warnings
 
+echo "==> prio-bench --smoke"
+cargo run --release --offline -p prio_bench -- --smoke
+cargo run --release --offline -p prio_bench -- --check BENCH_prio.json
+
 echo "CI OK"

@@ -1,0 +1,393 @@
+//! Scenario execution: turns a [`Scenario`] description into a measured
+//! [`Record`].
+//!
+//! All randomness flows through the workspace's deterministic `rand` shim,
+//! seeded from the scenario, so two runs of the same registry measure the
+//! exact same work (only the wall-clock numbers vary).
+
+use crate::json::Json;
+use crate::scenario::{AfeKind, Backend, FieldKind, Group, Scenario};
+use crate::stats::{time_once, Summary};
+use prio_afe::linreg::{Example, LinRegAfe};
+use prio_afe::mostpop::MostPopularAfe;
+use prio_afe::sum::SumAfe;
+use prio_afe::{freq::FrequencyAfe, Afe};
+use prio_baselines::nizk::{client_submission, NizkCluster};
+use prio_core::{Client, ClientConfig, Cluster, Deployment, DeploymentConfig};
+use prio_field::{Field128, Field64, FieldElement};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::time::Duration;
+
+/// One measured scenario: its identity, parameters, and metrics.
+#[derive(Clone, Debug)]
+pub struct Record {
+    /// Scenario name (unique within a registry).
+    pub name: String,
+    /// Experiment family.
+    pub group: Group,
+    /// The scenario parameters, serialized.
+    pub params: Json,
+    /// Measured metrics (shape varies by group).
+    pub metrics: Json,
+}
+
+impl Record {
+    /// The record as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("group", Json::Str(self.group.tag().into())),
+            ("params", self.params.clone()),
+            ("metrics", self.metrics.clone()),
+        ])
+    }
+}
+
+/// Runs one scenario to completion.
+pub fn run_scenario(sc: &Scenario) -> Record {
+    let metrics = match sc.group {
+        Group::Throughput => run_throughput(sc),
+        Group::EncodeVerify => run_encode_verify(sc),
+        Group::Bandwidth => run_bandwidth(sc),
+        Group::Baseline => run_baseline(sc),
+    };
+    Record {
+        name: sc.name.clone(),
+        group: sc.group,
+        params: sc.params_json(),
+        metrics,
+    }
+}
+
+fn sum_inputs(bits: usize, n: usize, rng: &mut StdRng) -> Vec<u64> {
+    let max = 1u64 << bits;
+    (0..n).map(|_| rng.random_range(0..max)).collect()
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4: throughput vs. number of servers (threaded deployment).
+// ---------------------------------------------------------------------------
+
+fn run_throughput(sc: &Scenario) -> Json {
+    assert_eq!(sc.backend, Backend::Deployment);
+    let mut rng = StdRng::seed_from_u64(sc.seed);
+    let afe = SumAfe::new(sc.size as u32);
+    let mut cfg = DeploymentConfig::new(sc.servers).with_verify_mode(sc.verify_mode);
+    if let Some(latency) = sc.latency {
+        cfg = cfg.with_latency(latency);
+    }
+    let mut deployment: Deployment<Field64> = Deployment::start(afe.clone(), cfg);
+    let mut client = Client::new(afe, ClientConfig::new(sc.servers));
+    let subs: Vec<_> = sum_inputs(sc.size, sc.submissions, &mut rng)
+        .iter()
+        .map(|v| client.submit(v, &mut rng).expect("honest input"))
+        .collect();
+
+    let summary = sc.runner.measure(|_| {
+        let decisions = deployment.run_batch(&subs);
+        assert!(decisions.iter().all(|&d| d), "honest batch rejected");
+    });
+    let report = deployment.finish();
+    let runs = (sc.runner.warmup + sc.runner.iters) as u64;
+    assert_eq!(report.accepted, sc.submissions as u64 * runs);
+
+    let (leader, non_leader) = report.leader_vs_non_leader_bytes();
+    let throughput = sc.submissions as f64 / (summary.median_ms / 1e3);
+    Json::obj(vec![
+        ("batch_wall", summary.to_json()),
+        ("throughput_sub_per_s", Json::Num(throughput)),
+        ("upload_bytes_per_sub", Json::Num(subs[0].upload_bytes() as f64)),
+        ("leader_bytes_sent", Json::Num(leader as f64)),
+        ("max_non_leader_bytes_sent", Json::Num(non_leader as f64)),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5: client encode / server verify cost vs. submission length.
+// ---------------------------------------------------------------------------
+
+fn run_encode_verify(sc: &Scenario) -> Json {
+    let mut rng = StdRng::seed_from_u64(sc.seed);
+    let n = sc.submissions;
+    match (sc.field, sc.afe) {
+        (FieldKind::F64, AfeKind::Sum) => {
+            let inputs = sum_inputs(sc.size, n, &mut rng);
+            encode_verify::<Field64, _>(SumAfe::new(sc.size as u32), &inputs, sc)
+        }
+        (FieldKind::F128, AfeKind::Sum) => {
+            let inputs = sum_inputs(sc.size, n, &mut rng);
+            encode_verify::<Field128, _>(SumAfe::new(sc.size as u32), &inputs, sc)
+        }
+        (FieldKind::F64, AfeKind::Freq) => {
+            let inputs: Vec<usize> = (0..n).map(|_| rng.random_range(0..sc.size)).collect();
+            encode_verify::<Field64, _>(FrequencyAfe::new(sc.size), &inputs, sc)
+        }
+        (FieldKind::F128, AfeKind::Freq) => {
+            let inputs: Vec<usize> = (0..n).map(|_| rng.random_range(0..sc.size)).collect();
+            encode_verify::<Field128, _>(FrequencyAfe::new(sc.size), &inputs, sc)
+        }
+        (FieldKind::F64, AfeKind::LinReg) => {
+            let inputs = linreg_inputs(sc.size, n, &mut rng);
+            encode_verify::<Field64, _>(LinRegAfe::new(sc.size, 8), &inputs, sc)
+        }
+        (FieldKind::F128, AfeKind::LinReg) => {
+            let inputs = linreg_inputs(sc.size, n, &mut rng);
+            encode_verify::<Field128, _>(LinRegAfe::new(sc.size, 8), &inputs, sc)
+        }
+        (FieldKind::F64, AfeKind::MostPop) => {
+            let inputs = sum_inputs(sc.size.min(63), n, &mut rng);
+            encode_verify::<Field64, _>(MostPopularAfe::new(sc.size as u32), &inputs, sc)
+        }
+        (FieldKind::F128, AfeKind::MostPop) => {
+            let inputs = sum_inputs(sc.size.min(63), n, &mut rng);
+            encode_verify::<Field128, _>(MostPopularAfe::new(sc.size as u32), &inputs, sc)
+        }
+    }
+}
+
+fn linreg_inputs(dim: usize, n: usize, rng: &mut StdRng) -> Vec<Example> {
+    (0..n)
+        .map(|_| Example {
+            features: (0..dim).map(|_| rng.random_range(0..256u64)).collect(),
+            y: rng.random_range(0..256u64),
+        })
+        .collect()
+}
+
+fn encode_verify<F: FieldElement, A: Afe<F> + Clone>(
+    afe: A,
+    inputs: &[A::Input],
+    sc: &Scenario,
+) -> Json {
+    let mut rng = StdRng::seed_from_u64(sc.seed ^ 1);
+    let mut cluster: Cluster<F, A> = Cluster::new(afe.clone(), sc.servers, sc.verify_mode);
+    let encoded_len = afe.encoded_len();
+    let mut client = Client::new(afe, ClientConfig::new(sc.servers));
+    let n = inputs.len() as u32;
+
+    let mut encode_samples = Vec::with_capacity(sc.runner.iters);
+    let mut verify_samples = Vec::with_capacity(sc.runner.iters);
+    let mut upload_bytes = 0;
+    let mut non_leader_bytes_before = 0;
+    for run in 0..sc.runner.warmup + sc.runner.iters {
+        let (subs, encode_wall) = time_once(|| {
+            inputs
+                .iter()
+                .map(|input| client.submit(input, &mut rng).expect("honest input"))
+                .collect::<Vec<_>>()
+        });
+        upload_bytes = subs[0].upload_bytes();
+        if run == sc.runner.warmup {
+            cluster.reset_timings();
+            // Byte counters have no reset; remember the warmup baseline so
+            // the per-sub byte metric covers the same runs as the timings.
+            non_leader_bytes_before = cluster.verification_bytes_sent()[1];
+        }
+        let (ok, verify_wall) =
+            time_once(|| subs.iter().filter(|sub| cluster.process(sub)).count());
+        assert_eq!(ok, inputs.len(), "honest submission rejected");
+        if run >= sc.runner.warmup {
+            encode_samples.push(encode_wall / n);
+            verify_samples.push(verify_wall / n);
+        }
+    }
+
+    let timings = cluster.timings();
+    let per_sub = |d: Duration| ms(d) / timings.submissions as f64;
+    Json::obj(vec![
+        ("encoded_len", Json::Num(encoded_len as f64)),
+        ("upload_bytes_per_sub", Json::Num(upload_bytes as f64)),
+        ("encode_ms_per_sub", Summary::from_durations(&encode_samples).to_json()),
+        ("verify_ms_per_sub", Summary::from_durations(&verify_samples).to_json()),
+        (
+            "verify_phase_ms_per_sub",
+            Json::obj(vec![
+                ("unpack", Json::Num(per_sub(timings.unpack))),
+                ("round1", Json::Num(per_sub(timings.round1))),
+                ("round2", Json::Num(per_sub(timings.round2))),
+            ]),
+        ),
+        (
+            "non_leader_verify_bytes_per_sub",
+            Json::Num(
+                (cluster.verification_bytes_sent()[1] - non_leader_bytes_before) as f64
+                    / timings.submissions as f64,
+            ),
+        ),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6: per-node bandwidth and the leader/non-leader asymmetry.
+// ---------------------------------------------------------------------------
+
+fn run_bandwidth(sc: &Scenario) -> Json {
+    assert_eq!(sc.backend, Backend::Deployment);
+    let mut rng = StdRng::seed_from_u64(sc.seed);
+    let afe = SumAfe::new(sc.size as u32);
+    let cfg = DeploymentConfig::new(sc.servers).with_verify_mode(sc.verify_mode);
+    let mut deployment: Deployment<Field64> = Deployment::start(afe.clone(), cfg);
+    let mut client = Client::new(afe, ClientConfig::new(sc.servers));
+    let subs: Vec<_> = sum_inputs(sc.size, sc.submissions, &mut rng)
+        .iter()
+        .map(|v| client.submit(v, &mut rng).expect("honest input"))
+        .collect();
+
+    // Phase attribution via fabric snapshots: everything between the two
+    // snapshots is the batch phase (upload + SNIP verification); everything
+    // after is the publish phase (accumulator reveal).
+    let server_ids = deployment.server_ids().to_vec();
+    let before = deployment.network().snapshot();
+    let decisions = deployment.run_batch(&subs);
+    assert!(decisions.iter().all(|&d| d));
+    let after_batch = deployment.network().snapshot();
+    let report = deployment.finish();
+
+    let batch_phase = after_batch.diff(&before);
+    let publish_phase = report.stats.diff(&after_batch);
+    let n = sc.submissions as f64;
+    // The driver plays the clients: its sent bytes are the upload traffic.
+    let upload: u64 = batch_phase
+        .bytes_sent
+        .iter()
+        .filter(|(id, _)| !server_ids.contains(id))
+        .map(|(_, &v)| v)
+        .sum();
+    let per_server: Vec<u64> = server_ids
+        .iter()
+        .map(|id| batch_phase.bytes_sent.get(id).copied().unwrap_or(0))
+        .collect();
+    let leader = per_server[0];
+    let max_non_leader = per_server[1..].iter().copied().max().unwrap_or(0);
+    let ratio = leader as f64 / max_non_leader.max(1) as f64;
+    Json::obj(vec![
+        ("upload_bytes_per_sub", Json::Num(upload as f64 / n)),
+        (
+            "verify_bytes_per_server_per_sub",
+            Json::Arr(per_server.iter().map(|&b| Json::Num(b as f64 / n)).collect()),
+        ),
+        ("leader_bytes_per_sub", Json::Num(leader as f64 / n)),
+        (
+            "max_non_leader_bytes_per_sub",
+            Json::Num(max_non_leader as f64 / n),
+        ),
+        ("leader_over_non_leader", Json::Num(ratio)),
+        ("publish_bytes_total", Json::Num(publish_phase.total_bytes() as f64)),
+        ("batch_msgs_total", Json::Num(batch_phase.total_msgs() as f64)),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// Section 6 baseline: Prio (mostpop AFE) vs. discrete-log NIZK.
+// ---------------------------------------------------------------------------
+
+fn run_baseline(sc: &Scenario) -> Json {
+    let bits = sc.size;
+    let mut rng = StdRng::seed_from_u64(sc.seed);
+
+    // Prio side: b independent bit counters via the most-popular AFE.
+    let afe = MostPopularAfe::new(bits as u32);
+    let mut cluster: Cluster<Field64, _> = Cluster::new(afe.clone(), sc.servers, sc.verify_mode);
+    let mut client = Client::new(afe, ClientConfig::new(sc.servers));
+    let inputs = sum_inputs(bits.min(63), sc.submissions, &mut rng);
+
+    let mut prio_encode = Vec::new();
+    let mut prio_verify = Vec::new();
+    let mut prio_upload = 0;
+    for _ in 0..sc.runner.warmup + sc.runner.iters {
+        let (subs, enc) = time_once(|| {
+            inputs
+                .iter()
+                .map(|v| client.submit(v, &mut rng).expect("honest input"))
+                .collect::<Vec<_>>()
+        });
+        prio_upload = subs[0].upload_bytes();
+        let (ok, ver) = time_once(|| subs.iter().filter(|sub| cluster.process(sub)).count());
+        assert_eq!(ok, inputs.len());
+        prio_encode.push(enc / inputs.len() as u32);
+        prio_verify.push(ver / inputs.len() as u32);
+    }
+
+    // NIZK side: the same bit vectors through Pedersen + OR-proofs.
+    let mut nizk = NizkCluster::new(sc.servers, bits);
+    let h = nizk.h();
+    let bit_vecs: Vec<Vec<bool>> = inputs
+        .iter()
+        .map(|&v| (0..bits).map(|i| (v >> (i % 64)) & 1 == 1).collect())
+        .collect();
+    let mut nizk_encode = Vec::new();
+    let mut nizk_verify = Vec::new();
+    let mut nizk_upload = 0;
+    for _ in 0..sc.runner.warmup + sc.runner.iters {
+        let (subs, enc) = time_once(|| {
+            bit_vecs
+                .iter()
+                .map(|bv| client_submission(bv, sc.servers, &h, &mut rng))
+                .collect::<Vec<_>>()
+        });
+        nizk_upload = subs[0].upload_bytes();
+        let (ok, ver) = time_once(|| subs.iter().filter(|sub| nizk.process(sub)).count());
+        assert_eq!(ok, bit_vecs.len());
+        nizk_encode.push(enc / bit_vecs.len() as u32);
+        nizk_verify.push(ver / bit_vecs.len() as u32);
+    }
+    assert!(nizk.publish().is_some(), "NIZK homomorphic check failed");
+
+    let prio_verify_summary = Summary::from_durations(&prio_verify);
+    let nizk_verify_summary = Summary::from_durations(&nizk_verify);
+    let slowdown = nizk_verify_summary.median_ms / prio_verify_summary.median_ms.max(1e-9);
+    Json::obj(vec![
+        ("bits", Json::Num(bits as f64)),
+        ("prio_encode_ms_per_sub", Summary::from_durations(&prio_encode).to_json()),
+        ("prio_verify_ms_per_sub", prio_verify_summary.to_json()),
+        ("prio_upload_bytes", Json::Num(prio_upload as f64)),
+        ("nizk_encode_ms_per_sub", Summary::from_durations(&nizk_encode).to_json()),
+        ("nizk_verify_ms_per_sub", nizk_verify_summary.to_json()),
+        ("nizk_upload_bytes", Json::Num(nizk_upload as f64)),
+        ("nizk_over_prio_verify", Json::Num(slowdown)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{registry, Mode};
+
+    #[test]
+    fn encode_verify_record_has_expected_shape() {
+        let sc = registry(Mode::Smoke)
+            .into_iter()
+            .find(|sc| sc.group == Group::EncodeVerify && sc.afe == AfeKind::Sum)
+            .unwrap();
+        let record = run_scenario(&sc);
+        assert_eq!(record.group, Group::EncodeVerify);
+        let m = &record.metrics;
+        assert!(m.get("encoded_len").and_then(Json::as_num).unwrap() >= sc.size as f64);
+        assert!(m.get("encode_ms_per_sub").unwrap().get("median_ms").is_some());
+        assert!(m.get("verify_ms_per_sub").unwrap().get("median_ms").is_some());
+        let phases = m.get("verify_phase_ms_per_sub").unwrap();
+        for phase in ["unpack", "round1", "round2"] {
+            assert!(phases.get(phase).and_then(Json::as_num).unwrap() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn bandwidth_record_shows_leader_asymmetry() {
+        let sc = registry(Mode::Smoke)
+            .into_iter()
+            .find(|sc| sc.group == Group::Bandwidth && sc.servers == 5)
+            .unwrap();
+        let record = run_scenario(&sc);
+        let ratio = record
+            .metrics
+            .get("leader_over_non_leader")
+            .and_then(Json::as_num)
+            .unwrap();
+        // s = 5: the leader talks to 4 non-leaders; asymmetry must show.
+        assert!(ratio > 1.2, "leader ratio {ratio} too small for s=5");
+    }
+}

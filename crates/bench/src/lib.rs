@@ -1,1 +1,53 @@
-//! Placeholder module (under construction).
+//! `prio_bench` — the benchmark harness reproducing the paper's evaluation
+//! (Section 6, Figures 4–6) on top of the workspace's own pipeline.
+//!
+//! The harness is a small subsystem, not a pile of ad-hoc loops:
+//!
+//! * [`scenario`] — a registry of parameterized experiments. A
+//!   [`scenario::Scenario`] is pure data (AFE type × field size ×
+//!   submission length × server count × verify mode × latency × backend),
+//!   so the full matrix can be listed, filtered, and recorded in the
+//!   report before anything runs. [`scenario::registry`] builds the matrix
+//!   for `--smoke` (CI-sized, < 30 s) or `--full` (paper-sized sweeps).
+//! * [`stats`] — wall-clock measurement: warmup/iteration control
+//!   ([`stats::Runner`]) and min/median/p95/mean summaries
+//!   ([`stats::Summary`]) over repeated runs. All client randomness flows
+//!   through the deterministic `rand` shim, seeded per scenario, so every
+//!   run measures identical work.
+//! * [`exec`] — turns a scenario into a measured [`exec::Record`]:
+//!   - **Figure 4** (throughput vs. servers): batches through the threaded
+//!     [`prio_core::Deployment`], using its per-batch wall times;
+//!   - **Figure 5** (encode/verify cost vs. submission length): sum, freq,
+//!     linreg, and mostpop AFEs through [`prio_core::Cluster`], with the
+//!     per-phase breakdown from [`prio_core::PhaseTimings`];
+//!   - **Figure 6** (bandwidth): per-node bytes from
+//!     [`prio_net::SimNetwork`] snapshot diffs, attributing traffic to the
+//!     upload / verify / publish phases and exposing the leader's transmit
+//!     asymmetry (≈`(s−1)/2`× a non-leader in this deployment's verify
+//!     phase, growing with `s`);
+//!   - **baseline**: the same bit-vector workload through
+//!     [`prio_baselines::nizk`]'s Pedersen + OR-proof scheme, for the
+//!     orders-of-magnitude comparison of Figure 4.
+//! * [`json`] / [`report`] — a dependency-free JSON value type (serializer
+//!   *and* parser) and the reporters: a human-readable table on stdout and
+//!   the machine-readable `BENCH_prio.json` perf-trajectory document
+//!   (schema [`report::SCHEMA`]), which `prio-bench --check` re-parses and
+//!   validates in CI.
+//!
+//! Run it with:
+//!
+//! ```sh
+//! cargo run --release -p prio_bench -- --smoke            # CI-sized
+//! cargo run --release -p prio_bench -- --full             # paper-sized
+//! cargo run --release -p prio_bench -- --filter fig5      # substring match
+//! cargo run --release -p prio_bench -- --check BENCH_prio.json
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod json;
+pub mod report;
+pub mod scenario;
+pub mod stats;

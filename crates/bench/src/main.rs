@@ -1,0 +1,139 @@
+//! The `prio-bench` binary: runs the scenario registry and writes the
+//! perf-trajectory report.
+//!
+//! ```text
+//! prio-bench [--smoke | --full] [--filter SUBSTR] [--out PATH]
+//! prio-bench --list [--full]
+//! prio-bench --check PATH
+//! ```
+
+use prio_bench::exec::run_scenario;
+use prio_bench::json::Json;
+use prio_bench::report::{build_document, render_table, validate_document};
+use prio_bench::scenario::{registry, Mode};
+use std::time::Instant;
+
+struct Args {
+    mode: Mode,
+    filter: Option<String>,
+    out: String,
+    list: bool,
+    check: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: prio-bench [--smoke | --full] [--filter SUBSTR] [--out PATH] [--list]\n\
+         \x20      prio-bench --check PATH"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        mode: Mode::Smoke,
+        filter: None,
+        out: "BENCH_prio.json".to_string(),
+        list: false,
+        check: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => args.mode = Mode::Smoke,
+            "--full" => args.mode = Mode::Full,
+            "--filter" => args.filter = Some(it.next().unwrap_or_else(|| usage())),
+            "--out" => args.out = it.next().unwrap_or_else(|| usage()),
+            "--list" => args.list = true,
+            "--check" => args.check = Some(it.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn check(path: &str) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return 1;
+        }
+    };
+    match validate_document(&doc) {
+        Ok(()) => {
+            let n = doc
+                .get("results")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len)
+                .unwrap_or(0);
+            println!("{path}: valid bench report with {n} results");
+            0
+        }
+        Err(e) => {
+            eprintln!("{path}: invalid bench report: {e}");
+            1
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    if let Some(path) = &args.check {
+        std::process::exit(check(path));
+    }
+
+    let mut scenarios = registry(args.mode);
+    if let Some(filter) = &args.filter {
+        scenarios.retain(|sc| sc.name.contains(filter.as_str()));
+        if scenarios.is_empty() {
+            eprintln!("--filter '{filter}' matches no scenarios (try --list)");
+            std::process::exit(2);
+        }
+    }
+    if args.list {
+        for sc in &scenarios {
+            println!("{}", sc.name);
+        }
+        return;
+    }
+
+    eprintln!(
+        "running {} scenarios ({} mode)",
+        scenarios.len(),
+        args.mode.tag()
+    );
+    let start = Instant::now();
+    let mut records = Vec::with_capacity(scenarios.len());
+    for sc in &scenarios {
+        let sc_start = Instant::now();
+        let record = run_scenario(sc);
+        eprintln!("  {:<44} {:6.0} ms", sc.name, sc_start.elapsed().as_secs_f64() * 1e3);
+        records.push(record);
+    }
+    let total = start.elapsed();
+
+    print!("{}", render_table(&records));
+    let doc = build_document(args.mode, &records, total);
+    if let Err(e) = std::fs::write(&args.out, doc.to_pretty()) {
+        eprintln!("cannot write {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    println!(
+        "\nwrote {} ({} results, {:.1} s total)",
+        args.out,
+        records.len(),
+        total.as_secs_f64()
+    );
+}

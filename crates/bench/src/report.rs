@@ -1,0 +1,158 @@
+//! Reporters: the machine-readable `BENCH_prio.json` document and the
+//! human-readable table printed after a run.
+
+use crate::exec::Record;
+use crate::json::Json;
+use crate::scenario::{Group, Mode};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Schema tag stamped into every report; bump on breaking shape changes.
+pub const SCHEMA: &str = "prio-bench/v1";
+
+/// Assembles the full report document.
+pub fn build_document(mode: Mode, records: &[Record], total_wall: Duration) -> Json {
+    Json::obj(vec![
+        ("schema", Json::Str(SCHEMA.into())),
+        ("paper", Json::Str("conf_nsdi_Corrigan-GibbsB17".into())),
+        ("mode", Json::Str(mode.tag().into())),
+        ("total_wall_ms", Json::Num(total_wall.as_secs_f64() * 1e3)),
+        ("results", Json::Arr(records.iter().map(Record::to_json).collect())),
+    ])
+}
+
+/// Checks that a parsed document is a structurally valid bench report:
+/// right schema, non-empty results, and name/group/params/metrics on every
+/// entry. Used by `prio-bench --check` in CI.
+pub fn validate_document(doc: &Json) -> Result<(), String> {
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(SCHEMA) => {}
+        Some(other) => return Err(format!("unknown schema '{other}'")),
+        None => return Err("missing 'schema'".into()),
+    }
+    let results = doc
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or("missing 'results' array")?;
+    if results.is_empty() {
+        return Err("'results' is empty".into());
+    }
+    for (i, r) in results.iter().enumerate() {
+        for key in ["name", "group", "params", "metrics"] {
+            if r.get(key).is_none() {
+                return Err(format!("result #{i} is missing '{key}'"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// One-line human summary of a record, keyed on its experiment family.
+fn headline(record: &Record) -> String {
+    let num = |path: &[&str]| -> Option<f64> {
+        let mut v = &record.metrics;
+        for key in path {
+            v = v.get(key)?;
+        }
+        v.as_num()
+    };
+    match record.group {
+        Group::Throughput => match num(&["throughput_sub_per_s"]) {
+            Some(t) => format!("{t:9.0} sub/s"),
+            None => "-".into(),
+        },
+        Group::EncodeVerify => {
+            let enc = num(&["encode_ms_per_sub", "median_ms"]).unwrap_or(f64::NAN);
+            let ver = num(&["verify_ms_per_sub", "median_ms"]).unwrap_or(f64::NAN);
+            format!("encode {enc:8.3} ms  verify {ver:8.3} ms")
+        }
+        Group::Bandwidth => {
+            let leader = num(&["leader_bytes_per_sub"]).unwrap_or(f64::NAN);
+            let ratio = num(&["leader_over_non_leader"]).unwrap_or(f64::NAN);
+            format!("leader {leader:7.0} B/sub  x{ratio:.2} vs non-leader")
+        }
+        Group::Baseline => {
+            let slow = num(&["nizk_over_prio_verify"]).unwrap_or(f64::NAN);
+            format!("NIZK verify x{slow:.1} slower than Prio")
+        }
+    }
+}
+
+/// Renders the human-readable results table.
+pub fn render_table(records: &[Record]) -> String {
+    let name_width = records
+        .iter()
+        .map(|r| r.name.len())
+        .max()
+        .unwrap_or(8)
+        .max("scenario".len());
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<name_width$}  headline", "scenario");
+    let _ = writeln!(out, "{}  {}", "-".repeat(name_width), "-".repeat(40));
+    for r in records {
+        let _ = writeln!(out, "{:<name_width$}  {}", r.name, headline(r));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Group;
+
+    fn fake_record(name: &str) -> Record {
+        Record {
+            name: name.into(),
+            group: Group::Throughput,
+            params: Json::obj(vec![("servers", Json::Num(3.0))]),
+            metrics: Json::obj(vec![("throughput_sub_per_s", Json::Num(1234.0))]),
+        }
+    }
+
+    #[test]
+    fn document_roundtrips_and_validates() {
+        let records = vec![fake_record("a"), fake_record("b")];
+        let doc = build_document(Mode::Smoke, &records, Duration::from_millis(15));
+        let text = doc.to_pretty();
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(parsed, doc);
+        validate_document(&parsed).unwrap();
+        assert_eq!(parsed.get("mode").and_then(Json::as_str), Some("smoke"));
+        assert_eq!(
+            parsed.get("results").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn validation_rejects_malformed_documents() {
+        assert!(validate_document(&Json::parse("{}").unwrap()).is_err());
+        let wrong_schema = Json::obj(vec![
+            ("schema", Json::Str("other/v9".into())),
+            ("results", Json::Arr(vec![])),
+        ]);
+        assert!(validate_document(&wrong_schema).is_err());
+        let empty = Json::obj(vec![
+            ("schema", Json::Str(SCHEMA.into())),
+            ("results", Json::Arr(vec![])),
+        ]);
+        assert!(validate_document(&empty).is_err());
+        let missing_metrics = Json::obj(vec![
+            ("schema", Json::Str(SCHEMA.into())),
+            (
+                "results",
+                Json::Arr(vec![Json::obj(vec![("name", Json::Str("x".into()))])]),
+            ),
+        ]);
+        assert!(validate_document(&missing_metrics).is_err());
+    }
+
+    #[test]
+    fn table_lists_every_scenario() {
+        let records = vec![fake_record("fig4/a"), fake_record("fig4/b")];
+        let table = render_table(&records);
+        assert!(table.contains("fig4/a"));
+        assert!(table.contains("fig4/b"));
+        assert!(table.contains("sub/s"));
+    }
+}

@@ -1,0 +1,378 @@
+//! The scenario registry: parameterized experiment descriptions covering
+//! the paper's three evaluation figures plus the NIZK baseline comparison.
+//!
+//! A [`Scenario`] is pure data — AFE type × field size × submission length
+//! × server count × verify mode × latency × backend — so the registry can
+//! be listed, filtered by name, and serialized into the report without
+//! running anything. Execution lives in [`crate::exec`].
+
+use crate::json::Json;
+use crate::stats::Runner;
+use prio_snip::VerifyMode;
+use std::time::Duration;
+
+/// Which figure/experiment family a scenario belongs to.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Group {
+    /// Figure 4: whole-system throughput vs. number of servers, on the
+    /// threaded [`prio_core::Deployment`].
+    Throughput,
+    /// Figure 5: client encode and server verify cost vs. submission
+    /// length, per AFE, on the single-threaded [`prio_core::Cluster`].
+    EncodeVerify,
+    /// Figure 6: per-node bandwidth and the leader/non-leader asymmetry,
+    /// from [`prio_net::SimNetwork`] snapshots.
+    Bandwidth,
+    /// Section 6 baselines: Prio vs. the discrete-log NIZK scheme.
+    Baseline,
+}
+
+impl Group {
+    /// Stable lowercase tag used in names and JSON.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Group::Throughput => "throughput",
+            Group::EncodeVerify => "encode_verify",
+            Group::Bandwidth => "bandwidth",
+            Group::Baseline => "baseline",
+        }
+    }
+}
+
+/// Which AFE a scenario exercises. `size` in [`Scenario`] is interpreted
+/// per kind: bits for sum/most-popular, buckets for frequency, feature
+/// dimension for linear regression.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum AfeKind {
+    /// `b`-bit integer sum (`size` = b).
+    Sum,
+    /// Histogram over `size` buckets.
+    Freq,
+    /// `size`-dimensional least-squares regression on 8-bit data.
+    LinReg,
+    /// Most-popular `size`-bit string.
+    MostPop,
+}
+
+impl AfeKind {
+    /// Stable lowercase tag used in names and JSON.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            AfeKind::Sum => "sum",
+            AfeKind::Freq => "freq",
+            AfeKind::LinReg => "linreg",
+            AfeKind::MostPop => "mostpop",
+        }
+    }
+}
+
+/// Which Prio field the scenario runs over.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FieldKind {
+    /// 64-bit field (the default deployment field).
+    F64,
+    /// 128-bit field.
+    F128,
+}
+
+impl FieldKind {
+    /// Stable tag used in names and JSON.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            FieldKind::F64 => "f64",
+            FieldKind::F128 => "f128",
+        }
+    }
+}
+
+/// Which driver runs the protocol.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// Deterministic single-threaded [`prio_core::Cluster`].
+    Cluster,
+    /// Threaded [`prio_core::Deployment`] over the sim fabric.
+    Deployment,
+}
+
+impl Backend {
+    /// Stable tag used in JSON.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Backend::Cluster => "cluster",
+            Backend::Deployment => "deployment",
+        }
+    }
+}
+
+/// One parameterized experiment.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Unique name, e.g. `fig4/throughput/sum/s=3`. `--filter` matches on
+    /// substrings of this.
+    pub name: String,
+    /// Experiment family.
+    pub group: Group,
+    /// AFE under test.
+    pub afe: AfeKind,
+    /// AFE size parameter (see [`AfeKind`]).
+    pub size: usize,
+    /// Field to run over.
+    pub field: FieldKind,
+    /// Number of servers `s`.
+    pub servers: usize,
+    /// SNIP verification strategy.
+    pub verify_mode: VerifyMode,
+    /// Optional uniform link latency (Deployment backend only).
+    pub latency: Option<Duration>,
+    /// Protocol driver.
+    pub backend: Backend,
+    /// Submissions per measured run.
+    pub submissions: usize,
+    /// Warmup/iteration control.
+    pub runner: Runner,
+    /// Deterministic RNG seed for client inputs and shares.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// The scenario's parameters as a JSON object (for the report).
+    pub fn params_json(&self) -> Json {
+        Json::obj(vec![
+            ("group", Json::Str(self.group.tag().into())),
+            ("afe", Json::Str(self.afe.tag().into())),
+            ("size", Json::Num(self.size as f64)),
+            ("field", Json::Str(self.field.tag().into())),
+            ("servers", Json::Num(self.servers as f64)),
+            (
+                "verify_mode",
+                Json::Str(
+                    match self.verify_mode {
+                        VerifyMode::FixedPoint => "fixed_point",
+                        VerifyMode::Interpolate => "interpolate",
+                    }
+                    .into(),
+                ),
+            ),
+            (
+                "latency_us",
+                match self.latency {
+                    Some(d) => Json::Num(d.as_micros() as f64),
+                    None => Json::Null,
+                },
+            ),
+            ("backend", Json::Str(self.backend.tag().into())),
+            ("submissions", Json::Num(self.submissions as f64)),
+            ("warmup", Json::Num(self.runner.warmup as f64)),
+            ("iters", Json::Num(self.runner.iters as f64)),
+        ])
+    }
+}
+
+/// Benchmark depth.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// CI-sized: every experiment family covered, total runtime well under
+    /// 30 s, small submission counts.
+    Smoke,
+    /// Paper-sized parameter sweeps (minutes).
+    Full,
+}
+
+impl Mode {
+    /// Stable tag used in JSON.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Mode::Smoke => "smoke",
+            Mode::Full => "full",
+        }
+    }
+}
+
+fn base(name: String, group: Group, afe: AfeKind, size: usize) -> Scenario {
+    Scenario {
+        name,
+        group,
+        afe,
+        size,
+        field: FieldKind::F64,
+        servers: 2,
+        verify_mode: VerifyMode::FixedPoint,
+        latency: None,
+        backend: Backend::Cluster,
+        submissions: 4,
+        runner: Runner::new(1, 3),
+        seed: 0x5052_494f,
+    }
+}
+
+/// Builds the scenario list for a mode. Names are unique.
+pub fn registry(mode: Mode) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    let full = mode == Mode::Full;
+
+    // Figure 4: throughput vs. number of servers (threaded deployment,
+    // 8-bit sums like the paper's "browser telemetry"-sized payloads).
+    let server_counts: &[usize] = if full { &[2, 3, 5, 7, 10] } else { &[2, 3, 5] };
+    for &s in server_counts {
+        let mut sc = base(
+            format!("fig4/throughput/sum/s={s}"),
+            Group::Throughput,
+            AfeKind::Sum,
+            8,
+        );
+        sc.servers = s;
+        sc.backend = Backend::Deployment;
+        sc.submissions = if full { 128 } else { 24 };
+        sc.runner = if full { Runner::new(1, 5) } else { Runner::new(1, 2) };
+        out.push(sc);
+    }
+    // One WAN point: uniform link latency through the fabric.
+    {
+        let lat = if full { 1000 } else { 200 };
+        let mut sc = base(
+            format!("fig4/throughput/sum/s=3/latency={lat}us"),
+            Group::Throughput,
+            AfeKind::Sum,
+            8,
+        );
+        sc.servers = 3;
+        sc.backend = Backend::Deployment;
+        sc.latency = Some(Duration::from_micros(lat));
+        sc.submissions = 8;
+        sc.runner = Runner::new(0, if full { 3 } else { 1 });
+        out.push(sc);
+    }
+
+    // Figure 5: encode + verify cost vs. submission length, per AFE.
+    let sizes: &[(AfeKind, &[usize])] = if full {
+        &[
+            (AfeKind::Sum, &[4, 8, 16, 24, 31]),
+            (AfeKind::Freq, &[8, 32, 128, 512]),
+            (AfeKind::LinReg, &[1, 2, 4, 8]),
+            (AfeKind::MostPop, &[8, 32, 64]),
+        ]
+    } else {
+        &[
+            (AfeKind::Sum, &[4, 16, 31]),
+            (AfeKind::Freq, &[8, 32, 128]),
+            (AfeKind::LinReg, &[1, 2, 4]),
+            (AfeKind::MostPop, &[8, 32, 64]),
+        ]
+    };
+    for &(afe, szs) in sizes {
+        for &size in szs {
+            let mut sc = base(
+                format!("fig5/encode_verify/{}/L={size}", afe.tag()),
+                Group::EncodeVerify,
+                afe,
+                size,
+            );
+            sc.servers = 2;
+            sc.submissions = if full { 16 } else { 2 };
+            sc.runner = if full { Runner::new(2, 7) } else { Runner::new(1, 3) };
+            out.push(sc);
+        }
+    }
+    // The same pipeline over the 128-bit field and in Interpolate mode, so
+    // the field-size and verify-mode dimensions stay on the trajectory.
+    {
+        let mut sc = base(
+            "fig5/encode_verify/sum/L=16/f128".into(),
+            Group::EncodeVerify,
+            AfeKind::Sum,
+            16,
+        );
+        sc.field = FieldKind::F128;
+        sc.submissions = if full { 16 } else { 2 };
+        out.push(sc);
+
+        let mut sc = base(
+            "fig5/encode_verify/sum/L=16/interpolate".into(),
+            Group::EncodeVerify,
+            AfeKind::Sum,
+            16,
+        );
+        sc.verify_mode = VerifyMode::Interpolate;
+        sc.submissions = if full { 16 } else { 2 };
+        out.push(sc);
+    }
+
+    // Figure 6: per-node bandwidth, leader vs. non-leader asymmetry.
+    for &s in if full { &[2usize, 3, 5, 10][..] } else { &[3usize, 5][..] } {
+        let mut sc = base(
+            format!("fig6/bandwidth/sum/s={s}"),
+            Group::Bandwidth,
+            AfeKind::Sum,
+            16,
+        );
+        sc.servers = s;
+        sc.backend = Backend::Deployment;
+        sc.submissions = if full { 64 } else { 16 };
+        sc.runner = Runner::new(0, 1);
+        out.push(sc);
+    }
+
+    // NIZK baseline: Prio's mostpop AFE (b independent bits, the workload
+    // the discrete-log scheme also supports) vs. Pedersen + OR-proofs.
+    for &bits in if full { &[4usize, 16][..] } else { &[4usize][..] } {
+        let mut sc = base(
+            format!("baseline/nizk-vs-prio/bits={bits}"),
+            Group::Baseline,
+            AfeKind::MostPop,
+            bits,
+        );
+        sc.submissions = if full { 8 } else { 2 };
+        sc.runner = Runner::new(0, if full { 3 } else { 1 });
+        out.push(sc);
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        for mode in [Mode::Smoke, Mode::Full] {
+            let scenarios = registry(mode);
+            let mut names: Vec<&str> = scenarios.iter().map(|s| s.name.as_str()).collect();
+            names.sort();
+            let before = names.len();
+            names.dedup();
+            assert_eq!(before, names.len(), "duplicate scenario names in {mode:?}");
+        }
+    }
+
+    #[test]
+    fn smoke_covers_acceptance_matrix() {
+        let scenarios = registry(Mode::Smoke);
+        // Throughput for s ∈ {2, 3, 5}.
+        for s in [2, 3, 5] {
+            assert!(scenarios
+                .iter()
+                .any(|sc| sc.group == Group::Throughput && sc.servers == s));
+        }
+        // ≥ 4 AFE kinds at ≥ 3 sizes each in the encode/verify family.
+        for afe in [AfeKind::Sum, AfeKind::Freq, AfeKind::LinReg, AfeKind::MostPop] {
+            let sizes: std::collections::BTreeSet<usize> = scenarios
+                .iter()
+                .filter(|sc| sc.group == Group::EncodeVerify && sc.afe == afe)
+                .map(|sc| sc.size)
+                .collect();
+            assert!(sizes.len() >= 3, "{afe:?} has sizes {sizes:?}");
+        }
+        // Bandwidth and baseline present.
+        assert!(scenarios.iter().any(|sc| sc.group == Group::Bandwidth));
+        assert!(scenarios.iter().any(|sc| sc.group == Group::Baseline));
+    }
+
+    #[test]
+    fn params_serialize() {
+        let sc = &registry(Mode::Smoke)[0];
+        let params = sc.params_json();
+        assert_eq!(params.get("servers").and_then(Json::as_num), Some(2.0));
+        assert_eq!(params.get("backend").and_then(Json::as_str), Some("deployment"));
+    }
+}

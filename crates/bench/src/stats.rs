@@ -1,0 +1,130 @@
+//! Wall-clock measurement: warmup/iteration control and summary statistics
+//! (min / median / p95 / mean) over repeated runs.
+
+use crate::json::Json;
+use std::time::{Duration, Instant};
+
+/// Summary statistics over a set of duration samples, in milliseconds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Fastest sample.
+    pub min_ms: f64,
+    /// Median sample.
+    pub median_ms: f64,
+    /// 95th-percentile sample (nearest-rank).
+    pub p95_ms: f64,
+    /// Arithmetic mean.
+    pub mean_ms: f64,
+    /// Number of samples.
+    pub samples: usize,
+}
+
+impl Summary {
+    /// Summarizes a set of samples. Panics on an empty set — a benchmark
+    /// that produced no samples is a harness bug.
+    pub fn from_durations(samples: &[Duration]) -> Summary {
+        assert!(!samples.is_empty(), "no samples to summarize");
+        let mut ms: Vec<f64> = samples.iter().map(|d| d.as_secs_f64() * 1e3).collect();
+        ms.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let n = ms.len();
+        let nearest_rank = |q: f64| ms[((q * n as f64).ceil() as usize).clamp(1, n) - 1];
+        Summary {
+            min_ms: ms[0],
+            median_ms: nearest_rank(0.50),
+            p95_ms: nearest_rank(0.95),
+            mean_ms: ms.iter().sum::<f64>() / n as f64,
+            samples: n,
+        }
+    }
+
+    /// JSON object with all five fields.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("min_ms", Json::Num(self.min_ms)),
+            ("median_ms", Json::Num(self.median_ms)),
+            ("p95_ms", Json::Num(self.p95_ms)),
+            ("mean_ms", Json::Num(self.mean_ms)),
+            ("samples", Json::Num(self.samples as f64)),
+        ])
+    }
+}
+
+/// Warmup/iteration control shared by every scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct Runner {
+    /// Unmeasured runs before sampling starts (cache/branch warmup).
+    pub warmup: usize,
+    /// Measured runs.
+    pub iters: usize,
+}
+
+impl Runner {
+    /// A runner with the given warmup and iteration counts (`iters ≥ 1`).
+    pub fn new(warmup: usize, iters: usize) -> Runner {
+        assert!(iters >= 1);
+        Runner { warmup, iters }
+    }
+
+    /// Runs `f` `warmup + iters` times, timing the last `iters` runs.
+    /// `f` receives the 0-based run index (warmup runs included) so
+    /// scenarios can vary seeds per run.
+    pub fn measure<T>(&self, mut f: impl FnMut(usize) -> T) -> Summary {
+        for i in 0..self.warmup {
+            std::hint::black_box(f(i));
+        }
+        let mut samples = Vec::with_capacity(self.iters);
+        for i in 0..self.iters {
+            let start = Instant::now();
+            std::hint::black_box(f(self.warmup + i));
+            samples.push(start.elapsed());
+        }
+        Summary::from_durations(&samples)
+    }
+}
+
+/// Times a single closure invocation, returning its result and duration.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_samples() {
+        let samples: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        let s = Summary::from_durations(&samples);
+        assert_eq!(s.min_ms, 1.0);
+        assert_eq!(s.median_ms, 50.0);
+        assert_eq!(s.p95_ms, 95.0);
+        assert!((s.mean_ms - 50.5).abs() < 1e-9);
+        assert_eq!(s.samples, 100);
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let s = Summary::from_durations(&[Duration::from_millis(7)]);
+        assert_eq!(s.min_ms, 7.0);
+        assert_eq!(s.median_ms, 7.0);
+        assert_eq!(s.p95_ms, 7.0);
+        assert_eq!(s.samples, 1);
+    }
+
+    #[test]
+    fn runner_counts_runs() {
+        let mut calls = Vec::new();
+        let summary = Runner::new(2, 3).measure(|i| calls.push(i));
+        assert_eq!(calls, vec![0, 1, 2, 3, 4]);
+        assert_eq!(summary.samples, 3);
+    }
+
+    #[test]
+    fn time_once_returns_value() {
+        let (v, d) = time_once(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(d < Duration::from_secs(1));
+    }
+}

@@ -15,6 +15,30 @@ use prio_net::wire::Wire;
 use prio_snip::{decide, HForm, VerifierContext, VerifyMode};
 use rand::{Rng, SeedableRng};
 
+/// Wall-clock time the cluster has spent in each verification phase,
+/// accumulated across `process` calls. This is the per-phase breakdown
+/// behind the Figure-5 cost curves: `unpack` is dominated by PRG share
+/// expansion, `round1` by the circuit re-evaluation and polynomial work,
+/// `round2` by the Beaver-triple finish and decision.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct PhaseTimings {
+    /// Blob parsing + PRG expansion into `(x, π)` shares.
+    pub unpack: std::time::Duration,
+    /// SNIP round 1 (wire re-derivation, `f·g·h` evaluations).
+    pub round1: std::time::Duration,
+    /// SNIP round 2 + decision.
+    pub round2: std::time::Duration,
+    /// Submissions these totals cover.
+    pub submissions: u64,
+}
+
+impl PhaseTimings {
+    /// Total verification time across all phases.
+    pub fn total(&self) -> std::time::Duration {
+        self.unpack + self.round1 + self.round2
+    }
+}
+
 /// A simulated `s`-server Prio cluster.
 pub struct Cluster<F: FieldElement, A: Afe<F>> {
     servers: Vec<Server<F, A>>,
@@ -25,6 +49,7 @@ pub struct Cluster<F: FieldElement, A: Afe<F>> {
     ctx_rng: rand::rngs::StdRng,
     /// Verification bytes each server has *sent*.
     sent_bytes: Vec<u64>,
+    timings: PhaseTimings,
 }
 
 impl<F: FieldElement, A: Afe<F> + Clone> Cluster<F, A> {
@@ -63,6 +88,7 @@ impl<F: FieldElement, A: Afe<F> + Clone> Cluster<F, A> {
             batch_size,
             ctx_rng: rand::rngs::StdRng::seed_from_u64(0x5052_494f),
             sent_bytes: vec![0; num_servers],
+            timings: PhaseTimings::default(),
         }
     }
 
@@ -82,15 +108,18 @@ impl<F: FieldElement, A: Afe<F> + Clone> Cluster<F, A> {
         assert_eq!(sub.blobs.len(), s, "one blob per server");
         self.refresh_context_if_needed();
         self.processed_in_batch += 1;
+        self.timings.submissions += 1;
         let ctx = self.ctx.as_ref().expect("context refreshed");
 
         // Unpack. A structurally malformed blob is rejected outright (the
         // servers can detect this locally; no protocol needed).
+        let phase_start = std::time::Instant::now();
         let mut unpacked = Vec::with_capacity(s);
         for (i, blob) in sub.blobs.iter().enumerate() {
             match self.servers[i].unpack(blob, sub.prg_label) {
                 Ok(pair) => unpacked.push(pair),
                 Err(_) => {
+                    self.timings.unpack += phase_start.elapsed();
                     for server in &mut self.servers {
                         server.reject();
                     }
@@ -98,8 +127,10 @@ impl<F: FieldElement, A: Afe<F> + Clone> Cluster<F, A> {
                 }
             }
         }
+        self.timings.unpack += phase_start.elapsed();
 
         // Round 1 at every server.
+        let phase_start = std::time::Instant::now();
         let mut states = Vec::with_capacity(s);
         let mut round1 = Vec::with_capacity(s);
         for (i, (x, proof)) in unpacked.iter().enumerate() {
@@ -109,6 +140,7 @@ impl<F: FieldElement, A: Afe<F> + Clone> Cluster<F, A> {
                     round1.push(msg);
                 }
                 Err(_) => {
+                    self.timings.round1 += phase_start.elapsed();
                     for server in &mut self.servers {
                         server.reject();
                     }
@@ -116,6 +148,7 @@ impl<F: FieldElement, A: Afe<F> + Clone> Cluster<F, A> {
                 }
             }
         }
+        self.timings.round1 += phase_start.elapsed();
 
         // Byte accounting, leader-star topology:
         // non-leader i → leader: Round1([m_i]); leader → each non-leader:
@@ -129,11 +162,13 @@ impl<F: FieldElement, A: Afe<F> + Clone> Cluster<F, A> {
         let comb_size = ServerMsg::Round1Combined(combined.clone())
             .to_wire_bytes()
             .len() as u64;
+        let phase_start = std::time::Instant::now();
         let round2: Vec<_> = (0..s)
             .map(|i| self.servers[i].round2(&states[i], &combined))
             .collect();
         let r2_size = ServerMsg::Round2(vec![round2[1]]).to_wire_bytes().len() as u64;
         let accepted = decide(&round2);
+        self.timings.round2 += phase_start.elapsed();
         let dec_size = ServerMsg::<F>::Decisions(pack_decisions(&[accepted]))
             .to_wire_bytes()
             .len() as u64;
@@ -187,6 +222,16 @@ impl<F: FieldElement, A: Afe<F> + Clone> Cluster<F, A> {
     /// Verification bytes sent per server so far (index 0 = leader).
     pub fn verification_bytes_sent(&self) -> &[u64] {
         &self.sent_bytes
+    }
+
+    /// Accumulated per-phase verification timings.
+    pub fn timings(&self) -> PhaseTimings {
+        self.timings
+    }
+
+    /// Resets the per-phase timing accumulators (e.g. after warmup runs).
+    pub fn reset_timings(&mut self) {
+        self.timings = PhaseTimings::default();
     }
 
     /// Number of servers.

@@ -42,6 +42,24 @@ impl DeploymentConfig {
             latency: None,
         }
     }
+
+    /// Builder-style: uniform link latency (WAN model).
+    pub fn with_latency(mut self, latency: std::time::Duration) -> Self {
+        self.latency = Some(latency);
+        self
+    }
+
+    /// Builder-style: verification strategy.
+    pub fn with_verify_mode(mut self, mode: VerifyMode) -> Self {
+        self.verify_mode = mode;
+        self
+    }
+
+    /// Builder-style: `h` transmission format.
+    pub fn with_h_form(mut self, h_form: HForm) -> Self {
+        self.h_form = h_form;
+        self
+    }
 }
 
 /// Result of a deployment run.
@@ -55,6 +73,34 @@ pub struct DeploymentReport {
     pub sigma: Vec<u64>,
     /// Network statistics at publish time.
     pub stats: NetStats,
+    /// Wall-clock time of each `run_batch` call, in order.
+    pub batch_wall: Vec<std::time::Duration>,
+    /// Bytes sent by each server over the whole run (index 0 = leader).
+    /// Derived from the fabric so callers no longer have to map `NodeId`s
+    /// back to server indices themselves.
+    pub server_bytes_sent: Vec<u64>,
+}
+
+impl DeploymentReport {
+    /// Total wall-clock time spent inside `run_batch` calls.
+    pub fn total_batch_wall(&self) -> std::time::Duration {
+        self.batch_wall.iter().sum()
+    }
+
+    /// Leader bytes vs. the busiest non-leader — the Figure-6 asymmetry.
+    /// Returns `(leader, max_non_leader)`.
+    pub fn leader_vs_non_leader_bytes(&self) -> (u64, u64) {
+        let leader = self.server_bytes_sent.first().copied().unwrap_or(0);
+        let max_non_leader = self
+            .server_bytes_sent
+            .get(1..)
+            .unwrap_or(&[])
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0);
+        (leader, max_non_leader)
+    }
 }
 
 /// A running multi-threaded deployment.
@@ -66,6 +112,7 @@ pub struct Deployment<F: FieldElement> {
     next_seed: u64,
     accepted: u64,
     rejected: u64,
+    batch_wall: Vec<std::time::Duration>,
     _marker: std::marker::PhantomData<F>,
 }
 
@@ -109,6 +156,7 @@ impl<F: FieldElement> Deployment<F> {
             next_seed: 1,
             accepted: 0,
             rejected: 0,
+            batch_wall: Vec::new(),
             _marker: std::marker::PhantomData,
         }
     }
@@ -116,7 +164,7 @@ impl<F: FieldElement> Deployment<F> {
     /// Feeds a batch of submissions through the cluster; blocks until the
     /// leader reports the accept/reject decisions. Returns the decisions.
     pub fn run_batch(&mut self, subs: &[ClientSubmission<F>]) -> Vec<bool> {
-        let _ = &self.server_ids;
+        let start = std::time::Instant::now();
         let ctx_seed = self.next_seed;
         self.next_seed += 1;
         for (i, &sid) in self.server_ids.iter().enumerate() {
@@ -143,7 +191,13 @@ impl<F: FieldElement> Deployment<F> {
                 self.rejected += 1;
             }
         }
+        self.batch_wall.push(start.elapsed());
         decisions
+    }
+
+    /// Wall-clock durations of the batches run so far.
+    pub fn batch_wall(&self) -> &[std::time::Duration] {
+        &self.batch_wall
     }
 
     /// Publishes the accumulators and shuts the servers down.
@@ -177,6 +231,12 @@ impl<F: FieldElement> Deployment<F> {
             let _ = h.join();
         }
         let sigma = sigma.unwrap_or_default();
+        let stats = self.net.stats();
+        let server_bytes_sent = self
+            .server_ids
+            .iter()
+            .map(|id| stats.bytes_sent.get(id).copied().unwrap_or(0))
+            .collect();
         DeploymentReport {
             accepted: self.accepted,
             rejected: self.rejected,
@@ -184,12 +244,13 @@ impl<F: FieldElement> Deployment<F> {
                 .iter()
                 .map(|v| v.try_to_u128().map(|x| x as u64).unwrap_or(u64::MAX))
                 .collect(),
-            stats: self.net.stats(),
+            stats,
+            batch_wall: self.batch_wall,
+            server_bytes_sent,
         }
     }
 
-    /// Publishes accumulators *without* shutting down, returning the raw
-    /// field-element aggregate (for decoding via the AFE).
+    /// The fabric the servers communicate over, for live stats snapshots.
     pub fn network(&self) -> &SimNetwork {
         &self.net
     }
@@ -433,21 +494,12 @@ mod tests {
         assert_eq!(report.accepted, 12);
         assert_eq!(report.sigma[0], expect);
         // Leader sent more bytes than any non-leader (star topology).
-        let leader = deployment_stats_leader_bytes(&report);
-        assert!(leader.0 >= leader.1, "{leader:?}");
-    }
-
-    fn deployment_stats_leader_bytes(report: &DeploymentReport) -> (u64, u64) {
-        // Node 0 is the driver; node 1 is the leader.
-        let mut by_node: Vec<(NodeId, u64)> = report
-            .stats
-            .bytes_sent
-            .iter()
-            .map(|(&k, &v)| (k, v))
-            .collect();
-        by_node.sort();
-        let leader = by_node[1].1;
-        let max_non_leader = by_node[2..].iter().map(|&(_, v)| v).max().unwrap_or(0);
-        (leader, max_non_leader)
+        let (leader, non_leader) = report.leader_vs_non_leader_bytes();
+        assert!(leader >= non_leader, "{leader} vs {non_leader}");
+        // One wall-time entry per batch, and per-server byte counts for
+        // every server.
+        assert_eq!(report.batch_wall.len(), 3);
+        assert!(report.total_batch_wall() > std::time::Duration::ZERO);
+        assert_eq!(report.server_bytes_sent.len(), 4);
     }
 }

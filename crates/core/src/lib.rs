@@ -32,6 +32,6 @@ pub mod messages;
 pub mod server;
 
 pub use client::{Client, ClientConfig, ClientSubmission, ShareBlob};
-pub use cluster::Cluster;
+pub use cluster::{Cluster, PhaseTimings};
 pub use deployment::{Deployment, DeploymentConfig, DeploymentReport};
 pub use server::{Server, ServerConfig};

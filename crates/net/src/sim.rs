@@ -121,6 +121,13 @@ impl SimNetwork {
         }
     }
 
+    /// Alias for [`SimNetwork::stats`] that reads better at benchmark call
+    /// sites: grab a snapshot before a protocol phase, another after, and
+    /// attribute the traffic with [`NetStats::diff`].
+    pub fn snapshot(&self) -> NetStats {
+        self.stats()
+    }
+
     /// Resets all byte/message counters (e.g. between benchmark phases).
     pub fn reset_stats(&self) {
         for map in [&self.inner.sent, &self.inner.received, &self.inner.msgs] {
@@ -146,6 +153,33 @@ impl NetStats {
     /// Total bytes sent across all nodes.
     pub fn total_sent(&self) -> u64 {
         self.bytes_sent.values().sum()
+    }
+
+    /// Total bytes sent across all nodes (alias of [`NetStats::total_sent`]
+    /// matching the `total_msgs` naming).
+    pub fn total_bytes(&self) -> u64 {
+        self.total_sent()
+    }
+
+    /// Total messages sent across all nodes.
+    pub fn total_msgs(&self) -> u64 {
+        self.messages_sent.values().sum()
+    }
+
+    /// Traffic that happened *after* `earlier` was snapshotted: per-node
+    /// saturating difference of every counter. Nodes registered since the
+    /// earlier snapshot keep their full counts.
+    pub fn diff(&self, earlier: &NetStats) -> NetStats {
+        let sub = |now: &HashMap<NodeId, u64>, then: &HashMap<NodeId, u64>| {
+            now.iter()
+                .map(|(&k, &v)| (k, v.saturating_sub(then.get(&k).copied().unwrap_or(0))))
+                .collect()
+        };
+        NetStats {
+            bytes_sent: sub(&self.bytes_sent, &earlier.bytes_sent),
+            bytes_received: sub(&self.bytes_received, &earlier.bytes_received),
+            messages_sent: sub(&self.messages_sent, &earlier.messages_sent),
+        }
     }
 }
 
@@ -257,6 +291,26 @@ mod tests {
         assert_eq!(stats.messages_sent[&a.id()], 2);
         net.reset_stats();
         assert_eq!(net.stats().total_sent(), 0);
+    }
+
+    #[test]
+    fn snapshot_diff_attributes_phase_traffic() {
+        let net = SimNetwork::new();
+        let a = net.endpoint();
+        let b = net.endpoint();
+        a.send(b.id(), vec![0u8; 50]).unwrap();
+        let before = net.snapshot();
+        assert_eq!(before.total_bytes(), 50);
+        assert_eq!(before.total_msgs(), 1);
+        // "Phase 2" traffic: only what happens after the snapshot.
+        a.send(b.id(), vec![0u8; 30]).unwrap();
+        b.send(a.id(), vec![0u8; 8]).unwrap();
+        let phase = net.snapshot().diff(&before);
+        assert_eq!(phase.total_bytes(), 38);
+        assert_eq!(phase.total_msgs(), 2);
+        assert_eq!(phase.bytes_sent[&a.id()], 30);
+        assert_eq!(phase.bytes_sent[&b.id()], 8);
+        assert_eq!(phase.bytes_received[&b.id()], 30);
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! | `prio_net` | Simulated message fabric with byte accounting; length-delimited wire encoding |
 //! | `prio_core` | The pipeline: `Client`, `Server`, single-threaded `Cluster` simulation, threaded `Deployment` |
 //! | `prio_baselines` | The paper's comparison points: no-privacy, no-robustness, NIZK (Pedersen/Chaum–Pedersen), SNARK cost model |
-//! | `prio_bench` | Benchmark harness (under construction) |
+//! | `prio_bench` | Benchmark harness reproducing Figures 4–6: scenario registry, warmup/iteration stats, JSON + table reporters, `prio-bench` binary |
 //!
 //! # Dependency DAG
 //!
@@ -55,6 +55,16 @@
 //! and runs with no network access. Bare `cargo build`/`cargo test` cover
 //! the whole workspace because the root manifest lists every member in
 //! `default-members`.
+//!
+//! # Benchmarks
+//!
+//! `cargo run --release -p prio_bench -- --smoke` reproduces a CI-sized
+//! slice of the paper's Figures 4–6 (throughput vs. servers, encode/verify
+//! cost vs. submission length per AFE, per-node bandwidth with the
+//! leader's transmit asymmetry, and a NIZK-baseline comparison) and writes
+//! the machine-readable perf trajectory to `BENCH_prio.json` at the repo
+//! root. `--full` runs paper-sized sweeps; `--filter` selects scenarios by
+//! name substring; `--check` re-parses and validates an emitted report.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,0 +1,92 @@
+//! End-to-end tests for the threaded deployment under WAN latency, and for
+//! the bench harness's report pipeline on real measured data.
+
+use prio_afe::sum::SumAfe;
+use prio_bench::exec::run_scenario;
+use prio_bench::json::Json;
+use prio_bench::report::{build_document, validate_document};
+use prio_bench::scenario::{registry, Group, Mode};
+use prio_core::client::ShareBlob;
+use prio_core::{Client, ClientConfig, Deployment, DeploymentConfig};
+use prio_field::{Field64, FieldElement};
+use rand::SeedableRng;
+use std::time::Duration;
+
+/// Five servers over a latency-bearing fabric: accept/reject counts are
+/// exact, per-batch wall times reflect the link latency, and the leader
+/// transmits measurably more than any non-leader (the Figure-6 asymmetry).
+#[test]
+fn five_servers_with_latency_accept_reject_and_bandwidth() {
+    const S: usize = 5;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let afe = SumAfe::new(8);
+    let cfg = DeploymentConfig::new(S).with_latency(Duration::from_micros(200));
+    let mut deployment: Deployment<Field64> = Deployment::start(afe.clone(), cfg);
+    let mut client = Client::new(afe, ClientConfig::new(S));
+
+    // Two batches: 6 honest submissions, then 3 honest + 1 tampered.
+    let honest: Vec<_> = (0..6u64)
+        .map(|v| client.submit(&(v * 10), &mut rng).unwrap())
+        .collect();
+    assert!(deployment.run_batch(&honest).iter().all(|&d| d));
+
+    let mut second: Vec<_> = (0..3u64)
+        .map(|v| client.submit(&v, &mut rng).unwrap())
+        .collect();
+    let mut bad = client.submit(&1, &mut rng).unwrap();
+    let ShareBlob::Explicit(v) = &mut bad.blobs[S - 1] else {
+        panic!("last blob should be explicit");
+    };
+    v[0] += Field64::from_u64(9999);
+    second.push(bad);
+    let decisions = deployment.run_batch(&second);
+    assert_eq!(decisions, vec![true, true, true, false]);
+
+    let report = deployment.finish();
+    assert_eq!(report.accepted, 9);
+    assert_eq!(report.rejected, 1);
+    assert_eq!(report.sigma[0], (0..6).map(|v| v * 10).sum::<u64>() + 3);
+
+    // Per-batch wall times: one entry per batch, each at least the link
+    // latency (every message delivery sleeps 200 µs).
+    assert_eq!(report.batch_wall.len(), 2);
+    for wall in &report.batch_wall {
+        assert!(*wall >= Duration::from_micros(200), "{wall:?}");
+    }
+
+    // Leader-vs-non-leader bandwidth: with s = 5 the leader redistributes
+    // the combined round-1 and decision messages to 4 peers, so it must
+    // send well over what any single non-leader sends.
+    assert_eq!(report.server_bytes_sent.len(), S);
+    let (leader, non_leader) = report.leader_vs_non_leader_bytes();
+    assert!(
+        leader as f64 > 1.5 * non_leader as f64,
+        "leader {leader} vs non-leader {non_leader}"
+    );
+}
+
+/// A real measured bandwidth scenario survives the serialize → parse →
+/// validate round trip, and its metrics are intact afterwards.
+#[test]
+fn bench_report_roundtrips_with_real_measurements() {
+    let sc = registry(Mode::Smoke)
+        .into_iter()
+        .find(|sc| sc.group == Group::Bandwidth)
+        .expect("smoke registry has a bandwidth scenario");
+    let record = run_scenario(&sc);
+    let doc = build_document(Mode::Smoke, std::slice::from_ref(&record), Duration::from_millis(1));
+
+    let text = doc.to_pretty();
+    let parsed = Json::parse(&text).expect("emitted JSON parses");
+    assert_eq!(parsed, doc);
+    validate_document(&parsed).expect("emitted JSON validates");
+
+    let result = &parsed.get("results").and_then(Json::as_arr).unwrap()[0];
+    assert_eq!(result.get("name").and_then(Json::as_str), Some(sc.name.as_str()));
+    let ratio = result
+        .get("metrics")
+        .and_then(|m| m.get("leader_over_non_leader"))
+        .and_then(Json::as_num)
+        .expect("bandwidth metrics carry the leader ratio");
+    assert!(ratio > 0.0);
+}
