@@ -13,11 +13,24 @@ cargo build --release --offline
 echo "==> cargo test -q"
 cargo test -q --offline
 
+# Deliberate re-run: `cargo test -q` above already covers this binary, but
+# the TCP e2e is a named CI gate — if the real-socket path breaks, the log
+# says so explicitly.
+echo "==> e2e over the TCP transport"
+cargo test -q --offline --test e2e_tcp
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --offline --all-targets -- -D warnings
 
-echo "==> prio-bench --smoke"
+echo "==> prio-bench --smoke (all backends)"
 cargo run --release --offline -p prio_bench -- --smoke
 cargo run --release --offline -p prio_bench -- --check BENCH_prio.json
+
+# The plain --smoke above already runs the TCP scenarios; this slice exists
+# to exercise the --backend CLI filter end-to-end (registry filtering, a
+# tcp-only report, and its validation).
+echo "==> prio-bench --smoke --backend tcp (real-socket slice)"
+cargo run --release --offline -p prio_bench -- --smoke --backend tcp --out target/bench_tcp.json
+cargo run --release --offline -p prio_bench -- --check target/bench_tcp.json
 
 echo "CI OK"

@@ -73,10 +73,14 @@ fn ms(d: Duration) -> f64 {
 // ---------------------------------------------------------------------------
 
 fn run_throughput(sc: &Scenario) -> Json {
-    assert_eq!(sc.backend, Backend::Deployment);
+    let Backend::Deployment(transport) = sc.backend else {
+        panic!("throughput scenarios run on the threaded deployment");
+    };
     let mut rng = StdRng::seed_from_u64(sc.seed);
     let afe = SumAfe::new(sc.size as u32);
-    let mut cfg = DeploymentConfig::new(sc.servers).with_verify_mode(sc.verify_mode);
+    let mut cfg = DeploymentConfig::new(sc.servers)
+        .with_verify_mode(sc.verify_mode)
+        .with_transport(transport);
     if let Some(latency) = sc.latency {
         cfg = cfg.with_latency(latency);
     }
@@ -226,10 +230,14 @@ fn encode_verify<F: FieldElement, A: Afe<F> + Clone>(
 // ---------------------------------------------------------------------------
 
 fn run_bandwidth(sc: &Scenario) -> Json {
-    assert_eq!(sc.backend, Backend::Deployment);
+    let Backend::Deployment(transport) = sc.backend else {
+        panic!("bandwidth scenarios run on the threaded deployment");
+    };
     let mut rng = StdRng::seed_from_u64(sc.seed);
     let afe = SumAfe::new(sc.size as u32);
-    let cfg = DeploymentConfig::new(sc.servers).with_verify_mode(sc.verify_mode);
+    let cfg = DeploymentConfig::new(sc.servers)
+        .with_verify_mode(sc.verify_mode)
+        .with_transport(transport);
     let mut deployment: Deployment<Field64> = Deployment::start(afe.clone(), cfg);
     let mut client = Client::new(afe, ClientConfig::new(sc.servers));
     let subs: Vec<_> = sum_inputs(sc.size, sc.submissions, &mut rng)
@@ -372,6 +380,39 @@ mod tests {
         let phases = m.get("verify_phase_ms_per_sub").unwrap();
         for phase in ["unpack", "round1", "round2"] {
             assert!(phases.get(phase).and_then(Json::as_num).unwrap() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn tcp_and_sim_backends_agree_on_bandwidth_accounting() {
+        // Both fabrics count payload bytes on successful sends, and the
+        // protocol is deterministic given the scenario seed — so the same
+        // scenario must report byte-identical traffic on either backend.
+        let scenarios = registry(Mode::Smoke);
+        let find = |name: &str| {
+            scenarios
+                .iter()
+                .find(|sc| sc.name == name)
+                .unwrap_or_else(|| panic!("registry lacks {name}"))
+        };
+        let sim = run_scenario(find("fig6/bandwidth/sum/s=3"));
+        let tcp = run_scenario(find("fig6/bandwidth/sum/s=3/tcp"));
+        assert_eq!(
+            tcp.params.get("backend").and_then(Json::as_str),
+            Some("deployment_tcp")
+        );
+        for key in [
+            "upload_bytes_per_sub",
+            "leader_bytes_per_sub",
+            "max_non_leader_bytes_per_sub",
+            "publish_bytes_total",
+            "batch_msgs_total",
+        ] {
+            assert_eq!(
+                sim.metrics.get(key).and_then(Json::as_num),
+                tcp.metrics.get(key).and_then(Json::as_num),
+                "{key} diverges between sim and tcp backends"
+            );
         }
     }
 

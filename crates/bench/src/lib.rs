@@ -16,15 +16,18 @@
 //!   run measures identical work.
 //! * [`exec`] — turns a scenario into a measured [`exec::Record`]:
 //!   - **Figure 4** (throughput vs. servers): batches through the threaded
-//!     [`prio_core::Deployment`], using its per-batch wall times;
+//!     [`prio_core::Deployment`], using its per-batch wall times. Runs on
+//!     either transport backend — the in-process sim fabric or real
+//!     localhost TCP sockets ([`prio_net::TransportKind`]); each record's
+//!     `backend` param names which fabric produced its numbers;
 //!   - **Figure 5** (encode/verify cost vs. submission length): sum, freq,
 //!     linreg, and mostpop AFEs through [`prio_core::Cluster`], with the
 //!     per-phase breakdown from [`prio_core::PhaseTimings`];
-//!   - **Figure 6** (bandwidth): per-node bytes from
-//!     [`prio_net::SimNetwork`] snapshot diffs, attributing traffic to the
-//!     upload / verify / publish phases and exposing the leader's transmit
-//!     asymmetry (≈`(s−1)/2`× a non-leader in this deployment's verify
-//!     phase, growing with `s`);
+//!   - **Figure 6** (bandwidth): per-node bytes from transport snapshot
+//!     diffs ([`prio_net::Transport::snapshot`]), attributing traffic to
+//!     the upload / verify / publish phases and exposing the leader's
+//!     transmit asymmetry (≈`(s−1)/2`× a non-leader in this deployment's
+//!     verify phase, growing with `s`);
 //!   - **baseline**: the same bit-vector workload through
 //!     [`prio_baselines::nizk`]'s Pedersen + OR-proof scheme, for the
 //!     orders-of-magnitude comparison of Figure 4.
@@ -40,6 +43,7 @@
 //! cargo run --release -p prio_bench -- --smoke            # CI-sized
 //! cargo run --release -p prio_bench -- --full             # paper-sized
 //! cargo run --release -p prio_bench -- --filter fig5      # substring match
+//! cargo run --release -p prio_bench -- --backend tcp      # real sockets only
 //! cargo run --release -p prio_bench -- --check BENCH_prio.json
 //! ```
 

@@ -2,10 +2,14 @@
 //! perf-trajectory report.
 //!
 //! ```text
-//! prio-bench [--smoke | --full] [--filter SUBSTR] [--out PATH]
+//! prio-bench [--smoke | --full] [--filter SUBSTR] [--backend sim|tcp] [--out PATH]
 //! prio-bench --list [--full]
 //! prio-bench --check PATH
 //! ```
+//!
+//! `--backend` keeps only scenarios whose messages ride the given
+//! transport family: `tcp` selects the real-socket deployment scenarios,
+//! `sim` the in-process ones (the single-threaded cluster counts as sim).
 
 use prio_bench::exec::run_scenario;
 use prio_bench::json::Json;
@@ -16,6 +20,7 @@ use std::time::Instant;
 struct Args {
     mode: Mode,
     filter: Option<String>,
+    backend: Option<String>,
     out: String,
     list: bool,
     check: Option<String>,
@@ -23,7 +28,8 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: prio-bench [--smoke | --full] [--filter SUBSTR] [--out PATH] [--list]\n\
+        "usage: prio-bench [--smoke | --full] [--filter SUBSTR] [--backend sim|tcp] \
+         [--out PATH] [--list]\n\
          \x20      prio-bench --check PATH"
     );
     std::process::exit(2)
@@ -33,6 +39,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         mode: Mode::Smoke,
         filter: None,
+        backend: None,
         out: "BENCH_prio.json".to_string(),
         list: false,
         check: None,
@@ -43,6 +50,14 @@ fn parse_args() -> Args {
             "--smoke" => args.mode = Mode::Smoke,
             "--full" => args.mode = Mode::Full,
             "--filter" => args.filter = Some(it.next().unwrap_or_else(|| usage())),
+            "--backend" => {
+                let tag = it.next().unwrap_or_else(|| usage());
+                if prio_net::TransportKind::from_tag(&tag).is_none() {
+                    eprintln!("unknown backend '{tag}' (expected sim or tcp)");
+                    usage()
+                }
+                args.backend = Some(tag);
+            }
             "--out" => args.out = it.next().unwrap_or_else(|| usage()),
             "--list" => args.list = true,
             "--check" => args.check = Some(it.next().unwrap_or_else(|| usage())),
@@ -95,6 +110,13 @@ fn main() {
     }
 
     let mut scenarios = registry(args.mode);
+    if let Some(backend) = &args.backend {
+        scenarios.retain(|sc| sc.backend.transport_tag() == backend.as_str());
+        if scenarios.is_empty() {
+            eprintln!("--backend '{backend}' matches no scenarios (try --list)");
+            std::process::exit(2);
+        }
+    }
     if let Some(filter) = &args.filter {
         scenarios.retain(|sc| sc.name.contains(filter.as_str()));
         if scenarios.is_empty() {

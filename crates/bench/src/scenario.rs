@@ -8,6 +8,7 @@
 
 use crate::json::Json;
 use crate::stats::Runner;
+use prio_net::TransportKind;
 use prio_snip::VerifyMode;
 use std::time::Duration;
 
@@ -21,7 +22,7 @@ pub enum Group {
     /// length, per AFE, on the single-threaded [`prio_core::Cluster`].
     EncodeVerify,
     /// Figure 6: per-node bandwidth and the leader/non-leader asymmetry,
-    /// from [`prio_net::SimNetwork`] snapshots.
+    /// from transport snapshots ([`prio_net::Transport::snapshot`]).
     Bandwidth,
     /// Section 6 baselines: Prio vs. the discrete-log NIZK scheme.
     Baseline,
@@ -85,21 +86,34 @@ impl FieldKind {
     }
 }
 
-/// Which driver runs the protocol.
+/// Which driver runs the protocol, and over which transport.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum Backend {
-    /// Deterministic single-threaded [`prio_core::Cluster`].
+    /// Deterministic single-threaded [`prio_core::Cluster`] (in-process,
+    /// no fabric at all).
     Cluster,
-    /// Threaded [`prio_core::Deployment`] over the sim fabric.
-    Deployment,
+    /// Threaded [`prio_core::Deployment`] over the given transport fabric
+    /// (in-process sim channels or real localhost TCP sockets).
+    Deployment(TransportKind),
 }
 
 impl Backend {
-    /// Stable tag used in JSON.
+    /// Stable tag used in JSON: names both the driver and the fabric, so
+    /// every `BENCH_prio.json` entry records what produced its numbers.
     pub fn tag(&self) -> &'static str {
         match self {
             Backend::Cluster => "cluster",
-            Backend::Deployment => "deployment",
+            Backend::Deployment(TransportKind::Sim) => "deployment_sim",
+            Backend::Deployment(TransportKind::Tcp) => "deployment_tcp",
+        }
+    }
+
+    /// The transport family for `--backend sim|tcp` filtering. The
+    /// single-threaded cluster counts as `sim`: it never touches a socket.
+    pub fn transport_tag(&self) -> &'static str {
+        match self {
+            Backend::Cluster => TransportKind::Sim.tag(),
+            Backend::Deployment(kind) => kind.tag(),
         }
     }
 }
@@ -221,7 +235,23 @@ pub fn registry(mode: Mode) -> Vec<Scenario> {
             8,
         );
         sc.servers = s;
-        sc.backend = Backend::Deployment;
+        sc.backend = Backend::Deployment(TransportKind::Sim);
+        sc.submissions = if full { 128 } else { 24 };
+        sc.runner = if full { Runner::new(1, 5) } else { Runner::new(1, 2) };
+        out.push(sc);
+    }
+    // The same throughput pipeline over real localhost TCP sockets, so the
+    // trajectory tracks what the kernel's loopback stack costs on top of
+    // the in-process fabric.
+    for &s in if full { &[3usize, 5][..] } else { &[3usize][..] } {
+        let mut sc = base(
+            format!("fig4/throughput/sum/s={s}/tcp"),
+            Group::Throughput,
+            AfeKind::Sum,
+            8,
+        );
+        sc.servers = s;
+        sc.backend = Backend::Deployment(TransportKind::Tcp);
         sc.submissions = if full { 128 } else { 24 };
         sc.runner = if full { Runner::new(1, 5) } else { Runner::new(1, 2) };
         out.push(sc);
@@ -236,7 +266,7 @@ pub fn registry(mode: Mode) -> Vec<Scenario> {
             8,
         );
         sc.servers = 3;
-        sc.backend = Backend::Deployment;
+        sc.backend = Backend::Deployment(TransportKind::Sim);
         sc.latency = Some(Duration::from_micros(lat));
         sc.submissions = 8;
         sc.runner = Runner::new(0, if full { 3 } else { 1 });
@@ -306,7 +336,22 @@ pub fn registry(mode: Mode) -> Vec<Scenario> {
             16,
         );
         sc.servers = s;
-        sc.backend = Backend::Deployment;
+        sc.backend = Backend::Deployment(TransportKind::Sim);
+        sc.submissions = if full { 64 } else { 16 };
+        sc.runner = Runner::new(0, 1);
+        out.push(sc);
+    }
+    // Bandwidth over TCP: both backends count payload bytes identically,
+    // so this doubles as a cross-backend accounting check.
+    {
+        let mut sc = base(
+            "fig6/bandwidth/sum/s=3/tcp".into(),
+            Group::Bandwidth,
+            AfeKind::Sum,
+            16,
+        );
+        sc.servers = 3;
+        sc.backend = Backend::Deployment(TransportKind::Tcp);
         sc.submissions = if full { 64 } else { 16 };
         sc.runner = Runner::new(0, 1);
         out.push(sc);
@@ -369,10 +414,41 @@ mod tests {
     }
 
     #[test]
+    fn both_modes_cover_the_tcp_backend() {
+        for mode in [Mode::Smoke, Mode::Full] {
+            let scenarios = registry(mode);
+            // At least one TCP-backend throughput scenario (acceptance
+            // criterion) and one TCP bandwidth scenario per mode.
+            for group in [Group::Throughput, Group::Bandwidth] {
+                assert!(
+                    scenarios.iter().any(|sc| sc.group == group
+                        && sc.backend == Backend::Deployment(TransportKind::Tcp)),
+                    "{mode:?} lacks a TCP {group:?} scenario"
+                );
+            }
+            // And the sim-backend scenarios are still there alongside.
+            assert!(scenarios.iter().any(|sc| sc.group == Group::Throughput
+                && sc.backend == Backend::Deployment(TransportKind::Sim)));
+        }
+    }
+
+    #[test]
+    fn backend_tags_name_the_fabric() {
+        assert_eq!(Backend::Cluster.tag(), "cluster");
+        assert_eq!(Backend::Deployment(TransportKind::Sim).tag(), "deployment_sim");
+        assert_eq!(Backend::Deployment(TransportKind::Tcp).tag(), "deployment_tcp");
+        assert_eq!(Backend::Cluster.transport_tag(), "sim");
+        assert_eq!(Backend::Deployment(TransportKind::Tcp).transport_tag(), "tcp");
+    }
+
+    #[test]
     fn params_serialize() {
         let sc = &registry(Mode::Smoke)[0];
         let params = sc.params_json();
         assert_eq!(params.get("servers").and_then(Json::as_num), Some(2.0));
-        assert_eq!(params.get("backend").and_then(Json::as_str), Some("deployment"));
+        assert_eq!(
+            params.get("backend").and_then(Json::as_str),
+            Some("deployment_sim")
+        );
     }
 }

@@ -1,5 +1,5 @@
 //! A multi-threaded Prio deployment: one OS thread per server, framed
-//! messages over the simulated network, leader-coordinated batch
+//! messages over a pluggable transport, leader-coordinated batch
 //! verification.
 //!
 //! This is the driver behind the throughput experiments (Figures 4 and 5,
@@ -8,6 +8,10 @@
 //! Per-batch message complexity matches the paper's deployment: the leader
 //! transmits `s−1` times more than a non-leader, and adding servers leaves
 //! per-server work nearly unchanged.
+//!
+//! The server loop is written purely against [`Endpoint`] and never learns
+//! which fabric carries its bytes: [`DeploymentConfig::transport`] selects
+//! the in-process sim fabric (default) or real localhost TCP sockets.
 
 use crate::client::ClientSubmission;
 use crate::messages::{blob_from_bytes, blob_to_bytes, pack_decisions, unpack_decisions, ServerMsg};
@@ -15,8 +19,9 @@ use crate::server::{Server, ServerConfig};
 use prio_afe::Afe;
 use prio_field::FieldElement;
 use prio_net::wire::Wire;
-use prio_net::{Endpoint, NetStats, NodeId, SimNetwork};
+use prio_net::{Endpoint, NetStats, NodeId, Transport, TransportKind};
 use prio_snip::{decide, HForm, Round1Msg, VerifyMode};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// Deployment configuration.
@@ -30,16 +35,20 @@ pub struct DeploymentConfig {
     pub h_form: HForm,
     /// Optional uniform link latency (WAN model).
     pub latency: Option<std::time::Duration>,
+    /// Which fabric carries the server-to-server traffic.
+    pub transport: TransportKind,
 }
 
 impl DeploymentConfig {
-    /// Default: `s` servers, fixed-point verification, no latency.
+    /// Default: `s` servers, fixed-point verification, no latency, sim
+    /// fabric.
     pub fn new(num_servers: usize) -> Self {
         DeploymentConfig {
             num_servers,
             verify_mode: VerifyMode::FixedPoint,
             h_form: HForm::PointValue,
             latency: None,
+            transport: TransportKind::Sim,
         }
     }
 
@@ -58,6 +67,12 @@ impl DeploymentConfig {
     /// Builder-style: `h` transmission format.
     pub fn with_h_form(mut self, h_form: HForm) -> Self {
         self.h_form = h_form;
+        self
+    }
+
+    /// Builder-style: transport backend.
+    pub fn with_transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
         self
     }
 }
@@ -108,7 +123,7 @@ pub struct Deployment<F: FieldElement> {
     driver: Endpoint,
     server_ids: Vec<NodeId>,
     handles: Vec<JoinHandle<()>>,
-    net: SimNetwork,
+    net: Arc<dyn Transport>,
     next_seed: u64,
     accepted: u64,
     rejected: u64,
@@ -123,7 +138,7 @@ impl<F: FieldElement> Deployment<F> {
         A: Afe<F> + Clone + Send + 'static,
     {
         assert!(cfg.num_servers >= 2, "Prio needs at least two servers");
-        let net = SimNetwork::with_latency(cfg.latency);
+        let net = cfg.transport.build(cfg.latency);
         let driver = net.endpoint();
         let endpoints: Vec<Endpoint> = (0..cfg.num_servers).map(|_| net.endpoint()).collect();
         let server_ids: Vec<NodeId> = endpoints.iter().map(|e| e.id()).collect();
@@ -251,13 +266,46 @@ impl<F: FieldElement> Deployment<F> {
     }
 
     /// The fabric the servers communicate over, for live stats snapshots.
-    pub fn network(&self) -> &SimNetwork {
-        &self.net
+    pub fn network(&self) -> &dyn Transport {
+        &*self.net
     }
 
     /// Server node ids (index 0 = leader).
     pub fn server_ids(&self) -> &[NodeId] {
         &self.server_ids
+    }
+}
+
+/// Receives the next message matching `want`, stashing any other valid
+/// message for a later phase. Returns `None` when the fabric shuts down.
+///
+/// The sim fabric funnels every sender into one queue, so messages arrive
+/// in global send order — but over TCP each sender has its own connection
+/// and there is no cross-sender ordering: the driver's `PublishRequest` or
+/// next `ClientBatch` can overtake the leader's `Decisions`, and a
+/// non-leader's `Round1` can overtake the driver's `ClientBatch` at the
+/// leader. The stash makes the server loop transport-agnostic: a message
+/// for a later phase waits its turn instead of tripping a protocol panic.
+fn recv_matching<F: FieldElement>(
+    ep: &Endpoint,
+    stash: &mut std::collections::VecDeque<ServerMsg<F>>,
+    want: impl Fn(&ServerMsg<F>) -> bool,
+) -> Option<ServerMsg<F>> {
+    if let Some(pos) = stash.iter().position(&want) {
+        return stash.remove(pos);
+    }
+    loop {
+        let env = ep.recv().ok()?;
+        // An undecodable payload is a protocol violation, not noise: honest
+        // peers never produce one, and silently dropping it would turn a
+        // missing gather message into an undiagnosable whole-deployment
+        // hang. Fail loudly instead.
+        let msg = ServerMsg::<F>::from_wire_bytes(&env.payload)
+            .unwrap_or_else(|e| panic!("undecodable message from {:?}: {e}", env.src));
+        if want(&msg) {
+            return Some(msg);
+        }
+        stash.push_back(msg);
     }
 }
 
@@ -272,11 +320,16 @@ fn server_main<F: FieldElement, A: Afe<F>>(
     let my_index = ids.iter().position(|&id| id == ep.id()).expect("registered");
     let leader_id = ids[0];
     let is_leader = my_index == 0;
+    let mut stash = std::collections::VecDeque::new();
 
     loop {
-        let Ok(env) = ep.recv() else { return };
-        let Ok(msg) = ServerMsg::<F>::from_wire_bytes(&env.payload) else {
-            continue; // drop garbage
+        let Some(msg) = recv_matching(&ep, &mut stash, |m| {
+            matches!(
+                m,
+                ServerMsg::ClientBatch { .. } | ServerMsg::PublishRequest | ServerMsg::Shutdown
+            )
+        }) else {
+            return;
         };
         match msg {
             ServerMsg::ClientBatch {
@@ -321,11 +374,10 @@ fn server_main<F: FieldElement, A: Afe<F>>(
                     // Gather round-1 vectors from the others.
                     let mut all_r1 = vec![round1.clone()];
                     for _ in 1..s {
-                        let env = ep.recv().expect("round1");
-                        let Ok(ServerMsg::Round1(v)) =
-                            ServerMsg::<F>::from_wire_bytes(&env.payload)
+                        let Some(ServerMsg::Round1(v)) =
+                            recv_matching(&ep, &mut stash, |m| matches!(m, ServerMsg::Round1(_)))
                         else {
-                            panic!("protocol violation: expected Round1");
+                            return;
                         };
                         all_r1.push(v);
                     }
@@ -354,11 +406,10 @@ fn server_main<F: FieldElement, A: Afe<F>>(
                         .collect();
                     let mut all_r2 = vec![own_r2];
                     for _ in 1..s {
-                        let env = ep.recv().expect("round2");
-                        let Ok(ServerMsg::Round2(v)) =
-                            ServerMsg::<F>::from_wire_bytes(&env.payload)
+                        let Some(ServerMsg::Round2(v)) =
+                            recv_matching(&ep, &mut stash, |m| matches!(m, ServerMsg::Round2(_)))
                         else {
-                            panic!("protocol violation: expected Round2");
+                            return;
                         };
                         all_r2.push(v);
                     }
@@ -378,11 +429,12 @@ fn server_main<F: FieldElement, A: Afe<F>>(
                 } else {
                     ep.send(leader_id, ServerMsg::Round1(round1).to_wire_bytes())
                         .expect("send round1");
-                    let env = ep.recv().expect("combined");
-                    let Ok(ServerMsg::Round1Combined(combined)) =
-                        ServerMsg::<F>::from_wire_bytes(&env.payload)
+                    let Some(ServerMsg::Round1Combined(combined)) =
+                        recv_matching(&ep, &mut stash, |m| {
+                            matches!(m, ServerMsg::Round1Combined(_))
+                        })
                     else {
-                        panic!("protocol violation: expected Round1Combined");
+                        return;
                     };
                     let r2: Vec<_> = states
                         .iter()
@@ -397,11 +449,10 @@ fn server_main<F: FieldElement, A: Afe<F>>(
                         .collect();
                     ep.send(leader_id, ServerMsg::Round2(r2).to_wire_bytes())
                         .expect("send round2");
-                    let env = ep.recv().expect("decisions");
-                    let Ok(ServerMsg::Decisions(bits)) =
-                        ServerMsg::<F>::from_wire_bytes(&env.payload)
+                    let Some(ServerMsg::Decisions(bits)) =
+                        recv_matching(&ep, &mut stash, |m| matches!(m, ServerMsg::Decisions(_)))
                     else {
-                        panic!("protocol violation: expected Decisions");
+                        return;
                     };
                     unpack_decisions(&bits, count)
                 };
@@ -470,6 +521,55 @@ mod tests {
         assert_eq!(report.accepted, 1);
         assert_eq!(report.rejected, 1);
         assert_eq!(report.sigma[0], 7);
+    }
+
+    #[test]
+    fn threaded_end_to_end_over_tcp() {
+        // The same pipeline as `threaded_end_to_end`, but every message
+        // crosses a real localhost socket.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let afe = SumAfe::new(4);
+        let cfg = DeploymentConfig::new(3).with_transport(TransportKind::Tcp);
+        let mut deployment: Deployment<Field64> = Deployment::start(afe, cfg);
+        let mut client = Client::new(SumAfe::new(4), ClientConfig::new(3));
+        let values = [1u64, 2, 3, 4, 5, 15];
+        let subs: Vec<_> = values
+            .iter()
+            .map(|v| client.submit(v, &mut rng).unwrap())
+            .collect();
+        let decisions = deployment.run_batch(&subs);
+        assert!(decisions.iter().all(|&d| d));
+        let report = deployment.finish();
+        assert_eq!(report.accepted, 6);
+        assert_eq!(report.sigma[0], 30);
+        // Byte accounting flows through the TCP fabric too.
+        assert_eq!(report.server_bytes_sent.len(), 3);
+        assert!(report.server_bytes_sent.iter().all(|&b| b > 0));
+    }
+
+    #[test]
+    fn tcp_tolerates_cross_sender_reordering() {
+        // Over TCP each sender has its own connection and no cross-sender
+        // ordering: the driver's PublishRequest can overtake the leader's
+        // Decisions at a non-leader. Many short deployments give the race
+        // plenty of chances; the loop must stay panic- and deadlock-free
+        // and the counts exact (regression test for the message stash in
+        // `recv_matching`).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for round in 0..8 {
+            let afe = SumAfe::new(4);
+            let cfg = DeploymentConfig::new(3).with_transport(TransportKind::Tcp);
+            let mut deployment: Deployment<Field64> = Deployment::start(afe, cfg);
+            let mut client = Client::new(SumAfe::new(4), ClientConfig::new(3));
+            for _ in 0..2 {
+                let subs: Vec<_> = (0..3u64)
+                    .map(|v| client.submit(&v, &mut rng).unwrap())
+                    .collect();
+                assert!(deployment.run_batch(&subs).iter().all(|&d| d));
+            }
+            let report = deployment.finish();
+            assert_eq!(report.accepted, 6, "round {round}");
+        }
     }
 
     #[test]

@@ -18,7 +18,9 @@
 //!   `s` servers with exact byte accounting. Used by tests, examples, and
 //!   the bandwidth experiment (Figure 6).
 //! * [`deployment::Deployment`] — `s` real server threads exchanging framed
-//!   messages over the [`prio_net`] fabric, with leader-coordinated batch
+//!   messages over a pluggable [`prio_net`] transport (in-process sim
+//!   fabric or real localhost TCP sockets, selected by
+//!   [`DeploymentConfig::transport`]), with leader-coordinated batch
 //!   verification. Used by the throughput experiments (Figures 4 and 5,
 //!   Table 9).
 

@@ -1,25 +1,51 @@
-//! An in-process simulated network for the Prio server cluster.
+//! Pluggable network transports and wire encoding for the Prio server
+//! cluster.
 //!
-//! The paper's evaluation runs five servers in five Amazon EC2 data centers.
-//! This crate substitutes an in-process message-passing fabric with the two
-//! properties the evaluation actually measures:
+//! The paper's evaluation runs five servers in five Amazon EC2 data
+//! centers. This crate abstracts the fabric those servers talk over behind
+//! the [`Transport`] trait — protocol code holds an [`Endpoint`] and never
+//! learns which backend carries its bytes — with two implementations:
 //!
-//! * **exact byte accounting** per link and per node (Figure 6 reports
-//!   per-server bytes transferred per client submission);
-//! * **real concurrency**: each simulated server runs on its own OS thread
-//!   and communicates only through framed messages over channels, so
-//!   coordination costs are exercised for the throughput numbers
-//!   (Figures 4, 5; Table 9).
+//! * [`SimNetwork`] ([`TransportKind::Sim`]) — an in-process
+//!   message-passing fabric over std channels. Deterministic and
+//!   syscall-free, with the two properties the evaluation actually
+//!   measures: **exact byte accounting** per node (Figure 6 reports
+//!   per-server bytes transferred per client submission) and **real
+//!   concurrency** (each simulated server runs on its own OS thread, so
+//!   coordination costs are exercised for Figures 4 and 5). Use it for
+//!   unit tests and CPU-bound measurement, where kernel noise would only
+//!   blur the numbers.
+//! * [`TcpTransport`] ([`TransportKind::Tcp`]) — every endpoint is a real
+//!   localhost TCP listener and every message crosses the kernel loopback
+//!   stack as a length-prefixed frame. Use it to validate the wire
+//!   protocol end-to-end (framing, connection interleaving, shutdown) and
+//!   as the stepping stone to multi-process/multi-host deployment: only
+//!   the address registry is in-process.
 //!
-//! An optional per-link latency models WAN round trips. Message framing is
-//! explicit ([`wire`]) — every byte that would cross a socket is serialized
-//! for real, so the byte counters measure honest wire sizes rather than
-//! in-memory struct sizes.
+//! Both backends account *sent* traffic identically ([`NetStats`]: payload
+//! bytes and message counts per node, recorded only on successful sends),
+//! so bandwidth numbers are comparable across them. Two caveats are
+//! inherent to real sockets: on TCP, `bytes_received` is counted as the
+//! destination's reader drains the socket (eventually consistent, unlike
+//! the sim fabric's synchronous count), and a successful send means the
+//! kernel accepted the frame — a peer that is torn down mid-flight may
+//! never read it, where the sim fabric would have reported
+//! [`SendError::Closed`]. An optional per-link latency models WAN round
+//! trips on either fabric. Message framing is
+//! explicit ([`wire`]) — every byte that would cross a socket is
+//! serialized for real, so the byte counters measure honest wire sizes
+//! rather than in-memory struct sizes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod sim;
+pub mod tcp;
+pub mod transport;
 pub mod wire;
 
-pub use sim::{Endpoint, NetStats, NodeId, SimNetwork};
+pub use sim::{SimEndpoint, SimNetwork};
+pub use tcp::{TcpEndpoint, TcpTransport};
+pub use transport::{
+    Endpoint, Envelope, NetStats, NodeId, RecvError, SendError, Transport, TransportKind,
+};

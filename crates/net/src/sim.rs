@@ -1,39 +1,23 @@
-//! The simulated message fabric: endpoints, channels, byte accounting, and
-//! optional link latency.
+//! The in-process simulated fabric: endpoints, channels, byte accounting,
+//! and optional link latency.
+//!
+//! This is the [`TransportKind::Sim`] backend: deterministic, syscall-free,
+//! and exact in its byte accounting, which makes it the right fabric for
+//! unit tests and CPU-bound measurement (no kernel noise in the numbers).
 
+use crate::transport::{
+    counter_for, lock, Endpoint, Envelope, NetStats, NodeId, RecvError, SendError,
+    TrafficCounters, Transport, TransportKind,
+};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
-
-/// Locks a std mutex, ignoring poison: the fabric's maps hold only counters
-/// and senders, which stay consistent even if a holder panicked.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|e| e.into_inner())
-}
-
-/// Identifies a node (server or client proxy) on the simulated network.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
-pub struct NodeId(pub usize);
-
-/// A framed message in flight.
-#[derive(Clone, Debug)]
-pub struct Envelope {
-    /// Sender.
-    pub src: NodeId,
-    /// Payload bytes (already wire-encoded by the caller).
-    pub payload: Vec<u8>,
-}
 
 struct Inner {
     mailboxes: Mutex<HashMap<NodeId, Sender<Envelope>>>,
-    /// Bytes sent, indexed by source node.
-    sent: Mutex<HashMap<NodeId, Arc<AtomicU64>>>,
-    /// Bytes received, indexed by destination node.
-    received: Mutex<HashMap<NodeId, Arc<AtomicU64>>>,
-    /// Messages sent, indexed by source node.
-    msgs: Mutex<HashMap<NodeId, Arc<AtomicU64>>>,
+    counters: TrafficCounters,
     latency: Option<Duration>,
     next_id: AtomicU64,
 }
@@ -62,9 +46,7 @@ impl SimNetwork {
         SimNetwork {
             inner: Arc::new(Inner {
                 mailboxes: Mutex::new(HashMap::new()),
-                sent: Mutex::new(HashMap::new()),
-                received: Mutex::new(HashMap::new()),
-                msgs: Mutex::new(HashMap::new()),
+                counters: TrafficCounters::default(),
                 latency,
                 next_id: AtomicU64::new(0),
             }),
@@ -76,17 +58,14 @@ impl SimNetwork {
         let id = NodeId(self.inner.next_id.fetch_add(1, Ordering::Relaxed) as usize);
         let (tx, rx) = channel();
         lock(&self.inner.mailboxes).insert(id, tx);
-        let counters = |map: &Mutex<HashMap<NodeId, Arc<AtomicU64>>>| {
-            lock(map).entry(id).or_default().clone()
-        };
-        Endpoint {
+        Endpoint::Sim(SimEndpoint {
             id,
             net: self.clone(),
             rx,
-            sent: counters(&self.inner.sent),
-            received: counters(&self.inner.received),
-            msgs: counters(&self.inner.msgs),
-        }
+            sent: counter_for(&self.inner.counters.sent, id),
+            received: counter_for(&self.inner.counters.received, id),
+            msgs: counter_for(&self.inner.counters.msgs, id),
+        })
     }
 
     fn deliver(&self, src: NodeId, dst: NodeId, payload: Vec<u8>) -> Result<(), SendError> {
@@ -98,113 +77,50 @@ impl SimNetwork {
             let boxes = lock(&self.inner.mailboxes);
             boxes.get(&dst).cloned().ok_or(SendError::UnknownNode)?
         };
-        tx.send(Envelope { src, payload })
-            .map_err(|_| SendError::Closed)?;
-        if let Some(c) = lock(&self.inner.received).get(&dst) {
-            c.fetch_add(n, Ordering::Relaxed);
-        }
+        // Count *before* the message becomes visible: once the receiver can
+        // observe it (and a snapshot can be taken after a protocol
+        // barrier), the counters must already include it. The failure path
+        // compensates.
+        let received = counter_for(&self.inner.counters.received, dst);
+        received.fetch_add(n, Ordering::Relaxed);
+        tx.send(Envelope { src, payload }).map_err(|_| {
+            received.fetch_sub(n, Ordering::Relaxed);
+            SendError::Closed
+        })?;
         Ok(())
     }
 
     /// Per-node traffic statistics.
     pub fn stats(&self) -> NetStats {
-        let collect = |map: &Mutex<HashMap<NodeId, Arc<AtomicU64>>>| {
-            lock(map)
-                .iter()
-                .map(|(&k, v)| (k, v.load(Ordering::Relaxed)))
-                .collect()
-        };
-        NetStats {
-            bytes_sent: collect(&self.inner.sent),
-            bytes_received: collect(&self.inner.received),
-            messages_sent: collect(&self.inner.msgs),
-        }
-    }
-
-    /// Alias for [`SimNetwork::stats`] that reads better at benchmark call
-    /// sites: grab a snapshot before a protocol phase, another after, and
-    /// attribute the traffic with [`NetStats::diff`].
-    pub fn snapshot(&self) -> NetStats {
-        self.stats()
+        self.inner.counters.stats()
     }
 
     /// Resets all byte/message counters (e.g. between benchmark phases).
     pub fn reset_stats(&self) {
-        for map in [&self.inner.sent, &self.inner.received, &self.inner.msgs] {
-            for counter in lock(map).values() {
-                counter.store(0, Ordering::Relaxed);
-            }
-        }
+        self.inner.counters.reset()
     }
 }
 
-/// Traffic totals per node, in bytes and message counts.
-#[derive(Clone, Debug, Default)]
-pub struct NetStats {
-    /// Bytes sent, per source node.
-    pub bytes_sent: HashMap<NodeId, u64>,
-    /// Bytes received, per destination node.
-    pub bytes_received: HashMap<NodeId, u64>,
-    /// Messages sent, per source node.
-    pub messages_sent: HashMap<NodeId, u64>,
-}
-
-impl NetStats {
-    /// Total bytes sent across all nodes.
-    pub fn total_sent(&self) -> u64 {
-        self.bytes_sent.values().sum()
+impl Transport for SimNetwork {
+    fn endpoint(&self) -> Endpoint {
+        SimNetwork::endpoint(self)
     }
 
-    /// Total bytes sent across all nodes (alias of [`NetStats::total_sent`]
-    /// matching the `total_msgs` naming).
-    pub fn total_bytes(&self) -> u64 {
-        self.total_sent()
+    fn stats(&self) -> NetStats {
+        SimNetwork::stats(self)
     }
 
-    /// Total messages sent across all nodes.
-    pub fn total_msgs(&self) -> u64 {
-        self.messages_sent.values().sum()
+    fn reset_stats(&self) {
+        SimNetwork::reset_stats(self)
     }
 
-    /// Traffic that happened *after* `earlier` was snapshotted: per-node
-    /// saturating difference of every counter. Nodes registered since the
-    /// earlier snapshot keep their full counts.
-    pub fn diff(&self, earlier: &NetStats) -> NetStats {
-        let sub = |now: &HashMap<NodeId, u64>, then: &HashMap<NodeId, u64>| {
-            now.iter()
-                .map(|(&k, &v)| (k, v.saturating_sub(then.get(&k).copied().unwrap_or(0))))
-                .collect()
-        };
-        NetStats {
-            bytes_sent: sub(&self.bytes_sent, &earlier.bytes_sent),
-            bytes_received: sub(&self.bytes_received, &earlier.bytes_received),
-            messages_sent: sub(&self.messages_sent, &earlier.messages_sent),
-        }
+    fn kind(&self) -> TransportKind {
+        TransportKind::Sim
     }
 }
 
-/// Errors from sending on the fabric.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
-pub enum SendError {
-    /// Destination was never registered.
-    UnknownNode,
-    /// Destination endpoint was dropped.
-    Closed,
-}
-
-impl std::fmt::Display for SendError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            SendError::UnknownNode => write!(f, "unknown destination node"),
-            SendError::Closed => write!(f, "destination endpoint closed"),
-        }
-    }
-}
-
-impl std::error::Error for SendError {}
-
-/// One node's handle: a mailbox plus byte counters.
-pub struct Endpoint {
+/// One node's handle on the simulated fabric: a mailbox plus byte counters.
+pub struct SimEndpoint {
     id: NodeId,
     net: SimNetwork,
     rx: Receiver<Envelope>,
@@ -213,17 +129,25 @@ pub struct Endpoint {
     msgs: Arc<AtomicU64>,
 }
 
-impl Endpoint {
+impl SimEndpoint {
     /// This endpoint's node id.
     pub fn id(&self) -> NodeId {
         self.id
     }
 
-    /// Sends `payload` to `dst`, counting its bytes.
+    /// Sends `payload` to `dst`. Failed sends leave the counters untouched,
+    /// so they never skew the Figure-6 bandwidth numbers; successful sends
+    /// are counted *before* the message is visible to the receiver, so a
+    /// stats snapshot taken after a protocol barrier always includes every
+    /// message that reached it.
     pub fn send(&self, dst: NodeId, payload: Vec<u8>) -> Result<(), SendError> {
-        self.sent.fetch_add(payload.len() as u64, Ordering::Relaxed);
+        let n = payload.len() as u64;
+        self.sent.fetch_add(n, Ordering::Relaxed);
         self.msgs.fetch_add(1, Ordering::Relaxed);
-        self.net.deliver(self.id, dst, payload)
+        self.net.deliver(self.id, dst, payload).inspect_err(|_| {
+            self.sent.fetch_sub(n, Ordering::Relaxed);
+            self.msgs.fetch_sub(1, Ordering::Relaxed);
+        })
     }
 
     /// Blocking receive.
@@ -246,18 +170,6 @@ impl Endpoint {
         self.received.load(Ordering::Relaxed)
     }
 }
-
-/// Receive failed: all senders dropped or timeout elapsed.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
-pub struct RecvError;
-
-impl std::fmt::Display for RecvError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "receive failed (closed or timed out)")
-    }
-}
-
-impl std::error::Error for RecvError {}
 
 #[cfg(test)]
 mod tests {
@@ -317,10 +229,21 @@ mod tests {
     fn unknown_destination() {
         let net = SimNetwork::new();
         let a = net.endpoint();
-        assert_eq!(
-            a.send(NodeId(999), vec![1]),
-            Err(SendError::UnknownNode)
-        );
+        assert_eq!(a.send(NodeId(999), vec![1]), Err(SendError::UnknownNode));
+    }
+
+    #[test]
+    fn failed_send_is_not_counted() {
+        let net = SimNetwork::new();
+        let a = net.endpoint();
+        assert!(a.send(NodeId(999), vec![0u8; 64]).is_err());
+        assert_eq!(a.bytes_sent(), 0);
+        assert_eq!(net.stats().total_msgs(), 0);
+        // A later successful send starts the counters from zero.
+        let b = net.endpoint();
+        a.send(b.id(), vec![0u8; 5]).unwrap();
+        assert_eq!(a.bytes_sent(), 5);
+        assert_eq!(net.stats().messages_sent[&a.id()], 1);
     }
 
     #[test]
@@ -357,5 +280,24 @@ mod tests {
         a.send(b.id(), vec![1]).unwrap();
         let _ = b.recv().unwrap();
         assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn recv_timeout_under_latency() {
+        // The link latency is modelled on the sender side: a message posted
+        // with a 150 ms link cannot arrive before 150 ms have elapsed, so a
+        // 20 ms poll is guaranteed to time out (sleep never wakes early),
+        // while a generous poll must deliver it.
+        let net = SimNetwork::with_latency(Some(Duration::from_millis(150)));
+        let a = net.endpoint();
+        let b = net.endpoint();
+        let b_id = b.id();
+        let sender = std::thread::spawn(move || a.send(b_id, vec![42]).unwrap());
+        assert!(b.recv_timeout(Duration::from_millis(20)).is_err());
+        let env = b
+            .recv_timeout(Duration::from_secs(10))
+            .expect("message arrives once the link latency elapses");
+        assert_eq!(env.payload, vec![42]);
+        sender.join().unwrap();
     }
 }

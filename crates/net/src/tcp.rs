@@ -1,0 +1,575 @@
+//! The real-socket fabric: every endpoint is a localhost TCP listener, and
+//! every message crosses the kernel's loopback stack as a length-prefixed
+//! frame.
+//!
+//! This is the [`TransportKind::Tcp`] backend. It exists to validate the
+//! wire protocol end-to-end — serialization, framing, interleaving of
+//! connections, shutdown — under a real socket API, and as the stepping
+//! stone toward the paper's five-datacenter deployment: the addressing is
+//! already `SocketAddr`-based, so lifting the registry out of process is
+//! the only change multi-host operation needs.
+//!
+//! Design notes:
+//!
+//! * **Framing** — `sender id (u64 LE) | payload length (u32 LE) | payload`.
+//!   Carrying the sender id per frame keeps connections stateless (no
+//!   handshake) and lets one mailbox multiplex any number of inbound
+//!   connections.
+//! * **Accounting** — byte counters record *payload* bytes on successful
+//!   sends only, exactly like the sim fabric, so [`NetStats`] numbers are
+//!   comparable across backends (framing overhead is a backend detail the
+//!   Figure-6 metrics deliberately exclude).
+//! * **Shutdown** — dropping an endpoint shuts down its connections (both
+//!   directions share the underlying socket, so blocked readers wake with
+//!   EOF), nudges the acceptor awake with a throwaway connection, and joins
+//!   every helper thread. No threads or sockets outlive the endpoint.
+
+use crate::transport::{
+    counter_for, lock, Endpoint, Envelope, NetStats, NodeId, RecvError, SendError,
+    TrafficCounters, Transport, TransportKind,
+};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Maximum accepted frame payload (64 MiB). A larger length prefix is
+/// treated as stream corruption and closes the connection — it can never
+/// trigger a matching allocation.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// Frame header size: 8-byte sender id + 4-byte payload length.
+pub const FRAME_HEADER_LEN: usize = 12;
+
+/// Encodes one frame: `src (u64 LE) | len (u32 LE) | payload`.
+pub fn encode_frame(src: NodeId, payload: &[u8]) -> Vec<u8> {
+    let len = u32::try_from(payload.len()).expect("frame payload exceeds u32");
+    assert!(payload.len() <= MAX_FRAME_LEN, "frame payload exceeds MAX_FRAME_LEN");
+    let mut buf = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    buf.extend_from_slice(&(src.0 as u64).to_le_bytes());
+    buf.extend_from_slice(&len.to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf
+}
+
+/// Decodes a frame header. Returns `(src, payload_len)`, or `None` if the
+/// claimed length exceeds [`MAX_FRAME_LEN`].
+pub fn decode_frame_header(header: &[u8; FRAME_HEADER_LEN]) -> Option<(NodeId, usize)> {
+    let src = u64::from_le_bytes(header[..8].try_into().expect("8 bytes")) as usize;
+    let len = u32::from_le_bytes(header[8..].try_into().expect("4 bytes")) as usize;
+    (len <= MAX_FRAME_LEN).then_some((NodeId(src), len))
+}
+
+/// Fills `buf` from the stream. `Ok(false)` means clean EOF before the
+/// first byte (the peer closed at a frame boundary); a mid-buffer EOF is an
+/// error.
+fn read_full(stream: &mut TcpStream, buf: &mut [u8]) -> std::io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "EOF inside a frame",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads one frame off `stream`. `Ok(None)` is a clean end of stream.
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<Envelope>> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    if !read_full(stream, &mut header)? {
+        return Ok(None);
+    }
+    let (src, len) = decode_frame_header(&header)
+        .ok_or_else(|| std::io::Error::new(ErrorKind::InvalidData, "frame length too large"))?;
+    let mut payload = vec![0u8; len];
+    if len > 0 && !read_full(stream, &mut payload)? {
+        return Err(std::io::Error::new(
+            ErrorKind::UnexpectedEof,
+            "EOF inside a frame",
+        ));
+    }
+    Ok(Some(Envelope { src, payload }))
+}
+
+struct Inner {
+    /// Where each registered node listens. `None` is a tombstone for a
+    /// closed endpoint, so sends to it report [`SendError::Closed`] —
+    /// matching the sim fabric's dropped-mailbox semantics — rather than
+    /// [`SendError::UnknownNode`].
+    addrs: Mutex<HashMap<NodeId, Option<SocketAddr>>>,
+    counters: TrafficCounters,
+    latency: Option<Duration>,
+    next_id: AtomicU64,
+}
+
+/// The localhost TCP fabric. Cheap to clone (shared handle); the handle
+/// holds only the address registry and counters — sockets and threads
+/// belong to the endpoints.
+#[derive(Clone)]
+pub struct TcpTransport {
+    inner: Arc<Inner>,
+}
+
+impl Default for TcpTransport {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TcpTransport {
+    /// Creates a fabric with no artificial latency.
+    pub fn new() -> Self {
+        Self::with_latency(None)
+    }
+
+    /// Creates a fabric that delays every send by `latency` on top of the
+    /// real loopback cost, modelling a uniform WAN link like the sim
+    /// fabric does.
+    pub fn with_latency(latency: Option<Duration>) -> Self {
+        TcpTransport {
+            inner: Arc::new(Inner {
+                addrs: Mutex::new(HashMap::new()),
+                counters: TrafficCounters::default(),
+                latency,
+                next_id: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Registers a new endpoint: binds an OS-assigned localhost port and
+    /// starts its acceptor thread.
+    ///
+    /// # Panics
+    /// Panics if the OS refuses to bind a loopback listener.
+    pub fn endpoint(&self) -> Endpoint {
+        let id = NodeId(self.inner.next_id.fetch_add(1, Ordering::Relaxed) as usize);
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback listener");
+        let addr = listener.local_addr().expect("listener has a local addr");
+        lock(&self.inner.addrs).insert(id, Some(addr));
+
+        let (tx, rx) = channel();
+        let closed = Arc::new(AtomicBool::new(false));
+        let accepted: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let received = counter_for(&self.inner.counters.received, id);
+
+        let acceptor = {
+            let closed = closed.clone();
+            let accepted = accepted.clone();
+            let readers = readers.clone();
+            let received = received.clone();
+            std::thread::spawn(move || {
+                accept_loop(listener, tx, closed, accepted, readers, received)
+            })
+        };
+
+        Endpoint::Tcp(TcpEndpoint {
+            id,
+            addr,
+            net: self.clone(),
+            rx,
+            conns: Mutex::new(HashMap::new()),
+            sent: counter_for(&self.inner.counters.sent, id),
+            received,
+            msgs: counter_for(&self.inner.counters.msgs, id),
+            closed,
+            accepted,
+            readers,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// Per-node traffic statistics.
+    ///
+    /// Sent-side counters (`bytes_sent`, `messages_sent`) are recorded
+    /// before a frame can reach its reader, exactly like the sim fabric.
+    /// `bytes_received` is counted by the destination's reader thread as it
+    /// drains the socket, so it is *eventually consistent*: a snapshot can
+    /// momentarily trail the sender's view by frames still in the kernel
+    /// buffer.
+    pub fn stats(&self) -> NetStats {
+        self.inner.counters.stats()
+    }
+
+    /// Resets all byte/message counters (e.g. between benchmark phases).
+    pub fn reset_stats(&self) {
+        self.inner.counters.reset()
+    }
+}
+
+impl Transport for TcpTransport {
+    fn endpoint(&self) -> Endpoint {
+        TcpTransport::endpoint(self)
+    }
+
+    fn stats(&self) -> NetStats {
+        TcpTransport::stats(self)
+    }
+
+    fn reset_stats(&self) {
+        TcpTransport::reset_stats(self)
+    }
+
+    fn kind(&self) -> TransportKind {
+        TransportKind::Tcp
+    }
+}
+
+/// Accepts inbound connections and spawns one reader thread per stream.
+fn accept_loop(
+    listener: TcpListener,
+    tx: Sender<Envelope>,
+    closed: Arc<AtomicBool>,
+    accepted: Arc<Mutex<Vec<TcpStream>>>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    received: Arc<AtomicU64>,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if closed.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Persistent errors (e.g. EMFILE under fd exhaustion) must
+                // not busy-spin the acceptor at 100% CPU.
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            }
+        };
+        // Registration and the closed check happen under the `accepted`
+        // lock so shutdown can never miss a stream: either we register
+        // first (and shutdown's drain reaches us) or shutdown flips the
+        // flag first (and we bail before spawning a reader).
+        {
+            let mut acc = lock(&accepted);
+            if closed.load(Ordering::SeqCst) {
+                return;
+            }
+            let _ = stream.set_nodelay(true);
+            match stream.try_clone() {
+                Ok(clone) => acc.push(clone),
+                Err(_) => continue,
+            }
+        }
+        let reader = {
+            let tx = tx.clone();
+            let received = received.clone();
+            let mut stream = stream;
+            std::thread::spawn(move || {
+                while let Ok(Some(env)) = read_frame(&mut stream) {
+                    received.fetch_add(env.payload.len() as u64, Ordering::Relaxed);
+                    if tx.send(env).is_err() {
+                        return;
+                    }
+                }
+            })
+        };
+        lock(&readers).push(reader);
+    }
+}
+
+/// One node's handle on the TCP fabric: a listener-backed mailbox, a pool
+/// of outbound connections, and byte counters.
+pub struct TcpEndpoint {
+    id: NodeId,
+    addr: SocketAddr,
+    net: TcpTransport,
+    rx: Receiver<Envelope>,
+    /// Outbound connections, one per destination, opened lazily.
+    conns: Mutex<HashMap<NodeId, TcpStream>>,
+    sent: Arc<AtomicU64>,
+    received: Arc<AtomicU64>,
+    msgs: Arc<AtomicU64>,
+    closed: Arc<AtomicBool>,
+    accepted: Arc<Mutex<Vec<TcpStream>>>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl TcpEndpoint {
+    /// This endpoint's node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The socket address this endpoint listens on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Sends `payload` to `dst` as one frame over a pooled connection.
+    /// Bytes and message counts are recorded only on success.
+    ///
+    /// `Ok` means the kernel accepted the frame, not that the peer read
+    /// it: a send racing the destination's teardown can succeed and be
+    /// dropped unread (real-socket semantics), where the sim fabric's
+    /// atomic registry would have reported [`SendError::Closed`]. Protocol
+    /// code must not send to peers it is simultaneously shutting down —
+    /// the deployment's leader-coordinated shutdown respects this.
+    pub fn send(&self, dst: NodeId, payload: Vec<u8>) -> Result<(), SendError> {
+        let addr = lock(&self.net.inner.addrs)
+            .get(&dst)
+            .copied()
+            .ok_or(SendError::UnknownNode)?
+            .ok_or(SendError::Closed)?;
+        if let Some(latency) = self.net.inner.latency {
+            std::thread::sleep(latency);
+        }
+        let frame = encode_frame(self.id, &payload);
+        let mut conns = lock(&self.conns);
+        let stream = match conns.entry(dst) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(v) => {
+                let stream = TcpStream::connect(addr).map_err(|_| SendError::Closed)?;
+                let _ = stream.set_nodelay(true);
+                v.insert(stream)
+            }
+        };
+        // Count before the write: once the kernel has the bytes the peer's
+        // reader may deliver them at any moment, and a stats snapshot taken
+        // after a protocol barrier must already include every message that
+        // reached it. The failure path compensates.
+        let n = payload.len() as u64;
+        self.sent.fetch_add(n, Ordering::Relaxed);
+        self.msgs.fetch_add(1, Ordering::Relaxed);
+        if stream.write_all(&frame).is_err() {
+            self.sent.fetch_sub(n, Ordering::Relaxed);
+            self.msgs.fetch_sub(1, Ordering::Relaxed);
+            // Drop the broken connection so a later send can redial.
+            conns.remove(&dst);
+            return Err(SendError::Closed);
+        }
+        Ok(())
+    }
+
+    /// Blocking receive.
+    pub fn recv(&self) -> Result<Envelope, RecvError> {
+        self.rx.recv().map_err(|_| RecvError)
+    }
+
+    /// Receive with a timeout (for shutdown paths).
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, RecvError> {
+        self.rx.recv_timeout(timeout).map_err(|_| RecvError)
+    }
+
+    /// Bytes this endpoint has sent.
+    pub fn bytes_sent(&self) -> u64 {
+        self.sent.load(Ordering::Relaxed)
+    }
+
+    /// Bytes this endpoint has received.
+    pub fn bytes_received(&self) -> u64 {
+        self.received.load(Ordering::Relaxed)
+    }
+
+    /// Tears the endpoint down: deregisters its address, closes every
+    /// connection, and joins the acceptor and reader threads. Idempotent;
+    /// also runs on drop. Traffic counters survive in the fabric.
+    pub fn close(&mut self) {
+        if self.closed.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        lock(&self.net.inner.addrs).insert(self.id, None);
+        // EOF both directions of every connection we own. Shutdown acts on
+        // the socket itself (clones share it), so reader threads blocked in
+        // `read` — ours and our peers' — wake immediately.
+        for (_, conn) in lock(&self.conns).drain() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        for conn in lock(&self.accepted).drain(..) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        // Nudge the acceptor out of `accept` with a throwaway connection;
+        // it sees the closed flag and exits.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let readers = std::mem::take(&mut *lock(&self.readers));
+        for reader in readers {
+            let _ = reader.join();
+        }
+    }
+}
+
+impl Drop for TcpEndpoint {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip_via_socket_pair() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (mut server, _) = listener.accept().unwrap();
+        client.write_all(&encode_frame(NodeId(7), b"payload")).unwrap();
+        client.write_all(&encode_frame(NodeId(9), &[])).unwrap();
+        let env = read_frame(&mut server).unwrap().unwrap();
+        assert_eq!(env.src, NodeId(7));
+        assert_eq!(env.payload, b"payload");
+        let env = read_frame(&mut server).unwrap().unwrap();
+        assert_eq!(env.src, NodeId(9));
+        assert!(env.payload.is_empty());
+        // Clean EOF at a frame boundary.
+        drop(client);
+        assert!(read_frame(&mut server).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error_not_a_hang() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (mut server, _) = listener.accept().unwrap();
+        let frame = encode_frame(NodeId(1), &[1, 2, 3, 4]);
+        client.write_all(&frame[..frame.len() - 2]).unwrap();
+        drop(client); // EOF mid-frame
+        assert!(read_frame(&mut server).is_err());
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_without_allocation() {
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        header[8..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_frame_header(&header).is_none());
+    }
+
+    #[test]
+    fn send_recv_and_accounting_over_real_sockets() {
+        let net = TcpTransport::new();
+        let a = net.endpoint();
+        let b = net.endpoint();
+        a.send(b.id(), vec![1, 2, 3]).unwrap();
+        b.send(a.id(), vec![9; 10]).unwrap();
+        let env = b.recv().unwrap();
+        assert_eq!(env.src, a.id());
+        assert_eq!(env.payload, vec![1, 2, 3]);
+        let env = a.recv().unwrap();
+        assert_eq!(env.payload, vec![9; 10]);
+        assert_eq!(a.bytes_sent(), 3);
+        assert_eq!(b.bytes_sent(), 10);
+        // Receive counters are written by reader threads, which run ahead
+        // of recv(): after both recv calls they must have settled.
+        assert_eq!(a.bytes_received(), 10);
+        assert_eq!(b.bytes_received(), 3);
+        let stats = net.stats();
+        assert_eq!(stats.total_sent(), 13);
+        assert_eq!(stats.total_msgs(), 2);
+        net.reset_stats();
+        assert_eq!(net.stats().total_sent(), 0);
+    }
+
+    #[test]
+    fn many_messages_per_connection_stay_ordered() {
+        let net = TcpTransport::new();
+        let a = net.endpoint();
+        let b = net.endpoint();
+        for i in 0..100u8 {
+            a.send(b.id(), vec![i]).unwrap();
+        }
+        for i in 0..100u8 {
+            // One pooled connection per destination: per-peer FIFO holds.
+            assert_eq!(b.recv().unwrap().payload, vec![i]);
+        }
+    }
+
+    #[test]
+    fn cross_thread_echo() {
+        let net = TcpTransport::new();
+        let a = net.endpoint();
+        let b = net.endpoint();
+        let b_id = b.id();
+        let handle = std::thread::spawn(move || {
+            let env = b.recv().unwrap();
+            let doubled: Vec<u8> = env.payload.iter().map(|&x| x * 2).collect();
+            b.send(env.src, doubled).unwrap();
+        });
+        a.send(b_id, vec![1, 2, 3]).unwrap();
+        assert_eq!(a.recv().unwrap().payload, vec![2, 4, 6]);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn unknown_destination_and_closed_peer() {
+        let net = TcpTransport::new();
+        let a = net.endpoint();
+        assert_eq!(a.send(NodeId(999), vec![1]), Err(SendError::UnknownNode));
+        assert_eq!(a.bytes_sent(), 0);
+        let b = net.endpoint();
+        let b_id = b.id();
+        drop(b); // tombstones its address
+        assert_eq!(a.send(b_id, vec![1]), Err(SendError::Closed));
+    }
+
+    #[test]
+    fn recv_timeout_elapses() {
+        let net = TcpTransport::new();
+        let a = net.endpoint();
+        assert!(a.recv_timeout(Duration::from_millis(10)).is_err());
+    }
+
+    #[test]
+    fn recv_timeout_under_latency() {
+        // Same contract as the sim fabric: with a 150 ms link, a 20 ms poll
+        // must time out and a generous poll must deliver.
+        let net = TcpTransport::with_latency(Some(Duration::from_millis(150)));
+        let a = net.endpoint();
+        let b = net.endpoint();
+        let b_id = b.id();
+        let sender = std::thread::spawn(move || a.send(b_id, vec![42]).unwrap());
+        assert!(b.recv_timeout(Duration::from_millis(20)).is_err());
+        let env = b
+            .recv_timeout(Duration::from_secs(10))
+            .expect("message arrives once the link latency elapses");
+        assert_eq!(env.payload, vec![42]);
+        sender.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_joins_all_threads_and_closes_sockets() {
+        let net = TcpTransport::new();
+        let mut eps: Vec<_> = (0..4).map(|_| net.endpoint()).collect();
+        // Full mesh of chatter so every endpoint has live inbound and
+        // outbound connections.
+        let ids: Vec<_> = eps.iter().map(|e| e.id()).collect();
+        for ep in &eps {
+            for &dst in &ids {
+                if dst != ep.id() {
+                    ep.send(dst, vec![0u8; 8]).unwrap();
+                }
+            }
+        }
+        for ep in &eps {
+            for _ in 0..3 {
+                ep.recv().unwrap();
+            }
+        }
+        // Dropping every endpoint must return (joins acceptors + readers)
+        // rather than deadlock, and stats survive the teardown.
+        eps.clear();
+        let stats = net.stats();
+        assert_eq!(stats.total_msgs(), 12);
+        assert_eq!(stats.total_sent(), 12 * 8);
+    }
+}

@@ -16,7 +16,7 @@
 //! | `prio_circuit` | Arithmetic circuits (`CircuitBuilder`) and validation gadgets for AFE `Valid()` predicates |
 //! | `prio_afe` | Affine-aggregatable encodings: sum/mean, boolean, frequency, min/max, variance, linear regression, R², sets, sketches, most-popular |
 //! | `prio_snip` | Secret-shared non-interactive proofs: prover, two-round verifier, Beaver triples, MPC helpers |
-//! | `prio_net` | Simulated message fabric with byte accounting; length-delimited wire encoding |
+//! | `prio_net` | Pluggable transports (in-process sim fabric + localhost TCP) with byte accounting; length-delimited wire encoding |
 //! | `prio_core` | The pipeline: `Client`, `Server`, single-threaded `Cluster` simulation, threaded `Deployment` |
 //! | `prio_baselines` | The paper's comparison points: no-privacy, no-robustness, NIZK (Pedersen/Chaum–Pedersen), SNARK cost model |
 //! | `prio_bench` | Benchmark harness reproducing Figures 4–6: scenario registry, warmup/iteration stats, JSON + table reporters, `prio-bench` binary |

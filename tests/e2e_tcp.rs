@@ -1,0 +1,114 @@
+//! End-to-end test of the full sum-AFE pipeline over the real-socket TCP
+//! transport, mirroring `tests/e2e_deployment.rs`: three servers, exact
+//! accept/reject counts, a tampered SNIP rejected, and byte accounting
+//! that matches the sim fabric.
+
+use prio_afe::sum::SumAfe;
+use prio_core::client::ShareBlob;
+use prio_core::{Client, ClientConfig, Deployment, DeploymentConfig};
+use prio_field::{Field64, FieldElement};
+use prio_net::TransportKind;
+use rand::SeedableRng;
+
+/// Three servers on localhost TCP sockets: every protocol message crosses
+/// the kernel loopback stack, and the pipeline still produces exact
+/// accept/reject counts and the correct aggregate.
+#[test]
+fn three_servers_over_tcp_accept_reject_and_aggregate() {
+    const S: usize = 3;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let afe = SumAfe::new(8);
+    let cfg = DeploymentConfig::new(S).with_transport(TransportKind::Tcp);
+    let mut deployment: Deployment<Field64> = Deployment::start(afe.clone(), cfg);
+    let mut client = Client::new(afe, ClientConfig::new(S));
+
+    // Batch 1: six honest submissions.
+    let honest: Vec<_> = (0..6u64)
+        .map(|v| client.submit(&(v * 10), &mut rng).unwrap())
+        .collect();
+    assert!(deployment.run_batch(&honest).iter().all(|&d| d));
+
+    // Batch 2: three honest plus one with a tampered SNIP share — the
+    // Section-1 ballot-stuffing attack, which the servers must catch
+    // jointly over the real wire.
+    let mut second: Vec<_> = (0..3u64)
+        .map(|v| client.submit(&v, &mut rng).unwrap())
+        .collect();
+    let mut bad = client.submit(&1, &mut rng).unwrap();
+    let ShareBlob::Explicit(v) = &mut bad.blobs[S - 1] else {
+        panic!("last blob should be explicit");
+    };
+    v[0] += Field64::from_u64(9999);
+    second.push(bad);
+    let decisions = deployment.run_batch(&second);
+    assert_eq!(decisions, vec![true, true, true, false]);
+
+    let report = deployment.finish();
+    assert_eq!(report.accepted, 9);
+    assert_eq!(report.rejected, 1);
+    assert_eq!(report.sigma[0], (0..6).map(|v| v * 10).sum::<u64>() + 3);
+
+    // Per-batch wall times and per-server byte counts are recorded exactly
+    // as on the sim fabric.
+    assert_eq!(report.batch_wall.len(), 2);
+    assert_eq!(report.server_bytes_sent.len(), S);
+    assert!(report.server_bytes_sent.iter().all(|&b| b > 0));
+    let (leader, non_leader) = report.leader_vs_non_leader_bytes();
+    assert!(
+        leader > non_leader,
+        "leader {leader} must out-transmit non-leaders {non_leader}"
+    );
+}
+
+/// The byte accounting over TCP matches the sim fabric exactly for the
+/// same workload: both count payload bytes on successful sends, and the
+/// protocol is deterministic given the RNG seed.
+#[test]
+fn tcp_and_sim_report_identical_traffic() {
+    let run = |transport: TransportKind| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let afe = SumAfe::new(8);
+        let cfg = DeploymentConfig::new(3).with_transport(transport);
+        let mut deployment: Deployment<Field64> = Deployment::start(afe.clone(), cfg);
+        let mut client = Client::new(afe, ClientConfig::new(3));
+        let subs: Vec<_> = (0..5u64)
+            .map(|v| client.submit(&v, &mut rng).unwrap())
+            .collect();
+        assert!(deployment.run_batch(&subs).iter().all(|&d| d));
+        deployment.finish()
+    };
+    let sim = run(TransportKind::Sim);
+    let tcp = run(TransportKind::Tcp);
+    assert_eq!(sim.server_bytes_sent, tcp.server_bytes_sent);
+    assert_eq!(sim.stats.total_bytes(), tcp.stats.total_bytes());
+    assert_eq!(sim.stats.total_msgs(), tcp.stats.total_msgs());
+    assert_eq!(sim.sigma, tcp.sigma);
+}
+
+/// WAN latency modelling works on the TCP fabric too: each message send
+/// sleeps for the configured link latency, so a batch cannot complete
+/// faster than the protocol's critical path allows.
+#[test]
+fn tcp_latency_slows_batches() {
+    let latency = std::time::Duration::from_micros(200);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let afe = SumAfe::new(4);
+    let cfg = DeploymentConfig::new(2)
+        .with_transport(TransportKind::Tcp)
+        .with_latency(latency);
+    let mut deployment: Deployment<Field64> = Deployment::start(afe.clone(), cfg);
+    let mut client = Client::new(afe, ClientConfig::new(2));
+    let subs: Vec<_> = (0..2u64)
+        .map(|v| client.submit(&v, &mut rng).unwrap())
+        .collect();
+    assert!(deployment.run_batch(&subs).iter().all(|&d| d));
+    let report = deployment.finish();
+    assert_eq!(report.accepted, 2);
+    // The batch spans at least upload → round 1 → combined → round 2 →
+    // decisions, each behind one latency sleep.
+    assert!(
+        report.batch_wall[0] >= latency,
+        "batch wall {:?} below the link latency",
+        report.batch_wall[0]
+    );
+}
