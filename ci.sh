@@ -33,4 +33,11 @@ echo "==> prio-bench --smoke --backend tcp (real-socket slice)"
 cargo run --release --offline -p prio_bench -- --smoke --backend tcp --out target/bench_tcp.json
 cargo run --release --offline -p prio_bench -- --check target/bench_tcp.json
 
+# Batched-verification slice: re-runs the batch × thread sweep in isolation
+# and re-validates its scenario tags (threads/batch params, throughput
+# metric) through prio-bench --check.
+echo "==> prio-bench --smoke --filter fig5/batch_verify (batched verification slice)"
+cargo run --release --offline -p prio_bench -- --smoke --filter fig5/batch_verify --out target/bench_batch_verify.json
+cargo run --release --offline -p prio_bench -- --check target/bench_batch_verify.json
+
 echo "CI OK"

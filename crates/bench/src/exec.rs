@@ -15,6 +15,7 @@ use prio_afe::{freq::FrequencyAfe, Afe};
 use prio_baselines::nizk::{client_submission, NizkCluster};
 use prio_core::{Client, ClientConfig, Cluster, Deployment, DeploymentConfig};
 use prio_field::{Field128, Field64, FieldElement};
+use prio_snip::HForm;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::time::Duration;
 
@@ -50,6 +51,7 @@ pub fn run_scenario(sc: &Scenario) -> Record {
         Group::EncodeVerify => run_encode_verify(sc),
         Group::Bandwidth => run_bandwidth(sc),
         Group::Baseline => run_baseline(sc),
+        Group::BatchVerify => run_batch_verify(sc),
     };
     Record {
         name: sc.name.clone(),
@@ -168,7 +170,13 @@ fn encode_verify<F: FieldElement, A: Afe<F> + Clone>(
     sc: &Scenario,
 ) -> Json {
     let mut rng = StdRng::seed_from_u64(sc.seed ^ 1);
-    let mut cluster: Cluster<F, A> = Cluster::new(afe.clone(), sc.servers, sc.verify_mode);
+    let mut cluster: Cluster<F, A> = Cluster::with_options(
+        afe.clone(),
+        sc.servers,
+        sc.verify_mode,
+        HForm::PointValue,
+        sc.batch,
+    );
     let encoded_len = afe.encoded_len();
     let mut client = Client::new(afe, ClientConfig::new(sc.servers));
     let n = inputs.len() as u32;
@@ -290,6 +298,83 @@ fn run_bandwidth(sc: &Scenario) -> Json {
 }
 
 // ---------------------------------------------------------------------------
+// Appendix-I batching: verify throughput vs. batch size × thread count.
+// ---------------------------------------------------------------------------
+
+/// Measures server verify throughput over a fixed pre-encoded submission
+/// set. `batch = 1` is the per-submission path: a fresh verification
+/// context (kernel precompute + setup) for every submission via
+/// [`Cluster::process`] or a one-submission `run_batch` call. Larger
+/// batches run the batched pipeline (one context per `batch` submissions,
+/// scratch reuse, optional verify pool), which is bit-identical in its
+/// decisions — only the amortization changes.
+fn run_batch_verify(sc: &Scenario) -> Json {
+    let mut rng = StdRng::seed_from_u64(sc.seed);
+    let afe = SumAfe::new(sc.size as u32);
+    let mut client = Client::new(afe.clone(), ClientConfig::new(sc.servers));
+    let subs: Vec<_> = sum_inputs(sc.size, sc.submissions, &mut rng)
+        .iter()
+        .map(|v| client.submit(v, &mut rng).expect("honest input"))
+        .collect();
+    let runs = (sc.runner.warmup + sc.runner.iters) as u64;
+
+    let (summary, phases) = match sc.backend {
+        Backend::Cluster => {
+            let mut cluster: Cluster<Field64, _> = Cluster::with_options(
+                afe,
+                sc.servers,
+                sc.verify_mode,
+                HForm::PointValue,
+                sc.batch,
+            )
+            .with_verify_threads(sc.verify_threads);
+            let summary = sc.runner.measure(|_| {
+                let decisions: Vec<bool> = if sc.batch == 1 {
+                    subs.iter().map(|sub| cluster.process(sub)).collect()
+                } else {
+                    cluster.process_batch(&subs)
+                };
+                assert!(decisions.iter().all(|&d| d), "honest batch rejected");
+            });
+            assert_eq!(cluster.accepted(), sc.submissions as u64 * runs);
+            let t = cluster.timings();
+            let per_sub = |d: Duration| ms(d) / t.submissions as f64;
+            let phases = Json::obj(vec![
+                ("unpack", Json::Num(per_sub(t.unpack))),
+                ("round1", Json::Num(per_sub(t.round1))),
+                ("round2", Json::Num(per_sub(t.round2))),
+            ]);
+            (summary, phases)
+        }
+        Backend::Deployment(transport) => {
+            let cfg = DeploymentConfig::new(sc.servers)
+                .with_verify_mode(sc.verify_mode)
+                .with_transport(transport)
+                .with_verify_threads(sc.verify_threads);
+            let mut deployment: Deployment<Field64> = Deployment::start(afe, cfg);
+            let summary = sc.runner.measure(|_| {
+                for chunk in subs.chunks(sc.batch) {
+                    let decisions = deployment.run_batch(chunk);
+                    assert!(decisions.iter().all(|&d| d), "honest batch rejected");
+                }
+            });
+            let report = deployment.finish();
+            assert_eq!(report.accepted, sc.submissions as u64 * runs);
+            (summary, Json::Null)
+        }
+    };
+
+    let throughput = sc.submissions as f64 / (summary.median_ms / 1e3);
+    Json::obj(vec![
+        ("verify_wall_ms", summary.to_json()),
+        ("throughput_sub_per_s", Json::Num(throughput)),
+        ("batch", Json::Num(sc.batch as f64)),
+        ("threads", Json::Num(sc.verify_threads as f64)),
+        ("verify_phase_ms_per_sub", phases),
+    ])
+}
+
+// ---------------------------------------------------------------------------
 // Section 6 baseline: Prio (mostpop AFE) vs. discrete-log NIZK.
 // ---------------------------------------------------------------------------
 
@@ -381,6 +466,35 @@ mod tests {
         for phase in ["unpack", "round1", "round2"] {
             assert!(phases.get(phase).and_then(Json::as_num).unwrap() >= 0.0);
         }
+    }
+
+    #[test]
+    fn batch_verify_record_has_expected_shape() {
+        let mut sc = registry(Mode::Smoke)
+            .into_iter()
+            .find(|sc| sc.group == Group::BatchVerify && sc.backend == Backend::Cluster)
+            .unwrap();
+        // Shrink for test speed; shape is what's under test.
+        sc.submissions = 16;
+        sc.batch = 8;
+        sc.runner = crate::stats::Runner::new(0, 1);
+        let record = run_scenario(&sc);
+        let m = &record.metrics;
+        assert!(m.get("throughput_sub_per_s").and_then(Json::as_num).unwrap() > 0.0);
+        assert_eq!(m.get("batch").and_then(Json::as_num), Some(8.0));
+        assert_eq!(m.get("threads").and_then(Json::as_num), Some(1.0));
+        assert!(m.get("verify_wall_ms").unwrap().get("median_ms").is_some());
+        for phase in ["unpack", "round1", "round2"] {
+            assert!(
+                m.get("verify_phase_ms_per_sub")
+                    .unwrap()
+                    .get(phase)
+                    .and_then(Json::as_num)
+                    .unwrap()
+                    >= 0.0
+            );
+        }
+        assert_eq!(record.params.get("threads").and_then(Json::as_num), Some(1.0));
     }
 
     #[test]

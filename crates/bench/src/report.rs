@@ -43,6 +43,25 @@ pub fn validate_document(doc: &Json) -> Result<(), String> {
                 return Err(format!("result #{i} is missing '{key}'"));
             }
         }
+        // Every entry records its verify-pool size and context batch so
+        // the perf trajectory is self-describing.
+        let params = r.get("params").expect("checked above");
+        for key in ["threads", "batch"] {
+            match params.get(key).and_then(Json::as_num) {
+                Some(v) if v >= 1.0 => {}
+                Some(v) => return Err(format!("result #{i} has invalid {key} {v}")),
+                None => return Err(format!("result #{i} params missing '{key}'")),
+            }
+        }
+        // Batch-verify entries must carry the throughput headline metric.
+        if r.get("group").and_then(Json::as_str) == Some("batch_verify")
+            && r.get("metrics")
+                .and_then(|m| m.get("throughput_sub_per_s"))
+                .and_then(Json::as_num)
+                .is_none()
+        {
+            return Err(format!("batch_verify result #{i} lacks throughput_sub_per_s"));
+        }
     }
     Ok(())
 }
@@ -75,6 +94,12 @@ fn headline(record: &Record) -> String {
             let slow = num(&["nizk_over_prio_verify"]).unwrap_or(f64::NAN);
             format!("NIZK verify x{slow:.1} slower than Prio")
         }
+        Group::BatchVerify => {
+            let t = num(&["throughput_sub_per_s"]).unwrap_or(f64::NAN);
+            let batch = num(&["batch"]).unwrap_or(f64::NAN);
+            let threads = num(&["threads"]).unwrap_or(f64::NAN);
+            format!("{t:9.0} sub/s  batch={batch:.0} thr={threads:.0}")
+        }
     }
 }
 
@@ -104,7 +129,11 @@ mod tests {
         Record {
             name: name.into(),
             group: Group::Throughput,
-            params: Json::obj(vec![("servers", Json::Num(3.0))]),
+            params: Json::obj(vec![
+                ("servers", Json::Num(3.0)),
+                ("batch", Json::Num(24.0)),
+                ("threads", Json::Num(1.0)),
+            ]),
             metrics: Json::obj(vec![("throughput_sub_per_s", Json::Num(1234.0))]),
         }
     }

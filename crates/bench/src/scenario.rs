@@ -26,6 +26,10 @@ pub enum Group {
     Bandwidth,
     /// Section 6 baselines: Prio vs. the discrete-log NIZK scheme.
     Baseline,
+    /// Appendix-I batching: server verify throughput, sweeping submissions
+    /// per context (`batch`) × verify-pool threads, against the
+    /// per-submission path (`batch = 1`) on the same hardware.
+    BatchVerify,
 }
 
 impl Group {
@@ -36,6 +40,7 @@ impl Group {
             Group::EncodeVerify => "encode_verify",
             Group::Bandwidth => "bandwidth",
             Group::Baseline => "baseline",
+            Group::BatchVerify => "batch_verify",
         }
     }
 }
@@ -142,6 +147,13 @@ pub struct Scenario {
     pub backend: Backend,
     /// Submissions per measured run.
     pub submissions: usize,
+    /// Submissions sharing one verification context. `1` is the
+    /// per-submission path (context + setup per submission); Cluster
+    /// backends refresh every `batch` submissions, Deployment backends
+    /// feed `run_batch` in `batch`-sized chunks (one context per call).
+    pub batch: usize,
+    /// Verify-pool worker threads per server (`1` = inline verification).
+    pub verify_threads: usize,
     /// Warmup/iteration control.
     pub runner: Runner,
     /// Deterministic RNG seed for client inputs and shares.
@@ -176,6 +188,8 @@ impl Scenario {
             ),
             ("backend", Json::Str(self.backend.tag().into())),
             ("submissions", Json::Num(self.submissions as f64)),
+            ("batch", Json::Num(self.batch as f64)),
+            ("threads", Json::Num(self.verify_threads as f64)),
             ("warmup", Json::Num(self.runner.warmup as f64)),
             ("iters", Json::Num(self.runner.iters as f64)),
         ])
@@ -214,6 +228,8 @@ fn base(name: String, group: Group, afe: AfeKind, size: usize) -> Scenario {
         latency: None,
         backend: Backend::Cluster,
         submissions: 4,
+        batch: 1024,
+        verify_threads: 1,
         runner: Runner::new(1, 3),
         seed: 0x5052_494f,
     }
@@ -237,6 +253,7 @@ pub fn registry(mode: Mode) -> Vec<Scenario> {
         sc.servers = s;
         sc.backend = Backend::Deployment(TransportKind::Sim);
         sc.submissions = if full { 128 } else { 24 };
+        sc.batch = sc.submissions; // one context per run_batch call
         sc.runner = if full { Runner::new(1, 5) } else { Runner::new(1, 2) };
         out.push(sc);
     }
@@ -253,6 +270,7 @@ pub fn registry(mode: Mode) -> Vec<Scenario> {
         sc.servers = s;
         sc.backend = Backend::Deployment(TransportKind::Tcp);
         sc.submissions = if full { 128 } else { 24 };
+        sc.batch = sc.submissions;
         sc.runner = if full { Runner::new(1, 5) } else { Runner::new(1, 2) };
         out.push(sc);
     }
@@ -269,6 +287,7 @@ pub fn registry(mode: Mode) -> Vec<Scenario> {
         sc.backend = Backend::Deployment(TransportKind::Sim);
         sc.latency = Some(Duration::from_micros(lat));
         sc.submissions = 8;
+        sc.batch = sc.submissions;
         sc.runner = Runner::new(0, if full { 3 } else { 1 });
         out.push(sc);
     }
@@ -338,6 +357,7 @@ pub fn registry(mode: Mode) -> Vec<Scenario> {
         sc.servers = s;
         sc.backend = Backend::Deployment(TransportKind::Sim);
         sc.submissions = if full { 64 } else { 16 };
+        sc.batch = sc.submissions;
         sc.runner = Runner::new(0, 1);
         out.push(sc);
     }
@@ -353,8 +373,77 @@ pub fn registry(mode: Mode) -> Vec<Scenario> {
         sc.servers = 3;
         sc.backend = Backend::Deployment(TransportKind::Tcp);
         sc.submissions = if full { 64 } else { 16 };
+        sc.batch = sc.submissions;
         sc.runner = Runner::new(0, 1);
         out.push(sc);
+    }
+
+    // Appendix-I batching: verify throughput, sweeping submissions per
+    // context (batch) × verify-pool threads. `batch=1` is the
+    // per-submission baseline (context construction, kernel precompute,
+    // and buffer setup paid for every submission); the batched entries
+    // amortize all of it. The acceptance bar for the perf trajectory:
+    // cluster-backend batch ≥ 256 at ≥ 2× the batch=1 throughput.
+    {
+        let cluster_subs = if full { 1024 } else { 256 };
+        let batches: &[usize] = if full { &[1, 64, 256, 1024] } else { &[1, 64, 256] };
+        for &batch in batches {
+            let mut sc = base(
+                format!("fig5/batch_verify/sum/L=16/cluster/batch={batch}/threads=1"),
+                Group::BatchVerify,
+                AfeKind::Sum,
+                16,
+            );
+            sc.submissions = cluster_subs;
+            sc.batch = batch;
+            sc.runner = if full { Runner::new(1, 5) } else { Runner::new(1, 3) };
+            out.push(sc);
+        }
+        for &threads in if full { &[2usize, 4][..] } else { &[2usize][..] } {
+            let mut sc = base(
+                format!("fig5/batch_verify/sum/L=16/cluster/batch=256/threads={threads}"),
+                Group::BatchVerify,
+                AfeKind::Sum,
+                16,
+            );
+            sc.submissions = cluster_subs;
+            sc.batch = 256;
+            sc.verify_threads = threads;
+            sc.runner = if full { Runner::new(1, 5) } else { Runner::new(1, 3) };
+            out.push(sc);
+        }
+
+        let dep_subs = if full { 512 } else { 256 };
+        let dep_batches: &[usize] = if full { &[1, 128, 512] } else { &[1, 256] };
+        for &batch in dep_batches {
+            let mut sc = base(
+                format!("fig5/batch_verify/sum/L=16/deployment/batch={batch}/threads=1"),
+                Group::BatchVerify,
+                AfeKind::Sum,
+                16,
+            );
+            sc.backend = Backend::Deployment(TransportKind::Sim);
+            sc.submissions = dep_subs;
+            sc.batch = batch;
+            sc.runner = if full { Runner::new(1, 3) } else { Runner::new(0, 2) };
+            out.push(sc);
+        }
+        for &threads in if full { &[2usize, 4][..] } else { &[2usize][..] } {
+            let mut sc = base(
+                format!(
+                    "fig5/batch_verify/sum/L=16/deployment/batch={dep_subs}/threads={threads}"
+                ),
+                Group::BatchVerify,
+                AfeKind::Sum,
+                16,
+            );
+            sc.backend = Backend::Deployment(TransportKind::Sim);
+            sc.submissions = dep_subs;
+            sc.batch = dep_subs;
+            sc.verify_threads = threads;
+            sc.runner = if full { Runner::new(1, 3) } else { Runner::new(0, 2) };
+            out.push(sc);
+        }
     }
 
     // NIZK baseline: Prio's mostpop AFE (b independent bits, the workload
@@ -439,6 +528,50 @@ mod tests {
         assert_eq!(Backend::Deployment(TransportKind::Tcp).tag(), "deployment_tcp");
         assert_eq!(Backend::Cluster.transport_tag(), "sim");
         assert_eq!(Backend::Deployment(TransportKind::Tcp).transport_tag(), "tcp");
+    }
+
+    #[test]
+    fn batch_verify_sweep_covers_acceptance() {
+        // Both modes must carry, on both backends: the per-submission
+        // baseline (batch = 1), a batch ≥ 256 point (the acceptance bar),
+        // and a multi-threaded verify-pool point.
+        for mode in [Mode::Smoke, Mode::Full] {
+            let scenarios = registry(mode);
+            for on_cluster in [true, false] {
+                let family: Vec<_> = scenarios
+                    .iter()
+                    .filter(|sc| {
+                        sc.group == Group::BatchVerify
+                            && (sc.backend == Backend::Cluster) == on_cluster
+                    })
+                    .collect();
+                assert!(
+                    family.iter().any(|sc| sc.batch == 1),
+                    "{mode:?}/cluster={on_cluster} lacks the per-submission baseline"
+                );
+                assert!(
+                    family.iter().any(|sc| sc.batch >= 256 && sc.verify_threads == 1),
+                    "{mode:?}/cluster={on_cluster} lacks a batch >= 256 point"
+                );
+                assert!(
+                    family.iter().any(|sc| sc.verify_threads >= 2),
+                    "{mode:?}/cluster={on_cluster} lacks a verify-pool point"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_scenario_records_batch_and_threads() {
+        for sc in registry(Mode::Smoke) {
+            let params = sc.params_json();
+            assert!(params.get("batch").and_then(Json::as_num).unwrap() >= 1.0, "{}", sc.name);
+            assert!(
+                params.get("threads").and_then(Json::as_num).unwrap() >= 1.0,
+                "{}",
+                sc.name
+            );
+        }
     }
 
     #[test]

@@ -85,7 +85,7 @@ pub struct Trace<F: FieldElement> {
 
 /// The share-side evaluation result at one server: shares of the `×`-gate
 /// input wires and of the assertion wires.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct ShareTrace<F: FieldElement> {
     /// Shares of `u_t` for `t = 1..=M`.
     pub mul_left: Vec<F>,
@@ -179,6 +179,25 @@ impl<F: FieldElement> Circuit<F> {
         mul_output_shares: &[F],
         is_leader: bool,
     ) -> ShareTrace<F> {
+        let mut wires = Vec::with_capacity(self.num_wires());
+        let mut trace = ShareTrace::default();
+        self.evaluate_on_shares_into(input_share, mul_output_shares, is_leader, &mut wires, &mut trace);
+        trace
+    }
+
+    /// Scratch-buffer variant of [`Circuit::evaluate_on_shares`]: clears
+    /// and refills the caller's `wires` working buffer and `trace` output.
+    /// The batched SNIP verifier evaluates one share trace per submission
+    /// per server and reuses a single set of buffers across a whole batch;
+    /// results are identical to the allocating variant.
+    pub fn evaluate_on_shares_into(
+        &self,
+        input_share: &[F],
+        mul_output_shares: &[F],
+        is_leader: bool,
+        wires: &mut Vec<F>,
+        trace: &mut ShareTrace<F>,
+    ) {
         assert_eq!(input_share.len(), self.num_inputs, "input arity mismatch");
         assert_eq!(
             mul_output_shares.len(),
@@ -186,10 +205,11 @@ impl<F: FieldElement> Circuit<F> {
             "need one h share per multiplication gate"
         );
         let lead = |c: F| if is_leader { c } else { F::zero() };
-        let mut wires = Vec::with_capacity(self.num_wires());
+        wires.clear();
         wires.extend_from_slice(input_share);
-        let mut mul_left = Vec::with_capacity(self.mul_gates.len());
-        let mut mul_right = Vec::with_capacity(self.mul_gates.len());
+        trace.mul_left.clear();
+        trace.mul_right.clear();
+        trace.assertions.clear();
         let mut next_mul = 0usize;
         for op in &self.ops {
             let v = match *op {
@@ -199,8 +219,8 @@ impl<F: FieldElement> Circuit<F> {
                 Op::MulConst(a, c) => wires[a.0] * c,
                 Op::AddConst(a, c) => wires[a.0] + lead(c),
                 Op::Mul(a, b) => {
-                    mul_left.push(wires[a.0]);
-                    mul_right.push(wires[b.0]);
+                    trace.mul_left.push(wires[a.0]);
+                    trace.mul_right.push(wires[b.0]);
                     let out = mul_output_shares[next_mul];
                     next_mul += 1;
                     out
@@ -208,12 +228,9 @@ impl<F: FieldElement> Circuit<F> {
             };
             wires.push(v);
         }
-        let assertions = self.assertions.iter().map(|w| wires[w.0]).collect();
-        ShareTrace {
-            mul_left,
-            mul_right,
-            assertions,
-        }
+        trace
+            .assertions
+            .extend(self.assertions.iter().map(|w| wires[w.0]));
     }
 
     /// The assertion wires.

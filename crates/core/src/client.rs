@@ -3,7 +3,7 @@
 use prio_afe::{Afe, AfeError};
 use prio_circuit::Circuit;
 use prio_crypto::ed25519::{Keypair, Point};
-use prio_crypto::prg::{expand_share, Seed};
+use prio_crypto::prg::{expand_share, Prg, Seed};
 use prio_crypto::sealed::SessionKey;
 use prio_field::FieldElement;
 use prio_snip::{prove, Domain, HForm, ProveOptions, SnipProofShare};
@@ -139,9 +139,28 @@ impl ShareLayout {
     }
 
     /// Expands a PRG seed blob into `(x, π)`.
+    ///
+    /// Draws stream elements in exactly the flattened order
+    /// (`x ‖ u0 ‖ v0 ‖ h ‖ a ‖ b ‖ c`), so the result is identical to
+    /// expanding `flat_len()` elements and unflattening — without the
+    /// intermediate vector and its copy, which showed up in server unpack
+    /// profiles.
     pub fn expand<F: FieldElement>(&self, seed: &Seed, label: u64) -> (Vec<F>, SnipProofShare<F>) {
-        let flat: Vec<F> = expand_share(seed, label, self.flat_len());
-        self.unflatten(&flat).expect("expansion has exact length")
+        let mut prg = Prg::new(seed, label);
+        let x = prg.expand_field_vec(self.x_len);
+        let u0 = prg.next_field();
+        let v0 = prg.next_field();
+        let h = prg.expand_field_vec(self.dom.h_domain());
+        let proof = SnipProofShare {
+            u0,
+            v0,
+            h,
+            h_form: self.h_form,
+            a: prg.next_field(),
+            b: prg.next_field(),
+            c: prg.next_field(),
+        };
+        (x, proof)
     }
 }
 

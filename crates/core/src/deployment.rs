@@ -37,11 +37,14 @@ pub struct DeploymentConfig {
     pub latency: Option<std::time::Duration>,
     /// Which fabric carries the server-to-server traffic.
     pub transport: TransportKind,
+    /// Worker threads each server devotes to batched SNIP round-1
+    /// verification (1 = verify inline on the server thread).
+    pub verify_threads: usize,
 }
 
 impl DeploymentConfig {
     /// Default: `s` servers, fixed-point verification, no latency, sim
-    /// fabric.
+    /// fabric, inline verification.
     pub fn new(num_servers: usize) -> Self {
         DeploymentConfig {
             num_servers,
@@ -49,6 +52,7 @@ impl DeploymentConfig {
             h_form: HForm::PointValue,
             latency: None,
             transport: TransportKind::Sim,
+            verify_threads: 1,
         }
     }
 
@@ -73,6 +77,19 @@ impl DeploymentConfig {
     /// Builder-style: transport backend.
     pub fn with_transport(mut self, transport: TransportKind) -> Self {
         self.transport = transport;
+        self
+    }
+
+    /// Builder-style: per-server verify worker pool size. Submission
+    /// batches are chunked across the pool; decisions and accumulators are
+    /// merged deterministically, so results are independent of the thread
+    /// count.
+    ///
+    /// # Panics
+    /// Panics if `threads` is zero.
+    pub fn with_verify_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one verify thread");
+        self.verify_threads = threads;
         self
     }
 }
@@ -135,9 +152,10 @@ impl<F: FieldElement> Deployment<F> {
     /// Spawns `s` server threads for the given AFE.
     pub fn start<A>(afe: A, cfg: DeploymentConfig) -> Self
     where
-        A: Afe<F> + Clone + Send + 'static,
+        A: Afe<F> + Clone + Send + Sync + 'static,
     {
         assert!(cfg.num_servers >= 2, "Prio needs at least two servers");
+        assert!(cfg.verify_threads >= 1, "need at least one verify thread");
         let net = cfg.transport.build(cfg.latency);
         let driver = net.endpoint();
         let endpoints: Vec<Endpoint> = (0..cfg.num_servers).map(|_| net.endpoint()).collect();
@@ -159,7 +177,8 @@ impl<F: FieldElement> Deployment<F> {
                         h_form: cfg.h_form,
                     },
                 );
-                std::thread::spawn(move || server_main(server, ep, ids, driver_id))
+                let verify_threads = cfg.verify_threads;
+                std::thread::spawn(move || server_main(server, ep, ids, driver_id, verify_threads))
             })
             .collect();
 
@@ -309,12 +328,46 @@ fn recv_matching<F: FieldElement>(
     }
 }
 
+/// Runs batched round 2 over the submissions that survived round 1,
+/// scattering the results back into submission order. Locally failed
+/// submissions get a poisoned share (`σ = out = 1`) so the global decision
+/// is guaranteed to reject them even if other servers verified fine.
+fn batched_round2<F: FieldElement, A: Afe<F>>(
+    server: &Server<F, A>,
+    states: &[Option<prio_snip::ServerState<F>>],
+    combined: &[Round1Msg<F>],
+) -> Vec<prio_snip::Round2Msg<F>> {
+    let ok_idx: Vec<usize> = states
+        .iter()
+        .enumerate()
+        .filter_map(|(j, st)| st.as_ref().map(|_| j))
+        .collect();
+    let sts: Vec<_> = ok_idx
+        .iter()
+        .map(|&j| states[j].clone().expect("ok index"))
+        .collect();
+    let combs: Vec<_> = ok_idx.iter().map(|&j| combined[j]).collect();
+    let compact = server.round2_batch(&sts, &combs);
+    let mut out = vec![
+        prio_snip::Round2Msg {
+            sigma: F::one(),
+            out: F::one(),
+        };
+        states.len()
+    ];
+    for (k, &j) in ok_idx.iter().enumerate() {
+        out[j] = compact[k];
+    }
+    out
+}
+
 /// The server event loop.
-fn server_main<F: FieldElement, A: Afe<F>>(
+fn server_main<F: FieldElement, A: Afe<F> + Sync>(
     mut server: Server<F, A>,
     ep: Endpoint,
     ids: Vec<NodeId>,
     driver: NodeId,
+    verify_threads: usize,
 ) {
     let s = ids.len();
     let my_index = ids.iter().position(|&id| id == ep.id()).expect("registered");
@@ -337,36 +390,60 @@ fn server_main<F: FieldElement, A: Afe<F>>(
                 labels,
                 blobs,
             } => {
-                let ctx = server.make_context(ctx_seed);
+                let ctx = server
+                    .make_context(ctx_seed)
+                    .expect("deployment config validated at start");
                 let count = blobs.len();
-                // Unpack and run round 1 for every submission; submissions
-                // that fail locally are flagged and voted "reject".
-                let mut xs = Vec::with_capacity(count);
-                let mut states = Vec::with_capacity(count);
-                let mut round1 = Vec::with_capacity(count);
+                // Unpack every submission; parse/unpack failures are
+                // flagged locally and voted "reject".
+                let mut unpacked: Vec<Option<(Vec<F>, prio_snip::SnipProofShare<F>)>> =
+                    Vec::with_capacity(count);
                 let mut local_ok = vec![true; count];
                 for (j, blob_bytes) in blobs.iter().enumerate() {
                     let parsed = blob_from_bytes::<F>(blob_bytes)
                         .ok()
-                        .and_then(|blob| server.unpack(&blob, labels[j]).ok())
-                        .and_then(|(x, proof)| {
-                            server.round1(&ctx, &x, &proof).ok().map(|r| (x, r))
-                        });
-                    match parsed {
-                        Some((x, (st, msg))) => {
-                            xs.push(x);
-                            states.push(Some(st));
-                            round1.push(msg);
+                        .and_then(|blob| server.unpack(&blob, labels[j]).ok());
+                    if parsed.is_none() {
+                        local_ok[j] = false;
+                    }
+                    unpacked.push(parsed);
+                }
+
+                // Batched round 1 across the verify pool: one shared
+                // context, per-worker scratch, results merged in
+                // submission order.
+                let ok_idx: Vec<usize> = (0..count).filter(|&j| local_ok[j]).collect();
+                let items: Vec<(&[F], &prio_snip::SnipProofShare<F>)> = ok_idx
+                    .iter()
+                    .map(|&j| {
+                        let (x, proof) = unpacked[j].as_ref().expect("ok index");
+                        (x.as_slice(), proof)
+                    })
+                    .collect();
+                let results = server.round1_batch(&ctx, &items, verify_threads);
+
+                let mut xs: Vec<Vec<F>> = vec![Vec::new(); count];
+                let mut states: Vec<Option<prio_snip::ServerState<F>>> = vec![None; count];
+                let mut round1 = vec![
+                    Round1Msg {
+                        d: F::zero(),
+                        e: F::zero(),
+                    };
+                    count
+                ];
+                for (k, result) in results.into_iter().enumerate() {
+                    let j = ok_idx[k];
+                    match result {
+                        Ok((st, msg)) => {
+                            states[j] = Some(st);
+                            round1[j] = msg;
                         }
-                        None => {
-                            xs.push(Vec::new());
-                            states.push(None);
-                            round1.push(Round1Msg {
-                                d: F::zero(),
-                                e: F::zero(),
-                            });
-                            local_ok[j] = false;
-                        }
+                        Err(_) => local_ok[j] = false,
+                    }
+                }
+                for (j, parsed) in unpacked.into_iter().enumerate() {
+                    if let Some((x, _)) = parsed {
+                        xs[j] = x;
                     }
                 }
 
@@ -392,18 +469,8 @@ fn server_main<F: FieldElement, A: Afe<F>>(
                     for &sid in &ids[1..] {
                         ep.send(sid, comb_msg.clone()).expect("send combined");
                     }
-                    // Own round 2 plus gathered round 2s.
-                    let own_r2: Vec<_> = states
-                        .iter()
-                        .enumerate()
-                        .map(|(j, st)| match st {
-                            Some(st) => server.round2(st, &combined[j..=j]),
-                            None => prio_snip::Round2Msg {
-                                sigma: F::one(), // poison: force rejection
-                                out: F::one(),
-                            },
-                        })
-                        .collect();
+                    // Own round 2 (batched) plus gathered round 2s.
+                    let own_r2 = batched_round2(&server, &states, &combined);
                     let mut all_r2 = vec![own_r2];
                     for _ in 1..s {
                         let Some(ServerMsg::Round2(v)) =
@@ -436,17 +503,7 @@ fn server_main<F: FieldElement, A: Afe<F>>(
                     else {
                         return;
                     };
-                    let r2: Vec<_> = states
-                        .iter()
-                        .enumerate()
-                        .map(|(j, st)| match st {
-                            Some(st) => server.round2(st, &combined[j..=j]),
-                            None => prio_snip::Round2Msg {
-                                sigma: F::one(),
-                                out: F::one(),
-                            },
-                        })
-                        .collect();
+                    let r2 = batched_round2(&server, &states, &combined);
                     ep.send(leader_id, ServerMsg::Round2(r2).to_wire_bytes())
                         .expect("send round2");
                     let Some(ServerMsg::Decisions(bits)) =

@@ -5,7 +5,7 @@ use prio_afe::Afe;
 use prio_circuit::Circuit;
 use prio_field::FieldElement;
 use prio_snip::{
-    verifier::{verify_round1, verify_round2},
+    verifier::{verify_round1, verify_round1_batch, verify_round2, verify_round2_batch},
     HForm, Round1Msg, Round2Msg, ServerState, SnipError, SnipProofShare, VerifierContext,
     VerifyMode,
 };
@@ -93,7 +93,11 @@ impl<F: FieldElement, A: Afe<F>> Server<F, A> {
     /// servers derive the identical `(r, ρ)` — this models the leader
     /// broadcasting fresh verification randomness once per batch
     /// (Appendix I amortizes the kernel precomputation over the batch).
-    pub fn make_context(&self, ctx_seed: u64) -> VerifierContext<F> {
+    ///
+    /// Fails only on an invalid server configuration (propagated from
+    /// [`VerifierContext::random`]); with the `num_servers ≥ 1` every
+    /// constructor in this crate enforces, it cannot fail.
+    pub fn make_context(&self, ctx_seed: u64) -> Result<VerifierContext<F>, SnipError> {
         let mut rng = rand::rngs::StdRng::seed_from_u64(ctx_seed);
         VerifierContext::random(
             &self.circuit,
@@ -113,9 +117,57 @@ impl<F: FieldElement, A: Afe<F>> Server<F, A> {
         verify_round1(ctx, &self.circuit, x_share, proof, self.is_leader())
     }
 
+    /// Batch entry point: runs round 1 for a whole batch under one shared
+    /// context, chunking the batch across `threads` std worker threads
+    /// (`threads ≤ 1` runs inline). Each worker runs its own
+    /// `prio_snip::BatchVerifier` over the borrowed context (per-worker
+    /// scratch buffers, no context copies); results are merged back in
+    /// submission order, so the output is deterministic and bit-identical
+    /// to calling [`Server::round1`] per submission.
+    pub fn round1_batch(
+        &self,
+        ctx: &VerifierContext<F>,
+        subs: &[(&[F], &SnipProofShare<F>)],
+        threads: usize,
+    ) -> Vec<prio_snip::Round1Result<F>>
+    where
+        A: Sync,
+    {
+        let threads = threads.max(1).min(subs.len().max(1));
+        if threads == 1 {
+            return verify_round1_batch(ctx, &self.circuit, subs, self.is_leader());
+        }
+        let chunk = subs.len().div_ceil(threads);
+        let mut out = Vec::with_capacity(subs.len());
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = subs
+                .chunks(chunk)
+                .map(|part| {
+                    scope.spawn(move || {
+                        verify_round1_batch(ctx, &self.circuit, part, self.is_leader())
+                    })
+                })
+                .collect();
+            for worker in workers {
+                out.extend(worker.join().expect("verify worker panicked"));
+            }
+        });
+        out
+    }
+
     /// Runs SNIP verification round 2 for one submission.
     pub fn round2(&self, state: &ServerState<F>, combined: &[Round1Msg<F>]) -> Round2Msg<F> {
         verify_round2(state, combined)
+    }
+
+    /// Batch round 2: `combined[j]` is the summed round-1 broadcast for
+    /// submission `j` (the leader-star redistribution form).
+    pub fn round2_batch(
+        &self,
+        states: &[ServerState<F>],
+        combined: &[Round1Msg<F>],
+    ) -> Vec<Round2Msg<F>> {
+        verify_round2_batch(states, combined)
     }
 
     /// Folds an accepted submission's truncated share into the accumulator
@@ -186,7 +238,7 @@ mod tests {
         for value in [3u64, 15, 0, 9] {
             expected_sum += value;
             let sub = client.submit(&value, &mut rng).unwrap();
-            let ctx = servers[0].make_context(42);
+            let ctx = servers[0].make_context(42).unwrap();
             let unpacked: Vec<_> = (0..s)
                 .map(|i| servers[i].unpack(&sub.blobs[i], sub.prg_label).unwrap())
                 .collect();
@@ -214,10 +266,10 @@ mod tests {
     #[test]
     fn contexts_agree_across_servers() {
         let servers = make_servers(4);
-        let ctx0 = servers[0].make_context(123);
-        let ctx3 = servers[3].make_context(123);
+        let ctx0 = servers[0].make_context(123).unwrap();
+        let ctx3 = servers[3].make_context(123).unwrap();
         assert_eq!(ctx0.point(), ctx3.point());
-        let other = servers[0].make_context(124);
+        let other = servers[0].make_context(124).unwrap();
         assert_ne!(ctx0.point(), other.point());
     }
 

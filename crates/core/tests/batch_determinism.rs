@@ -1,0 +1,145 @@
+//! Determinism contract of the batched verification pipeline: the batch
+//! entry points must produce **bit-identical** accept/reject decisions and
+//! accumulators to the per-submission path, with and without the parallel
+//! verify pool — including when tampered and malformed submissions sit in
+//! the middle of a batch.
+
+use prio_afe::sum::SumAfe;
+use prio_core::{
+    Client, ClientConfig, Cluster, Deployment, DeploymentConfig, ShareBlob,
+};
+use prio_field::{Field64, FieldElement};
+use prio_snip::{HForm, VerifyMode};
+use rand::SeedableRng;
+
+const BITS: u32 = 8;
+
+/// A mixed workload: honest submissions with a ballot-stuffing tamper, a
+/// corrupted SNIP `h` share, and a structurally malformed blob in the
+/// middle. Deterministic for a given seed.
+fn workload(s: usize, n: usize, seed: u64) -> Vec<prio_core::ClientSubmission<Field64>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut client: Client<Field64, _> = Client::new(SumAfe::new(BITS), ClientConfig::new(s));
+    let mut subs: Vec<_> = (0..n as u64)
+        .map(|v| client.submit(&(v % 200), &mut rng).expect("honest input"))
+        .collect();
+    // Tamper share values (the Section-1 ballot-stuffing attack).
+    if let ShareBlob::Explicit(v) = &mut subs[n / 3].blobs[s - 1] {
+        v[0] += Field64::from_u64(999);
+    } else {
+        panic!("expected explicit blob");
+    }
+    // Corrupt a SNIP proof component in another submission.
+    if let ShareBlob::Explicit(v) = &mut subs[n / 2].blobs[s - 1] {
+        let last = v.len() - 1;
+        v[last] += Field64::from_u64(1);
+    }
+    // A structurally malformed blob.
+    subs[2 * n / 3].blobs[s - 1] = ShareBlob::Explicit(vec![Field64::zero(); 3]);
+    subs
+}
+
+fn make_cluster(s: usize, ctx_batch: usize, threads: usize) -> Cluster<Field64, SumAfe> {
+    Cluster::with_options(
+        SumAfe::new(BITS),
+        s,
+        VerifyMode::FixedPoint,
+        HForm::PointValue,
+        ctx_batch,
+    )
+    .with_verify_threads(threads)
+}
+
+/// Runs the same workload through `process` (sequential) and
+/// `process_batch`, asserting identical decisions, counters, and
+/// accumulators.
+fn assert_cluster_paths_agree(s: usize, n: usize, ctx_batch: usize, threads: usize, seed: u64) {
+    let subs = workload(s, n, seed);
+
+    let mut sequential = make_cluster(s, ctx_batch, 1);
+    let seq_decisions: Vec<bool> = subs.iter().map(|sub| sequential.process(sub)).collect();
+
+    let mut batched = make_cluster(s, ctx_batch, threads);
+    let batch_decisions = batched.process_batch(&subs);
+
+    assert_eq!(batch_decisions, seq_decisions, "decisions diverge");
+    assert_eq!(batched.accepted(), sequential.accepted());
+    assert_eq!(batched.rejected(), sequential.rejected());
+    assert_eq!(batched.aggregate(), sequential.aggregate(), "accumulators diverge");
+    assert_eq!(
+        batched.decode().unwrap(),
+        sequential.decode().unwrap(),
+        "decoded aggregate diverges"
+    );
+
+    // The workload's tampered/malformed submissions must actually have been
+    // rejected inside the batch, honest neighbors accepted.
+    assert!(!batch_decisions[n / 3], "ballot-stuffing tamper escaped");
+    assert!(!batch_decisions[n / 2], "corrupted SNIP escaped");
+    assert!(!batch_decisions[2 * n / 3], "malformed blob escaped");
+    assert_eq!(
+        batch_decisions.iter().filter(|&&d| d).count(),
+        n - 3,
+        "honest submissions must all be accepted"
+    );
+}
+
+#[test]
+fn cluster_batch_is_bit_identical_to_sequential() {
+    // ctx_batch = 7 forces several context refreshes *inside* one
+    // process_batch call, exercising the chunking boundary logic.
+    assert_cluster_paths_agree(2, 24, 7, 1, 1);
+}
+
+#[test]
+fn cluster_batch_matches_with_batch_sized_context() {
+    assert_cluster_paths_agree(3, 24, 1024, 1, 2);
+}
+
+#[test]
+fn cluster_verify_pool_does_not_change_results() {
+    // 3 worker threads per server; decisions and accumulators must be
+    // identical to the single-threaded run.
+    assert_cluster_paths_agree(2, 24, 16, 3, 3);
+}
+
+#[test]
+fn cluster_batch_of_one_matches_process() {
+    assert_cluster_paths_agree(2, 12, 1, 1, 4);
+}
+
+#[test]
+fn deployment_verify_pool_matches_inline() {
+    let s = 3;
+    let subs = workload(s, 18, 5);
+    let mut reports = Vec::new();
+    let mut all_decisions = Vec::new();
+    for threads in [1usize, 3] {
+        let cfg = DeploymentConfig::new(s).with_verify_threads(threads);
+        let mut deployment: Deployment<Field64> = Deployment::start(SumAfe::new(BITS), cfg);
+        // Two batches so the second context seed is exercised too.
+        let mut decisions = deployment.run_batch(&subs[..9]);
+        decisions.extend(deployment.run_batch(&subs[9..]));
+        reports.push(deployment.finish());
+        all_decisions.push(decisions);
+    }
+    assert_eq!(all_decisions[0], all_decisions[1], "thread count changed decisions");
+    assert_eq!(reports[0].accepted, reports[1].accepted);
+    assert_eq!(reports[0].rejected, reports[1].rejected);
+    assert_eq!(reports[0].sigma, reports[1].sigma, "thread count changed the aggregate");
+    assert_eq!(reports[0].rejected, 3, "all three bad submissions rejected");
+}
+
+#[test]
+fn deployment_pool_larger_than_batch_is_safe() {
+    // More worker threads than submissions: chunking must not panic or
+    // drop/duplicate submissions.
+    let s = 2;
+    let subs = workload(s, 4, 6);
+    let cfg = DeploymentConfig::new(s).with_verify_threads(8);
+    let mut deployment: Deployment<Field64> = Deployment::start(SumAfe::new(BITS), cfg);
+    let decisions = deployment.run_batch(&subs);
+    assert_eq!(decisions.len(), 4);
+    let report = deployment.finish();
+    assert_eq!(report.accepted + report.rejected, 4);
+}

@@ -86,7 +86,8 @@ impl ChaCha20 {
     /// # Panics
     /// Panics if the 32-bit block counter would wrap (after 256 GiB).
     pub fn fill(&mut self, out: &mut [u8]) {
-        for byte in out.iter_mut() {
+        let mut filled = 0;
+        while filled < out.len() {
             if self.used == BLOCK_LEN {
                 block(&self.key, self.counter, &self.nonce, &mut self.buf);
                 self.counter = self
@@ -95,8 +96,14 @@ impl ChaCha20 {
                     .expect("ChaCha20 block counter exhausted");
                 self.used = 0;
             }
-            *byte = self.buf[self.used];
-            self.used += 1;
+            // Bulk-copy as much of the buffered block as the caller needs —
+            // share expansion requests keystream in field-element-sized
+            // nibbles, and a per-byte loop here was a measurable fraction
+            // of server unpack time.
+            let take = (BLOCK_LEN - self.used).min(out.len() - filled);
+            out[filled..filled + take].copy_from_slice(&self.buf[self.used..self.used + take]);
+            self.used += take;
+            filled += take;
         }
     }
 

@@ -106,6 +106,38 @@ pub trait FieldElement:
         acc
     }
 
+    /// One radix-2 NTT butterfly: returns `(u + w·v, u − w·v)`.
+    ///
+    /// This is the hook for lazy-reduction NTT arithmetic. The contract,
+    /// which [`Field64`](crate::Field64) and [`Field32`](crate::Field32)
+    /// exploit:
+    ///
+    /// * `u` and `v` may be **non-canonical representatives** produced by
+    ///   earlier `butterfly` calls (for `Field64`/`Field32` that means any
+    ///   value of the backing word, i.e. bounded by `2^64` resp. `2^32`,
+    ///   both `< 2p`);
+    /// * `w` must be canonical (twiddle factors always are);
+    /// * the outputs may again be non-canonical, and carry no more than one
+    ///   deferred conditional subtraction: callers must map every lane
+    ///   through [`FieldElement::normalize`] once the transform finishes and
+    ///   before any equality comparison or serialization.
+    ///
+    /// The default implementation performs fully reduced arithmetic, for
+    /// which `normalize` is the identity.
+    #[inline]
+    fn butterfly(u: Self, v: Self, w: Self) -> (Self, Self) {
+        let t = v * w;
+        (u + t, u - t)
+    }
+
+    /// Maps a (possibly non-canonical) representative produced by
+    /// [`FieldElement::butterfly`] back to the canonical residue. The
+    /// identity for fields whose butterfly is fully reduced.
+    #[inline]
+    fn normalize(self) -> Self {
+        self
+    }
+
     /// Multiplicative inverse.
     ///
     /// # Panics
@@ -148,12 +180,17 @@ pub trait FieldElement:
     /// of `ENCODED_LEN` pseudo-random bytes; blocks encoding values `>= p`
     /// are rejected and the next block is drawn.
     fn from_byte_source<E>(mut next_block: impl FnMut(&mut [u8]) -> Result<(), E>) -> Result<Self, E> {
-        let mut buf = vec![0u8; Self::ENCODED_LEN];
+        // Stack buffer: this runs once per expanded share element, so a
+        // heap allocation here multiplies across every submission a server
+        // unpacks. 64 bytes covers every supported field width.
+        debug_assert!(Self::ENCODED_LEN <= 64, "field encoding wider than 64 bytes");
+        let mut buf = [0u8; 64];
+        let buf = &mut buf[..Self::ENCODED_LEN];
         loop {
-            next_block(&mut buf)?;
+            next_block(buf)?;
             // Every supported modulus has its top bit set within the encoded
             // width, so the rejection rate is below 1/2 per block.
-            if let Some(x) = Self::read_le_bytes(&buf) {
+            if let Some(x) = Self::read_le_bytes(buf) {
                 return Ok(x);
             }
         }

@@ -63,6 +63,32 @@ impl Field32 {
     }
 }
 
+/// `2^32 mod p = 2^32 − p = 2^30 − 1`: the wraparound compensation for lazy
+/// arithmetic on raw u32 representatives.
+const EPSILON: u32 = (1 << 30) - 1;
+
+/// Lazy addition of two arbitrary u32 representatives: result represents
+/// `a + b (mod p)` in `[0, 2^32) ⊂ [0, 2p)`, skipping the canonicalizing
+/// subtraction. After two wraparound compensations the value is below
+/// `EPSILON`, so a third cannot occur.
+#[inline]
+fn lazy_add(a: u32, b: u32) -> u32 {
+    let (s, over) = a.overflowing_add(b);
+    let (s, over2) = s.overflowing_add(if over { EPSILON } else { 0 });
+    s.wrapping_add(if over2 { EPSILON } else { 0 })
+}
+
+/// Lazy subtraction `a − b (mod p)` for arbitrary `a` and **canonical**
+/// `b < p`: a borrow is compensated by subtracting `EPSILON`, and with
+/// `b < p` the compensated value equals `a − b + p > 0`, so no second
+/// borrow can occur.
+#[inline]
+fn lazy_sub(a: u32, b: u32) -> u32 {
+    debug_assert!(b < MODULUS);
+    let (d, borrow) = a.overflowing_sub(b);
+    d.wrapping_sub(if borrow { EPSILON } else { 0 })
+}
+
 impl std::fmt::Debug for Field32 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "Field32({})", self.0)
@@ -108,6 +134,26 @@ impl FieldElement for Field32 {
     fn inv(self) -> Self {
         assert!(self.0 != 0, "inverse of zero");
         self.pow((MODULUS - 2) as u128)
+    }
+
+    #[inline]
+    fn butterfly(u: Self, v: Self, w: Self) -> (Self, Self) {
+        // mul_impl reduces the full u64 product, so any u32 representative
+        // of `v` is acceptable and `t` comes back canonical — a valid
+        // `lazy_sub` subtrahend.
+        let t = v.mul_impl(w).0;
+        (Field32(lazy_add(u.0, t)), Field32(lazy_sub(u.0, t)))
+    }
+
+    #[inline]
+    fn normalize(self) -> Self {
+        // Lazy representatives are < 2^32 < 2p (p = 3·2^30 + 1): one
+        // conditional subtraction restores the canonical residue.
+        if self.0 >= MODULUS {
+            Field32(self.0 - MODULUS)
+        } else {
+            self
+        }
     }
 
     fn generator() -> Self {

@@ -72,6 +72,30 @@ impl Field64 {
     }
 }
 
+/// Lazy addition of two arbitrary u64 representatives: the result is a
+/// representative of `a + b (mod p)` in `[0, 2^64)`, with no final
+/// canonicalizing subtraction. Each `2^64` wraparound is compensated by
+/// adding `2^64 mod p = EPSILON`; the second compensation cannot wrap again
+/// because after two wraps the running value is below `EPSILON`.
+#[inline]
+fn lazy_add(a: u64, b: u64) -> u64 {
+    let (s, over) = a.overflowing_add(b);
+    let (s, over2) = s.overflowing_add(if over { EPSILON } else { 0 });
+    s.wrapping_add(if over2 { EPSILON } else { 0 })
+}
+
+/// Lazy subtraction `a − b (mod p)` for an arbitrary u64 representative `a`
+/// and a **canonical** `b < p`. A borrow is compensated by subtracting
+/// `EPSILON` (since `−2^64 ≡ −EPSILON mod p`); with `b < p` the compensated
+/// value `a − b + 2^64 − EPSILON = a − b + p` is strictly positive, so no
+/// second borrow can occur.
+#[inline]
+fn lazy_sub(a: u64, b: u64) -> u64 {
+    debug_assert!(b < MODULUS);
+    let (d, borrow) = a.overflowing_sub(b);
+    d.wrapping_sub(if borrow { EPSILON } else { 0 })
+}
+
 /// Reduces a 128-bit product modulo `p = 2^64 - 2^32 + 1`.
 ///
 /// Writing `x = hi·2^64 + lo` and `hi = hi_hi·2^32 + hi_lo`, we use
@@ -151,6 +175,28 @@ impl FieldElement for Field64 {
     fn inv(self) -> Self {
         assert!(self.0 != 0, "inverse of zero");
         self.pow((MODULUS - 2) as u128)
+    }
+
+    #[inline]
+    fn butterfly(u: Self, v: Self, w: Self) -> (Self, Self) {
+        // The product is fully reduced (reduce128 accepts any u128 and
+        // returns a canonical residue), so it is a valid `lazy_sub`
+        // subtrahend; `u` may be a non-canonical leftover from the previous
+        // NTT level. Both outputs stay in [0, 2^64) ⊂ [0, 2p), one deferred
+        // subtraction away from canonical.
+        let t = v.mul_impl(w).0;
+        (Field64(lazy_add(u.0, t)), Field64(lazy_sub(u.0, t)))
+    }
+
+    #[inline]
+    fn normalize(self) -> Self {
+        // Lazy representatives are < 2^64 = p + EPSILON < 2p: one
+        // conditional subtraction restores the canonical residue.
+        if self.0 >= MODULUS {
+            Field64(self.0 - MODULUS)
+        } else {
+            self
+        }
     }
 
     fn generator() -> Self {

@@ -18,6 +18,28 @@
 //! * a radix-2 [`ntt`] engine and polynomial helpers in [`poly`], including
 //!   the fixed-point Lagrange-kernel evaluation used by the paper's
 //!   "verification without interpolation" optimization (Appendix I);
+//!
+//! # Batched-verification fast paths
+//!
+//! Two layers of this crate exist to make cross-submission batched SNIP
+//! verification cheap:
+//!
+//! * **Plan memoization** — [`ntt::NttPlan::get`] returns a process-wide
+//!   cached `Arc<NttPlan>` per `(field, size)`, so twiddle tables and the
+//!   evaluation domain are built once per process rather than once per
+//!   polynomial operation, and [`poly::LagrangeKernel::new_pair`] builds the
+//!   verifier's `N`/`2N` kernel pair with a *single* Montgomery batch
+//!   inversion across both domains' denominators.
+//! * **Lazy reduction** — the NTT inner loop runs through
+//!   [`element::FieldElement::butterfly`], which [`Field64`] and [`Field32`]
+//!   override to defer modular reductions. Soundness bounds: lane values are
+//!   raw machine words in `[0, 2^64)` resp. `[0, 2^32)`, both strictly below
+//!   `2p`, so (a) products of two lanes never overflow the double-width
+//!   reduction, (b) the subtrahend of the lazy subtraction is always a
+//!   fully-reduced multiplier output, and (c) one conditional subtraction
+//!   ([`element::FieldElement::normalize`], applied to every lane when a
+//!   transform finishes) restores the canonical residue. Lazy
+//!   representatives never escape the transform.
 //! * raw 256-bit integer and Montgomery machinery in [`u256`], reused by the
 //!   `prio-crypto` crate for its ed25519 implementation.
 //!

@@ -9,11 +9,17 @@
 //! (Table 2).
 
 use crate::FieldElement;
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// A precomputed NTT plan for transforms of size `n = 2^k`.
 ///
-/// Holds the twiddle factors for the forward and inverse transforms; build
-/// once per size and reuse across submissions.
+/// Holds the twiddle factors for the forward and inverse transforms plus
+/// the evaluation domain itself. Twiddle tables are not cheap to build
+/// (`O(n)` multiplications plus two inversions), so hot paths should fetch
+/// plans through the process-wide memo cache ([`NttPlan::get`]) rather than
+/// constructing them per call.
 #[derive(Clone, Debug)]
 pub struct NttPlan<F: FieldElement> {
     n: usize,
@@ -25,7 +31,19 @@ pub struct NttPlan<F: FieldElement> {
     n_inv: F,
     /// ω itself.
     omega: F,
+    /// The full evaluation domain `[ω^0, ..., ω^{n-1}]`.
+    domain: Vec<F>,
 }
+
+/// A type-erased cached plan: always an `Arc<NttPlan<F>>` for the `F` in
+/// its cache key.
+type CachedPlan = Arc<dyn Any + Send + Sync>;
+
+/// Process-wide memo cache of NTT plans, keyed by (field type, size).
+/// Plans are immutable once built, so sharing `Arc`s across threads (the
+/// batched verify pool in particular) is free of coordination beyond the
+/// brief map lookup.
+static PLAN_CACHE: OnceLock<Mutex<HashMap<(TypeId, usize), CachedPlan>>> = OnceLock::new();
 
 impl<F: FieldElement> NttPlan<F> {
     /// Creates a plan for size `n`, which must be a power of two not
@@ -59,13 +77,53 @@ impl<F: FieldElement> NttPlan<F> {
             twiddles.push(F::one());
             inv_twiddles.push(F::one());
         }
+        let mut domain = Vec::with_capacity(n);
+        let mut w = F::one();
+        for _ in 0..n {
+            domain.push(w);
+            w *= omega;
+        }
         NttPlan {
             n,
             twiddles,
             inv_twiddles,
             n_inv: F::from_u64(n as u64).inv(),
             omega,
+            domain,
         }
+    }
+
+    /// Returns the memoized plan for size `n`, building and caching it on
+    /// first use. Subsequent calls for the same `(field, n)` pair are a map
+    /// lookup plus an `Arc` clone — this is what lets batched verification
+    /// pay twiddle-table construction once per process instead of once per
+    /// submission.
+    ///
+    /// # Panics
+    /// Panics (on first use of a size) under the same conditions as
+    /// [`NttPlan::new`].
+    pub fn get(n: usize) -> Arc<NttPlan<F>> {
+        let cache = PLAN_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        let key = (TypeId::of::<F>(), n);
+        if let Some(plan) = cache.lock().expect("plan cache poisoned").get(&key) {
+            return Arc::clone(plan)
+                .downcast::<NttPlan<F>>()
+                .expect("cache entry has the keyed type");
+        }
+        // Build outside the lock: construction is O(n) field work and may
+        // panic on invalid sizes, neither of which should hold the map. Two
+        // racing builders are fine — first insert wins, the loser's plan is
+        // identical and dropped.
+        let plan: CachedPlan = Arc::new(NttPlan::<F>::new(n));
+        Arc::clone(
+            cache
+                .lock()
+                .expect("plan cache poisoned")
+                .entry(key)
+                .or_insert(plan),
+        )
+        .downcast::<NttPlan<F>>()
+        .expect("cache entry has the keyed type")
     }
 
     /// Transform size.
@@ -79,15 +137,10 @@ impl<F: FieldElement> NttPlan<F> {
         self.omega
     }
 
-    /// Returns the evaluation domain `[ω^0, ω^1, ..., ω^{n-1}]`.
-    pub fn domain(&self) -> Vec<F> {
-        let mut out = Vec::with_capacity(self.n);
-        let mut w = F::one();
-        for _ in 0..self.n {
-            out.push(w);
-            w *= self.omega;
-        }
-        out
+    /// The evaluation domain `[ω^0, ω^1, ..., ω^{n-1}]`, precomputed at
+    /// plan construction (no per-call allocation).
+    pub fn domain(&self) -> &[F] {
+        &self.domain
     }
 
     /// In-place forward NTT: `values[i] <- P(ω^i)` where `P` has
@@ -129,14 +182,23 @@ impl<F: FieldElement> NttPlan<F> {
             let step = n / len; // stride into the twiddle table
             for start in (0..n).step_by(len) {
                 for i in 0..half {
+                    // Lazy-reduction butterfly: Field64/Field32 keep lanes
+                    // as non-canonical representatives across levels (the
+                    // twiddle is canonical, which is all `butterfly`
+                    // requires of its multiplier operand).
                     let w = twiddles[i * step];
-                    let u = values[start + i];
-                    let v = values[start + i + half] * w;
-                    values[start + i] = u + v;
-                    values[start + i + half] = u - v;
+                    let (a, b) =
+                        F::butterfly(values[start + i], values[start + i + half], w);
+                    values[start + i] = a;
+                    values[start + i + half] = b;
                 }
             }
             len <<= 1;
+        }
+        // Deferred reductions settle here, before any lane can be compared
+        // or serialized.
+        for v in values.iter_mut() {
+            *v = v.normalize();
         }
     }
 }

@@ -22,7 +22,7 @@ pub fn mul<F: FieldElement>(a: &[F], b: &[F]) -> Vec<F> {
     }
     let out_len = a.len() + b.len() - 1;
     let n = next_pow2(out_len);
-    let plan = NttPlan::<F>::new(n);
+    let plan = NttPlan::<F>::get(n);
     let mut fa = vec![F::zero(); n];
     fa[..a.len()].copy_from_slice(a);
     let mut fb = vec![F::zero(); n];
@@ -44,7 +44,7 @@ pub fn mul<F: FieldElement>(a: &[F], b: &[F]) -> Vec<F> {
 /// # Panics
 /// Panics if `evals.len()` is not a power of two.
 pub fn interpolate_pow2<F: FieldElement>(evals: &[F]) -> Vec<F> {
-    let plan = NttPlan::<F>::new(evals.len());
+    let plan = NttPlan::<F>::get(evals.len());
     let mut buf = evals.to_vec();
     plan.inverse(&mut buf);
     buf
@@ -54,7 +54,7 @@ pub fn interpolate_pow2<F: FieldElement>(evals: &[F]) -> Vec<F> {
 /// of size `n >= coeffs.len()`.
 pub fn evaluate_pow2<F: FieldElement>(coeffs: &[F], n: usize) -> Vec<F> {
     assert!(n >= coeffs.len(), "domain too small for the polynomial");
-    let plan = NttPlan::<F>::new(n);
+    let plan = NttPlan::<F>::get(n);
     let mut buf = vec![F::zero(); n];
     buf[..coeffs.len()].copy_from_slice(coeffs);
     plan.forward(&mut buf);
@@ -89,26 +89,71 @@ impl<F: FieldElement> LagrangeKernel<F> {
     /// # Panics
     /// Panics if `n` is not a power of two or exceeds the field two-adicity.
     pub fn new(n: usize, r: F) -> Self {
-        let plan = NttPlan::<F>::new(n);
+        let plan = NttPlan::<F>::get(n);
         let domain = plan.domain();
         // If r is a domain point, evaluation is just selection.
-        if let Some(idx) = domain.iter().position(|&d| d == r) {
-            let mut weights = vec![F::zero(); n];
-            weights[idx] = F::one();
-            return LagrangeKernel {
-                weights,
-                point: r,
-                on_domain: true,
-            };
+        if let Some(selector) = Self::try_selector(domain, r) {
+            return selector;
         }
-        let z_r = r.pow(n as u128) - F::one(); // Z(r) = r^n - 1, nonzero off-domain
-        let n_inv = F::from_u64(n as u64).inv();
         let diffs: Vec<F> = domain.iter().map(|&d| r - d).collect();
-        let inv_diffs = batch_inverse(&diffs);
+        let mut batch: Vec<F> = diffs;
+        batch.push(F::from_u64(n as u64));
+        let inv = batch_inverse(&batch);
+        let (inv_diffs, n_inv) = (&inv[..n], inv[n]);
+        Self::from_inverses(domain, r, inv_diffs, n_inv)
+    }
+
+    /// Builds kernels for two domain sizes at the same evaluation point,
+    /// paying a **single** Montgomery batch inversion for both domains'
+    /// denominators `(r − ω^t)` and both `n^{-1}` scale factors — one field
+    /// inversion per pair instead of four. This is the constructor the
+    /// per-batch SNIP `VerifierContext` uses for its `N`/`2N` kernel pair.
+    ///
+    /// # Panics
+    /// As [`LagrangeKernel::new`], for either size.
+    pub fn new_pair(n_a: usize, n_b: usize, r: F) -> (Self, Self) {
+        let plan_a = NttPlan::<F>::get(n_a);
+        let plan_b = NttPlan::<F>::get(n_b);
+        let (dom_a, dom_b) = (plan_a.domain(), plan_b.domain());
+        // On-domain points make some denominator zero; fall back to the
+        // selector-building single constructor (rare: the SNIP verifier
+        // rejects such points outright).
+        if dom_a.contains(&r) || dom_b.contains(&r) {
+            return (Self::new(n_a, r), Self::new(n_b, r));
+        }
+        let mut batch: Vec<F> = Vec::with_capacity(n_a + n_b + 2);
+        batch.extend(dom_a.iter().map(|&d| r - d));
+        batch.extend(dom_b.iter().map(|&d| r - d));
+        batch.push(F::from_u64(n_a as u64));
+        batch.push(F::from_u64(n_b as u64));
+        let inv = batch_inverse(&batch);
+        (
+            Self::from_inverses(dom_a, r, &inv[..n_a], inv[n_a + n_b]),
+            Self::from_inverses(dom_b, r, &inv[n_a..n_a + n_b], inv[n_a + n_b + 1]),
+        )
+    }
+
+    /// The selector kernel for an on-domain point, if `r` is one.
+    fn try_selector(domain: &[F], r: F) -> Option<Self> {
+        let idx = domain.iter().position(|&d| d == r)?;
+        let mut weights = vec![F::zero(); domain.len()];
+        weights[idx] = F::one();
+        Some(LagrangeKernel {
+            weights,
+            point: r,
+            on_domain: true,
+        })
+    }
+
+    /// Assembles the off-domain kernel weights
+    /// `λ_t(r) = Z(r)·n^{-1}·ω^t·(r − ω^t)^{-1}` from precomputed inverses.
+    fn from_inverses(domain: &[F], r: F, inv_diffs: &[F], n_inv: F) -> Self {
+        let z_r = r.pow(domain.len() as u128) - F::one(); // nonzero off-domain
+        let scale = z_r * n_inv;
         let weights = domain
             .iter()
             .zip(inv_diffs)
-            .map(|(&w_t, inv_diff)| z_r * n_inv * w_t * inv_diff)
+            .map(|(&w_t, &inv_diff)| scale * w_t * inv_diff)
             .collect();
         LagrangeKernel {
             weights,

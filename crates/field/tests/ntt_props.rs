@@ -1,0 +1,124 @@
+//! Property tests for the NTT across every Prio field.
+//!
+//! Two laws, checked for all four field types (which exercises both the
+//! lazy-reduction butterflies of `Field64`/`Field32` and the fully-reduced
+//! default path of `Field128`/`Field256`):
+//!
+//! * **Round trip** — `inverse ∘ forward` is the identity on coefficient
+//!   vectors of every power-of-two size the test sweeps.
+//! * **Convolution** — pointwise multiplication in the evaluation domain
+//!   equals schoolbook polynomial multiplication in the coefficient domain,
+//!   the property the SNIP prover's `h = f·g` construction relies on.
+
+use prio_field::ntt::NttPlan;
+use prio_field::{Field128, Field256, Field32, Field64, FieldElement};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn rand_vec<F: FieldElement>(n: usize, rng: &mut rand::rngs::StdRng) -> Vec<F> {
+    (0..n).map(|_| F::random(rng)).collect()
+}
+
+/// `inverse(forward(x)) == x` for a random vector of size `n = 2^log_n`.
+fn check_roundtrip<F: FieldElement>(log_n: u32, seed: u64) {
+    let n = 1usize << log_n;
+    let plan = NttPlan::<F>::get(n);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let coeffs = rand_vec::<F>(n, &mut rng);
+    let mut buf = coeffs.clone();
+    plan.forward(&mut buf);
+    plan.inverse(&mut buf);
+    assert_eq!(buf, coeffs, "{} size {n}", F::NAME);
+}
+
+/// NTT-based convolution equals schoolbook multiplication: forward both
+/// factors, multiply pointwise, inverse, compare against the O(n²) product.
+fn check_pointwise_mul<F: FieldElement>(len_a: usize, len_b: usize, seed: u64) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let a = rand_vec::<F>(len_a, &mut rng);
+    let b = rand_vec::<F>(len_b, &mut rng);
+    let out_len = len_a + len_b - 1;
+    let n = out_len.next_power_of_two();
+    let plan = NttPlan::<F>::get(n);
+
+    let mut fa = vec![F::zero(); n];
+    fa[..len_a].copy_from_slice(&a);
+    let mut fb = vec![F::zero(); n];
+    fb[..len_b].copy_from_slice(&b);
+    plan.forward(&mut fa);
+    plan.forward(&mut fb);
+    for (x, y) in fa.iter_mut().zip(&fb) {
+        *x *= *y;
+    }
+    plan.inverse(&mut fa);
+
+    let mut schoolbook = vec![F::zero(); out_len];
+    for (i, &x) in a.iter().enumerate() {
+        for (j, &y) in b.iter().enumerate() {
+            schoolbook[i + j] += x * y;
+        }
+    }
+    assert_eq!(&fa[..out_len], &schoolbook[..], "{} {len_a}x{len_b}", F::NAME);
+    assert!(
+        fa[out_len..].iter().all(|&v| v == F::zero()),
+        "{}: high coefficients must vanish",
+        F::NAME
+    );
+}
+
+proptest! {
+    // Sizes are capped per field so the 256-bit schoolbook reference stays
+    // fast; the sweep still crosses several butterfly levels everywhere.
+    #[test]
+    fn roundtrip_field32(log_n in 0u32..8, seed in any::<u64>()) {
+        check_roundtrip::<Field32>(log_n, seed);
+    }
+
+    #[test]
+    fn roundtrip_field64(log_n in 0u32..10, seed in any::<u64>()) {
+        check_roundtrip::<Field64>(log_n, seed);
+    }
+
+    #[test]
+    fn roundtrip_field128(log_n in 0u32..8, seed in any::<u64>()) {
+        check_roundtrip::<Field128>(log_n, seed);
+    }
+
+    #[test]
+    fn roundtrip_field256(log_n in 0u32..6, seed in any::<u64>()) {
+        check_roundtrip::<Field256>(log_n, seed);
+    }
+
+    #[test]
+    fn pointwise_mul_field32(la in 1usize..24, lb in 1usize..24, seed in any::<u64>()) {
+        check_pointwise_mul::<Field32>(la, lb, seed);
+    }
+
+    #[test]
+    fn pointwise_mul_field64(la in 1usize..32, lb in 1usize..32, seed in any::<u64>()) {
+        check_pointwise_mul::<Field64>(la, lb, seed);
+    }
+
+    #[test]
+    fn pointwise_mul_field128(la in 1usize..16, lb in 1usize..16, seed in any::<u64>()) {
+        check_pointwise_mul::<Field128>(la, lb, seed);
+    }
+
+    #[test]
+    fn pointwise_mul_field256(la in 1usize..8, lb in 1usize..8, seed in any::<u64>()) {
+        check_pointwise_mul::<Field256>(la, lb, seed);
+    }
+}
+
+#[test]
+fn cached_plans_are_shared_and_agree_with_fresh_plans() {
+    let a = NttPlan::<Field64>::get(64);
+    let b = NttPlan::<Field64>::get(64);
+    assert!(std::sync::Arc::ptr_eq(&a, &b), "same size must hit the cache");
+    let fresh = NttPlan::<Field64>::new(64);
+    assert_eq!(a.domain(), fresh.domain());
+    assert_eq!(a.omega(), fresh.omega());
+    // Different fields at the same size are distinct cache entries.
+    let c = NttPlan::<Field32>::get(64);
+    assert_eq!(c.size(), 64);
+}

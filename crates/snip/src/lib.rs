@@ -37,6 +37,24 @@
 //! transmission of `h`) and the Appendix-E "Prio-MPC" variant in [`mpc`],
 //! where the servers evaluate a *private* `Valid` circuit themselves with
 //! client-supplied Beaver triples.
+//!
+//! # Batched verification
+//!
+//! Appendix I's cost model only works out when servers amortize
+//! transcript-independent setup across a *batch* of submissions, and the
+//! crate exposes that shape directly:
+//!
+//! * [`VerifierContext`] is per batch: it owns `(r, ρ)` and the fixed-point
+//!   Lagrange kernel pair, built with one shared Montgomery batch inversion
+//!   ([`prio_field::poly::LagrangeKernel::new_pair`]).
+//! * [`BatchVerifier`] binds to a batch's context and owns the reusable
+//!   round-1 scratch buffers; [`verifier::verify_round1_batch`] and
+//!   [`verifier::verify_round2_batch`] run whole batches through it,
+//!   reporting per-submission failures without aborting the batch.
+//!
+//! The batched entry points are bit-identical to their per-submission
+//! counterparts under the same context — `prio_core` has a determinism test
+//! holding both paths to that contract.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,7 +67,8 @@ pub mod verifier;
 pub use beaver::BeaverTriple;
 pub use prover::{prove, ProveOptions};
 pub use verifier::{
-    decide, Round1Msg, Round2Msg, ServerState, SnipError, VerifierContext, VerifyMode,
+    decide, verify_round1_batch, verify_round2_batch, BatchVerifier, Round1Msg, Round1Result,
+    Round2Msg, ServerState, SnipError, VerifierContext, VerifyMode,
 };
 
 use prio_field::FieldElement;

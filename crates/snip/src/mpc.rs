@@ -282,7 +282,7 @@ mod tests {
         let mut subs = mpc_prepare(input, valid.num_mul_gates(), s, &mut rng);
         corrupt(&mut subs);
         let check = triple_check_circuit::<Field64>(valid.num_mul_gates());
-        let ctx = VerifierContext::random(&check, s, VerifyMode::FixedPoint, &mut rng);
+        let ctx = VerifierContext::random(&check, s, VerifyMode::FixedPoint, &mut rng).unwrap();
         let rho: Vec<Field64> = (0..valid.num_assertions())
             .map(|_| Field64::random(&mut rng))
             .collect();

@@ -16,6 +16,7 @@
 
 use crate::{Domain, HForm, SnipProofShare};
 use prio_circuit::Circuit;
+use prio_field::ntt::NttPlan;
 use prio_field::poly::{self, LagrangeKernel};
 use prio_field::{FieldElement, FieldSliceExt};
 
@@ -107,10 +108,12 @@ impl<F: FieldElement> VerifierContext<F> {
                 return Err(SnipError::BadEvalPoint);
             }
             match mode {
-                VerifyMode::FixedPoint => (
-                    Some(LagrangeKernel::new(dom.n, r)),
-                    Some(LagrangeKernel::new(2 * dom.n, r)),
-                ),
+                VerifyMode::FixedPoint => {
+                    // One shared Montgomery batch inversion covers both
+                    // domains' denominators (and both n^{-1} factors).
+                    let (k_n, k_2n) = LagrangeKernel::new_pair(dom.n, 2 * dom.n, r);
+                    (Some(k_n), Some(k_2n))
+                }
                 VerifyMode::Interpolate => (None, None),
             }
         };
@@ -128,21 +131,25 @@ impl<F: FieldElement> VerifierContext<F> {
 
     /// Samples `(r, ρ)` at random (rejecting bad `r`) and builds the
     /// context. Convenience for tests and single-batch runs.
+    ///
+    /// [`SnipError::BadEvalPoint`] is handled internally by resampling;
+    /// any other construction failure (e.g. a zero server count) is
+    /// propagated to the caller instead of panicking.
     pub fn random<R: rand::Rng + ?Sized>(
         circuit: &Circuit<F>,
         num_servers: usize,
         mode: VerifyMode,
         rng: &mut R,
-    ) -> Self {
+    ) -> Result<Self, SnipError> {
         loop {
             let r = F::random(rng);
             let rho: Vec<F> = (0..circuit.num_assertions())
                 .map(|_| F::random(rng))
                 .collect();
             match Self::new(circuit, num_servers, r, rho, mode) {
-                Ok(ctx) => return ctx,
+                Ok(ctx) => return Ok(ctx),
                 Err(SnipError::BadEvalPoint) => continue,
-                Err(e) => panic!("context construction failed: {e}"),
+                Err(e) => return Err(e),
             }
         }
     }
@@ -210,6 +217,24 @@ pub struct ServerState<F: FieldElement> {
     trivial: bool,
 }
 
+/// Reusable round-1 scratch buffers. One instance per verifying worker:
+/// every field is fully overwritten (or zero-filled) on each call, so reuse
+/// cannot leak state between submissions — it only saves the four heap
+/// allocations the per-submission path pays.
+#[derive(Clone, Debug, Default)]
+struct Round1Scratch<F: FieldElement> {
+    h_evals: Vec<F>,
+    mul_out: Vec<F>,
+    u: Vec<F>,
+    v: Vec<F>,
+    wires: Vec<F>,
+    strace: prio_circuit::ShareTrace<F>,
+}
+
+/// Per-submission round-1 outcome: the server's carry-over state plus its
+/// broadcast on success, or the locally detected failure.
+pub type Round1Result<F> = Result<(ServerState<F>, Round1Msg<F>), SnipError>;
+
 /// Round 1 at one server: derive wire shares, evaluate at `r`, emit the
 /// masked broadcast.
 ///
@@ -221,6 +246,17 @@ pub fn verify_round1<F: FieldElement>(
     x_share: &[F],
     proof: &SnipProofShare<F>,
     is_leader: bool,
+) -> Result<(ServerState<F>, Round1Msg<F>), SnipError> {
+    round1_with_scratch(ctx, circuit, x_share, proof, is_leader, &mut Round1Scratch::default())
+}
+
+fn round1_with_scratch<F: FieldElement>(
+    ctx: &VerifierContext<F>,
+    circuit: &Circuit<F>,
+    x_share: &[F],
+    proof: &SnipProofShare<F>,
+    is_leader: bool,
+    scratch: &mut Round1Scratch<F>,
 ) -> Result<(ServerState<F>, Round1Msg<F>), SnipError> {
     if ctx.dom.m != circuit.num_mul_gates() {
         return Err(SnipError::ContextMismatch("circuit gate count"));
@@ -234,8 +270,14 @@ pub fn verify_round1<F: FieldElement>(
 
     if ctx.dom.m == 0 {
         // Affine predicate: no polynomial test; only the assertion check.
-        let strace = circuit.evaluate_on_shares(x_share, &[], is_leader);
-        let out = strace.assertions.dot(&ctx.rho);
+        circuit.evaluate_on_shares_into(
+            x_share,
+            &[],
+            is_leader,
+            &mut scratch.wires,
+            &mut scratch.strace,
+        );
+        let out = scratch.strace.assertions.dot(&ctx.rho);
         let state = ServerState {
             rh_r: F::zero(),
             a: F::zero(),
@@ -253,27 +295,43 @@ pub fn verify_round1<F: FieldElement>(
     if proof.h.len() != h_len {
         return Err(SnipError::Malformed("h length"));
     }
-    let h_evals: Vec<F> = match proof.h_form {
-        HForm::PointValue => proof.h.clone(),
-        HForm::Coefficients => poly::evaluate_pow2(&proof.h, h_len),
-    };
+    // Disjoint borrows of every scratch buffer for the rest of the round.
+    let Round1Scratch {
+        h_evals,
+        mul_out,
+        u,
+        v,
+        wires,
+        strace,
+    } = scratch;
+    h_evals.clear();
+    h_evals.extend_from_slice(&proof.h);
+    if proof.h_form == HForm::Coefficients {
+        // The coefficient vector already spans the whole 2N domain (length
+        // checked above), so the forward transform runs in place on the
+        // scratch copy — no padding, no fresh plan (the cache serves it).
+        NttPlan::<F>::get(h_len).forward(h_evals);
+    }
 
     // ×-gate output shares are h evaluated at the even-indexed 2N-domain
     // points ω_{2N}^{2t} = ω_N^t, t = 1..=M.
-    let mul_out: Vec<F> = (1..=ctx.dom.m).map(|t| h_evals[2 * t]).collect();
-    let strace = circuit.evaluate_on_shares(x_share, &mul_out, is_leader);
+    mul_out.clear();
+    mul_out.extend((1..=ctx.dom.m).map(|t| h_evals[2 * t]));
+    circuit.evaluate_on_shares_into(x_share, mul_out, is_leader, wires, strace);
 
     // Wire-value shares on the f/g domain (index 0 = the random mask).
-    let mut u = vec![F::zero(); ctx.dom.n];
-    let mut v = vec![F::zero(); ctx.dom.n];
+    u.clear();
+    u.resize(ctx.dom.n, F::zero());
+    v.clear();
+    v.resize(ctx.dom.n, F::zero());
     u[0] = proof.u0;
     v[0] = proof.v0;
     u[1..=ctx.dom.m].copy_from_slice(&strace.mul_left);
     v[1..=ctx.dom.m].copy_from_slice(&strace.mul_right);
 
-    let f_r = ctx.eval_shared(&u, ctx.kernel_n.as_ref());
-    let g_r = ctx.eval_shared(&v, ctx.kernel_n.as_ref());
-    let h_r = ctx.eval_shared(&h_evals, ctx.kernel_2n.as_ref());
+    let f_r = ctx.eval_shared(u, ctx.kernel_n.as_ref());
+    let g_r = ctx.eval_shared(v, ctx.kernel_n.as_ref());
+    let h_r = ctx.eval_shared(h_evals, ctx.kernel_2n.as_ref());
 
     let rg_r = ctx.r * g_r;
     let rh_r = ctx.r * h_r;
@@ -293,6 +351,75 @@ pub fn verify_round1<F: FieldElement>(
         e: rg_r - proof.b,
     };
     Ok((state, msg))
+}
+
+/// A per-batch verification worker: holds the batch's shared
+/// [`VerifierContext`] and owns the reusable round-1 scratch buffers, so
+/// kernel precomputation and buffer allocation are paid once per batch
+/// instead of once per submission (the Appendix-I amortization, realized
+/// in code).
+///
+/// One `BatchVerifier` serves one server's view of one batch; the parallel
+/// verify pool gives each worker thread its own instance over the same
+/// borrowed context.
+#[derive(Debug)]
+pub struct BatchVerifier<'a, F: FieldElement> {
+    ctx: &'a VerifierContext<F>,
+    scratch: Round1Scratch<F>,
+}
+
+impl<'a, F: FieldElement> BatchVerifier<'a, F> {
+    /// Binds a worker to a per-batch context.
+    pub fn new(ctx: &'a VerifierContext<F>) -> Self {
+        BatchVerifier {
+            ctx,
+            scratch: Round1Scratch::default(),
+        }
+    }
+
+    /// The batch's verification context.
+    pub fn context(&self) -> &VerifierContext<F> {
+        self.ctx
+    }
+
+    /// Round 1 for one submission, reusing this worker's scratch buffers.
+    /// Bit-identical to [`verify_round1`] with the same context.
+    pub fn round1(
+        &mut self,
+        circuit: &Circuit<F>,
+        x_share: &[F],
+        proof: &SnipProofShare<F>,
+        is_leader: bool,
+    ) -> Result<(ServerState<F>, Round1Msg<F>), SnipError> {
+        round1_with_scratch(self.ctx, circuit, x_share, proof, is_leader, &mut self.scratch)
+    }
+
+    /// Round 1 for a whole batch; per-submission failures come back as
+    /// `Err` entries in submission order.
+    pub fn round1_batch(
+        &mut self,
+        circuit: &Circuit<F>,
+        subs: &[(&[F], &SnipProofShare<F>)],
+        is_leader: bool,
+    ) -> Vec<Round1Result<F>> {
+        subs.iter()
+            .map(|&(x_share, proof)| self.round1(circuit, x_share, proof, is_leader))
+            .collect()
+    }
+}
+
+/// Round 1 across a batch of submissions under one shared context: the
+/// batched counterpart of [`verify_round1`]. Results are in submission
+/// order; locally detectable failures surface as `Err` entries without
+/// aborting the rest of the batch. Every batch path in the workspace
+/// (cluster, deployment, verify pool workers) funnels through here.
+pub fn verify_round1_batch<F: FieldElement>(
+    ctx: &VerifierContext<F>,
+    circuit: &Circuit<F>,
+    subs: &[(&[F], &SnipProofShare<F>)],
+    is_leader: bool,
+) -> Vec<Round1Result<F>> {
+    BatchVerifier::new(ctx).round1_batch(circuit, subs, is_leader)
 }
 
 /// Round 2 at one server: fold all round-1 broadcasts into the σ share.
@@ -315,6 +442,28 @@ pub fn verify_round2<F: FieldElement>(
         sigma,
         out: state.out,
     }
+}
+
+/// Round 2 across a batch: `combined[j]` must be the (already summed)
+/// round-1 broadcast for submission `j` — the form the leader-star
+/// deployment redistributes. The batched counterpart of [`verify_round2`].
+///
+/// # Panics
+/// Panics if `states` and `combined` have different lengths.
+pub fn verify_round2_batch<F: FieldElement>(
+    states: &[ServerState<F>],
+    combined: &[Round1Msg<F>],
+) -> Vec<Round2Msg<F>> {
+    assert_eq!(
+        states.len(),
+        combined.len(),
+        "one combined round-1 broadcast per submission"
+    );
+    states
+        .iter()
+        .zip(combined)
+        .map(|(st, c)| verify_round2(st, std::slice::from_ref(c)))
+        .collect()
 }
 
 /// Final decision from all round-2 broadcasts: accept iff both the
@@ -377,7 +526,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let proof = prove(circuit, input, s, ProveOptions::default(), &mut rng);
         let x_shares = share_additive_vec(input, s, &mut rng);
-        let ctx = VerifierContext::random(circuit, s, mode, &mut rng);
+        let ctx = VerifierContext::random(circuit, s, mode, &mut rng).unwrap();
         run_verification(&ctx, circuit, &x_shares, &proof).unwrap()
     }
 
@@ -408,7 +557,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         let proof = prove(&circuit, &input, 3, ProveOptions::default(), &mut rng);
         let x_shares = share_additive_vec(&bad, 3, &mut rng);
-        let ctx = VerifierContext::random(&circuit, 3, VerifyMode::FixedPoint, &mut rng);
+        let ctx = VerifierContext::random(&circuit, 3, VerifyMode::FixedPoint, &mut rng).unwrap();
         assert!(!run_verification(&ctx, &circuit, &x_shares, &proof).unwrap());
     }
 
@@ -432,7 +581,7 @@ mod tests {
         let x_shares = share_additive_vec(&bad_input, 3, &mut rng);
         let mut rejections = 0;
         for _ in 0..20 {
-            let ctx = VerifierContext::random(&circuit, 3, VerifyMode::FixedPoint, &mut rng);
+            let ctx = VerifierContext::random(&circuit, 3, VerifyMode::FixedPoint, &mut rng).unwrap();
             if !run_verification(&ctx, &circuit, &x_shares, &proof).unwrap() {
                 rejections += 1;
             }
@@ -452,7 +601,7 @@ mod tests {
         let x_shares = share_additive_vec(&input, 2, &mut rng);
         let mut rejections = 0;
         for _ in 0..20 {
-            let ctx = VerifierContext::random(&circuit, 2, VerifyMode::FixedPoint, &mut rng);
+            let ctx = VerifierContext::random(&circuit, 2, VerifyMode::FixedPoint, &mut rng).unwrap();
             if !run_verification(&ctx, &circuit, &x_shares, &proof).unwrap() {
                 rejections += 1;
             }
@@ -470,7 +619,7 @@ mod tests {
         let mut proof = prove(&circuit, &input, 2, ProveOptions::default(), &mut rng);
         proof[1].c += Field64::from_u64(7);
         let x_shares = share_additive_vec(&input, 2, &mut rng);
-        let ctx = VerifierContext::random(&circuit, 2, VerifyMode::FixedPoint, &mut rng);
+        let ctx = VerifierContext::random(&circuit, 2, VerifyMode::FixedPoint, &mut rng).unwrap();
         assert!(!run_verification(&ctx, &circuit, &x_shares, &proof).unwrap());
     }
 
@@ -486,7 +635,7 @@ mod tests {
         proof[0].h[4] += Field32::one();
         let x_shares = share_additive_vec(&input, 2, &mut rng);
         for _ in 0..20 {
-            let ctx = VerifierContext::random(&circuit, 2, VerifyMode::FixedPoint, &mut rng);
+            let ctx = VerifierContext::random(&circuit, 2, VerifyMode::FixedPoint, &mut rng).unwrap();
             assert!(!run_verification(&ctx, &circuit, &x_shares, &proof).unwrap());
         }
     }
@@ -501,7 +650,7 @@ mod tests {
         };
         let proof = prove(&circuit, &input, 3, opts, &mut rng);
         let x_shares = share_additive_vec(&input, 3, &mut rng);
-        let ctx = VerifierContext::random(&circuit, 3, VerifyMode::FixedPoint, &mut rng);
+        let ctx = VerifierContext::random(&circuit, 3, VerifyMode::FixedPoint, &mut rng).unwrap();
         assert!(run_verification(&ctx, &circuit, &x_shares, &proof).unwrap());
     }
 
@@ -513,7 +662,7 @@ mod tests {
         let mut proof = prove(&circuit, &input, 2, ProveOptions::default(), &mut rng);
         proof[0].h.pop(); // wrong length
         let x_shares = share_additive_vec(&input, 2, &mut rng);
-        let ctx = VerifierContext::random(&circuit, 2, VerifyMode::FixedPoint, &mut rng);
+        let ctx = VerifierContext::random(&circuit, 2, VerifyMode::FixedPoint, &mut rng).unwrap();
         let err = verify_round1(&ctx, &circuit, &x_shares[0], &proof[0], true).unwrap_err();
         assert_eq!(err, SnipError::Malformed("h length"));
     }
@@ -551,6 +700,80 @@ mod tests {
                 verify_round1(&ctx_slow, &circuit, &x_shares[i], &proof[i], i == 0).unwrap();
             assert_eq!(m_fast, m_slow);
         }
+    }
+
+    #[test]
+    fn batch_round1_is_bit_identical_to_sequential() {
+        // The scratch-reusing batch path must produce exactly the states
+        // and broadcasts of repeated verify_round1 calls — including after
+        // a malformed submission exercised the scratch buffers.
+        let circuit = bits_circuit::<Field64>(6);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(20);
+        let mut subs = Vec::new();
+        for i in 0..5u64 {
+            let input: Vec<Field64> = (0..6).map(|b| Field64::from_u64((i >> b) & 1)).collect();
+            let proof = prove(&circuit, &input, 2, ProveOptions::default(), &mut rng);
+            let x_shares = share_additive_vec(&input, 2, &mut rng);
+            subs.push((x_shares, proof));
+        }
+        // Corrupt submission 2's proof length: the batch must keep going.
+        subs[2].1[0].h.pop();
+        let ctx = VerifierContext::random(&circuit, 2, VerifyMode::FixedPoint, &mut rng).unwrap();
+        let items: Vec<(&[Field64], &SnipProofShare<Field64>)> = subs
+            .iter()
+            .map(|(x, p)| (x[0].as_slice(), &p[0]))
+            .collect();
+        let batch = verify_round1_batch(&ctx, &circuit, &items, true);
+        assert_eq!(batch.len(), 5);
+        for (j, (x, p)) in subs.iter().enumerate() {
+            let seq = verify_round1(&ctx, &circuit, &x[0], &p[0], true);
+            match (&batch[j], &seq) {
+                (Ok((bst, bm)), Ok((sst, sm))) => {
+                    assert_eq!(bm, sm, "submission {j}");
+                    assert_eq!(
+                        verify_round2(bst, std::slice::from_ref(bm)),
+                        verify_round2(sst, std::slice::from_ref(sm)),
+                        "submission {j}"
+                    );
+                }
+                (Err(be), Err(se)) => assert_eq!(be, se, "submission {j}"),
+                other => panic!("batch/sequential diverge at {j}: {other:?}"),
+            }
+        }
+        assert_eq!(batch[2].as_ref().unwrap_err(), &SnipError::Malformed("h length"));
+    }
+
+    #[test]
+    fn round2_batch_matches_per_submission() {
+        let circuit = bits_circuit::<Field64>(4);
+        let input = [1u64, 0, 1, 1].map(Field64::from_u64).to_vec();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let ctx = VerifierContext::random(&circuit, 2, VerifyMode::FixedPoint, &mut rng).unwrap();
+        let mut states = Vec::new();
+        let mut combined = Vec::new();
+        for _ in 0..3 {
+            let proof = prove(&circuit, &input, 2, ProveOptions::default(), &mut rng);
+            let x_shares = share_additive_vec(&input, 2, &mut rng);
+            let (st0, m0) = verify_round1(&ctx, &circuit, &x_shares[0], &proof[0], true).unwrap();
+            let (_, m1) = verify_round1(&ctx, &circuit, &x_shares[1], &proof[1], false).unwrap();
+            states.push(st0);
+            combined.push(Round1Msg { d: m0.d + m1.d, e: m0.e + m1.e });
+        }
+        let batch = verify_round2_batch(&states, &combined);
+        for j in 0..3 {
+            assert_eq!(batch[j], verify_round2(&states[j], &combined[j..=j]));
+        }
+    }
+
+    #[test]
+    fn random_context_propagates_config_errors() {
+        // Satellite bugfix: a zero server count must surface as Err, not a
+        // panic from inside the resampling loop.
+        let circuit = bits_circuit::<Field64>(3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+        let err = VerifierContext::<Field64>::random(&circuit, 0, VerifyMode::FixedPoint, &mut rng)
+            .unwrap_err();
+        assert_eq!(err, SnipError::ContextMismatch("need at least one server"));
     }
 
     #[test]
