@@ -19,6 +19,14 @@ cargo test -q --offline
 echo "==> e2e over the TCP transport"
 cargo test -q --offline --test e2e_tcp
 
+# Multi-process e2e: 3- and 5-server pipelines as real OS processes
+# (prio-node × s + prio-submit), tampered submissions rejected, aggregates
+# bit-identical to the in-process cluster, all children exiting cleanly.
+# `cargo build -p prio_proc` pins the debug binaries the test spawns.
+echo "==> multi-process e2e (prio_proc)"
+cargo build --offline -p prio_proc
+cargo test -q --offline --test e2e_proc
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --offline --all-targets -- -D warnings
 
@@ -39,5 +47,13 @@ cargo run --release --offline -p prio_bench -- --check target/bench_tcp.json
 echo "==> prio-bench --smoke --filter fig5/batch_verify (batched verification slice)"
 cargo run --release --offline -p prio_bench -- --smoke --filter fig5/batch_verify --out target/bench_batch_verify.json
 cargo run --release --offline -p prio_bench -- --check target/bench_batch_verify.json
+
+# Multi-process slice: exercises the --backend proc filter end to end. The
+# release prio-node/prio-submit binaries exist because the initial
+# `cargo build --release` covers every default member; prio-bench locates
+# them next to its own executable.
+echo "==> prio-bench --smoke --backend proc (multi-process slice)"
+cargo run --release --offline -p prio_bench -- --smoke --backend proc --out target/bench_proc.json
+cargo run --release --offline -p prio_bench -- --check target/bench_proc.json
 
 echo "CI OK"

@@ -15,6 +15,8 @@ use prio_afe::{freq::FrequencyAfe, Afe};
 use prio_baselines::nizk::{client_submission, NizkCluster};
 use prio_core::{Client, ClientConfig, Cluster, Deployment, DeploymentConfig};
 use prio_field::{Field128, Field64, FieldElement};
+use prio_proc::spec::encode_submissions;
+use prio_proc::{AfeSpec, FieldSpec, ProcConfig, ProcDeployment, ProcReport};
 use prio_snip::HForm;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::time::Duration;
@@ -75,6 +77,9 @@ fn ms(d: Duration) -> f64 {
 // ---------------------------------------------------------------------------
 
 fn run_throughput(sc: &Scenario) -> Json {
+    if sc.backend == Backend::Proc {
+        return run_throughput_proc(sc);
+    }
     let Backend::Deployment(transport) = sc.backend else {
         panic!("throughput scenarios run on the threaded deployment");
     };
@@ -109,6 +114,119 @@ fn run_throughput(sc: &Scenario) -> Json {
         ("upload_bytes_per_sub", Json::Num(subs[0].upload_bytes() as f64)),
         ("leader_bytes_sent", Json::Num(leader as f64)),
         ("max_non_leader_bytes_sent", Json::Num(non_leader as f64)),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// Multi-process backend (prio_proc): the same fig4/fig6 experiments with
+// every server as a real OS process and submissions from a prio-submit
+// driver process.
+// ---------------------------------------------------------------------------
+
+fn proc_config(sc: &Scenario) -> ProcConfig {
+    assert!(sc.latency.is_none(), "the proc backend has no latency model");
+    let afe = AfeSpec::parse(sc.afe.tag(), sc.size as u64).expect("afe tag maps to a spec");
+    let field = FieldSpec::parse(sc.field.tag()).expect("field tag maps to a spec");
+    ProcConfig::new(sc.servers, afe, field, sc.submissions)
+        .with_batch(sc.batch)
+        .with_runs(sc.runner.warmup + sc.runner.iters)
+        .with_seed(sc.seed)
+        .with_verify_mode(sc.verify_mode)
+        .with_verify_threads(sc.verify_threads)
+}
+
+fn run_proc(sc: &Scenario) -> ProcReport {
+    let runs = (sc.runner.warmup + sc.runner.iters) as u64;
+    let report = ProcDeployment::launch(proc_config(sc))
+        .and_then(ProcDeployment::run)
+        .unwrap_or_else(|e| panic!("proc deployment failed for {}: {e}", sc.name));
+    assert_eq!(report.accepted, sc.submissions as u64 * runs, "honest batch rejected");
+    assert!(report.clean_exit, "child processes must exit cleanly");
+    report
+}
+
+/// Client-side upload size per submission (blob bytes across all servers)
+/// — the same quantity the in-process fig4 records, independent of the
+/// submitted value for a fixed AFE.
+fn proc_upload_bytes_per_sub(sc: &Scenario) -> usize {
+    let afe = AfeSpec::parse(sc.afe.tag(), sc.size as u64).expect("afe tag maps to a spec");
+    match sc.field {
+        FieldKind::F64 => {
+            encode_submissions::<Field64>(afe, sc.servers, HForm::PointValue, 1, sc.seed, 0)[0]
+                .upload_bytes()
+        }
+        FieldKind::F128 => {
+            encode_submissions::<Field128>(afe, sc.servers, HForm::PointValue, 1, sc.seed, 0)[0]
+                .upload_bytes()
+        }
+    }
+}
+
+fn run_throughput_proc(sc: &Scenario) -> Json {
+    let report = run_proc(sc);
+    // The driver reports one wall-clock entry per run_batch call; group
+    // them back into per-run (full submission set) durations and drop the
+    // warmup runs, mirroring Runner::measure.
+    let chunks_per_run = sc.submissions.div_ceil(sc.batch);
+    let per_run: Vec<Duration> = report
+        .batch_wall
+        .chunks(chunks_per_run)
+        .map(|chunk| chunk.iter().sum())
+        .collect();
+    assert_eq!(per_run.len(), sc.runner.warmup + sc.runner.iters);
+    let summary = Summary::from_durations(&per_run[sc.runner.warmup..]);
+    let throughput = sc.submissions as f64 / (summary.median_ms / 1e3);
+    // Lifetime totals (incl. the accumulator reveal), matching what the
+    // in-process rows put under the same keys — NOT the verify-phase-only
+    // split ProcReport::leader_vs_non_leader_bytes() reports for fig6.
+    let totals = report.server_total_bytes();
+    let leader = totals.first().copied().unwrap_or(0);
+    let non_leader = totals.get(1..).unwrap_or(&[]).iter().copied().max().unwrap_or(0);
+    Json::obj(vec![
+        ("batch_wall", summary.to_json()),
+        ("throughput_sub_per_s", Json::Num(throughput)),
+        (
+            "upload_bytes_per_sub",
+            Json::Num(proc_upload_bytes_per_sub(sc) as f64),
+        ),
+        ("leader_bytes_sent", Json::Num(leader as f64)),
+        ("max_non_leader_bytes_sent", Json::Num(non_leader as f64)),
+        ("processes", Json::Num(sc.servers as f64 + 1.0)),
+    ])
+}
+
+fn run_bandwidth_proc(sc: &Scenario) -> Json {
+    let report = run_proc(sc);
+    let n = (sc.submissions * (sc.runner.warmup + sc.runner.iters)) as f64;
+    let per_server = report.server_verify_bytes();
+    let leader = per_server[0];
+    let max_non_leader = per_server[1..].iter().copied().max().unwrap_or(0);
+    let ratio = leader as f64 / max_non_leader.max(1) as f64;
+    // Publish traffic: the nodes' accumulator reveals (everything they
+    // sent after the publish request arrived) plus the driver's publish
+    // request and shutdown frames — the same attribution the in-process
+    // backends derive from their publish-phase snapshot diff, so this key
+    // is comparable across all three fabrics.
+    let publish_total: u64 = report
+        .node_stats
+        .iter()
+        .map(|s| s.total_bytes_sent - s.verify_bytes_sent)
+        .sum::<u64>()
+        + report.driver_publish_bytes;
+    Json::obj(vec![
+        ("upload_bytes_per_sub", Json::Num(report.upload_bytes as f64 / n)),
+        (
+            "verify_bytes_per_server_per_sub",
+            Json::Arr(per_server.iter().map(|&b| Json::Num(b as f64 / n)).collect()),
+        ),
+        ("leader_bytes_per_sub", Json::Num(leader as f64 / n)),
+        (
+            "max_non_leader_bytes_per_sub",
+            Json::Num(max_non_leader as f64 / n),
+        ),
+        ("leader_over_non_leader", Json::Num(ratio)),
+        ("publish_bytes_total", Json::Num(publish_total as f64)),
+        ("processes", Json::Num(sc.servers as f64 + 1.0)),
     ])
 }
 
@@ -238,6 +356,9 @@ fn encode_verify<F: FieldElement, A: Afe<F> + Clone>(
 // ---------------------------------------------------------------------------
 
 fn run_bandwidth(sc: &Scenario) -> Json {
+    if sc.backend == Backend::Proc {
+        return run_bandwidth_proc(sc);
+    }
     let Backend::Deployment(transport) = sc.backend else {
         panic!("bandwidth scenarios run on the threaded deployment");
     };
@@ -362,6 +483,7 @@ fn run_batch_verify(sc: &Scenario) -> Json {
             assert_eq!(report.accepted, sc.submissions as u64 * runs);
             (summary, Json::Null)
         }
+        Backend::Proc => panic!("batch-verify scenarios run in-process"),
     };
 
     let throughput = sc.submissions as f64 / (summary.median_ms / 1e3);

@@ -2,14 +2,17 @@
 //! perf-trajectory report.
 //!
 //! ```text
-//! prio-bench [--smoke | --full] [--filter SUBSTR] [--backend sim|tcp] [--out PATH]
+//! prio-bench [--smoke | --full] [--filter SUBSTR] [--backend sim|tcp|proc] [--out PATH]
 //! prio-bench --list [--full]
 //! prio-bench --check PATH
 //! ```
 //!
 //! `--backend` keeps only scenarios whose messages ride the given
 //! transport family: `tcp` selects the real-socket deployment scenarios,
-//! `sim` the in-process ones (the single-threaded cluster counts as sim).
+//! `sim` the in-process ones (the single-threaded cluster counts as sim),
+//! and `proc` the multi-process `prio_proc` scenarios (each server a real
+//! `prio-node` OS process — build the binaries first: `cargo build -p
+//! prio_proc`).
 
 use prio_bench::exec::run_scenario;
 use prio_bench::json::Json;
@@ -28,7 +31,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: prio-bench [--smoke | --full] [--filter SUBSTR] [--backend sim|tcp] \
+        "usage: prio-bench [--smoke | --full] [--filter SUBSTR] [--backend sim|tcp|proc] \
          [--out PATH] [--list]\n\
          \x20      prio-bench --check PATH"
     );
@@ -52,8 +55,8 @@ fn parse_args() -> Args {
             "--filter" => args.filter = Some(it.next().unwrap_or_else(|| usage())),
             "--backend" => {
                 let tag = it.next().unwrap_or_else(|| usage());
-                if prio_net::TransportKind::from_tag(&tag).is_none() {
-                    eprintln!("unknown backend '{tag}' (expected sim or tcp)");
+                if !["sim", "tcp", "proc"].contains(&tag.as_str()) {
+                    eprintln!("unknown backend '{tag}' (expected sim, tcp, or proc)");
                     usage()
                 }
                 args.backend = Some(tag);

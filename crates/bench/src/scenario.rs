@@ -100,6 +100,12 @@ pub enum Backend {
     /// Threaded [`prio_core::Deployment`] over the given transport fabric
     /// (in-process sim channels or real localhost TCP sockets).
     Deployment(TransportKind),
+    /// Multi-process `prio_proc::ProcDeployment`: each server is a real
+    /// `prio-node` OS process, submissions come from a `prio-submit`
+    /// process, and every message crosses process boundaries over TCP.
+    /// Measures what the fork/exec + cross-process fabric costs on top of
+    /// `deployment_tcp`.
+    Proc,
 }
 
 impl Backend {
@@ -110,15 +116,17 @@ impl Backend {
             Backend::Cluster => "cluster",
             Backend::Deployment(TransportKind::Sim) => "deployment_sim",
             Backend::Deployment(TransportKind::Tcp) => "deployment_tcp",
+            Backend::Proc => "deployment_proc",
         }
     }
 
-    /// The transport family for `--backend sim|tcp` filtering. The
+    /// The transport family for `--backend sim|tcp|proc` filtering. The
     /// single-threaded cluster counts as `sim`: it never touches a socket.
     pub fn transport_tag(&self) -> &'static str {
         match self {
             Backend::Cluster => TransportKind::Sim.tag(),
             Backend::Deployment(kind) => kind.tag(),
+            Backend::Proc => "proc",
         }
     }
 }
@@ -274,6 +282,26 @@ pub fn registry(mode: Mode) -> Vec<Scenario> {
         sc.runner = if full { Runner::new(1, 5) } else { Runner::new(1, 2) };
         out.push(sc);
     }
+    // The same throughput pipeline as 4+ real OS processes: the node
+    // binary per server plus a submit-driver process. The delta against
+    // the `/tcp` rows above is pure multi-process overhead (process
+    // isolation, per-process fabrics, control plane) — the wire traffic is
+    // byte-identical.
+    for &s in if full { &[3usize, 5][..] } else { &[3usize][..] } {
+        let mut sc = base(
+            format!("fig4/throughput/sum/s={s}/proc"),
+            Group::Throughput,
+            AfeKind::Sum,
+            8,
+        );
+        sc.servers = s;
+        sc.backend = Backend::Proc;
+        sc.submissions = if full { 128 } else { 24 };
+        sc.batch = sc.submissions;
+        sc.runner = if full { Runner::new(1, 5) } else { Runner::new(1, 2) };
+        out.push(sc);
+    }
+
     // One WAN point: uniform link latency through the fabric.
     {
         let lat = if full { 1000 } else { 200 };
@@ -372,6 +400,25 @@ pub fn registry(mode: Mode) -> Vec<Scenario> {
         );
         sc.servers = 3;
         sc.backend = Backend::Deployment(TransportKind::Tcp);
+        sc.submissions = if full { 64 } else { 16 };
+        sc.batch = sc.submissions;
+        sc.runner = Runner::new(0, 1);
+        out.push(sc);
+    }
+
+    // Bandwidth across real process boundaries: per-node verification
+    // bytes come from each node's own counters (reported over the control
+    // plane at flush time), so the leader/non-leader ratio is measured
+    // without any shared-fabric snapshot.
+    for &s in if full { &[3usize, 5][..] } else { &[3usize][..] } {
+        let mut sc = base(
+            format!("fig6/bandwidth/sum/s={s}/proc"),
+            Group::Bandwidth,
+            AfeKind::Sum,
+            16,
+        );
+        sc.servers = s;
+        sc.backend = Backend::Proc;
         sc.submissions = if full { 64 } else { 16 };
         sc.batch = sc.submissions;
         sc.runner = Runner::new(0, 1);
@@ -526,8 +573,31 @@ mod tests {
         assert_eq!(Backend::Cluster.tag(), "cluster");
         assert_eq!(Backend::Deployment(TransportKind::Sim).tag(), "deployment_sim");
         assert_eq!(Backend::Deployment(TransportKind::Tcp).tag(), "deployment_tcp");
+        assert_eq!(Backend::Proc.tag(), "deployment_proc");
         assert_eq!(Backend::Cluster.transport_tag(), "sim");
         assert_eq!(Backend::Deployment(TransportKind::Tcp).transport_tag(), "tcp");
+        assert_eq!(Backend::Proc.transport_tag(), "proc");
+    }
+
+    #[test]
+    fn both_modes_cover_the_proc_backend() {
+        // Acceptance: fig4 and fig6 each carry a multi-process scenario in
+        // every mode, and proc scenarios never ask for a latency model the
+        // node binary doesn't implement.
+        for mode in [Mode::Smoke, Mode::Full] {
+            let scenarios = registry(mode);
+            for group in [Group::Throughput, Group::Bandwidth] {
+                assert!(
+                    scenarios
+                        .iter()
+                        .any(|sc| sc.group == group && sc.backend == Backend::Proc),
+                    "{mode:?} lacks a proc {group:?} scenario"
+                );
+            }
+            for sc in scenarios.iter().filter(|sc| sc.backend == Backend::Proc) {
+                assert!(sc.latency.is_none(), "{} models latency on proc", sc.name);
+            }
+        }
     }
 
     #[test]

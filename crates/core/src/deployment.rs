@@ -14,13 +14,13 @@
 //! the in-process sim fabric (default) or real localhost TCP sockets.
 
 use crate::client::ClientSubmission;
-use crate::messages::{blob_from_bytes, blob_to_bytes, pack_decisions, unpack_decisions, ServerMsg};
+use crate::driver::BatchDriver;
 use crate::server::{Server, ServerConfig};
+use crate::server_loop::{run_server_loop, ServerLoopOptions};
 use prio_afe::Afe;
 use prio_field::FieldElement;
-use prio_net::wire::Wire;
-use prio_net::{Endpoint, NetStats, NodeId, Transport, TransportKind};
-use prio_snip::{decide, HForm, Round1Msg, VerifyMode};
+use prio_net::{NetStats, NodeId, Transport, TransportKind};
+use prio_snip::{HForm, VerifyMode};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -136,16 +136,16 @@ impl DeploymentReport {
 }
 
 /// A running multi-threaded deployment.
+///
+/// This is a thin composition of the two shared protocol halves: a
+/// [`BatchDriver`] on the driver endpoint and one
+/// [`run_server_loop`] thread per server, all on one fabric. The
+/// multi-process `prio_proc` subsystem runs the *same two halves* with the
+/// threads replaced by OS processes.
 pub struct Deployment<F: FieldElement> {
-    driver: Endpoint,
-    server_ids: Vec<NodeId>,
+    driver: BatchDriver<F>,
     handles: Vec<JoinHandle<()>>,
     net: Arc<dyn Transport>,
-    next_seed: u64,
-    accepted: u64,
-    rejected: u64,
-    batch_wall: Vec<std::time::Duration>,
-    _marker: std::marker::PhantomData<F>,
 }
 
 impl<F: FieldElement> Deployment<F> {
@@ -157,10 +157,10 @@ impl<F: FieldElement> Deployment<F> {
         assert!(cfg.num_servers >= 2, "Prio needs at least two servers");
         assert!(cfg.verify_threads >= 1, "need at least one verify thread");
         let net = cfg.transport.build(cfg.latency);
-        let driver = net.endpoint();
-        let endpoints: Vec<Endpoint> = (0..cfg.num_servers).map(|_| net.endpoint()).collect();
+        let driver_ep = net.endpoint();
+        let endpoints: Vec<_> = (0..cfg.num_servers).map(|_| net.endpoint()).collect();
         let server_ids: Vec<NodeId> = endpoints.iter().map(|e| e.id()).collect();
-        let driver_id = driver.id();
+        let driver_id = driver_ep.id();
 
         let handles = endpoints
             .into_iter()
@@ -168,7 +168,7 @@ impl<F: FieldElement> Deployment<F> {
             .map(|(index, ep)| {
                 let afe = afe.clone();
                 let ids = server_ids.clone();
-                let server = Server::new(
+                let mut server = Server::new(
                     afe,
                     ServerConfig {
                         index,
@@ -177,109 +177,57 @@ impl<F: FieldElement> Deployment<F> {
                         h_form: cfg.h_form,
                     },
                 );
-                let verify_threads = cfg.verify_threads;
-                std::thread::spawn(move || server_main(server, ep, ids, driver_id, verify_threads))
+                let opts = ServerLoopOptions {
+                    verify_threads: cfg.verify_threads,
+                    ..ServerLoopOptions::default()
+                };
+                std::thread::spawn(move || {
+                    run_server_loop(&mut server, &ep, &ids, driver_id, opts);
+                })
             })
             .collect();
 
         Deployment {
-            driver,
-            server_ids,
+            driver: BatchDriver::new(driver_ep, server_ids),
             handles,
             net,
-            next_seed: 1,
-            accepted: 0,
-            rejected: 0,
-            batch_wall: Vec::new(),
-            _marker: std::marker::PhantomData,
         }
     }
 
     /// Feeds a batch of submissions through the cluster; blocks until the
     /// leader reports the accept/reject decisions. Returns the decisions.
     pub fn run_batch(&mut self, subs: &[ClientSubmission<F>]) -> Vec<bool> {
-        let start = std::time::Instant::now();
-        let ctx_seed = self.next_seed;
-        self.next_seed += 1;
-        for (i, &sid) in self.server_ids.iter().enumerate() {
-            let msg: ServerMsg<F> = ServerMsg::ClientBatch {
-                ctx_seed,
-                labels: subs.iter().map(|sub| sub.prg_label).collect(),
-                blobs: subs.iter().map(|sub| blob_to_bytes(&sub.blobs[i])).collect(),
-            };
-            self.driver
-                .send(sid, msg.to_wire_bytes())
-                .expect("server alive");
-        }
-        // The leader forwards its decisions to the driver.
-        let env = self.driver.recv().expect("leader reply");
-        let msg = ServerMsg::<F>::from_wire_bytes(&env.payload).expect("valid decisions");
-        let ServerMsg::Decisions(bits) = msg else {
-            panic!("expected decisions, got {msg:?}");
-        };
-        let decisions = unpack_decisions(&bits, subs.len());
-        for &d in &decisions {
-            if d {
-                self.accepted += 1;
-            } else {
-                self.rejected += 1;
-            }
-        }
-        self.batch_wall.push(start.elapsed());
-        decisions
+        self.driver.run_batch(subs).expect("servers alive")
     }
 
     /// Wall-clock durations of the batches run so far.
     pub fn batch_wall(&self) -> &[std::time::Duration] {
-        &self.batch_wall
+        self.driver.batch_wall()
     }
 
     /// Publishes the accumulators and shuts the servers down.
-    pub fn finish(self) -> DeploymentReport {
-        let s = self.server_ids.len();
-        for &sid in &self.server_ids {
-            self.driver
-                .send(sid, ServerMsg::<F>::PublishRequest.to_wire_bytes())
-                .expect("server alive");
-        }
-        let mut sigma: Option<Vec<F>> = None;
-        for _ in 0..s {
-            let env = self.driver.recv().expect("accumulator reply");
-            let msg = ServerMsg::<F>::from_wire_bytes(&env.payload).expect("valid accumulator");
-            let ServerMsg::Accumulator(acc) = msg else {
-                panic!("expected accumulator");
-            };
-            match &mut sigma {
-                None => sigma = Some(acc),
-                Some(total) => {
-                    for (t, v) in total.iter_mut().zip(acc) {
-                        *t += v;
-                    }
-                }
-            }
-        }
-        for &sid in &self.server_ids {
-            let _ = self.driver.send(sid, ServerMsg::<F>::Shutdown.to_wire_bytes());
-        }
+    pub fn finish(mut self) -> DeploymentReport {
+        let sigma = self.driver.publish().expect("servers alive at publish");
+        self.driver.shutdown();
         for h in self.handles {
             let _ = h.join();
         }
-        let sigma = sigma.unwrap_or_default();
         let stats = self.net.stats();
         let server_bytes_sent = self
-            .server_ids
+            .driver
+            .server_ids()
             .iter()
             .map(|id| stats.bytes_sent.get(id).copied().unwrap_or(0))
             .collect();
         DeploymentReport {
-            accepted: self.accepted,
-            rejected: self.rejected,
+            accepted: self.driver.accepted(),
+            rejected: self.driver.rejected(),
             sigma: sigma
                 .iter()
                 .map(|v| v.try_to_u128().map(|x| x as u64).unwrap_or(u64::MAX))
                 .collect(),
             stats,
-            batch_wall: self.batch_wall,
+            batch_wall: self.driver.batch_wall().to_vec(),
             server_bytes_sent,
         }
     }
@@ -291,245 +239,7 @@ impl<F: FieldElement> Deployment<F> {
 
     /// Server node ids (index 0 = leader).
     pub fn server_ids(&self) -> &[NodeId] {
-        &self.server_ids
-    }
-}
-
-/// Receives the next message matching `want`, stashing any other valid
-/// message for a later phase. Returns `None` when the fabric shuts down.
-///
-/// The sim fabric funnels every sender into one queue, so messages arrive
-/// in global send order — but over TCP each sender has its own connection
-/// and there is no cross-sender ordering: the driver's `PublishRequest` or
-/// next `ClientBatch` can overtake the leader's `Decisions`, and a
-/// non-leader's `Round1` can overtake the driver's `ClientBatch` at the
-/// leader. The stash makes the server loop transport-agnostic: a message
-/// for a later phase waits its turn instead of tripping a protocol panic.
-fn recv_matching<F: FieldElement>(
-    ep: &Endpoint,
-    stash: &mut std::collections::VecDeque<ServerMsg<F>>,
-    want: impl Fn(&ServerMsg<F>) -> bool,
-) -> Option<ServerMsg<F>> {
-    if let Some(pos) = stash.iter().position(&want) {
-        return stash.remove(pos);
-    }
-    loop {
-        let env = ep.recv().ok()?;
-        // An undecodable payload is a protocol violation, not noise: honest
-        // peers never produce one, and silently dropping it would turn a
-        // missing gather message into an undiagnosable whole-deployment
-        // hang. Fail loudly instead.
-        let msg = ServerMsg::<F>::from_wire_bytes(&env.payload)
-            .unwrap_or_else(|e| panic!("undecodable message from {:?}: {e}", env.src));
-        if want(&msg) {
-            return Some(msg);
-        }
-        stash.push_back(msg);
-    }
-}
-
-/// Runs batched round 2 over the submissions that survived round 1,
-/// scattering the results back into submission order. Locally failed
-/// submissions get a poisoned share (`σ = out = 1`) so the global decision
-/// is guaranteed to reject them even if other servers verified fine.
-fn batched_round2<F: FieldElement, A: Afe<F>>(
-    server: &Server<F, A>,
-    states: &[Option<prio_snip::ServerState<F>>],
-    combined: &[Round1Msg<F>],
-) -> Vec<prio_snip::Round2Msg<F>> {
-    let ok_idx: Vec<usize> = states
-        .iter()
-        .enumerate()
-        .filter_map(|(j, st)| st.as_ref().map(|_| j))
-        .collect();
-    let sts: Vec<_> = ok_idx
-        .iter()
-        .map(|&j| states[j].clone().expect("ok index"))
-        .collect();
-    let combs: Vec<_> = ok_idx.iter().map(|&j| combined[j]).collect();
-    let compact = server.round2_batch(&sts, &combs);
-    let mut out = vec![
-        prio_snip::Round2Msg {
-            sigma: F::one(),
-            out: F::one(),
-        };
-        states.len()
-    ];
-    for (k, &j) in ok_idx.iter().enumerate() {
-        out[j] = compact[k];
-    }
-    out
-}
-
-/// The server event loop.
-fn server_main<F: FieldElement, A: Afe<F> + Sync>(
-    mut server: Server<F, A>,
-    ep: Endpoint,
-    ids: Vec<NodeId>,
-    driver: NodeId,
-    verify_threads: usize,
-) {
-    let s = ids.len();
-    let my_index = ids.iter().position(|&id| id == ep.id()).expect("registered");
-    let leader_id = ids[0];
-    let is_leader = my_index == 0;
-    let mut stash = std::collections::VecDeque::new();
-
-    loop {
-        let Some(msg) = recv_matching(&ep, &mut stash, |m| {
-            matches!(
-                m,
-                ServerMsg::ClientBatch { .. } | ServerMsg::PublishRequest | ServerMsg::Shutdown
-            )
-        }) else {
-            return;
-        };
-        match msg {
-            ServerMsg::ClientBatch {
-                ctx_seed,
-                labels,
-                blobs,
-            } => {
-                let ctx = server
-                    .make_context(ctx_seed)
-                    .expect("deployment config validated at start");
-                let count = blobs.len();
-                // Unpack every submission; parse/unpack failures are
-                // flagged locally and voted "reject".
-                let mut unpacked: Vec<Option<(Vec<F>, prio_snip::SnipProofShare<F>)>> =
-                    Vec::with_capacity(count);
-                let mut local_ok = vec![true; count];
-                for (j, blob_bytes) in blobs.iter().enumerate() {
-                    let parsed = blob_from_bytes::<F>(blob_bytes)
-                        .ok()
-                        .and_then(|blob| server.unpack(&blob, labels[j]).ok());
-                    if parsed.is_none() {
-                        local_ok[j] = false;
-                    }
-                    unpacked.push(parsed);
-                }
-
-                // Batched round 1 across the verify pool: one shared
-                // context, per-worker scratch, results merged in
-                // submission order.
-                let ok_idx: Vec<usize> = (0..count).filter(|&j| local_ok[j]).collect();
-                let items: Vec<(&[F], &prio_snip::SnipProofShare<F>)> = ok_idx
-                    .iter()
-                    .map(|&j| {
-                        let (x, proof) = unpacked[j].as_ref().expect("ok index");
-                        (x.as_slice(), proof)
-                    })
-                    .collect();
-                let results = server.round1_batch(&ctx, &items, verify_threads);
-
-                let mut xs: Vec<Vec<F>> = vec![Vec::new(); count];
-                let mut states: Vec<Option<prio_snip::ServerState<F>>> = vec![None; count];
-                let mut round1 = vec![
-                    Round1Msg {
-                        d: F::zero(),
-                        e: F::zero(),
-                    };
-                    count
-                ];
-                for (k, result) in results.into_iter().enumerate() {
-                    let j = ok_idx[k];
-                    match result {
-                        Ok((st, msg)) => {
-                            states[j] = Some(st);
-                            round1[j] = msg;
-                        }
-                        Err(_) => local_ok[j] = false,
-                    }
-                }
-                for (j, parsed) in unpacked.into_iter().enumerate() {
-                    if let Some((x, _)) = parsed {
-                        xs[j] = x;
-                    }
-                }
-
-                let decisions: Vec<bool> = if is_leader {
-                    // Gather round-1 vectors from the others.
-                    let mut all_r1 = vec![round1.clone()];
-                    for _ in 1..s {
-                        let Some(ServerMsg::Round1(v)) =
-                            recv_matching(&ep, &mut stash, |m| matches!(m, ServerMsg::Round1(_)))
-                        else {
-                            return;
-                        };
-                        all_r1.push(v);
-                    }
-                    // Combine per submission and redistribute.
-                    let combined: Vec<Round1Msg<F>> = (0..count)
-                        .map(|j| Round1Msg {
-                            d: all_r1.iter().map(|v| v[j].d).sum(),
-                            e: all_r1.iter().map(|v| v[j].e).sum(),
-                        })
-                        .collect();
-                    let comb_msg = ServerMsg::Round1Combined(combined.clone()).to_wire_bytes();
-                    for &sid in &ids[1..] {
-                        ep.send(sid, comb_msg.clone()).expect("send combined");
-                    }
-                    // Own round 2 (batched) plus gathered round 2s.
-                    let own_r2 = batched_round2(&server, &states, &combined);
-                    let mut all_r2 = vec![own_r2];
-                    for _ in 1..s {
-                        let Some(ServerMsg::Round2(v)) =
-                            recv_matching(&ep, &mut stash, |m| matches!(m, ServerMsg::Round2(_)))
-                        else {
-                            return;
-                        };
-                        all_r2.push(v);
-                    }
-                    let decisions: Vec<bool> = (0..count)
-                        .map(|j| {
-                            let msgs: Vec<_> = all_r2.iter().map(|v| v[j]).collect();
-                            decide(&msgs)
-                        })
-                        .collect();
-                    let dec_msg =
-                        ServerMsg::<F>::Decisions(pack_decisions(&decisions)).to_wire_bytes();
-                    for &sid in &ids[1..] {
-                        ep.send(sid, dec_msg.clone()).expect("send decisions");
-                    }
-                    ep.send(driver, dec_msg).expect("notify driver");
-                    decisions
-                } else {
-                    ep.send(leader_id, ServerMsg::Round1(round1).to_wire_bytes())
-                        .expect("send round1");
-                    let Some(ServerMsg::Round1Combined(combined)) =
-                        recv_matching(&ep, &mut stash, |m| {
-                            matches!(m, ServerMsg::Round1Combined(_))
-                        })
-                    else {
-                        return;
-                    };
-                    let r2 = batched_round2(&server, &states, &combined);
-                    ep.send(leader_id, ServerMsg::Round2(r2).to_wire_bytes())
-                        .expect("send round2");
-                    let Some(ServerMsg::Decisions(bits)) =
-                        recv_matching(&ep, &mut stash, |m| matches!(m, ServerMsg::Decisions(_)))
-                    else {
-                        return;
-                    };
-                    unpack_decisions(&bits, count)
-                };
-
-                for (j, &ok) in decisions.iter().enumerate() {
-                    if ok && local_ok[j] {
-                        server.accumulate(&xs[j]);
-                    } else {
-                        server.reject();
-                    }
-                }
-            }
-            ServerMsg::PublishRequest => {
-                let acc = server.accumulator().to_vec();
-                ep.send(driver, ServerMsg::Accumulator(acc).to_wire_bytes())
-                    .expect("publish");
-            }
-            ServerMsg::Shutdown => return,
-            other => panic!("unexpected message at server {my_index}: {other:?}"),
-        }
+        self.driver.server_ids()
     }
 }
 

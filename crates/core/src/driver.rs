@@ -1,0 +1,197 @@
+//! The driver side of the batched verification protocol: feed submission
+//! batches, collect decisions, run the publish/shutdown sequence.
+//!
+//! [`BatchDriver`] is the one implementation of the role the paper's
+//! evaluation calls the "submission source": the in-process
+//! [`Deployment`](crate::Deployment) wraps it (panicking on errors, as a
+//! test harness should), and the multi-process `prio-submit` binary drives
+//! it directly with a timeout so a dead node surfaces as a typed
+//! [`DriverError`] instead of a hang.
+
+use crate::client::ClientSubmission;
+use crate::messages::{blob_to_bytes, unpack_decisions, ServerMsg};
+use prio_field::FieldElement;
+use prio_net::wire::Wire;
+use prio_net::{Endpoint, NodeId, RecvTimeoutError, SendError};
+use std::time::{Duration, Instant};
+
+/// Typed failure from the driver's view of the protocol.
+#[derive(Debug)]
+pub enum DriverError {
+    /// A send to server `index` failed (its endpoint closed or its process
+    /// died).
+    Send {
+        /// Server index the send targeted.
+        index: usize,
+        /// The transport's error.
+        source: SendError,
+    },
+    /// The fabric closed while waiting for a reply.
+    Recv,
+    /// No reply within the configured deadline — in a multi-process
+    /// deployment this is what a killed or wedged node looks like from the
+    /// driver.
+    Timeout(Duration),
+    /// A peer answered with something protocol-invalid.
+    Protocol(&'static str),
+}
+
+impl std::fmt::Display for DriverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriverError::Send { index, source } => {
+                write!(f, "send to server {index} failed: {source}")
+            }
+            DriverError::Recv => write!(f, "fabric closed while waiting for a reply"),
+            DriverError::Timeout(d) => write!(f, "no reply within {d:?}"),
+            DriverError::Protocol(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+/// Drives batches of client submissions through a server set and collects
+/// the results. Generic over the fabric: the endpoint may share a process
+/// with the servers (threaded deployment) or be the only local endpoint of
+/// a multi-process run.
+pub struct BatchDriver<F: FieldElement> {
+    ep: Endpoint,
+    server_ids: Vec<NodeId>,
+    next_seed: u64,
+    accepted: u64,
+    rejected: u64,
+    batch_wall: Vec<Duration>,
+    timeout: Option<Duration>,
+    _marker: std::marker::PhantomData<F>,
+}
+
+impl<F: FieldElement> BatchDriver<F> {
+    /// Wraps an endpoint and the server set it drives (`server_ids[0]` is
+    /// the leader). Batch context seeds start at 1 and increment, so two
+    /// drivers fed identical submissions produce bit-identical protocol
+    /// runs.
+    pub fn new(ep: Endpoint, server_ids: Vec<NodeId>) -> Self {
+        BatchDriver {
+            ep,
+            server_ids,
+            next_seed: 1,
+            accepted: 0,
+            rejected: 0,
+            batch_wall: Vec::new(),
+            timeout: None,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Builder-style: bound every receive by `timeout`. Without it the
+    /// driver blocks for as long as the fabric stays open (fine in one
+    /// process, fatal across processes).
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// The driver's endpoint (e.g. for byte accounting: its sent bytes are
+    /// the upload traffic).
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.ep
+    }
+
+    /// The server set this driver feeds (index 0 = leader).
+    pub fn server_ids(&self) -> &[NodeId] {
+        &self.server_ids
+    }
+
+    /// Submissions accepted so far.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Submissions rejected so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Wall-clock durations of the batches run so far.
+    pub fn batch_wall(&self) -> &[Duration] {
+        &self.batch_wall
+    }
+
+    fn recv(&self) -> Result<ServerMsg<F>, DriverError> {
+        let env = match self.timeout {
+            Some(t) => self.ep.recv_timeout(t).map_err(|e| match e {
+                RecvTimeoutError::Timeout => DriverError::Timeout(t),
+                RecvTimeoutError::Closed => DriverError::Recv,
+            })?,
+            None => self.ep.recv().map_err(|_| DriverError::Recv)?,
+        };
+        ServerMsg::from_wire_bytes(&env.payload)
+            .map_err(|_| DriverError::Protocol("undecodable reply"))
+    }
+
+    /// Feeds a batch of submissions to every server and blocks until the
+    /// leader reports the accept/reject decisions.
+    pub fn run_batch(&mut self, subs: &[ClientSubmission<F>]) -> Result<Vec<bool>, DriverError> {
+        let start = Instant::now();
+        let ctx_seed = self.next_seed;
+        self.next_seed += 1;
+        for (i, &sid) in self.server_ids.iter().enumerate() {
+            let msg: ServerMsg<F> = ServerMsg::ClientBatch {
+                ctx_seed,
+                labels: subs.iter().map(|sub| sub.prg_label).collect(),
+                blobs: subs.iter().map(|sub| blob_to_bytes(&sub.blobs[i])).collect(),
+            };
+            self.ep
+                .send(sid, msg.to_wire_bytes())
+                .map_err(|source| DriverError::Send { index: i, source })?;
+        }
+        // The leader forwards its decisions to the driver.
+        let ServerMsg::Decisions(bits) = self.recv()? else {
+            return Err(DriverError::Protocol("expected decisions"));
+        };
+        let decisions = unpack_decisions(&bits, subs.len());
+        for &d in &decisions {
+            if d {
+                self.accepted += 1;
+            } else {
+                self.rejected += 1;
+            }
+        }
+        self.batch_wall.push(start.elapsed());
+        Ok(decisions)
+    }
+
+    /// Publish phase: asks every server for its accumulator and returns
+    /// their sum `σ` (Figure 1d).
+    pub fn publish(&mut self) -> Result<Vec<F>, DriverError> {
+        for (i, &sid) in self.server_ids.iter().enumerate() {
+            self.ep
+                .send(sid, ServerMsg::<F>::PublishRequest.to_wire_bytes())
+                .map_err(|source| DriverError::Send { index: i, source })?;
+        }
+        let mut sigma: Option<Vec<F>> = None;
+        for _ in 0..self.server_ids.len() {
+            let ServerMsg::Accumulator(acc) = self.recv()? else {
+                return Err(DriverError::Protocol("expected accumulator"));
+            };
+            match &mut sigma {
+                None => sigma = Some(acc),
+                Some(total) => {
+                    for (t, v) in total.iter_mut().zip(acc) {
+                        *t += v;
+                    }
+                }
+            }
+        }
+        Ok(sigma.unwrap_or_default())
+    }
+
+    /// Orderly shutdown: tells every server to exit. Best-effort — servers
+    /// that already died are skipped.
+    pub fn shutdown(&self) {
+        for &sid in &self.server_ids {
+            let _ = self.ep.send(sid, ServerMsg::<F>::Shutdown.to_wire_bytes());
+        }
+    }
+}

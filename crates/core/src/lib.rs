@@ -29,11 +29,15 @@
 
 pub mod client;
 pub mod cluster;
+pub mod driver;
 pub mod deployment;
 pub mod messages;
 pub mod server;
+pub mod server_loop;
 
 pub use client::{Client, ClientConfig, ClientSubmission, ShareBlob};
 pub use cluster::{Cluster, PhaseTimings};
 pub use deployment::{Deployment, DeploymentConfig, DeploymentReport};
+pub use driver::{BatchDriver, DriverError};
 pub use server::{Server, ServerConfig};
+pub use server_loop::{run_server_loop, FramePolicy, ServerLoopOptions, ServerLoopReport};

@@ -3,13 +3,19 @@
 use crate::client::{ShareBlob, ShareLayout};
 use prio_afe::Afe;
 use prio_circuit::Circuit;
+use prio_crypto::prg::PrgRng;
 use prio_field::FieldElement;
 use prio_snip::{
     verifier::{verify_round1, verify_round1_batch, verify_round2, verify_round2_batch},
     HForm, Round1Msg, Round2Msg, ServerState, SnipError, SnipProofShare, VerifierContext,
     VerifyMode,
 };
-use rand::SeedableRng;
+
+/// Domain-separation label for expanding a batch's `ctx_seed` into shared
+/// verification randomness ("PRIO ctx" in ASCII). Changing this value (or
+/// the expansion route) changes every derived context, so it is pinned by
+/// a vector test below.
+const CTX_RANDOMNESS_LABEL: u64 = 0x5052_494f_2063_7478;
 
 /// Per-server configuration.
 #[derive(Clone, Debug)]
@@ -94,11 +100,18 @@ impl<F: FieldElement, A: Afe<F>> Server<F, A> {
     /// broadcasting fresh verification randomness once per batch
     /// (Appendix I amortizes the kernel precomputation over the batch).
     ///
+    /// The derivation runs through `prio_crypto`'s ChaCha20 [`PrgRng`]
+    /// under a fixed domain-separation label — *never* the test-grade
+    /// `rand` shim — so every deployment flavour (single-process cluster,
+    /// threaded deployment, multi-process nodes) expands `ctx_seed` into
+    /// bit-identical verification randomness with a cryptographic
+    /// expander.
+    ///
     /// Fails only on an invalid server configuration (propagated from
     /// [`VerifierContext::random`]); with the `num_servers ≥ 1` every
     /// constructor in this crate enforces, it cannot fail.
     pub fn make_context(&self, ctx_seed: u64) -> Result<VerifierContext<F>, SnipError> {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(ctx_seed);
+        let mut rng = PrgRng::from_u64_seed(ctx_seed, CTX_RANDOMNESS_LABEL);
         VerifierContext::random(
             &self.circuit,
             self.cfg.num_servers,
@@ -272,6 +285,27 @@ mod tests {
         let other = servers[0].make_context(124).unwrap();
         assert_ne!(ctx0.point(), other.point());
     }
+
+    #[test]
+    fn context_derivation_is_prg_backed_and_pinned() {
+        // The shared verification randomness must come from the ChaCha20
+        // PRG under the fixed label — never the swappable test-grade rand
+        // shim. Pinning the evaluation point for one seed catches any
+        // accidental re-route (a different expander would move it).
+        let servers = make_servers(2);
+        let ctx = servers[0].make_context(0x1234_5678).unwrap();
+        let mut rng = prio_crypto::prg::PrgRng::from_u64_seed(
+            0x1234_5678,
+            super::CTX_RANDOMNESS_LABEL,
+        );
+        let expect = Field64::random(&mut rng);
+        assert_eq!(ctx.point(), expect);
+        assert_eq!(ctx.point().as_u64(), PINNED_CTX_POINT);
+    }
+
+    /// `make_context(0x1234_5678).point()` for the 4-bit sum AFE; see
+    /// `context_derivation_is_prg_backed_and_pinned`.
+    const PINNED_CTX_POINT: u64 = 15_843_597_981_360_209_118;
 
     #[test]
     fn unpack_rejects_malformed_explicit() {

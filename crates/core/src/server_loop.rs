@@ -1,0 +1,409 @@
+//! The transport-agnostic server event loop, shared by every deployment
+//! flavour.
+//!
+//! [`run_server_loop`] is the one implementation of the per-server side of
+//! the batched verification protocol: the in-process threaded
+//! [`Deployment`](crate::Deployment) runs it on `s` threads over one
+//! shared fabric, and the `prio-node` binary of the multi-process
+//! `prio_proc` subsystem runs the *same function* over a per-process
+//! [`TcpTransport`](prio_net::TcpTransport) whose peers were registered
+//! through the control plane. Factoring it here is what keeps the two
+//! execution fabrics protocol-identical: there is no second copy to
+//! drift.
+//!
+//! The loop owns nothing: it borrows the [`Server`] (so the caller can
+//! read accumulators and counters afterwards) and the [`Endpoint`], and
+//! returns a [`ServerLoopReport`] with per-phase timings and the
+//! verification-phase byte count (sampled when the publish request
+//! arrives — the Figure-6 quantity).
+
+use crate::cluster::PhaseTimings;
+use crate::messages::{blob_from_bytes, pack_decisions, unpack_decisions, ServerMsg};
+use crate::server::Server;
+use prio_afe::Afe;
+use prio_field::FieldElement;
+use prio_net::wire::Wire;
+use prio_net::{Endpoint, NodeId};
+use prio_snip::{decide, Round1Msg};
+use std::collections::VecDeque;
+
+/// What the loop does with a frame it cannot decode or whose sender is not
+/// part of the deployment.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FramePolicy {
+    /// Panic. Right for in-process deployments, where every sender is
+    /// trusted protocol code and an undecodable message is a bug that
+    /// should fail loudly instead of becoming an undiagnosable hang.
+    Strict,
+    /// Log to stderr and drop the frame. Right for a network-facing
+    /// `prio-node` process: anyone can connect to its data socket, and a
+    /// garbage frame from a stranger must not crash verification for
+    /// everyone else. The out-of-phase stash is also bounded in this mode
+    /// so a frame flood cannot grow node memory without limit.
+    ///
+    /// Known limitation: the frame header's sender id is *not
+    /// authenticated* — a local attacker who forges a known peer's id and
+    /// a well-formed message can still disturb a batch (availability, not
+    /// privacy: shares remain secret and tampered submissions are still
+    /// rejected by the SNIP). Binding sender identity cryptographically
+    /// (e.g. `prio_crypto::sealed` channels per link) is tracked in the
+    /// ROADMAP.
+    Lenient,
+}
+
+/// Options for one run of the server loop.
+#[derive(Copy, Clone, Debug)]
+pub struct ServerLoopOptions {
+    /// Worker threads for batched round-1 verification (1 = inline).
+    pub verify_threads: usize,
+    /// Undecodable-frame handling.
+    pub frame_policy: FramePolicy,
+}
+
+impl Default for ServerLoopOptions {
+    fn default() -> Self {
+        ServerLoopOptions {
+            verify_threads: 1,
+            frame_policy: FramePolicy::Strict,
+        }
+    }
+}
+
+/// What one server-loop run observed, for the caller's report.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct ServerLoopReport {
+    /// Whether the loop exited through an orderly [`ServerMsg::Shutdown`]
+    /// (`false` means the fabric closed under it).
+    pub clean: bool,
+    /// This endpoint's sent-byte counter when the publish request arrived —
+    /// the verification-phase traffic, before the accumulator reveal.
+    /// Zero if no publish request was seen.
+    pub verify_bytes_sent: u64,
+    /// Wall-clock spent in each verification phase.
+    pub timings: PhaseTimings,
+}
+
+/// Ceiling on stashed out-of-phase messages under [`FramePolicy::Lenient`]:
+/// an honest deployment stashes at most a handful of messages per batch, so
+/// anything past this is an injection flood and gets dropped instead of
+/// growing node memory without bound. Strict (in-process) deployments keep
+/// the unbounded stash — every sender there is trusted protocol code.
+const MAX_LENIENT_STASH: usize = 4096;
+
+/// Receives the next message matching `want`, stashing any other valid
+/// message for a later phase. Returns `None` when the fabric shuts down.
+///
+/// The sim fabric funnels every sender into one queue, so messages arrive
+/// in global send order — but over TCP each sender has its own connection
+/// and there is no cross-sender ordering: the driver's `PublishRequest` or
+/// next `ClientBatch` can overtake the leader's `Decisions`, and a
+/// non-leader's `Round1` can overtake the driver's `ClientBatch` at the
+/// leader. The stash makes the server loop transport-agnostic: a message
+/// for a later phase waits its turn instead of tripping a protocol panic.
+///
+/// Under [`FramePolicy::Lenient`], frames from senders outside the
+/// deployment and frames that fail to decode are logged and dropped
+/// instead of panicking — the node-process hardening path.
+fn recv_matching<F: FieldElement>(
+    ep: &Endpoint,
+    stash: &mut VecDeque<ServerMsg<F>>,
+    policy: FramePolicy,
+    known: &[NodeId],
+    want: impl Fn(&ServerMsg<F>) -> bool,
+) -> Option<ServerMsg<F>> {
+    if let Some(pos) = stash.iter().position(&want) {
+        return stash.remove(pos);
+    }
+    loop {
+        let env = ep.recv().ok()?;
+        if policy == FramePolicy::Lenient && !known.contains(&env.src) {
+            eprintln!(
+                "prio-node: dropping frame from unknown sender {:?} ({} bytes)",
+                env.src,
+                env.payload.len()
+            );
+            continue;
+        }
+        let msg = match ServerMsg::<F>::from_wire_bytes(&env.payload) {
+            Ok(msg) => msg,
+            // An undecodable payload from a deployment member is a protocol
+            // violation, not noise: honest peers never produce one, and in
+            // an in-process deployment silently dropping it would turn a
+            // missing gather message into an undiagnosable hang — fail
+            // loudly there. A network-facing node drops it instead (the
+            // sender id is trivially forgeable, so even a "known" source
+            // may be a stranger) and keeps serving.
+            Err(e) => match policy {
+                FramePolicy::Strict => panic!("undecodable message from {:?}: {e}", env.src),
+                FramePolicy::Lenient => {
+                    eprintln!("prio-node: rejecting undecodable frame from {:?}: {e}", env.src);
+                    continue;
+                }
+            },
+        };
+        if want(&msg) {
+            return Some(msg);
+        }
+        if policy == FramePolicy::Lenient && stash.len() >= MAX_LENIENT_STASH {
+            eprintln!(
+                "prio-node: stash full ({MAX_LENIENT_STASH}); dropping out-of-phase {} message",
+                msg_kind(&msg)
+            );
+            continue;
+        }
+        stash.push_back(msg);
+    }
+}
+
+/// Short tag for log lines (avoids dumping whole field vectors to stderr).
+fn msg_kind<F: FieldElement>(msg: &ServerMsg<F>) -> &'static str {
+    match msg {
+        ServerMsg::BatchStart { .. } => "BatchStart",
+        ServerMsg::Round1(_) => "Round1",
+        ServerMsg::Round1Combined(_) => "Round1Combined",
+        ServerMsg::Round2(_) => "Round2",
+        ServerMsg::Decisions(_) => "Decisions",
+        ServerMsg::PublishRequest => "PublishRequest",
+        ServerMsg::Accumulator(_) => "Accumulator",
+        ServerMsg::ClientBatch { .. } => "ClientBatch",
+        ServerMsg::Shutdown => "Shutdown",
+    }
+}
+
+/// Runs batched round 2 over the submissions that survived round 1,
+/// scattering the results back into submission order. Locally failed
+/// submissions get a poisoned share (`σ = out = 1`) so the global decision
+/// is guaranteed to reject them even if other servers verified fine.
+fn batched_round2<F: FieldElement, A: Afe<F>>(
+    server: &Server<F, A>,
+    states: &[Option<prio_snip::ServerState<F>>],
+    combined: &[Round1Msg<F>],
+) -> Vec<prio_snip::Round2Msg<F>> {
+    let ok_idx: Vec<usize> = states
+        .iter()
+        .enumerate()
+        .filter_map(|(j, st)| st.as_ref().map(|_| j))
+        .collect();
+    let sts: Vec<_> = ok_idx
+        .iter()
+        .map(|&j| states[j].clone().expect("ok index"))
+        .collect();
+    let combs: Vec<_> = ok_idx.iter().map(|&j| combined[j]).collect();
+    let compact = server.round2_batch(&sts, &combs);
+    let mut out = vec![
+        prio_snip::Round2Msg {
+            sigma: F::one(),
+            out: F::one(),
+        };
+        states.len()
+    ];
+    for (k, &j) in ok_idx.iter().enumerate() {
+        out[j] = compact[k];
+    }
+    out
+}
+
+/// The server event loop: drains `ClientBatch`es through the two SNIP
+/// broadcast rounds (leader-star topology), accumulates accepted
+/// submissions, answers the publish request, and exits on shutdown.
+///
+/// `ids` is the full server set in index order (`ids[0]` is the leader and
+/// must contain `ep.id()`); `driver` is the node the leader reports
+/// decisions to and every server publishes to.
+pub fn run_server_loop<F: FieldElement, A: Afe<F> + Sync>(
+    server: &mut Server<F, A>,
+    ep: &Endpoint,
+    ids: &[NodeId],
+    driver: NodeId,
+    opts: ServerLoopOptions,
+) -> ServerLoopReport {
+    let s = ids.len();
+    let my_index = ids.iter().position(|&id| id == ep.id()).expect("registered");
+    let leader_id = ids[0];
+    let is_leader = my_index == 0;
+    let mut stash = VecDeque::new();
+    let mut report = ServerLoopReport::default();
+    let mut known: Vec<NodeId> = ids.to_vec();
+    known.push(driver);
+    let policy = opts.frame_policy;
+
+    loop {
+        let Some(msg) = recv_matching(ep, &mut stash, policy, &known, |m| {
+            matches!(
+                m,
+                ServerMsg::ClientBatch { .. } | ServerMsg::PublishRequest | ServerMsg::Shutdown
+            )
+        }) else {
+            return report;
+        };
+        match msg {
+            ServerMsg::ClientBatch {
+                ctx_seed,
+                labels,
+                blobs,
+            } => {
+                let ctx = server
+                    .make_context(ctx_seed)
+                    .expect("deployment config validated at start");
+                let count = blobs.len();
+                report.timings.submissions += count as u64;
+                // Unpack every submission; parse/unpack failures are
+                // flagged locally and voted "reject".
+                let phase_start = std::time::Instant::now();
+                let mut unpacked: Vec<Option<(Vec<F>, prio_snip::SnipProofShare<F>)>> =
+                    Vec::with_capacity(count);
+                let mut local_ok = vec![true; count];
+                for (j, blob_bytes) in blobs.iter().enumerate() {
+                    let parsed = blob_from_bytes::<F>(blob_bytes)
+                        .ok()
+                        .and_then(|blob| server.unpack(&blob, labels[j]).ok());
+                    if parsed.is_none() {
+                        local_ok[j] = false;
+                    }
+                    unpacked.push(parsed);
+                }
+                report.timings.unpack += phase_start.elapsed();
+
+                // Batched round 1 across the verify pool: one shared
+                // context, per-worker scratch, results merged in
+                // submission order.
+                let phase_start = std::time::Instant::now();
+                let ok_idx: Vec<usize> = (0..count).filter(|&j| local_ok[j]).collect();
+                let items: Vec<(&[F], &prio_snip::SnipProofShare<F>)> = ok_idx
+                    .iter()
+                    .map(|&j| {
+                        let (x, proof) = unpacked[j].as_ref().expect("ok index");
+                        (x.as_slice(), proof)
+                    })
+                    .collect();
+                let results = server.round1_batch(&ctx, &items, opts.verify_threads);
+
+                let mut xs: Vec<Vec<F>> = vec![Vec::new(); count];
+                let mut states: Vec<Option<prio_snip::ServerState<F>>> = vec![None; count];
+                let mut round1 = vec![
+                    Round1Msg {
+                        d: F::zero(),
+                        e: F::zero(),
+                    };
+                    count
+                ];
+                for (k, result) in results.into_iter().enumerate() {
+                    let j = ok_idx[k];
+                    match result {
+                        Ok((st, msg)) => {
+                            states[j] = Some(st);
+                            round1[j] = msg;
+                        }
+                        Err(_) => local_ok[j] = false,
+                    }
+                }
+                for (j, parsed) in unpacked.into_iter().enumerate() {
+                    if let Some((x, _)) = parsed {
+                        xs[j] = x;
+                    }
+                }
+                report.timings.round1 += phase_start.elapsed();
+
+                let decisions: Vec<bool> = if is_leader {
+                    // Gather round-1 vectors from the others.
+                    let mut all_r1 = vec![round1.clone()];
+                    for _ in 1..s {
+                        let Some(ServerMsg::Round1(v)) =
+                            recv_matching(ep, &mut stash, policy, &known, |m| {
+                                matches!(m, ServerMsg::Round1(_))
+                            })
+                        else {
+                            return report;
+                        };
+                        all_r1.push(v);
+                    }
+                    // Combine per submission and redistribute.
+                    let combined: Vec<Round1Msg<F>> = (0..count)
+                        .map(|j| Round1Msg {
+                            d: all_r1.iter().map(|v| v[j].d).sum(),
+                            e: all_r1.iter().map(|v| v[j].e).sum(),
+                        })
+                        .collect();
+                    let comb_msg = ServerMsg::Round1Combined(combined.clone()).to_wire_bytes();
+                    for &sid in &ids[1..] {
+                        ep.send(sid, comb_msg.clone()).expect("send combined");
+                    }
+                    // Own round 2 (batched) plus gathered round 2s.
+                    let phase_start = std::time::Instant::now();
+                    let own_r2 = batched_round2(server, &states, &combined);
+                    report.timings.round2 += phase_start.elapsed();
+                    let mut all_r2 = vec![own_r2];
+                    for _ in 1..s {
+                        let Some(ServerMsg::Round2(v)) =
+                            recv_matching(ep, &mut stash, policy, &known, |m| {
+                                matches!(m, ServerMsg::Round2(_))
+                            })
+                        else {
+                            return report;
+                        };
+                        all_r2.push(v);
+                    }
+                    let decisions: Vec<bool> = (0..count)
+                        .map(|j| {
+                            let msgs: Vec<_> = all_r2.iter().map(|v| v[j]).collect();
+                            decide(&msgs)
+                        })
+                        .collect();
+                    let dec_msg =
+                        ServerMsg::<F>::Decisions(pack_decisions(&decisions)).to_wire_bytes();
+                    for &sid in &ids[1..] {
+                        ep.send(sid, dec_msg.clone()).expect("send decisions");
+                    }
+                    ep.send(driver, dec_msg).expect("notify driver");
+                    decisions
+                } else {
+                    ep.send(leader_id, ServerMsg::Round1(round1).to_wire_bytes())
+                        .expect("send round1");
+                    let Some(ServerMsg::Round1Combined(combined)) =
+                        recv_matching(ep, &mut stash, policy, &known, |m| {
+                            matches!(m, ServerMsg::Round1Combined(_))
+                        })
+                    else {
+                        return report;
+                    };
+                    let phase_start = std::time::Instant::now();
+                    let r2 = batched_round2(server, &states, &combined);
+                    report.timings.round2 += phase_start.elapsed();
+                    ep.send(leader_id, ServerMsg::Round2(r2).to_wire_bytes())
+                        .expect("send round2");
+                    let Some(ServerMsg::Decisions(bits)) =
+                        recv_matching(ep, &mut stash, policy, &known, |m| {
+                            matches!(m, ServerMsg::Decisions(_))
+                        })
+                    else {
+                        return report;
+                    };
+                    unpack_decisions(&bits, count)
+                };
+
+                for (j, &ok) in decisions.iter().enumerate() {
+                    if ok && local_ok[j] {
+                        server.accumulate(&xs[j]);
+                    } else {
+                        server.reject();
+                    }
+                }
+            }
+            ServerMsg::PublishRequest => {
+                // Everything sent so far is verification-phase traffic; the
+                // accumulator reveal below is the publish phase. Sampling
+                // here gives every deployment flavour the same Figure-6
+                // split without a shared-fabric snapshot.
+                report.verify_bytes_sent = ep.bytes_sent();
+                let acc = server.accumulator().to_vec();
+                ep.send(driver, ServerMsg::Accumulator(acc).to_wire_bytes())
+                    .expect("publish");
+            }
+            ServerMsg::Shutdown => {
+                report.clean = true;
+                return report;
+            }
+            other => panic!("unexpected message at server {my_index}: {other:?}"),
+        }
+    }
+}

@@ -39,13 +39,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod control;
 pub mod sim;
 pub mod tcp;
 pub mod transport;
 pub mod wire;
 
 pub use sim::{SimEndpoint, SimNetwork};
-pub use tcp::{TcpEndpoint, TcpTransport};
+pub use tcp::{BindError, TcpEndpoint, TcpTransport};
 pub use transport::{
-    Endpoint, Envelope, NetStats, NodeId, RecvError, SendError, Transport, TransportKind,
+    Endpoint, Envelope, NetStats, NodeId, RecvError, RecvTimeoutError, SendError, Transport,
+    TransportKind,
 };

@@ -6,7 +6,7 @@
 //! unit tests and CPU-bound measurement (no kernel noise in the numbers).
 
 use crate::transport::{
-    counter_for, lock, Endpoint, Envelope, NetStats, NodeId, RecvError, SendError,
+    counter_for, lock, Endpoint, Envelope, NetStats, NodeId, RecvError, RecvTimeoutError, SendError,
     TrafficCounters, Transport, TransportKind,
 };
 use std::collections::HashMap;
@@ -156,8 +156,11 @@ impl SimEndpoint {
     }
 
     /// Receive with a timeout (for shutdown paths).
-    pub fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, RecvError> {
-        self.rx.recv_timeout(timeout).map_err(|_| RecvError)
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, RecvTimeoutError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            std::sync::mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+            std::sync::mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Closed,
+        })
     }
 
     /// Bytes this endpoint has sent.

@@ -25,7 +25,8 @@
 //!   every helper thread. No threads or sockets outlive the endpoint.
 
 use crate::transport::{
-    counter_for, lock, Endpoint, Envelope, NetStats, NodeId, RecvError, SendError,
+    counter_for, lock, Endpoint, Envelope, NetStats, NodeId, RecvError, RecvTimeoutError,
+    SendError,
     TrafficCounters, Transport, TransportKind,
 };
 use std::collections::hash_map::Entry;
@@ -42,6 +43,66 @@ use std::time::Duration;
 /// treated as stream corruption and closes the connection — it can never
 /// trigger a matching allocation.
 pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// Bind attempts before a port collision becomes a [`BindError`].
+const BIND_ATTEMPTS: u32 = 4;
+
+/// Backoff between bind attempts on a transient port collision.
+const BIND_BACKOFF: Duration = Duration::from_millis(20);
+
+/// Typed error from binding an endpoint's listener — the multi-process
+/// launcher propagates this through its handshake instead of panicking a
+/// whole node.
+#[derive(Debug)]
+pub enum BindError {
+    /// The address stayed in use after [`BIND_ATTEMPTS`] tries. Ephemeral
+    /// binds (`port 0`) essentially never hit this; a caller-chosen port
+    /// can.
+    AddrInUse {
+        /// The address that could not be bound.
+        addr: SocketAddr,
+        /// How many times the bind was attempted.
+        attempts: u32,
+    },
+    /// The node id is already taken on this fabric (a second endpoint or a
+    /// registered remote peer).
+    DuplicateId(NodeId),
+    /// Any other I/O failure from the OS (EMFILE, EACCES, ...).
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for BindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BindError::AddrInUse { addr, attempts } => {
+                write!(f, "{addr} still in use after {attempts} bind attempts")
+            }
+            BindError::DuplicateId(id) => write!(f, "node id {id:?} already on this fabric"),
+            BindError::Io(e) => write!(f, "bind failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BindError {}
+
+/// Binds `addr`, retrying a transient `EADDRINUSE` with backoff before
+/// giving up with a typed error.
+fn bind_with_retry(addr: SocketAddr) -> Result<TcpListener, BindError> {
+    let mut attempts = 0;
+    loop {
+        match TcpListener::bind(addr) {
+            Ok(listener) => return Ok(listener),
+            Err(e) if e.kind() == ErrorKind::AddrInUse => {
+                attempts += 1;
+                if attempts >= BIND_ATTEMPTS {
+                    return Err(BindError::AddrInUse { addr, attempts });
+                }
+                std::thread::sleep(BIND_BACKOFF);
+            }
+            Err(e) => return Err(BindError::Io(e)),
+        }
+    }
+}
 
 /// Frame header size: 8-byte sender id + 4-byte payload length.
 pub const FRAME_HEADER_LEN: usize = 12;
@@ -154,12 +215,46 @@ impl TcpTransport {
     /// starts its acceptor thread.
     ///
     /// # Panics
-    /// Panics if the OS refuses to bind a loopback listener.
+    /// Panics if the OS refuses to bind a loopback listener even after the
+    /// [`TcpTransport::try_endpoint`] retry loop; callers that must survive
+    /// bind failure (the multi-process launcher) use the `try_` family.
     pub fn endpoint(&self) -> Endpoint {
+        self.try_endpoint()
+            .unwrap_or_else(|e| panic!("bind loopback listener: {e}"))
+    }
+
+    /// Fallible [`TcpTransport::endpoint`]: binds an ephemeral localhost
+    /// port (with bounded retry on collision) and returns a typed
+    /// [`BindError`] instead of panicking.
+    pub fn try_endpoint(&self) -> Result<Endpoint, BindError> {
         let id = NodeId(self.inner.next_id.fetch_add(1, Ordering::Relaxed) as usize);
-        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback listener");
-        let addr = listener.local_addr().expect("listener has a local addr");
-        lock(&self.inner.addrs).insert(id, Some(addr));
+        self.try_endpoint_bound(id, "127.0.0.1:0".parse().expect("literal addr"))
+    }
+
+    /// Binds an endpoint under a *caller-chosen* node id — the
+    /// multi-process fabric, where every process must agree on the
+    /// server-index ↔ id mapping up front instead of relying on one shared
+    /// in-process counter. The listener still takes an OS-assigned
+    /// ephemeral port; read it back with [`Endpoint::local_addr`].
+    pub fn try_endpoint_with_id(&self, id: NodeId) -> Result<Endpoint, BindError> {
+        self.try_endpoint_bound(id, "127.0.0.1:0".parse().expect("literal addr"))
+    }
+
+    /// Fully explicit endpoint construction: caller-chosen node id *and*
+    /// bind address. Fails with a typed [`BindError`] on a duplicate id or
+    /// a port collision that outlives the retry loop.
+    pub fn try_endpoint_bound(&self, id: NodeId, bind: SocketAddr) -> Result<Endpoint, BindError> {
+        // Keep auto-assigned ids clear of caller-chosen ones.
+        bump_next_id(&self.inner.next_id, id);
+        let listener = bind_with_retry(bind)?;
+        let addr = listener.local_addr().map_err(BindError::Io)?;
+        {
+            let mut addrs = lock(&self.inner.addrs);
+            if addrs.contains_key(&id) {
+                return Err(BindError::DuplicateId(id));
+            }
+            addrs.insert(id, Some(addr));
+        }
 
         let (tx, rx) = channel();
         let closed = Arc::new(AtomicBool::new(false));
@@ -177,7 +272,7 @@ impl TcpTransport {
             })
         };
 
-        Endpoint::Tcp(TcpEndpoint {
+        Ok(Endpoint::Tcp(TcpEndpoint {
             id,
             addr,
             net: self.clone(),
@@ -190,7 +285,26 @@ impl TcpTransport {
             accepted,
             readers,
             acceptor: Some(acceptor),
-        })
+        }))
+    }
+
+    /// Registers a *remote* peer's listening address so local endpoints can
+    /// send to it. This is the piece that moves the address registry out of
+    /// process: an in-process deployment shares one `TcpTransport` whose
+    /// endpoints auto-register, while each process of a multi-process
+    /// deployment holds its own fabric and learns its peers' ephemeral
+    /// addresses over the control plane.
+    ///
+    /// Returns `Err(BindError::DuplicateId)` if the id already names a
+    /// local endpoint or another peer.
+    pub fn register_peer(&self, id: NodeId, addr: SocketAddr) -> Result<(), BindError> {
+        bump_next_id(&self.inner.next_id, id);
+        let mut addrs = lock(&self.inner.addrs);
+        if addrs.contains_key(&id) {
+            return Err(BindError::DuplicateId(id));
+        }
+        addrs.insert(id, Some(addr));
+        Ok(())
     }
 
     /// Per-node traffic statistics.
@@ -227,6 +341,13 @@ impl Transport for TcpTransport {
     fn kind(&self) -> TransportKind {
         TransportKind::Tcp
     }
+}
+
+/// Raises `next_id` above a caller-chosen `id` so later auto-assigned ids
+/// can never collide with it.
+fn bump_next_id(next_id: &AtomicU64, id: NodeId) {
+    let floor = id.0 as u64 + 1;
+    next_id.fetch_max(floor, Ordering::Relaxed);
 }
 
 /// Accepts inbound connections and spawns one reader thread per stream.
@@ -363,8 +484,11 @@ impl TcpEndpoint {
     }
 
     /// Receive with a timeout (for shutdown paths).
-    pub fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, RecvError> {
-        self.rx.recv_timeout(timeout).map_err(|_| RecvError)
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, RecvTimeoutError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            std::sync::mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+            std::sync::mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Closed,
+        })
     }
 
     /// Bytes this endpoint has sent.
@@ -544,6 +668,69 @@ mod tests {
             .expect("message arrives once the link latency elapses");
         assert_eq!(env.payload, vec![42]);
         sender.join().unwrap();
+    }
+
+    #[test]
+    fn two_fabrics_bridge_via_register_peer() {
+        // Two TcpTransport instances model two OS processes: each owns one
+        // endpoint under a caller-chosen id and learns the other's
+        // ephemeral address out of band — exactly the multi-process
+        // launcher's handshake, with no fixed ports anywhere.
+        let fab_a = TcpTransport::new();
+        let fab_b = TcpTransport::new();
+        let a = fab_a.try_endpoint_with_id(NodeId(0)).unwrap();
+        let b = fab_b.try_endpoint_with_id(NodeId(1)).unwrap();
+        let a_addr = a.local_addr().unwrap();
+        let b_addr = b.local_addr().unwrap();
+        fab_a.register_peer(NodeId(1), b_addr).unwrap();
+        fab_b.register_peer(NodeId(0), a_addr).unwrap();
+        a.send(NodeId(1), vec![1, 2, 3]).unwrap();
+        let env = b.recv().unwrap();
+        assert_eq!(env.src, NodeId(0));
+        assert_eq!(env.payload, vec![1, 2, 3]);
+        b.send(env.src, vec![9]).unwrap();
+        assert_eq!(a.recv().unwrap().payload, vec![9]);
+        // Each fabric accounts only its own endpoints' traffic.
+        assert_eq!(fab_a.stats().total_sent(), 3);
+        assert_eq!(fab_b.stats().total_sent(), 1);
+    }
+
+    #[test]
+    fn duplicate_ids_are_a_typed_error() {
+        let net = TcpTransport::new();
+        let ep = net.try_endpoint_with_id(NodeId(5)).unwrap();
+        assert!(matches!(
+            net.try_endpoint_with_id(NodeId(5)),
+            Err(BindError::DuplicateId(NodeId(5)))
+        ));
+        assert!(matches!(
+            net.register_peer(NodeId(5), ep.local_addr().unwrap()),
+            Err(BindError::DuplicateId(NodeId(5)))
+        ));
+        // Auto-assigned ids steer clear of the caller-chosen one.
+        let auto = net.endpoint();
+        assert!(auto.id().0 > 5);
+    }
+
+    #[test]
+    fn port_collision_is_a_typed_error_not_a_panic() {
+        // Occupy a port, then ask for an endpoint on exactly that port: the
+        // bind must retry, give up, and report a typed AddrInUse — the
+        // failure a multi-process launcher turns into a clean error.
+        let squatter = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = squatter.local_addr().unwrap();
+        let net = TcpTransport::new();
+        match net.try_endpoint_bound(NodeId(0), addr) {
+            Err(BindError::AddrInUse { addr: got, attempts }) => {
+                assert_eq!(got, addr);
+                assert!(attempts >= 1);
+            }
+            Err(other) => panic!("expected AddrInUse, got {other:?}"),
+            Ok(_) => panic!("bind to an occupied port must fail"),
+        }
+        // The fabric stays usable after the failed bind.
+        let ep = net.try_endpoint_with_id(NodeId(0)).expect("ephemeral bind");
+        assert!(ep.local_addr().unwrap().port() != 0);
     }
 
     #[test]

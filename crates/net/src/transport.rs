@@ -177,6 +177,16 @@ impl Endpoint {
         }
     }
 
+    /// The socket address this endpoint listens on, if the backing fabric
+    /// has one (`None` on the in-process sim fabric). Multi-process nodes
+    /// report this through the ephemeral-port handshake.
+    pub fn local_addr(&self) -> Option<std::net::SocketAddr> {
+        match self {
+            Endpoint::Sim(_) => None,
+            Endpoint::Tcp(ep) => Some(ep.local_addr()),
+        }
+    }
+
     /// Sends `payload` to `dst`, counting its bytes on success.
     pub fn send(&self, dst: NodeId, payload: Vec<u8>) -> Result<(), SendError> {
         match self {
@@ -193,8 +203,9 @@ impl Endpoint {
         }
     }
 
-    /// Receive with a timeout (for shutdown paths).
-    pub fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, RecvError> {
+    /// Receive with a timeout (for shutdown paths and cross-process
+    /// drivers that must not hang on a dead peer).
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, RecvTimeoutError> {
         match self {
             Endpoint::Sim(ep) => ep.recv_timeout(timeout),
             Endpoint::Tcp(ep) => ep.recv_timeout(timeout),
@@ -286,6 +297,29 @@ impl std::error::Error for SendError {}
 /// Receive failed: all senders dropped or timeout elapsed.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct RecvError;
+
+/// Timed receive failed — unlike [`RecvError`] this distinguishes a
+/// deadline expiry from a torn-down fabric, so callers (the submission
+/// driver) can report a dead peer as what it is instead of a misleading
+/// "no reply within the deadline".
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The deadline elapsed with no message.
+    Timeout,
+    /// The endpoint's mailbox closed (fabric torn down).
+    Closed,
+}
+
+impl std::fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => write!(f, "receive deadline elapsed"),
+            RecvTimeoutError::Closed => write!(f, "endpoint closed"),
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
 
 impl std::fmt::Display for RecvError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {

@@ -94,6 +94,32 @@ impl Wire for bool {
     }
 }
 
+impl Wire for String {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        put_len(buf, self.len());
+        buf.put_slice(self.as_bytes());
+    }
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError> {
+        let bytes = Vec::<u8>::decode(buf)?;
+        String::from_utf8(bytes).map_err(|_| WireError("invalid utf-8 string"))
+    }
+}
+
+/// Socket addresses are carried in their canonical display form
+/// (`127.0.0.1:8080`, `[::1]:8080`), which `std` parses back losslessly.
+/// Used by the multi-process control plane to exchange ephemeral-port
+/// listener addresses.
+impl Wire for std::net::SocketAddr {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        self.to_string().encode(buf);
+    }
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError> {
+        String::decode(buf)?
+            .parse()
+            .map_err(|_| WireError("invalid socket address"))
+    }
+}
+
 impl Wire for Vec<u8> {
     fn encode<B: BufMut>(&self, buf: &mut B) {
         put_len(buf, self.len());
@@ -156,6 +182,19 @@ mod tests {
         assert_eq!(bool::from_wire_bytes(&true.to_wire_bytes()), Ok(true));
         let v = vec![1u8, 2, 3];
         assert_eq!(Vec::<u8>::from_wire_bytes(&v.to_wire_bytes()), Ok(v));
+        let s = "fig4/throughput".to_string();
+        assert_eq!(String::from_wire_bytes(&s.to_wire_bytes()), Ok(s));
+        assert!(String::from_wire_bytes(&vec![0xffu8, 0xfe].to_wire_bytes()).is_err());
+    }
+
+    #[test]
+    fn socket_addr_roundtrips() {
+        use std::net::SocketAddr;
+        for addr in ["127.0.0.1:0", "127.0.0.1:65535", "[::1]:8080"] {
+            let addr: SocketAddr = addr.parse().unwrap();
+            assert_eq!(SocketAddr::from_wire_bytes(&addr.to_wire_bytes()), Ok(addr));
+        }
+        assert!(SocketAddr::from_wire_bytes(&"not an addr".to_string().to_wire_bytes()).is_err());
     }
 
     #[test]

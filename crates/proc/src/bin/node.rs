@@ -1,0 +1,74 @@
+//! `prio-node` — one Prio aggregation server as an OS process.
+
+use prio_net::control::NodeConfig;
+use prio_net::wire::Wire;
+use std::io::Read as _;
+
+const HELP: &str = "\
+prio-node: one Prio aggregation server as an OS process
+
+USAGE:
+    prio-node --config <PATH | ->
+
+OPTIONS:
+    --config <PATH | ->   Load the wire-serialized NodeConfig from PATH,
+                          or from stdin when '-' (the orchestrator's way).
+    -h, --help            Print this help.
+
+A NodeConfig carries: server index, server count, AFE (sum | freq |
+linreg | mostpop) and its size, field (f64 | f128), verify mode
+(fixed_point | interpolate), h form (point_value | coefficients), and the
+verify-pool thread count. See `prio_net::control::NodeConfig`.
+
+On startup the node binds two ephemeral localhost ports — the data-plane
+listener (server/driver traffic) and the control socket — and prints one
+handshake line:
+
+    PRIO-NODE index=<i> data=<ip:port> control=<ip:port>
+
+then serves the control protocol (Peers / Ingest / FlushAggregate /
+Shutdown) until told to exit. Startup failures print
+`PRIO-NODE-ERROR <msg>` and exit 2; a forced shutdown with the server
+loop still running exits 3; a clean shutdown exits 0.";
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("prio-node: {msg}\n\n{HELP}");
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut config_src: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--config" => {
+                config_src = Some(it.next().unwrap_or_else(|| usage_error("--config needs a value")))
+            }
+            "-h" | "--help" => {
+                println!("{HELP}");
+                return;
+            }
+            other => usage_error(&format!("unknown argument: {other}")),
+        }
+    }
+    let Some(src) = config_src else {
+        usage_error("missing --config");
+    };
+    let bytes = if src == "-" {
+        let mut buf = Vec::new();
+        if let Err(e) = std::io::stdin().lock().read_to_end(&mut buf) {
+            usage_error(&format!("reading config from stdin: {e}"));
+        }
+        buf
+    } else {
+        match std::fs::read(&src) {
+            Ok(buf) => buf,
+            Err(e) => usage_error(&format!("reading {src}: {e}")),
+        }
+    };
+    let cfg = match NodeConfig::from_wire_bytes(&bytes) {
+        Ok(cfg) => cfg,
+        Err(e) => usage_error(&format!("decoding config: {e}")),
+    };
+    std::process::exit(prio_proc::node::run(&cfg))
+}

@@ -1,0 +1,122 @@
+//! `prio-submit` — the client-side submission driver as an OS process.
+
+use prio_proc::spec::{parse_h_form, AfeSpec, FieldSpec};
+use prio_proc::submit::SubmitArgs;
+use std::time::Duration;
+
+const HELP: &str = "\
+prio-submit: encode and upload client submissions to a prio-node cluster
+
+USAGE:
+    prio-submit --servers <ADDR,ADDR,...> [OPTIONS]
+
+OPTIONS:
+    --servers <LIST>        Comma-separated data-plane addresses of the
+                            server set, index order (index 0 = leader).
+    --afe <TAG>             sum | freq | linreg | mostpop   [default: sum]
+    --size <N>              AFE size (bits/buckets/dimension) [default: 8]
+    --field <TAG>           f64 | f128                      [default: f64]
+    --h-form <TAG>          point_value | coefficients [default: point_value]
+    --submissions <N>       Submissions to encode           [default: 16]
+    --tamper-permille <N>   Tampered fraction, 0..=1000     [default: 0]
+    --batch <N>             Submissions per protocol batch  [default: all]
+    --runs <N>              Replays of the submission set   [default: 1]
+    --seed <N>              Client RNG seed                 [default: 1347569999]
+    --timeout-ms <N>        Per-receive deadline            [default: 30000]
+    -h, --help              Print this help.
+
+The driver binds an ephemeral data-plane endpoint (node id = server
+count), prints `PRIO-SUBMIT data=<ip:port>`, and waits for a `GO` line on
+stdin — the orchestrator registers the driver address at every node in
+that gap. It then uploads the batches, runs the publish phase, and prints
+
+    PRIO-RESULT accepted=.. rejected=.. upload_bytes=.. driver_publish_bytes=.. sigma=.. batch_wall_us=..
+
+Failures print `PRIO-SUBMIT-ERROR <msg>` and exit 1.";
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("prio-submit: {msg}\n\n{HELP}");
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut servers = Vec::new();
+    let mut afe_tag = "sum".to_string();
+    let mut size = 8u64;
+    let mut field_tag = "f64".to_string();
+    let mut h_form_tag = "point_value".to_string();
+    let mut submissions = 16usize;
+    let mut tamper_permille = 0u32;
+    let mut batch: Option<usize> = None;
+    let mut runs = 1usize;
+    let mut seed = 0x5052_494fu64;
+    let mut timeout_ms = 30_000u64;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| usage_error(&format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--servers" => {
+                servers = value("--servers")
+                    .split(',')
+                    .map(|tok| {
+                        tok.parse()
+                            .unwrap_or_else(|_| usage_error(&format!("bad address {tok:?}")))
+                    })
+                    .collect();
+            }
+            "--afe" => afe_tag = value("--afe"),
+            "--size" => size = parse_num(&value("--size"), "--size"),
+            "--field" => field_tag = value("--field"),
+            "--h-form" => h_form_tag = value("--h-form"),
+            "--submissions" => {
+                submissions = parse_num(&value("--submissions"), "--submissions") as usize
+            }
+            "--tamper-permille" => {
+                tamper_permille = parse_num(&value("--tamper-permille"), "--tamper-permille") as u32
+            }
+            "--batch" => batch = Some(parse_num(&value("--batch"), "--batch") as usize),
+            "--runs" => runs = parse_num(&value("--runs"), "--runs") as usize,
+            "--seed" => seed = parse_num(&value("--seed"), "--seed"),
+            "--timeout-ms" => timeout_ms = parse_num(&value("--timeout-ms"), "--timeout-ms"),
+            "-h" | "--help" => {
+                println!("{HELP}");
+                return;
+            }
+            other => usage_error(&format!("unknown argument: {other}")),
+        }
+    }
+    if servers.is_empty() {
+        usage_error("missing --servers");
+    }
+    let Some(afe) = AfeSpec::parse(&afe_tag, size) else {
+        usage_error(&format!("unknown afe '{afe_tag}'"));
+    };
+    let Some(field) = FieldSpec::parse(&field_tag) else {
+        usage_error(&format!("unknown field '{field_tag}'"));
+    };
+    let Some(h_form) = parse_h_form(&h_form_tag) else {
+        usage_error(&format!("unknown h form '{h_form_tag}'"));
+    };
+    let args = SubmitArgs {
+        servers,
+        afe,
+        field,
+        h_form,
+        submissions,
+        tamper_permille,
+        batch: batch.unwrap_or(submissions.max(1)),
+        runs,
+        seed,
+        timeout: Duration::from_millis(timeout_ms),
+    };
+    std::process::exit(prio_proc::submit::run(&args))
+}
+
+fn parse_num(raw: &str, flag: &str) -> u64 {
+    raw.parse()
+        .unwrap_or_else(|_| usage_error(&format!("{flag}: not a number: {raw:?}")))
+}

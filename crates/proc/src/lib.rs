@@ -1,0 +1,60 @@
+//! `prio_proc` — the multi-process Prio deployment subsystem: real server
+//! and client binaries, a control-plane protocol, and a process
+//! orchestrator over [`prio_net::TcpTransport`].
+//!
+//! The paper's evaluation runs Prio as *separate server processes* on real
+//! sockets. This crate is that execution fabric: the same protocol halves
+//! the in-process deployments use ([`prio_core::run_server_loop`] and
+//! [`prio_core::BatchDriver`]) are re-hosted as OS processes —
+//!
+//! * **`prio-node`** ([`node`]) — one aggregation server per process. It
+//!   loads a wire-serialized [`prio_net::control::NodeConfig`], binds
+//!   ephemeral data and control ports, and is driven through the
+//!   length-prefixed control protocol of [`prio_net::control`]
+//!   (`Peers` → `Ready` → `Ingest` → … → `FlushAggregate` → `Shutdown`).
+//! * **`prio-submit`** ([`submit`]) — the client-side driver per process:
+//!   deterministically encodes N submissions (optionally tampering an
+//!   evenly spread fraction), uploads them to all nodes, collects
+//!   decisions, and runs the publish phase.
+//! * **[`orchestrator::ProcDeployment`]** — spawns, wires (ephemeral-port
+//!   handshake; no fixed ports anywhere), runs, and tears down a cluster,
+//!   returning a [`orchestrator::ProcReport`] with accept/reject counts,
+//!   per-batch wall times, per-node byte counts, and per-node phase
+//!   timings. Failures are typed [`orchestrator::ProcError`]s with
+//!   deadlines on every step; dropping the deployment kills every child.
+//!
+//! # Which deployment flavour to use
+//!
+//! The workspace now has four ways to run the same pipeline; they form a
+//! fidelity ladder (each step adds realism and costs determinism/speed):
+//!
+//! | flavour | fabric | processes | use it for |
+//! |---|---|---|---|
+//! | [`prio_core::Cluster`] (`cluster`) | none (function calls) | 1 | unit tests, algorithmic micro-benchmarks, exact modeled byte accounting |
+//! | [`prio_core::Deployment`] + `SimNetwork` (`deployment_sim`) | in-process channels | 1 | concurrency-faithful CPU measurement with deterministic, syscall-free messaging |
+//! | [`prio_core::Deployment`] + `TcpTransport` (`deployment_tcp`) | localhost sockets, shared registry | 1 | validating the wire protocol end-to-end under the kernel's loopback stack |
+//! | [`orchestrator::ProcDeployment`] (`deployment_proc`) | localhost sockets, per-process registries | `s + 2` | the paper's actual shape: isolation, real process lifecycles, cross-process overhead, failure injection |
+//!
+//! `deployment_proc` is the right backend when the question involves
+//! process boundaries — orchestration, readiness, crashes, per-process
+//! resource use. For CPU-bound "how fast is verification" questions,
+//! prefer `cluster`/`deployment_sim`: they measure the same code without
+//! fork/exec noise. Byte accounting is comparable across all four (payload
+//! bytes on successful sends), so Figure-6 ratios can be cross-checked
+//! against any backend.
+//!
+//! Randomness note (ROADMAP): node-side protocol randomness is derived
+//! through `prio_crypto`'s ChaCha20 PRG (see
+//! [`prio_core::Server::make_context`]); the test-grade `rand` shim is
+//! used only for client-side test traffic in `prio-submit`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod node;
+pub mod orchestrator;
+pub mod spec;
+pub mod submit;
+
+pub use orchestrator::{find_binary, ProcConfig, ProcDeployment, ProcError, ProcReport};
+pub use spec::{AfeSpec, FieldSpec};

@@ -1,0 +1,656 @@
+//! The process orchestrator: spawns a `prio-node` cluster and a
+//! `prio-submit` driver, wires them together with the ephemeral-port
+//! handshake, and collects a [`ProcReport`] mirroring the in-process
+//! [`DeploymentReport`](prio_core::DeploymentReport).
+//!
+//! Lifecycle of one [`ProcDeployment::launch`] + [`ProcDeployment::run`]:
+//!
+//! 1. spawn `s` `prio-node` processes, each loading a wire-serialized
+//!    [`NodeConfig`] from stdin and reporting its ephemeral data/control
+//!    ports on stdout (no fixed ports anywhere — collisions surface as
+//!    typed [`BindError`](prio_net::BindError)s, not panics);
+//! 2. distribute the full data-plane address map (`Peers`) and pass the
+//!    readiness barrier (`Ready`);
+//! 3. spawn `prio-submit`, register its driver endpoint at every node
+//!    (`Ingest`), release it with `GO`, and parse its `PRIO-RESULT` line;
+//! 4. gather per-node [`NodeStats`] (`FlushAggregate`), shut everything
+//!    down (`Shutdown`/`Bye`), and check every child's exit status.
+//!
+//! Every step is bounded by the configured timeout, every failure is a
+//! typed [`ProcError`], and dropping the deployment kills any child that
+//! is still alive — a failed run never leaks processes or hangs the
+//! caller.
+
+use crate::spec::{h_form_tag, verify_mode_tag, AfeSpec, FieldSpec};
+use prio_net::control::{read_ctrl, write_ctrl, CtrlMsg, NodeConfig, NodeStats};
+use prio_net::wire::Wire;
+use prio_snip::{HForm, VerifyMode};
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, ExitStatus, Stdio};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError};
+use std::time::{Duration, Instant};
+
+/// Configuration for one multi-process deployment.
+#[derive(Clone, Debug)]
+pub struct ProcConfig {
+    /// Number of server processes `s ≥ 2`.
+    pub num_servers: usize,
+    /// Workload AFE.
+    pub afe: AfeSpec,
+    /// Field.
+    pub field: FieldSpec,
+    /// SNIP verification strategy.
+    pub verify_mode: VerifyMode,
+    /// `h` transmission form.
+    pub h_form: HForm,
+    /// Verify-pool threads per node.
+    pub verify_threads: usize,
+    /// Submissions the driver encodes.
+    pub submissions: usize,
+    /// Tampered fraction in permille (0..=1000).
+    pub tamper_permille: u32,
+    /// Submissions per `run_batch` call.
+    pub batch: usize,
+    /// Times the full submission set is replayed (bench warmup+iters).
+    pub runs: usize,
+    /// Client RNG seed.
+    pub seed: u64,
+    /// Deadline for every handshake step and every driver receive.
+    pub timeout: Duration,
+    /// Override for the `prio-node` binary (default: next to the current
+    /// executable's target directory).
+    pub node_bin: Option<PathBuf>,
+    /// Override for the `prio-submit` binary.
+    pub submit_bin: Option<PathBuf>,
+}
+
+impl ProcConfig {
+    /// Defaults: fixed-point verification, point-value `h`, one verify
+    /// thread, no tampering, one run, whole set in one batch, 30 s
+    /// timeout.
+    pub fn new(num_servers: usize, afe: AfeSpec, field: FieldSpec, submissions: usize) -> Self {
+        ProcConfig {
+            num_servers,
+            afe,
+            field,
+            verify_mode: VerifyMode::FixedPoint,
+            h_form: HForm::PointValue,
+            verify_threads: 1,
+            submissions,
+            tamper_permille: 0,
+            batch: submissions.max(1),
+            runs: 1,
+            seed: 0x5052_494f,
+            timeout: Duration::from_secs(30),
+            node_bin: None,
+            submit_bin: None,
+        }
+    }
+
+    /// Builder-style: tampered fraction in permille.
+    pub fn with_tamper_permille(mut self, permille: u32) -> Self {
+        self.tamper_permille = permille;
+        self
+    }
+
+    /// Builder-style: submissions per batch.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        assert!(batch >= 1, "need at least one submission per batch");
+        self.batch = batch;
+        self
+    }
+
+    /// Builder-style: replay count.
+    pub fn with_runs(mut self, runs: usize) -> Self {
+        assert!(runs >= 1, "need at least one run");
+        self.runs = runs;
+        self
+    }
+
+    /// Builder-style: step/receive deadline.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Builder-style: client RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style: verify-pool threads per node.
+    pub fn with_verify_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one verify thread");
+        self.verify_threads = threads;
+        self
+    }
+
+    /// Builder-style: verification strategy.
+    pub fn with_verify_mode(mut self, mode: VerifyMode) -> Self {
+        self.verify_mode = mode;
+        self
+    }
+}
+
+/// Typed failure from the orchestrator.
+#[derive(Debug)]
+pub enum ProcError {
+    /// A required binary could not be located.
+    Binary(String),
+    /// Spawning a child process failed.
+    Spawn(std::io::Error),
+    /// A child's startup handshake failed (bad line, early exit, bind
+    /// error it reported).
+    Handshake {
+        /// Which process (`"node <i>"` / `"submit"`).
+        who: String,
+        /// What went wrong.
+        msg: String,
+    },
+    /// Control-plane I/O with a node failed or the node answered `Fail`.
+    Control {
+        /// Server index.
+        index: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// A node process exited when it should have been serving.
+    NodeDied {
+        /// Server index.
+        index: usize,
+        /// Its exit status, if it could be collected.
+        status: Option<ExitStatus>,
+    },
+    /// The submit driver failed (its own typed error, relayed) or exited
+    /// without a result.
+    Submit(String),
+    /// A step missed its deadline.
+    Timeout(String),
+}
+
+impl std::fmt::Display for ProcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProcError::Binary(msg) => write!(f, "binary not found: {msg}"),
+            ProcError::Spawn(e) => write!(f, "spawn failed: {e}"),
+            ProcError::Handshake { who, msg } => write!(f, "{who} handshake failed: {msg}"),
+            ProcError::Control { index, msg } => write!(f, "control to node {index}: {msg}"),
+            ProcError::NodeDied { index, status } => {
+                write!(f, "node {index} died (status {status:?})")
+            }
+            ProcError::Submit(msg) => write!(f, "submit driver failed: {msg}"),
+            ProcError::Timeout(what) => write!(f, "timed out: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProcError {}
+
+/// Locates one of this crate's binaries next to the running executable
+/// (`target/<profile>/…`), honoring a `PRIO_NODE_BIN` / `PRIO_SUBMIT_BIN`
+/// environment override first.
+pub fn find_binary(name: &str) -> Result<PathBuf, ProcError> {
+    let env_key = format!("{}_BIN", name.to_uppercase().replace('-', "_"));
+    if let Ok(path) = std::env::var(&env_key) {
+        let path = PathBuf::from(path);
+        if path.is_file() {
+            return Ok(path);
+        }
+        return Err(ProcError::Binary(format!("{env_key}={} does not exist", path.display())));
+    }
+    let exe = std::env::current_exe().map_err(ProcError::Spawn)?;
+    // A test binary lives in target/<profile>/deps/, the bins one level up
+    // in target/<profile>/; a bench binary sits right next to them.
+    for dir in exe.ancestors().skip(1).take(3) {
+        let candidate = dir.join(name);
+        if candidate.is_file() {
+            return Ok(candidate);
+        }
+    }
+    Err(ProcError::Binary(format!(
+        "{name} not found near {} — build it first (`cargo build -p prio_proc`)",
+        exe.display()
+    )))
+}
+
+/// Streams a child's stdout lines through a channel so reads can carry a
+/// deadline (a pipe read has none). The reader thread exits at EOF.
+struct LineReader {
+    rx: Receiver<String>,
+}
+
+impl LineReader {
+    fn spawn(stdout: impl std::io::Read + Send + 'static) -> Self {
+        let (tx, rx) = channel();
+        std::thread::spawn(move || {
+            let reader = BufReader::new(stdout);
+            for line in reader.lines() {
+                let Ok(line) = line else { return };
+                if tx.send(line).is_err() {
+                    return;
+                }
+            }
+        });
+        LineReader { rx }
+    }
+
+    fn next_line(&self, deadline: Duration, who: &str) -> Result<String, ProcError> {
+        match self.rx.recv_timeout(deadline) {
+            Ok(line) => Ok(line),
+            Err(RecvTimeoutError::Timeout) => {
+                Err(ProcError::Timeout(format!("waiting for output from {who}")))
+            }
+            Err(RecvTimeoutError::Disconnected) => Err(ProcError::Handshake {
+                who: who.into(),
+                msg: "process closed stdout without the expected line".into(),
+            }),
+        }
+    }
+}
+
+struct NodeHandle {
+    child: Child,
+    /// Held so the stdout reader thread's channel stays open for the
+    /// node's lifetime (late output must never block the child on a full
+    /// pipe or a closed channel).
+    _stdout: LineReader,
+    ctrl: TcpStream,
+    data_addr: SocketAddr,
+}
+
+/// A running multi-process deployment: `s` node processes plus, during
+/// [`ProcDeployment::run`], one submit process — all real OS processes
+/// whose only shared state is the sockets between them.
+pub struct ProcDeployment {
+    cfg: ProcConfig,
+    nodes: Vec<NodeHandle>,
+}
+
+/// Everything one run produced, mirroring
+/// [`DeploymentReport`](prio_core::DeploymentReport) across the process
+/// boundary.
+#[derive(Clone, Debug)]
+pub struct ProcReport {
+    /// Submissions accepted (driver's count over all runs).
+    pub accepted: u64,
+    /// Submissions rejected.
+    pub rejected: u64,
+    /// The summed accumulator `σ` (clamped to `u64` per element).
+    pub sigma: Vec<u64>,
+    /// Wall-clock time of each `run_batch` call, in order.
+    pub batch_wall: Vec<Duration>,
+    /// Driver bytes sent before the publish phase — the upload traffic.
+    pub upload_bytes: u64,
+    /// Driver bytes sent during the publish/shutdown phase (publish
+    /// requests + shutdown frames).
+    pub driver_publish_bytes: u64,
+    /// Per-node statistics, index order (0 = leader).
+    pub node_stats: Vec<NodeStats>,
+    /// Whether every child process exited with status 0.
+    pub clean_exit: bool,
+}
+
+impl ProcReport {
+    /// Total wall-clock time spent inside `run_batch` calls.
+    pub fn total_batch_wall(&self) -> Duration {
+        self.batch_wall.iter().sum()
+    }
+
+    /// Verification-phase bytes each server sent (index 0 = leader) —
+    /// sampled node-side at the publish request, so directly comparable to
+    /// the batch-phase snapshot diff of the in-process backends.
+    pub fn server_verify_bytes(&self) -> Vec<u64> {
+        self.node_stats.iter().map(|s| s.verify_bytes_sent).collect()
+    }
+
+    /// Total bytes each server sent over its lifetime.
+    pub fn server_total_bytes(&self) -> Vec<u64> {
+        self.node_stats.iter().map(|s| s.total_bytes_sent).collect()
+    }
+
+    /// Leader verification bytes vs. the busiest non-leader — the
+    /// Figure-6 asymmetry. Returns `(leader, max_non_leader)`.
+    pub fn leader_vs_non_leader_bytes(&self) -> (u64, u64) {
+        let bytes = self.server_verify_bytes();
+        let leader = bytes.first().copied().unwrap_or(0);
+        let max_non_leader = bytes.get(1..).unwrap_or(&[]).iter().copied().max().unwrap_or(0);
+        (leader, max_non_leader)
+    }
+}
+
+/// Waits for a child within a deadline; `None` if it is still running.
+fn wait_deadline(child: &mut Child, deadline: Duration) -> Option<ExitStatus> {
+    let end = Instant::now() + deadline;
+    loop {
+        match child.try_wait() {
+            Ok(Some(status)) => return Some(status),
+            Ok(None) => {
+                if Instant::now() >= end {
+                    return None;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => return None,
+        }
+    }
+}
+
+/// Parses `key=value` tokens from a handshake/result line.
+fn line_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    line.split_whitespace()
+        .filter_map(|tok| tok.split_once('='))
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| v)
+}
+
+impl ProcDeployment {
+    /// Spawns the node cluster and brings it to the ready barrier: every
+    /// node has bound its ephemeral ports, learned all its peers, and
+    /// answered `Ready` on its control socket.
+    pub fn launch(cfg: ProcConfig) -> Result<Self, ProcError> {
+        assert!(cfg.num_servers >= 2, "Prio needs at least two servers");
+        let node_bin = match &cfg.node_bin {
+            Some(path) => path.clone(),
+            None => find_binary("prio-node")?,
+        };
+        let mut deployment = ProcDeployment {
+            nodes: Vec::with_capacity(cfg.num_servers),
+            cfg,
+        };
+        match deployment.launch_inner(&node_bin) {
+            Ok(()) => Ok(deployment),
+            Err(e) => {
+                deployment.abort();
+                Err(e)
+            }
+        }
+    }
+
+    fn launch_inner(&mut self, node_bin: &PathBuf) -> Result<(), ProcError> {
+        let cfg = self.cfg.clone();
+        for index in 0..cfg.num_servers {
+            let mut child = Command::new(node_bin)
+                .arg("--config")
+                .arg("-")
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .spawn()
+                .map_err(ProcError::Spawn)?;
+            let node_cfg = NodeConfig {
+                index: index as u64,
+                num_servers: cfg.num_servers as u64,
+                afe: cfg.afe.tag().into(),
+                size: cfg.afe.size(),
+                field: cfg.field.tag().into(),
+                verify_mode: verify_mode_tag(cfg.verify_mode).into(),
+                h_form: h_form_tag(cfg.h_form).into(),
+                verify_threads: cfg.verify_threads as u64,
+            };
+            {
+                // Write the serialized config and close stdin so the node's
+                // read-to-EOF completes.
+                let mut stdin = child.stdin.take().expect("stdin piped");
+                stdin
+                    .write_all(&node_cfg.to_wire_bytes())
+                    .map_err(ProcError::Spawn)?;
+            }
+            let stdout = LineReader::spawn(child.stdout.take().expect("stdout piped"));
+            let who = format!("node {index}");
+            let line = stdout.next_line(cfg.timeout, &who)?;
+            if let Some(msg) = line.strip_prefix("PRIO-NODE-ERROR ") {
+                return Err(ProcError::Handshake { who, msg: msg.into() });
+            }
+            let parse = |key: &str| -> Result<SocketAddr, ProcError> {
+                line_field(&line, key)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| ProcError::Handshake {
+                        who: who.clone(),
+                        msg: format!("bad handshake line {line:?}"),
+                    })
+            };
+            let data_addr = parse("data")?;
+            let control_addr = parse("control")?;
+            let ctrl = TcpStream::connect(control_addr).map_err(|e| ProcError::Control {
+                index,
+                msg: format!("connect failed: {e}"),
+            })?;
+            let _ = ctrl.set_nodelay(true);
+            let _ = ctrl.set_read_timeout(Some(cfg.timeout));
+            let _ = ctrl.set_write_timeout(Some(cfg.timeout));
+            self.nodes.push(NodeHandle {
+                child,
+                _stdout: stdout,
+                ctrl,
+                data_addr,
+            });
+        }
+
+        // Distribute the address map and pass the readiness barrier.
+        let peers: Vec<(u64, SocketAddr)> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i as u64, n.data_addr))
+            .collect();
+        for index in 0..self.nodes.len() {
+            self.control(index, &CtrlMsg::Peers(peers.clone()), |m| {
+                matches!(m, CtrlMsg::Ready)
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Data-plane addresses of the nodes, index order (exposed for chaos
+    /// tests that inject traffic directly).
+    pub fn node_data_addrs(&self) -> Vec<SocketAddr> {
+        self.nodes.iter().map(|n| n.data_addr).collect()
+    }
+
+    /// Kills one node process outright — the chaos-test hook for the
+    /// "node dies mid-batch" scenario.
+    pub fn kill_node(&mut self, index: usize) {
+        let _ = self.nodes[index].child.kill();
+        let _ = self.nodes[index].child.wait();
+    }
+
+    /// Sends one control message and checks the reply against `expect`.
+    fn control(
+        &mut self,
+        index: usize,
+        msg: &CtrlMsg,
+        expect: impl Fn(&CtrlMsg) -> bool,
+    ) -> Result<CtrlMsg, ProcError> {
+        let node = &mut self.nodes[index];
+        let fail = |msg: String| ProcError::Control { index, msg };
+        write_ctrl(&mut node.ctrl, msg).map_err(|e| fail(format!("send failed: {e}")))?;
+        let reply = match read_ctrl(&mut node.ctrl) {
+            Ok(Some(reply)) => reply,
+            Ok(None) => {
+                let status = wait_deadline(&mut node.child, Duration::from_millis(500));
+                return Err(ProcError::NodeDied { index, status });
+            }
+            Err(e) => return Err(fail(format!("recv failed: {e}"))),
+        };
+        match reply {
+            CtrlMsg::Fail(msg) => Err(fail(msg)),
+            reply if expect(&reply) => Ok(reply),
+            reply => Err(fail(format!("unexpected reply {reply:?}"))),
+        }
+    }
+
+    /// Runs the full submission workload through the cluster and tears it
+    /// down. Consumes the deployment; any failure kills every child.
+    pub fn run(mut self) -> Result<ProcReport, ProcError> {
+        match self.run_inner() {
+            Ok(report) => Ok(report),
+            Err(e) => {
+                self.abort();
+                Err(e)
+            }
+        }
+    }
+
+    fn run_inner(&mut self) -> Result<ProcReport, ProcError> {
+        let cfg = self.cfg.clone();
+        let submit_bin = match &cfg.submit_bin {
+            Some(path) => path.clone(),
+            None => find_binary("prio-submit")?,
+        };
+        let servers = self
+            .node_data_addrs()
+            .iter()
+            .map(|a| a.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let mut submit = Command::new(&submit_bin)
+            .args(["--servers", &servers])
+            .args(["--afe", cfg.afe.tag()])
+            .args(["--size", &cfg.afe.size().to_string()])
+            .args(["--field", cfg.field.tag()])
+            .args(["--h-form", h_form_tag(cfg.h_form)])
+            .args(["--submissions", &cfg.submissions.to_string()])
+            .args(["--tamper-permille", &cfg.tamper_permille.to_string()])
+            .args(["--batch", &cfg.batch.to_string()])
+            .args(["--runs", &cfg.runs.to_string()])
+            .args(["--seed", &cfg.seed.to_string()])
+            .args(["--timeout-ms", &cfg.timeout.as_millis().to_string()])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .map_err(ProcError::Spawn)?;
+        let submit_out = LineReader::spawn(submit.stdout.take().expect("stdout piped"));
+        let mut submit_in = submit.stdin.take().expect("stdin piped");
+
+        let result = (|| {
+            let line = submit_out.next_line(cfg.timeout, "submit")?;
+            if let Some(msg) = line.strip_prefix("PRIO-SUBMIT-ERROR ") {
+                return Err(ProcError::Submit(msg.into()));
+            }
+            let driver_addr: SocketAddr = line_field(&line, "data")
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| ProcError::Handshake {
+                    who: "submit".into(),
+                    msg: format!("bad handshake line {line:?}"),
+                })?;
+
+            // Register the driver at every node; only then may it send.
+            let driver_id = cfg.num_servers as u64;
+            for index in 0..self.nodes.len() {
+                self.control(
+                    index,
+                    &CtrlMsg::Ingest {
+                        driver: driver_id,
+                        addr: driver_addr,
+                    },
+                    |m| matches!(m, CtrlMsg::IngestAck),
+                )?;
+            }
+            submit_in
+                .write_all(b"GO\n")
+                .map_err(|e| ProcError::Submit(format!("sending GO failed: {e}")))?;
+
+            // The whole workload runs between GO and the result line; every
+            // driver receive is bounded by cfg.timeout, so 4× covers the
+            // protocol tail without masking a wedged cluster.
+            let run_deadline = cfg.timeout.saturating_mul(4);
+            let line = submit_out.next_line(run_deadline, "submit result")?;
+            if let Some(msg) = line.strip_prefix("PRIO-SUBMIT-ERROR ") {
+                return Err(ProcError::Submit(msg.into()));
+            }
+            if !line.starts_with("PRIO-RESULT ") {
+                return Err(ProcError::Submit(format!("unexpected output {line:?}")));
+            }
+            let num = |key: &str| -> Result<u64, ProcError> {
+                line_field(&line, key)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| ProcError::Submit(format!("result lacks {key}: {line:?}")))
+            };
+            let list = |key: &str| -> Result<Vec<u64>, ProcError> {
+                let raw = line_field(&line, key)
+                    .ok_or_else(|| ProcError::Submit(format!("result lacks {key}: {line:?}")))?;
+                if raw.is_empty() {
+                    return Ok(Vec::new());
+                }
+                raw.split(',')
+                    .map(|tok| {
+                        tok.parse()
+                            .map_err(|_| ProcError::Submit(format!("bad {key} entry {tok:?}")))
+                    })
+                    .collect()
+            };
+            let accepted = num("accepted")?;
+            let rejected = num("rejected")?;
+            let upload_bytes = num("upload_bytes")?;
+            let driver_publish_bytes = num("driver_publish_bytes")?;
+            let sigma = list("sigma")?;
+            let batch_wall = list("batch_wall_us")?
+                .into_iter()
+                .map(Duration::from_micros)
+                .collect();
+
+            let submit_status = wait_deadline(&mut submit, cfg.timeout)
+                .ok_or_else(|| ProcError::Timeout("submit process exit".into()))?;
+            if !submit_status.success() {
+                return Err(ProcError::Submit(format!("exit status {submit_status:?}")));
+            }
+
+            // Gather per-node stats, then shut everything down.
+            let mut node_stats = Vec::with_capacity(self.nodes.len());
+            for index in 0..self.nodes.len() {
+                let reply = self.control(index, &CtrlMsg::FlushAggregate, |m| {
+                    matches!(m, CtrlMsg::Stats(_))
+                })?;
+                let CtrlMsg::Stats(stats) = reply else { unreachable!("matched above") };
+                node_stats.push(stats);
+            }
+            // submit_status.success() was checked above, so only the node
+            // shutdowns can still flip this.
+            let mut clean_exit = true;
+            for index in 0..self.nodes.len() {
+                let reply =
+                    self.control(index, &CtrlMsg::Shutdown, |m| matches!(m, CtrlMsg::Bye { .. }))?;
+                let CtrlMsg::Bye { clean } = reply else { unreachable!("matched above") };
+                let status = wait_deadline(&mut self.nodes[index].child, cfg.timeout)
+                    .ok_or_else(|| ProcError::Timeout(format!("node {index} exit")))?;
+                clean_exit &= clean && status.success();
+            }
+
+            Ok(ProcReport {
+                accepted,
+                rejected,
+                sigma,
+                batch_wall,
+                upload_bytes,
+                driver_publish_bytes,
+                node_stats,
+                clean_exit,
+            })
+        })();
+
+        if result.is_err() {
+            let _ = submit.kill();
+            let _ = submit.wait();
+        }
+        result
+    }
+
+    /// Kills every node that is still running. Idempotent; also runs on
+    /// drop, so an errored or abandoned deployment never leaks children.
+    fn abort(&mut self) {
+        for node in &mut self.nodes {
+            if matches!(node.child.try_wait(), Ok(None) | Err(_)) {
+                let _ = node.child.kill();
+            }
+            let _ = node.child.wait();
+        }
+    }
+}
+
+impl Drop for ProcDeployment {
+    fn drop(&mut self) {
+        self.abort();
+    }
+}

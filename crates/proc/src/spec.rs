@@ -1,0 +1,281 @@
+//! Workload specifications shared by the node binary, the submit binary,
+//! and the orchestrator: AFE/field tags, deterministic input generation,
+//! and the canonical tamper rule.
+//!
+//! Everything here is deterministic in `(spec, seed)`: the submit binary
+//! encodes submissions in its own process, and tests re-encode the *same*
+//! submissions in-process to check the multi-process aggregate bit for
+//! bit. Client-side randomness (inputs, share blinding) intentionally uses
+//! the workspace's deterministic `rand` shim — it models test traffic, not
+//! server-side protocol randomness, which flows through `prio_crypto`
+//! (see [`prio_core::Server::make_context`]).
+
+use prio_afe::freq::FrequencyAfe;
+use prio_afe::linreg::{Example, LinRegAfe};
+use prio_afe::mostpop::MostPopularAfe;
+use prio_afe::sum::SumAfe;
+use prio_core::{Client, ClientConfig, ClientSubmission, ShareBlob};
+use prio_field::FieldElement;
+use prio_snip::{HForm, VerifyMode};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Which AFE a deployment runs, with its size parameter.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum AfeSpec {
+    /// `b`-bit integer sum.
+    Sum(u32),
+    /// Histogram over `n` buckets.
+    Freq(usize),
+    /// `d`-dimensional least-squares regression on 8-bit data.
+    LinReg(usize),
+    /// Most-popular `b`-bit string.
+    MostPop(u32),
+}
+
+impl AfeSpec {
+    /// Stable lowercase tag (matches the bench registry and `NodeConfig`).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            AfeSpec::Sum(_) => "sum",
+            AfeSpec::Freq(_) => "freq",
+            AfeSpec::LinReg(_) => "linreg",
+            AfeSpec::MostPop(_) => "mostpop",
+        }
+    }
+
+    /// The size parameter (bits / buckets / dimension).
+    pub fn size(&self) -> u64 {
+        match *self {
+            AfeSpec::Sum(b) => b as u64,
+            AfeSpec::Freq(n) => n as u64,
+            AfeSpec::LinReg(d) => d as u64,
+            AfeSpec::MostPop(b) => b as u64,
+        }
+    }
+
+    /// Parses a `(tag, size)` pair from a `NodeConfig` or CLI.
+    pub fn parse(tag: &str, size: u64) -> Option<Self> {
+        match tag {
+            "sum" => Some(AfeSpec::Sum(u32::try_from(size).ok()?)),
+            "freq" => Some(AfeSpec::Freq(usize::try_from(size).ok()?)),
+            "linreg" => Some(AfeSpec::LinReg(usize::try_from(size).ok()?)),
+            "mostpop" => Some(AfeSpec::MostPop(u32::try_from(size).ok()?)),
+            _ => None,
+        }
+    }
+}
+
+/// Which Prio field a deployment runs over.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FieldSpec {
+    /// 64-bit field (the default deployment field).
+    F64,
+    /// 128-bit field.
+    F128,
+}
+
+impl FieldSpec {
+    /// Stable lowercase tag.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            FieldSpec::F64 => "f64",
+            FieldSpec::F128 => "f128",
+        }
+    }
+
+    /// Parses a tag.
+    pub fn parse(tag: &str) -> Option<Self> {
+        match tag {
+            "f64" => Some(FieldSpec::F64),
+            "f128" => Some(FieldSpec::F128),
+            _ => None,
+        }
+    }
+}
+
+/// Tag for a [`VerifyMode`] (control-plane and CLI form).
+pub fn verify_mode_tag(mode: VerifyMode) -> &'static str {
+    match mode {
+        VerifyMode::FixedPoint => "fixed_point",
+        VerifyMode::Interpolate => "interpolate",
+    }
+}
+
+/// Parses a [`VerifyMode`] tag.
+pub fn parse_verify_mode(tag: &str) -> Option<VerifyMode> {
+    match tag {
+        "fixed_point" => Some(VerifyMode::FixedPoint),
+        "interpolate" => Some(VerifyMode::Interpolate),
+        _ => None,
+    }
+}
+
+/// Tag for an [`HForm`].
+pub fn h_form_tag(h: HForm) -> &'static str {
+    match h {
+        HForm::PointValue => "point_value",
+        HForm::Coefficients => "coefficients",
+    }
+}
+
+/// Parses an [`HForm`] tag.
+pub fn parse_h_form(tag: &str) -> Option<HForm> {
+    match tag {
+        "point_value" => Some(HForm::PointValue),
+        "coefficients" => Some(HForm::Coefficients),
+        _ => None,
+    }
+}
+
+/// The canonical tamper rule: submission `j` is tampered iff the evenly
+/// spread `⌊n·permille/1000⌋`-sized subset selects it. Both the submit
+/// binary and the in-process reference runs use this exact predicate, so
+/// accept/reject sets line up across processes.
+pub fn is_tampered(j: usize, tamper_permille: u32) -> bool {
+    let p = u64::from(tamper_permille.min(1000));
+    (j as u64 * p) / 1000 != ((j as u64 + 1) * p) / 1000
+}
+
+/// Corrupts one submission the way the Section-1 ballot-stuffing client
+/// would: bump the first element of the explicit share vector, so the
+/// submission parses fine everywhere but its SNIP no longer verifies.
+pub fn tamper<F: FieldElement>(sub: &mut ClientSubmission<F>) {
+    let blob = sub.blobs.last_mut().expect("at least one blob");
+    let ShareBlob::Explicit(v) = blob else {
+        panic!("last share blob is explicit under PRG compression");
+    };
+    v[0] += F::one();
+}
+
+/// Deterministically encodes `n` submissions for the given workload,
+/// tampering the [`is_tampered`] subset. Identical `(spec, servers, n,
+/// seed, tamper_permille)` always yields byte-identical submissions,
+/// whichever process runs it.
+pub fn encode_submissions<F: FieldElement>(
+    spec: AfeSpec,
+    num_servers: usize,
+    h_form: HForm,
+    n: usize,
+    seed: u64,
+    tamper_permille: u32,
+) -> Vec<ClientSubmission<F>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let client_cfg = ClientConfig {
+        num_servers,
+        h_form,
+        compress: true,
+    };
+    let mut subs = match spec {
+        AfeSpec::Sum(bits) => {
+            let mut client = Client::new(SumAfe::new(bits), client_cfg);
+            let max = 1u64 << bits.min(63);
+            (0..n)
+                .map(|_| {
+                    let v = rng.random_range(0..max);
+                    client.submit(&v, &mut rng).expect("honest input")
+                })
+                .collect::<Vec<_>>()
+        }
+        AfeSpec::Freq(buckets) => {
+            let mut client = Client::new(FrequencyAfe::new(buckets), client_cfg);
+            (0..n)
+                .map(|_| {
+                    let v = rng.random_range(0..buckets);
+                    client.submit(&v, &mut rng).expect("honest input")
+                })
+                .collect()
+        }
+        AfeSpec::LinReg(dim) => {
+            let mut client = Client::new(LinRegAfe::new(dim, 8), client_cfg);
+            (0..n)
+                .map(|_| {
+                    let ex = Example {
+                        features: (0..dim).map(|_| rng.random_range(0..256u64)).collect(),
+                        y: rng.random_range(0..256u64),
+                    };
+                    client.submit(&ex, &mut rng).expect("honest input")
+                })
+                .collect()
+        }
+        AfeSpec::MostPop(bits) => {
+            let mut client = Client::new(MostPopularAfe::new(bits), client_cfg);
+            let max = 1u64 << bits.min(63);
+            (0..n)
+                .map(|_| {
+                    let v = rng.random_range(0..max);
+                    client.submit(&v, &mut rng).expect("honest input")
+                })
+                .collect()
+        }
+    };
+    for (j, sub) in subs.iter_mut().enumerate() {
+        if is_tampered(j, tamper_permille) {
+            tamper(sub);
+        }
+    }
+    subs
+}
+
+/// How many of `n` submissions [`is_tampered`] selects.
+pub fn tampered_count(n: usize, tamper_permille: u32) -> usize {
+    (0..n).filter(|&j| is_tampered(j, tamper_permille)).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prio_field::Field64;
+
+    #[test]
+    fn tags_roundtrip() {
+        for spec in [
+            AfeSpec::Sum(8),
+            AfeSpec::Freq(32),
+            AfeSpec::LinReg(4),
+            AfeSpec::MostPop(16),
+        ] {
+            assert_eq!(AfeSpec::parse(spec.tag(), spec.size()), Some(spec));
+        }
+        assert_eq!(AfeSpec::parse("median", 4), None);
+        for f in [FieldSpec::F64, FieldSpec::F128] {
+            assert_eq!(FieldSpec::parse(f.tag()), Some(f));
+        }
+        for m in [VerifyMode::FixedPoint, VerifyMode::Interpolate] {
+            assert_eq!(parse_verify_mode(verify_mode_tag(m)), Some(m));
+        }
+        for h in [HForm::PointValue, HForm::Coefficients] {
+            assert_eq!(parse_h_form(h_form_tag(h)), Some(h));
+        }
+    }
+
+    #[test]
+    fn tamper_rule_is_spread_and_exact() {
+        assert_eq!(tampered_count(200, 100), 20);
+        assert_eq!(tampered_count(200, 0), 0);
+        assert_eq!(tampered_count(10, 1000), 10);
+        // Evenly spread: no two adjacent tampered indices at 10%.
+        let idx: Vec<usize> = (0..200).filter(|&j| is_tampered(j, 100)).collect();
+        assert!(idx.windows(2).all(|w| w[1] - w[0] >= 2));
+    }
+
+    #[test]
+    fn encoding_is_deterministic_and_tamper_rejects() {
+        let a = encode_submissions::<Field64>(AfeSpec::Sum(4), 3, HForm::PointValue, 10, 7, 200);
+        let b = encode_submissions::<Field64>(AfeSpec::Sum(4), 3, HForm::PointValue, 10, 7, 200);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.prg_label, y.prg_label);
+            assert_eq!(x.blobs, y.blobs);
+        }
+        // The tampered subset is rejected by an in-process cluster, the
+        // honest remainder accepted.
+        let mut cluster: prio_core::Cluster<Field64, _> = prio_core::Cluster::new(
+            prio_afe::sum::SumAfe::new(4),
+            3,
+            VerifyMode::FixedPoint,
+        );
+        let decisions: Vec<bool> = a.iter().map(|sub| cluster.process(sub)).collect();
+        for (j, &d) in decisions.iter().enumerate() {
+            assert_eq!(d, !is_tampered(j, 200), "submission {j}");
+        }
+    }
+}

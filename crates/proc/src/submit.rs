@@ -1,0 +1,159 @@
+//! The `prio-submit` runtime: the client-side driver as an OS process.
+//!
+//! It plays every client *and* the submission driver: deterministically
+//! encodes `n` submissions for the configured workload (tampering an
+//! evenly spread fraction, see [`crate::spec::is_tampered`]), uploads them
+//! batch by batch to all nodes over the data plane, collects the leader's
+//! decisions, and finishes with the publish phase.
+//!
+//! Handshake: it prints `PRIO-SUBMIT data=<addr>` once its driver endpoint
+//! is bound, then blocks until the orchestrator writes a `GO` line on
+//! stdin (the orchestrator needs the gap to register the driver's address
+//! at every node). On success it prints one machine-readable line —
+//!
+//! ```text
+//! PRIO-RESULT accepted=<n> rejected=<n> upload_bytes=<n> sigma=<v,..> batch_wall_us=<w,..>
+//! ```
+//!
+//! — and exits 0. Any failure (a dead node, a receive timeout, a protocol
+//! violation) prints `PRIO-SUBMIT-ERROR <msg>` and exits 1: the typed
+//! [`prio_core::DriverError`] surfaces to the orchestrator instead of a
+//! hang, because every receive is bounded by `--timeout-ms`.
+
+use crate::spec::{encode_submissions, AfeSpec, FieldSpec};
+use prio_snip::HForm;
+use prio_core::BatchDriver;
+use prio_field::{Field128, Field64, FieldElement};
+use prio_net::{NodeId, TcpTransport};
+use std::io::{BufRead, Write as _};
+use std::net::SocketAddr;
+use std::time::Duration;
+
+/// Parsed CLI arguments for one submit run.
+#[derive(Clone, Debug)]
+pub struct SubmitArgs {
+    /// Data-plane addresses of the server set, index order (0 = leader).
+    pub servers: Vec<SocketAddr>,
+    /// Workload AFE.
+    pub afe: AfeSpec,
+    /// Field.
+    pub field: FieldSpec,
+    /// `h` transmission form (must match the servers').
+    pub h_form: HForm,
+    /// Submissions to encode.
+    pub submissions: usize,
+    /// Tampered fraction in permille (0..=1000).
+    pub tamper_permille: u32,
+    /// Submissions per `run_batch` call.
+    pub batch: usize,
+    /// How many times the full submission set is replayed (bench warmup +
+    /// iterations ride this).
+    pub runs: usize,
+    /// Client RNG seed.
+    pub seed: u64,
+    /// Per-receive deadline.
+    pub timeout: Duration,
+}
+
+fn fail(msg: &str) -> i32 {
+    println!("PRIO-SUBMIT-ERROR {msg}");
+    let _ = std::io::stdout().flush();
+    1
+}
+
+/// Runs the submit driver to completion; returns the process exit code.
+pub fn run(args: &SubmitArgs) -> i32 {
+    match args.field {
+        FieldSpec::F64 => drive::<Field64>(args),
+        FieldSpec::F128 => drive::<Field128>(args),
+    }
+}
+
+fn drive<F: FieldElement>(args: &SubmitArgs) -> i32 {
+    let s = args.servers.len();
+    if s < 2 {
+        return fail("need at least two server addresses");
+    }
+    let net = TcpTransport::new();
+    for (i, &addr) in args.servers.iter().enumerate() {
+        if let Err(e) = net.register_peer(NodeId(i), addr) {
+            return fail(&format!("server {i} registration failed: {e}"));
+        }
+    }
+    // By convention the driver is node `s` on every process's fabric.
+    let ep = match net.try_endpoint_with_id(NodeId(s)) {
+        Ok(ep) => ep,
+        Err(e) => return fail(&format!("driver bind failed: {e}")),
+    };
+    let addr = ep.local_addr().expect("tcp endpoint has an address");
+    println!("PRIO-SUBMIT data={addr}");
+    let _ = std::io::stdout().flush();
+
+    // Wait for the orchestrator's GO: every node must know our address
+    // before the leader first tries to report decisions to us.
+    let mut line = String::new();
+    match std::io::stdin().lock().read_line(&mut line) {
+        Ok(0) => return fail("stdin closed before GO"),
+        Ok(_) if line.trim() == "GO" => {}
+        Ok(_) => return fail(&format!("expected GO, got {:?}", line.trim())),
+        Err(e) => return fail(&format!("reading GO failed: {e}")),
+    }
+
+    let subs = encode_submissions::<F>(
+        args.afe,
+        s,
+        args.h_form,
+        args.submissions,
+        args.seed,
+        args.tamper_permille,
+    );
+    let server_ids: Vec<NodeId> = (0..s).map(NodeId).collect();
+    let mut driver: BatchDriver<F> =
+        BatchDriver::new(ep, server_ids).with_timeout(args.timeout);
+    for _ in 0..args.runs.max(1) {
+        for chunk in subs.chunks(args.batch.max(1)) {
+            if let Err(e) = driver.run_batch(chunk) {
+                return fail(&format!("batch failed: {e}"));
+            }
+        }
+    }
+    // Everything sent so far is upload traffic; the publish request bytes
+    // below belong to the publish phase.
+    let upload_bytes = driver.endpoint().bytes_sent();
+    let sigma = match driver.publish() {
+        Ok(sigma) => sigma,
+        Err(e) => return fail(&format!("publish failed: {e}")),
+    };
+    driver.shutdown();
+    // Publish-phase driver traffic: PublishRequest + Shutdown frames —
+    // the same frames the in-process fig6 publish snapshot attributes to
+    // the driver, so publish totals stay comparable across backends.
+    let driver_publish_bytes = driver.endpoint().bytes_sent() - upload_bytes;
+
+    let sigma_str = sigma
+        .iter()
+        .map(|v| {
+            v.try_to_u128()
+                .map(|x| (x as u64).to_string())
+                .unwrap_or_else(|| u64::MAX.to_string())
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let wall_str = driver
+        .batch_wall()
+        .iter()
+        .map(|d| (d.as_micros() as u64).to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    println!(
+        "PRIO-RESULT accepted={} rejected={} upload_bytes={} driver_publish_bytes={} sigma={} batch_wall_us={}",
+        driver.accepted(),
+        driver.rejected(),
+        upload_bytes,
+        driver_publish_bytes,
+        sigma_str,
+        wall_str
+    );
+    let _ = std::io::stdout().flush();
+    0
+}

@@ -17,21 +17,23 @@
 //! | `prio_afe` | Affine-aggregatable encodings: sum/mean, boolean, frequency, min/max, variance, linear regression, R², sets, sketches, most-popular |
 //! | `prio_snip` | Secret-shared non-interactive proofs: prover, two-round verifier, Beaver triples, MPC helpers |
 //! | `prio_net` | Pluggable transports (in-process sim fabric + localhost TCP) with byte accounting; length-delimited wire encoding |
-//! | `prio_core` | The pipeline: `Client`, `Server`, single-threaded `Cluster` simulation, threaded `Deployment` |
+//! | `prio_core` | The pipeline: `Client`, `Server`, the shared server loop + batch driver, single-threaded `Cluster` simulation, threaded `Deployment` |
 //! | `prio_baselines` | The paper's comparison points: no-privacy, no-robustness, NIZK (Pedersen/Chaum–Pedersen), SNARK cost model |
+//! | `prio_proc` | Multi-process deployment: `prio-node` + `prio-submit` binaries, control-plane protocol, `ProcDeployment` orchestrator |
 //! | `prio_bench` | Benchmark harness reproducing Figures 4–6: scenario registry, warmup/iteration stats, JSON + table reporters, `prio-bench` binary |
 //!
 //! # Dependency DAG
 //!
 //! ```text
 //! field ─┬─> crypto ──┬─> core <─┬── net <── bytes (shim)
-//!        ├─> circuit ─┼─> snip ──┤
-//!        │            └─> afe ───┤
+//!        ├─> circuit ─┼─> snip ──┤     ^
+//!        │            └─> afe ───┤     └──── proc ──> (bench)
 //!        └─> baselines <─────────┘        rand / proptest (shims)
 //! ```
 //!
-//! `prio_core` sits at the top and pulls in everything; `prio_baselines`
-//! depends on `field`, `crypto`, and `net` only.
+//! `prio_proc` re-hosts `prio_core`'s server loop and batch driver as OS
+//! processes (`prio_bench` drives it as the `deployment_proc` backend);
+//! `prio_baselines` depends on `field`, `crypto`, and `net` only.
 //!
 //! # Offline, zero-dependency builds
 //!

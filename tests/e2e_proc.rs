@@ -1,0 +1,123 @@
+//! End-to-end test of the multi-process deployment (`prio_proc`): the
+//! acceptance scenario for the process fabric.
+//!
+//! A 3-server and a 5-server Prio pipeline each run as `s + 1` real OS
+//! processes (`s` × `prio-node` + 1 × `prio-submit`, orchestrated from
+//! this test process): 200 submissions with a 10% tamper fraction are
+//! uploaded over real sockets, the tampered subset is rejected, every
+//! child exits cleanly, and the aggregate matches an in-process
+//! [`Cluster`] run of the *same* submissions bit for bit.
+
+use prio_afe::sum::SumAfe;
+use prio_core::Cluster;
+use prio_field::{Field64, FieldElement};
+use prio_proc::spec::{encode_submissions, is_tampered, tampered_count};
+use prio_proc::{AfeSpec, FieldSpec, ProcConfig, ProcDeployment};
+use prio_snip::{HForm, VerifyMode};
+
+const SUBMISSIONS: usize = 200;
+const TAMPER_PERMILLE: u32 = 100; // 10% → 20 tampered
+const SEED: u64 = 0xE2E0;
+
+/// In-process reference over the identical submission set.
+fn cluster_reference(servers: usize) -> (u64, u64, Vec<u64>) {
+    let subs = encode_submissions::<Field64>(
+        AfeSpec::Sum(8),
+        servers,
+        HForm::PointValue,
+        SUBMISSIONS,
+        SEED,
+        TAMPER_PERMILLE,
+    );
+    let mut cluster: Cluster<Field64, _> =
+        Cluster::new(SumAfe::new(8), servers, VerifyMode::FixedPoint);
+    for (j, sub) in subs.iter().enumerate() {
+        let accepted = cluster.process(sub);
+        assert_eq!(accepted, !is_tampered(j, TAMPER_PERMILLE), "submission {j}");
+    }
+    let sigma = cluster
+        .aggregate()
+        .iter()
+        .map(|v| v.try_to_u128().map(|x| x as u64).unwrap_or(u64::MAX))
+        .collect();
+    (cluster.accepted(), cluster.rejected(), sigma)
+}
+
+fn run_proc_pipeline(servers: usize) {
+    let cfg = ProcConfig::new(servers, AfeSpec::Sum(8), FieldSpec::F64, SUBMISSIONS)
+        .with_tamper_permille(TAMPER_PERMILLE)
+        .with_batch(50) // four protocol batches
+        .with_seed(SEED);
+    let deployment = ProcDeployment::launch(cfg).expect("cluster launches");
+    let report = deployment.run().expect("pipeline completes");
+
+    let tampered = tampered_count(SUBMISSIONS, TAMPER_PERMILLE) as u64;
+    assert_eq!(tampered, 20);
+    assert_eq!(report.accepted, SUBMISSIONS as u64 - tampered, "s={servers}");
+    assert_eq!(report.rejected, tampered, "s={servers}");
+    assert_eq!(report.batch_wall.len(), 4);
+
+    // Bit-for-bit against the in-process cluster.
+    let (ref_acc, ref_rej, ref_sigma) = cluster_reference(servers);
+    assert_eq!(report.accepted, ref_acc);
+    assert_eq!(report.rejected, ref_rej);
+    assert_eq!(report.sigma, ref_sigma, "s={servers} aggregate diverged");
+
+    // Process hygiene: every node served, finished its loop through an
+    // orderly shutdown, and exited 0 — no zombies, no forced kills.
+    assert!(report.clean_exit, "s={servers}: a child exited uncleanly");
+    assert_eq!(report.node_stats.len(), servers);
+    for (i, stats) in report.node_stats.iter().enumerate() {
+        assert!(stats.clean, "node {i} loop did not shut down cleanly");
+        assert_eq!(stats.accepted + stats.rejected, SUBMISSIONS as u64);
+        assert_eq!(stats.accepted, ref_acc, "node {i} accept count");
+        assert!(stats.verify_bytes_sent > 0, "node {i} sent nothing");
+    }
+
+    // Figure-6 cross-process sanity: the leader out-transmits every
+    // non-leader during verification, and upload traffic flowed.
+    let (leader, non_leader) = report.leader_vs_non_leader_bytes();
+    assert!(leader > non_leader, "s={servers}: {leader} vs {non_leader}");
+    assert!(report.upload_bytes as usize > SUBMISSIONS * 100);
+}
+
+#[test]
+fn three_server_pipeline_as_real_processes() {
+    run_proc_pipeline(3);
+}
+
+#[test]
+fn five_server_pipeline_as_real_processes() {
+    run_proc_pipeline(5);
+}
+
+/// The Figure-6 leader asymmetry grows with the server count exactly as on
+/// the in-process fabrics: a non-leader's verification traffic is
+/// independent of `s`, the leader's scales with `s − 1`.
+#[test]
+fn leader_asymmetry_scales_across_processes() {
+    let run = |servers: usize| {
+        let cfg = ProcConfig::new(servers, AfeSpec::Sum(8), FieldSpec::F64, 24).with_seed(7);
+        ProcDeployment::launch(cfg)
+            .expect("cluster launches")
+            .run()
+            .expect("pipeline completes")
+    };
+    let s3 = run(3);
+    let s5 = run(5);
+    let ratio = |r: &prio_proc::ProcReport| {
+        let (leader, non_leader) = r.leader_vs_non_leader_bytes();
+        leader as f64 / non_leader.max(1) as f64
+    };
+    // ≈ (s−1)·(V+D) / 2V: ~1.04 at s=3, ~2.08 at s=5.
+    assert!(ratio(&s3) > 1.0, "s=3 ratio {}", ratio(&s3));
+    assert!(
+        ratio(&s5) > ratio(&s3) * 1.5,
+        "s=5 ratio {} should dwarf s=3 ratio {}",
+        ratio(&s5),
+        ratio(&s3)
+    );
+    // Non-leader verification bytes per submission are s-independent.
+    let non_leader_bytes = |r: &prio_proc::ProcReport| r.server_verify_bytes()[1];
+    assert_eq!(non_leader_bytes(&s3), non_leader_bytes(&s5));
+}
