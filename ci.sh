@@ -30,6 +30,22 @@ cargo test -q --offline --test e2e_proc
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --offline --all-targets -- -D warnings
 
+# Cross-validation of prio-lint's no-panic rule: clippy's own unwrap/expect
+# lints over the network-facing crates, warn-level so the two checkers can
+# disagree visibly without double-gating (prio-lint is the gate; every
+# surviving warning corresponds to a reasoned lint:allow).
+echo "==> cargo clippy (unwrap/expect cross-check: prio_net, prio_proc)"
+cargo clippy --offline --no-deps -p prio_net -p prio_proc --lib --bins -- \
+  -W clippy::unwrap_used -W clippy::expect_used
+
+# The in-tree static-analysis pass (see crates/lint and ROADMAP.md
+# "Invariants"): fails on any finding, on more than 15 inline allows, or if
+# the full-workspace scan takes over 2 s — the lint must never become the
+# slow step.
+echo "==> prio-lint (workspace invariants)"
+cargo build --release --offline -p prio_lint
+cargo run --release --offline -q -p prio_lint -- --timing --max-allows 15 --max-millis 2000
+
 echo "==> prio-bench --smoke (all backends)"
 cargo run --release --offline -p prio_bench -- --smoke
 cargo run --release --offline -p prio_bench -- --check BENCH_prio.json

@@ -108,6 +108,7 @@ impl CountMinAfe {
     /// functions (all clients and servers must share it).
     pub fn new(params: SketchParams, deployment_seed: u64) -> Self {
         use rand::{Rng, SeedableRng};
+        // lint:allow(rand-shim, public deployment-shared hash parameters derived from a shared seed; not secret randomness)
         let mut rng = rand::rngs::StdRng::seed_from_u64(deployment_seed);
         let rows = params.rows();
         let cols = params.cols();

@@ -152,11 +152,13 @@ fn proc_upload_bytes_per_sub(sc: &Scenario) -> usize {
     let afe = AfeSpec::parse(sc.afe.tag(), sc.size as u64).expect("afe tag maps to a spec");
     match sc.field {
         FieldKind::F64 => {
-            encode_submissions::<Field64>(afe, sc.servers, HForm::PointValue, 1, sc.seed, 0)[0]
+            encode_submissions::<Field64>(afe, sc.servers, HForm::PointValue, 1, sc.seed, 0)
+                .expect("honest encode")[0]
                 .upload_bytes()
         }
         FieldKind::F128 => {
-            encode_submissions::<Field128>(afe, sc.servers, HForm::PointValue, 1, sc.seed, 0)[0]
+            encode_submissions::<Field128>(afe, sc.servers, HForm::PointValue, 1, sc.seed, 0)
+                .expect("honest encode")[0]
                 .upload_bytes()
         }
     }

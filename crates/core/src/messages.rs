@@ -264,9 +264,13 @@ pub fn pack_decisions(decisions: &[bool]) -> Vec<u8> {
     out
 }
 
-/// Unpacks a decision bitmask.
+/// Unpacks a decision bitmask. Total: a bitmask shorter than `count`
+/// demands (possible on a forged message) reads missing bits as `false`
+/// (reject) rather than panicking.
 pub fn unpack_decisions(bits: &[u8], count: usize) -> Vec<bool> {
-    (0..count).map(|i| bits[i / 8] >> (i % 8) & 1 == 1).collect()
+    (0..count)
+        .map(|i| bits.get(i / 8).is_some_and(|b| b >> (i % 8) & 1 == 1))
+        .collect()
 }
 
 #[cfg(test)]

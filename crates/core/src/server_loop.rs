@@ -134,6 +134,7 @@ fn recv_matching<F: FieldElement>(
             // sender id is trivially forgeable, so even a "known" source
             // may be a stranger) and keeps serving.
             Err(e) => match policy {
+                // lint:allow(no-panic, Strict is the in-process mode where every sender is trusted protocol code; a bad frame is a local bug that must fail loudly)
                 FramePolicy::Strict => panic!("undecodable message from {:?}: {e}", env.src),
                 FramePolicy::Lenient => {
                     eprintln!("prio-node: rejecting undecodable frame from {:?}: {e}", env.src);
@@ -179,16 +180,19 @@ fn batched_round2<F: FieldElement, A: Afe<F>>(
     states: &[Option<prio_snip::ServerState<F>>],
     combined: &[Round1Msg<F>],
 ) -> Vec<prio_snip::Round2Msg<F>> {
-    let ok_idx: Vec<usize> = states
-        .iter()
-        .enumerate()
-        .filter_map(|(j, st)| st.as_ref().map(|_| j))
-        .collect();
-    let sts: Vec<_> = ok_idx
-        .iter()
-        .map(|&j| states[j].clone().expect("ok index"))
-        .collect();
-    let combs: Vec<_> = ok_idx.iter().map(|&j| combined[j]).collect();
+    // Walk states and combined together: a combined vector shorter than the
+    // batch (possible on a forged leader message) simply poisons the tail
+    // instead of panicking.
+    let mut ok_idx: Vec<usize> = Vec::new();
+    let mut sts: Vec<prio_snip::ServerState<F>> = Vec::new();
+    let mut combs: Vec<Round1Msg<F>> = Vec::new();
+    for (j, st) in states.iter().enumerate() {
+        if let (Some(st), Some(comb)) = (st, combined.get(j)) {
+            ok_idx.push(j);
+            sts.push(st.clone());
+            combs.push(*comb);
+        }
+    }
     let compact = server.round2_batch(&sts, &combs);
     let mut out = vec![
         prio_snip::Round2Msg {
@@ -218,11 +222,14 @@ pub fn run_server_loop<F: FieldElement, A: Afe<F> + Sync>(
     opts: ServerLoopOptions,
 ) -> ServerLoopReport {
     let s = ids.len();
-    let my_index = ids.iter().position(|&id| id == ep.id()).expect("registered");
+    let mut report = ServerLoopReport::default();
+    let Some(my_index) = ids.iter().position(|&id| id == ep.id()) else {
+        eprintln!("server loop: own endpoint id not in the deployment's server set");
+        return report;
+    };
     let leader_id = ids[0];
     let is_leader = my_index == 0;
     let mut stash = VecDeque::new();
-    let mut report = ServerLoopReport::default();
     let mut known: Vec<NodeId> = ids.to_vec();
     known.push(driver);
     let policy = opts.frame_policy;
@@ -242,21 +249,28 @@ pub fn run_server_loop<F: FieldElement, A: Afe<F> + Sync>(
                 labels,
                 blobs,
             } => {
-                let ctx = server
-                    .make_context(ctx_seed)
-                    .expect("deployment config validated at start");
+                let ctx = match server.make_context(ctx_seed) {
+                    Ok(ctx) => ctx,
+                    Err(e) => {
+                        eprintln!("server loop: cannot derive verification context: {e:?}");
+                        return report;
+                    }
+                };
                 let count = blobs.len();
                 report.timings.submissions += count as u64;
-                // Unpack every submission; parse/unpack failures are
-                // flagged locally and voted "reject".
+                // Unpack every submission; parse/unpack failures — and a
+                // labels vector shorter than the blobs vector, possible on
+                // a forged batch — are flagged locally and voted "reject".
                 let phase_start = std::time::Instant::now();
                 let mut unpacked: Vec<Option<(Vec<F>, prio_snip::SnipProofShare<F>)>> =
                     Vec::with_capacity(count);
                 let mut local_ok = vec![true; count];
                 for (j, blob_bytes) in blobs.iter().enumerate() {
-                    let parsed = blob_from_bytes::<F>(blob_bytes)
-                        .ok()
-                        .and_then(|blob| server.unpack(&blob, labels[j]).ok());
+                    let parsed = labels.get(j).and_then(|&label| {
+                        blob_from_bytes::<F>(blob_bytes)
+                            .ok()
+                            .and_then(|blob| server.unpack(&blob, label).ok())
+                    });
                     if parsed.is_none() {
                         local_ok[j] = false;
                     }
@@ -268,14 +282,14 @@ pub fn run_server_loop<F: FieldElement, A: Afe<F> + Sync>(
                 // context, per-worker scratch, results merged in
                 // submission order.
                 let phase_start = std::time::Instant::now();
-                let ok_idx: Vec<usize> = (0..count).filter(|&j| local_ok[j]).collect();
-                let items: Vec<(&[F], &prio_snip::SnipProofShare<F>)> = ok_idx
-                    .iter()
-                    .map(|&j| {
-                        let (x, proof) = unpacked[j].as_ref().expect("ok index");
-                        (x.as_slice(), proof)
-                    })
-                    .collect();
+                let mut ok_idx: Vec<usize> = Vec::new();
+                let mut items: Vec<(&[F], &prio_snip::SnipProofShare<F>)> = Vec::new();
+                for (j, parsed) in unpacked.iter().enumerate() {
+                    if let Some((x, proof)) = parsed {
+                        ok_idx.push(j);
+                        items.push((x.as_slice(), proof));
+                    }
+                }
                 let results = server.round1_batch(&ctx, &items, opts.verify_threads);
 
                 let mut xs: Vec<Vec<F>> = vec![Vec::new(); count];
@@ -315,6 +329,16 @@ pub fn run_server_loop<F: FieldElement, A: Afe<F> + Sync>(
                         else {
                             return report;
                         };
+                        // A round-1 vector of the wrong length is a protocol
+                        // violation (or a forgery); abandon the run rather
+                        // than index out of bounds below.
+                        if v.len() != count {
+                            eprintln!(
+                                "server loop: round-1 vector of length {} for a batch of {count}",
+                                v.len()
+                            );
+                            return report;
+                        }
                         all_r1.push(v);
                     }
                     // Combine per submission and redistribute.
@@ -326,7 +350,9 @@ pub fn run_server_loop<F: FieldElement, A: Afe<F> + Sync>(
                         .collect();
                     let comb_msg = ServerMsg::Round1Combined(combined.clone()).to_wire_bytes();
                     for &sid in &ids[1..] {
-                        ep.send(sid, comb_msg.clone()).expect("send combined");
+                        if ep.send(sid, comb_msg.clone()).is_err() {
+                            return report;
+                        }
                     }
                     // Own round 2 (batched) plus gathered round 2s.
                     let phase_start = std::time::Instant::now();
@@ -341,6 +367,13 @@ pub fn run_server_loop<F: FieldElement, A: Afe<F> + Sync>(
                         else {
                             return report;
                         };
+                        if v.len() != count {
+                            eprintln!(
+                                "server loop: round-2 vector of length {} for a batch of {count}",
+                                v.len()
+                            );
+                            return report;
+                        }
                         all_r2.push(v);
                     }
                     let decisions: Vec<bool> = (0..count)
@@ -352,13 +385,21 @@ pub fn run_server_loop<F: FieldElement, A: Afe<F> + Sync>(
                     let dec_msg =
                         ServerMsg::<F>::Decisions(pack_decisions(&decisions)).to_wire_bytes();
                     for &sid in &ids[1..] {
-                        ep.send(sid, dec_msg.clone()).expect("send decisions");
+                        if ep.send(sid, dec_msg.clone()).is_err() {
+                            return report;
+                        }
                     }
-                    ep.send(driver, dec_msg).expect("notify driver");
+                    if ep.send(driver, dec_msg).is_err() {
+                        return report;
+                    }
                     decisions
                 } else {
-                    ep.send(leader_id, ServerMsg::Round1(round1).to_wire_bytes())
-                        .expect("send round1");
+                    if ep
+                        .send(leader_id, ServerMsg::Round1(round1).to_wire_bytes())
+                        .is_err()
+                    {
+                        return report;
+                    }
                     let Some(ServerMsg::Round1Combined(combined)) =
                         recv_matching(ep, &mut stash, policy, &known, |m| {
                             matches!(m, ServerMsg::Round1Combined(_))
@@ -366,11 +407,22 @@ pub fn run_server_loop<F: FieldElement, A: Afe<F> + Sync>(
                     else {
                         return report;
                     };
+                    if combined.len() != count {
+                        eprintln!(
+                            "server loop: combined round-1 vector of length {} for a batch of {count}",
+                            combined.len()
+                        );
+                        return report;
+                    }
                     let phase_start = std::time::Instant::now();
                     let r2 = batched_round2(server, &states, &combined);
                     report.timings.round2 += phase_start.elapsed();
-                    ep.send(leader_id, ServerMsg::Round2(r2).to_wire_bytes())
-                        .expect("send round2");
+                    if ep
+                        .send(leader_id, ServerMsg::Round2(r2).to_wire_bytes())
+                        .is_err()
+                    {
+                        return report;
+                    }
                     let Some(ServerMsg::Decisions(bits)) =
                         recv_matching(ep, &mut stash, policy, &known, |m| {
                             matches!(m, ServerMsg::Decisions(_))
@@ -396,14 +448,26 @@ pub fn run_server_loop<F: FieldElement, A: Afe<F> + Sync>(
                 // split without a shared-fabric snapshot.
                 report.verify_bytes_sent = ep.bytes_sent();
                 let acc = server.accumulator().to_vec();
-                ep.send(driver, ServerMsg::Accumulator(acc).to_wire_bytes())
-                    .expect("publish");
+                if ep
+                    .send(driver, ServerMsg::Accumulator(acc).to_wire_bytes())
+                    .is_err()
+                {
+                    return report;
+                }
             }
             ServerMsg::Shutdown => {
                 report.clean = true;
                 return report;
             }
-            other => panic!("unexpected message at server {my_index}: {other:?}"),
+            // recv_matching only returns the three phase-entry messages
+            // matched above; anything else here means the match filter and
+            // this arm drifted apart. Drop the message and keep serving.
+            other => {
+                eprintln!(
+                    "server loop: unexpected {} message at server {my_index}; dropping",
+                    msg_kind(&other)
+                );
+            }
         }
     }
 }

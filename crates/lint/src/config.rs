@@ -1,0 +1,127 @@
+//! `lint.toml` allowlist parsing — a line-oriented subset of TOML:
+//! `[[allow]]` tables with `key = "value"` string entries only.
+
+use crate::rules::Finding;
+
+/// One `[[allow]]` entry from `lint.toml`.
+#[derive(Clone, Debug)]
+pub struct AllowEntry {
+    /// Rule name the entry suppresses.
+    pub rule: String,
+    /// File path suffix the entry applies to.
+    pub file: String,
+    /// Optional function name restriction.
+    pub item: Option<String>,
+    /// Required human-readable justification.
+    pub reason: String,
+    /// Line of the `[[allow]]` header, for hygiene reports.
+    pub line: u32,
+}
+
+impl AllowEntry {
+    /// Whether this entry suppresses `f`.
+    pub fn matches(&self, f: &Finding) -> bool {
+        self.rule == f.rule
+            && f.file.ends_with(&self.file)
+            && self
+                .item
+                .as_deref()
+                .is_none_or(|item| f.func.as_deref() == Some(item))
+    }
+}
+
+/// Parsed allowlist configuration.
+#[derive(Clone, Debug, Default)]
+pub struct Config {
+    /// All `[[allow]]` entries in file order.
+    pub allows: Vec<AllowEntry>,
+}
+
+impl Config {
+    /// An empty configuration (no allowlist).
+    pub fn empty() -> Config {
+        Config::default()
+    }
+
+    /// Parses `lint.toml` text. Returns a message on malformed input or an
+    /// entry missing `rule`/`file`/`reason`.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut allows: Vec<AllowEntry> = Vec::new();
+        let mut cur: Option<AllowEntry> = None;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let lineno = lineno as u32 + 1;
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some(entry) = cur.take() {
+                    Self::finish(entry, &mut allows)?;
+                }
+                cur = Some(AllowEntry {
+                    rule: String::new(),
+                    file: String::new(),
+                    item: None,
+                    reason: String::new(),
+                    line: lineno,
+                });
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("lint.toml:{lineno}: expected `key = \"value\"`"));
+            };
+            let key = key.trim();
+            // Strip a trailing comment, then the quotes.
+            let value = value.trim();
+            let value = value
+                .strip_prefix('"')
+                .and_then(|v| v.split_once('"'))
+                .map(|(v, _rest)| v)
+                .ok_or_else(|| {
+                    format!("lint.toml:{lineno}: value for `{key}` must be a quoted string")
+                })?;
+            let Some(entry) = cur.as_mut() else {
+                return Err(format!(
+                    "lint.toml:{lineno}: `{key}` outside an [[allow]] table"
+                ));
+            };
+            match key {
+                "rule" => entry.rule = value.to_string(),
+                "file" => entry.file = value.to_string(),
+                "item" => entry.item = Some(value.to_string()),
+                "reason" => entry.reason = value.to_string(),
+                other => {
+                    return Err(format!("lint.toml:{lineno}: unknown key `{other}`"));
+                }
+            }
+        }
+        if let Some(entry) = cur.take() {
+            Self::finish(entry, &mut allows)?;
+        }
+        Ok(Config { allows })
+    }
+
+    fn finish(entry: AllowEntry, allows: &mut Vec<AllowEntry>) -> Result<(), String> {
+        if entry.rule.is_empty() || entry.file.is_empty() || entry.reason.is_empty() {
+            return Err(format!(
+                "lint.toml:{}: [[allow]] entry needs non-empty `rule`, `file`, and `reason`",
+                entry.line
+            ));
+        }
+        if !crate::rules::RULES.iter().any(|(name, _)| *name == entry.rule) {
+            return Err(format!(
+                "lint.toml:{}: unknown rule `{}`",
+                entry.line, entry.rule
+            ));
+        }
+        allows.push(entry);
+        Ok(())
+    }
+
+    /// Loads and parses a `lint.toml` file.
+    pub fn load(path: &std::path::Path) -> Result<Config, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::parse(&text)
+    }
+}

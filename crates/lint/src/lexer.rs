@@ -1,0 +1,274 @@
+//! A minimal Rust tokenizer: just enough lexical structure for token-level
+//! rules — comments (with `lint:allow` extraction), string/char/byte/raw
+//! literals, lifetimes vs. char literals, numbers, identifiers, `::`, and
+//! single-character punctuation. Everything rule logic doesn't need (exact
+//! numeric values, string contents) is collapsed into opaque kinds.
+
+/// One lexed token kind.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Numeric literal (value not retained).
+    Num,
+    /// String / char / byte / raw-string literal.
+    Lit,
+    /// Lifetime (`'a`).
+    Life,
+    /// Path separator `::`.
+    PathSep,
+    /// Any other single character.
+    P(char),
+}
+
+/// A token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// The token kind.
+    pub tok: Tok,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// An inline `// lint:allow(rule, reason)` directive.
+#[derive(Clone, Debug)]
+pub struct AllowDirective {
+    /// Line the comment sits on (it covers this line and the next).
+    pub line: u32,
+    /// Rule name inside the parens.
+    pub rule: String,
+    /// Everything after the first comma, trimmed. Empty = invalid.
+    pub reason: String,
+}
+
+/// Lexer output: the token stream plus any allow directives found in line
+/// comments.
+pub struct Lexed {
+    /// Tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Inline allow directives.
+    pub allows: Vec<AllowDirective>,
+}
+
+fn parse_allow(comment: &str, line: u32) -> Option<AllowDirective> {
+    // Doc comments (`///`, `//!`) are prose — only plain `//` comments can
+    // carry directives, so examples in docs never count.
+    if comment.starts_with('/') || comment.starts_with('!') {
+        return None;
+    }
+    let at = comment.find("lint:allow(")?;
+    let rest = &comment[at + "lint:allow(".len()..];
+    let close = rest.rfind(')')?;
+    let inner = &rest[..close];
+    let (rule, reason) = match inner.split_once(',') {
+        Some((r, why)) => (r.trim().to_string(), why.trim().trim_matches('"').trim().to_string()),
+        None => (inner.trim().to_string(), String::new()),
+    };
+    Some(AllowDirective { line, rule, reason })
+}
+
+/// Consumes a `"`-delimited string starting at `quote`; returns the index
+/// past the closing quote.
+fn consume_string(c: &[char], quote: usize, line: &mut u32) -> usize {
+    let mut j = quote + 1;
+    while j < c.len() {
+        match c[j] {
+            '\\' => j += 2,
+            '"' => return j + 1,
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Consumes a raw string whose opening quote is at `quote` with `hashes`
+/// leading `#`s; returns the index past the closing delimiter.
+fn consume_raw(c: &[char], quote: usize, hashes: usize, line: &mut u32) -> usize {
+    let mut j = quote + 1;
+    while j < c.len() {
+        if c[j] == '\n' {
+            *line += 1;
+            j += 1;
+            continue;
+        }
+        if c[j] == '"' {
+            let mut k = 0;
+            while k < hashes && j + 1 + k < c.len() && c[j + 1 + k] == '#' {
+                k += 1;
+            }
+            if k == hashes {
+                return j + 1 + hashes;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Tokenizes `src`.
+pub fn lex(src: &str) -> Lexed {
+    let c: Vec<char> = src.chars().collect();
+    let n = c.len();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut tokens = Vec::new();
+    let mut allows = Vec::new();
+
+    while i < n {
+        let ch = c[i];
+        match ch {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if ch.is_whitespace() => i += 1,
+            '/' if i + 1 < n && c[i + 1] == '/' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < n && c[j] != '\n' {
+                    j += 1;
+                }
+                let text: String = c[start..j].iter().collect();
+                if let Some(d) = parse_allow(&text, line) {
+                    allows.push(d);
+                }
+                i = j;
+            }
+            '/' if i + 1 < n && c[i + 1] == '*' => {
+                let mut depth = 1;
+                let mut j = i + 2;
+                while j < n && depth > 0 {
+                    if c[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if c[j] == '/' && j + 1 < n && c[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if c[j] == '*' && j + 1 < n && c[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            '"' => {
+                let start_line = line;
+                i = consume_string(&c, i, &mut line);
+                tokens.push(Token { tok: Tok::Lit, line: start_line });
+            }
+            '\'' => {
+                let start_line = line;
+                if i + 1 < n && (c[i + 1].is_alphanumeric() || c[i + 1] == '_') {
+                    let mut j = i + 1;
+                    while j < n && (c[j].is_alphanumeric() || c[j] == '_') {
+                        j += 1;
+                    }
+                    if j < n && c[j] == '\'' {
+                        // 'a' (or a malformed multi-char literal).
+                        tokens.push(Token { tok: Tok::Lit, line: start_line });
+                        i = j + 1;
+                    } else {
+                        tokens.push(Token { tok: Tok::Life, line: start_line });
+                        i = j;
+                    }
+                } else {
+                    // Escaped or punctuation char literal: scan to the
+                    // closing quote.
+                    let mut j = i + 1;
+                    while j < n && c[j] != '\'' {
+                        if c[j] == '\\' {
+                            j += 1;
+                        }
+                        if j < n && c[j] == '\n' {
+                            line += 1;
+                        }
+                        j += 1;
+                    }
+                    tokens.push(Token { tok: Tok::Lit, line: start_line });
+                    i = j + 1;
+                }
+            }
+            _ if ch.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < n && (c[j].is_alphanumeric() || c[j] == '_') {
+                    j += 1;
+                }
+                tokens.push(Token { tok: Tok::Num, line });
+                i = j;
+            }
+            _ if ch.is_alphabetic() || ch == '_' => {
+                let mut j = i + 1;
+                while j < n && (c[j].is_alphanumeric() || c[j] == '_') {
+                    j += 1;
+                }
+                let word: String = c[i..j].iter().collect();
+                let next = c.get(j).copied();
+                if (word == "r" || word == "b" || word == "br")
+                    && (next == Some('"') || next == Some('#'))
+                {
+                    let start_line = line;
+                    if next == Some('"') && (word == "b" || word == "br") {
+                        i = consume_string(&c, j, &mut line);
+                        tokens.push(Token { tok: Tok::Lit, line: start_line });
+                    } else if next == Some('"') {
+                        i = consume_raw(&c, j, 0, &mut line);
+                        tokens.push(Token { tok: Tok::Lit, line: start_line });
+                    } else {
+                        let mut k = j;
+                        let mut hashes = 0;
+                        while k < n && c[k] == '#' {
+                            hashes += 1;
+                            k += 1;
+                        }
+                        if k < n && c[k] == '"' && (word == "r" || word == "br") {
+                            i = consume_raw(&c, k, hashes, &mut line);
+                            tokens.push(Token { tok: Tok::Lit, line: start_line });
+                        } else if word == "r" && hashes == 1 {
+                            // Raw identifier r#ident.
+                            let mut m = k;
+                            while m < n && (c[m].is_alphanumeric() || c[m] == '_') {
+                                m += 1;
+                            }
+                            let ident: String = c[k..m].iter().collect();
+                            tokens.push(Token { tok: Tok::Ident(ident), line });
+                            i = m;
+                        } else {
+                            tokens.push(Token { tok: Tok::Ident(word), line });
+                            i = j;
+                        }
+                    }
+                } else if word == "b" && next == Some('\'') {
+                    // Byte char literal b'x'.
+                    let mut m = j + 1;
+                    while m < n && c[m] != '\'' {
+                        if c[m] == '\\' {
+                            m += 1;
+                        }
+                        m += 1;
+                    }
+                    tokens.push(Token { tok: Tok::Lit, line });
+                    i = m + 1;
+                } else {
+                    tokens.push(Token { tok: Tok::Ident(word), line });
+                    i = j;
+                }
+            }
+            ':' if i + 1 < n && c[i + 1] == ':' => {
+                tokens.push(Token { tok: Tok::PathSep, line });
+                i += 2;
+            }
+            _ => {
+                tokens.push(Token { tok: Tok::P(ch), line });
+                i += 1;
+            }
+        }
+    }
+
+    Lexed { tokens, allows }
+}

@@ -1,0 +1,241 @@
+//! `prio-lint`: the workspace's in-tree static-analysis pass.
+//!
+//! Prio's security argument (Corrigan-Gibbs & Boneh, NSDI'17) rests on two
+//! disciplines the Rust compiler cannot check, plus three robustness rules
+//! for the network surface. Each is a machine-checked rule here, run by
+//! `ci.sh` on every change:
+//!
+//! * **`rand-shim` (R1) — no test-grade randomness in production paths.**
+//!   The paper's privacy guarantee (§3, §5) holds only if shares and
+//!   verification challenges are drawn from a cryptographic PRG: a server
+//!   that can predict another server's randomness can bias the SNIP checks
+//!   or correlate shares. The workspace's `rand` shim is xoshiro256** —
+//!   deterministic, seedable, and *not* a PRG. Production code in
+//!   `crates/{core,snip,crypto,net,proc,afe,circuit,field}` must draw
+//!   protocol randomness from `prio_crypto::prg::PrgRng` (ChaCha20);
+//!   `StdRng`, `thread_rng`, and `rand::rng()` are flagged outside test
+//!   code.
+//!
+//! * **`no-panic` (R2) — no panics on untrusted input.** The threat model
+//!   (§2) says anyone — including a malicious client or a stranger on the
+//!   data socket — can hand a server arbitrary bytes. A panic on such
+//!   input is a one-frame denial-of-service against the whole aggregate.
+//!   In the designated network-facing modules (`net::{tcp,wire,control}`,
+//!   `proc::*`, `core::server_loop`) the `unwrap`/`expect` methods, the
+//!   `panic!`/`assert!`/`unreachable!` macro family, and range-slicing
+//!   with non-literal bounds are denied; malformed input must surface as a
+//!   typed error.
+//!
+//! * **`lock-order` (R3) — consistent lock acquisition order.** Every
+//!   `.lock()`/`.read()`/`.write()` acquisition (including the crate's
+//!   poison-ignoring `lock(&mutex)` helper) is recorded per function;
+//!   functions that acquire two named locks in an order contradicting the
+//!   rest of their crate are flagged as a static deadlock smell.
+//!
+//! * **`cast-truncation` (R4) — no truncating casts on lengths in wire
+//!   code.** In `wire.rs`/`control.rs`/`tcp.rs`, `expr.len() as u32` (or
+//!   any length-named expression cast to `u8`/`u16`/`u32`) silently
+//!   truncates oversized payloads into valid-looking frames; `try_from`
+//!   is required instead.
+//!
+//! * **`bounded-alloc` (R5) — no attacker-sized allocations.** An
+//!   allocation (`with_capacity`, `vec![_; n]`) whose size derives from a
+//!   decoded length (`get_len`, `from_le_bytes`, `decode_frame_header`)
+//!   must be preceded by a bound check against a `MAX_*` cap or the
+//!   buffer's `remaining()` bytes, or clamp at the use site (`.min(..)`) —
+//!   otherwise a 4-byte length prefix can demand gigabytes.
+//!
+//! # Suppressing a finding
+//!
+//! Two escape hatches, both requiring a written reason:
+//!
+//! * inline, covering the same line or the next line:
+//!   `// lint:allow(no-panic, documented builder validation of local config)`
+//! * in `lint.toml` at the workspace root, for sites better justified
+//!   centrally:
+//!   ```toml
+//!   [[allow]]
+//!   rule = "no-panic"
+//!   file = "crates/proc/src/orchestrator.rs"
+//!   item = "with_batch"            # optional: restrict to one function
+//!   reason = "documented builder-API validation"
+//!   ```
+//!
+//! A directive without a reason, or one that matches no finding, is itself
+//! reported — allowlists cannot silently rot.
+//!
+//! The scanner is a hand-rolled token-level pass (no `syn`, no rustc
+//! internals): a lexer that understands comments, strings, lifetimes and
+//! raw strings, plus a scope tracker for `#[cfg(test)]`/`#[test]`/`mod
+//! tests` regions and enclosing function names. That is deliberately
+//! lighter than a full parser — rules are written against token patterns
+//! and documented as slightly over- or under-approximate where it
+//! matters.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+
+pub use config::{AllowEntry, Config};
+pub use rules::{Finding, RULES};
+pub use scan::SourceFile;
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+/// Outcome of linting a set of files.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings that survived inline and config allowlists, sorted by
+    /// (file, line).
+    pub findings: Vec<Finding>,
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// Inline `lint:allow` directives present outside test trees.
+    pub inline_allows: usize,
+    /// Findings suppressed by an allowlist (inline or config).
+    pub suppressed: usize,
+}
+
+/// Lints already-loaded sources. `files` is `(workspace-relative path,
+/// source)`; rule applicability (designated modules, crate grouping) is
+/// derived from the path, so fixtures can impersonate any file.
+pub fn lint_files(files: &[(String, String)], cfg: &Config) -> Report {
+    let parsed: Vec<SourceFile> = files
+        .iter()
+        .map(|(path, src)| SourceFile::parse(path, src))
+        .collect();
+    let raw = rules::run_rules(&parsed);
+
+    let mut report = Report {
+        files_scanned: parsed.len(),
+        ..Report::default()
+    };
+    // Track which suppressions earned their keep.
+    let mut used_inline: HashSet<(usize, usize)> = HashSet::new(); // (file idx, allow idx)
+    let mut used_config: Vec<bool> = vec![false; cfg.allows.len()];
+
+    for finding in raw {
+        let file_idx = parsed.iter().position(|f| f.path == finding.file);
+        let mut suppressed = false;
+        if let Some(fi) = file_idx {
+            for (ai, allow) in parsed[fi].allows.iter().enumerate() {
+                let covers =
+                    finding.line == allow.line || finding.line == allow.line + 1;
+                if covers && allow.rule == finding.rule && !allow.reason.is_empty() {
+                    used_inline.insert((fi, ai));
+                    suppressed = true;
+                }
+            }
+        }
+        if !suppressed {
+            for (ci, entry) in cfg.allows.iter().enumerate() {
+                if entry.matches(&finding) {
+                    used_config[ci] = true;
+                    suppressed = true;
+                }
+            }
+        }
+        if suppressed {
+            report.suppressed += 1;
+        } else {
+            report.findings.push(finding);
+        }
+    }
+
+    // Allow hygiene: directives must carry a reason, name a real rule, and
+    // actually suppress something.
+    for (fi, file) in parsed.iter().enumerate() {
+        if file.in_test_tree {
+            continue;
+        }
+        report.inline_allows += file.allows.len();
+        for (ai, allow) in file.allows.iter().enumerate() {
+            let msg = if !RULES.iter().any(|(name, _)| *name == allow.rule) {
+                Some(format!("lint:allow names unknown rule '{}'", allow.rule))
+            } else if allow.reason.is_empty() {
+                Some(format!(
+                    "lint:allow({}) is missing its required reason",
+                    allow.rule
+                ))
+            } else if !used_inline.contains(&(fi, ai)) {
+                Some(format!(
+                    "unused lint:allow({}) — nothing on this or the next line trips the rule",
+                    allow.rule
+                ))
+            } else {
+                None
+            };
+            if let Some(msg) = msg {
+                report.findings.push(Finding {
+                    rule: "allow-hygiene",
+                    file: file.path.clone(),
+                    line: allow.line,
+                    func: None,
+                    msg,
+                });
+            }
+        }
+    }
+    for (ci, used) in used_config.iter().enumerate() {
+        if !used {
+            report.findings.push(Finding {
+                rule: "allow-hygiene",
+                file: "lint.toml".into(),
+                line: cfg.allows[ci].line,
+                func: None,
+                msg: format!(
+                    "unused allowlist entry (rule '{}', file '{}')",
+                    cfg.allows[ci].rule, cfg.allows[ci].file
+                ),
+            });
+        }
+    }
+
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report
+}
+
+/// Walks `root` for `.rs` files (skipping `target/` and dot-directories)
+/// and lints them all.
+pub fn lint_workspace(root: &Path, cfg: &Config) -> std::io::Result<Report> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    collect_rs_files(root, &mut paths)?;
+    paths.sort();
+    let mut files = Vec::with_capacity(paths.len());
+    for path in paths {
+        let src = std::fs::read_to_string(&path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        files.push((rel, src));
+    }
+    Ok(lint_files(&files, cfg))
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,205 @@
+//! `prio-lint` CLI: scans the workspace and reports invariant violations.
+//!
+//! ```text
+//! prio-lint [--root DIR] [--config FILE] [--json] [--timing]
+//!           [--max-allows N] [--max-millis N] [--list-rules]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings (or allow/time budget exceeded), 2 usage
+//! or I/O error.
+
+use prio_lint::{lint_workspace, Config, RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Args {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    json: bool,
+    timing: bool,
+    max_allows: Option<usize>,
+    max_millis: Option<u128>,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        config: None,
+        json: false,
+        timing: false,
+        max_allows: None,
+        max_millis: None,
+        list_rules: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a directory")?)
+            }
+            "--config" => {
+                args.config = Some(PathBuf::from(it.next().ok_or("--config needs a path")?))
+            }
+            "--json" => args.json = true,
+            "--timing" => args.timing = true,
+            "--max-allows" => {
+                let v = it.next().ok_or("--max-allows needs a number")?;
+                args.max_allows = Some(v.parse().map_err(|_| format!("bad number: {v}"))?);
+            }
+            "--max-millis" => {
+                let v = it.next().ok_or("--max-millis needs a number")?;
+                args.max_millis = Some(v.parse().map_err(|_| format!("bad number: {v}"))?);
+            }
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: prio-lint [--root DIR] [--config FILE] [--json] [--timing] \
+                     [--max-allows N] [--max-millis N] [--list-rules]"
+                        .into(),
+                )
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("prio-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_rules {
+        for (name, desc) in RULES {
+            println!("{name:16} {desc}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let cfg = {
+        let path = args
+            .config
+            .clone()
+            .or_else(|| {
+                let default = args.root.join("lint.toml");
+                default.exists().then_some(default)
+            });
+        match path {
+            Some(p) => match Config::load(&p) {
+                Ok(c) => c,
+                Err(msg) => {
+                    eprintln!("prio-lint: {msg}");
+                    return ExitCode::from(2);
+                }
+            },
+            None => Config::empty(),
+        }
+    };
+
+    let start = Instant::now();
+    let report = match lint_workspace(&args.root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("prio-lint: scanning {}: {e}", args.root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let elapsed = start.elapsed();
+
+    if args.json {
+        let mut items = Vec::with_capacity(report.findings.len());
+        for f in &report.findings {
+            let func = match &f.func {
+                Some(name) => format!("\"{}\"", json_escape(name)),
+                None => "null".into(),
+            };
+            items.push(format!(
+                "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"func\":{},\"msg\":\"{}\"}}",
+                json_escape(f.rule),
+                json_escape(&f.file),
+                f.line,
+                func,
+                json_escape(&f.msg)
+            ));
+        }
+        println!(
+            "{{\"findings\":[{}],\"files_scanned\":{},\"inline_allows\":{},\"suppressed\":{},\"elapsed_ms\":{}}}",
+            items.join(","),
+            report.files_scanned,
+            report.inline_allows,
+            report.suppressed,
+            elapsed.as_millis()
+        );
+    } else {
+        for f in &report.findings {
+            let func = f
+                .func
+                .as_deref()
+                .map(|name| format!(" (in fn {name})"))
+                .unwrap_or_default();
+            println!("{}:{}: [{}] {}{}", f.file, f.line, f.rule, f.msg, func);
+        }
+        if !report.findings.is_empty() {
+            eprintln!(
+                "prio-lint: {} finding(s) across {} file(s)",
+                report.findings.len(),
+                report.files_scanned
+            );
+        }
+    }
+    if args.timing {
+        eprintln!(
+            "prio-lint: scanned {} files in {} ms ({} suppressed, {} inline allows)",
+            report.files_scanned,
+            elapsed.as_millis(),
+            report.suppressed,
+            report.inline_allows
+        );
+    }
+
+    let mut failed = !report.findings.is_empty();
+    if let Some(cap) = args.max_allows {
+        if report.inline_allows > cap {
+            eprintln!(
+                "prio-lint: {} inline lint:allow annotations exceed the budget of {cap}",
+                report.inline_allows
+            );
+            failed = true;
+        }
+    }
+    if let Some(cap) = args.max_millis {
+        if elapsed.as_millis() > cap {
+            eprintln!(
+                "prio-lint: scan took {} ms, over the {cap} ms budget",
+                elapsed.as_millis()
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

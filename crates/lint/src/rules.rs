@@ -1,0 +1,593 @@
+//! The rule registry and rule implementations. Each rule is a token-level
+//! pass over [`SourceFile`]s; R3 (lock-order) is cross-file within a crate,
+//! the rest are per-file.
+
+use crate::scan::SourceFile;
+use crate::lexer::Tok;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// A single lint finding.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Rule name (one of [`RULES`], or `allow-hygiene`).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Enclosing function, when known.
+    pub func: Option<String>,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+/// The rule registry: `(name, description)`.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "rand-shim",
+        "no test-grade rand shim (StdRng / thread_rng / rand::rng()) outside test code in production crates; protocol randomness must come from prio_crypto::prg::PrgRng",
+    ),
+    (
+        "no-panic",
+        "no unwrap/expect/panic!/assert!-family/unreachable! or non-literal range slicing in designated network-facing modules (net::{tcp,wire,control}, proc::*, core::server_loop)",
+    ),
+    (
+        "lock-order",
+        "functions must acquire named locks in an order consistent with the rest of their crate (static deadlock smell)",
+    ),
+    (
+        "cast-truncation",
+        "no truncating `as u8/u16/u32` casts on length expressions in wire-format files (wire.rs, control.rs, tcp.rs); use try_from",
+    ),
+    (
+        "bounded-alloc",
+        "allocations sized by a decoded length must be preceded by a MAX_*/remaining() bound check or clamped with .min()/.clamp() at the use site",
+    ),
+];
+
+/// Production crates in which R1 (rand-shim) applies.
+const R1_CRATES: &[&str] = &[
+    "core", "snip", "crypto", "net", "proc", "afe", "circuit", "field",
+];
+
+/// Panic-family macro names denied by R2.
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+];
+
+/// Identifiers whose appearance in a `let` initializer taints the bound
+/// names as "attacker-sized" for R5.
+const TAINT_SOURCES: &[&str] = &["get_len", "decode_frame_header", "from_le_bytes"];
+
+fn r2_designated(path: &str) -> bool {
+    matches!(
+        path,
+        "crates/net/src/tcp.rs"
+            | "crates/net/src/wire.rs"
+            | "crates/net/src/control.rs"
+            | "crates/core/src/server_loop.rs"
+    ) || (path.starts_with("crates/proc/src/") && path.ends_with(".rs"))
+}
+
+fn wire_file(path: &str) -> bool {
+    let base = path.rsplit('/').next().unwrap_or(path);
+    matches!(base, "wire.rs" | "control.rs" | "tcp.rs")
+}
+
+fn alloc_file(path: &str) -> bool {
+    let base = path.rsplit('/').next().unwrap_or(path);
+    matches!(
+        base,
+        "wire.rs" | "control.rs" | "tcp.rs" | "messages.rs" | "server_loop.rs"
+    )
+}
+
+fn ident(file: &SourceFile, i: usize) -> Option<&str> {
+    match file.tokens.get(i).map(|t| &t.tok) {
+        Some(Tok::Ident(w)) => Some(w.as_str()),
+        _ => None,
+    }
+}
+
+fn is_p(file: &SourceFile, i: usize, ch: char) -> bool {
+    matches!(file.tokens.get(i).map(|t| &t.tok), Some(Tok::P(c)) if *c == ch)
+}
+
+fn finding(file: &SourceFile, rule: &'static str, i: usize, msg: String) -> Finding {
+    Finding {
+        rule,
+        file: file.path.clone(),
+        line: file.tokens[i].line,
+        func: file.func_at(i).map(|s| s.to_string()),
+        msg,
+    }
+}
+
+/// Runs every rule over `files` and returns the raw findings (before
+/// allowlist suppression).
+pub fn run_rules(files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in files {
+        rule_rand_shim(file, &mut out);
+        rule_no_panic(file, &mut out);
+        rule_cast_truncation(file, &mut out);
+        rule_bounded_alloc(file, &mut out);
+    }
+    rule_lock_order(files, &mut out);
+    out
+}
+
+// ---------------------------------------------------------------- R1
+
+fn rule_rand_shim(file: &SourceFile, out: &mut Vec<Finding>) {
+    if file.in_test_tree || !R1_CRATES.contains(&file.crate_name.as_str()) {
+        return;
+    }
+    let mut seen_lines: HashSet<u32> = HashSet::new();
+    for i in 0..file.tokens.len() {
+        if file.ctx[i].test {
+            continue;
+        }
+        let hit = match ident(file, i) {
+            Some("StdRng") | Some("thread_rng") => true,
+            Some("rand") => {
+                // `rand::rng(` — the process-entropy shim constructor.
+                file.tokens.get(i + 1).map(|t| &t.tok) == Some(&Tok::PathSep)
+                    && ident(file, i + 2) == Some("rng")
+                    && is_p(file, i + 3, '(')
+            }
+            _ => false,
+        };
+        if hit && seen_lines.insert(file.tokens[i].line) {
+            out.push(finding(
+                file,
+                "rand-shim",
+                i,
+                "test-grade rand shim in a production path; protocol randomness must come from prio_crypto::prg::PrgRng".into(),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------- R2
+
+fn rule_no_panic(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !r2_designated(&file.path) {
+        return;
+    }
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if file.ctx[i].test {
+            continue;
+        }
+        match &toks[i].tok {
+            Tok::Ident(w) if PANIC_MACROS.contains(&w.as_str()) && is_p(file, i + 1, '!') => {
+                out.push(finding(
+                    file,
+                    "no-panic",
+                    i,
+                    format!("`{w}!` in a network-facing module; malformed input must surface as a typed error"),
+                ));
+            }
+            Tok::Ident(w)
+                if (w == "unwrap" || w == "expect")
+                    && is_p(file, i + 1, '(')
+                    && i > 0
+                    && is_p(file, i - 1, '.') =>
+            {
+                out.push(finding(
+                    file,
+                    "no-panic",
+                    i,
+                    format!("`.{w}()` in a network-facing module; propagate a typed error instead"),
+                ));
+            }
+            Tok::P('[') => {
+                // Indexing (prev token is an expression tail) with a range
+                // whose bounds are not all literals: `buf[filled..]`.
+                let is_index = i > 0
+                    && matches!(
+                        &toks[i - 1].tok,
+                        Tok::Ident(_) | Tok::P(')') | Tok::P(']')
+                    );
+                if !is_index {
+                    continue;
+                }
+                let mut depth = 1;
+                let mut j = i + 1;
+                let mut has_dotdot = false;
+                let mut has_ident = false;
+                while j < toks.len() && depth > 0 {
+                    match &toks[j].tok {
+                        Tok::P('[') => depth += 1,
+                        Tok::P(']') => depth -= 1,
+                        Tok::P('.') if depth == 1 && is_p(file, j + 1, '.') => {
+                            has_dotdot = true;
+                        }
+                        Tok::Ident(_) if depth == 1 => has_ident = true,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if has_dotdot && has_ident {
+                    out.push(finding(
+                        file,
+                        "no-panic",
+                        i,
+                        "range slice with non-literal bounds can panic on short input; use .get(..) and handle None".into(),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------- R3
+
+/// One lock-acquisition site.
+struct Acq {
+    name: String,
+    line: u32,
+}
+
+fn rule_lock_order(files: &[SourceFile], out: &mut Vec<Finding>) {
+    // (crate, fn-name) -> ordered acquisition names (first occurrence each).
+    struct FnLocks<'a> {
+        file: &'a SourceFile,
+        func: String,
+        order: Vec<Acq>,
+    }
+    let mut by_crate: BTreeMap<String, Vec<FnLocks>> = BTreeMap::new();
+
+    for file in files {
+        if file.in_test_tree {
+            continue;
+        }
+        // fn-id -> acquisitions in source order.
+        let mut per_fn: BTreeMap<u32, Vec<Acq>> = BTreeMap::new();
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if file.ctx[i].test {
+                continue;
+            }
+            let Some(fid) = file.ctx[i].func else { continue };
+            // Method form: `recv.lock()` / `.read()` / `.write()` with
+            // empty parens (skips `stdout().lock()` — no named receiver —
+            // and `map.read(buf)`-style calls with arguments).
+            if let Tok::P('.') = &toks[i].tok {
+                if let Some(m) = ident(file, i + 1) {
+                    if (m == "lock" || m == "read" || m == "write")
+                        && is_p(file, i + 2, '(')
+                        && is_p(file, i + 3, ')')
+                        && i > 0
+                    {
+                        if let Some(recv) = ident(file, i - 1) {
+                            per_fn.entry(fid).or_default().push(Acq {
+                                name: recv.to_string(),
+                                line: toks[i].line,
+                            });
+                        }
+                    }
+                }
+            }
+            // Helper form: `lock(&self.peers)` — the crate's
+            // poison-ignoring helper. Not preceded by `.` (that's the
+            // method form) and not a declaration (`fn lock(...)`).
+            if ident(file, i) == Some("lock") && is_p(file, i + 1, '(') {
+                let prev_dot = i > 0 && is_p(file, i - 1, '.');
+                let prev_fn = i > 0 && ident(file, i - 1) == Some("fn");
+                if prev_dot || prev_fn {
+                    continue;
+                }
+                // Walk the argument; bail on nested calls (too complex to
+                // name), accept `&self.inner.mailboxes` shapes.
+                let mut j = i + 2;
+                let mut name: Option<String> = None;
+                let mut ok = true;
+                while j < toks.len() {
+                    match &toks[j].tok {
+                        Tok::P(')') => break,
+                        Tok::P('(') => {
+                            ok = false;
+                            break;
+                        }
+                        Tok::P('&') | Tok::P('.') | Tok::P('*') => {}
+                        Tok::Ident(w) if w == "mut" => {}
+                        Tok::Ident(w) => name = Some(w.clone()),
+                        _ => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                if ok {
+                    if let Some(name) = name {
+                        per_fn.entry(fid).or_default().push(Acq {
+                            name,
+                            line: toks[i].line,
+                        });
+                    }
+                }
+            }
+        }
+
+        for (fid, acqs) in per_fn {
+            // First occurrence of each distinct name, in order.
+            let mut seen = HashSet::new();
+            let mut order = Vec::new();
+            for a in acqs {
+                if seen.insert(a.name.clone()) {
+                    order.push(a);
+                }
+            }
+            if order.len() >= 2 {
+                by_crate
+                    .entry(file.crate_name.clone())
+                    .or_default()
+                    .push(FnLocks {
+                        file,
+                        func: file.funcs[fid as usize].clone(),
+                        order,
+                    });
+            }
+        }
+    }
+
+    for fns in by_crate.values() {
+        // Vote per unordered name pair on the acquisition direction.
+        let mut votes: HashMap<(String, String), (usize, usize)> = HashMap::new();
+        for f in fns {
+            for a in 0..f.order.len() {
+                for b in a + 1..f.order.len() {
+                    let (x, y) = (&f.order[a].name, &f.order[b].name);
+                    let key = if x <= y {
+                        (x.clone(), y.clone())
+                    } else {
+                        (y.clone(), x.clone())
+                    };
+                    let entry = votes.entry(key.clone()).or_default();
+                    if *x <= *y {
+                        entry.0 += 1; // direction key.0 -> key.1
+                    } else {
+                        entry.1 += 1;
+                    }
+                }
+            }
+        }
+        for f in fns {
+            for a in 0..f.order.len() {
+                for b in a + 1..f.order.len() {
+                    let (x, y) = (&f.order[a].name, &f.order[b].name);
+                    let key = if x <= y {
+                        (x.clone(), y.clone())
+                    } else {
+                        (y.clone(), x.clone())
+                    };
+                    let (fwd, rev) = votes[&key];
+                    if fwd == 0 || rev == 0 {
+                        continue; // everyone agrees
+                    }
+                    let my_dir_fwd = *x <= *y;
+                    let minority = if fwd == rev {
+                        true // tie: flag both directions
+                    } else if my_dir_fwd {
+                        fwd < rev
+                    } else {
+                        rev < fwd
+                    };
+                    if minority {
+                        let site = &f.order[b];
+                        out.push(Finding {
+                            rule: "lock-order",
+                            file: f.file.path.clone(),
+                            line: site.line,
+                            func: Some(f.func.clone()),
+                            msg: format!(
+                                "acquires `{x}` before `{y}` while {} other function(s) in this crate acquire them in the opposite order",
+                                if my_dir_fwd { rev } else { fwd }
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- R4
+
+fn lenish(s: &str) -> bool {
+    s == "remaining" || s == "count" || s == "size" || s.contains("len")
+}
+
+fn rule_cast_truncation(file: &SourceFile, out: &mut Vec<Finding>) {
+    if file.in_test_tree || !wire_file(&file.path) {
+        return;
+    }
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if file.ctx[i].test {
+            continue;
+        }
+        if ident(file, i) != Some("as") {
+            continue;
+        }
+        let Some(ty) = ident(file, i + 1) else { continue };
+        if !matches!(ty, "u8" | "u16" | "u32") {
+            continue;
+        }
+        if i == 0 {
+            continue;
+        }
+        let hit = match &toks[i - 1].tok {
+            Tok::Ident(w) => lenish(w),
+            Tok::P(')') => {
+                // Walk back to the matching '(' and check the callee name.
+                let mut depth = 1;
+                let mut j = i - 1;
+                while j > 0 && depth > 0 {
+                    j -= 1;
+                    match &toks[j].tok {
+                        Tok::P(')') => depth += 1,
+                        Tok::P('(') => depth -= 1,
+                        _ => {}
+                    }
+                }
+                j > 0 && matches!(ident(file, j - 1), Some(w) if lenish(w))
+            }
+            _ => false,
+        };
+        if hit {
+            out.push(finding(
+                file,
+                "cast-truncation",
+                i,
+                format!("truncating `as {ty}` on a length expression silently wraps oversized payloads; use try_from and reject"),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------- R5
+
+fn rule_bounded_alloc(file: &SourceFile, out: &mut Vec<Finding>) {
+    if file.in_test_tree || !alloc_file(&file.path) {
+        return;
+    }
+    let toks = &file.tokens;
+    // Tainted (decoded-length) names without a guard yet, per function.
+    let mut tainted: HashSet<String> = HashSet::new();
+    let mut cur_fn: Option<u32> = None;
+    // Token indices of the current statement.
+    let mut stmt: Vec<usize> = Vec::new();
+
+    let flush_stmt = |stmt: &mut Vec<usize>, tainted: &mut HashSet<String>, file: &SourceFile| {
+        if stmt.is_empty() {
+            return;
+        }
+        let idents: Vec<&str> = stmt
+            .iter()
+            .filter_map(|&k| ident(file, k))
+            .collect();
+        let is_guard = idents
+            .iter()
+            .any(|w| w.contains("MAX") || *w == "remaining");
+        if is_guard {
+            // A bound check mentioning a tainted name discharges its taint.
+            let guarded: Vec<String> = tainted
+                .iter()
+                .filter(|name| idents.contains(&name.as_str()))
+                .cloned()
+                .collect();
+            for g in guarded {
+                tainted.remove(&g);
+            }
+        }
+        if idents.first() == Some(&"let") {
+            // Names bound by this let: lowercase-leading idents before the
+            // first `=`, stopping at a type annotation `:`.
+            let mut bound: Vec<String> = Vec::new();
+            for &k in stmt.iter() {
+                match file.tokens[k].tok {
+                    Tok::P('=') => break,
+                    Tok::P(':') => break,
+                    Tok::Ident(ref w)
+                        if w != "let"
+                            && w != "mut"
+                            && w.chars().next().is_some_and(|c| c.is_lowercase() || c == '_') =>
+                    {
+                        bound.push(w.clone())
+                    }
+                    _ => {}
+                }
+            }
+            let rhs_tainted = idents.iter().any(|w| TAINT_SOURCES.contains(w))
+                || idents.iter().any(|w| tainted.contains(*w));
+            for name in bound {
+                if rhs_tainted && !is_guard {
+                    tainted.insert(name);
+                } else {
+                    tainted.remove(&name);
+                }
+            }
+        }
+        stmt.clear();
+    };
+
+    for i in 0..toks.len() {
+        if file.ctx[i].test {
+            continue;
+        }
+        if file.ctx[i].func != cur_fn {
+            cur_fn = file.ctx[i].func;
+            tainted.clear();
+            stmt.clear();
+        }
+        match &toks[i].tok {
+            Tok::P(';') | Tok::P('{') | Tok::P('}') => {
+                flush_stmt(&mut stmt, &mut tainted, file);
+            }
+            _ => stmt.push(i),
+        }
+
+        // Allocation sites: `with_capacity(args)` / `vec![args]`.
+        let alloc_args: Option<(usize, char)> = if ident(file, i) == Some("with_capacity")
+            && is_p(file, i + 1, '(')
+        {
+            Some((i + 2, ')'))
+        } else if ident(file, i) == Some("vec")
+            && is_p(file, i + 1, '!')
+            && (is_p(file, i + 2, '[') || is_p(file, i + 2, '('))
+        {
+            let close = if is_p(file, i + 2, '[') { ']' } else { ')' };
+            Some((i + 3, close))
+        } else {
+            None
+        };
+        let Some((start, close)) = alloc_args else { continue };
+        let open = match close {
+            ')' => '(',
+            _ => '[',
+        };
+        let mut depth = 1;
+        let mut j = start;
+        let mut bad: Option<String> = None;
+        let mut mitigated = false;
+        while j < toks.len() && depth > 0 {
+            match &toks[j].tok {
+                Tok::P(c) if *c == open => depth += 1,
+                Tok::P(c) if *c == close => depth -= 1,
+                Tok::Ident(w) => {
+                    if w == "min" || w == "clamp" {
+                        mitigated = true;
+                    }
+                    if tainted.contains(w) || TAINT_SOURCES.contains(&w.as_str()) {
+                        bad = Some(w.clone());
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if let (Some(name), false) = (bad, mitigated) {
+            out.push(finding(
+                file,
+                "bounded-alloc",
+                i,
+                format!("allocation sized by decoded length `{name}` without a preceding MAX_* bound check or .min()/.clamp() at the use site"),
+            ));
+        }
+    }
+    flush_stmt(&mut stmt, &mut tainted, file);
+}

@@ -1,0 +1,212 @@
+//! Per-file context tracking: which crate a file belongs to, whether it
+//! sits in a test tree, and — per token — whether the token is inside test
+//! code (`#[cfg(test)]`, `#[test]`, `mod tests`) and which function body
+//! encloses it.
+//!
+//! The tracker is a brace-depth scope stack, not a parser. It is accurate
+//! for the rustfmt-shaped code in this workspace; pathological macro bodies
+//! could confuse it, which is an accepted trade-off for a zero-dependency
+//! scanner.
+
+use crate::lexer::{lex, AllowDirective, Tok, Token};
+
+/// Context attached to a single token.
+#[derive(Clone, Copy, Debug)]
+pub struct Ctx {
+    /// Inside `#[cfg(test)]` / `#[test]` / `mod tests`.
+    pub test: bool,
+    /// Index into [`SourceFile::funcs`] of the enclosing function, if any.
+    pub func: Option<u32>,
+}
+
+/// A lexed source file with per-token context.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Owning crate: `foo` for `crates/foo/…`, `shim:foo` for
+    /// `shims/foo/…`, `root` otherwise.
+    pub crate_name: String,
+    /// Whether any path segment is `tests`, `examples`, or `benches`.
+    pub in_test_tree: bool,
+    /// The token stream.
+    pub tokens: Vec<Token>,
+    /// Context for each token, same length as `tokens`.
+    pub ctx: Vec<Ctx>,
+    /// Interned function names referenced by [`Ctx::func`].
+    pub funcs: Vec<String>,
+    /// Inline `lint:allow` directives.
+    pub allows: Vec<AllowDirective>,
+}
+
+fn crate_of(path: &str) -> String {
+    let mut parts = path.split('/');
+    match parts.next() {
+        Some("crates") => parts.next().unwrap_or("root").to_string(),
+        Some("shims") => format!("shim:{}", parts.next().unwrap_or("root")),
+        _ => "root".to_string(),
+    }
+}
+
+fn attr_is_test(tokens: &[Token]) -> (bool, bool) {
+    // Returns (mentions "test", mentions "not"). `#[cfg(not(test))]` must
+    // NOT mark the following item as test code.
+    let mut has_test = false;
+    let mut has_not = false;
+    for t in tokens {
+        if let Tok::Ident(w) = &t.tok {
+            if w == "test" || w == "tests" {
+                has_test = true;
+            }
+            if w == "not" {
+                has_not = true;
+            }
+        }
+    }
+    (has_test, has_not)
+}
+
+impl SourceFile {
+    /// Lexes `src` and computes per-token context.
+    pub fn parse(path: &str, src: &str) -> SourceFile {
+        let lexed = lex(src);
+        let tokens = lexed.tokens;
+        let in_test_tree = path
+            .split('/')
+            .any(|seg| seg == "tests" || seg == "examples" || seg == "benches");
+
+        let mut funcs: Vec<String> = Vec::new();
+        let mut ctx: Vec<Ctx> = Vec::with_capacity(tokens.len());
+        // Scope stack; each `{` pushes, each `}` pops.
+        let mut stack: Vec<Ctx> = vec![Ctx { test: false, func: None }];
+        // Pending attributes seen since the last scope boundary, attached
+        // to the next `{` at paren-depth 0.
+        let mut pend_test = false;
+        let mut pend_func: Option<u32> = None;
+        let mut paren: i32 = 0;
+
+        let mut i = 0usize;
+        let n = tokens.len();
+        while i < n {
+            let top = *stack.last().unwrap_or(&Ctx { test: false, func: None });
+            match &tokens[i].tok {
+                Tok::P('#') => {
+                    // Consume an attribute `#[...]` / `#![...]` wholesale so
+                    // its brackets/parens don't disturb the counters.
+                    let mut j = i + 1;
+                    let inner = if j < n && tokens[j].tok == Tok::P('!') {
+                        j += 1;
+                        false // #![..] inner attribute: no pend
+                    } else {
+                        true
+                    };
+                    if j < n && tokens[j].tok == Tok::P('[') {
+                        let start = j + 1;
+                        let mut depth = 1;
+                        j += 1;
+                        while j < n && depth > 0 {
+                            match tokens[j].tok {
+                                Tok::P('[') => depth += 1,
+                                Tok::P(']') => depth -= 1,
+                                _ => {}
+                            }
+                            j += 1;
+                        }
+                        if inner {
+                            let (has_test, has_not) = attr_is_test(&tokens[start..j]);
+                            if has_test && !has_not {
+                                pend_test = true;
+                            }
+                        }
+                        for _ in i..j {
+                            ctx.push(top);
+                        }
+                        i = j;
+                        continue;
+                    }
+                    ctx.push(top);
+                    i += 1;
+                }
+                Tok::Ident(w) if w == "fn" => {
+                    ctx.push(top);
+                    if let Some(Token { tok: Tok::Ident(name), .. }) = tokens.get(i + 1) {
+                        let id = funcs.len() as u32;
+                        funcs.push(name.clone());
+                        pend_func = Some(id);
+                    }
+                    i += 1;
+                }
+                Tok::Ident(w) if w == "mod" => {
+                    ctx.push(top);
+                    if let Some(Token { tok: Tok::Ident(name), .. }) = tokens.get(i + 1) {
+                        if name == "tests" || name.starts_with("test") {
+                            pend_test = true;
+                        }
+                    }
+                    i += 1;
+                }
+                Tok::P('(') => {
+                    ctx.push(top);
+                    paren += 1;
+                    i += 1;
+                }
+                Tok::P(')') => {
+                    ctx.push(top);
+                    paren -= 1;
+                    i += 1;
+                }
+                Tok::P(';') if paren == 0 => {
+                    // End of a braceless item (`use …;`, `struct X;`): the
+                    // pending attributes applied to it, not to a later block.
+                    ctx.push(top);
+                    pend_test = false;
+                    pend_func = None;
+                    i += 1;
+                }
+                Tok::P('{') => {
+                    ctx.push(top);
+                    if paren == 0 {
+                        stack.push(Ctx {
+                            test: top.test || pend_test,
+                            func: pend_func.or(top.func),
+                        });
+                        pend_test = false;
+                        pend_func = None;
+                    } else {
+                        stack.push(top);
+                    }
+                    i += 1;
+                }
+                Tok::P('}') => {
+                    if stack.len() > 1 {
+                        stack.pop();
+                    }
+                    ctx.push(*stack.last().unwrap_or(&Ctx { test: false, func: None }));
+                    i += 1;
+                }
+                _ => {
+                    ctx.push(top);
+                    i += 1;
+                }
+            }
+        }
+
+        SourceFile {
+            path: path.to_string(),
+            crate_name: crate_of(path),
+            in_test_tree,
+            tokens,
+            ctx,
+            funcs,
+            allows: lexed.allows,
+        }
+    }
+
+    /// The name of the function enclosing token `i`, if any.
+    pub fn func_at(&self, i: usize) -> Option<&str> {
+        self.ctx
+            .get(i)
+            .and_then(|c| c.func)
+            .and_then(|id| self.funcs.get(id as usize))
+            .map(|s| s.as_str())
+    }
+}

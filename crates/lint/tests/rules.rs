@@ -1,0 +1,438 @@
+//! Fixture tests for every prio-lint rule plus the workspace self-test.
+//!
+//! Each fixture is a source string lint-checked under an impersonated
+//! workspace path (rule applicability is path-derived), so the cases run
+//! without touching the real tree. The final tests run the lint over the
+//! actual workspace with the checked-in `lint.toml` and require it green —
+//! the same gate `ci.sh` enforces.
+
+use prio_lint::{lint_files, Config, Report};
+use std::path::PathBuf;
+
+fn lint_one(path: &str, src: &str) -> Report {
+    lint_files(&[(path.to_string(), src.to_string())], &Config::empty())
+}
+
+fn rules_hit(report: &Report) -> Vec<&str> {
+    report.findings.iter().map(|f| f.rule).collect()
+}
+
+// ---------------------------------------------------------------- R1
+
+#[test]
+fn rand_shim_flags_stdrng_in_production_crate() {
+    let report = lint_one(
+        "crates/core/src/gen.rs",
+        r#"
+use rand::rngs::StdRng;
+pub fn draw() -> u64 {
+    let mut rng = StdRng::seed_from_u64(7);
+    rng.random()
+}
+"#,
+    );
+    assert_eq!(rules_hit(&report), ["rand-shim", "rand-shim"]);
+    assert_eq!(report.findings[1].func.as_deref(), Some("draw"));
+}
+
+#[test]
+fn rand_shim_flags_process_entropy_constructor() {
+    let report = lint_one(
+        "crates/snip/src/chal.rs",
+        "pub fn chal() -> u64 { let mut r = rand::rng(); r.random() }\n",
+    );
+    assert_eq!(rules_hit(&report), ["rand-shim"]);
+}
+
+#[test]
+fn rand_shim_ignores_test_code_and_nonproduction_crates() {
+    // #[cfg(test)] module inside a production crate.
+    let in_tests_mod = lint_one(
+        "crates/core/src/gen.rs",
+        r#"
+pub fn fine() -> u64 { 7 }
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    #[test]
+    fn t() { let _ = StdRng::seed_from_u64(1); }
+}
+"#,
+    );
+    assert!(in_tests_mod.findings.is_empty(), "{:?}", in_tests_mod.findings);
+    // A test tree of a production crate.
+    let in_test_tree = lint_one(
+        "crates/core/tests/gen.rs",
+        "fn t() { let _ = rand::rngs::StdRng::seed_from_u64(1); }\n",
+    );
+    assert!(in_test_tree.findings.is_empty());
+    // A crate R1 does not govern (bench harness).
+    let in_bench = lint_one(
+        "crates/bench/src/gen.rs",
+        "pub fn t() -> u64 { let mut r = rand::rng(); r.random() }\n",
+    );
+    assert!(in_bench.findings.is_empty());
+}
+
+// ---------------------------------------------------------------- R2
+
+#[test]
+fn no_panic_flags_unwrap_injected_into_tcp() {
+    // The ISSUE acceptance case: an injected unwrap in tcp.rs must fail.
+    let report = lint_one(
+        "crates/net/src/tcp.rs",
+        "pub fn decode(b: Option<u32>) -> u32 { b.unwrap() }\n",
+    );
+    assert_eq!(rules_hit(&report), ["no-panic"]);
+    assert!(report.findings[0].msg.contains("unwrap"));
+}
+
+#[test]
+fn no_panic_flags_macros_and_nonliteral_range_slices() {
+    let report = lint_one(
+        "crates/proc/src/node.rs",
+        r#"
+pub fn recv(buf: &[u8], n: usize) -> u8 {
+    assert!(n > 0);
+    let tail = &buf[n..];
+    if tail.is_empty() { panic!("empty"); }
+    buf[0]
+}
+"#,
+    );
+    assert_eq!(rules_hit(&report), ["no-panic", "no-panic", "no-panic"]);
+    // Literal-bound slices and plain indexing are not range-slice panics.
+    let clean = lint_one(
+        "crates/net/src/wire.rs",
+        "pub fn first(buf: &[u8]) -> &[u8] { &buf[0..4] }\n",
+    );
+    assert!(clean.findings.is_empty(), "{:?}", clean.findings);
+}
+
+#[test]
+fn no_panic_only_governs_designated_modules() {
+    let report = lint_one(
+        "crates/net/src/transport.rs",
+        "pub fn f(b: Option<u32>) -> u32 { b.unwrap() }\n",
+    );
+    assert!(report.findings.is_empty());
+}
+
+// ---------------------------------------------------------------- R3
+
+#[test]
+fn lock_order_flags_the_minority_inversion() {
+    // Two functions acquire peers -> mail; one inverts. The inversion is
+    // the ISSUE acceptance case for a deliberately introduced deadlock.
+    let report = lint_one(
+        "crates/net/src/fabric.rs",
+        r#"
+fn send(&self) { let _a = self.peers.lock(); let _b = self.mail.lock(); }
+fn flush(&self) { let _a = self.peers.lock(); let _b = self.mail.lock(); }
+fn drain(&self) { let _b = self.mail.lock(); let _a = self.peers.lock(); }
+"#,
+    );
+    assert_eq!(rules_hit(&report), ["lock-order"]);
+    assert_eq!(report.findings[0].func.as_deref(), Some("drain"));
+}
+
+#[test]
+fn lock_order_accepts_consistent_order_across_both_forms() {
+    // Method form and the crate's free `lock(&x)` helper vote together.
+    let report = lint_one(
+        "crates/net/src/fabric.rs",
+        r#"
+fn send(&self) { let _a = self.peers.lock(); let _b = self.mail.lock(); }
+fn drain(peers: &M, mail: &M) { let _a = lock(&peers); let _b = lock(&mail); }
+"#,
+    );
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+// ---------------------------------------------------------------- R4
+
+#[test]
+fn cast_truncation_flags_length_casts_in_wire_files() {
+    let report = lint_one(
+        "crates/net/src/wire.rs",
+        r#"
+pub fn encode(payload_len: usize, buf: &[u8]) -> (u32, u32) {
+    (payload_len as u32, buf.len() as u32)
+}
+"#,
+    );
+    assert_eq!(rules_hit(&report), ["cast-truncation", "cast-truncation"]);
+}
+
+#[test]
+fn cast_truncation_ignores_nonlength_casts_and_other_files() {
+    let clean = lint_one(
+        "crates/net/src/wire.rs",
+        "pub fn f(idx: usize, len: usize) -> (u32, u64) { (idx as u32, len as u64) }\n",
+    );
+    assert!(clean.findings.is_empty(), "{:?}", clean.findings);
+    let other = lint_one(
+        "crates/core/src/cluster.rs",
+        "pub fn f(len: usize) -> u32 { len as u32 }\n",
+    );
+    assert!(other.findings.is_empty());
+}
+
+// ---------------------------------------------------------------- R5
+
+#[test]
+fn bounded_alloc_flags_unguarded_decoded_lengths() {
+    let report = lint_one(
+        "crates/net/src/control.rs",
+        r#"
+pub fn read(r: &mut R) -> Vec<u8> {
+    let len = u32::from_le_bytes(hdr) as usize;
+    vec![0u8; len]
+}
+"#,
+    );
+    assert_eq!(rules_hit(&report), ["bounded-alloc"]);
+    assert!(report.findings[0].msg.contains("len"));
+}
+
+#[test]
+fn bounded_alloc_accepts_guarded_or_clamped_lengths() {
+    // A MAX_* bound check discharges the taint...
+    let guarded = lint_one(
+        "crates/net/src/control.rs",
+        r#"
+pub fn read(r: &mut R) -> Vec<u8> {
+    let len = u32::from_le_bytes(hdr) as usize;
+    if len > CTRL_MAX_FRAME { return Vec::new(); }
+    vec![0u8; len]
+}
+"#,
+    );
+    assert!(guarded.findings.is_empty(), "{:?}", guarded.findings);
+    // ...and so does clamping at the allocation site.
+    let clamped = lint_one(
+        "crates/net/src/wire.rs",
+        r#"
+pub fn read(r: &mut R) -> Vec<u8> {
+    let len = get_len(r);
+    Vec::with_capacity(len.min(1024))
+}
+"#,
+    );
+    assert!(clamped.findings.is_empty(), "{:?}", clamped.findings);
+}
+
+// --------------------------------------------------- allow directives
+
+#[test]
+fn inline_allow_covers_its_own_and_the_next_line() {
+    let next_line = lint_one(
+        "crates/net/src/tcp.rs",
+        r#"
+pub fn f(x: Option<u32>) -> u32 {
+    // lint:allow(no-panic, fixture justification spanning to the next line)
+    x.unwrap()
+}
+"#,
+    );
+    assert!(next_line.findings.is_empty(), "{:?}", next_line.findings);
+    assert_eq!(next_line.suppressed, 1);
+    assert_eq!(next_line.inline_allows, 1);
+
+    let same_line = lint_one(
+        "crates/net/src/tcp.rs",
+        "pub fn f(x: Option<u32>) -> u32 { x.unwrap() } // lint:allow(no-panic, same-line fixture)\n",
+    );
+    assert!(same_line.findings.is_empty(), "{:?}", same_line.findings);
+    assert_eq!(same_line.suppressed, 1);
+}
+
+#[test]
+fn allow_hygiene_rejects_missing_reason_unknown_rule_and_unused() {
+    let no_reason = lint_one(
+        "crates/net/src/tcp.rs",
+        r#"
+pub fn f(x: Option<u32>) -> u32 {
+    // lint:allow(no-panic)
+    x.unwrap()
+}
+"#,
+    );
+    // The reasonless directive suppresses nothing, so both the original
+    // finding and the hygiene finding surface.
+    assert_eq!(rules_hit(&no_reason), ["allow-hygiene", "no-panic"]);
+    assert!(no_reason.findings[0].msg.contains("missing its required reason"));
+
+    let unknown = lint_one(
+        "crates/net/src/tcp.rs",
+        "// lint:allow(no-such-rule, reason text)\npub fn f() {}\n",
+    );
+    assert_eq!(rules_hit(&unknown), ["allow-hygiene"]);
+    assert!(unknown.findings[0].msg.contains("unknown rule"));
+
+    let unused = lint_one(
+        "crates/net/src/tcp.rs",
+        "// lint:allow(no-panic, nothing here actually panics)\npub fn f() {}\n",
+    );
+    assert_eq!(rules_hit(&unused), ["allow-hygiene"]);
+    assert!(unused.findings[0].msg.contains("unused"));
+}
+
+#[test]
+fn doc_comment_examples_are_not_directives() {
+    let report = lint_one(
+        "crates/net/src/tcp.rs",
+        r#"
+/// Suppress with `// lint:allow(no-panic, reason)` on the line above.
+pub fn f() {}
+"#,
+    );
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert_eq!(report.inline_allows, 0);
+}
+
+#[test]
+fn config_allowlist_suppresses_by_file_and_item() {
+    let cfg = Config::parse(
+        r#"
+[[allow]]
+rule = "no-panic"
+file = "crates/net/src/tcp.rs"
+item = "f"
+reason = "fixture justification"
+"#,
+    )
+    .unwrap();
+    let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
+               pub fn g(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    let report = lint_files(&[("crates/net/src/tcp.rs".to_string(), src.to_string())], &cfg);
+    // `f` is allowlisted; `g` still fails.
+    assert_eq!(rules_hit(&report), ["no-panic"]);
+    assert_eq!(report.findings[0].func.as_deref(), Some("g"));
+    assert_eq!(report.suppressed, 1);
+}
+
+#[test]
+fn config_rejects_malformed_entries() {
+    assert!(Config::parse("[[allow]]\nrule = \"no-panic\"\n").is_err());
+    assert!(Config::parse("[[allow]]\nrule = \"bogus\"\nfile = \"x.rs\"\nreason = \"y\"\n").is_err());
+    assert!(Config::parse("rule = \"no-panic\"\n").is_err());
+}
+
+#[test]
+fn unused_config_entry_is_a_hygiene_finding() {
+    let cfg = Config::parse(
+        "[[allow]]\nrule = \"no-panic\"\nfile = \"crates/net/src/tcp.rs\"\nreason = \"stale\"\n",
+    )
+    .unwrap();
+    let report = lint_files(&[("crates/net/src/other.rs".to_string(), "pub fn f() {}".to_string())], &cfg);
+    assert_eq!(rules_hit(&report), ["allow-hygiene"]);
+    assert_eq!(report.findings[0].file, "lint.toml");
+}
+
+// ------------------------------------------------- workspace self-test
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root")
+}
+
+#[test]
+fn workspace_is_lint_clean_under_the_checked_in_allowlist() {
+    let root = workspace_root();
+    let cfg = Config::load(&root.join("lint.toml")).expect("lint.toml parses");
+    let report = prio_lint::lint_workspace(&root, &cfg).expect("workspace scan");
+    assert!(
+        report.findings.is_empty(),
+        "workspace lint regressions:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| format!("  {}:{}: [{}] {}", f.file, f.line, f.rule, f.msg))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.inline_allows <= 15,
+        "inline allow budget exceeded: {} > 15",
+        report.inline_allows
+    );
+    assert!(report.files_scanned >= 80, "suspiciously few files scanned");
+}
+
+#[test]
+fn workspace_injections_are_caught() {
+    // Re-lint the real tree with hostile edits layered on top: each
+    // injection must produce at least one finding (the ISSUE acceptance
+    // criteria for shim-rand, tcp.rs unwrap, and a lock inversion).
+    let root = workspace_root();
+    let cfg = Config::load(&root.join("lint.toml")).expect("lint.toml parses");
+    let injections: &[(&str, &str, &str)] = &[
+        (
+            "crates/core/src/injected.rs",
+            "pub fn bad() -> u64 { let mut r = rand::rngs::StdRng::seed_from_u64(1); r.random() }\n",
+            "rand-shim",
+        ),
+        (
+            "crates/net/src/tcp.rs",
+            "pub fn bad(x: Option<u32>) -> u32 { x.unwrap() }\n",
+            "no-panic",
+        ),
+        (
+            "crates/net/src/injected.rs",
+            "fn a(&self) { let _x = self.peers.lock(); let _y = self.mailboxes.lock(); }\n\
+             fn b(&self) { let _x = self.peers.lock(); let _y = self.mailboxes.lock(); }\n\
+             fn c(&self) { let _y = self.mailboxes.lock(); let _x = self.peers.lock(); }\n",
+            "lock-order",
+        ),
+    ];
+    for (path, snippet, rule) in injections {
+        let mut files: Vec<(String, String)> = Vec::new();
+        let mut paths: Vec<PathBuf> = Vec::new();
+        collect(&root, &mut paths);
+        paths.sort();
+        for p in paths {
+            let src = std::fs::read_to_string(&p).expect("read source");
+            let rel = p
+                .strip_prefix(&root)
+                .unwrap_or(&p)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            if rel == *path {
+                // Injection into an existing file: append the hostile code.
+                files.push((rel, format!("{src}\n{snippet}")));
+            } else {
+                files.push((rel, src));
+            }
+        }
+        if !files.iter().any(|(p, _)| p == path) {
+            files.push((path.to_string(), snippet.to_string()));
+        }
+        let report = lint_files(&files, &cfg);
+        assert!(
+            report.findings.iter().any(|f| f.rule == *rule),
+            "injected {rule} violation into {path} was not caught; findings: {:?}",
+            report.findings
+        );
+    }
+}
+
+fn collect(dir: &std::path::Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).expect("read_dir") {
+        let entry = entry.expect("dir entry");
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}

@@ -253,48 +253,94 @@ impl Wire for CtrlMsg {
     }
 }
 
+/// Typed failure of a control-plane read or write. A malformed frame from
+/// a peer must surface here — never as a panic that would abort the node.
+#[derive(Debug)]
+pub enum ControlError {
+    /// Underlying socket/pipe I/O failed.
+    Io(std::io::Error),
+    /// Outgoing message serialized past [`CTRL_MAX_FRAME`] (local logic
+    /// bug or absurd config, caught before any bytes hit the wire).
+    FrameTooLarge {
+        /// Serialized payload size.
+        len: usize,
+    },
+    /// Incoming length prefix claims more than [`CTRL_MAX_FRAME`] bytes.
+    LengthExceedsCap {
+        /// The claimed length.
+        len: usize,
+    },
+    /// The stream ended inside a frame.
+    TruncatedFrame,
+    /// The payload did not decode as a [`CtrlMsg`].
+    Undecodable(WireError),
+}
+
+impl std::fmt::Display for ControlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ControlError::Io(e) => write!(f, "control I/O failed: {e}"),
+            ControlError::FrameTooLarge { len } => {
+                write!(f, "outgoing control frame of {len} bytes exceeds the cap")
+            }
+            ControlError::LengthExceedsCap { len } => {
+                write!(f, "control frame length prefix {len} exceeds the cap")
+            }
+            ControlError::TruncatedFrame => write!(f, "stream ended inside a control frame"),
+            ControlError::Undecodable(e) => write!(f, "undecodable control payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ControlError {}
+
 /// Writes one length-prefixed control frame: `len (u32 LE) | payload`.
-pub fn write_ctrl<W: Write>(w: &mut W, msg: &CtrlMsg) -> std::io::Result<()> {
+pub fn write_ctrl<W: Write>(w: &mut W, msg: &CtrlMsg) -> Result<(), ControlError> {
     let payload = msg.to_wire_bytes();
-    assert!(payload.len() <= CTRL_MAX_FRAME, "control frame too large");
-    let mut frame = Vec::with_capacity(4 + payload.len());
-    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    let len = payload.len();
+    if len > CTRL_MAX_FRAME {
+        return Err(ControlError::FrameTooLarge { len });
+    }
+    let prefix = u32::try_from(len).map_err(|_| ControlError::FrameTooLarge { len })?;
+    let mut frame = Vec::with_capacity(4 + len);
+    frame.extend_from_slice(&prefix.to_le_bytes());
     frame.extend_from_slice(&payload);
-    w.write_all(&frame)
+    w.write_all(&frame).map_err(ControlError::Io)
 }
 
 /// Reads one control frame. `Ok(None)` is a clean EOF at a frame boundary;
 /// a truncated frame, an oversized length prefix, or an undecodable
-/// payload is an `InvalidData` error.
-pub fn read_ctrl<R: Read>(r: &mut R) -> std::io::Result<Option<CtrlMsg>> {
+/// payload is a typed [`ControlError`].
+pub fn read_ctrl<R: Read>(r: &mut R) -> Result<Option<CtrlMsg>, ControlError> {
     let mut header = [0u8; 4];
     let mut filled = 0;
-    while filled < header.len() {
-        match r.read(&mut header[filled..]) {
+    while let Some(rest) = header.get_mut(filled..) {
+        if rest.is_empty() {
+            break;
+        }
+        match r.read(rest) {
             Ok(0) if filled == 0 => return Ok(None),
-            Ok(0) => {
-                return Err(std::io::Error::new(
-                    ErrorKind::UnexpectedEof,
-                    "EOF inside a control frame header",
-                ))
-            }
+            Ok(0) => return Err(ControlError::TruncatedFrame),
             Ok(n) => filled += n,
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
+            Err(e) => return Err(ControlError::Io(e)),
         }
     }
     let len = u32::from_le_bytes(header) as usize;
     if len > CTRL_MAX_FRAME {
-        return Err(std::io::Error::new(
-            ErrorKind::InvalidData,
-            "control frame length exceeds cap",
-        ));
+        return Err(ControlError::LengthExceedsCap { len });
     }
     let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == ErrorKind::UnexpectedEof {
+            ControlError::TruncatedFrame
+        } else {
+            ControlError::Io(e)
+        }
+    })?;
     CtrlMsg::from_wire_bytes(&payload)
         .map(Some)
-        .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e))
+        .map_err(ControlError::Undecodable)
 }
 
 #[cfg(test)]
@@ -359,21 +405,28 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_frames_are_errors_not_hangs() {
+    fn corrupt_frames_are_typed_errors_not_hangs() {
         // Truncated header.
         let mut r: &[u8] = &[1, 0];
-        assert!(read_ctrl(&mut r).is_err());
-        // Length bomb.
+        assert!(matches!(read_ctrl(&mut r), Err(ControlError::TruncatedFrame)));
+        // Length bomb: claimed length over the cap must be rejected before
+        // any allocation.
         let mut bomb = Vec::new();
         bomb.extend_from_slice(&(u32::MAX).to_le_bytes());
         let mut r = bomb.as_slice();
-        assert!(read_ctrl(&mut r).is_err());
+        assert!(matches!(
+            read_ctrl(&mut r),
+            Err(ControlError::LengthExceedsCap { len }) if len == u32::MAX as usize
+        ));
         // Valid frame, garbage payload.
         let mut frame = Vec::new();
         frame.extend_from_slice(&2u32.to_le_bytes());
         frame.extend_from_slice(&[0xEE, 0xEE]);
         let mut r = frame.as_slice();
-        assert!(read_ctrl(&mut r).is_err());
+        assert!(matches!(
+            read_ctrl(&mut r),
+            Err(ControlError::Undecodable(_))
+        ));
     }
 
     #[test]
@@ -381,6 +434,6 @@ mod tests {
         let mut buf = Vec::new();
         write_ctrl(&mut buf, &CtrlMsg::Fail("xyz".into())).unwrap();
         let mut r = &buf[..buf.len() - 1];
-        assert!(read_ctrl(&mut r).is_err());
+        assert!(matches!(read_ctrl(&mut r), Err(ControlError::TruncatedFrame)));
     }
 }

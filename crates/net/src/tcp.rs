@@ -32,7 +32,7 @@ use crate::transport::{
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::net::{IpAddr, Ipv4Addr, Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
@@ -46,6 +46,13 @@ pub const MAX_FRAME_LEN: usize = 64 << 20;
 
 /// Bind attempts before a port collision becomes a [`BindError`].
 const BIND_ATTEMPTS: u32 = 4;
+
+/// `127.0.0.1:0` — loopback with an OS-assigned ephemeral port, built
+/// structurally so no string parsing (and no parse failure path) is
+/// involved.
+fn loopback_ephemeral() -> SocketAddr {
+    SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), 0)
+}
 
 /// Backoff between bind attempts on a transient port collision.
 const BIND_BACKOFF: Duration = Duration::from_millis(20);
@@ -107,22 +114,27 @@ fn bind_with_retry(addr: SocketAddr) -> Result<TcpListener, BindError> {
 /// Frame header size: 8-byte sender id + 4-byte payload length.
 pub const FRAME_HEADER_LEN: usize = 12;
 
-/// Encodes one frame: `src (u64 LE) | len (u32 LE) | payload`.
-pub fn encode_frame(src: NodeId, payload: &[u8]) -> Vec<u8> {
-    let len = u32::try_from(payload.len()).expect("frame payload exceeds u32");
-    assert!(payload.len() <= MAX_FRAME_LEN, "frame payload exceeds MAX_FRAME_LEN");
+/// Encodes one frame: `src (u64 LE) | len (u32 LE) | payload`. Returns
+/// `None` if the payload exceeds [`MAX_FRAME_LEN`] (senders surface this as
+/// [`SendError::TooLarge`]).
+pub fn encode_frame(src: NodeId, payload: &[u8]) -> Option<Vec<u8>> {
+    if payload.len() > MAX_FRAME_LEN {
+        return None;
+    }
+    let len = u32::try_from(payload.len()).ok()?;
     let mut buf = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
     buf.extend_from_slice(&(src.0 as u64).to_le_bytes());
     buf.extend_from_slice(&len.to_le_bytes());
     buf.extend_from_slice(payload);
-    buf
+    Some(buf)
 }
 
 /// Decodes a frame header. Returns `(src, payload_len)`, or `None` if the
 /// claimed length exceeds [`MAX_FRAME_LEN`].
 pub fn decode_frame_header(header: &[u8; FRAME_HEADER_LEN]) -> Option<(NodeId, usize)> {
-    let src = u64::from_le_bytes(header[..8].try_into().expect("8 bytes")) as usize;
-    let len = u32::from_le_bytes(header[8..].try_into().expect("4 bytes")) as usize;
+    let (src_bytes, len_bytes) = header.split_at(8);
+    let src = u64::from_le_bytes(src_bytes.try_into().ok()?) as usize;
+    let len = u32::from_le_bytes(len_bytes.try_into().ok()?) as usize;
     (len <= MAX_FRAME_LEN).then_some((NodeId(src), len))
 }
 
@@ -131,8 +143,11 @@ pub fn decode_frame_header(header: &[u8; FRAME_HEADER_LEN]) -> Option<(NodeId, u
 /// error.
 fn read_full(stream: &mut TcpStream, buf: &mut [u8]) -> std::io::Result<bool> {
     let mut filled = 0;
-    while filled < buf.len() {
-        match stream.read(&mut buf[filled..]) {
+    while let Some(rest) = buf.get_mut(filled..) {
+        if rest.is_empty() {
+            break;
+        }
+        match stream.read(rest) {
             Ok(0) if filled == 0 => return Ok(false),
             Ok(0) => {
                 return Err(std::io::Error::new(
@@ -156,6 +171,7 @@ fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<Envelope>> {
     }
     let (src, len) = decode_frame_header(&header)
         .ok_or_else(|| std::io::Error::new(ErrorKind::InvalidData, "frame length too large"))?;
+    // lint:allow(bounded-alloc, len was just checked against MAX_FRAME_LEN by decode_frame_header)
     let mut payload = vec![0u8; len];
     if len > 0 && !read_full(stream, &mut payload)? {
         return Err(std::io::Error::new(
@@ -220,6 +236,7 @@ impl TcpTransport {
     /// bind failure (the multi-process launcher) use the `try_` family.
     pub fn endpoint(&self) -> Endpoint {
         self.try_endpoint()
+            // lint:allow(no-panic, documented panic on local bind failure; network peers cannot trigger it and the fallible try_ family exists)
             .unwrap_or_else(|e| panic!("bind loopback listener: {e}"))
     }
 
@@ -228,7 +245,7 @@ impl TcpTransport {
     /// [`BindError`] instead of panicking.
     pub fn try_endpoint(&self) -> Result<Endpoint, BindError> {
         let id = NodeId(self.inner.next_id.fetch_add(1, Ordering::Relaxed) as usize);
-        self.try_endpoint_bound(id, "127.0.0.1:0".parse().expect("literal addr"))
+        self.try_endpoint_bound(id, loopback_ephemeral())
     }
 
     /// Binds an endpoint under a *caller-chosen* node id — the
@@ -237,7 +254,7 @@ impl TcpTransport {
     /// in-process counter. The listener still takes an OS-assigned
     /// ephemeral port; read it back with [`Endpoint::local_addr`].
     pub fn try_endpoint_with_id(&self, id: NodeId) -> Result<Endpoint, BindError> {
-        self.try_endpoint_bound(id, "127.0.0.1:0".parse().expect("literal addr"))
+        self.try_endpoint_bound(id, loopback_ephemeral())
     }
 
     /// Fully explicit endpoint construction: caller-chosen node id *and*
@@ -451,7 +468,7 @@ impl TcpEndpoint {
         if let Some(latency) = self.net.inner.latency {
             std::thread::sleep(latency);
         }
-        let frame = encode_frame(self.id, &payload);
+        let frame = encode_frame(self.id, &payload).ok_or(SendError::TooLarge)?;
         let mut conns = lock(&self.conns);
         let stream = match conns.entry(dst) {
             Entry::Occupied(e) => e.into_mut(),
@@ -547,8 +564,8 @@ mod tests {
         let addr = listener.local_addr().unwrap();
         let mut client = TcpStream::connect(addr).unwrap();
         let (mut server, _) = listener.accept().unwrap();
-        client.write_all(&encode_frame(NodeId(7), b"payload")).unwrap();
-        client.write_all(&encode_frame(NodeId(9), &[])).unwrap();
+        client.write_all(&encode_frame(NodeId(7), b"payload").unwrap()).unwrap();
+        client.write_all(&encode_frame(NodeId(9), &[]).unwrap()).unwrap();
         let env = read_frame(&mut server).unwrap().unwrap();
         assert_eq!(env.src, NodeId(7));
         assert_eq!(env.payload, b"payload");
@@ -566,7 +583,7 @@ mod tests {
         let addr = listener.local_addr().unwrap();
         let mut client = TcpStream::connect(addr).unwrap();
         let (mut server, _) = listener.accept().unwrap();
-        let frame = encode_frame(NodeId(1), &[1, 2, 3, 4]);
+        let frame = encode_frame(NodeId(1), &[1, 2, 3, 4]).unwrap();
         client.write_all(&frame[..frame.len() - 2]).unwrap();
         drop(client); // EOF mid-frame
         assert!(read_frame(&mut server).is_err());

@@ -281,6 +281,8 @@ pub enum SendError {
     UnknownNode,
     /// Destination endpoint was dropped or its connection failed.
     Closed,
+    /// Payload exceeds the backend's maximum frame length.
+    TooLarge,
 }
 
 impl std::fmt::Display for SendError {
@@ -288,6 +290,7 @@ impl std::fmt::Display for SendError {
         match self {
             SendError::UnknownNode => write!(f, "unknown destination node"),
             SendError::Closed => write!(f, "destination endpoint closed"),
+            SendError::TooLarge => write!(f, "payload exceeds the maximum frame length"),
         }
     }
 }

@@ -43,8 +43,11 @@ pub trait Wire: Sized {
     }
 }
 
-/// Writes a `u32` length prefix.
+/// Writes a `u32` length prefix. Lengths here are sizes of locally built
+/// collections (encode side), far below `u32::MAX`; a value that does not
+/// fit is a local logic bug, not remote input.
 pub fn put_len<B: BufMut>(buf: &mut B, len: usize) {
+    // lint:allow(no-panic, encode-side length of a locally built collection; untrusted input never reaches this path)
     buf.put_u32_le(u32::try_from(len).expect("length exceeds u32"));
 }
 

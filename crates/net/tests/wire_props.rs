@@ -136,7 +136,7 @@ proptest! {
     #[test]
     fn tcp_frame_header_roundtrips(src in any::<u64>(), len in 0usize..2048) {
         let payload = vec![0xabu8; len];
-        let frame = encode_frame(NodeId(src as usize), &payload);
+        let frame = encode_frame(NodeId(src as usize), &payload).unwrap();
         prop_assert_eq!(frame.len(), FRAME_HEADER_LEN + len);
         let header: [u8; FRAME_HEADER_LEN] = frame[..FRAME_HEADER_LEN].try_into().unwrap();
         let (decoded_src, decoded_len) = decode_frame_header(&header).unwrap();

@@ -132,12 +132,17 @@ fn session<F: FieldElement, A: Afe<F> + Send + Sync + 'static>(
         Ok(ep) => ep,
         Err(e) => return fail_startup(&format!("data-plane bind failed: {e}")),
     };
-    let data_addr = data_ep.local_addr().expect("tcp endpoint has an address");
+    let Some(data_addr) = data_ep.local_addr() else {
+        return fail_startup("data-plane endpoint has no TCP address");
+    };
     let control = match TcpListener::bind("127.0.0.1:0") {
         Ok(l) => l,
         Err(e) => return fail_startup(&format!("control bind failed: {e}")),
     };
-    let control_addr = control.local_addr().expect("listener has an address");
+    let control_addr = match control.local_addr() {
+        Ok(addr) => addr,
+        Err(e) => return fail_startup(&format!("control listener has no address: {e}")),
+    };
 
     println!("PRIO-NODE index={index} data={data_addr} control={control_addr}");
     let _ = std::io::stdout().flush();

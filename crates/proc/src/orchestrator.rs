@@ -25,7 +25,7 @@ use crate::spec::{h_form_tag, verify_mode_tag, AfeSpec, FieldSpec};
 use prio_net::control::{read_ctrl, write_ctrl, CtrlMsg, NodeConfig, NodeStats};
 use prio_net::wire::Wire;
 use prio_snip::{HForm, VerifyMode};
-use std::io::{BufRead, BufReader, Write as _};
+use std::io::{BufRead, BufReader, ErrorKind, Write as _};
 use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
 use std::process::{Child, Command, ExitStatus, Stdio};
@@ -138,6 +138,9 @@ impl ProcConfig {
 /// Typed failure from the orchestrator.
 #[derive(Debug)]
 pub enum ProcError {
+    /// The deployment configuration is invalid (e.g. fewer than two
+    /// servers).
+    Config(String),
     /// A required binary could not be located.
     Binary(String),
     /// Spawning a child process failed.
@@ -174,6 +177,7 @@ pub enum ProcError {
 impl std::fmt::Display for ProcError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            ProcError::Config(msg) => write!(f, "invalid deployment config: {msg}"),
             ProcError::Binary(msg) => write!(f, "binary not found: {msg}"),
             ProcError::Spawn(e) => write!(f, "spawn failed: {e}"),
             ProcError::Handshake { who, msg } => write!(f, "{who} handshake failed: {msg}"),
@@ -351,7 +355,12 @@ impl ProcDeployment {
     /// node has bound its ephemeral ports, learned all its peers, and
     /// answered `Ready` on its control socket.
     pub fn launch(cfg: ProcConfig) -> Result<Self, ProcError> {
-        assert!(cfg.num_servers >= 2, "Prio needs at least two servers");
+        if cfg.num_servers < 2 {
+            return Err(ProcError::Config(format!(
+                "Prio needs at least two servers, got {}",
+                cfg.num_servers
+            )));
+        }
         let node_bin = match &cfg.node_bin {
             Some(path) => path.clone(),
             None => find_binary("prio-node")?,
@@ -389,15 +398,24 @@ impl ProcDeployment {
                 h_form: h_form_tag(cfg.h_form).into(),
                 verify_threads: cfg.verify_threads as u64,
             };
-            {
-                // Write the serialized config and close stdin so the node's
-                // read-to-EOF completes.
-                let mut stdin = child.stdin.take().expect("stdin piped");
-                stdin
-                    .write_all(&node_cfg.to_wire_bytes())
-                    .map_err(ProcError::Spawn)?;
-            }
-            let stdout = LineReader::spawn(child.stdout.take().expect("stdout piped"));
+            // Both handles were requested as piped; a None here is a spawn
+            // anomaly — kill the half-started child instead of leaking it.
+            let (stdin_pipe, stdout_pipe) = (child.stdin.take(), child.stdout.take());
+            let (Some(mut stdin), Some(node_stdout)) = (stdin_pipe, stdout_pipe) else {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(ProcError::Spawn(std::io::Error::new(
+                    ErrorKind::BrokenPipe,
+                    "node child is missing a piped stdio handle",
+                )));
+            };
+            // Write the serialized config and close stdin so the node's
+            // read-to-EOF completes.
+            stdin
+                .write_all(&node_cfg.to_wire_bytes())
+                .map_err(ProcError::Spawn)?;
+            drop(stdin);
+            let stdout = LineReader::spawn(node_stdout);
             let who = format!("node {index}");
             let line = stdout.next_line(cfg.timeout, &who)?;
             if let Some(msg) = line.strip_prefix("PRIO-NODE-ERROR ") {
@@ -521,8 +539,19 @@ impl ProcDeployment {
             .stdout(Stdio::piped())
             .spawn()
             .map_err(ProcError::Spawn)?;
-        let submit_out = LineReader::spawn(submit.stdout.take().expect("stdout piped"));
-        let mut submit_in = submit.stdin.take().expect("stdin piped");
+        // As in launch_inner: both handles were requested as piped, so a
+        // None is a spawn anomaly — kill the child rather than leak it
+        // (the error path below has not registered it anywhere yet).
+        let (out_pipe, in_pipe) = (submit.stdout.take(), submit.stdin.take());
+        let (Some(submit_stdout), Some(mut submit_in)) = (out_pipe, in_pipe) else {
+            let _ = submit.kill();
+            let _ = submit.wait();
+            return Err(ProcError::Spawn(std::io::Error::new(
+                ErrorKind::BrokenPipe,
+                "submit child is missing a piped stdio handle",
+            )));
+        };
+        let submit_out = LineReader::spawn(submit_stdout);
 
         let result = (|| {
             let line = submit_out.next_line(cfg.timeout, "submit")?;
@@ -603,7 +632,12 @@ impl ProcDeployment {
                 let reply = self.control(index, &CtrlMsg::FlushAggregate, |m| {
                     matches!(m, CtrlMsg::Stats(_))
                 })?;
-                let CtrlMsg::Stats(stats) = reply else { unreachable!("matched above") };
+                let CtrlMsg::Stats(stats) = reply else {
+                    return Err(ProcError::Control {
+                        index,
+                        msg: format!("expected Stats, got {reply:?}"),
+                    });
+                };
                 node_stats.push(stats);
             }
             // submit_status.success() was checked above, so only the node
@@ -612,7 +646,12 @@ impl ProcDeployment {
             for index in 0..self.nodes.len() {
                 let reply =
                     self.control(index, &CtrlMsg::Shutdown, |m| matches!(m, CtrlMsg::Bye { .. }))?;
-                let CtrlMsg::Bye { clean } = reply else { unreachable!("matched above") };
+                let CtrlMsg::Bye { clean } = reply else {
+                    return Err(ProcError::Control {
+                        index,
+                        msg: format!("expected Bye, got {reply:?}"),
+                    });
+                };
                 let status = wait_deadline(&mut self.nodes[index].child, cfg.timeout)
                     .ok_or_else(|| ProcError::Timeout(format!("node {index} exit")))?;
                 clean_exit &= clean && status.success();

@@ -14,9 +14,11 @@ use prio_afe::freq::FrequencyAfe;
 use prio_afe::linreg::{Example, LinRegAfe};
 use prio_afe::mostpop::MostPopularAfe;
 use prio_afe::sum::SumAfe;
+use prio_afe::AfeError;
 use prio_core::{Client, ClientConfig, ClientSubmission, ShareBlob};
 use prio_field::FieldElement;
 use prio_snip::{HForm, VerifyMode};
+// lint:allow(rand-shim, client-side test traffic is deterministic by design; server-side protocol randomness flows through prio_crypto)
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 /// Which AFE a deployment runs, with its size parameter.
@@ -140,17 +142,20 @@ pub fn is_tampered(j: usize, tamper_permille: u32) -> bool {
 /// would: bump the first element of the explicit share vector, so the
 /// submission parses fine everywhere but its SNIP no longer verifies.
 pub fn tamper<F: FieldElement>(sub: &mut ClientSubmission<F>) {
-    let blob = sub.blobs.last_mut().expect("at least one blob");
-    let ShareBlob::Explicit(v) = blob else {
-        panic!("last share blob is explicit under PRG compression");
-    };
-    v[0] += F::one();
+    // Infallible: a submission without an explicit last blob (impossible
+    // for anything Client::submit produced) is simply left untouched.
+    if let Some(ShareBlob::Explicit(v)) = sub.blobs.last_mut() {
+        if let Some(first) = v.first_mut() {
+            *first += F::one();
+        }
+    }
 }
 
 /// Deterministically encodes `n` submissions for the given workload,
 /// tampering the [`is_tampered`] subset. Identical `(spec, servers, n,
 /// seed, tamper_permille)` always yields byte-identical submissions,
-/// whichever process runs it.
+/// whichever process runs it. Fails (instead of panicking a node) if a
+/// generated input is rejected by the AFE — a spec/AFE mismatch.
 pub fn encode_submissions<F: FieldElement>(
     spec: AfeSpec,
     num_servers: usize,
@@ -158,7 +163,8 @@ pub fn encode_submissions<F: FieldElement>(
     n: usize,
     seed: u64,
     tamper_permille: u32,
-) -> Vec<ClientSubmission<F>> {
+) -> Result<Vec<ClientSubmission<F>>, AfeError> {
+    // lint:allow(rand-shim, deterministic client-side test-traffic generation; see module docs)
     let mut rng = StdRng::seed_from_u64(seed);
     let client_cfg = ClientConfig {
         num_servers,
@@ -172,18 +178,18 @@ pub fn encode_submissions<F: FieldElement>(
             (0..n)
                 .map(|_| {
                     let v = rng.random_range(0..max);
-                    client.submit(&v, &mut rng).expect("honest input")
+                    client.submit(&v, &mut rng)
                 })
-                .collect::<Vec<_>>()
+                .collect::<Result<Vec<_>, _>>()?
         }
         AfeSpec::Freq(buckets) => {
             let mut client = Client::new(FrequencyAfe::new(buckets), client_cfg);
             (0..n)
                 .map(|_| {
                     let v = rng.random_range(0..buckets);
-                    client.submit(&v, &mut rng).expect("honest input")
+                    client.submit(&v, &mut rng)
                 })
-                .collect()
+                .collect::<Result<Vec<_>, _>>()?
         }
         AfeSpec::LinReg(dim) => {
             let mut client = Client::new(LinRegAfe::new(dim, 8), client_cfg);
@@ -193,9 +199,9 @@ pub fn encode_submissions<F: FieldElement>(
                         features: (0..dim).map(|_| rng.random_range(0..256u64)).collect(),
                         y: rng.random_range(0..256u64),
                     };
-                    client.submit(&ex, &mut rng).expect("honest input")
+                    client.submit(&ex, &mut rng)
                 })
-                .collect()
+                .collect::<Result<Vec<_>, _>>()?
         }
         AfeSpec::MostPop(bits) => {
             let mut client = Client::new(MostPopularAfe::new(bits), client_cfg);
@@ -203,9 +209,9 @@ pub fn encode_submissions<F: FieldElement>(
             (0..n)
                 .map(|_| {
                     let v = rng.random_range(0..max);
-                    client.submit(&v, &mut rng).expect("honest input")
+                    client.submit(&v, &mut rng)
                 })
-                .collect()
+                .collect::<Result<Vec<_>, _>>()?
         }
     };
     for (j, sub) in subs.iter_mut().enumerate() {
@@ -213,7 +219,7 @@ pub fn encode_submissions<F: FieldElement>(
             tamper(sub);
         }
     }
-    subs
+    Ok(subs)
 }
 
 /// How many of `n` submissions [`is_tampered`] selects.
@@ -260,8 +266,10 @@ mod tests {
 
     #[test]
     fn encoding_is_deterministic_and_tamper_rejects() {
-        let a = encode_submissions::<Field64>(AfeSpec::Sum(4), 3, HForm::PointValue, 10, 7, 200);
-        let b = encode_submissions::<Field64>(AfeSpec::Sum(4), 3, HForm::PointValue, 10, 7, 200);
+        let a = encode_submissions::<Field64>(AfeSpec::Sum(4), 3, HForm::PointValue, 10, 7, 200)
+            .unwrap();
+        let b = encode_submissions::<Field64>(AfeSpec::Sum(4), 3, HForm::PointValue, 10, 7, 200)
+            .unwrap();
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.prg_label, y.prg_label);
             assert_eq!(x.blobs, y.blobs);

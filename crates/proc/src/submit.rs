@@ -85,7 +85,9 @@ fn drive<F: FieldElement>(args: &SubmitArgs) -> i32 {
         Ok(ep) => ep,
         Err(e) => return fail(&format!("driver bind failed: {e}")),
     };
-    let addr = ep.local_addr().expect("tcp endpoint has an address");
+    let Some(addr) = ep.local_addr() else {
+        return fail("driver endpoint has no TCP address");
+    };
     println!("PRIO-SUBMIT data={addr}");
     let _ = std::io::stdout().flush();
 
@@ -99,14 +101,17 @@ fn drive<F: FieldElement>(args: &SubmitArgs) -> i32 {
         Err(e) => return fail(&format!("reading GO failed: {e}")),
     }
 
-    let subs = encode_submissions::<F>(
+    let subs = match encode_submissions::<F>(
         args.afe,
         s,
         args.h_form,
         args.submissions,
         args.seed,
         args.tamper_permille,
-    );
+    ) {
+        Ok(subs) => subs,
+        Err(e) => return fail(&format!("encoding submissions failed: {e}")),
+    };
     let server_ids: Vec<NodeId> = (0..s).map(NodeId).collect();
     let mut driver: BatchDriver<F> =
         BatchDriver::new(ep, server_ids).with_timeout(args.timeout);

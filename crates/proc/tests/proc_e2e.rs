@@ -40,7 +40,8 @@ fn cluster_reference(
         submissions,
         seed,
         tamper_permille,
-    );
+    )
+    .unwrap();
     let mut cluster: Cluster<Field64, _> =
         Cluster::new(prio_afe::sum::SumAfe::new(8), servers, VerifyMode::FixedPoint);
     for sub in &subs {
@@ -103,7 +104,8 @@ fn proc_bytes_match_the_tcp_deployment() {
         submissions,
         seed,
         0,
-    );
+    )
+    .unwrap();
     let dep_cfg = prio_core::DeploymentConfig::new(3)
         .with_transport(prio_net::TransportKind::Tcp);
     let mut deployment: prio_core::Deployment<Field64> =
@@ -166,11 +168,11 @@ fn garbage_frames_are_rejected_without_crashing() {
         // sender id outside the deployment…
         let mut stream = TcpStream::connect(addr).unwrap();
         stream
-            .write_all(&encode_frame(NodeId(7777), b"not a server message"))
+            .write_all(&encode_frame(NodeId(7777), b"not a server message").unwrap())
             .unwrap();
         // …a well-framed undecodable payload forging the driver's id…
         stream
-            .write_all(&encode_frame(NodeId(2), &[0xEE; 33]))
+            .write_all(&encode_frame(NodeId(2), &[0xEE; 33]).unwrap())
             .unwrap();
         // …and a corrupt stream (oversized length prefix) on a second
         // connection, which must only kill that connection's reader.

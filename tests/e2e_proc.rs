@@ -28,7 +28,8 @@ fn cluster_reference(servers: usize) -> (u64, u64, Vec<u64>) {
         SUBMISSIONS,
         SEED,
         TAMPER_PERMILLE,
-    );
+    )
+    .unwrap();
     let mut cluster: Cluster<Field64, _> =
         Cluster::new(SumAfe::new(8), servers, VerifyMode::FixedPoint);
     for (j, sub) in subs.iter().enumerate() {
