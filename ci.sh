@@ -27,6 +27,14 @@ echo "==> multi-process e2e (prio_proc)"
 cargo build --offline -p prio_proc
 cargo test -q --offline --test e2e_proc
 
+# Observability gate: scrapes live per-node registries from a real
+# 3-process deployment over the GetMetrics control message and fails if
+# the prio-obs exposition doesn't parse, if key counters are zero or
+# disagree with NodeStats, or if a 10k garbage-frame flood is not fully
+# accounted for in the drop counters (bounded stderr, exact counts).
+echo "==> observability e2e (GetMetrics scrape + flood accounting)"
+cargo test -q --offline --test e2e_obs
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --offline --all-targets -- -D warnings
 
@@ -67,7 +75,10 @@ cargo run --release --offline -p prio_bench -- --check target/bench_batch_verify
 # Multi-process slice: exercises the --backend proc filter end to end. The
 # release prio-node/prio-submit binaries exist because the initial
 # `cargo build --release` covers every default member; prio-bench locates
-# them next to its own executable.
+# them next to its own executable. This slice also runs with metrics
+# enabled by construction: every proc scenario's `obs` block is built from
+# GetMetrics scrapes of the node processes, so an unparseable exposition
+# fails the run and --check rejects a document whose summaries lack p99.
 echo "==> prio-bench --smoke --backend proc (multi-process slice)"
 cargo run --release --offline -p prio_bench -- --smoke --backend proc --out target/bench_proc.json
 cargo run --release --offline -p prio_bench -- --check target/bench_proc.json

@@ -48,19 +48,82 @@ impl Record {
 
 /// Runs one scenario to completion.
 pub fn run_scenario(sc: &Scenario) -> Record {
-    let metrics = match sc.group {
+    let before = prio_obs::Registry::global().snapshot();
+    let mut metrics = match sc.group {
         Group::Throughput => run_throughput(sc),
         Group::EncodeVerify => run_encode_verify(sc),
         Group::Bandwidth => run_bandwidth(sc),
         Group::Baseline => run_baseline(sc),
         Group::BatchVerify => run_batch_verify(sc),
     };
+    // Registry-derived observability block: what this scenario did to the
+    // process-wide metrics (phase-latency percentiles, drop and reject
+    // counters). Proc-backend runners attach their own block built from
+    // the node processes' scraped registries; everyone else gets the
+    // local-registry delta.
+    if metrics.get("obs").is_none() {
+        let delta = prio_obs::Registry::global().snapshot().diff(&before);
+        attach_obs(&mut metrics, obs_block(&delta));
+    }
     Record {
         name: sc.name.clone(),
         group: sc.group,
         params: sc.params_json(),
         metrics,
     }
+}
+
+/// Appends an `obs` entry to a metrics object (no-op on non-objects).
+fn attach_obs(metrics: &mut Json, block: Json) {
+    if let Json::Obj(pairs) = metrics {
+        pairs.push(("obs".into(), block));
+    }
+}
+
+/// Builds the `obs` metrics block from a registry snapshot: per-phase
+/// latency percentiles out of the `server_phase_us` histograms plus the
+/// drop/reject counters — the same numbers an operator would read off a
+/// live `GetMetrics` scrape, so bench output and monitoring agree.
+fn obs_block(snap: &prio_obs::Snapshot) -> Json {
+    use prio_obs::names;
+    let phase = |name: &str| -> Json {
+        match snap.histogram(names::SERVER_PHASE_US, &[("phase", name)]) {
+            Some(h) if h.count > 0 => Json::obj(vec![
+                ("p50_us", Json::Num(h.quantile(0.50) as f64)),
+                ("p95_us", Json::Num(h.quantile(0.95) as f64)),
+                ("p99_us", Json::Num(h.quantile(0.99) as f64)),
+                ("count", Json::Num(h.count as f64)),
+            ]),
+            _ => Json::Null,
+        }
+    };
+    Json::obj(vec![
+        (
+            "phase_us",
+            Json::obj(vec![
+                ("unpack", phase("unpack")),
+                ("round1", phase("round1")),
+                ("round2", phase("round2")),
+                ("publish", phase("publish")),
+            ]),
+        ),
+        (
+            "frames_dropped",
+            Json::Num(snap.counter_sum(names::SERVER_FRAMES_DROPPED) as f64),
+        ),
+        (
+            "submissions_accepted",
+            Json::Num(snap.counter_sum(names::SERVER_SUBMISSIONS_ACCEPTED) as f64),
+        ),
+        (
+            "submissions_rejected",
+            Json::Num(snap.counter_sum(names::SERVER_SUBMISSIONS_REJECTED) as f64),
+        ),
+        (
+            "net_send_failures",
+            Json::Num(snap.counter_sum(names::NET_SEND_FAILURES) as f64),
+        ),
+    ])
 }
 
 fn sum_inputs(bits: usize, n: usize, rng: &mut StdRng) -> Vec<u64> {
@@ -135,6 +198,17 @@ fn proc_config(sc: &Scenario) -> ProcConfig {
         .with_verify_threads(sc.verify_threads)
 }
 
+/// The proc backend's obs block: the node processes have their own
+/// registries, so the local delta sees nothing — merge the per-node
+/// snapshots the orchestrator scraped over `GetMetrics` instead.
+fn proc_obs_block(report: &ProcReport) -> Json {
+    let merged = report
+        .node_metrics
+        .iter()
+        .fold(prio_obs::Snapshot::default(), |acc, s| acc.merge(s));
+    obs_block(&merged)
+}
+
 fn run_proc(sc: &Scenario) -> ProcReport {
     let runs = (sc.runner.warmup + sc.runner.iters) as u64;
     let report = ProcDeployment::launch(proc_config(sc))
@@ -194,6 +268,7 @@ fn run_throughput_proc(sc: &Scenario) -> Json {
         ("leader_bytes_sent", Json::Num(leader as f64)),
         ("max_non_leader_bytes_sent", Json::Num(non_leader as f64)),
         ("processes", Json::Num(sc.servers as f64 + 1.0)),
+        ("obs", proc_obs_block(&report)),
     ])
 }
 
@@ -229,6 +304,7 @@ fn run_bandwidth_proc(sc: &Scenario) -> Json {
         ("leader_over_non_leader", Json::Num(ratio)),
         ("publish_bytes_total", Json::Num(publish_total as f64)),
         ("processes", Json::Num(sc.servers as f64 + 1.0)),
+        ("obs", proc_obs_block(&report)),
     ])
 }
 

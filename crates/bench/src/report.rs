@@ -53,6 +53,12 @@ pub fn validate_document(doc: &Json) -> Result<(), String> {
                 None => return Err(format!("result #{i} params missing '{key}'")),
             }
         }
+        // Every latency summary carries the full percentile set: a
+        // `median_ms` without a `p99_ms` means the document was produced
+        // by a pre-p99 harness and must be regenerated.
+        if let Some(metrics) = r.get("metrics") {
+            check_summaries(metrics, i)?;
+        }
         // Batch-verify entries must carry the throughput headline metric.
         if r.get("group").and_then(Json::as_str) == Some("batch_verify")
             && r.get("metrics")
@@ -64,6 +70,29 @@ pub fn validate_document(doc: &Json) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Recursively checks that any object carrying `median_ms` (a `Summary`)
+/// also carries `p99_ms` — percentile sets are all-or-nothing.
+fn check_summaries(v: &Json, record_idx: usize) -> Result<(), String> {
+    match v {
+        Json::Obj(pairs) => {
+            if v.get("median_ms").is_some() && v.get("p99_ms").and_then(Json::as_num).is_none() {
+                return Err(format!("result #{record_idx} has a summary without p99_ms"));
+            }
+            for (_, inner) in pairs {
+                check_summaries(inner, record_idx)?;
+            }
+            Ok(())
+        }
+        Json::Arr(items) => {
+            for inner in items {
+                check_summaries(inner, record_idx)?;
+            }
+            Ok(())
+        }
+        _ => Ok(()),
+    }
 }
 
 /// One-line human summary of a record, keyed on its experiment family.
@@ -174,6 +203,38 @@ mod tests {
             ),
         ]);
         assert!(validate_document(&missing_metrics).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_summary_without_p99() {
+        let mut record = fake_record("x");
+        record.metrics = Json::obj(vec![
+            ("throughput_sub_per_s", Json::Num(1234.0)),
+            (
+                "batch_wall",
+                Json::obj(vec![
+                    ("median_ms", Json::Num(2.0)),
+                    ("p95_ms", Json::Num(3.0)),
+                ]),
+            ),
+        ]);
+        let doc = build_document(Mode::Smoke, &[record], Duration::from_millis(1));
+        let err = validate_document(&doc).unwrap_err();
+        assert!(err.contains("p99_ms"), "unexpected error: {err}");
+        // The same summary with p99_ms passes.
+        let mut record = fake_record("x");
+        record.metrics = Json::obj(vec![
+            ("throughput_sub_per_s", Json::Num(1234.0)),
+            (
+                "batch_wall",
+                Json::obj(vec![
+                    ("median_ms", Json::Num(2.0)),
+                    ("p99_ms", Json::Num(3.5)),
+                ]),
+            ),
+        ]);
+        let doc = build_document(Mode::Smoke, &[record], Duration::from_millis(1));
+        validate_document(&doc).unwrap();
     }
 
     #[test]

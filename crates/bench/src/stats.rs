@@ -1,5 +1,5 @@
 //! Wall-clock measurement: warmup/iteration control and summary statistics
-//! (min / median / p95 / mean) over repeated runs.
+//! (min / median / p95 / p99 / mean) over repeated runs.
 
 use crate::json::Json;
 use std::time::{Duration, Instant};
@@ -13,6 +13,10 @@ pub struct Summary {
     pub median_ms: f64,
     /// 95th-percentile sample (nearest-rank).
     pub p95_ms: f64,
+    /// 99th-percentile sample (nearest-rank). With fewer than 100 samples
+    /// this collapses toward the maximum — that is the nearest-rank
+    /// convention, not an error.
+    pub p99_ms: f64,
     /// Arithmetic mean.
     pub mean_ms: f64,
     /// Number of samples.
@@ -32,17 +36,19 @@ impl Summary {
             min_ms: ms[0],
             median_ms: nearest_rank(0.50),
             p95_ms: nearest_rank(0.95),
+            p99_ms: nearest_rank(0.99),
             mean_ms: ms.iter().sum::<f64>() / n as f64,
             samples: n,
         }
     }
 
-    /// JSON object with all five fields.
+    /// JSON object with all six fields.
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
             ("min_ms", Json::Num(self.min_ms)),
             ("median_ms", Json::Num(self.median_ms)),
             ("p95_ms", Json::Num(self.p95_ms)),
+            ("p99_ms", Json::Num(self.p99_ms)),
             ("mean_ms", Json::Num(self.mean_ms)),
             ("samples", Json::Num(self.samples as f64)),
         ])
@@ -100,6 +106,7 @@ mod tests {
         assert_eq!(s.min_ms, 1.0);
         assert_eq!(s.median_ms, 50.0);
         assert_eq!(s.p95_ms, 95.0);
+        assert_eq!(s.p99_ms, 99.0);
         assert!((s.mean_ms - 50.5).abs() < 1e-9);
         assert_eq!(s.samples, 100);
     }
@@ -110,6 +117,7 @@ mod tests {
         assert_eq!(s.min_ms, 7.0);
         assert_eq!(s.median_ms, 7.0);
         assert_eq!(s.p95_ms, 7.0);
+        assert_eq!(s.p99_ms, 7.0);
         assert_eq!(s.samples, 1);
     }
 

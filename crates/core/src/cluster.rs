@@ -13,6 +13,7 @@ use prio_afe::Afe;
 use prio_field::FieldElement;
 use prio_net::wire::Wire;
 use prio_crypto::prg::PrgRng;
+use prio_obs::Span;
 use prio_snip::{decide, HForm, VerifierContext, VerifyMode};
 use rand::Rng;
 
@@ -35,14 +36,45 @@ pub struct PhaseTimings {
     pub round1: std::time::Duration,
     /// SNIP round 2 + decision.
     pub round2: std::time::Duration,
+    /// Accumulator reveal (the publish phase). Filled by the server loop;
+    /// the single-threaded cluster's `aggregate` is a read-only fold that
+    /// reports into the publish histogram instead.
+    pub publish: std::time::Duration,
     /// Submissions these totals cover.
     pub submissions: u64,
 }
 
 impl PhaseTimings {
-    /// Total verification time across all phases.
+    /// Total *verification* time: unpack + round 1 + round 2. Publish is
+    /// deliberately excluded — it reveals the already-verified aggregate
+    /// and is not part of the Figure-5 per-submission cost.
     pub fn total(&self) -> std::time::Duration {
         self.unpack + self.round1 + self.round2
+    }
+}
+
+/// The cluster's span targets: the same `server_phase_us` histograms the
+/// server loop feeds, so per-phase latency has one exposition regardless
+/// of which execution flavour ran the protocol. [`Cluster::timings`] is
+/// rebased on these spans — each phase is clocked once, by the span, and
+/// the same measurement lands in both the histogram and the
+/// [`PhaseTimings`] accumulator.
+struct ClusterPhases {
+    unpack: prio_obs::Histogram,
+    round1: prio_obs::Histogram,
+    round2: prio_obs::Histogram,
+    publish: prio_obs::Histogram,
+}
+
+impl ClusterPhases {
+    fn resolve() -> ClusterPhases {
+        let reg = prio_obs::Registry::global();
+        ClusterPhases {
+            unpack: reg.histogram(prio_obs::names::SERVER_PHASE_US, &[("phase", "unpack")]),
+            round1: reg.histogram(prio_obs::names::SERVER_PHASE_US, &[("phase", "round1")]),
+            round2: reg.histogram(prio_obs::names::SERVER_PHASE_US, &[("phase", "round2")]),
+            publish: reg.histogram(prio_obs::names::SERVER_PHASE_US, &[("phase", "publish")]),
+        }
     }
 }
 
@@ -59,6 +91,7 @@ pub struct Cluster<F: FieldElement, A: Afe<F>> {
     /// Verification bytes each server has *sent*.
     sent_bytes: Vec<u64>,
     timings: PhaseTimings,
+    phases: ClusterPhases,
 }
 
 impl<F: FieldElement, A: Afe<F> + Clone> Cluster<F, A> {
@@ -99,6 +132,7 @@ impl<F: FieldElement, A: Afe<F> + Clone> Cluster<F, A> {
             ctx_rng: PrgRng::from_u64_seed(0x5052_494f, CLUSTER_CTX_SEED_LABEL),
             sent_bytes: vec![0; num_servers],
             timings: PhaseTimings::default(),
+            phases: ClusterPhases::resolve(),
         }
     }
 
@@ -139,13 +173,13 @@ impl<F: FieldElement, A: Afe<F> + Clone> Cluster<F, A> {
 
         // Unpack. A structurally malformed blob is rejected outright (the
         // servers can detect this locally; no protocol needed).
-        let phase_start = std::time::Instant::now();
+        let span = Span::start(&self.phases.unpack);
         let mut unpacked = Vec::with_capacity(s);
         for (i, blob) in sub.blobs.iter().enumerate() {
             match self.servers[i].unpack(blob, sub.prg_label) {
                 Ok(pair) => unpacked.push(pair),
                 Err(_) => {
-                    self.timings.unpack += phase_start.elapsed();
+                    self.timings.unpack += span.finish();
                     for server in &mut self.servers {
                         server.reject();
                     }
@@ -153,10 +187,10 @@ impl<F: FieldElement, A: Afe<F> + Clone> Cluster<F, A> {
                 }
             }
         }
-        self.timings.unpack += phase_start.elapsed();
+        self.timings.unpack += span.finish();
 
         // Round 1 at every server.
-        let phase_start = std::time::Instant::now();
+        let span = Span::start(&self.phases.round1);
         let mut states = Vec::with_capacity(s);
         let mut round1 = Vec::with_capacity(s);
         for (i, (x, proof)) in unpacked.iter().enumerate() {
@@ -166,7 +200,7 @@ impl<F: FieldElement, A: Afe<F> + Clone> Cluster<F, A> {
                     round1.push(msg);
                 }
                 Err(_) => {
-                    self.timings.round1 += phase_start.elapsed();
+                    self.timings.round1 += span.finish();
                     for server in &mut self.servers {
                         server.reject();
                     }
@@ -174,7 +208,7 @@ impl<F: FieldElement, A: Afe<F> + Clone> Cluster<F, A> {
                 }
             }
         }
-        self.timings.round1 += phase_start.elapsed();
+        self.timings.round1 += span.finish();
 
         // Byte accounting, leader-star topology:
         // non-leader i → leader: Round1([m_i]); leader → each non-leader:
@@ -188,13 +222,13 @@ impl<F: FieldElement, A: Afe<F> + Clone> Cluster<F, A> {
         let comb_size = ServerMsg::Round1Combined(combined.clone())
             .to_wire_bytes()
             .len() as u64;
-        let phase_start = std::time::Instant::now();
+        let span = Span::start(&self.phases.round2);
         let round2: Vec<_> = (0..s)
             .map(|i| self.servers[i].round2(&states[i], &combined))
             .collect();
         let r2_size = ServerMsg::Round2(vec![round2[1]]).to_wire_bytes().len() as u64;
         let accepted = decide(&round2);
-        self.timings.round2 += phase_start.elapsed();
+        self.timings.round2 += span.finish();
         let dec_size = ServerMsg::<F>::Decisions(pack_decisions(&[accepted]))
             .to_wire_bytes()
             .len() as u64;
@@ -263,7 +297,7 @@ impl<F: FieldElement, A: Afe<F> + Clone> Cluster<F, A> {
         // Unpack every server's share of every submission; a failure at any
         // server rejects that submission (same decision the sequential
         // path's early return produces).
-        let phase_start = std::time::Instant::now();
+        let span = Span::start(&self.phases.unpack);
         let mut local_ok = vec![true; count];
         let mut unpacked: Vec<Vec<(Vec<F>, prio_snip::SnipProofShare<F>)>> =
             Vec::with_capacity(count);
@@ -282,11 +316,11 @@ impl<F: FieldElement, A: Afe<F> + Clone> Cluster<F, A> {
             }
             unpacked.push(per_sub);
         }
-        self.timings.unpack += phase_start.elapsed();
+        self.timings.unpack += span.finish();
 
         // Round 1 at every server, batched across the verify pool.
         let ok_idx: Vec<usize> = (0..count).filter(|&j| local_ok[j]).collect();
-        let phase_start = std::time::Instant::now();
+        let span = Span::start(&self.phases.round1);
         let r1: Vec<Vec<_>> = (0..s)
             .map(|i| {
                 let items: Vec<(&[F], &prio_snip::SnipProofShare<F>)> = ok_idx
@@ -304,10 +338,10 @@ impl<F: FieldElement, A: Afe<F> + Clone> Cluster<F, A> {
                 local_ok[j] = false;
             }
         }
-        self.timings.round1 += phase_start.elapsed();
+        self.timings.round1 += span.finish();
 
         // Combine round-1 broadcasts, run batched round 2, and decide.
-        let phase_start = std::time::Instant::now();
+        let span = Span::start(&self.phases.round2);
         let mut chunk_decisions = vec![false; count];
         let mut verified_idx = Vec::new();
         let mut combined = Vec::new();
@@ -336,7 +370,7 @@ impl<F: FieldElement, A: Afe<F> + Clone> Cluster<F, A> {
             let msgs: Vec<_> = r2.iter().map(|per_server| per_server[k]).collect();
             chunk_decisions[j] = decide(&msgs);
         }
-        self.timings.round2 += phase_start.elapsed();
+        self.timings.round2 += span.finish();
 
         // Batched-message byte accounting (deployment framing): the
         // deployment sends full-length vectors with zero/poison
@@ -409,6 +443,9 @@ impl<F: FieldElement, A: Afe<F> + Clone> Cluster<F, A> {
 
     /// Publishes and sums the accumulators: `σ = Σ_j A_j` (Figure 1d).
     pub fn aggregate(&self) -> Vec<F> {
+        // `&self` here, so the publish cost lands in the histogram only;
+        // `timings.publish` stays whatever the server loop put there.
+        let span = Span::start(&self.phases.publish);
         let kp = self.servers[0].accumulator().len();
         let mut sigma = vec![F::zero(); kp];
         for server in &self.servers {
@@ -416,6 +453,7 @@ impl<F: FieldElement, A: Afe<F> + Clone> Cluster<F, A> {
                 *acc += v;
             }
         }
+        span.finish();
         sigma
     }
 

@@ -24,8 +24,61 @@ use prio_afe::Afe;
 use prio_field::FieldElement;
 use prio_net::wire::Wire;
 use prio_net::{Endpoint, NodeId};
+use prio_obs::{names, Obs, Span};
 use prio_snip::{decide, Round1Msg};
 use std::collections::VecDeque;
+
+/// Event target for everything this module narrates.
+const TARGET: &str = "core::server_loop";
+
+/// The loop's metric handles, resolved once per [`run_server_loop`] call so
+/// the per-frame paths touch only pre-registered atomics. Also carries the
+/// event hub: every stderr line the loop used to print unconditionally now
+/// rides the rate limiter here.
+pub(crate) struct LoopMetrics {
+    pub(crate) drop_unknown_sender: prio_obs::Counter,
+    pub(crate) drop_undecodable: prio_obs::Counter,
+    pub(crate) drop_stash_overflow: prio_obs::Counter,
+    pub(crate) drop_unexpected_kind: prio_obs::Counter,
+    pub(crate) accepted: prio_obs::Counter,
+    pub(crate) rejected_malformed: prio_obs::Counter,
+    pub(crate) rejected_verify: prio_obs::Counter,
+    pub(crate) batch_size: prio_obs::Histogram,
+    pub(crate) phase_unpack: prio_obs::Histogram,
+    pub(crate) phase_round1: prio_obs::Histogram,
+    pub(crate) phase_round2: prio_obs::Histogram,
+    pub(crate) phase_publish: prio_obs::Histogram,
+    pub(crate) stash_depth: prio_obs::Gauge,
+    pub(crate) events: prio_obs::Events,
+}
+
+impl LoopMetrics {
+    pub(crate) fn resolve(obs: &Obs) -> LoopMetrics {
+        let reg = obs.registry();
+        LoopMetrics {
+            drop_unknown_sender: reg
+                .counter(names::SERVER_FRAMES_DROPPED, &[("reason", "unknown_sender")]),
+            drop_undecodable: reg
+                .counter(names::SERVER_FRAMES_DROPPED, &[("reason", "undecodable")]),
+            drop_stash_overflow: reg
+                .counter(names::SERVER_FRAMES_DROPPED, &[("reason", "stash_overflow")]),
+            drop_unexpected_kind: reg
+                .counter(names::SERVER_FRAMES_DROPPED, &[("reason", "unexpected_kind")]),
+            accepted: reg.counter(names::SERVER_SUBMISSIONS_ACCEPTED, &[]),
+            rejected_malformed: reg
+                .counter(names::SERVER_SUBMISSIONS_REJECTED, &[("reason", "malformed")]),
+            rejected_verify: reg
+                .counter(names::SERVER_SUBMISSIONS_REJECTED, &[("reason", "verify")]),
+            batch_size: reg.histogram(names::SERVER_BATCH_SIZE, &[]),
+            phase_unpack: reg.histogram(names::SERVER_PHASE_US, &[("phase", "unpack")]),
+            phase_round1: reg.histogram(names::SERVER_PHASE_US, &[("phase", "round1")]),
+            phase_round2: reg.histogram(names::SERVER_PHASE_US, &[("phase", "round2")]),
+            phase_publish: reg.histogram(names::SERVER_PHASE_US, &[("phase", "publish")]),
+            stash_depth: reg.gauge(names::SERVER_STASH_DEPTH, &[]),
+            events: obs.events().clone(),
+        }
+    }
+}
 
 /// What the loop does with a frame it cannot decode or whose sender is not
 /// part of the deployment.
@@ -35,11 +88,13 @@ pub enum FramePolicy {
     /// trusted protocol code and an undecodable message is a bug that
     /// should fail loudly instead of becoming an undiagnosable hang.
     Strict,
-    /// Log to stderr and drop the frame. Right for a network-facing
-    /// `prio-node` process: anyone can connect to its data socket, and a
-    /// garbage frame from a stranger must not crash verification for
-    /// everyone else. The out-of-phase stash is also bounded in this mode
-    /// so a frame flood cannot grow node memory without limit.
+    /// Count the drop and emit a rate-limited warn event. Right for a
+    /// network-facing `prio-node` process: anyone can connect to its data
+    /// socket, and a garbage frame from a stranger must not crash
+    /// verification for everyone else — nor flood stderr: every drop lands
+    /// in `server_frames_dropped_total{reason=...}`, and only a trickle of
+    /// warn events narrates it. The out-of-phase stash is also bounded in
+    /// this mode so a frame flood cannot grow node memory without limit.
     ///
     /// Known limitation: the frame header's sender id is *not
     /// authenticated* — a local attacker who forges a known peer's id and
@@ -52,12 +107,16 @@ pub enum FramePolicy {
 }
 
 /// Options for one run of the server loop.
-#[derive(Copy, Clone, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServerLoopOptions {
     /// Worker threads for batched round-1 verification (1 = inline).
     pub verify_threads: usize,
     /// Undecodable-frame handling.
     pub frame_policy: FramePolicy,
+    /// Where the loop counts and narrates. Defaults to the process-wide
+    /// bundle; tests pin [`Obs::new`] with a fresh registry and a capture
+    /// sink to assert on exactly what one loop did.
+    pub obs: Obs,
 }
 
 impl Default for ServerLoopOptions {
@@ -65,6 +124,7 @@ impl Default for ServerLoopOptions {
         ServerLoopOptions {
             verify_threads: 1,
             frame_policy: FramePolicy::Strict,
+            obs: Obs::global(),
         }
     }
 }
@@ -79,6 +139,12 @@ pub struct ServerLoopReport {
     /// the verification-phase traffic, before the accumulator reveal.
     /// Zero if no publish request was seen.
     pub verify_bytes_sent: u64,
+    /// Frames this loop discarded (unknown sender, undecodable, stash
+    /// overflow, unexpected kind). Counted locally per loop run — the
+    /// registry's `server_frames_dropped_total` aggregates across every
+    /// loop in the process, which is the wrong denominator for a per-node
+    /// report when several servers share one process.
+    pub frames_dropped: u64,
     /// Wall-clock spent in each verification phase.
     pub timings: PhaseTimings,
 }
@@ -102,25 +168,38 @@ const MAX_LENIENT_STASH: usize = 4096;
 /// for a later phase waits its turn instead of tripping a protocol panic.
 ///
 /// Under [`FramePolicy::Lenient`], frames from senders outside the
-/// deployment and frames that fail to decode are logged and dropped
-/// instead of panicking — the node-process hardening path.
+/// deployment and frames that fail to decode are counted in
+/// `server_frames_dropped_total{reason=...}` (and tallied into `dropped`
+/// for the loop's report), narrated through rate-limited warn events, and
+/// dropped — the node-process hardening path. A garbage-frame flood moves
+/// counters, not stderr.
 fn recv_matching<F: FieldElement>(
     ep: &Endpoint,
     stash: &mut VecDeque<ServerMsg<F>>,
     policy: FramePolicy,
     known: &[NodeId],
+    metrics: &LoopMetrics,
+    dropped: &mut u64,
     want: impl Fn(&ServerMsg<F>) -> bool,
 ) -> Option<ServerMsg<F>> {
     if let Some(pos) = stash.iter().position(&want) {
-        return stash.remove(pos);
+        let msg = stash.remove(pos);
+        metrics.stash_depth.set(stash.len() as i64);
+        return msg;
     }
     loop {
         let env = ep.recv().ok()?;
         if policy == FramePolicy::Lenient && !known.contains(&env.src) {
-            eprintln!(
-                "prio-node: dropping frame from unknown sender {:?} ({} bytes)",
-                env.src,
-                env.payload.len()
+            metrics.drop_unknown_sender.inc();
+            *dropped += 1;
+            metrics.events.warn(
+                TARGET,
+                "frame_dropped_unknown_sender",
+                format!(
+                    "dropping frame from unknown sender {:?} ({} bytes)",
+                    env.src,
+                    env.payload.len()
+                ),
             );
             continue;
         }
@@ -137,7 +216,13 @@ fn recv_matching<F: FieldElement>(
                 // lint:allow(no-panic, Strict is the in-process mode where every sender is trusted protocol code; a bad frame is a local bug that must fail loudly)
                 FramePolicy::Strict => panic!("undecodable message from {:?}: {e}", env.src),
                 FramePolicy::Lenient => {
-                    eprintln!("prio-node: rejecting undecodable frame from {:?}: {e}", env.src);
+                    metrics.drop_undecodable.inc();
+                    *dropped += 1;
+                    metrics.events.warn(
+                        TARGET,
+                        "frame_dropped_undecodable",
+                        format!("rejecting undecodable frame from {:?}: {e}", env.src),
+                    );
                     continue;
                 }
             },
@@ -146,13 +231,20 @@ fn recv_matching<F: FieldElement>(
             return Some(msg);
         }
         if policy == FramePolicy::Lenient && stash.len() >= MAX_LENIENT_STASH {
-            eprintln!(
-                "prio-node: stash full ({MAX_LENIENT_STASH}); dropping out-of-phase {} message",
-                msg_kind(&msg)
+            metrics.drop_stash_overflow.inc();
+            *dropped += 1;
+            metrics.events.warn(
+                TARGET,
+                "frame_dropped_stash_overflow",
+                format!(
+                    "stash full ({MAX_LENIENT_STASH}); dropping out-of-phase {} message",
+                    msg_kind(&msg)
+                ),
             );
             continue;
         }
         stash.push_back(msg);
+        metrics.stash_depth.set(stash.len() as i64);
     }
 }
 
@@ -222,9 +314,14 @@ pub fn run_server_loop<F: FieldElement, A: Afe<F> + Sync>(
     opts: ServerLoopOptions,
 ) -> ServerLoopReport {
     let s = ids.len();
+    let metrics = LoopMetrics::resolve(&opts.obs);
     let mut report = ServerLoopReport::default();
     let Some(my_index) = ids.iter().position(|&id| id == ep.id()) else {
-        eprintln!("server loop: own endpoint id not in the deployment's server set");
+        metrics.events.error(
+            TARGET,
+            "own_id_missing",
+            "own endpoint id not in the deployment's server set".to_string(),
+        );
         return report;
     };
     let leader_id = ids[0];
@@ -235,12 +332,20 @@ pub fn run_server_loop<F: FieldElement, A: Afe<F> + Sync>(
     let policy = opts.frame_policy;
 
     loop {
-        let Some(msg) = recv_matching(ep, &mut stash, policy, &known, |m| {
-            matches!(
-                m,
-                ServerMsg::ClientBatch { .. } | ServerMsg::PublishRequest | ServerMsg::Shutdown
-            )
-        }) else {
+        let Some(msg) = recv_matching(
+            ep,
+            &mut stash,
+            policy,
+            &known,
+            &metrics,
+            &mut report.frames_dropped,
+            |m| {
+                matches!(
+                    m,
+                    ServerMsg::ClientBatch { .. } | ServerMsg::PublishRequest | ServerMsg::Shutdown
+                )
+            },
+        ) else {
             return report;
         };
         match msg {
@@ -252,16 +357,21 @@ pub fn run_server_loop<F: FieldElement, A: Afe<F> + Sync>(
                 let ctx = match server.make_context(ctx_seed) {
                     Ok(ctx) => ctx,
                     Err(e) => {
-                        eprintln!("server loop: cannot derive verification context: {e:?}");
+                        metrics.events.error(
+                            TARGET,
+                            "context_derivation_failed",
+                            format!("cannot derive verification context: {e:?}"),
+                        );
                         return report;
                     }
                 };
                 let count = blobs.len();
                 report.timings.submissions += count as u64;
+                metrics.batch_size.observe(count as u64);
                 // Unpack every submission; parse/unpack failures — and a
                 // labels vector shorter than the blobs vector, possible on
                 // a forged batch — are flagged locally and voted "reject".
-                let phase_start = std::time::Instant::now();
+                let span = Span::start(&metrics.phase_unpack);
                 let mut unpacked: Vec<Option<(Vec<F>, prio_snip::SnipProofShare<F>)>> =
                     Vec::with_capacity(count);
                 let mut local_ok = vec![true; count];
@@ -276,12 +386,12 @@ pub fn run_server_loop<F: FieldElement, A: Afe<F> + Sync>(
                     }
                     unpacked.push(parsed);
                 }
-                report.timings.unpack += phase_start.elapsed();
+                report.timings.unpack += span.finish();
 
                 // Batched round 1 across the verify pool: one shared
                 // context, per-worker scratch, results merged in
                 // submission order.
-                let phase_start = std::time::Instant::now();
+                let span = Span::start(&metrics.phase_round1);
                 let mut ok_idx: Vec<usize> = Vec::new();
                 let mut items: Vec<(&[F], &prio_snip::SnipProofShare<F>)> = Vec::new();
                 for (j, parsed) in unpacked.iter().enumerate() {
@@ -316,26 +426,34 @@ pub fn run_server_loop<F: FieldElement, A: Afe<F> + Sync>(
                         xs[j] = x;
                     }
                 }
-                report.timings.round1 += phase_start.elapsed();
+                report.timings.round1 += span.finish();
 
                 let decisions: Vec<bool> = if is_leader {
                     // Gather round-1 vectors from the others.
                     let mut all_r1 = vec![round1.clone()];
                     for _ in 1..s {
-                        let Some(ServerMsg::Round1(v)) =
-                            recv_matching(ep, &mut stash, policy, &known, |m| {
-                                matches!(m, ServerMsg::Round1(_))
-                            })
-                        else {
+                        let Some(ServerMsg::Round1(v)) = recv_matching(
+                            ep,
+                            &mut stash,
+                            policy,
+                            &known,
+                            &metrics,
+                            &mut report.frames_dropped,
+                            |m| matches!(m, ServerMsg::Round1(_)),
+                        ) else {
                             return report;
                         };
                         // A round-1 vector of the wrong length is a protocol
                         // violation (or a forgery); abandon the run rather
                         // than index out of bounds below.
                         if v.len() != count {
-                            eprintln!(
-                                "server loop: round-1 vector of length {} for a batch of {count}",
-                                v.len()
+                            metrics.events.error(
+                                TARGET,
+                                "round1_length_mismatch",
+                                format!(
+                                    "round-1 vector of length {} for a batch of {count}",
+                                    v.len()
+                                ),
                             );
                             return report;
                         }
@@ -355,22 +473,30 @@ pub fn run_server_loop<F: FieldElement, A: Afe<F> + Sync>(
                         }
                     }
                     // Own round 2 (batched) plus gathered round 2s.
-                    let phase_start = std::time::Instant::now();
+                    let span = Span::start(&metrics.phase_round2);
                     let own_r2 = batched_round2(server, &states, &combined);
-                    report.timings.round2 += phase_start.elapsed();
+                    report.timings.round2 += span.finish();
                     let mut all_r2 = vec![own_r2];
                     for _ in 1..s {
-                        let Some(ServerMsg::Round2(v)) =
-                            recv_matching(ep, &mut stash, policy, &known, |m| {
-                                matches!(m, ServerMsg::Round2(_))
-                            })
-                        else {
+                        let Some(ServerMsg::Round2(v)) = recv_matching(
+                            ep,
+                            &mut stash,
+                            policy,
+                            &known,
+                            &metrics,
+                            &mut report.frames_dropped,
+                            |m| matches!(m, ServerMsg::Round2(_)),
+                        ) else {
                             return report;
                         };
                         if v.len() != count {
-                            eprintln!(
-                                "server loop: round-2 vector of length {} for a batch of {count}",
-                                v.len()
+                            metrics.events.error(
+                                TARGET,
+                                "round2_length_mismatch",
+                                format!(
+                                    "round-2 vector of length {} for a batch of {count}",
+                                    v.len()
+                                ),
                             );
                             return report;
                         }
@@ -400,34 +526,46 @@ pub fn run_server_loop<F: FieldElement, A: Afe<F> + Sync>(
                     {
                         return report;
                     }
-                    let Some(ServerMsg::Round1Combined(combined)) =
-                        recv_matching(ep, &mut stash, policy, &known, |m| {
-                            matches!(m, ServerMsg::Round1Combined(_))
-                        })
-                    else {
+                    let Some(ServerMsg::Round1Combined(combined)) = recv_matching(
+                        ep,
+                        &mut stash,
+                        policy,
+                        &known,
+                        &metrics,
+                        &mut report.frames_dropped,
+                        |m| matches!(m, ServerMsg::Round1Combined(_)),
+                    ) else {
                         return report;
                     };
                     if combined.len() != count {
-                        eprintln!(
-                            "server loop: combined round-1 vector of length {} for a batch of {count}",
-                            combined.len()
+                        metrics.events.error(
+                            TARGET,
+                            "round1_combined_length_mismatch",
+                            format!(
+                                "combined round-1 vector of length {} for a batch of {count}",
+                                combined.len()
+                            ),
                         );
                         return report;
                     }
-                    let phase_start = std::time::Instant::now();
+                    let span = Span::start(&metrics.phase_round2);
                     let r2 = batched_round2(server, &states, &combined);
-                    report.timings.round2 += phase_start.elapsed();
+                    report.timings.round2 += span.finish();
                     if ep
                         .send(leader_id, ServerMsg::Round2(r2).to_wire_bytes())
                         .is_err()
                     {
                         return report;
                     }
-                    let Some(ServerMsg::Decisions(bits)) =
-                        recv_matching(ep, &mut stash, policy, &known, |m| {
-                            matches!(m, ServerMsg::Decisions(_))
-                        })
-                    else {
+                    let Some(ServerMsg::Decisions(bits)) = recv_matching(
+                        ep,
+                        &mut stash,
+                        policy,
+                        &known,
+                        &metrics,
+                        &mut report.frames_dropped,
+                        |m| matches!(m, ServerMsg::Decisions(_)),
+                    ) else {
                         return report;
                     };
                     unpack_decisions(&bits, count)
@@ -436,8 +574,17 @@ pub fn run_server_loop<F: FieldElement, A: Afe<F> + Sync>(
                 for (j, &ok) in decisions.iter().enumerate() {
                     if ok && local_ok[j] {
                         server.accumulate(&xs[j]);
+                        metrics.accepted.inc();
                     } else {
                         server.reject();
+                        // A submission this server could not even parse is
+                        // "malformed"; one that parsed but failed the SNIP
+                        // vote is "verify".
+                        if local_ok[j] {
+                            metrics.rejected_verify.inc();
+                        } else {
+                            metrics.rejected_malformed.inc();
+                        }
                     }
                 }
             }
@@ -447,11 +594,11 @@ pub fn run_server_loop<F: FieldElement, A: Afe<F> + Sync>(
                 // here gives every deployment flavour the same Figure-6
                 // split without a shared-fabric snapshot.
                 report.verify_bytes_sent = ep.bytes_sent();
+                let span = Span::start(&metrics.phase_publish);
                 let acc = server.accumulator().to_vec();
-                if ep
-                    .send(driver, ServerMsg::Accumulator(acc).to_wire_bytes())
-                    .is_err()
-                {
+                let sent = ep.send(driver, ServerMsg::Accumulator(acc).to_wire_bytes());
+                report.timings.publish += span.finish();
+                if sent.is_err() {
                     return report;
                 }
             }
@@ -463,9 +610,15 @@ pub fn run_server_loop<F: FieldElement, A: Afe<F> + Sync>(
             // matched above; anything else here means the match filter and
             // this arm drifted apart. Drop the message and keep serving.
             other => {
-                eprintln!(
-                    "server loop: unexpected {} message at server {my_index}; dropping",
-                    msg_kind(&other)
+                metrics.drop_unexpected_kind.inc();
+                report.frames_dropped += 1;
+                metrics.events.warn(
+                    TARGET,
+                    "frame_dropped_unexpected_kind",
+                    format!(
+                        "unexpected {} message at server {my_index}; dropping",
+                        msg_kind(&other)
+                    ),
                 );
             }
         }

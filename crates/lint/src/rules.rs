@@ -29,7 +29,7 @@ pub const RULES: &[(&str, &str)] = &[
     ),
     (
         "no-panic",
-        "no unwrap/expect/panic!/assert!-family/unreachable! or non-literal range slicing in designated network-facing modules (net::{tcp,wire,control}, proc::*, core::server_loop)",
+        "no unwrap/expect/panic!/assert!-family/unreachable! or non-literal range slicing in designated network-facing modules (net::{tcp,wire,control}, proc::*, core::server_loop, obs::*)",
     ),
     (
         "lock-order",
@@ -76,6 +76,10 @@ fn r2_designated(path: &str) -> bool {
             | "crates/net/src/control.rs"
             | "crates/core/src/server_loop.rs"
     ) || (path.starts_with("crates/proc/src/") && path.ends_with(".rs"))
+        // The observability layer runs inside every network-facing process
+        // (metrics resolution on hot paths, event emission under floods):
+        // a panic here would take down the very node it instruments.
+        || (path.starts_with("crates/obs/src/") && path.ends_with(".rs"))
 }
 
 fn wire_file(path: &str) -> bool {

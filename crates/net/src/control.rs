@@ -107,6 +107,12 @@ pub struct NodeStats {
     pub round1_us: u64,
     /// Wall-clock µs spent in SNIP round 2.
     pub round2_us: u64,
+    /// Wall-clock µs spent in the publish phase.
+    pub publish_us: u64,
+    /// Data-plane frames the server loop discarded (unknown sender,
+    /// undecodable, stash overflow, unexpected kind) — distinguishes a
+    /// quiet node from one dropping everything it hears.
+    pub frames_dropped: u64,
     /// Whether the server loop exited via an orderly fabric `Shutdown`.
     pub clean: bool,
 }
@@ -120,6 +126,8 @@ impl Wire for NodeStats {
         self.unpack_us.encode(buf);
         self.round1_us.encode(buf);
         self.round2_us.encode(buf);
+        self.publish_us.encode(buf);
+        self.frames_dropped.encode(buf);
         self.clean.encode(buf);
     }
 
@@ -132,6 +140,8 @@ impl Wire for NodeStats {
             unpack_us: u64::decode(buf)?,
             round1_us: u64::decode(buf)?,
             round2_us: u64::decode(buf)?,
+            publish_us: u64::decode(buf)?,
+            frames_dropped: u64::decode(buf)?,
             clean: bool::decode(buf)?,
         })
     }
@@ -173,6 +183,15 @@ pub enum CtrlMsg {
     /// out of order or a data-plane bind error. The orchestrator surfaces
     /// the text in its typed error.
     Fail(String),
+    /// Orchestrator → node: scrape a live metrics snapshot. Valid at any
+    /// point after `Ready` — including while the server loop is running —
+    /// so an operator can watch counters move mid-batch.
+    GetMetrics,
+    /// Node → orchestrator: the reply to `GetMetrics`, carrying the node's
+    /// registry snapshot in the `prio-obs/v1` JSON exposition. The control
+    /// plane stays metric-agnostic: it ships opaque text, and the
+    /// orchestrator parses it back into a `prio_obs::Snapshot`.
+    Metrics(String),
 }
 
 const TAG_PEERS: u8 = 1;
@@ -184,6 +203,8 @@ const TAG_STATS: u8 = 6;
 const TAG_SHUTDOWN: u8 = 7;
 const TAG_BYE: u8 = 8;
 const TAG_FAIL: u8 = 9;
+const TAG_GET_METRICS: u8 = 10;
+const TAG_METRICS: u8 = 11;
 
 impl Wire for CtrlMsg {
     fn encode<B: BufMut>(&self, buf: &mut B) {
@@ -217,6 +238,11 @@ impl Wire for CtrlMsg {
                 buf.put_u8(TAG_FAIL);
                 msg.encode(buf);
             }
+            CtrlMsg::GetMetrics => buf.put_u8(TAG_GET_METRICS),
+            CtrlMsg::Metrics(json) => {
+                buf.put_u8(TAG_METRICS);
+                json.encode(buf);
+            }
         }
     }
 
@@ -248,6 +274,8 @@ impl Wire for CtrlMsg {
                 clean: bool::decode(buf)?,
             }),
             TAG_FAIL => Ok(CtrlMsg::Fail(String::decode(buf)?)),
+            TAG_GET_METRICS => Ok(CtrlMsg::GetMetrics),
+            TAG_METRICS => Ok(CtrlMsg::Metrics(String::decode(buf)?)),
             _ => Err(WireError("unknown control message tag")),
         }
     }
@@ -381,12 +409,29 @@ mod tests {
                 unpack_us: 10,
                 round1_us: 20,
                 round2_us: 30,
+                publish_us: 5,
+                frames_dropped: 17,
                 clean: true,
             }),
             CtrlMsg::Shutdown,
             CtrlMsg::Bye { clean: false },
             CtrlMsg::Fail("bind failed".into()),
+            CtrlMsg::GetMetrics,
+            CtrlMsg::Metrics("{\"schema\": \"prio-obs/v1\", \"metrics\": []}".into()),
         ]);
+    }
+
+    #[test]
+    fn node_stats_new_fields_roundtrip_at_extremes() {
+        let stats = NodeStats {
+            frames_dropped: u64::MAX,
+            publish_us: u64::MAX,
+            ..NodeStats::default()
+        };
+        let mut buf = Vec::new();
+        write_ctrl(&mut buf, &CtrlMsg::Stats(stats)).unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_ctrl(&mut r).unwrap(), Some(CtrlMsg::Stats(stats)));
     }
 
     #[test]

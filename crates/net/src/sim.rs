@@ -6,8 +6,8 @@
 //! unit tests and CPU-bound measurement (no kernel noise in the numbers).
 
 use crate::transport::{
-    counter_for, lock, Endpoint, Envelope, NetStats, NodeId, RecvError, RecvTimeoutError, SendError,
-    TrafficCounters, Transport, TransportKind,
+    counter_for, lock, Endpoint, Envelope, FabricMetrics, NetStats, NodeId, RecvError,
+    RecvTimeoutError, SendError, TrafficCounters, Transport, TransportKind,
 };
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -18,6 +18,7 @@ use std::time::Duration;
 struct Inner {
     mailboxes: Mutex<HashMap<NodeId, Sender<Envelope>>>,
     counters: TrafficCounters,
+    metrics: FabricMetrics,
     latency: Option<Duration>,
     next_id: AtomicU64,
 }
@@ -47,6 +48,7 @@ impl SimNetwork {
             inner: Arc::new(Inner {
                 mailboxes: Mutex::new(HashMap::new()),
                 counters: TrafficCounters::default(),
+                metrics: FabricMetrics::resolve(),
                 latency,
                 next_id: AtomicU64::new(0),
             }),
@@ -87,6 +89,7 @@ impl SimNetwork {
             received.fetch_sub(n, Ordering::Relaxed);
             SendError::Closed
         })?;
+        self.inner.metrics.received(n);
         Ok(())
     }
 
@@ -144,10 +147,14 @@ impl SimEndpoint {
         let n = payload.len() as u64;
         self.sent.fetch_add(n, Ordering::Relaxed);
         self.msgs.fetch_add(1, Ordering::Relaxed);
-        self.net.deliver(self.id, dst, payload).inspect_err(|_| {
-            self.sent.fetch_sub(n, Ordering::Relaxed);
-            self.msgs.fetch_sub(1, Ordering::Relaxed);
-        })
+        self.net
+            .deliver(self.id, dst, payload)
+            .inspect(|()| self.net.inner.metrics.sent(n))
+            .inspect_err(|&e| {
+                self.sent.fetch_sub(n, Ordering::Relaxed);
+                self.msgs.fetch_sub(1, Ordering::Relaxed);
+                self.net.inner.metrics.send_failure(e);
+            })
     }
 
     /// Blocking receive.

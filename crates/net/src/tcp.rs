@@ -25,9 +25,8 @@
 //!   every helper thread. No threads or sockets outlive the endpoint.
 
 use crate::transport::{
-    counter_for, lock, Endpoint, Envelope, NetStats, NodeId, RecvError, RecvTimeoutError,
-    SendError,
-    TrafficCounters, Transport, TransportKind,
+    counter_for, lock, Endpoint, Envelope, FabricMetrics, NetStats, NodeId, RecvError,
+    RecvTimeoutError, SendError, TrafficCounters, Transport, TransportKind,
 };
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -93,8 +92,12 @@ impl std::fmt::Display for BindError {
 impl std::error::Error for BindError {}
 
 /// Binds `addr`, retrying a transient `EADDRINUSE` with backoff before
-/// giving up with a typed error.
-fn bind_with_retry(addr: SocketAddr) -> Result<TcpListener, BindError> {
+/// giving up with a typed error. Each retry taken is counted in
+/// `retries`.
+fn bind_with_retry(
+    addr: SocketAddr,
+    retries: &prio_obs::Counter,
+) -> Result<TcpListener, BindError> {
     let mut attempts = 0;
     loop {
         match TcpListener::bind(addr) {
@@ -104,6 +107,7 @@ fn bind_with_retry(addr: SocketAddr) -> Result<TcpListener, BindError> {
                 if attempts >= BIND_ATTEMPTS {
                     return Err(BindError::AddrInUse { addr, attempts });
                 }
+                retries.inc();
                 std::thread::sleep(BIND_BACKOFF);
             }
             Err(e) => return Err(BindError::Io(e)),
@@ -189,6 +193,7 @@ struct Inner {
     /// [`SendError::UnknownNode`].
     addrs: Mutex<HashMap<NodeId, Option<SocketAddr>>>,
     counters: TrafficCounters,
+    metrics: FabricMetrics,
     latency: Option<Duration>,
     next_id: AtomicU64,
 }
@@ -221,6 +226,7 @@ impl TcpTransport {
             inner: Arc::new(Inner {
                 addrs: Mutex::new(HashMap::new()),
                 counters: TrafficCounters::default(),
+                metrics: FabricMetrics::resolve(),
                 latency,
                 next_id: AtomicU64::new(0),
             }),
@@ -263,7 +269,7 @@ impl TcpTransport {
     pub fn try_endpoint_bound(&self, id: NodeId, bind: SocketAddr) -> Result<Endpoint, BindError> {
         // Keep auto-assigned ids clear of caller-chosen ones.
         bump_next_id(&self.inner.next_id, id);
-        let listener = bind_with_retry(bind)?;
+        let listener = bind_with_retry(bind, &self.inner.metrics.bind_retries)?;
         let addr = listener.local_addr().map_err(BindError::Io)?;
         {
             let mut addrs = lock(&self.inner.addrs);
@@ -284,8 +290,9 @@ impl TcpTransport {
             let accepted = accepted.clone();
             let readers = readers.clone();
             let received = received.clone();
+            let metrics = self.inner.metrics.clone();
             std::thread::spawn(move || {
-                accept_loop(listener, tx, closed, accepted, readers, received)
+                accept_loop(listener, tx, closed, accepted, readers, received, metrics)
             })
         };
 
@@ -375,6 +382,7 @@ fn accept_loop(
     accepted: Arc<Mutex<Vec<TcpStream>>>,
     readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
     received: Arc<AtomicU64>,
+    metrics: FabricMetrics,
 ) {
     loop {
         let stream = match listener.accept() {
@@ -407,10 +415,12 @@ fn accept_loop(
         let reader = {
             let tx = tx.clone();
             let received = received.clone();
+            let metrics = metrics.clone();
             let mut stream = stream;
             std::thread::spawn(move || {
                 while let Ok(Some(env)) = read_frame(&mut stream) {
                     received.fetch_add(env.payload.len() as u64, Ordering::Relaxed);
+                    metrics.received(env.payload.len() as u64);
                     if tx.send(env).is_err() {
                         return;
                     }
@@ -460,6 +470,13 @@ impl TcpEndpoint {
     /// code must not send to peers it is simultaneously shutting down —
     /// the deployment's leader-coordinated shutdown respects this.
     pub fn send(&self, dst: NodeId, payload: Vec<u8>) -> Result<(), SendError> {
+        let n = payload.len() as u64;
+        self.send_inner(dst, payload)
+            .inspect(|()| self.net.inner.metrics.sent(n))
+            .inspect_err(|&e| self.net.inner.metrics.send_failure(e))
+    }
+
+    fn send_inner(&self, dst: NodeId, payload: Vec<u8>) -> Result<(), SendError> {
         let addr = lock(&self.net.inner.addrs)
             .get(&dst)
             .copied()

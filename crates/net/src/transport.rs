@@ -74,6 +74,65 @@ impl TrafficCounters {
     }
 }
 
+/// The process-wide fabric metrics every backend reports into, resolved
+/// once from the global [`prio_obs::Registry`] at fabric construction so
+/// the send/recv hot paths touch only pre-registered atomic handles.
+/// These complement (never replace) [`TrafficCounters`]: `NetStats` stays
+/// the exact per-node accounting ledger, while these feed the scrapeable
+/// process exposition.
+#[derive(Clone)]
+pub(crate) struct FabricMetrics {
+    pub(crate) frames_sent: prio_obs::Counter,
+    pub(crate) bytes_sent: prio_obs::Counter,
+    pub(crate) frames_received: prio_obs::Counter,
+    pub(crate) bytes_received: prio_obs::Counter,
+    send_fail_unknown: prio_obs::Counter,
+    send_fail_closed: prio_obs::Counter,
+    send_fail_too_large: prio_obs::Counter,
+    pub(crate) bind_retries: prio_obs::Counter,
+}
+
+impl FabricMetrics {
+    /// Resolves every handle against the process-wide registry.
+    pub(crate) fn resolve() -> FabricMetrics {
+        use prio_obs::names;
+        let reg = prio_obs::Registry::global();
+        FabricMetrics {
+            frames_sent: reg.counter(names::NET_FRAMES_SENT, &[]),
+            bytes_sent: reg.counter(names::NET_BYTES_SENT, &[]),
+            frames_received: reg.counter(names::NET_FRAMES_RECEIVED, &[]),
+            bytes_received: reg.counter(names::NET_BYTES_RECEIVED, &[]),
+            send_fail_unknown: reg
+                .counter(names::NET_SEND_FAILURES, &[("reason", "unknown_node")]),
+            send_fail_closed: reg.counter(names::NET_SEND_FAILURES, &[("reason", "closed")]),
+            send_fail_too_large: reg
+                .counter(names::NET_SEND_FAILURES, &[("reason", "too_large")]),
+            bind_retries: reg.counter(names::NET_BIND_RETRIES, &[]),
+        }
+    }
+
+    /// Records one successful send of `bytes` payload bytes.
+    pub(crate) fn sent(&self, bytes: u64) {
+        self.frames_sent.inc();
+        self.bytes_sent.add(bytes);
+    }
+
+    /// Records one received frame of `bytes` payload bytes.
+    pub(crate) fn received(&self, bytes: u64) {
+        self.frames_received.inc();
+        self.bytes_received.add(bytes);
+    }
+
+    /// Records a failed send under its typed reason.
+    pub(crate) fn send_failure(&self, err: SendError) {
+        match err {
+            SendError::UnknownNode => self.send_fail_unknown.inc(),
+            SendError::Closed => self.send_fail_closed.inc(),
+            SendError::TooLarge => self.send_fail_too_large.inc(),
+        }
+    }
+}
+
 /// Identifies a node (server or client proxy) on a transport fabric.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct NodeId(pub usize);

@@ -1,0 +1,420 @@
+//! Structured leveled events with pluggable sinks and a token-bucket
+//! rate limiter.
+//!
+//! Events are for *narration* — things an operator reads: a node came up,
+//! a peer vanished, a frame was dropped for a reason worth explaining.
+//! High-frequency facts belong in counters (see the crate docs for the
+//! full rule). Because some events are triggered by attacker-supplied
+//! bytes (every undecodable frame, say), every emission path goes through
+//! a per-event token bucket: a flood of identical events degrades into a
+//! counter plus an occasional "suppressed N" line instead of a stderr
+//! denial-of-service.
+
+use crate::json::write_escaped;
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Event severity. Orders by urgency: `Error < Warn < Info < Debug`, so a
+/// sink configured at `Level::Info` passes everything `<= Info`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The node cannot make progress on something it should have.
+    Error,
+    /// Unexpected but survivable; the loop carried on.
+    Warn,
+    /// Lifecycle narration: started, connected, finished.
+    Info,
+    /// Development-time detail.
+    Debug,
+}
+
+impl Level {
+    /// The fixed display name (`ERROR`, `WARN`, `INFO`, `DEBUG`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+        }
+    }
+}
+
+/// One structured event, as handed to a [`Sink`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Severity.
+    pub level: Level,
+    /// The subsystem that emitted it (a module-ish path, e.g.
+    /// `"core::server_loop"`).
+    pub target: &'static str,
+    /// A stable, low-cardinality event name (e.g. `"frame_dropped"`).
+    /// Rate limiting keys on `(target, name)`, so the name must not embed
+    /// payload data.
+    pub name: &'static str,
+    /// Human-readable detail. May carry dynamic values; never used as a
+    /// rate-limit key.
+    pub message: String,
+    /// How many occurrences of this `(target, name)` were suppressed by
+    /// the rate limiter since the last emitted instance.
+    pub suppressed: u64,
+}
+
+/// Where emitted events go. Implementations must be cheap and must not
+/// block for long — they run inline on the emitting thread.
+pub trait Sink: Send + Sync {
+    /// Deliver one event that passed the level filter and rate limiter.
+    fn emit(&self, event: &Event);
+}
+
+/// Human-oriented sink: one `[LEVEL target] name: message` line per event
+/// on stderr, with a `(+N suppressed)` suffix when the limiter held some
+/// back.
+#[derive(Debug, Default)]
+pub struct StderrSink;
+
+impl Sink for StderrSink {
+    fn emit(&self, event: &Event) {
+        let mut line = format!(
+            "[{} {}] {}: {}",
+            event.level.name(),
+            event.target,
+            event.name,
+            event.message
+        );
+        if event.suppressed > 0 {
+            let _ = std::fmt::Write::write_fmt(
+                &mut line,
+                format_args!(" (+{} suppressed)", event.suppressed),
+            );
+        }
+        line.push('\n');
+        let _ = std::io::stderr().write_all(line.as_bytes());
+    }
+}
+
+/// Machine-oriented sink: one JSON object per line on stderr
+/// (`{"level": ..., "target": ..., "name": ..., "message": ...,
+/// "suppressed": N}`).
+#[derive(Debug, Default)]
+pub struct JsonSink;
+
+impl Sink for JsonSink {
+    fn emit(&self, event: &Event) {
+        let mut line = String::from("{\"level\": ");
+        write_escaped(&mut line, event.level.name());
+        line.push_str(", \"target\": ");
+        write_escaped(&mut line, event.target);
+        line.push_str(", \"name\": ");
+        write_escaped(&mut line, event.name);
+        line.push_str(", \"message\": ");
+        write_escaped(&mut line, &event.message);
+        let _ = std::fmt::Write::write_fmt(
+            &mut line,
+            format_args!(", \"suppressed\": {}}}\n", event.suppressed),
+        );
+        let _ = std::io::stderr().write_all(line.as_bytes());
+    }
+}
+
+/// Test sink: stores every delivered event for later assertion.
+#[derive(Debug, Default)]
+pub struct CaptureSink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl CaptureSink {
+    /// An empty capture.
+    pub fn new() -> CaptureSink {
+        CaptureSink::default()
+    }
+
+    /// A copy of everything delivered so far.
+    pub fn events(&self) -> Vec<Event> {
+        lock(&self.events).clone()
+    }
+
+    /// Number of events delivered so far.
+    pub fn len(&self) -> usize {
+        lock(&self.events).len()
+    }
+
+    /// True if nothing was delivered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for CaptureSink {
+    fn emit(&self, event: &Event) {
+        lock(&self.events).push(event.clone());
+    }
+}
+
+/// Time source for the rate limiter. Production uses the monotonic clock;
+/// tests drive a [`MockClock`] so limiter behaviour is exactly
+/// reproducible.
+#[derive(Clone, Debug)]
+enum ClockSource {
+    Real(Instant),
+    Mock(MockClock),
+}
+
+impl ClockSource {
+    fn now_nanos(&self) -> u64 {
+        match self {
+            ClockSource::Real(epoch) => {
+                u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+            }
+            ClockSource::Mock(clock) => clock.0.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A hand-cranked clock for limiter tests. Cloning shares the underlying
+/// time, so the clock handed to [`Events::with_clock`] can be advanced
+/// from the test body.
+#[derive(Clone, Debug, Default)]
+pub struct MockClock(Arc<AtomicU64>);
+
+impl MockClock {
+    /// A clock frozen at zero.
+    pub fn new() -> MockClock {
+        MockClock::default()
+    }
+
+    /// Advances the clock by `nanos`.
+    pub fn advance_nanos(&self, nanos: u64) {
+        self.0.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Advances the clock by whole milliseconds.
+    pub fn advance_millis(&self, ms: u64) {
+        self.advance_nanos(ms.saturating_mul(1_000_000));
+    }
+}
+
+/// Rate-limit policy for one `(target, name)` event key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RateLimit {
+    /// Maximum burst of back-to-back events.
+    pub burst: u64,
+    /// Sustained events per second after the burst is spent.
+    pub per_sec: u64,
+}
+
+impl Default for RateLimit {
+    /// Five back-to-back, then one per second: chatty enough to see a
+    /// problem start, quiet enough to survive a flood.
+    fn default() -> RateLimit {
+        RateLimit { burst: 5, per_sec: 1 }
+    }
+}
+
+/// Token buckets are integer milli-tokens so refill math is exact: an
+/// event costs 1000, and `per_sec` events/second refill as
+/// `elapsed_nanos * per_sec / 1_000_000` milli-tokens.
+const EVENT_COST: u64 = 1000;
+
+#[derive(Debug)]
+struct Bucket {
+    milli_tokens: u64,
+    last_refill_nanos: u64,
+    suppressed: u64,
+}
+
+/// The event hub: level filter → per-key token bucket → sink. Cheap to
+/// clone (all state shared).
+#[derive(Clone)]
+pub struct Events {
+    sink: Arc<dyn Sink>,
+    max_level: Level,
+    limit: RateLimit,
+    clock: ClockSource,
+    buckets: Arc<Mutex<HashMap<(&'static str, &'static str), Bucket>>>,
+}
+
+impl std::fmt::Debug for Events {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Events")
+            .field("max_level", &self.max_level)
+            .field("limit", &self.limit)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Events {
+    /// An event hub delivering to `sink` at `max_level` with the default
+    /// rate limit.
+    pub fn new(sink: Arc<dyn Sink>, max_level: Level) -> Events {
+        Events {
+            sink,
+            max_level,
+            limit: RateLimit::default(),
+            clock: ClockSource::Real(Instant::now()),
+            buckets: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// Replaces the rate-limit policy (applies to all event keys).
+    pub fn with_limit(mut self, limit: RateLimit) -> Events {
+        self.limit = limit;
+        self
+    }
+
+    /// Drives the rate limiter from `clock` instead of the monotonic
+    /// clock (tests).
+    pub fn with_clock(mut self, clock: MockClock) -> Events {
+        self.clock = ClockSource::Mock(clock);
+        self
+    }
+
+    /// True if `level` passes the filter — callers can skip building an
+    /// expensive message for a level nobody is listening to.
+    pub fn enabled(&self, level: Level) -> bool {
+        level <= self.max_level
+    }
+
+    /// Emits one event. `target`/`name` must be static, low-cardinality
+    /// identifiers (they key the rate limiter); `message` carries the
+    /// dynamic detail. Returns `true` if the event reached the sink.
+    pub fn emit(&self, level: Level, target: &'static str, name: &'static str, message: String) -> bool {
+        if !self.enabled(level) {
+            return false;
+        }
+        let suppressed = {
+            let now = self.clock.now_nanos();
+            let mut buckets = lock(&self.buckets);
+            let bucket = buckets.entry((target, name)).or_insert(Bucket {
+                milli_tokens: self.limit.burst.saturating_mul(EVENT_COST),
+                last_refill_nanos: now,
+                suppressed: 0,
+            });
+            let elapsed = now.saturating_sub(bucket.last_refill_nanos);
+            bucket.last_refill_nanos = now;
+            let refill = (elapsed as u128 * self.limit.per_sec as u128 / 1_000_000) as u64;
+            bucket.milli_tokens = bucket
+                .milli_tokens
+                .saturating_add(refill)
+                .min(self.limit.burst.saturating_mul(EVENT_COST));
+            if bucket.milli_tokens < EVENT_COST {
+                bucket.suppressed = bucket.suppressed.saturating_add(1);
+                return false;
+            }
+            bucket.milli_tokens -= EVENT_COST;
+            std::mem::take(&mut bucket.suppressed)
+        };
+        self.sink.emit(&Event {
+            level,
+            target,
+            name,
+            message,
+            suppressed,
+        });
+        true
+    }
+
+    /// [`Level::Error`] shorthand.
+    pub fn error(&self, target: &'static str, name: &'static str, message: String) -> bool {
+        self.emit(Level::Error, target, name, message)
+    }
+
+    /// [`Level::Warn`] shorthand.
+    pub fn warn(&self, target: &'static str, name: &'static str, message: String) -> bool {
+        self.emit(Level::Warn, target, name, message)
+    }
+
+    /// [`Level::Info`] shorthand.
+    pub fn info(&self, target: &'static str, name: &'static str, message: String) -> bool {
+        self.emit(Level::Info, target, name, message)
+    }
+
+    /// [`Level::Debug`] shorthand.
+    pub fn debug(&self, target: &'static str, name: &'static str, message: String) -> bool {
+        self.emit(Level::Debug, target, name, message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn capture_events(limit: RateLimit) -> (Events, Arc<CaptureSink>, MockClock) {
+        let sink = Arc::new(CaptureSink::new());
+        let clock = MockClock::new();
+        let events = Events::new(sink.clone(), Level::Debug)
+            .with_limit(limit)
+            .with_clock(clock.clone());
+        (events, sink, clock)
+    }
+
+    #[test]
+    fn level_filter_orders_by_urgency() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        let sink = Arc::new(CaptureSink::new());
+        let events = Events::new(sink.clone(), Level::Warn);
+        assert!(events.error("t", "e", "x".into()));
+        assert!(events.warn("t", "w", "x".into()));
+        assert!(!events.info("t", "i", "x".into()));
+        assert!(!events.debug("t", "d", "x".into()));
+        assert_eq!(sink.len(), 2);
+    }
+
+    #[test]
+    fn burst_then_suppression_then_refill_is_deterministic() {
+        let (events, sink, clock) = capture_events(RateLimit { burst: 3, per_sec: 2 });
+        // Burst of 3 passes; the next 10 are suppressed.
+        for i in 0..13u64 {
+            let delivered = events.warn("core", "drop", format!("frame {i}"));
+            assert_eq!(delivered, i < 3, "event {i}");
+        }
+        assert_eq!(sink.len(), 3);
+        // 500ms at 2/sec refills exactly one token; the next event passes
+        // and reports exactly 10 suppressed.
+        clock.advance_millis(500);
+        assert!(events.warn("core", "drop", "again".into()));
+        let all = sink.events();
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[3].suppressed, 10);
+        // Immediately after, the bucket is dry again.
+        assert!(!events.warn("core", "drop", "dry".into()));
+        // 499ms refills 0.998 tokens — still dry. One more millisecond tips it.
+        clock.advance_millis(499);
+        assert!(!events.warn("core", "drop", "not yet".into()));
+        clock.advance_millis(1);
+        assert!(events.warn("core", "drop", "now".into()));
+        assert_eq!(sink.events().last().map(|e| e.suppressed), Some(2));
+    }
+
+    #[test]
+    fn distinct_keys_have_independent_buckets() {
+        let (events, sink, _clock) = capture_events(RateLimit { burst: 1, per_sec: 1 });
+        assert!(events.warn("core", "a", "x".into()));
+        assert!(!events.warn("core", "a", "x".into()));
+        assert!(events.warn("core", "b", "x".into()));
+        assert!(events.warn("net", "a", "x".into()));
+        assert_eq!(sink.len(), 3);
+    }
+
+    #[test]
+    fn refill_caps_at_burst() {
+        let (events, sink, clock) = capture_events(RateLimit { burst: 2, per_sec: 1000 });
+        assert!(events.warn("t", "n", "prime".into()));
+        // An hour of refill must not bank more than `burst` tokens.
+        clock.advance_millis(3_600_000);
+        for i in 0..5u64 {
+            let delivered = events.warn("t", "n", format!("{i}"));
+            assert_eq!(delivered, i < 2, "event {i}");
+        }
+        assert_eq!(sink.len(), 3);
+    }
+}

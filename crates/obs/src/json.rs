@@ -1,0 +1,353 @@
+//! A minimal JSON reader/writer for the snapshot exposition format.
+//!
+//! The obs crate is zero-dependency and must *parse* its own exposition
+//! (the orchestrator scrapes `GetMetrics` replies off the control plane,
+//! which carries attacker-reachable bytes), so this is a small, bounded,
+//! panic-free JSON subset: objects, arrays, strings, booleans, null, and
+//! numbers. Integers are kept exact in an `i128` (counters are `u64`s and
+//! must round-trip bit-exactly); anything with a fraction or exponent
+//! falls back to `f64`.
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum JVal {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// An integer literal, kept exact.
+    Int(i128),
+    /// A fractional/exponent literal.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JVal>),
+    /// An object, insertion-ordered.
+    Obj(Vec<(String, JVal)>),
+}
+
+impl JVal {
+    /// Object field lookup.
+    pub(crate) fn get(&self, key: &str) -> Option<&JVal> {
+        match self {
+            JVal::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer in range.
+    pub(crate) fn as_u64(&self) -> Option<u64> {
+        match self {
+            JVal::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an integer in range.
+    pub(crate) fn as_i64(&self) -> Option<i64> {
+        match self {
+            JVal::Int(i) => i64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub(crate) fn as_str(&self) -> Option<&str> {
+        match self {
+            JVal::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub(crate) fn as_arr(&self) -> Option<&[JVal]> {
+        match self {
+            JVal::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Escapes `s` as a JSON string literal (with surrounding quotes) into
+/// `out`. Shared by the snapshot and event serializers.
+pub(crate) fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str("\\u00");
+                let b = c as u32;
+                push_hex(out, (b >> 4) & 0xf);
+                push_hex(out, b & 0xf);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_hex(out: &mut String, nibble: u32) {
+    let digit = char::from_digit(nibble, 16).unwrap_or('0');
+    out.push(digit);
+}
+
+/// Nesting ceiling: the exposition format is two levels deep, so anything
+/// deeper is hostile input, rejected before it can exhaust the stack.
+const MAX_DEPTH: u32 = 16;
+
+/// Parses a JSON document. Errors are static strings — enough to log,
+/// nothing allocated on hostile input.
+pub(crate) fn parse(text: &str) -> Result<JVal, &'static str> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err("trailing bytes after JSON document");
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_byte(&mut self, want: u8) -> Result<(), &'static str> {
+        if self.bump() == Some(want) {
+            Ok(())
+        } else {
+            Err("unexpected byte in JSON document")
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: JVal) -> Result<JVal, &'static str> {
+        for &want in word.as_bytes() {
+            self.expect_byte(want)?;
+        }
+        Ok(v)
+    }
+
+    fn value(&mut self, depth: u32) -> Result<JVal, &'static str> {
+        if depth > MAX_DEPTH {
+            return Err("JSON nesting too deep");
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(JVal::Str(self.string()?)),
+            Some(b't') => self.literal("true", JVal::Bool(true)),
+            Some(b'f') => self.literal("false", JVal::Bool(false)),
+            Some(b'n') => self.literal("null", JVal::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err("unexpected start of JSON value"),
+        }
+    }
+
+    fn object(&mut self, depth: u32) -> Result<JVal, &'static str> {
+        self.expect_byte(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JVal::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect_byte(b':')?;
+            self.skip_ws();
+            let v = self.value(depth + 1)?;
+            fields.push((key, v));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => {}
+                Some(b'}') => return Ok(JVal::Obj(fields)),
+                _ => return Err("expected ',' or '}' in object"),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: u32) -> Result<JVal, &'static str> {
+        self.expect_byte(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JVal::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => {}
+                Some(b']') => return Ok(JVal::Arr(items)),
+                _ => return Err("expected ',' or ']' in array"),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, &'static str> {
+        self.expect_byte(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err("unterminated string"),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let mut code: u32 = 0;
+                        for _ in 0..4 {
+                            let d = self
+                                .bump()
+                                .and_then(|b| char::from(b).to_digit(16))
+                                .ok_or("bad \\u escape")?;
+                            code = code * 16 + d;
+                        }
+                        // Surrogate halves are not paired up; the exposition
+                        // serializer never emits them.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err("bad escape in string"),
+                },
+                Some(b) if b < 0x20 => return Err("raw control byte in string"),
+                Some(b) => {
+                    // Re-decode the UTF-8 sequence starting at this byte;
+                    // the input is a &str, so sequences are always valid.
+                    let start = self.pos - 1;
+                    let width = utf8_width(b);
+                    let end = (start + width).min(self.bytes.len());
+                    if let Some(chunk) = self.bytes.get(start..end) {
+                        if let Ok(s) = std::str::from_utf8(chunk) {
+                            out.push_str(s);
+                        }
+                    }
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JVal, &'static str> {
+        let start = self.pos;
+        let mut fractional = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' | b'-' | b'+' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    fractional = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = self
+            .bytes
+            .get(start..self.pos)
+            .and_then(|b| std::str::from_utf8(b).ok())
+            .ok_or("bad number")?;
+        if fractional {
+            text.parse::<f64>().map(JVal::Num).map_err(|_| "bad number")
+        } else {
+            text.parse::<i128>().map(JVal::Int).map_err(|_| "bad number")
+        }
+    }
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_containers() {
+        let v = parse(r#"{"a": [1, -2, 3.5], "b": "x\ny", "c": true, "d": null}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[0].as_u64(), Some(1));
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[1].as_i64(), Some(-2));
+        assert_eq!(
+            v.get("a").unwrap().as_arr().unwrap()[2],
+            JVal::Num(3.5)
+        );
+        assert_eq!(v.get("b").unwrap().as_str(), Some("x\ny"));
+        assert_eq!(v.get("c"), Some(&JVal::Bool(true)));
+        assert_eq!(v.get("d"), Some(&JVal::Null));
+    }
+
+    #[test]
+    fn u64_counters_roundtrip_exactly() {
+        let max = u64::MAX;
+        let v = parse(&format!("{{\"v\": {max}}}")).unwrap();
+        assert_eq!(v.get("v").unwrap().as_u64(), Some(max));
+    }
+
+    #[test]
+    fn escaping_roundtrips() {
+        let nasty = "a\"b\\c\nd\te\u{1}f — π";
+        let mut out = String::new();
+        write_escaped(&mut out, nasty);
+        let v = parse(&out).unwrap();
+        assert_eq!(v.as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn hostile_input_is_an_error_not_a_panic() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "\"unterminated",
+            "{\"a\" 1}",
+            "tru",
+            "1e999x",
+            "[[[[[[[[[[[[[[[[[[[[[[[[[[[[1]]]]]]]]]]]]]]]]]]]]]]]]]]]]",
+            "{} trailing",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} must fail");
+        }
+    }
+}

@@ -1,0 +1,843 @@
+//! The lock-free metrics registry: counters, gauges, log₂-bucket
+//! histograms, and the [`Snapshot`] type with its two exposition formats.
+//!
+//! Registration takes a short mutex hold on the registry map; every
+//! *update* after that is a relaxed atomic on a shared handle — hot paths
+//! resolve their handles once (see e.g. the server loop's metric bundle)
+//! and then count without ever touching a lock.
+
+use crate::json::{self, write_escaped, JVal};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Locks a mutex, ignoring poison: the registry map holds only handles,
+/// which stay consistent even if a holder panicked.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A static label set, e.g. `&[("reason", "undecodable")]`. Labels are
+/// `'static` by design: label values must come from code, never from
+/// payload data, so metric cardinality is bounded at compile time.
+pub type Labels = &'static [(&'static str, &'static str)];
+
+/// Number of histogram buckets: one zero bucket plus one per bit length
+/// (`1..=64`). Bucket `i ≥ 1` holds values `v` with `2^(i-1) <= v < 2^i`.
+pub const NUM_BUCKETS: usize = 65;
+
+/// Bucket index for a value: its bit length (0 for 0).
+fn bucket_index(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i` (`u64::MAX` for the last bucket).
+pub fn bucket_upper(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        1..=63 => (1u64 << i) - 1,
+        _ => u64::MAX,
+    }
+}
+
+/// A monotonically increasing counter. Cheap to clone (shared handle);
+/// updates are relaxed atomics, safe from any thread.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A handle not attached to any registry (also what a registration
+    /// under a name already taken by another metric kind returns — the
+    /// caller keeps a working counter, the registry keeps its invariant).
+    pub fn detached() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1)
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a signed level that can move both ways (queue depths, pool
+/// sizes). Cheap to clone; updates are relaxed atomics.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A handle not attached to any registry.
+    pub fn detached() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the level.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    buckets: Vec<AtomicU64>, // NUM_BUCKETS entries
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A fixed log₂-bucket histogram for latencies (µs) and sizes. 65 buckets
+/// cover the full `u64` range at ~2× resolution with zero configuration
+/// and zero allocation on the observe path.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        let buckets = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Histogram(Arc::new(HistogramCore {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }))
+    }
+}
+
+impl Histogram {
+    /// A handle not attached to any registry.
+    pub fn detached() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        if let Some(bucket) = self.0.buckets.get(bucket_index(v)) {
+            bucket.fetch_add(1, Ordering::Relaxed);
+        }
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Observations so far.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    fn snap(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .0
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.0.count.load(Ordering::Relaxed),
+            sum: self.0.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Handle {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    name: &'static str,
+    labels: Labels,
+}
+
+/// The process-wide metric registry. Registration is get-or-create: any
+/// number of call sites asking for the same `(name, labels)` pair share
+/// one underlying atomic, so instrumentation never needs global
+/// coordination.
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<Key, Handle>>,
+}
+
+impl Registry {
+    /// An empty registry (tests and isolated components; processes use
+    /// [`Registry::global`] via [`crate::Obs::global`]).
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The process-wide registry.
+    pub fn global() -> &'static Arc<Registry> {
+        static GLOBAL: std::sync::OnceLock<Arc<Registry>> = std::sync::OnceLock::new();
+        GLOBAL.get_or_init(|| Arc::new(Registry::new()))
+    }
+
+    /// Registers (or re-resolves) a counter. A name/label pair already
+    /// registered as a different metric kind yields a detached handle —
+    /// a naming collision is a code bug, but it must never panic a node.
+    pub fn counter(&self, name: &'static str, labels: Labels) -> Counter {
+        let mut m = lock(&self.metrics);
+        match m
+            .entry(Key { name, labels })
+            .or_insert_with(|| Handle::Counter(Counter::detached()))
+        {
+            Handle::Counter(c) => c.clone(),
+            _ => Counter::detached(),
+        }
+    }
+
+    /// Registers (or re-resolves) a gauge.
+    pub fn gauge(&self, name: &'static str, labels: Labels) -> Gauge {
+        let mut m = lock(&self.metrics);
+        match m
+            .entry(Key { name, labels })
+            .or_insert_with(|| Handle::Gauge(Gauge::detached()))
+        {
+            Handle::Gauge(g) => g.clone(),
+            _ => Gauge::detached(),
+        }
+    }
+
+    /// Registers (or re-resolves) a histogram.
+    pub fn histogram(&self, name: &'static str, labels: Labels) -> Histogram {
+        let mut m = lock(&self.metrics);
+        match m
+            .entry(Key { name, labels })
+            .or_insert_with(|| Handle::Histogram(Histogram::detached()))
+        {
+            Handle::Histogram(h) => h.clone(),
+            _ => Histogram::detached(),
+        }
+    }
+
+    /// A point-in-time copy of every registered metric, sorted by name and
+    /// labels. Concurrent updates during the walk land in either this
+    /// snapshot or the next — each individual counter is read atomically.
+    pub fn snapshot(&self) -> Snapshot {
+        let m = lock(&self.metrics);
+        let samples = m
+            .iter()
+            .map(|(k, h)| Sample {
+                name: k.name.to_string(),
+                labels: k
+                    .labels
+                    .iter()
+                    .map(|&(lk, lv)| (lk.to_string(), lv.to_string()))
+                    .collect(),
+                value: match h {
+                    Handle::Counter(c) => Value::Counter(c.get()),
+                    Handle::Gauge(g) => Value::Gauge(g.get()),
+                    Handle::Histogram(h) => Value::Histogram(h.snap()),
+                },
+            })
+            .collect();
+        Snapshot { samples }
+    }
+}
+
+/// A snapshotted histogram: per-bucket counts plus totals.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts ([`NUM_BUCKETS`] entries).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Nearest-rank quantile, resolved to the inclusive upper bound of the
+    /// bucket containing that rank (so the true sample is `<=` the returned
+    /// value — a conservative latency bound). Returns 0 on an empty
+    /// histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= rank {
+                return bucket_upper(i);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Mean of observed values (0 on an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let n = self.buckets.len().max(other.buckets.len());
+        let buckets = (0..n)
+            .map(|i| {
+                self.buckets.get(i).copied().unwrap_or(0)
+                    + other.buckets.get(i).copied().unwrap_or(0)
+            })
+            .collect();
+        HistogramSnapshot {
+            buckets,
+            count: self.count + other.count,
+            sum: self.sum.saturating_add(other.sum),
+        }
+    }
+
+    fn diff(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| c.saturating_sub(earlier.buckets.get(i).copied().unwrap_or(0)))
+            .collect();
+        HistogramSnapshot {
+            buckets,
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+        }
+    }
+}
+
+/// A snapshotted metric value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Value {
+    /// A counter's current total.
+    Counter(u64),
+    /// A gauge's current level.
+    Gauge(i64),
+    /// A histogram's buckets and totals.
+    Histogram(HistogramSnapshot),
+}
+
+/// One metric in a snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Sample {
+    /// Metric name.
+    pub name: String,
+    /// Label pairs, in registration order.
+    pub labels: Vec<(String, String)>,
+    /// The value.
+    pub value: Value,
+}
+
+fn labels_match(labels: &[(String, String)], query: &[(&str, &str)]) -> bool {
+    labels.len() == query.len()
+        && labels
+            .iter()
+            .zip(query.iter())
+            .all(|((k, v), &(qk, qv))| k == qk && v == qv)
+}
+
+/// Schema tag stamped into the JSON exposition.
+pub const SNAPSHOT_SCHEMA: &str = "prio-obs/v1";
+
+/// A point-in-time copy of a registry, detached from its atomics: safe to
+/// ship across the control plane, merge across nodes, or diff across a
+/// benchmark phase.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Every metric, sorted by `(name, labels)`.
+    pub samples: Vec<Sample>,
+}
+
+impl Snapshot {
+    /// Counter value for an exact `(name, labels)` pair.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.samples.iter().find_map(|s| match &s.value {
+            Value::Counter(v) if s.name == name && labels_match(&s.labels, labels) => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// Sum of a counter over *all* its label sets (e.g. total drops across
+    /// every `reason`).
+    pub fn counter_sum(&self, name: &str) -> u64 {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| match &s.value {
+                Value::Counter(v) => *v,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Gauge level for an exact `(name, labels)` pair.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+        self.samples.iter().find_map(|s| match &s.value {
+            Value::Gauge(v) if s.name == name && labels_match(&s.labels, labels) => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// Histogram for an exact `(name, labels)` pair.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramSnapshot> {
+        self.samples.iter().find_map(|s| match &s.value {
+            Value::Histogram(h) if s.name == name && labels_match(&s.labels, labels) => Some(h),
+            _ => None,
+        })
+    }
+
+    /// Element-wise sum of two snapshots (union of samples): counters and
+    /// histogram buckets add, gauges add (levels across distinct processes
+    /// are additive for the depths/sizes tracked here). Metrics present in
+    /// only one side keep their values. A kind mismatch keeps `self`'s
+    /// sample. The aggregation the orchestrator uses to report
+    /// cluster-wide totals from per-node scrapes.
+    pub fn merge(&self, other: &Snapshot) -> Snapshot {
+        let mut merged: BTreeMap<(String, Vec<(String, String)>), Value> = self
+            .samples
+            .iter()
+            .map(|s| ((s.name.clone(), s.labels.clone()), s.value.clone()))
+            .collect();
+        for s in &other.samples {
+            let key = (s.name.clone(), s.labels.clone());
+            match merged.get_mut(&key) {
+                None => {
+                    merged.insert(key, s.value.clone());
+                }
+                Some(mine) => match (mine, &s.value) {
+                    (Value::Counter(a), Value::Counter(b)) => *a = a.saturating_add(*b),
+                    (Value::Gauge(a), Value::Gauge(b)) => *a = a.saturating_add(*b),
+                    (Value::Histogram(a), Value::Histogram(b)) => *a = a.merge(b),
+                    _ => {}
+                },
+            }
+        }
+        Snapshot {
+            samples: merged
+                .into_iter()
+                .map(|((name, labels), value)| Sample { name, labels, value })
+                .collect(),
+        }
+    }
+
+    /// What happened *after* `earlier` was taken: saturating difference of
+    /// counters and histograms. Gauges keep their current level (a gauge
+    /// is a reading, not a rate). Samples that only exist in `self` keep
+    /// their full values; samples only in `earlier` are dropped.
+    pub fn diff(&self, earlier: &Snapshot) -> Snapshot {
+        let samples = self
+            .samples
+            .iter()
+            .map(|s| {
+                let prev = earlier
+                    .samples
+                    .iter()
+                    .find(|e| e.name == s.name && e.labels == s.labels);
+                let value = match (&s.value, prev.map(|e| &e.value)) {
+                    (Value::Counter(v), Some(Value::Counter(p))) => {
+                        Value::Counter(v.saturating_sub(*p))
+                    }
+                    (Value::Histogram(h), Some(Value::Histogram(p))) => {
+                        Value::Histogram(h.diff(p))
+                    }
+                    (v, _) => v.clone(),
+                };
+                Sample {
+                    name: s.name.clone(),
+                    labels: s.labels.clone(),
+                    value,
+                }
+            })
+            .collect();
+        Snapshot { samples }
+    }
+
+    /// Prometheus-style text exposition: `# TYPE` lines, `name{labels}
+    /// value` samples, histograms as cumulative `_bucket{le=...}` series
+    /// (non-empty buckets only) plus `_sum`/`_count`.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let mut last_name = "";
+        for s in &self.samples {
+            if s.name != last_name {
+                let kind = match &s.value {
+                    Value::Counter(_) => "counter",
+                    Value::Gauge(_) => "gauge",
+                    Value::Histogram(_) => "histogram",
+                };
+                let _ = writeln!(out, "# TYPE {} {kind}", s.name);
+                last_name = &s.name;
+            }
+            match &s.value {
+                Value::Counter(v) => {
+                    write_series(&mut out, &s.name, &s.labels, &[]);
+                    let _ = writeln!(out, " {v}");
+                }
+                Value::Gauge(v) => {
+                    write_series(&mut out, &s.name, &s.labels, &[]);
+                    let _ = writeln!(out, " {v}");
+                }
+                Value::Histogram(h) => {
+                    let bucket_name = format!("{}_bucket", s.name);
+                    let mut cum = 0u64;
+                    for (i, &c) in h.buckets.iter().enumerate() {
+                        if c == 0 {
+                            continue;
+                        }
+                        cum += c;
+                        let le = bucket_upper(i).to_string();
+                        write_series(&mut out, &bucket_name, &s.labels, &[("le", &le)]);
+                        let _ = writeln!(out, " {cum}");
+                    }
+                    write_series(&mut out, &bucket_name, &s.labels, &[("le", "+Inf")]);
+                    let _ = writeln!(out, " {}", h.count);
+                    write_series(&mut out, &format!("{}_sum", s.name), &s.labels, &[]);
+                    let _ = writeln!(out, " {}", h.sum);
+                    write_series(&mut out, &format!("{}_count", s.name), &s.labels, &[]);
+                    let _ = writeln!(out, " {}", h.count);
+                }
+            }
+        }
+        out
+    }
+
+    /// JSON exposition (the in-tree style `BENCH_prio.json` uses):
+    /// `{"schema": ..., "metrics": [{name, labels, kind, ...}]}`. Histogram
+    /// buckets are emitted sparsely as `[index, count]` pairs. Parse it
+    /// back with [`Snapshot::from_json`].
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"schema\": ");
+        write_escaped(&mut out, SNAPSHOT_SCHEMA);
+        out.push_str(", \"metrics\": [");
+        for (i, s) in self.samples.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str("{\"name\": ");
+            write_escaped(&mut out, &s.name);
+            out.push_str(", \"labels\": {");
+            for (j, (k, v)) in s.labels.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                write_escaped(&mut out, k);
+                out.push_str(": ");
+                write_escaped(&mut out, v);
+            }
+            out.push_str("}, ");
+            match &s.value {
+                Value::Counter(v) => {
+                    let _ = write!(out, "\"kind\": \"counter\", \"value\": {v}");
+                }
+                Value::Gauge(v) => {
+                    let _ = write!(out, "\"kind\": \"gauge\", \"value\": {v}");
+                }
+                Value::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        "\"kind\": \"histogram\", \"count\": {}, \"sum\": {}, \"buckets\": [",
+                        h.count, h.sum
+                    );
+                    let mut first = true;
+                    for (bi, &c) in h.buckets.iter().enumerate() {
+                        if c == 0 {
+                            continue;
+                        }
+                        if !first {
+                            out.push_str(", ");
+                        }
+                        first = false;
+                        let _ = write!(out, "[{bi}, {c}]");
+                    }
+                    out.push(']');
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a [`Snapshot::to_json`] document. The input may come off the
+    /// control plane, so every malformation is a typed error, never a
+    /// panic.
+    pub fn from_json(text: &str) -> Result<Snapshot, &'static str> {
+        let doc = json::parse(text)?;
+        if doc.get("schema").and_then(JVal::as_str) != Some(SNAPSHOT_SCHEMA) {
+            return Err("missing or unknown snapshot schema");
+        }
+        let metrics = doc
+            .get("metrics")
+            .and_then(JVal::as_arr)
+            .ok_or("missing 'metrics' array")?;
+        let mut samples = Vec::with_capacity(metrics.len().min(4096));
+        for m in metrics {
+            let name = m
+                .get("name")
+                .and_then(JVal::as_str)
+                .ok_or("metric lacks a name")?
+                .to_string();
+            let labels = match m.get("labels") {
+                Some(JVal::Obj(fields)) => fields
+                    .iter()
+                    .map(|(k, v)| {
+                        v.as_str()
+                            .map(|v| (k.clone(), v.to_string()))
+                            .ok_or("non-string label value")
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+                _ => return Err("metric lacks a labels object"),
+            };
+            let value = match m.get("kind").and_then(JVal::as_str) {
+                Some("counter") => Value::Counter(
+                    m.get("value")
+                        .and_then(JVal::as_u64)
+                        .ok_or("counter lacks a u64 value")?,
+                ),
+                Some("gauge") => Value::Gauge(
+                    m.get("value")
+                        .and_then(JVal::as_i64)
+                        .ok_or("gauge lacks an i64 value")?,
+                ),
+                Some("histogram") => {
+                    let mut buckets = vec![0u64; NUM_BUCKETS];
+                    let pairs = m
+                        .get("buckets")
+                        .and_then(JVal::as_arr)
+                        .ok_or("histogram lacks buckets")?;
+                    for pair in pairs {
+                        let pair = pair.as_arr().ok_or("bucket entry is not a pair")?;
+                        let (bi, c) = match (pair.first(), pair.get(1), pair.len()) {
+                            (Some(bi), Some(c), 2) => (
+                                bi.as_u64().ok_or("bad bucket index")?,
+                                c.as_u64().ok_or("bad bucket count")?,
+                            ),
+                            _ => return Err("bucket entry is not a pair"),
+                        };
+                        match buckets.get_mut(usize::try_from(bi).unwrap_or(usize::MAX)) {
+                            Some(slot) => *slot = c,
+                            None => return Err("bucket index out of range"),
+                        }
+                    }
+                    Value::Histogram(HistogramSnapshot {
+                        buckets,
+                        count: m
+                            .get("count")
+                            .and_then(JVal::as_u64)
+                            .ok_or("histogram lacks a count")?,
+                        sum: m
+                            .get("sum")
+                            .and_then(JVal::as_u64)
+                            .ok_or("histogram lacks a sum")?,
+                    })
+                }
+                _ => return Err("metric lacks a known kind"),
+            };
+            samples.push(Sample {
+                name,
+                labels,
+                value,
+            });
+        }
+        Ok(Snapshot { samples })
+    }
+}
+
+fn write_series(out: &mut String, name: &str, labels: &[(String, String)], extra: &[(&str, &str)]) {
+    out.push_str(name);
+    if labels.is_empty() && extra.is_empty() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .chain(extra.iter().copied())
+    {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push('=');
+        write_escaped(out, v);
+    }
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_cover_u64() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(64), u64::MAX);
+        // Every value lands in a bucket whose bounds contain it.
+        for v in [0u64, 1, 7, 8, 1000, 1 << 40, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper(i));
+            if i > 0 {
+                assert!(v > bucket_upper(i - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn counter_gauge_histogram_basics() {
+        let r = Registry::new();
+        let c = r.counter("c_total", &[]);
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = r.gauge("g", &[]);
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+        let h = r.histogram("h_us", &[]);
+        h.observe(0);
+        h.observe(5);
+        h.observe(1000);
+        assert_eq!(h.count(), 3);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("c_total", &[]), Some(5));
+        assert_eq!(snap.gauge("g", &[]), Some(4));
+        let hs = snap.histogram("h_us", &[]).unwrap();
+        assert_eq!(hs.count, 3);
+        assert_eq!(hs.sum, 1005);
+    }
+
+    #[test]
+    fn same_name_same_labels_share_one_atomic() {
+        let r = Registry::new();
+        r.counter("shared_total", &[("x", "1")]).add(2);
+        r.counter("shared_total", &[("x", "1")]).add(3);
+        r.counter("shared_total", &[("x", "2")]).add(100);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("shared_total", &[("x", "1")]), Some(5));
+        assert_eq!(snap.counter("shared_total", &[("x", "2")]), Some(100));
+        assert_eq!(snap.counter_sum("shared_total"), 105);
+    }
+
+    #[test]
+    fn kind_collision_yields_detached_handle_not_a_panic() {
+        let r = Registry::new();
+        r.counter("name", &[]).inc();
+        let g = r.gauge("name", &[]);
+        g.set(99); // goes nowhere visible
+        assert_eq!(r.snapshot().counter("name", &[]), Some(1));
+        assert_eq!(r.snapshot().gauge("name", &[]), None);
+    }
+
+    #[test]
+    fn quantiles_resolve_to_bucket_upper_bounds() {
+        let h = Histogram::detached();
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        let s = h.snap();
+        // p50 rank is 50, which lives in bucket 6 (33..=63 range: 32 < v <= 63).
+        assert_eq!(s.quantile(0.5), 63);
+        // p99 rank is 99, bucket 7 (64..=127).
+        assert_eq!(s.quantile(0.99), 127);
+        assert_eq!(s.quantile(0.0), 1); // rank clamps to 1 → first non-empty bucket
+        assert_eq!(s.quantile(1.0), 127);
+        // Empty histogram.
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn merge_adds_and_diff_subtracts() {
+        let r1 = Registry::new();
+        r1.counter("c_total", &[]).add(10);
+        r1.histogram("h_us", &[]).observe(4);
+        let r2 = Registry::new();
+        r2.counter("c_total", &[]).add(5);
+        r2.counter("only2_total", &[]).add(1);
+        r2.histogram("h_us", &[]).observe(4);
+        let merged = r1.snapshot().merge(&r2.snapshot());
+        assert_eq!(merged.counter("c_total", &[]), Some(15));
+        assert_eq!(merged.counter("only2_total", &[]), Some(1));
+        assert_eq!(merged.histogram("h_us", &[]).unwrap().count, 2);
+
+        let before = r1.snapshot();
+        r1.counter("c_total", &[]).add(7);
+        r1.histogram("h_us", &[]).observe(100);
+        let delta = r1.snapshot().diff(&before);
+        assert_eq!(delta.counter("c_total", &[]), Some(7));
+        let h = delta.histogram("h_us", &[]).unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 100);
+    }
+
+    #[test]
+    fn text_exposition_shape() {
+        let r = Registry::new();
+        r.counter("frames_total", &[("reason", "bad")]).add(3);
+        r.histogram("lat_us", &[]).observe(5);
+        let text = r.snapshot().to_text();
+        assert!(text.contains("# TYPE frames_total counter"));
+        assert!(text.contains("frames_total{reason=\"bad\"} 3"));
+        assert!(text.contains("# TYPE lat_us histogram"));
+        assert!(text.contains("lat_us_bucket{le=\"7\"} 1"));
+        assert!(text.contains("lat_us_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("lat_us_sum 5"));
+        assert!(text.contains("lat_us_count 1"));
+    }
+
+    #[test]
+    fn json_exposition_roundtrips() {
+        let r = Registry::new();
+        r.counter("c_total", &[("reason", "x\"y")]).add(42);
+        r.gauge("depth", &[]).set(-3);
+        let h = r.histogram("lat_us", &[("phase", "round1")]);
+        h.observe(0);
+        h.observe(9);
+        h.observe(u64::MAX);
+        let snap = r.snapshot();
+        let parsed = Snapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{}",
+            "{\"schema\": \"prio-obs/v1\"}",
+            "{\"schema\": \"other\", \"metrics\": []}",
+            "{\"schema\": \"prio-obs/v1\", \"metrics\": [{}]}",
+            "{\"schema\": \"prio-obs/v1\", \"metrics\": [{\"name\": \"x\", \"labels\": {}, \"kind\": \"counter\", \"value\": -1}]}",
+            "{\"schema\": \"prio-obs/v1\", \"metrics\": [{\"name\": \"x\", \"labels\": {}, \"kind\": \"histogram\", \"count\": 1, \"sum\": 1, \"buckets\": [[99, 1]]}]}",
+        ] {
+            assert!(Snapshot::from_json(bad).is_err(), "{bad:?} must fail");
+        }
+    }
+}

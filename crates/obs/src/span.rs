@@ -1,0 +1,49 @@
+//! Scoped phase spans: measure a region, feed a histogram.
+
+use crate::metrics::Histogram;
+use std::time::{Duration, Instant};
+
+/// A running phase timer. Created with [`Span::start`] against the
+/// histogram that should receive the elapsed time; [`Span::finish`]
+/// records the duration in whole microseconds and also returns it, so
+/// callers that keep wall-clock accumulators (e.g. `PhaseTimings`) can
+/// reuse the same measurement instead of double-clocking the region.
+#[derive(Debug)]
+pub struct Span {
+    histogram: Histogram,
+    start: Instant,
+}
+
+impl Span {
+    /// Starts timing a region that will report into `histogram`.
+    pub fn start(histogram: &Histogram) -> Span {
+        Span {
+            histogram: histogram.clone(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Stops the timer, records elapsed microseconds into the histogram,
+    /// and returns the elapsed wall-clock duration.
+    pub fn finish(self) -> Duration {
+        let elapsed = self.start.elapsed();
+        self.histogram
+            .observe(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+        elapsed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_into_histogram_and_returns_elapsed() {
+        let h = Histogram::detached();
+        let span = Span::start(&h);
+        std::thread::sleep(Duration::from_millis(2));
+        let elapsed = span.finish();
+        assert!(elapsed >= Duration::from_millis(2));
+        assert_eq!(h.count(), 1);
+    }
+}

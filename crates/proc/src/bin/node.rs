@@ -8,11 +8,15 @@ const HELP: &str = "\
 prio-node: one Prio aggregation server as an OS process
 
 USAGE:
-    prio-node --config <PATH | ->
+    prio-node --config <PATH | -> [--metrics]
 
 OPTIONS:
     --config <PATH | ->   Load the wire-serialized NodeConfig from PATH,
                           or from stdin when '-' (the orchestrator's way).
+    --metrics             On shutdown, dump the process-wide metrics
+                          registry (Prometheus-style text) to stderr.
+                          Live scraping is always available through the
+                          GetMetrics control message, flag or no flag.
     -h, --help            Print this help.
 
 A NodeConfig carries: server index, server count, AFE (sum | freq |
@@ -38,12 +42,14 @@ fn usage_error(msg: &str) -> ! {
 
 fn main() {
     let mut config_src: Option<String> = None;
+    let mut opts = prio_proc::node::NodeOptions::default();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--config" => {
                 config_src = Some(it.next().unwrap_or_else(|| usage_error("--config needs a value")))
             }
+            "--metrics" => opts.dump_metrics = true,
             "-h" | "--help" => {
                 println!("{HELP}");
                 return;
@@ -70,5 +76,5 @@ fn main() {
         Ok(cfg) => cfg,
         Err(e) => usage_error(&format!("decoding config: {e}")),
     };
-    std::process::exit(prio_proc::node::run(&cfg))
+    std::process::exit(prio_proc::node::run(&cfg, opts))
 }

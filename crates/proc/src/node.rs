@@ -35,6 +35,7 @@ use prio_core::{run_server_loop, FramePolicy, Server, ServerConfig, ServerLoopOp
 use prio_field::{Field128, Field64, FieldElement};
 use prio_net::control::{read_ctrl, write_ctrl, CtrlMsg, NodeConfig, NodeStats};
 use prio_net::{NodeId, TcpTransport};
+use prio_obs::{Obs, Registry};
 use prio_snip::{HForm, VerifyMode};
 use std::io::Write as _;
 use std::net::{TcpListener, TcpStream};
@@ -50,8 +51,17 @@ fn fail_startup(msg: &str) -> i32 {
     2
 }
 
+/// Node behaviour toggles that live outside the wire [`NodeConfig`]
+/// (command-line surface, not protocol surface).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NodeOptions {
+    /// Dump the process-wide metrics registry (Prometheus-style text) to
+    /// stderr on shutdown — the `prio-node --metrics` flag.
+    pub dump_metrics: bool,
+}
+
 /// Runs a node to completion; returns the process exit code.
-pub fn run(cfg: &NodeConfig) -> i32 {
+pub fn run(cfg: &NodeConfig, opts: NodeOptions) -> i32 {
     let Some(afe) = AfeSpec::parse(&cfg.afe, cfg.size) else {
         return fail_startup(&format!("unknown afe '{}'", cfg.afe));
     };
@@ -71,23 +81,26 @@ pub fn run(cfg: &NodeConfig) -> i32 {
         return fail_startup("need at least one verify thread");
     }
     match field {
-        FieldSpec::F64 => dispatch_afe::<Field64>(cfg, afe, verify_mode, h_form),
-        FieldSpec::F128 => dispatch_afe::<Field128>(cfg, afe, verify_mode, h_form),
+        FieldSpec::F64 => dispatch_afe::<Field64>(cfg, opts, afe, verify_mode, h_form),
+        FieldSpec::F128 => dispatch_afe::<Field128>(cfg, opts, afe, verify_mode, h_form),
     }
 }
 
 fn dispatch_afe<F: FieldElement>(
     cfg: &NodeConfig,
+    opts: NodeOptions,
     afe: AfeSpec,
     verify_mode: VerifyMode,
     h_form: HForm,
 ) -> i32 {
     match afe {
-        AfeSpec::Sum(bits) => session::<F, _>(SumAfe::new(bits), cfg, verify_mode, h_form),
-        AfeSpec::Freq(n) => session::<F, _>(FrequencyAfe::new(n), cfg, verify_mode, h_form),
-        AfeSpec::LinReg(d) => session::<F, _>(LinRegAfe::new(d, 8), cfg, verify_mode, h_form),
+        AfeSpec::Sum(bits) => session::<F, _>(SumAfe::new(bits), cfg, opts, verify_mode, h_form),
+        AfeSpec::Freq(n) => session::<F, _>(FrequencyAfe::new(n), cfg, opts, verify_mode, h_form),
+        AfeSpec::LinReg(d) => {
+            session::<F, _>(LinRegAfe::new(d, 8), cfg, opts, verify_mode, h_form)
+        }
         AfeSpec::MostPop(bits) => {
-            session::<F, _>(MostPopularAfe::new(bits), cfg, verify_mode, h_form)
+            session::<F, _>(MostPopularAfe::new(bits), cfg, opts, verify_mode, h_form)
         }
     }
 }
@@ -122,6 +135,7 @@ type LoopOutcome = (u64, u64, prio_core::ServerLoopReport, u64);
 fn session<F: FieldElement, A: Afe<F> + Send + Sync + 'static>(
     afe: A,
     cfg: &NodeConfig,
+    opts: NodeOptions,
     verify_mode: VerifyMode,
     h_form: HForm,
 ) -> i32 {
@@ -197,13 +211,14 @@ fn session<F: FieldElement, A: Afe<F> + Send + Sync + 'static>(
                     match (server.take(), data_ep.take()) {
                         (Some(mut server), Some(ep)) => {
                             let ids: Vec<NodeId> = (0..num_servers).map(NodeId).collect();
-                            let opts = ServerLoopOptions {
+                            let loop_opts = ServerLoopOptions {
                                 verify_threads,
                                 frame_policy: FramePolicy::Lenient,
+                                obs: Obs::global(),
                             };
                             handle = Some(std::thread::spawn(move || {
                                 let report =
-                                    run_server_loop(&mut server, &ep, &ids, driver, opts);
+                                    run_server_loop(&mut server, &ep, &ids, driver, loop_opts);
                                 (server.accepted(), server.rejected(), report, ep.bytes_sent())
                             }));
                             CtrlMsg::IngestAck
@@ -222,17 +237,28 @@ fn session<F: FieldElement, A: Afe<F> + Send + Sync + 'static>(
                         unpack_us: report.timings.unpack.as_micros() as u64,
                         round1_us: report.timings.round1.as_micros() as u64,
                         round2_us: report.timings.round2.as_micros() as u64,
+                        publish_us: report.timings.publish.as_micros() as u64,
+                        frames_dropped: report.frames_dropped,
                         clean: report.clean,
                     }),
                     Err(_) => CtrlMsg::Fail("server loop panicked".into()),
                 },
                 None => CtrlMsg::Fail("no server loop to flush".into()),
             },
+            // Live scrape of the process-wide registry: valid at any point
+            // after the handshake, including mid-batch, so orchestrators
+            // and operators can watch counters move. The payload is the
+            // opaque prio-obs/v1 JSON exposition — the control plane stays
+            // metric-agnostic.
+            CtrlMsg::GetMetrics => CtrlMsg::Metrics(Registry::global().snapshot().to_json()),
             CtrlMsg::Shutdown => {
                 // Clean when the loop either finished or never started;
                 // aborting a live loop is the orchestrator's failure path.
                 let live = handle.as_ref().is_some_and(|h| !h.is_finished());
                 let _ = write_ctrl(&mut ctrl, &CtrlMsg::Bye { clean: !live });
+                if opts.dump_metrics {
+                    eprint!("{}", Registry::global().snapshot().to_text());
+                }
                 return if live { 3 } else { 0 };
             }
             other => CtrlMsg::Fail(format!("unexpected control message: {other:?}")),

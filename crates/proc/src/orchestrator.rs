@@ -293,6 +293,11 @@ pub struct ProcReport {
     pub driver_publish_bytes: u64,
     /// Per-node statistics, index order (0 = leader).
     pub node_stats: Vec<NodeStats>,
+    /// Per-node metric snapshots (index order), scraped over `GetMetrics`
+    /// right after `FlushAggregate` — each one is the node process's whole
+    /// registry, so phase histograms and drop counters survive the process
+    /// boundary.
+    pub node_metrics: Vec<prio_obs::Snapshot>,
     /// Whether every child process exited with status 0.
     pub clean_exit: bool,
 }
@@ -474,6 +479,25 @@ impl ProcDeployment {
         let _ = self.nodes[index].child.wait();
     }
 
+    /// Scrapes one node's live metrics registry over the control plane.
+    /// Valid at any point after the ready barrier — including mid-batch,
+    /// which is what makes it a monitoring primitive rather than a
+    /// post-mortem one.
+    pub fn scrape_metrics(&mut self, index: usize) -> Result<prio_obs::Snapshot, ProcError> {
+        let reply =
+            self.control(index, &CtrlMsg::GetMetrics, |m| matches!(m, CtrlMsg::Metrics(_)))?;
+        let CtrlMsg::Metrics(json) = reply else {
+            return Err(ProcError::Control {
+                index,
+                msg: format!("expected Metrics, got {reply:?}"),
+            });
+        };
+        prio_obs::Snapshot::from_json(&json).map_err(|e| ProcError::Control {
+            index,
+            msg: format!("unparseable metrics exposition: {e}"),
+        })
+    }
+
     /// Sends one control message and checks the reply against `expect`.
     fn control(
         &mut self,
@@ -626,8 +650,10 @@ impl ProcDeployment {
                 return Err(ProcError::Submit(format!("exit status {submit_status:?}")));
             }
 
-            // Gather per-node stats, then shut everything down.
+            // Gather per-node stats and a final metrics scrape, then shut
+            // everything down.
             let mut node_stats = Vec::with_capacity(self.nodes.len());
+            let mut node_metrics = Vec::with_capacity(self.nodes.len());
             for index in 0..self.nodes.len() {
                 let reply = self.control(index, &CtrlMsg::FlushAggregate, |m| {
                     matches!(m, CtrlMsg::Stats(_))
@@ -639,6 +665,7 @@ impl ProcDeployment {
                     });
                 };
                 node_stats.push(stats);
+                node_metrics.push(self.scrape_metrics(index)?);
             }
             // submit_status.success() was checked above, so only the node
             // shutdowns can still flip this.
@@ -665,6 +692,7 @@ impl ProcDeployment {
                 upload_bytes,
                 driver_publish_bytes,
                 node_stats,
+                node_metrics,
                 clean_exit,
             })
         })();
