@@ -55,6 +55,7 @@ pub fn run_scenario(sc: &Scenario) -> Record {
         Group::Bandwidth => run_bandwidth(sc),
         Group::Baseline => run_baseline(sc),
         Group::BatchVerify => run_batch_verify(sc),
+        Group::ConnSweep => run_conn_sweep(sc),
     };
     // Registry-derived observability block: what this scenario did to the
     // process-wide metrics (phase-latency percentiles, drop and reject
@@ -571,6 +572,130 @@ fn run_batch_verify(sc: &Scenario) -> Json {
         ("batch", Json::Num(sc.batch as f64)),
         ("threads", Json::Num(sc.verify_threads as f64)),
         ("verify_phase_ms_per_sub", phases),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// Figure-4 companion: connection churn vs. inbound I/O mode.
+// ---------------------------------------------------------------------------
+
+/// Dials the churn endpoint, riding out transient refusals while the
+/// listener's backlog (128 on Linux) drains under load.
+fn connect_with_retry(addr: std::net::SocketAddr) -> std::net::TcpStream {
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        match std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(250)) {
+            Ok(stream) => return stream,
+            Err(e) => {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "connect to churn endpoint keeps failing: {e}"
+                );
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+}
+
+/// Connection churn against one raw TCP endpoint: `sc.submissions` client
+/// connections are opened concurrently (8 dialer threads), held until the
+/// server has accepted every one of them, and then each sends a single
+/// 64-byte frame and closes. No protocol runs — this isolates what the
+/// inbound I/O mode (thread-per-connection vs. reactor) costs for accept,
+/// per-connection state, and teardown. Byte accounting is mode-independent
+/// by construction: both paths count delivered payload bytes.
+fn run_conn_sweep(sc: &Scenario) -> Json {
+    use prio_net::tcp::encode_frame;
+    use prio_net::{Endpoint, NodeId, TcpTransport};
+    use std::io::Write as _;
+    use std::sync::Barrier;
+
+    const DIALERS: usize = 8;
+    const PAYLOAD_LEN: usize = 64;
+
+    let conns = sc.submissions;
+    let before = prio_obs::Registry::global().snapshot();
+    let net = TcpTransport::with_options(None, sc.io_mode);
+    let Endpoint::Tcp(mut server) = net
+        .try_endpoint_with_id(NodeId(0))
+        .expect("churn endpoint binds an ephemeral port")
+    else {
+        unreachable!("a TCP transport yields TCP endpoints")
+    };
+    let addr = server.local_addr();
+    let bytes_before = server.bytes_received();
+
+    let mut peak_conns = 0u64;
+    let summary = sc.runner.measure(|_| {
+        // Dialers + the draining main thread meet at the barrier once every
+        // connection is up, so the endpoint really holds `conns` live
+        // connections at the peak before the short-lived send/close churn.
+        let barrier = Barrier::new(DIALERS + 1);
+        std::thread::scope(|scope| {
+            for w in 0..DIALERS {
+                let barrier = &barrier;
+                let share = conns / DIALERS + usize::from(w < conns % DIALERS);
+                scope.spawn(move || {
+                    let mut streams = Vec::with_capacity(share);
+                    for _ in 0..share {
+                        streams.push(connect_with_retry(addr));
+                    }
+                    barrier.wait();
+                    let frame = encode_frame(NodeId(1000 + w), &[0xA5; PAYLOAD_LEN])
+                        .expect("payload fits in a frame");
+                    for stream in &mut streams {
+                        stream.write_all(&frame).expect("churn frame write");
+                    }
+                    // Dropping the streams closes them: the churn half.
+                });
+            }
+            // Wait until the server side has accepted everything the
+            // dialers opened — that moment is the concurrency peak.
+            let deadline = std::time::Instant::now() + Duration::from_secs(60);
+            while server.inbound_conns() < conns as u64 {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "endpoint accepted only {}/{conns} connections",
+                    server.inbound_conns()
+                );
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            peak_conns = peak_conns.max(server.inbound_conns());
+            barrier.wait();
+            for _ in 0..conns {
+                let env = server
+                    .recv_timeout(Duration::from_secs(30))
+                    .expect("every churn frame is delivered");
+                assert_eq!(env.payload.len(), PAYLOAD_LEN);
+            }
+        });
+    });
+    let bytes_received = server.bytes_received() - bytes_before;
+    server.close();
+
+    let iters = sc.runner.iters as u64;
+    assert_eq!(bytes_received, (conns * PAYLOAD_LEN) as u64 * iters);
+    assert!(peak_conns >= conns as u64, "never reached the concurrency peak");
+
+    // Reactor-loop counters out of the global registry (zero in threaded
+    // mode — which itself documents which path ran).
+    let delta = prio_obs::Registry::global().snapshot().diff(&before);
+    let conns_per_s = conns as f64 / (summary.median_ms / 1e3);
+    Json::obj(vec![
+        ("churn_wall", summary.to_json()),
+        ("conns", Json::Num(conns as f64)),
+        ("conns_per_s", Json::Num(conns_per_s)),
+        ("peak_inbound_conns", Json::Num(peak_conns as f64)),
+        ("frames_received_total", Json::Num((conns as u64 * iters) as f64)),
+        ("bytes_received_total", Json::Num(bytes_received as f64)),
+        (
+            "reactor_accepted_total",
+            Json::Num(delta.counter_sum(prio_obs::names::NET_REACTOR_ACCEPTED) as f64),
+        ),
+        (
+            "reactor_poll_wakeups_total",
+            Json::Num(delta.counter_sum(prio_obs::names::NET_REACTOR_POLL_WAKEUPS) as f64),
+        ),
     ])
 }
 

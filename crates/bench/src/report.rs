@@ -129,6 +129,11 @@ fn headline(record: &Record) -> String {
             let threads = num(&["threads"]).unwrap_or(f64::NAN);
             format!("{t:9.0} sub/s  batch={batch:.0} thr={threads:.0}")
         }
+        Group::ConnSweep => {
+            let rate = num(&["conns_per_s"]).unwrap_or(f64::NAN);
+            let conns = num(&["conns"]).unwrap_or(f64::NAN);
+            format!("{rate:9.0} conn/s  c={conns:.0}")
+        }
     }
 }
 

@@ -8,7 +8,7 @@
 
 use crate::json::Json;
 use crate::stats::Runner;
-use prio_net::TransportKind;
+use prio_net::{TcpIoMode, TransportKind};
 use prio_snip::VerifyMode;
 use std::time::Duration;
 
@@ -30,6 +30,12 @@ pub enum Group {
     /// per context (`batch`) × verify-pool threads, against the
     /// per-submission path (`batch = 1`) on the same hardware.
     BatchVerify,
+    /// Figure-4 companion: connection churn against a raw TCP endpoint,
+    /// sweeping concurrent short-lived client connections × inbound I/O
+    /// mode (thread-per-connection vs. the readiness-driven reactor). Byte
+    /// accounting must be identical across modes; only the wall clock and
+    /// connection rate may differ.
+    ConnSweep,
 }
 
 impl Group {
@@ -41,6 +47,7 @@ impl Group {
             Group::Bandwidth => "bandwidth",
             Group::Baseline => "baseline",
             Group::BatchVerify => "batch_verify",
+            Group::ConnSweep => "conn_sweep",
         }
     }
 }
@@ -162,6 +169,9 @@ pub struct Scenario {
     pub batch: usize,
     /// Verify-pool worker threads per server (`1` = inline verification).
     pub verify_threads: usize,
+    /// Inbound TCP I/O mode (TCP backends and the conn-sweep family only;
+    /// ignored by sim/cluster backends).
+    pub io_mode: TcpIoMode,
     /// Warmup/iteration control.
     pub runner: Runner,
     /// Deterministic RNG seed for client inputs and shares.
@@ -198,6 +208,7 @@ impl Scenario {
             ("submissions", Json::Num(self.submissions as f64)),
             ("batch", Json::Num(self.batch as f64)),
             ("threads", Json::Num(self.verify_threads as f64)),
+            ("io_mode", Json::Str(self.io_mode.tag().into())),
             ("warmup", Json::Num(self.runner.warmup as f64)),
             ("iters", Json::Num(self.runner.iters as f64)),
         ])
@@ -238,6 +249,7 @@ fn base(name: String, group: Group, afe: AfeKind, size: usize) -> Scenario {
         submissions: 4,
         batch: 1024,
         verify_threads: 1,
+        io_mode: TcpIoMode::Threaded,
         runner: Runner::new(1, 3),
         seed: 0x5052_494f,
     }
@@ -300,6 +312,30 @@ pub fn registry(mode: Mode) -> Vec<Scenario> {
         sc.batch = sc.submissions;
         sc.runner = if full { Runner::new(1, 5) } else { Runner::new(1, 2) };
         out.push(sc);
+    }
+
+    // Figure-4 companion: connection churn against one raw TCP endpoint,
+    // concurrent short-lived connections × inbound I/O mode. The reactor
+    // must hold ≥ 1k concurrent connections inside the smoke budget; the
+    // thread-per-connection mode pays one OS thread per connection at the
+    // same point. Byte metrics must be identical across modes.
+    let conn_counts: &[usize] = if full { &[256, 1024, 2048] } else { &[256, 1024] };
+    for &c in conn_counts {
+        for io_mode in [TcpIoMode::Threaded, TcpIoMode::Reactor] {
+            let mut sc = base(
+                format!("fig4/conn_sweep/c={c}/{}", io_mode.tag()),
+                Group::ConnSweep,
+                AfeKind::Sum,
+                8,
+            );
+            sc.servers = 1; // one endpoint under churn; no protocol runs
+            sc.backend = Backend::Deployment(TransportKind::Tcp);
+            sc.io_mode = io_mode;
+            sc.submissions = c; // one 64-byte frame per connection
+            sc.batch = 1;
+            sc.runner = Runner::new(0, 1);
+            out.push(sc);
+        }
     }
 
     // One WAN point: uniform link latency through the fabric.
@@ -626,6 +662,31 @@ mod tests {
                 assert!(
                     family.iter().any(|sc| sc.verify_threads >= 2),
                     "{mode:?}/cluster={on_cluster} lacks a verify-pool point"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conn_sweep_covers_both_io_modes_at_1k() {
+        // Acceptance: every mode carries the c=1024 point for both inbound
+        // I/O modes, and every conn-sweep scenario stays under the
+        // reactor's connection budget (no accept shedding in the bench).
+        for mode in [Mode::Smoke, Mode::Full] {
+            let scenarios = registry(mode);
+            for io_mode in [TcpIoMode::Threaded, TcpIoMode::Reactor] {
+                assert!(
+                    scenarios.iter().any(|sc| sc.group == Group::ConnSweep
+                        && sc.io_mode == io_mode
+                        && sc.submissions >= 1024),
+                    "{mode:?} lacks a c>=1024 conn-sweep point for {io_mode:?}"
+                );
+            }
+            for sc in scenarios.iter().filter(|sc| sc.group == Group::ConnSweep) {
+                assert!(sc.submissions <= 4096, "{} exceeds the reactor budget", sc.name);
+                assert_eq!(
+                    sc.params_json().get("io_mode").and_then(Json::as_str),
+                    Some(sc.io_mode.tag())
                 );
             }
         }

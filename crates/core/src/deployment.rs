@@ -19,7 +19,7 @@ use crate::server::{Server, ServerConfig};
 use crate::server_loop::{run_server_loop, ServerLoopOptions};
 use prio_afe::Afe;
 use prio_field::FieldElement;
-use prio_net::{NetStats, NodeId, Transport, TransportKind};
+use prio_net::{NetStats, NodeId, TcpIoMode, Transport, TransportKind};
 use prio_snip::{HForm, VerifyMode};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -37,6 +37,9 @@ pub struct DeploymentConfig {
     pub latency: Option<std::time::Duration>,
     /// Which fabric carries the server-to-server traffic.
     pub transport: TransportKind,
+    /// How the TCP backend drives inbound connections (`Threaded` readers
+    /// or the poll-based `Reactor`); ignored by the sim fabric.
+    pub io_mode: TcpIoMode,
     /// Worker threads each server devotes to batched SNIP round-1
     /// verification (1 = verify inline on the server thread).
     pub verify_threads: usize,
@@ -52,6 +55,7 @@ impl DeploymentConfig {
             h_form: HForm::PointValue,
             latency: None,
             transport: TransportKind::Sim,
+            io_mode: TcpIoMode::default(),
             verify_threads: 1,
         }
     }
@@ -77,6 +81,12 @@ impl DeploymentConfig {
     /// Builder-style: transport backend.
     pub fn with_transport(mut self, transport: TransportKind) -> Self {
         self.transport = transport;
+        self
+    }
+
+    /// Builder-style: TCP inbound I/O mode (no effect on the sim fabric).
+    pub fn with_io_mode(mut self, io_mode: TcpIoMode) -> Self {
+        self.io_mode = io_mode;
         self
     }
 
@@ -156,7 +166,7 @@ impl<F: FieldElement> Deployment<F> {
     {
         assert!(cfg.num_servers >= 2, "Prio needs at least two servers");
         assert!(cfg.verify_threads >= 1, "need at least one verify thread");
-        let net = cfg.transport.build(cfg.latency);
+        let net = cfg.transport.build_io(cfg.latency, cfg.io_mode);
         let driver_ep = net.endpoint();
         let endpoints: Vec<_> = (0..cfg.num_servers).map(|_| net.endpoint()).collect();
         let server_ids: Vec<NodeId> = endpoints.iter().map(|e| e.id()).collect();
@@ -311,6 +321,30 @@ mod tests {
         assert_eq!(report.sigma[0], 30);
         // Byte accounting flows through the TCP fabric too.
         assert_eq!(report.server_bytes_sent.len(), 3);
+        assert!(report.server_bytes_sent.iter().all(|&b| b > 0));
+    }
+
+    #[test]
+    fn reactor_end_to_end_over_tcp() {
+        // Same pipeline again, with the servers' inbound side multiplexed
+        // by the poll reactor instead of thread-per-connection readers.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let afe = SumAfe::new(4);
+        let cfg = DeploymentConfig::new(3)
+            .with_transport(TransportKind::Tcp)
+            .with_io_mode(TcpIoMode::Reactor);
+        let mut deployment: Deployment<Field64> = Deployment::start(afe, cfg);
+        let mut client = Client::new(SumAfe::new(4), ClientConfig::new(3));
+        let values = [1u64, 2, 3, 4, 5, 15];
+        let subs: Vec<_> = values
+            .iter()
+            .map(|v| client.submit(v, &mut rng).unwrap())
+            .collect();
+        let decisions = deployment.run_batch(&subs);
+        assert!(decisions.iter().all(|&d| d));
+        let report = deployment.finish();
+        assert_eq!(report.accepted, 6);
+        assert_eq!(report.sigma[0], 30);
         assert!(report.server_bytes_sent.iter().all(|&b| b > 0));
     }
 

@@ -72,6 +72,7 @@ fn r2_designated(path: &str) -> bool {
     matches!(
         path,
         "crates/net/src/tcp.rs"
+            | "crates/net/src/reactor.rs"
             | "crates/net/src/wire.rs"
             | "crates/net/src/control.rs"
             | "crates/core/src/server_loop.rs"
@@ -91,7 +92,7 @@ fn alloc_file(path: &str) -> bool {
     let base = path.rsplit('/').next().unwrap_or(path);
     matches!(
         base,
-        "wire.rs" | "control.rs" | "tcp.rs" | "messages.rs" | "server_loop.rs"
+        "wire.rs" | "control.rs" | "tcp.rs" | "reactor.rs" | "messages.rs" | "server_loop.rs"
     )
 }
 

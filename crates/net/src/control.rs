@@ -58,6 +58,9 @@ pub struct NodeConfig {
     pub h_form: String,
     /// Verify-pool worker threads (`1` = inline verification).
     pub verify_threads: u64,
+    /// TCP inbound I/O mode tag (`threaded` | `reactor`) for the node's
+    /// data-plane fabric.
+    pub io_mode: String,
 }
 
 impl Wire for NodeConfig {
@@ -70,6 +73,7 @@ impl Wire for NodeConfig {
         self.verify_mode.encode(buf);
         self.h_form.encode(buf);
         self.verify_threads.encode(buf);
+        self.io_mode.encode(buf);
     }
 
     fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError> {
@@ -82,6 +86,7 @@ impl Wire for NodeConfig {
             verify_mode: String::decode(buf)?,
             h_form: String::decode(buf)?,
             verify_threads: u64::decode(buf)?,
+            io_mode: String::decode(buf)?,
         })
     }
 }
@@ -445,6 +450,7 @@ mod tests {
             verify_mode: "fixed_point".into(),
             h_form: "point_value".into(),
             verify_threads: 2,
+            io_mode: "reactor".into(),
         };
         assert_eq!(NodeConfig::from_wire_bytes(&cfg.to_wire_bytes()), Ok(cfg));
     }

@@ -35,18 +35,45 @@
 //! explicit ([`wire`]) — every byte that would cross a socket is
 //! serialized for real, so the byte counters measure honest wire sizes
 //! rather than in-memory struct sizes.
+//!
+//! # TCP I/O modes
+//!
+//! The TCP backend drives its inbound side in one of two selectable modes
+//! ([`TcpIoMode`]):
+//!
+//! * [`TcpIoMode::Threaded`] (the default) — one blocking reader thread
+//!   per accepted connection. Simple, great latency at small fan-in; costs
+//!   an OS thread + stack per connection, so it stops scaling somewhere in
+//!   the hundreds of concurrent connections.
+//! * [`TcpIoMode::Reactor`] — one thread per *endpoint* multiplexing every
+//!   inbound connection over non-blocking sockets and `poll(2)`, with
+//!   per-connection incremental frame decoding and a bounded connection
+//!   budget (the `reactor` module). The right mode for
+//!   submission-facing servers fielding thousands of short-lived client
+//!   connections — the paper's deployment shape.
+//!
+//! Both modes feed the identical mailbox with identical envelopes and
+//! identical accounting, so everything above the socket — the server loop,
+//! the control plane, the byte metrics — is mode-blind. The
+//! `fig4/conn_sweep` bench group measures the crossover.
+//!
+//! `unsafe` is denied crate-wide except for the reactor's ~10-line
+//! `poll(2)` FFI shim, the workspace's only unsafe block (there are no
+//! crates.io dependencies to provide it).
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod control;
+#[cfg(unix)]
+pub(crate) mod reactor;
 pub mod sim;
 pub mod tcp;
 pub mod transport;
 pub mod wire;
 
 pub use sim::{SimEndpoint, SimNetwork};
-pub use tcp::{BindError, TcpEndpoint, TcpTransport};
+pub use tcp::{BindError, TcpEndpoint, TcpIoMode, TcpTransport};
 pub use transport::{
     Endpoint, Envelope, NetStats, NodeId, RecvError, RecvTimeoutError, SendError, Transport,
     TransportKind,

@@ -142,6 +142,18 @@ pub mod names {
     /// TCP bind retries taken while racing for a listen address.
     pub const NET_BIND_RETRIES: &str = "net_bind_retries_total";
 
+    /// Live inbound connections held by reactor-mode endpoints (gauge).
+    pub const NET_REACTOR_CONNS: &str = "net_reactor_conns";
+    /// Inbound connections a reactor has accepted.
+    pub const NET_REACTOR_ACCEPTED: &str = "net_reactor_accepted_total";
+    /// Inbound connections a reactor refused, labelled `reason = budget`.
+    pub const NET_REACTOR_REJECTED: &str = "net_reactor_rejected_total";
+    /// Times a reactor's poll(2) call returned (readiness or timeout).
+    pub const NET_REACTOR_POLL_WAKEUPS: &str = "net_reactor_poll_wakeups_total";
+    /// Readable sockets per poll wakeup (item-count histogram; only
+    /// wakeups that found at least one ready connection are observed).
+    pub const NET_REACTOR_READY_BATCH: &str = "net_reactor_ready_batch";
+
     /// Frames the server loop discarded, labelled `reason = unknown_sender
     /// | undecodable | stash_overflow | unexpected_kind`.
     pub const SERVER_FRAMES_DROPPED: &str = "server_frames_dropped_total";

@@ -34,7 +34,7 @@ use prio_afe::Afe;
 use prio_core::{run_server_loop, FramePolicy, Server, ServerConfig, ServerLoopOptions};
 use prio_field::{Field128, Field64, FieldElement};
 use prio_net::control::{read_ctrl, write_ctrl, CtrlMsg, NodeConfig, NodeStats};
-use prio_net::{NodeId, TcpTransport};
+use prio_net::{NodeId, TcpIoMode, TcpTransport};
 use prio_obs::{Obs, Registry};
 use prio_snip::{HForm, VerifyMode};
 use std::io::Write as _;
@@ -79,6 +79,9 @@ pub fn run(cfg: &NodeConfig, opts: NodeOptions) -> i32 {
     }
     if cfg.verify_threads == 0 {
         return fail_startup("need at least one verify thread");
+    }
+    if TcpIoMode::from_tag(&cfg.io_mode).is_none() {
+        return fail_startup(&format!("unknown io mode '{}'", cfg.io_mode));
     }
     match field {
         FieldSpec::F64 => dispatch_afe::<Field64>(cfg, opts, afe, verify_mode, h_form),
@@ -141,7 +144,10 @@ fn session<F: FieldElement, A: Afe<F> + Send + Sync + 'static>(
 ) -> i32 {
     let index = cfg.index as usize;
     let num_servers = cfg.num_servers as usize;
-    let net = TcpTransport::new();
+    // The tag was validated in `run`; an unknown value cannot reach here,
+    // but degrade to the default rather than trusting that invariant.
+    let io_mode = TcpIoMode::from_tag(&cfg.io_mode).unwrap_or_default();
+    let net = TcpTransport::with_options(None, io_mode);
     let data_ep = match net.try_endpoint_with_id(NodeId(index)) {
         Ok(ep) => ep,
         Err(e) => return fail_startup(&format!("data-plane bind failed: {e}")),

@@ -24,6 +24,7 @@
 use crate::spec::{h_form_tag, verify_mode_tag, AfeSpec, FieldSpec};
 use prio_net::control::{read_ctrl, write_ctrl, CtrlMsg, NodeConfig, NodeStats};
 use prio_net::wire::Wire;
+use prio_net::TcpIoMode;
 use prio_snip::{HForm, VerifyMode};
 use std::io::{BufRead, BufReader, ErrorKind, Write as _};
 use std::net::{SocketAddr, TcpStream};
@@ -47,6 +48,8 @@ pub struct ProcConfig {
     pub h_form: HForm,
     /// Verify-pool threads per node.
     pub verify_threads: usize,
+    /// Inbound TCP I/O mode for every node's data plane.
+    pub io_mode: TcpIoMode,
     /// Submissions the driver encodes.
     pub submissions: usize,
     /// Tampered fraction in permille (0..=1000).
@@ -78,6 +81,7 @@ impl ProcConfig {
             verify_mode: VerifyMode::FixedPoint,
             h_form: HForm::PointValue,
             verify_threads: 1,
+            io_mode: TcpIoMode::default(),
             submissions,
             tamper_permille: 0,
             batch: submissions.max(1),
@@ -131,6 +135,12 @@ impl ProcConfig {
     /// Builder-style: verification strategy.
     pub fn with_verify_mode(mut self, mode: VerifyMode) -> Self {
         self.verify_mode = mode;
+        self
+    }
+
+    /// Builder-style: inbound TCP I/O mode for the nodes' data planes.
+    pub fn with_io_mode(mut self, io_mode: TcpIoMode) -> Self {
+        self.io_mode = io_mode;
         self
     }
 }
@@ -402,6 +412,7 @@ impl ProcDeployment {
                 verify_mode: verify_mode_tag(cfg.verify_mode).into(),
                 h_form: h_form_tag(cfg.h_form).into(),
                 verify_threads: cfg.verify_threads as u64,
+                io_mode: cfg.io_mode.tag().into(),
             };
             // Both handles were requested as piped; a None here is a spawn
             // anomaly — kill the half-started child instead of leaking it.

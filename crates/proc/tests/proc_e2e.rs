@@ -218,6 +218,7 @@ fn bad_config_is_a_handshake_error() {
         verify_mode: "fixed_point".into(),
         h_form: "point_value".into(),
         verify_threads: 1,
+        io_mode: "threaded".into(),
     };
     use prio_net::wire::Wire;
     let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_prio-node"))
