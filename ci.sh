@@ -92,4 +92,27 @@ echo "==> prio-bench --smoke --backend proc (multi-process slice)"
 cargo run --release --offline -p prio_bench -- --smoke --backend proc --out target/bench_proc.json
 cargo run --release --offline -p prio_bench -- --check target/bench_proc.json
 
+# Deterministic chaos gate (ROADMAP.md "Robustness"). Three layers:
+#   1. e2e_chaos: kill -9 a node mid-run and restart it; the batches that
+#      completed must balance and the restarted deployment must finish.
+#   2. The fig7 robustness slice twice, --check'd: every scenario's
+#      exactness ledger (accepted + rejected + dropped == sent, typed
+#      batch outcomes, fault/retry/dedup counters) validates.
+#   3. Seeded-replay determinism: the two runs' --ledgers projections —
+#      every robustness ledger in canonical compact form, wall-clock
+#      excluded by construction — must be byte-identical. Same fault
+#      seed, same faults, same ledger, on all three fabrics.
+echo "==> chaos gate (e2e_chaos + seeded-replay ledger diff)"
+cargo test -q --offline --test e2e_chaos
+cargo run --release --offline -p prio_bench -- --smoke --filter fig7/robustness --out target/bench_chaos_a.json
+cargo run --release --offline -p prio_bench -- --smoke --filter fig7/robustness --out target/bench_chaos_b.json
+cargo run --release --offline -p prio_bench -- --check target/bench_chaos_a.json
+cargo run --release --offline -p prio_bench -- --check target/bench_chaos_b.json
+cargo run --release --offline -q -p prio_bench -- --ledgers target/bench_chaos_a.json > target/ledgers_a.txt
+cargo run --release --offline -q -p prio_bench -- --ledgers target/bench_chaos_b.json > target/ledgers_b.txt
+diff target/ledgers_a.txt target/ledgers_b.txt || {
+  echo "chaos gate: seeded fault replay diverged (ledgers differ)" >&2
+  exit 1
+}
+
 echo "CI OK"

@@ -15,6 +15,7 @@ use prio_afe::{freq::FrequencyAfe, Afe};
 use prio_baselines::nizk::{client_submission, NizkCluster};
 use prio_core::{Client, ClientConfig, Cluster, Deployment, DeploymentConfig};
 use prio_field::{Field128, Field64, FieldElement};
+use prio_net::FaultPlan;
 use prio_proc::spec::encode_submissions;
 use prio_proc::{AfeSpec, FieldSpec, ProcConfig, ProcDeployment, ProcReport};
 use prio_snip::HForm;
@@ -56,6 +57,7 @@ pub fn run_scenario(sc: &Scenario) -> Record {
         Group::Baseline => run_baseline(sc),
         Group::BatchVerify => run_batch_verify(sc),
         Group::ConnSweep => run_conn_sweep(sc),
+        Group::Robustness => run_robustness(sc),
     };
     // Registry-derived observability block: what this scenario did to the
     // process-wide metrics (phase-latency percentiles, drop and reject
@@ -696,6 +698,190 @@ fn run_conn_sweep(sc: &Scenario) -> Json {
             "reactor_poll_wakeups_total",
             Json::Num(delta.counter_sum(prio_obs::names::NET_REACTOR_POLL_WAKEUPS) as f64),
         ),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7 (§7 availability): the pipeline under seeded fault injection.
+// ---------------------------------------------------------------------------
+
+/// The robustness family's exactness ledger: every count that must balance
+/// and, on the sim backend, replay bit-identically under the same fault
+/// seed. Wall-clock numbers live *outside* this object so a replay
+/// comparison can diff it verbatim.
+fn ledger_json(
+    sent: u64,
+    accepted: u64,
+    rejected: u64,
+    dropped: u64,
+    outcomes: (u64, u64, u64),
+    obs: &prio_obs::Snapshot,
+) -> Json {
+    assert_eq!(
+        accepted + rejected + dropped,
+        sent,
+        "exactness ledger out of balance: {accepted} + {rejected} + {dropped} != {sent}"
+    );
+    let (complete, degraded, aborted) = outcomes;
+    Json::obj(vec![
+        ("sent", Json::Num(sent as f64)),
+        ("accepted", Json::Num(accepted as f64)),
+        ("rejected", Json::Num(rejected as f64)),
+        ("dropped", Json::Num(dropped as f64)),
+        ("batches_complete", Json::Num(complete as f64)),
+        ("batches_degraded", Json::Num(degraded as f64)),
+        ("batches_aborted", Json::Num(aborted as f64)),
+        (
+            "faults_injected",
+            Json::Num(obs.counter_sum(prio_obs::names::NET_FAULTS_INJECTED) as f64),
+        ),
+        (
+            "retry_attempts",
+            Json::Num(obs.counter_sum(prio_obs::names::RETRY_ATTEMPTS) as f64),
+        ),
+        (
+            "frames_deduped",
+            Json::Num(obs.counter_sum(prio_obs::names::SERVER_FRAMES_DEDUPED) as f64),
+        ),
+        (
+            "batches_abandoned",
+            Json::Num(obs.counter_sum(prio_obs::names::SERVER_BATCHES_ABANDONED) as f64),
+        ),
+    ])
+}
+
+/// Runs the full sum pipeline under the scenario's fault plan and reports
+/// the exactness ledger plus wall clock. Driver and server endpoints are
+/// all faulted; on the sim fabric the resulting ledger is bit-replayable
+/// under the same fault seed (the CI chaos gate asserts this).
+fn run_robustness(sc: &Scenario) -> Json {
+    if sc.backend == Backend::Proc {
+        return run_robustness_proc(sc);
+    }
+    let Backend::Deployment(transport) = sc.backend else {
+        panic!("robustness scenarios need a fabric");
+    };
+    assert!(
+        sc.drop_permille + sc.dup_permille > 0,
+        "a robustness scenario must inject something"
+    );
+    let before = prio_obs::Registry::global().snapshot();
+    let plan = FaultPlan::seeded(sc.fault_seed)
+        .with_drop_permille(sc.drop_permille)
+        .with_dup_permille(sc.dup_permille);
+    // Server round traffic is faulted too: drop is sender-visible (and
+    // retried) and duplicates are killed by dedup + batch-ctx filtering,
+    // so each link's outbound frame sequence — and with it the seeded
+    // fault rolls and the whole ledger — stays deterministic even with
+    // the servers on their own threads.
+    let cfg = DeploymentConfig::new(sc.servers)
+        .with_verify_mode(sc.verify_mode)
+        .with_transport(transport)
+        .with_fault_plan(plan)
+        .with_server_faults()
+        .with_batch_deadline(Duration::from_secs(2));
+    let mut rng = StdRng::seed_from_u64(sc.seed);
+    let afe = SumAfe::new(sc.size as u32);
+    let mut deployment: Deployment<Field64> = Deployment::start(afe.clone(), cfg);
+    let mut client = Client::new(afe, ClientConfig::new(sc.servers));
+    let subs: Vec<_> = sum_inputs(sc.size, sc.submissions, &mut rng)
+        .iter()
+        .map(|v| client.submit(v, &mut rng).expect("honest input"))
+        .collect();
+
+    let summary = sc.runner.measure(|_| {
+        for chunk in subs.chunks(sc.batch) {
+            // Degraded is an expected outcome here; only a dead fabric
+            // (driver endpoint closed) is an error.
+            deployment.run_batch_outcome(chunk).expect("fabric alive");
+        }
+    });
+    // Lossy finish: at aggressive drop rates even the final publish
+    // exchange can lose a frame past the retry budget, which degrades
+    // the aggregate but must not kill the bench — the ledger is the
+    // artifact here, and it is complete before publish starts.
+    let report = deployment.finish_lossy();
+
+    let runs = (sc.runner.warmup + sc.runner.iters) as u64;
+    let sent = sc.submissions as u64 * runs;
+    let (complete, degraded, aborted) = report.batch_outcomes;
+    assert_eq!(
+        complete + degraded + aborted,
+        sc.submissions.div_ceil(sc.batch) as u64 * runs,
+        "every batch must end in a typed outcome"
+    );
+    let delta = prio_obs::Registry::global().snapshot().diff(&before);
+    assert!(
+        delta.counter_sum(prio_obs::names::NET_FAULTS_INJECTED) > 0,
+        "the fault plan never fired"
+    );
+    Json::obj(vec![
+        (
+            "ledger",
+            ledger_json(
+                sent,
+                report.accepted,
+                report.rejected,
+                report.dropped,
+                report.batch_outcomes,
+                &delta,
+            ),
+        ),
+        ("run_wall", summary.to_json()),
+        (
+            "delivered_fraction",
+            Json::Num((report.accepted + report.rejected) as f64 / sent as f64),
+        ),
+    ])
+}
+
+/// The same availability experiment across real process boundaries: every
+/// node *and* the submit driver injects the plan's faults on its outbound
+/// sends, and the ledger is assembled from the orchestrator's report plus
+/// the nodes' scraped registries.
+fn run_robustness_proc(sc: &Scenario) -> Json {
+    let plan = FaultPlan::seeded(sc.fault_seed)
+        .with_drop_permille(sc.drop_permille)
+        .with_dup_permille(sc.dup_permille);
+    let runs = sc.runner.warmup + sc.runner.iters;
+    let cfg = proc_config(sc)
+        .with_fault_plan(plan)
+        .with_batch_deadline(Duration::from_secs(2))
+        .with_timeout(Duration::from_secs(20));
+    let report = ProcDeployment::launch(cfg)
+        .and_then(ProcDeployment::run)
+        .unwrap_or_else(|e| panic!("proc deployment failed for {}: {e}", sc.name));
+    assert!(report.clean_exit, "child processes must exit cleanly");
+
+    let sent = (sc.submissions * runs) as u64;
+    let merged = report
+        .node_metrics
+        .iter()
+        .fold(prio_obs::Snapshot::default(), |acc, s| acc.merge(s));
+    assert!(
+        merged.counter_sum(prio_obs::names::NET_FAULTS_INJECTED) > 0,
+        "the fault plan never fired on the node side"
+    );
+    let wall: Duration = report.batch_wall.iter().sum();
+    Json::obj(vec![
+        (
+            "ledger",
+            ledger_json(
+                sent,
+                report.accepted,
+                report.rejected,
+                report.dropped,
+                report.batch_outcomes,
+                &merged,
+            ),
+        ),
+        ("run_wall_ms", Json::Num(ms(wall))),
+        (
+            "delivered_fraction",
+            Json::Num((report.accepted + report.rejected) as f64 / sent as f64),
+        ),
+        ("processes", Json::Num(sc.servers as f64 + 1.0)),
+        ("obs", proc_obs_block(&report)),
     ])
 }
 

@@ -5,6 +5,7 @@
 //! prio-bench [--smoke | --full] [--filter SUBSTR] [--backend sim|tcp|proc] [--out PATH]
 //! prio-bench --list [--full]
 //! prio-bench --check PATH
+//! prio-bench --ledgers PATH
 //! ```
 //!
 //! `--backend` keeps only scenarios whose messages ride the given
@@ -27,13 +28,15 @@ struct Args {
     out: String,
     list: bool,
     check: Option<String>,
+    ledgers: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: prio-bench [--smoke | --full] [--filter SUBSTR] [--backend sim|tcp|proc] \
          [--out PATH] [--list]\n\
-         \x20      prio-bench --check PATH"
+         \x20      prio-bench --check PATH\n\
+         \x20      prio-bench --ledgers PATH"
     );
     std::process::exit(2)
 }
@@ -46,6 +49,7 @@ fn parse_args() -> Args {
         out: "BENCH_prio.json".to_string(),
         list: false,
         check: None,
+        ledgers: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -64,6 +68,7 @@ fn parse_args() -> Args {
             "--out" => args.out = it.next().unwrap_or_else(|| usage()),
             "--list" => args.list = true,
             "--check" => args.check = Some(it.next().unwrap_or_else(|| usage())),
+            "--ledgers" => args.ledgers = Some(it.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -106,10 +111,60 @@ fn check(path: &str) -> i32 {
     }
 }
 
+/// Prints one `name<TAB>ledger` line per robustness result, in report
+/// order, with the ledger in canonical (compact, insertion-ordered) form.
+/// Two runs of the same sim-backend robustness slice must produce
+/// byte-identical `--ledgers` output — the CI chaos gate diffs them.
+fn ledgers(path: &str) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return 1;
+        }
+    };
+    let Some(results) = doc.get("results").and_then(Json::as_arr) else {
+        eprintln!("{path}: missing 'results' array");
+        return 1;
+    };
+    let mut printed = 0;
+    for r in results {
+        if r.get("group").and_then(Json::as_str) != Some("robustness") {
+            continue;
+        }
+        let name = r.get("name").and_then(Json::as_str).unwrap_or("?");
+        match r.get("metrics").and_then(|m| m.get("ledger")) {
+            Some(ledger) => {
+                println!("{name}\t{}", ledger.to_compact());
+                printed += 1;
+            }
+            None => {
+                eprintln!("{path}: robustness result '{name}' lacks a ledger");
+                return 1;
+            }
+        }
+    }
+    if printed == 0 {
+        eprintln!("{path}: no robustness results");
+        return 1;
+    }
+    0
+}
+
 fn main() {
     let args = parse_args();
     if let Some(path) = &args.check {
         std::process::exit(check(path));
+    }
+    if let Some(path) = &args.ledgers {
+        std::process::exit(ledgers(path));
     }
 
     let mut scenarios = registry(args.mode);

@@ -59,6 +59,37 @@ pub fn validate_document(doc: &Json) -> Result<(), String> {
         if let Some(metrics) = r.get("metrics") {
             check_summaries(metrics, i)?;
         }
+        // Robustness entries must carry a balanced exactness ledger.
+        if r.get("group").and_then(Json::as_str) == Some("robustness") {
+            let ledger = r
+                .get("metrics")
+                .and_then(|m| m.get("ledger"))
+                .ok_or_else(|| format!("robustness result #{i} lacks a ledger"))?;
+            let count = |key: &str| -> Result<f64, String> {
+                ledger
+                    .get(key)
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| format!("robustness result #{i} ledger missing '{key}'"))
+            };
+            let sent = count("sent")?;
+            let balance = count("accepted")? + count("rejected")? + count("dropped")?;
+            if balance != sent {
+                return Err(format!(
+                    "robustness result #{i} ledger out of balance: {balance} != {sent}"
+                ));
+            }
+            for key in [
+                "batches_complete",
+                "batches_degraded",
+                "batches_aborted",
+                "faults_injected",
+                "retry_attempts",
+                "frames_deduped",
+                "batches_abandoned",
+            ] {
+                count(key)?;
+            }
+        }
         // Batch-verify entries must carry the throughput headline metric.
         if r.get("group").and_then(Json::as_str) == Some("batch_verify")
             && r.get("metrics")
@@ -133,6 +164,13 @@ fn headline(record: &Record) -> String {
             let rate = num(&["conns_per_s"]).unwrap_or(f64::NAN);
             let conns = num(&["conns"]).unwrap_or(f64::NAN);
             format!("{rate:9.0} conn/s  c={conns:.0}")
+        }
+        Group::Robustness => {
+            let acc = num(&["ledger", "accepted"]).unwrap_or(f64::NAN);
+            let sent = num(&["ledger", "sent"]).unwrap_or(f64::NAN);
+            let deg = num(&["ledger", "batches_degraded"]).unwrap_or(f64::NAN);
+            let faults = num(&["ledger", "faults_injected"]).unwrap_or(f64::NAN);
+            format!("acc {acc:.0}/{sent:.0}  degraded={deg:.0}  faults={faults:.0}")
         }
     }
 }

@@ -36,6 +36,15 @@ pub enum Group {
     /// accounting must be identical across modes; only the wall clock and
     /// connection rate may differ.
     ConnSweep,
+    /// Section-7 availability: the full pipeline under seeded
+    /// drop/duplicate fault injection, sweeping fault rates × fabric
+    /// (sim, tcp, proc). Every scenario must end with a balanced
+    /// exactness ledger (`accepted + rejected + dropped = sent`, every
+    /// batch complete/degraded/aborted) — the headline is how much of the
+    /// workload survives, not how fast it runs. Faults are sender-visible
+    /// and seeded per link, so sim-backend ledgers are bit-identical
+    /// across replays of the same seed (the CI chaos gate asserts this).
+    Robustness,
 }
 
 impl Group {
@@ -48,6 +57,7 @@ impl Group {
             Group::Baseline => "baseline",
             Group::BatchVerify => "batch_verify",
             Group::ConnSweep => "conn_sweep",
+            Group::Robustness => "robustness",
         }
     }
 }
@@ -172,6 +182,12 @@ pub struct Scenario {
     /// Inbound TCP I/O mode (TCP backends and the conn-sweep family only;
     /// ignored by sim/cluster backends).
     pub io_mode: TcpIoMode,
+    /// Seeded drop probability in permille (robustness family only).
+    pub drop_permille: u32,
+    /// Seeded duplicate probability in permille (robustness family only).
+    pub dup_permille: u32,
+    /// Seed for the fault plan's per-link randomness streams.
+    pub fault_seed: u64,
     /// Warmup/iteration control.
     pub runner: Runner,
     /// Deterministic RNG seed for client inputs and shares.
@@ -209,6 +225,9 @@ impl Scenario {
             ("batch", Json::Num(self.batch as f64)),
             ("threads", Json::Num(self.verify_threads as f64)),
             ("io_mode", Json::Str(self.io_mode.tag().into())),
+            ("drop_permille", Json::Num(self.drop_permille as f64)),
+            ("dup_permille", Json::Num(self.dup_permille as f64)),
+            ("fault_seed", Json::Num(self.fault_seed as f64)),
             ("warmup", Json::Num(self.runner.warmup as f64)),
             ("iters", Json::Num(self.runner.iters as f64)),
         ])
@@ -250,6 +269,9 @@ fn base(name: String, group: Group, afe: AfeKind, size: usize) -> Scenario {
         batch: 1024,
         verify_threads: 1,
         io_mode: TcpIoMode::Threaded,
+        drop_permille: 0,
+        dup_permille: 0,
+        fault_seed: 0,
         runner: Runner::new(1, 3),
         seed: 0x5052_494f,
     }
@@ -529,6 +551,77 @@ pub fn registry(mode: Mode) -> Vec<Scenario> {
         }
     }
 
+    // Figure-7 (§7 availability): the full pipeline under seeded
+    // drop/duplicate fault injection, sweeping fault rate × fabric. Each
+    // scenario runs `submissions` through `batch`-sized chunks with a
+    // per-batch abandon deadline; the metrics are the exactness ledger
+    // (accepted/rejected/dropped, batch outcomes, faults injected), not a
+    // latency headline. Sim points fault the driver side only so their
+    // ledgers replay bit-identically under the same fault seed.
+    {
+        let sim_points: &[(u32, u32)] = if full {
+            &[(50, 0), (0, 60), (50, 30), (120, 0), (20, 10), (400, 0)]
+        } else {
+            &[(50, 0), (0, 60), (50, 30), (400, 0)]
+        };
+        for &(drop, dup) in sim_points {
+            let mut sc = base(
+                format!("fig7/robustness/sum/drop={drop}/dup={dup}/sim"),
+                Group::Robustness,
+                AfeKind::Sum,
+                8,
+            );
+            sc.servers = 3;
+            sc.backend = Backend::Deployment(TransportKind::Sim);
+            sc.submissions = 24;
+            sc.batch = 4;
+            sc.drop_permille = drop;
+            sc.dup_permille = dup;
+            sc.fault_seed = 0xFA17;
+            sc.runner = Runner::new(0, 1);
+            out.push(sc);
+        }
+        let tcp_points: &[(u32, u32)] = if full {
+            &[(50, 30), (120, 50), (20, 0)]
+        } else {
+            &[(50, 30), (120, 50)]
+        };
+        for &(drop, dup) in tcp_points {
+            let mut sc = base(
+                format!("fig7/robustness/sum/drop={drop}/dup={dup}/tcp"),
+                Group::Robustness,
+                AfeKind::Sum,
+                8,
+            );
+            sc.servers = 3;
+            sc.backend = Backend::Deployment(TransportKind::Tcp);
+            sc.submissions = 24;
+            sc.batch = 4;
+            sc.drop_permille = drop;
+            sc.dup_permille = dup;
+            sc.fault_seed = 0xFA17;
+            sc.runner = Runner::new(0, 1);
+            out.push(sc);
+        }
+        for &(drop, dup) in if full { &[(50u32, 30u32), (120, 50)][..] } else { &[(50u32, 30u32)][..] } {
+            let mut sc = base(
+                format!("fig7/robustness/sum/drop={drop}/dup={dup}/proc"),
+                Group::Robustness,
+                AfeKind::Sum,
+                8,
+            );
+            sc.servers = 3;
+            sc.backend = Backend::Proc;
+            sc.submissions = 24;
+            sc.batch = 4;
+            sc.drop_permille = drop;
+            sc.dup_permille = dup;
+            sc.fault_seed = 0xFA17;
+            sc.runner = Runner::new(0, 1);
+            out.push(sc);
+        }
+    }
+
     // NIZK baseline: Prio's mostpop AFE (b independent bits, the workload
     // the discrete-log scheme also supports) vs. Pedersen + OR-proofs.
     for &bits in if full { &[4usize, 16][..] } else { &[4usize][..] } {
@@ -688,6 +781,43 @@ mod tests {
                     sc.params_json().get("io_mode").and_then(Json::as_str),
                     Some(sc.io_mode.tag())
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn robustness_sweep_covers_acceptance() {
+        // Acceptance: ≥ 6 robustness scenarios in every mode, sweeping the
+        // fault rates across all three fabrics, with a nonzero fault plan
+        // and self-describing fault params on every entry.
+        for mode in [Mode::Smoke, Mode::Full] {
+            let family: Vec<_> = registry(mode)
+                .into_iter()
+                .filter(|sc| sc.group == Group::Robustness)
+                .collect();
+            assert!(family.len() >= 6, "{mode:?} has only {} robustness points", family.len());
+            for backend_tag in ["sim", "tcp", "proc"] {
+                assert!(
+                    family.iter().any(|sc| sc.backend.transport_tag() == backend_tag),
+                    "{mode:?} lacks a {backend_tag} robustness point"
+                );
+            }
+            for sc in &family {
+                assert!(
+                    sc.drop_permille + sc.dup_permille > 0,
+                    "{} injects nothing",
+                    sc.name
+                );
+                let params = sc.params_json();
+                assert_eq!(
+                    params.get("drop_permille").and_then(Json::as_num),
+                    Some(sc.drop_permille as f64)
+                );
+                assert_eq!(
+                    params.get("dup_permille").and_then(Json::as_num),
+                    Some(sc.dup_permille as f64)
+                );
+                assert!(params.get("fault_seed").and_then(Json::as_num).is_some());
             }
         }
     }

@@ -214,24 +214,40 @@ impl<F: FieldElement, A: Afe<F> + Clone> Cluster<F, A> {
         // non-leader i → leader: Round1([m_i]); leader → each non-leader:
         // Round1Combined([Σm]); non-leader → leader: Round2; leader → all:
         // Decisions.
-        let r1_size = ServerMsg::Round1(vec![round1[1]]).to_wire_bytes().len() as u64;
+        let r1_size = ServerMsg::Round1 {
+            ctx: 0,
+            msgs: vec![round1[1]],
+        }
+        .to_wire_bytes()
+        .len() as u64;
         let combined = vec![prio_snip::Round1Msg {
             d: round1.iter().map(|m| m.d).sum(),
             e: round1.iter().map(|m| m.e).sum(),
         }];
-        let comb_size = ServerMsg::Round1Combined(combined.clone())
-            .to_wire_bytes()
-            .len() as u64;
+        let comb_size = ServerMsg::Round1Combined {
+            ctx: 0,
+            msgs: combined.clone(),
+        }
+        .to_wire_bytes()
+        .len() as u64;
         let span = Span::start(&self.phases.round2);
         let round2: Vec<_> = (0..s)
             .map(|i| self.servers[i].round2(&states[i], &combined))
             .collect();
-        let r2_size = ServerMsg::Round2(vec![round2[1]]).to_wire_bytes().len() as u64;
+        let r2_size = ServerMsg::Round2 {
+            ctx: 0,
+            msgs: vec![round2[1]],
+        }
+        .to_wire_bytes()
+        .len() as u64;
         let accepted = decide(&round2);
         self.timings.round2 += span.finish();
-        let dec_size = ServerMsg::<F>::Decisions(pack_decisions(&[accepted]))
-            .to_wire_bytes()
-            .len() as u64;
+        let dec_size = ServerMsg::<F>::Decisions {
+            ctx: 0,
+            bits: pack_decisions(&[accepted]),
+        }
+        .to_wire_bytes()
+        .len() as u64;
         for i in 1..s {
             self.sent_bytes[i] += r1_size + r2_size;
         }
@@ -382,44 +398,56 @@ impl<F: FieldElement, A: Afe<F> + Clone> Cluster<F, A> {
             one as u64 + (count as u64 - 1) * (two - one) as u64
         };
         let r1_probe = |n: usize| {
-            ServerMsg::Round1(vec![
-                prio_snip::Round1Msg {
-                    d: F::zero(),
-                    e: F::zero(),
-                };
-                n
-            ])
+            ServerMsg::Round1 {
+                ctx: 0,
+                msgs: vec![
+                    prio_snip::Round1Msg {
+                        d: F::zero(),
+                        e: F::zero(),
+                    };
+                    n
+                ],
+            }
             .to_wire_bytes()
             .len()
         };
         let comb_probe = |n: usize| {
-            ServerMsg::Round1Combined(vec![
-                prio_snip::Round1Msg {
-                    d: F::zero(),
-                    e: F::zero(),
-                };
-                n
-            ])
+            ServerMsg::Round1Combined {
+                ctx: 0,
+                msgs: vec![
+                    prio_snip::Round1Msg {
+                        d: F::zero(),
+                        e: F::zero(),
+                    };
+                    n
+                ],
+            }
             .to_wire_bytes()
             .len()
         };
         let r2_probe = |n: usize| {
-            ServerMsg::Round2(vec![
-                prio_snip::Round2Msg {
-                    sigma: F::one(),
-                    out: F::one(),
-                };
-                n
-            ])
+            ServerMsg::Round2 {
+                ctx: 0,
+                msgs: vec![
+                    prio_snip::Round2Msg {
+                        sigma: F::one(),
+                        out: F::one(),
+                    };
+                    n
+                ],
+            }
             .to_wire_bytes()
             .len()
         };
         let r1_size = grow(r1_probe(1), r1_probe(2));
         let comb_size = grow(comb_probe(1), comb_probe(2));
         let r2_size = grow(r2_probe(1), r2_probe(2));
-        let dec_size = ServerMsg::<F>::Decisions(pack_decisions(&chunk_decisions))
-            .to_wire_bytes()
-            .len() as u64;
+        let dec_size = ServerMsg::<F>::Decisions {
+            ctx: 0,
+            bits: pack_decisions(&chunk_decisions),
+        }
+        .to_wire_bytes()
+        .len() as u64;
         for i in 1..s {
             self.sent_bytes[i] += r1_size + r2_size;
         }
@@ -635,15 +663,33 @@ mod tests {
             sigma: Field64::one(),
             out: Field64::one(),
         };
-        let expect_non_leader = ServerMsg::Round1(vec![msg; n]).to_wire_bytes().len()
-            + ServerMsg::Round2(vec![r2; n]).to_wire_bytes().len();
+        let expect_non_leader = ServerMsg::Round1 {
+            ctx: 0,
+            msgs: vec![msg; n],
+        }
+        .to_wire_bytes()
+        .len()
+            + ServerMsg::Round2 {
+                ctx: 0,
+                msgs: vec![r2; n],
+            }
+            .to_wire_bytes()
+            .len();
         assert_eq!(cluster.verification_bytes_sent()[1], expect_non_leader as u64);
         assert_eq!(cluster.verification_bytes_sent()[2], expect_non_leader as u64);
         let expect_leader = 2
-            * (ServerMsg::Round1Combined(vec![msg; n]).to_wire_bytes().len()
-                + ServerMsg::<Field64>::Decisions(pack_decisions(&vec![true; n]))
-                    .to_wire_bytes()
-                    .len());
+            * (ServerMsg::Round1Combined {
+                ctx: 0,
+                msgs: vec![msg; n],
+            }
+            .to_wire_bytes()
+            .len()
+                + ServerMsg::<Field64>::Decisions {
+                    ctx: 0,
+                    bits: pack_decisions(&vec![true; n]),
+                }
+                .to_wire_bytes()
+                .len());
         assert_eq!(cluster.verification_bytes_sent()[0], expect_leader as u64);
     }
 

@@ -14,12 +14,12 @@
 //! the in-process sim fabric (default) or real localhost TCP sockets.
 
 use crate::client::ClientSubmission;
-use crate::driver::BatchDriver;
+use crate::driver::{BatchDriver, BatchOutcome, DriverError};
 use crate::server::{Server, ServerConfig};
 use crate::server_loop::{run_server_loop, ServerLoopOptions};
 use prio_afe::Afe;
 use prio_field::FieldElement;
-use prio_net::{NetStats, NodeId, TcpIoMode, Transport, TransportKind};
+use prio_net::{FaultPlan, NetStats, NodeId, RetryPolicy, TcpIoMode, Transport, TransportKind};
 use prio_snip::{HForm, VerifyMode};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -43,6 +43,20 @@ pub struct DeploymentConfig {
     /// Worker threads each server devotes to batched SNIP round-1
     /// verification (1 = verify inline on the server thread).
     pub verify_threads: usize,
+    /// Deterministic fault injection on outbound sends. The driver
+    /// endpoint is always wrapped when a plan is set; server endpoints
+    /// are wrapped too only with [`DeploymentConfig::with_server_faults`].
+    /// Setting a plan also arms bounded retry on every send path.
+    pub fault_plan: Option<FaultPlan>,
+    /// Whether the fault plan also wraps the server endpoints (server ↔
+    /// server round traffic). Driver-only faults keep the sim fabric's
+    /// ledger bit-replayable: the driver's outbound frame sequence is
+    /// single-threaded and so seed-deterministic, while server-side round
+    /// traffic interleaves with thread scheduling.
+    pub fault_servers: bool,
+    /// Per-batch deadline after which driver and servers symmetrically
+    /// abandon a batch instead of blocking on a peer that never answers.
+    pub batch_deadline: Option<std::time::Duration>,
 }
 
 impl DeploymentConfig {
@@ -57,6 +71,9 @@ impl DeploymentConfig {
             transport: TransportKind::Sim,
             io_mode: TcpIoMode::default(),
             verify_threads: 1,
+            fault_plan: None,
+            fault_servers: false,
+            batch_deadline: None,
         }
     }
 
@@ -102,6 +119,28 @@ impl DeploymentConfig {
         self.verify_threads = threads;
         self
     }
+
+    /// Builder-style: seeded fault injection on the driver's outbound
+    /// sends (plus the servers' with [`Self::with_server_faults`]). Arms
+    /// bounded retry on every send path so transient faults are retried
+    /// rather than fatal.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Builder-style: extend the fault plan to the server endpoints, so
+    /// the round-protocol traffic is faulted too.
+    pub fn with_server_faults(mut self) -> Self {
+        self.fault_servers = true;
+        self
+    }
+
+    /// Builder-style: per-batch abandon deadline for driver and servers.
+    pub fn with_batch_deadline(mut self, deadline: std::time::Duration) -> Self {
+        self.batch_deadline = Some(deadline);
+        self
+    }
 }
 
 /// Result of a deployment run.
@@ -111,6 +150,10 @@ pub struct DeploymentReport {
     pub accepted: u64,
     /// Submissions rejected.
     pub rejected: u64,
+    /// Submissions dropped with degraded or aborted batches.
+    pub dropped: u64,
+    /// `(complete, degraded, aborted)` batch outcome counts.
+    pub batch_outcomes: (u64, u64, u64),
     /// The summed accumulator `σ`.
     pub sigma: Vec<u64>,
     /// Network statistics at publish time.
@@ -167,10 +210,28 @@ impl<F: FieldElement> Deployment<F> {
         assert!(cfg.num_servers >= 2, "Prio needs at least two servers");
         assert!(cfg.verify_threads >= 1, "need at least one verify thread");
         let net = cfg.transport.build_io(cfg.latency, cfg.io_mode);
-        let driver_ep = net.endpoint();
-        let endpoints: Vec<_> = (0..cfg.num_servers).map(|_| net.endpoint()).collect();
+        let mut driver_ep = net.endpoint();
+        if let Some(plan) = &cfg.fault_plan {
+            driver_ep = plan.wrap(driver_ep);
+        }
+        let endpoints: Vec<_> = (0..cfg.num_servers)
+            .map(|_| {
+                let ep = net.endpoint();
+                match &cfg.fault_plan {
+                    Some(plan) if cfg.fault_servers => plan.wrap(ep),
+                    _ => ep,
+                }
+            })
+            .collect();
         let server_ids: Vec<NodeId> = endpoints.iter().map(|e| e.id()).collect();
         let driver_id = driver_ep.id();
+        // A faulted fabric always gets bounded retry + the configured
+        // abandon deadline, on both protocol halves — otherwise a single
+        // injected drop would be a fatal send error instead of a fault.
+        let retry = match &cfg.fault_plan {
+            Some(_) => RetryPolicy::default().with_seed(0xD1),
+            None => RetryPolicy::none(),
+        };
 
         let handles = endpoints
             .into_iter()
@@ -187,8 +248,21 @@ impl<F: FieldElement> Deployment<F> {
                         h_form: cfg.h_form,
                     },
                 );
+                // Faulted servers also bound their idle receive: a
+                // permanently dropped Shutdown frame must not wedge the
+                // teardown join. 8x the batch deadline clears the
+                // driver's worst inter-batch gap (one full abandoned
+                // batch plus client-side work) with a wide margin.
+                let idle_deadline = match (&cfg.fault_plan, cfg.batch_deadline) {
+                    (Some(_), Some(d)) => Some(d * 8),
+                    (Some(_), None) => Some(std::time::Duration::from_secs(16)),
+                    (None, _) => None,
+                };
                 let opts = ServerLoopOptions {
                     verify_threads: cfg.verify_threads,
+                    batch_deadline: cfg.batch_deadline,
+                    retry: retry.clone(),
+                    idle_deadline,
                     ..ServerLoopOptions::default()
                 };
                 std::thread::spawn(move || {
@@ -197,8 +271,20 @@ impl<F: FieldElement> Deployment<F> {
             })
             .collect();
 
+        let mut driver = BatchDriver::new(driver_ep, server_ids).with_retry(retry);
+        if let Some(deadline) = cfg.batch_deadline {
+            driver = driver.with_batch_deadline(deadline);
+        }
+        if cfg.fault_plan.is_some() {
+            // Bound the publish gather too: a permanently dropped
+            // accumulator must surface as a typed timeout, not a hang.
+            let publish_bound = cfg
+                .batch_deadline
+                .unwrap_or(std::time::Duration::from_secs(2));
+            driver = driver.with_timeout(publish_bound);
+        }
         Deployment {
-            driver: BatchDriver::new(driver_ep, server_ids),
+            driver,
             handles,
             net,
         }
@@ -210,6 +296,26 @@ impl<F: FieldElement> Deployment<F> {
         self.driver.run_batch(subs).expect("servers alive")
     }
 
+    /// Feeds a batch and returns its typed outcome instead of panicking
+    /// on degradation — the entry point for faulted deployments, where
+    /// `Degraded` is an expected result, not a failure.
+    pub fn run_batch_outcome(
+        &mut self,
+        subs: &[ClientSubmission<F>],
+    ) -> Result<BatchOutcome, DriverError> {
+        self.driver.run_batch_outcome(subs)
+    }
+
+    /// Submissions dropped with degraded or aborted batches so far.
+    pub fn dropped(&self) -> u64 {
+        self.driver.dropped()
+    }
+
+    /// `(complete, degraded, aborted)` batch outcome counts so far.
+    pub fn outcome_counts(&self) -> (u64, u64, u64) {
+        self.driver.outcome_counts()
+    }
+
     /// Wall-clock durations of the batches run so far.
     pub fn batch_wall(&self) -> &[std::time::Duration] {
         self.driver.batch_wall()
@@ -218,6 +324,22 @@ impl<F: FieldElement> Deployment<F> {
     /// Publishes the accumulators and shuts the servers down.
     pub fn finish(mut self) -> DeploymentReport {
         let sigma = self.driver.publish().expect("servers alive at publish");
+        self.teardown(sigma)
+    }
+
+    /// [`Self::finish`] for faulted fabrics: a publish exchange lost to
+    /// injected drops (request or accumulator gone after the full retry
+    /// budget) degrades to an empty aggregate instead of panicking, so
+    /// the exactness ledger — which is accumulated batch by batch, not
+    /// at publish — still comes back intact. The join stays bounded:
+    /// faulted servers carry an idle deadline, so even a server whose
+    /// `Shutdown` frame was eaten exits on its own.
+    pub fn finish_lossy(mut self) -> DeploymentReport {
+        let sigma = self.driver.publish().unwrap_or_default();
+        self.teardown(sigma)
+    }
+
+    fn teardown(self, sigma: Vec<F>) -> DeploymentReport {
         self.driver.shutdown();
         for h in self.handles {
             let _ = h.join();
@@ -232,6 +354,8 @@ impl<F: FieldElement> Deployment<F> {
         DeploymentReport {
             accepted: self.driver.accepted(),
             rejected: self.driver.rejected(),
+            dropped: self.driver.dropped(),
+            batch_outcomes: self.driver.outcome_counts(),
             sigma: sigma
                 .iter()
                 .map(|v| v.try_to_u128().map(|x| x as u64).unwrap_or(u64::MAX))

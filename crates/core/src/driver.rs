@@ -12,7 +12,9 @@ use crate::client::ClientSubmission;
 use crate::messages::{blob_to_bytes, unpack_decisions, ServerMsg};
 use prio_field::FieldElement;
 use prio_net::wire::Wire;
-use prio_net::{Endpoint, NodeId, RecvTimeoutError, SendError};
+use prio_net::{Endpoint, NodeId, RecvTimeoutError, RetryPolicy, SendError};
+use prio_obs::{names, Counter, Obs};
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 /// Typed failure from the driver's view of the protocol.
@@ -51,6 +53,71 @@ impl std::fmt::Display for DriverError {
 
 impl std::error::Error for DriverError {}
 
+/// How one batch ended, from the driver's view. Under fault injection a
+/// batch that misses its deadline is *degraded* — the submissions it
+/// carried are neither accepted nor rejected but exactly counted as
+/// dropped — rather than an error that kills the run. This is the
+/// driver-side half of the paper's §7 availability story: with
+/// idempotent ingest and per-round deadlines on the servers, losing a
+/// batch costs only that batch's data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchOutcome {
+    /// The leader's decisions arrived; every submission in the batch was
+    /// accepted or rejected.
+    Complete {
+        /// Per-submission accept/reject decisions, in batch order.
+        decisions: Vec<bool>,
+    },
+    /// No decisions arrived within the batch deadline. Every server
+    /// abandons such a batch symmetrically, so none of its submissions
+    /// entered any accumulator.
+    Degraded {
+        /// Submissions dropped with this batch (the whole batch).
+        missing: u64,
+    },
+    /// The fabric closed or every send failed terminally — the batch was
+    /// never fed and the deployment is not coming back without
+    /// intervention (e.g. an orchestrator-side node restart).
+    Aborted,
+}
+
+impl BatchOutcome {
+    /// The metric label value for this outcome.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            BatchOutcome::Complete { .. } => "complete",
+            BatchOutcome::Degraded { .. } => "degraded",
+            BatchOutcome::Aborted => "aborted",
+        }
+    }
+}
+
+/// Resolved counter handles for `driver_batch_outcome_total{outcome}`.
+struct DriverMetrics {
+    complete: Counter,
+    degraded: Counter,
+    aborted: Counter,
+}
+
+impl DriverMetrics {
+    fn resolve(obs: &Obs) -> DriverMetrics {
+        let reg = obs.registry();
+        DriverMetrics {
+            complete: reg.counter(names::DRIVER_BATCH_OUTCOME, &[("outcome", "complete")]),
+            degraded: reg.counter(names::DRIVER_BATCH_OUTCOME, &[("outcome", "degraded")]),
+            aborted: reg.counter(names::DRIVER_BATCH_OUTCOME, &[("outcome", "aborted")]),
+        }
+    }
+
+    fn record(&self, outcome: &BatchOutcome) {
+        match outcome {
+            BatchOutcome::Complete { .. } => self.complete.inc(),
+            BatchOutcome::Degraded { .. } => self.degraded.inc(),
+            BatchOutcome::Aborted => self.aborted.inc(),
+        }
+    }
+}
+
 /// Drives batches of client submissions through a server set and collects
 /// the results. Generic over the fabric: the endpoint may share a process
 /// with the servers (threaded deployment) or be the only local endpoint of
@@ -61,8 +128,15 @@ pub struct BatchDriver<F: FieldElement> {
     next_seed: u64,
     accepted: u64,
     rejected: u64,
+    dropped: u64,
+    batches_complete: u64,
+    batches_degraded: u64,
+    batches_aborted: u64,
     batch_wall: Vec<Duration>,
     timeout: Option<Duration>,
+    batch_deadline: Option<Duration>,
+    retry: RetryPolicy,
+    metrics: DriverMetrics,
     _marker: std::marker::PhantomData<F>,
 }
 
@@ -78,8 +152,15 @@ impl<F: FieldElement> BatchDriver<F> {
             next_seed: 1,
             accepted: 0,
             rejected: 0,
+            dropped: 0,
+            batches_complete: 0,
+            batches_degraded: 0,
+            batches_aborted: 0,
             batch_wall: Vec::new(),
             timeout: None,
+            batch_deadline: None,
+            retry: RetryPolicy::none(),
+            metrics: DriverMetrics::resolve(&Obs::global()),
             _marker: std::marker::PhantomData,
         }
     }
@@ -89,6 +170,30 @@ impl<F: FieldElement> BatchDriver<F> {
     /// process, fatal across processes).
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = Some(timeout);
+        self
+    }
+
+    /// Builder-style: give every batch a hard wall-clock deadline. When
+    /// it expires without decisions, [`BatchDriver::run_batch_outcome`]
+    /// reports [`BatchOutcome::Degraded`] instead of erroring, and stale
+    /// replies from the abandoned batch are drained before the next one.
+    pub fn with_batch_deadline(mut self, deadline: Duration) -> Self {
+        self.batch_deadline = Some(deadline);
+        self
+    }
+
+    /// Builder-style: retry transient send failures (a fault-injected
+    /// drop, a peer mid-restart) under `policy` before declaring a
+    /// server unreachable.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Builder-style: count batch outcomes into `obs` instead of the
+    /// process-global registry (tests pin an isolated bundle here).
+    pub fn with_obs(mut self, obs: &Obs) -> Self {
+        self.metrics = DriverMetrics::resolve(obs);
         self
     }
 
@@ -113,12 +218,28 @@ impl<F: FieldElement> BatchDriver<F> {
         self.rejected
     }
 
+    /// Submissions dropped with degraded or aborted batches so far:
+    /// neither accepted nor rejected, and absent from every accumulator.
+    /// `accepted + rejected + dropped` equals submissions fed.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Batch outcome counts so far: `(complete, degraded, aborted)`.
+    pub fn outcome_counts(&self) -> (u64, u64, u64) {
+        (
+            self.batches_complete,
+            self.batches_degraded,
+            self.batches_aborted,
+        )
+    }
+
     /// Wall-clock durations of the batches run so far.
     pub fn batch_wall(&self) -> &[Duration] {
         &self.batch_wall
     }
 
-    fn recv(&self) -> Result<ServerMsg<F>, DriverError> {
+    fn recv_env(&self) -> Result<(NodeId, ServerMsg<F>), DriverError> {
         let env = match self.timeout {
             Some(t) => self.ep.recv_timeout(t).map_err(|e| match e {
                 RecvTimeoutError::Timeout => DriverError::Timeout(t),
@@ -126,55 +247,179 @@ impl<F: FieldElement> BatchDriver<F> {
             })?,
             None => self.ep.recv().map_err(|_| DriverError::Recv)?,
         };
-        ServerMsg::from_wire_bytes(&env.payload)
-            .map_err(|_| DriverError::Protocol("undecodable reply"))
+        let msg = ServerMsg::from_wire_bytes(&env.payload)
+            .map_err(|_| DriverError::Protocol("undecodable reply"))?;
+        Ok((env.src, msg))
+    }
+
+    fn recv(&self) -> Result<ServerMsg<F>, DriverError> {
+        self.recv_env().map(|(_, msg)| msg)
+    }
+
+    /// Discards every envelope already sitting in the mailbox. Called at
+    /// batch start when a deadline is configured: replies from an
+    /// abandoned batch (or fault-duplicated frames) must not be read as
+    /// this batch's decisions.
+    fn drain_stale(&self) {
+        while self.ep.recv_timeout(Duration::ZERO).is_ok() {}
     }
 
     /// Feeds a batch of submissions to every server and blocks until the
-    /// leader reports the accept/reject decisions.
+    /// leader reports the accept/reject decisions. A degraded batch
+    /// surfaces as [`DriverError::Timeout`]; use
+    /// [`BatchDriver::run_batch_outcome`] to keep going instead.
     pub fn run_batch(&mut self, subs: &[ClientSubmission<F>]) -> Result<Vec<bool>, DriverError> {
+        match self.run_batch_outcome(subs)? {
+            BatchOutcome::Complete { decisions } => Ok(decisions),
+            BatchOutcome::Degraded { .. } => Err(DriverError::Timeout(
+                self.batch_deadline.unwrap_or_default(),
+            )),
+            BatchOutcome::Aborted => Err(DriverError::Recv),
+        }
+    }
+
+    /// Feeds a batch and reports how it ended. With a batch deadline
+    /// configured, a missing-decisions batch degrades (exactly counted)
+    /// instead of erroring; without one, this behaves like
+    /// [`BatchDriver::run_batch`] with the classic error surface.
+    pub fn run_batch_outcome(
+        &mut self,
+        subs: &[ClientSubmission<F>],
+    ) -> Result<BatchOutcome, DriverError> {
+        if self.batch_deadline.is_some() {
+            self.drain_stale();
+        }
         let start = Instant::now();
         let ctx_seed = self.next_seed;
         self.next_seed += 1;
+        let mut unreachable = 0usize;
         for (i, &sid) in self.server_ids.iter().enumerate() {
             let msg: ServerMsg<F> = ServerMsg::ClientBatch {
                 ctx_seed,
                 labels: subs.iter().map(|sub| sub.prg_label).collect(),
                 blobs: subs.iter().map(|sub| blob_to_bytes(&sub.blobs[i])).collect(),
             };
-            self.ep
-                .send(sid, msg.to_wire_bytes())
-                .map_err(|source| DriverError::Send { index: i, source })?;
-        }
-        // The leader forwards its decisions to the driver.
-        let ServerMsg::Decisions(bits) = self.recv()? else {
-            return Err(DriverError::Protocol("expected decisions"));
-        };
-        let decisions = unpack_decisions(&bits, subs.len());
-        for &d in &decisions {
-            if d {
-                self.accepted += 1;
-            } else {
-                self.rejected += 1;
+            let bytes = msg.to_wire_bytes();
+            match self
+                .retry
+                .run("driver_batch_send", || self.ep.send(sid, bytes.clone()))
+            {
+                Ok(()) => {}
+                Err(source) => {
+                    if self.batch_deadline.is_none() {
+                        return Err(DriverError::Send { index: i, source });
+                    }
+                    // A server the retry budget could not reach: the rest
+                    // of the set will abandon this batch on its deadline,
+                    // so keep feeding and let the outcome say degraded.
+                    unreachable += 1;
+                }
             }
         }
+        if unreachable == self.server_ids.len() {
+            return Ok(self.finish_batch(subs, start, BatchOutcome::Aborted));
+        }
+        // The leader forwards its decisions to the driver.
+        let bits = match self.batch_deadline {
+            None => match self.recv()? {
+                ServerMsg::Decisions { ctx, bits } if ctx == ctx_seed => Some(bits),
+                _ => return Err(DriverError::Protocol("expected decisions")),
+            },
+            Some(d) => {
+                let end = start + d;
+                loop {
+                    let now = Instant::now();
+                    if now >= end {
+                        break None;
+                    }
+                    match self.ep.recv_timeout(end - now) {
+                        Ok(env) => match ServerMsg::<F>::from_wire_bytes(&env.payload) {
+                            // The leader's decisions *for this batch*: the
+                            // ctx binding makes a late Decisions frame from
+                            // a previously degraded batch harmless noise.
+                            Ok(ServerMsg::Decisions { ctx, bits })
+                                if env.src == self.server_ids[0] && ctx == ctx_seed =>
+                            {
+                                break Some(bits);
+                            }
+                            // Stale, duplicated, or undecodable noise:
+                            // skip it and keep waiting for the leader.
+                            Ok(_) | Err(_) => continue,
+                        },
+                        Err(RecvTimeoutError::Timeout) => break None,
+                        Err(RecvTimeoutError::Closed) => {
+                            return Ok(self.finish_batch(subs, start, BatchOutcome::Aborted));
+                        }
+                    }
+                }
+            }
+        };
+        let outcome = match bits {
+            Some(bits) => {
+                let decisions = unpack_decisions(&bits, subs.len());
+                for &d in &decisions {
+                    if d {
+                        self.accepted += 1;
+                    } else {
+                        self.rejected += 1;
+                    }
+                }
+                BatchOutcome::Complete { decisions }
+            }
+            None => BatchOutcome::Degraded {
+                missing: subs.len() as u64,
+            },
+        };
+        Ok(self.finish_batch(subs, start, outcome))
+    }
+
+    fn finish_batch(
+        &mut self,
+        subs: &[ClientSubmission<F>],
+        start: Instant,
+        outcome: BatchOutcome,
+    ) -> BatchOutcome {
+        match &outcome {
+            BatchOutcome::Complete { .. } => self.batches_complete += 1,
+            BatchOutcome::Degraded { missing } => {
+                self.batches_degraded += 1;
+                self.dropped += missing;
+            }
+            BatchOutcome::Aborted => {
+                self.batches_aborted += 1;
+                self.dropped += subs.len() as u64;
+            }
+        }
+        self.metrics.record(&outcome);
         self.batch_wall.push(start.elapsed());
-        Ok(decisions)
+        outcome
     }
 
     /// Publish phase: asks every server for its accumulator and returns
-    /// their sum `σ` (Figure 1d).
+    /// their sum `σ` (Figure 1d). Accumulators are tracked per server id,
+    /// so a fault-duplicated reply cannot double-count a server and a
+    /// stale frame from an abandoned batch is skipped, not summed.
     pub fn publish(&mut self) -> Result<Vec<F>, DriverError> {
         for (i, &sid) in self.server_ids.iter().enumerate() {
-            self.ep
-                .send(sid, ServerMsg::<F>::PublishRequest.to_wire_bytes())
+            let bytes = ServerMsg::<F>::PublishRequest.to_wire_bytes();
+            self.retry
+                .run("driver_publish_send", || self.ep.send(sid, bytes.clone()))
                 .map_err(|source| DriverError::Send { index: i, source })?;
         }
+        let mut per_server: HashMap<NodeId, Vec<F>> = HashMap::new();
+        while per_server.len() < self.server_ids.len() {
+            let (src, msg) = self.recv_env()?;
+            match msg {
+                ServerMsg::Accumulator(acc) if self.server_ids.contains(&src) => {
+                    per_server.entry(src).or_insert(acc);
+                }
+                // A duplicated accumulator, or leftovers from a degraded
+                // batch: ignore and keep collecting.
+                _ => continue,
+            }
+        }
         let mut sigma: Option<Vec<F>> = None;
-        for _ in 0..self.server_ids.len() {
-            let ServerMsg::Accumulator(acc) = self.recv()? else {
-                return Err(DriverError::Protocol("expected accumulator"));
-            };
+        for acc in per_server.into_values() {
             match &mut sigma {
                 None => sigma = Some(acc),
                 Some(total) => {
@@ -187,11 +432,15 @@ impl<F: FieldElement> BatchDriver<F> {
         Ok(sigma.unwrap_or_default())
     }
 
-    /// Orderly shutdown: tells every server to exit. Best-effort — servers
-    /// that already died are skipped.
+    /// Orderly shutdown: tells every server to exit. Best-effort (with
+    /// the retry budget, so an injected drop cannot leave a node
+    /// running) — servers that already died are skipped.
     pub fn shutdown(&self) {
         for &sid in &self.server_ids {
-            let _ = self.ep.send(sid, ServerMsg::<F>::Shutdown.to_wire_bytes());
+            let bytes = ServerMsg::<F>::Shutdown.to_wire_bytes();
+            let _ = self
+                .retry
+                .run("driver_shutdown_send", || self.ep.send(sid, bytes.clone()));
         }
     }
 }

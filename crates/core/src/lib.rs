@@ -38,6 +38,6 @@ pub mod server_loop;
 pub use client::{Client, ClientConfig, ClientSubmission, ShareBlob};
 pub use cluster::{Cluster, PhaseTimings};
 pub use deployment::{Deployment, DeploymentConfig, DeploymentReport};
-pub use driver::{BatchDriver, DriverError};
+pub use driver::{BatchDriver, BatchOutcome, DriverError};
 pub use server::{Server, ServerConfig};
 pub use server_loop::{run_server_loop, FramePolicy, ServerLoopOptions, ServerLoopReport};

@@ -62,13 +62,39 @@ pub enum ServerMsg<F: FieldElement> {
         count: u64,
     },
     /// Round-1 broadcasts for a batch, one `(d, e)` pair per submission.
-    Round1(Vec<Round1Msg<F>>),
+    ///
+    /// Every mid-protocol round message carries the batch's context seed:
+    /// round frames are bound to their batch, so a stale vector from an
+    /// abandoned batch — or a fault-duplicated one straggling across a
+    /// batch boundary — can never be mistaken for the current gather's
+    /// traffic.
+    Round1 {
+        /// The batch's context seed (its identity).
+        ctx: u64,
+        /// One `(d, e)` pair per submission.
+        msgs: Vec<Round1Msg<F>>,
+    },
     /// Leader's combined `(Σd, Σe)` per submission.
-    Round1Combined(Vec<Round1Msg<F>>),
+    Round1Combined {
+        /// The batch's context seed.
+        ctx: u64,
+        /// One combined pair per submission.
+        msgs: Vec<Round1Msg<F>>,
+    },
     /// Round-2 broadcasts, one `(σ, out)` pair per submission.
-    Round2(Vec<Round2Msg<F>>),
+    Round2 {
+        /// The batch's context seed.
+        ctx: u64,
+        /// One `(σ, out)` pair per submission.
+        msgs: Vec<Round2Msg<F>>,
+    },
     /// Leader's accept/reject decisions (one bit per submission, packed).
-    Decisions(Vec<u8>),
+    Decisions {
+        /// The batch's context seed.
+        ctx: u64,
+        /// Packed decision bits.
+        bits: Vec<u8>,
+    },
     /// Request to publish accumulators.
     PublishRequest,
     /// A server's accumulator contents.
@@ -105,32 +131,36 @@ impl<F: FieldElement> Wire for ServerMsg<F> {
                 buf.put_u64_le(*ctx_seed);
                 buf.put_u64_le(*count);
             }
-            ServerMsg::Round1(msgs) => {
+            ServerMsg::Round1 { ctx, msgs } => {
                 buf.put_u8(TAG_ROUND1);
+                buf.put_u64_le(*ctx);
                 put_len(buf, msgs.len());
                 for m in msgs {
                     put_field(buf, m.d);
                     put_field(buf, m.e);
                 }
             }
-            ServerMsg::Round1Combined(msgs) => {
+            ServerMsg::Round1Combined { ctx, msgs } => {
                 buf.put_u8(TAG_ROUND1_COMBINED);
+                buf.put_u64_le(*ctx);
                 put_len(buf, msgs.len());
                 for m in msgs {
                     put_field(buf, m.d);
                     put_field(buf, m.e);
                 }
             }
-            ServerMsg::Round2(msgs) => {
+            ServerMsg::Round2 { ctx, msgs } => {
                 buf.put_u8(TAG_ROUND2);
+                buf.put_u64_le(*ctx);
                 put_len(buf, msgs.len());
                 for m in msgs {
                     put_field(buf, m.sigma);
                     put_field(buf, m.out);
                 }
             }
-            ServerMsg::Decisions(bits) => {
+            ServerMsg::Decisions { ctx, bits } => {
                 buf.put_u8(TAG_DECISIONS);
+                buf.put_u64_le(*ctx);
                 put_len(buf, bits.len());
                 buf.put_slice(bits);
             }
@@ -176,6 +206,10 @@ impl<F: FieldElement> Wire for ServerMsg<F> {
                 })
             }
             TAG_ROUND1 | TAG_ROUND1_COMBINED => {
+                if buf.remaining() < 8 {
+                    return Err(WireError("truncated round1 ctx"));
+                }
+                let ctx = buf.get_u64_le();
                 let len = get_len(buf)?;
                 if buf.remaining() < len.saturating_mul(2 * F::ENCODED_LEN) {
                     return Err(WireError("truncated round1"));
@@ -189,12 +223,16 @@ impl<F: FieldElement> Wire for ServerMsg<F> {
                     })
                     .collect::<Result<Vec<_>, WireError>>()?;
                 if tag == TAG_ROUND1 {
-                    Ok(ServerMsg::Round1(msgs))
+                    Ok(ServerMsg::Round1 { ctx, msgs })
                 } else {
-                    Ok(ServerMsg::Round1Combined(msgs))
+                    Ok(ServerMsg::Round1Combined { ctx, msgs })
                 }
             }
             TAG_ROUND2 => {
+                if buf.remaining() < 8 {
+                    return Err(WireError("truncated round2 ctx"));
+                }
+                let ctx = buf.get_u64_le();
                 let len = get_len(buf)?;
                 if buf.remaining() < len.saturating_mul(2 * F::ENCODED_LEN) {
                     return Err(WireError("truncated round2"));
@@ -207,16 +245,20 @@ impl<F: FieldElement> Wire for ServerMsg<F> {
                         })
                     })
                     .collect::<Result<Vec<_>, WireError>>()?;
-                Ok(ServerMsg::Round2(msgs))
+                Ok(ServerMsg::Round2 { ctx, msgs })
             }
             TAG_DECISIONS => {
+                if buf.remaining() < 8 {
+                    return Err(WireError("truncated decisions ctx"));
+                }
+                let ctx = buf.get_u64_le();
                 let len = get_len(buf)?;
                 if buf.remaining() < len {
                     return Err(WireError("truncated decisions"));
                 }
                 let mut bits = vec![0u8; len];
                 buf.copy_to_slice(&mut bits);
-                Ok(ServerMsg::Decisions(bits))
+                Ok(ServerMsg::Decisions { ctx, bits })
             }
             TAG_PUBLISH_REQ => Ok(ServerMsg::PublishRequest),
             TAG_ACCUMULATOR => Ok(ServerMsg::Accumulator(get_field_vec(buf)?)),
@@ -285,19 +327,31 @@ mod tests {
                 ctx_seed: 99,
                 count: 3,
             },
-            ServerMsg::Round1(vec![Round1Msg {
-                d: Field64::from_u64(1),
-                e: Field64::from_u64(2),
-            }]),
-            ServerMsg::Round1Combined(vec![Round1Msg {
-                d: Field64::from_u64(3),
-                e: Field64::from_u64(4),
-            }]),
-            ServerMsg::Round2(vec![Round2Msg {
-                sigma: Field64::from_u64(5),
-                out: Field64::from_u64(6),
-            }]),
-            ServerMsg::Decisions(vec![0b101]),
+            ServerMsg::Round1 {
+                ctx: 11,
+                msgs: vec![Round1Msg {
+                    d: Field64::from_u64(1),
+                    e: Field64::from_u64(2),
+                }],
+            },
+            ServerMsg::Round1Combined {
+                ctx: 12,
+                msgs: vec![Round1Msg {
+                    d: Field64::from_u64(3),
+                    e: Field64::from_u64(4),
+                }],
+            },
+            ServerMsg::Round2 {
+                ctx: 13,
+                msgs: vec![Round2Msg {
+                    sigma: Field64::from_u64(5),
+                    out: Field64::from_u64(6),
+                }],
+            },
+            ServerMsg::Decisions {
+                ctx: 14,
+                bits: vec![0b101],
+            },
             ServerMsg::PublishRequest,
             ServerMsg::Accumulator(vec![Field64::from_u64(7); 4]),
         ];

@@ -23,10 +23,11 @@ use crate::server::Server;
 use prio_afe::Afe;
 use prio_field::FieldElement;
 use prio_net::wire::Wire;
-use prio_net::{Endpoint, NodeId};
+use prio_net::{Endpoint, NodeId, RecvTimeoutError, RetryPolicy};
 use prio_obs::{names, Obs, Span};
 use prio_snip::{decide, Round1Msg};
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
+use std::time::Instant;
 
 /// Event target for everything this module narrates.
 const TARGET: &str = "core::server_loop";
@@ -43,6 +44,8 @@ pub(crate) struct LoopMetrics {
     pub(crate) accepted: prio_obs::Counter,
     pub(crate) rejected_malformed: prio_obs::Counter,
     pub(crate) rejected_verify: prio_obs::Counter,
+    pub(crate) deduped: prio_obs::Counter,
+    pub(crate) batches_abandoned: prio_obs::Counter,
     pub(crate) batch_size: prio_obs::Histogram,
     pub(crate) phase_unpack: prio_obs::Histogram,
     pub(crate) phase_round1: prio_obs::Histogram,
@@ -69,6 +72,8 @@ impl LoopMetrics {
                 .counter(names::SERVER_SUBMISSIONS_REJECTED, &[("reason", "malformed")]),
             rejected_verify: reg
                 .counter(names::SERVER_SUBMISSIONS_REJECTED, &[("reason", "verify")]),
+            deduped: reg.counter(names::SERVER_FRAMES_DEDUPED, &[]),
+            batches_abandoned: reg.counter(names::SERVER_BATCHES_ABANDONED, &[]),
             batch_size: reg.histogram(names::SERVER_BATCH_SIZE, &[]),
             phase_unpack: reg.histogram(names::SERVER_PHASE_US, &[("phase", "unpack")]),
             phase_round1: reg.histogram(names::SERVER_PHASE_US, &[("phase", "round1")]),
@@ -117,6 +122,30 @@ pub struct ServerLoopOptions {
     /// bundle; tests pin [`Obs::new`] with a fresh registry and a capture
     /// sink to assert on exactly what one loop did.
     pub obs: Obs,
+    /// Deadline on every mid-batch gather (round 1/2 vectors, the
+    /// combined vector, decisions). `None` waits forever — correct on a
+    /// perfect fabric, where a missing message means a peer bug that
+    /// should hang visibly. Under fault injection (or any real WAN
+    /// deployment) a deadline lets the loop *abandon* a wedged batch —
+    /// no server accumulates it, so cross-server aggregate consistency
+    /// holds on the batches that do complete — instead of stalling the
+    /// whole deployment on one lost frame.
+    pub batch_deadline: Option<std::time::Duration>,
+    /// Retry policy for the loop's data-plane sends. Defaults to
+    /// [`RetryPolicy::none`]: on a perfect fabric a failed send means
+    /// the deployment is tearing down. Chaos deployments install a real
+    /// policy so an injected drop ([`prio_net::SendError::Closed`]) is
+    /// retransmitted instead of killing the loop.
+    pub retry: RetryPolicy,
+    /// Deadline on the *idle* receive between batches. `None` (the
+    /// default) waits forever, which is right on a perfect fabric: the
+    /// driver's `Shutdown` frame always arrives, so the loop never needs
+    /// a timer to exit. Under fault injection that frame can be
+    /// permanently dropped, and a server blocked in its idle receive
+    /// would wedge the deployment's teardown join — so chaos deployments
+    /// set a bound comfortably above the driver's worst inter-batch gap
+    /// and treat its expiry as an orderly exit.
+    pub idle_deadline: Option<std::time::Duration>,
 }
 
 impl Default for ServerLoopOptions {
@@ -125,6 +154,9 @@ impl Default for ServerLoopOptions {
             verify_threads: 1,
             frame_policy: FramePolicy::Strict,
             obs: Obs::global(),
+            batch_deadline: None,
+            retry: RetryPolicy::none(),
+            idle_deadline: None,
         }
     }
 }
@@ -145,6 +177,11 @@ pub struct ServerLoopReport {
     /// loop in the process, which is the wrong denominator for a per-node
     /// report when several servers share one process.
     pub frames_dropped: u64,
+    /// Duplicate `ClientBatch` frames the idempotent-ingest seen-set
+    /// discarded (a duplicated upload must not double-count).
+    pub frames_deduped: u64,
+    /// Batches abandoned because a mid-batch gather deadline expired.
+    pub batches_abandoned: u64,
     /// Wall-clock spent in each verification phase.
     pub timings: PhaseTimings,
 }
@@ -156,8 +193,25 @@ pub struct ServerLoopReport {
 /// the unbounded stash — every sender there is trusted protocol code.
 const MAX_LENIENT_STASH: usize = 4096;
 
+/// Ceiling on the idempotent-ingest seen-set: remembers the last this many
+/// batch context seeds. A duplicated frame arrives promptly (fault
+/// injection or a lower-layer retransmit), so a window thousands of
+/// batches deep is far beyond any realistic duplication horizon.
+const MAX_SEEN_BATCHES: usize = 4096;
+
+/// How one [`recv_matching`] wait ended.
+enum RecvOutcome<F: FieldElement> {
+    /// The wanted message arrived (or was stashed earlier), with the
+    /// sender it came from.
+    Msg(NodeId, ServerMsg<F>),
+    /// The fabric closed underneath the loop.
+    Closed,
+    /// The caller's deadline expired first.
+    Deadline,
+}
+
 /// Receives the next message matching `want`, stashing any other valid
-/// message for a later phase. Returns `None` when the fabric shuts down.
+/// message for a later phase; an optional `deadline` bounds the wait.
 ///
 /// The sim fabric funnels every sender into one queue, so messages arrive
 /// in global send order — but over TCP each sender has its own connection
@@ -173,22 +227,44 @@ const MAX_LENIENT_STASH: usize = 4096;
 /// for the loop's report), narrated through rate-limited warn events, and
 /// dropped — the node-process hardening path. A garbage-frame flood moves
 /// counters, not stderr.
+/// Stash entries carry the sender: gathers are *source-aware*, so a
+/// fault-duplicated round vector from one peer can never be misattributed
+/// as another peer's contribution.
+#[allow(clippy::too_many_arguments)]
 fn recv_matching<F: FieldElement>(
     ep: &Endpoint,
-    stash: &mut VecDeque<ServerMsg<F>>,
+    stash: &mut VecDeque<(NodeId, ServerMsg<F>)>,
     policy: FramePolicy,
     known: &[NodeId],
     metrics: &LoopMetrics,
     dropped: &mut u64,
-    want: impl Fn(&ServerMsg<F>) -> bool,
-) -> Option<ServerMsg<F>> {
-    if let Some(pos) = stash.iter().position(&want) {
-        let msg = stash.remove(pos);
-        metrics.stash_depth.set(stash.len() as i64);
-        return msg;
+    deadline: Option<Instant>,
+    want: impl Fn(NodeId, &ServerMsg<F>) -> bool,
+) -> RecvOutcome<F> {
+    if let Some(pos) = stash.iter().position(|(src, m)| want(*src, m)) {
+        if let Some((src, msg)) = stash.remove(pos) {
+            metrics.stash_depth.set(stash.len() as i64);
+            return RecvOutcome::Msg(src, msg);
+        }
     }
     loop {
-        let env = ep.recv().ok()?;
+        let env = match deadline {
+            None => match ep.recv() {
+                Ok(env) => env,
+                Err(_) => return RecvOutcome::Closed,
+            },
+            Some(deadline) => {
+                let now = Instant::now();
+                if now >= deadline {
+                    return RecvOutcome::Deadline;
+                }
+                match ep.recv_timeout(deadline - now) {
+                    Ok(env) => env,
+                    Err(RecvTimeoutError::Timeout) => return RecvOutcome::Deadline,
+                    Err(RecvTimeoutError::Closed) => return RecvOutcome::Closed,
+                }
+            }
+        };
         if policy == FramePolicy::Lenient && !known.contains(&env.src) {
             metrics.drop_unknown_sender.inc();
             *dropped += 1;
@@ -227,8 +303,8 @@ fn recv_matching<F: FieldElement>(
                 }
             },
         };
-        if want(&msg) {
-            return Some(msg);
+        if want(env.src, &msg) {
+            return RecvOutcome::Msg(env.src, msg);
         }
         if policy == FramePolicy::Lenient && stash.len() >= MAX_LENIENT_STASH {
             metrics.drop_stash_overflow.inc();
@@ -243,19 +319,59 @@ fn recv_matching<F: FieldElement>(
             );
             continue;
         }
-        stash.push_back(msg);
+        stash.push_back((env.src, msg));
         metrics.stash_depth.set(stash.len() as i64);
     }
+}
+
+/// Clears every mid-protocol round message left in the stash at a batch
+/// boundary: stale vectors from a finished (or abandoned) batch must not
+/// be mistaken for the next batch's traffic. Round messages carry no
+/// batch identity, so the boundary is the only safe discard point — and
+/// it is sufficient, because the driver paces batches on the previous
+/// batch's decisions (or its deadline), after which any straggling or
+/// fault-duplicated round frame is by definition stale.
+fn clear_round_stash<F: FieldElement>(
+    stash: &mut VecDeque<(NodeId, ServerMsg<F>)>,
+    metrics: &LoopMetrics,
+) {
+    stash.retain(|(_, m)| {
+        !matches!(
+            m,
+            ServerMsg::Round1 { .. }
+                | ServerMsg::Round1Combined { .. }
+                | ServerMsg::Round2 { .. }
+                | ServerMsg::Decisions { .. }
+        )
+    });
+    metrics.stash_depth.set(stash.len() as i64);
+}
+
+/// [`clear_round_stash`] plus the abandonment accounting, for a batch a
+/// gather deadline killed.
+fn abandon_batch<F: FieldElement>(
+    stash: &mut VecDeque<(NodeId, ServerMsg<F>)>,
+    metrics: &LoopMetrics,
+    report: &mut ServerLoopReport,
+) {
+    clear_round_stash(stash, metrics);
+    metrics.batches_abandoned.inc();
+    report.batches_abandoned += 1;
+    metrics.events.warn(
+        TARGET,
+        "batch_abandoned",
+        "mid-batch gather deadline expired; abandoning the batch without accumulating".to_string(),
+    );
 }
 
 /// Short tag for log lines (avoids dumping whole field vectors to stderr).
 fn msg_kind<F: FieldElement>(msg: &ServerMsg<F>) -> &'static str {
     match msg {
         ServerMsg::BatchStart { .. } => "BatchStart",
-        ServerMsg::Round1(_) => "Round1",
-        ServerMsg::Round1Combined(_) => "Round1Combined",
-        ServerMsg::Round2(_) => "Round2",
-        ServerMsg::Decisions(_) => "Decisions",
+        ServerMsg::Round1 { .. } => "Round1",
+        ServerMsg::Round1Combined { .. } => "Round1Combined",
+        ServerMsg::Round2 { .. } => "Round2",
+        ServerMsg::Decisions { .. } => "Decisions",
         ServerMsg::PublishRequest => "PublishRequest",
         ServerMsg::Accumulator(_) => "Accumulator",
         ServerMsg::ClientBatch { .. } => "ClientBatch",
@@ -313,7 +429,6 @@ pub fn run_server_loop<F: FieldElement, A: Afe<F> + Sync>(
     driver: NodeId,
     opts: ServerLoopOptions,
 ) -> ServerLoopReport {
-    let s = ids.len();
     let metrics = LoopMetrics::resolve(&opts.obs);
     let mut report = ServerLoopReport::default();
     let Some(my_index) = ids.iter().position(|&id| id == ep.id()) else {
@@ -330,23 +445,39 @@ pub fn run_server_loop<F: FieldElement, A: Afe<F> + Sync>(
     let mut known: Vec<NodeId> = ids.to_vec();
     known.push(driver);
     let policy = opts.frame_policy;
+    // Idempotent ingest: remember recent batch context seeds so a
+    // duplicated ClientBatch frame (fault injection, driver retransmit, a
+    // lower layer replaying) is discarded instead of double-counted. The
+    // seed is the batch's identity — the driver derives one fresh seed per
+    // batch, so equal seed ⇔ same batch.
+    let mut seen_batches: HashSet<u64> = HashSet::new();
+    let mut seen_order: VecDeque<u64> = VecDeque::new();
+    let retry = &opts.retry;
 
     loop {
-        let Some(msg) = recv_matching(
+        let msg = match recv_matching(
             ep,
             &mut stash,
             policy,
             &known,
             &metrics,
             &mut report.frames_dropped,
-            |m| {
-                matches!(
-                    m,
-                    ServerMsg::ClientBatch { .. } | ServerMsg::PublishRequest | ServerMsg::Shutdown
-                )
+            opts.idle_deadline.map(|d| Instant::now() + d),
+            // Phase-entry messages are the driver's alone: a server id (or
+            // a forged one) carrying a ClientBatch/PublishRequest/Shutdown
+            // must not steer the loop.
+            |src, m| {
+                src == driver
+                    && matches!(
+                        m,
+                        ServerMsg::ClientBatch { .. }
+                            | ServerMsg::PublishRequest
+                            | ServerMsg::Shutdown
+                    )
             },
-        ) else {
-            return report;
+        ) {
+            RecvOutcome::Msg(_, msg) => msg,
+            RecvOutcome::Closed | RecvOutcome::Deadline => return report,
         };
         match msg {
             ServerMsg::ClientBatch {
@@ -354,6 +485,25 @@ pub fn run_server_loop<F: FieldElement, A: Afe<F> + Sync>(
                 labels,
                 blobs,
             } => {
+                if seen_batches.contains(&ctx_seed) {
+                    metrics.deduped.inc();
+                    report.frames_deduped += 1;
+                    metrics.events.warn(
+                        TARGET,
+                        "client_batch_deduped",
+                        format!("duplicate ClientBatch (ctx_seed {ctx_seed}); already processed"),
+                    );
+                    continue;
+                }
+                if seen_batches.insert(ctx_seed) {
+                    seen_order.push_back(ctx_seed);
+                    if seen_order.len() > MAX_SEEN_BATCHES {
+                        if let Some(evicted) = seen_order.pop_front() {
+                            seen_batches.remove(&evicted);
+                        }
+                    }
+                }
+                let deadline = opts.batch_deadline.map(|d| Instant::now() + d);
                 let ctx = match server.make_context(ctx_seed) {
                     Ok(ctx) => ctx,
                     Err(e) => {
@@ -428,21 +578,39 @@ pub fn run_server_loop<F: FieldElement, A: Afe<F> + Sync>(
                 }
                 report.timings.round1 += span.finish();
 
-                let decisions: Vec<bool> = if is_leader {
-                    // Gather round-1 vectors from the others.
+                // A deadline expiry anywhere in the gathers breaks out
+                // with `None`: the batch is abandoned (never accumulated)
+                // and the loop keeps serving. Every server abandons
+                // symmetrically — the leader never sent `Decisions`, so
+                // non-leaders time out too — which is what keeps the
+                // accepted-subset aggregates bit-identical across servers.
+                let decisions: Option<Vec<bool>> = 'gather: {
+                    Some(if is_leader {
+                    // Gather round-1 vectors from the others — one per
+                    // *distinct* peer, so a fault-duplicated vector waits
+                    // in the stash (cleared at the batch boundary) instead
+                    // of impersonating a missing peer's contribution.
                     let mut all_r1 = vec![round1.clone()];
-                    for _ in 1..s {
-                        let Some(ServerMsg::Round1(v)) = recv_matching(
+                    let mut pending_r1: HashSet<NodeId> = ids[1..].iter().copied().collect();
+                    while !pending_r1.is_empty() {
+                        let (src, v) = match recv_matching(
                             ep,
                             &mut stash,
                             policy,
                             &known,
                             &metrics,
                             &mut report.frames_dropped,
-                            |m| matches!(m, ServerMsg::Round1(_)),
-                        ) else {
-                            return report;
+                            deadline,
+                            |src, m| {
+                                pending_r1.contains(&src)
+                                    && matches!(m, ServerMsg::Round1 { ctx, .. } if *ctx == ctx_seed)
+                            },
+                        ) {
+                            RecvOutcome::Msg(src, ServerMsg::Round1 { msgs: v, .. }) => (src, v),
+                            RecvOutcome::Deadline => break 'gather None,
+                            _ => return report,
                         };
+                        pending_r1.remove(&src);
                         // A round-1 vector of the wrong length is a protocol
                         // violation (or a forgery); abandon the run rather
                         // than index out of bounds below.
@@ -466,9 +634,16 @@ pub fn run_server_loop<F: FieldElement, A: Afe<F> + Sync>(
                             e: all_r1.iter().map(|v| v[j].e).sum(),
                         })
                         .collect();
-                    let comb_msg = ServerMsg::Round1Combined(combined.clone()).to_wire_bytes();
+                    let comb_msg = ServerMsg::Round1Combined {
+                        ctx: ctx_seed,
+                        msgs: combined.clone(),
+                    }
+                    .to_wire_bytes();
                     for &sid in &ids[1..] {
-                        if ep.send(sid, comb_msg.clone()).is_err() {
+                        if retry
+                            .run("round1_combined_send", || ep.send(sid, comb_msg.clone()))
+                            .is_err()
+                        {
                             return report;
                         }
                     }
@@ -477,18 +652,26 @@ pub fn run_server_loop<F: FieldElement, A: Afe<F> + Sync>(
                     let own_r2 = batched_round2(server, &states, &combined);
                     report.timings.round2 += span.finish();
                     let mut all_r2 = vec![own_r2];
-                    for _ in 1..s {
-                        let Some(ServerMsg::Round2(v)) = recv_matching(
+                    let mut pending_r2: HashSet<NodeId> = ids[1..].iter().copied().collect();
+                    while !pending_r2.is_empty() {
+                        let (src, v) = match recv_matching(
                             ep,
                             &mut stash,
                             policy,
                             &known,
                             &metrics,
                             &mut report.frames_dropped,
-                            |m| matches!(m, ServerMsg::Round2(_)),
-                        ) else {
-                            return report;
+                            deadline,
+                            |src, m| {
+                                pending_r2.contains(&src)
+                                    && matches!(m, ServerMsg::Round2 { ctx, .. } if *ctx == ctx_seed)
+                            },
+                        ) {
+                            RecvOutcome::Msg(src, ServerMsg::Round2 { msgs: v, .. }) => (src, v),
+                            RecvOutcome::Deadline => break 'gather None,
+                            _ => return report,
                         };
+                        pending_r2.remove(&src);
                         if v.len() != count {
                             metrics.events.error(
                                 TARGET,
@@ -508,34 +691,59 @@ pub fn run_server_loop<F: FieldElement, A: Afe<F> + Sync>(
                             decide(&msgs)
                         })
                         .collect();
-                    let dec_msg =
-                        ServerMsg::<F>::Decisions(pack_decisions(&decisions)).to_wire_bytes();
+                    let dec_msg = ServerMsg::<F>::Decisions {
+                        ctx: ctx_seed,
+                        bits: pack_decisions(&decisions),
+                    }
+                    .to_wire_bytes();
                     for &sid in &ids[1..] {
-                        if ep.send(sid, dec_msg.clone()).is_err() {
+                        if retry
+                            .run("decisions_send", || ep.send(sid, dec_msg.clone()))
+                            .is_err()
+                        {
                             return report;
                         }
                     }
-                    if ep.send(driver, dec_msg).is_err() {
-                        return report;
-                    }
-                    decisions
-                } else {
-                    if ep
-                        .send(leader_id, ServerMsg::Round1(round1).to_wire_bytes())
+                    if retry
+                        .run("decisions_send", || ep.send(driver, dec_msg.clone()))
                         .is_err()
                     {
                         return report;
                     }
-                    let Some(ServerMsg::Round1Combined(combined)) = recv_matching(
+                    decisions
+                } else {
+                    let r1_msg = ServerMsg::Round1 {
+                        ctx: ctx_seed,
+                        msgs: round1,
+                    }
+                    .to_wire_bytes();
+                    if retry
+                        .run("round1_send", || ep.send(leader_id, r1_msg.clone()))
+                        .is_err()
+                    {
+                        return report;
+                    }
+                    let combined = match recv_matching(
                         ep,
                         &mut stash,
                         policy,
                         &known,
                         &metrics,
                         &mut report.frames_dropped,
-                        |m| matches!(m, ServerMsg::Round1Combined(_)),
-                    ) else {
-                        return report;
+                        deadline,
+                        // Only the leader's word counts for the combined
+                        // vector (and for decisions below), and only for
+                        // *this* batch.
+                        |src, m| {
+                            src == leader_id
+                                && matches!(m, ServerMsg::Round1Combined { ctx, .. } if *ctx == ctx_seed)
+                        },
+                    ) {
+                        RecvOutcome::Msg(_, ServerMsg::Round1Combined { msgs: combined, .. }) => {
+                            combined
+                        }
+                        RecvOutcome::Deadline => break 'gather None,
+                        _ => return report,
                     };
                     if combined.len() != count {
                         metrics.events.error(
@@ -551,25 +759,45 @@ pub fn run_server_loop<F: FieldElement, A: Afe<F> + Sync>(
                     let span = Span::start(&metrics.phase_round2);
                     let r2 = batched_round2(server, &states, &combined);
                     report.timings.round2 += span.finish();
-                    if ep
-                        .send(leader_id, ServerMsg::Round2(r2).to_wire_bytes())
+                    let r2_msg = ServerMsg::Round2 {
+                        ctx: ctx_seed,
+                        msgs: r2,
+                    }
+                    .to_wire_bytes();
+                    if retry
+                        .run("round2_send", || ep.send(leader_id, r2_msg.clone()))
                         .is_err()
                     {
                         return report;
                     }
-                    let Some(ServerMsg::Decisions(bits)) = recv_matching(
+                    let bits = match recv_matching(
                         ep,
                         &mut stash,
                         policy,
                         &known,
                         &metrics,
                         &mut report.frames_dropped,
-                        |m| matches!(m, ServerMsg::Decisions(_)),
-                    ) else {
-                        return report;
+                        deadline,
+                        |src, m| {
+                            src == leader_id
+                                && matches!(m, ServerMsg::Decisions { ctx, .. } if *ctx == ctx_seed)
+                        },
+                    ) {
+                        RecvOutcome::Msg(_, ServerMsg::Decisions { bits, .. }) => bits,
+                        RecvOutcome::Deadline => break 'gather None,
+                        _ => return report,
                     };
                     unpack_decisions(&bits, count)
+                    })
                 };
+                let Some(decisions) = decisions else {
+                    abandon_batch(&mut stash, &metrics, &mut report);
+                    continue;
+                };
+                // The batch is decided: any round message still stashed
+                // (a fault-duplicated vector from a peer already counted)
+                // belongs to it and must not leak into the next gather.
+                clear_round_stash(&mut stash, &metrics);
 
                 for (j, &ok) in decisions.iter().enumerate() {
                     if ok && local_ok[j] {
@@ -596,7 +824,8 @@ pub fn run_server_loop<F: FieldElement, A: Afe<F> + Sync>(
                 report.verify_bytes_sent = ep.bytes_sent();
                 let span = Span::start(&metrics.phase_publish);
                 let acc = server.accumulator().to_vec();
-                let sent = ep.send(driver, ServerMsg::Accumulator(acc).to_wire_bytes());
+                let acc_msg = ServerMsg::Accumulator(acc).to_wire_bytes();
+                let sent = retry.run("publish_send", || ep.send(driver, acc_msg.clone()));
                 report.timings.publish += span.finish();
                 if sent.is_err() {
                     return report;

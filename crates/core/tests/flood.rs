@@ -49,6 +49,7 @@ fn garbage_flood_is_counted_not_printed() {
             verify_threads: 1,
             frame_policy: FramePolicy::Lenient,
             obs,
+            ..ServerLoopOptions::default()
         };
         run_server_loop(&mut server, &server_ep, &ids, driver_id, opts)
     });

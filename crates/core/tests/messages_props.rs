@@ -42,7 +42,7 @@ proptest! {
     }
 
     #[test]
-    fn round1_msgs_roundtrip(raw in prop::collection::vec(any::<u64>(), 0..24), garbage in prop::collection::vec(any::<u8>(), 1..9)) {
+    fn round1_msgs_roundtrip(ctx in any::<u64>(), raw in prop::collection::vec(any::<u64>(), 0..24), garbage in prop::collection::vec(any::<u8>(), 1..9)) {
         let msgs: Vec<Round1Msg<Field64>> = raw
             .chunks(2)
             .map(|c| Round1Msg {
@@ -50,12 +50,12 @@ proptest! {
                 e: Field64::from_u64(*c.last().unwrap()),
             })
             .collect();
-        check_msg(&ServerMsg::Round1(msgs.clone()), &garbage);
-        check_msg(&ServerMsg::Round1Combined(msgs), &garbage);
+        check_msg(&ServerMsg::Round1 { ctx, msgs: msgs.clone() }, &garbage);
+        check_msg(&ServerMsg::Round1Combined { ctx, msgs }, &garbage);
     }
 
     #[test]
-    fn round2_msgs_roundtrip(raw in prop::collection::vec(any::<u64>(), 0..24), garbage in prop::collection::vec(any::<u8>(), 1..9)) {
+    fn round2_msgs_roundtrip(ctx in any::<u64>(), raw in prop::collection::vec(any::<u64>(), 0..24), garbage in prop::collection::vec(any::<u8>(), 1..9)) {
         let msgs: Vec<Round2Msg<Field64>> = raw
             .chunks(2)
             .map(|c| Round2Msg {
@@ -63,12 +63,12 @@ proptest! {
                 out: Field64::from_u64(*c.last().unwrap()),
             })
             .collect();
-        check_msg(&ServerMsg::Round2(msgs), &garbage);
+        check_msg(&ServerMsg::Round2 { ctx, msgs }, &garbage);
     }
 
     #[test]
-    fn decisions_roundtrip(bits in prop::collection::vec(any::<u8>(), 0..32), garbage in prop::collection::vec(any::<u8>(), 1..9)) {
-        check_msg(&ServerMsg::Decisions(bits), &garbage);
+    fn decisions_roundtrip(ctx in any::<u64>(), bits in prop::collection::vec(any::<u8>(), 0..32), garbage in prop::collection::vec(any::<u8>(), 1..9)) {
+        check_msg(&ServerMsg::Decisions { ctx, bits }, &garbage);
     }
 
     #[test]

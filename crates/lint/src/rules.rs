@@ -75,6 +75,10 @@ fn r2_designated(path: &str) -> bool {
             | "crates/net/src/reactor.rs"
             | "crates/net/src/wire.rs"
             | "crates/net/src/control.rs"
+            // The fault-injection layer wraps every endpoint of a chaos
+            // deployment: a panic in it would crash the node it is
+            // supposed to merely degrade.
+            | "crates/net/src/faults.rs"
             | "crates/core/src/server_loop.rs"
     ) || (path.starts_with("crates/proc/src/") && path.ends_with(".rs"))
         // The observability layer runs inside every network-facing process

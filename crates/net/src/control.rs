@@ -61,6 +61,16 @@ pub struct NodeConfig {
     /// TCP inbound I/O mode tag (`threaded` | `reactor`) for the node's
     /// data-plane fabric.
     pub io_mode: String,
+    /// Fault-injection plan for the node's outbound data plane, in the
+    /// `FaultPlan::to_spec` key=value encoding; empty = no injection.
+    /// Carried on the wire so a chaos run configures real processes the
+    /// same way it configures in-process fabrics.
+    pub fault_plan: String,
+    /// Per-round receive deadline for the node's server loop, in
+    /// milliseconds (0 = wait forever, the pre-robustness behaviour).
+    /// A node under fault injection abandons a wedged batch after this
+    /// long instead of stalling the whole deployment.
+    pub batch_deadline_ms: u64,
 }
 
 impl Wire for NodeConfig {
@@ -74,6 +84,8 @@ impl Wire for NodeConfig {
         self.h_form.encode(buf);
         self.verify_threads.encode(buf);
         self.io_mode.encode(buf);
+        self.fault_plan.encode(buf);
+        self.batch_deadline_ms.encode(buf);
     }
 
     fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError> {
@@ -87,6 +99,8 @@ impl Wire for NodeConfig {
             h_form: String::decode(buf)?,
             verify_threads: u64::decode(buf)?,
             io_mode: String::decode(buf)?,
+            fault_plan: String::decode(buf)?,
+            batch_deadline_ms: u64::decode(buf)?,
         })
     }
 }
@@ -118,6 +132,13 @@ pub struct NodeStats {
     /// undecodable, stash overflow, unexpected kind) — distinguishes a
     /// quiet node from one dropping everything it hears.
     pub frames_dropped: u64,
+    /// Duplicate client submissions the idempotent-ingest seen-set
+    /// discarded — under a duplicating fault plan these are the frames
+    /// that must *not* double-count toward `accepted`.
+    pub frames_deduped: u64,
+    /// Batches the server loop abandoned because a round deadline
+    /// expired (graceful degradation under faults).
+    pub batches_abandoned: u64,
     /// Whether the server loop exited via an orderly fabric `Shutdown`.
     pub clean: bool,
 }
@@ -133,6 +154,8 @@ impl Wire for NodeStats {
         self.round2_us.encode(buf);
         self.publish_us.encode(buf);
         self.frames_dropped.encode(buf);
+        self.frames_deduped.encode(buf);
+        self.batches_abandoned.encode(buf);
         self.clean.encode(buf);
     }
 
@@ -147,6 +170,8 @@ impl Wire for NodeStats {
             round2_us: u64::decode(buf)?,
             publish_us: u64::decode(buf)?,
             frames_dropped: u64::decode(buf)?,
+            frames_deduped: u64::decode(buf)?,
+            batches_abandoned: u64::decode(buf)?,
             clean: bool::decode(buf)?,
         })
     }
@@ -416,6 +441,8 @@ mod tests {
                 round2_us: 30,
                 publish_us: 5,
                 frames_dropped: 17,
+                frames_deduped: 3,
+                batches_abandoned: 1,
                 clean: true,
             }),
             CtrlMsg::Shutdown,
@@ -451,6 +478,8 @@ mod tests {
             h_form: "point_value".into(),
             verify_threads: 2,
             io_mode: "reactor".into(),
+            fault_plan: "seed=7,drop=50,dup=30,trunc=0,delay=0,delay_ms=0,after=0".into(),
+            batch_deadline_ms: 1500,
         };
         assert_eq!(NodeConfig::from_wire_bytes(&cfg.to_wire_bytes()), Ok(cfg));
     }

@@ -1,0 +1,982 @@
+//! Deterministic fault injection and retry for every fabric.
+//!
+//! Prio's security analysis (PAPER.md §2) assumes the servers stay up, but
+//! the paper's deployment discussion (§7) is explicit that availability is
+//! an *engineering* property: a server set spread across providers keeps
+//! aggregating only if the implementation tolerates the realistic middle
+//! ground between a perfect network and pure garbage — dropped frames,
+//! duplicated frames, stalled links, and nodes that die mid-batch. This
+//! module supplies both halves of that story:
+//!
+//! * **Injection** — a seeded [`FaultPlan`] describes per-link,
+//!   per-direction fault schedules. Wrapping any [`Endpoint`] (or a whole
+//!   [`Transport`] via [`FaultyTransport`]) makes its outbound side
+//!   misbehave on purpose, identically on the sim fabric, both TCP I/O
+//!   modes, and real `prio-node` processes (the `NodeConfig::fault_plan`
+//!   wire field carries the plan's [`FaultPlan::to_spec`] encoding).
+//!   Every decision is drawn from a per-link ChaCha20
+//!   [`PrgRng`](prio_crypto::prg::PrgRng) stream keyed by
+//!   `(plan seed, src, dst)`, so a run replays bit-identically: same
+//!   seed, same send sequence ⇒ same faults, same counters.
+//! * **Recovery** — a [`RetryPolicy`] with bounded attempts, exponential
+//!   backoff, deterministic jitter, and retryable-vs-fatal classification
+//!   over the typed error enums ([`Retryable`]). Combined with the server
+//!   loop's idempotent ingest (duplicate submissions are deduplicated by
+//!   id), retransmission turns lossy links back into effectively
+//!   exactly-once delivery without any hidden acknowledgement protocol.
+//!
+//! Fault taxonomy and how each maps to the paper's availability concerns:
+//!
+//! | kind                     | models (§7)                              | sender observes            |
+//! |--------------------------|------------------------------------------|----------------------------|
+//! | [`FaultKind::Drop`]      | lost frame / transient link outage       | [`SendError::Closed`]      |
+//! | [`FaultKind::Delay`]     | congested WAN hop, straggling server     | a stalled send             |
+//! | [`FaultKind::Duplicate`] | retransmission by a lower layer          | nothing (two deliveries)   |
+//! | [`FaultKind::Truncate`]  | torn frame delivered as garbage          | nothing (receiver drops)   |
+//! | [`FaultKind::Disconnect`]| peer death after N frames                | [`SendError::Closed`] forever |
+//!
+//! A *drop* surfaces to the sender as [`SendError::Closed`] rather than
+//! silently vanishing: the retry layer is the recovery mechanism under
+//! test, and a visible erasure keeps the accounting exact (every injected
+//! fault is countable — `net_faults_injected_total{kind}`), where a silent
+//! one could only be observed as a nondeterministic timeout.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::transport::{
+    lock, Endpoint, Envelope, NetStats, NodeId, RecvError, RecvTimeoutError, SendError, Transport,
+    TransportKind,
+};
+use prio_crypto::prg::PrgRng;
+use rand::RngCore as _;
+
+/// Domain-separation label for retry jitter streams (distinct from the
+/// per-link fault streams, which use the link id itself as the label).
+const RETRY_JITTER_LABEL: u64 = 0x7072696f_72747279; // "prio" "rtry"
+
+/// The kinds of link faults a [`FaultPlan`] can inject.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The frame is erased; the sender sees [`SendError::Closed`].
+    Drop,
+    /// The frame is delivered after a fixed extra delay.
+    Delay,
+    /// The frame is delivered twice.
+    Duplicate,
+    /// Half the frame is replaced by garbage bytes and delivered — the
+    /// receiver's lenient decoder must drop it.
+    Truncate,
+    /// The link goes down permanently after a configured frame count.
+    Disconnect,
+}
+
+impl FaultKind {
+    /// Every kind, in counter-index order.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::Drop,
+        FaultKind::Delay,
+        FaultKind::Duplicate,
+        FaultKind::Truncate,
+        FaultKind::Disconnect,
+    ];
+
+    /// Stable lowercase tag used as the `kind` metric label.
+    pub fn tag(self) -> &'static str {
+        match self {
+            FaultKind::Drop => "drop",
+            FaultKind::Delay => "delay",
+            FaultKind::Duplicate => "duplicate",
+            FaultKind::Truncate => "truncate",
+            FaultKind::Disconnect => "disconnect",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            FaultKind::Drop => 0,
+            FaultKind::Delay => 1,
+            FaultKind::Duplicate => 2,
+            FaultKind::Truncate => 3,
+            FaultKind::Disconnect => 4,
+        }
+    }
+}
+
+/// A seeded, deterministic per-link fault schedule.
+///
+/// Rates are in permille (0..=1000) and evaluated independently per
+/// outbound frame from a per-link ChaCha20 stream; `disconnect_after`
+/// (when non-zero) kills a link permanently after that many send
+/// attempts. A plan with all rates zero and no disconnect threshold is a
+/// no-op ([`FaultPlan::is_noop`]) — wrapping with it costs one map lookup
+/// per send and changes nothing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for every per-link decision stream.
+    pub seed: u64,
+    /// Probability (permille) that a frame is dropped.
+    pub drop_permille: u32,
+    /// Probability (permille) that a frame is delivered twice.
+    pub dup_permille: u32,
+    /// Probability (permille) that a frame is replaced by garbage.
+    pub truncate_permille: u32,
+    /// Probability (permille) that a frame is delayed by `delay_ms`.
+    pub delay_permille: u32,
+    /// Extra delay applied to delayed frames, in milliseconds.
+    pub delay_ms: u64,
+    /// Frames after which a link dies permanently (0 = never).
+    pub disconnect_after: u64,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults; compose with the
+    /// builder methods.
+    pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            drop_permille: 0,
+            dup_permille: 0,
+            truncate_permille: 0,
+            delay_permille: 0,
+            delay_ms: 0,
+            disconnect_after: 0,
+        }
+    }
+
+    /// Sets the drop rate (permille, clamped to 1000).
+    pub fn with_drop_permille(mut self, p: u32) -> FaultPlan {
+        self.drop_permille = p.min(1000);
+        self
+    }
+
+    /// Sets the duplicate rate (permille, clamped to 1000).
+    pub fn with_dup_permille(mut self, p: u32) -> FaultPlan {
+        self.dup_permille = p.min(1000);
+        self
+    }
+
+    /// Sets the truncate rate (permille, clamped to 1000).
+    pub fn with_truncate_permille(mut self, p: u32) -> FaultPlan {
+        self.truncate_permille = p.min(1000);
+        self
+    }
+
+    /// Sets the delay rate and the per-delay duration.
+    pub fn with_delay(mut self, p: u32, delay: Duration) -> FaultPlan {
+        self.delay_permille = p.min(1000);
+        self.delay_ms = delay.as_millis() as u64;
+        self
+    }
+
+    /// Kills every link after `n` outbound frames (0 disables).
+    pub fn with_disconnect_after(mut self, n: u64) -> FaultPlan {
+        self.disconnect_after = n;
+        self
+    }
+
+    /// True when the plan can never inject anything.
+    pub fn is_noop(&self) -> bool {
+        self.drop_permille == 0
+            && self.dup_permille == 0
+            && self.truncate_permille == 0
+            && self.delay_permille == 0
+            && self.disconnect_after == 0
+    }
+
+    /// Encodes the plan as a stable `key=value` spec string — the wire
+    /// form carried by `NodeConfig::fault_plan` and the `--fault-plan`
+    /// CLI flag. Round-trips exactly through [`FaultPlan::from_spec`].
+    pub fn to_spec(&self) -> String {
+        format!(
+            "seed={},drop={},dup={},trunc={},delay={},delay_ms={},after={}",
+            self.seed,
+            self.drop_permille,
+            self.dup_permille,
+            self.truncate_permille,
+            self.delay_permille,
+            self.delay_ms,
+            self.disconnect_after,
+        )
+    }
+
+    /// Parses a spec string produced by [`FaultPlan::to_spec`] (keys may
+    /// appear in any order and may be omitted; omitted keys default to
+    /// zero). Returns a typed error message on unknown keys or
+    /// unparseable values.
+    pub fn from_spec(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::seeded(0);
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let Some((key, value)) = part.split_once('=') else {
+                return Err(format!("fault-plan entry '{part}' is not key=value"));
+            };
+            let n: u64 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("fault-plan value '{value}' for '{key}' is not a number"))?;
+            let permille = |n: u64| -> Result<u32, String> {
+                if n > 1000 {
+                    return Err(format!("fault-plan rate '{n}' for '{key}' exceeds 1000 permille"));
+                }
+                Ok(n as u32)
+            };
+            match key.trim() {
+                "seed" => plan.seed = n,
+                "drop" => plan.drop_permille = permille(n)?,
+                "dup" => plan.dup_permille = permille(n)?,
+                "trunc" => plan.truncate_permille = permille(n)?,
+                "delay" => plan.delay_permille = permille(n)?,
+                "delay_ms" => plan.delay_ms = n,
+                "after" => plan.disconnect_after = n,
+                other => return Err(format!("unknown fault-plan key '{other}'")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Creates a fresh injector (fault state + counters) for this plan.
+    pub fn injector(&self) -> FaultInjector {
+        FaultInjector::new(self.clone())
+    }
+
+    /// Wraps one endpoint under a one-off injector — the short form for
+    /// callers that don't need to read the injection counters back.
+    pub fn wrap(&self, inner: Endpoint) -> Endpoint {
+        self.injector().wrap(inner)
+    }
+}
+
+/// Per-kind fault counters resolved once against the global registry.
+#[derive(Clone)]
+struct FaultMetrics {
+    injected: [prio_obs::Counter; 5],
+}
+
+impl FaultMetrics {
+    fn resolve() -> FaultMetrics {
+        let reg = prio_obs::Registry::global();
+        // Label slices are spelled out literally: the registry requires
+        // `'static` label sets (bounded cardinality by construction).
+        FaultMetrics {
+            injected: [
+                reg.counter(prio_obs::names::NET_FAULTS_INJECTED, &[("kind", "drop")]),
+                reg.counter(prio_obs::names::NET_FAULTS_INJECTED, &[("kind", "delay")]),
+                reg.counter(prio_obs::names::NET_FAULTS_INJECTED, &[("kind", "duplicate")]),
+                reg.counter(prio_obs::names::NET_FAULTS_INJECTED, &[("kind", "truncate")]),
+                reg.counter(prio_obs::names::NET_FAULTS_INJECTED, &[("kind", "disconnect")]),
+            ],
+        }
+    }
+}
+
+/// Mutable per-link fault state: the decision stream and frame count.
+struct LinkState {
+    rng: PrgRng,
+    frames: u64,
+    disconnected: bool,
+}
+
+/// What the injector decided for one outbound frame.
+enum SendDecision {
+    /// The link is (now) permanently down.
+    Disconnected,
+    /// The frame is erased; report [`SendError::Closed`].
+    Drop,
+    /// Deliver, possibly mangled.
+    Deliver {
+        /// Replacement garbage payload (truncate fault), if any.
+        garbage: Option<Vec<u8>>,
+        /// Deliver the frame twice.
+        duplicate: bool,
+        /// Stall before delivering.
+        delay: Option<Duration>,
+    },
+}
+
+struct InjectorState {
+    plan: FaultPlan,
+    links: Mutex<HashMap<(NodeId, NodeId), LinkState>>,
+    counts: [AtomicU64; 5],
+    metrics: FaultMetrics,
+}
+
+/// Shared fault-injection state for one [`FaultPlan`]: hands out faulty
+/// endpoints and exposes exact per-kind injection counts.
+///
+/// Clones share state, so one injector can wrap many endpoints (a whole
+/// deployment) and still report a single coherent ledger.
+#[derive(Clone)]
+pub struct FaultInjector {
+    state: Arc<InjectorState>,
+}
+
+impl FaultInjector {
+    /// Creates an injector with fresh per-link streams and zero counters.
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        FaultInjector {
+            state: Arc::new(InjectorState {
+                plan,
+                links: Mutex::new(HashMap::new()),
+                counts: Default::default(),
+                metrics: FaultMetrics::resolve(),
+            }),
+        }
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.state.plan
+    }
+
+    /// Wraps `inner` so its outbound frames pass through this injector.
+    pub fn wrap(&self, inner: Endpoint) -> Endpoint {
+        Endpoint::Faulty(Box::new(FaultyEndpoint {
+            inner: Box::new(inner),
+            injector: self.clone(),
+        }))
+    }
+
+    /// Exact number of faults injected so far for `kind`.
+    pub fn injected(&self, kind: FaultKind) -> u64 {
+        self.state.counts[kind.index()].load(Ordering::Relaxed)
+    }
+
+    /// Total faults injected across all kinds.
+    pub fn injected_total(&self) -> u64 {
+        FaultKind::ALL.iter().map(|&k| self.injected(k)).sum()
+    }
+
+    fn record(&self, kind: FaultKind) {
+        self.state.counts[kind.index()].fetch_add(1, Ordering::Relaxed);
+        self.state.metrics.injected[kind.index()].inc();
+    }
+
+    /// Draws this frame's fate from the link's deterministic stream. The
+    /// four rolls are always drawn in a fixed order regardless of which
+    /// rates are non-zero, so changing one rate never perturbs the
+    /// decision stream of the others.
+    fn decide(&self, src: NodeId, dst: NodeId, payload_len: usize) -> SendDecision {
+        let plan = &self.state.plan;
+        let mut links = lock(&self.state.links);
+        let link = links.entry((src, dst)).or_insert_with(|| LinkState {
+            rng: PrgRng::from_u64_seed(plan.seed, link_label(src, dst)),
+            frames: 0,
+            disconnected: false,
+        });
+        if link.disconnected {
+            return SendDecision::Disconnected;
+        }
+        link.frames += 1;
+        if plan.disconnect_after > 0 && link.frames > plan.disconnect_after {
+            link.disconnected = true;
+            self.record(FaultKind::Disconnect);
+            return SendDecision::Disconnected;
+        }
+        let r_drop = (link.rng.next_u64() % 1000) as u32;
+        let r_trunc = (link.rng.next_u64() % 1000) as u32;
+        let r_dup = (link.rng.next_u64() % 1000) as u32;
+        let r_delay = (link.rng.next_u64() % 1000) as u32;
+        if r_drop < plan.drop_permille {
+            self.record(FaultKind::Drop);
+            return SendDecision::Drop;
+        }
+        let garbage = if r_trunc < plan.truncate_permille {
+            let mut g = vec![0u8; (payload_len / 2).max(1)];
+            link.rng.fill_bytes(&mut g);
+            self.record(FaultKind::Truncate);
+            Some(g)
+        } else {
+            None
+        };
+        let duplicate = r_dup < plan.dup_permille;
+        if duplicate {
+            self.record(FaultKind::Duplicate);
+        }
+        let delay = if r_delay < plan.delay_permille && plan.delay_ms > 0 {
+            self.record(FaultKind::Delay);
+            Some(Duration::from_millis(plan.delay_ms))
+        } else {
+            None
+        };
+        SendDecision::Deliver {
+            garbage,
+            duplicate,
+            delay,
+        }
+    }
+}
+
+/// Per-link decision-stream label: direction-sensitive, so `a → b` and
+/// `b → a` draw from independent streams.
+fn link_label(src: NodeId, dst: NodeId) -> u64 {
+    ((src.0 as u64) << 32) ^ (dst.0 as u64 & 0xffff_ffff)
+}
+
+/// An [`Endpoint`] whose outbound side misbehaves according to a
+/// [`FaultPlan`]. Receives, addresses, and byte counters delegate to the
+/// wrapped endpoint untouched — only `send` is intercepted.
+pub struct FaultyEndpoint {
+    inner: Box<Endpoint>,
+    injector: FaultInjector,
+}
+
+impl FaultyEndpoint {
+    /// This endpoint's node id.
+    pub fn id(&self) -> NodeId {
+        self.inner.id()
+    }
+
+    /// The wrapped endpoint's socket address, if any.
+    pub fn local_addr(&self) -> Option<std::net::SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    /// The injector shared by every endpoint wrapped under it.
+    pub fn injector(&self) -> &FaultInjector {
+        &self.injector
+    }
+
+    /// Sends through the fault schedule: the frame may be erased
+    /// (surfaces as [`SendError::Closed`]), delayed, duplicated, or
+    /// replaced with garbage before reaching the real fabric.
+    pub fn send(&self, dst: NodeId, payload: Vec<u8>) -> Result<(), SendError> {
+        match self.injector.decide(self.inner.id(), dst, payload.len()) {
+            SendDecision::Disconnected | SendDecision::Drop => Err(SendError::Closed),
+            SendDecision::Deliver {
+                garbage,
+                duplicate,
+                delay,
+            } => {
+                if let Some(d) = delay {
+                    std::thread::sleep(d);
+                }
+                let payload = garbage.unwrap_or(payload);
+                if duplicate {
+                    self.inner.send(dst, payload.clone())?;
+                }
+                self.inner.send(dst, payload)
+            }
+        }
+    }
+
+    /// Blocking receive (delegated; inbound faults are modelled by the
+    /// peer's outbound schedule).
+    pub fn recv(&self) -> Result<Envelope, RecvError> {
+        self.inner.recv()
+    }
+
+    /// Timed receive (delegated).
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, RecvTimeoutError> {
+        self.inner.recv_timeout(timeout)
+    }
+
+    /// Bytes actually handed to the fabric (duplicates count, drops
+    /// don't) — delegated to the wrapped endpoint.
+    pub fn bytes_sent(&self) -> u64 {
+        self.inner.bytes_sent()
+    }
+
+    /// Bytes received (delegated).
+    pub fn bytes_received(&self) -> u64 {
+        self.inner.bytes_received()
+    }
+}
+
+/// A [`Transport`] decorator: every endpoint it hands out is wrapped under
+/// one shared [`FaultInjector`], so a whole deployment's outbound traffic
+/// obeys a single plan with a single coherent fault ledger.
+pub struct FaultyTransport<T> {
+    inner: T,
+    injector: FaultInjector,
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    /// Wraps `inner` under `plan`.
+    pub fn new(inner: T, plan: FaultPlan) -> FaultyTransport<T> {
+        FaultyTransport {
+            inner,
+            injector: plan.injector(),
+        }
+    }
+
+    /// The shared injector (for reading fault counts back).
+    pub fn injector(&self) -> &FaultInjector {
+        &self.injector
+    }
+
+    /// The wrapped fabric.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn endpoint(&self) -> Endpoint {
+        self.injector.wrap(self.inner.endpoint())
+    }
+
+    fn stats(&self) -> NetStats {
+        self.inner.stats()
+    }
+
+    fn reset_stats(&self) {
+        self.inner.reset_stats()
+    }
+
+    fn kind(&self) -> TransportKind {
+        self.inner.kind()
+    }
+}
+
+/// Classifies an error as worth retrying (transient) or fatal.
+pub trait Retryable {
+    /// True when a retry could plausibly succeed.
+    fn retryable(&self) -> bool;
+}
+
+impl Retryable for SendError {
+    /// `Closed` is transient (a dropped frame, a peer mid-restart);
+    /// `UnknownNode` and `TooLarge` are caller bugs a retry cannot fix.
+    fn retryable(&self) -> bool {
+        matches!(self, SendError::Closed)
+    }
+}
+
+impl Retryable for RecvTimeoutError {
+    /// A deadline expiry may resolve on a longer wait; a torn-down
+    /// fabric never will.
+    fn retryable(&self) -> bool {
+        matches!(self, RecvTimeoutError::Timeout)
+    }
+}
+
+/// Bounded retry with exponential backoff and deterministic jitter.
+///
+/// `max_attempts` counts every try including the first, so `1` disables
+/// retrying entirely. Backoff before retry `k` (1-based) is
+/// `min(cap, base · 2^(k−1))`, jittered to between half and the full
+/// value by a ChaCha20 stream keyed on `(seed, op)` — deterministic, so
+/// chaos runs replay identically. Each retry increments
+/// `retry_attempts_total{op}`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Upper bound on any single backoff.
+    pub cap: Duration,
+    /// Jitter seed (same seed ⇒ same backoff schedule).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// 4 attempts, 2 ms base, 250 ms cap — tuned so a localhost chaos
+    /// run rides out a 10% drop rate with sub-second stalls.
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base: Duration::from_millis(2),
+            cap: Duration::from_millis(250),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (single attempt).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Sets the attempt budget (≥ 1).
+    pub fn with_max_attempts(mut self, n: u32) -> RetryPolicy {
+        self.max_attempts = n.max(1);
+        self
+    }
+
+    /// Sets the jitter seed.
+    pub fn with_seed(mut self, seed: u64) -> RetryPolicy {
+        self.seed = seed;
+        self
+    }
+
+    /// The backoff before 1-based retry `attempt`, jittered from `rng`.
+    fn backoff(&self, attempt: u32, rng: &mut PrgRng) -> Duration {
+        let shift = attempt.saturating_sub(1).min(20);
+        let full = self
+            .base
+            .saturating_mul(1u32 << shift)
+            .min(self.cap)
+            .as_nanos() as u64;
+        let half = full / 2;
+        Duration::from_nanos(half + rng.next_u64() % (half + 1))
+    }
+
+    /// Runs `f` until it succeeds, returns a fatal error, or the attempt
+    /// budget is spent. Classification comes from the error's
+    /// [`Retryable`] impl; `op` labels the retry counter and salts the
+    /// jitter stream.
+    pub fn run<T, E: Retryable>(
+        &self,
+        op: &'static str,
+        f: impl FnMut() -> Result<T, E>,
+    ) -> Result<T, E> {
+        self.run_classified(op, E::retryable, f)
+    }
+
+    /// [`RetryPolicy::run`] with an explicit classifier, for error types
+    /// this crate cannot implement [`Retryable`] for.
+    pub fn run_classified<T, E>(
+        &self,
+        op: &'static str,
+        retryable: impl Fn(&E) -> bool,
+        mut f: impl FnMut() -> Result<T, E>,
+    ) -> Result<T, E> {
+        let mut rng: Option<PrgRng> = None;
+        let mut attempt = 1u32;
+        loop {
+            match f() {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    if attempt >= self.max_attempts.max(1) || !retryable(&e) {
+                        return Err(e);
+                    }
+                    retry_counter(op).inc();
+                    let rng = rng.get_or_insert_with(|| {
+                        PrgRng::from_u64_seed(self.seed ^ fnv1a(op), RETRY_JITTER_LABEL)
+                    });
+                    std::thread::sleep(self.backoff(attempt, rng));
+                    attempt += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Resolves (once per distinct op, then cached) the
+/// `retry_attempts_total{op}` counter. The registry requires `'static`
+/// label slices, so the first resolution of each op leaks one two-word
+/// slice — bounded by the fixed set of op names in the codebase.
+fn retry_counter(op: &'static str) -> prio_obs::Counter {
+    static COUNTERS: std::sync::OnceLock<Mutex<HashMap<&'static str, prio_obs::Counter>>> =
+        std::sync::OnceLock::new();
+    let map = COUNTERS.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut m = lock(map);
+    m.entry(op)
+        .or_insert_with(|| {
+            let labels: &'static [(&'static str, &'static str)] =
+                Box::leak(Box::new([("op", op)]));
+            prio_obs::Registry::global().counter(prio_obs::names::RETRY_ATTEMPTS, labels)
+        })
+        .clone()
+}
+
+/// FNV-1a over the op name: a stable, dependency-free salt so distinct
+/// ops draw from distinct jitter streams under the same policy seed.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimNetwork;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn spec_roundtrips() {
+        let plan = FaultPlan::seeded(42)
+            .with_drop_permille(50)
+            .with_dup_permille(30)
+            .with_truncate_permille(7)
+            .with_delay(100, Duration::from_millis(3))
+            .with_disconnect_after(9);
+        let spec = plan.to_spec();
+        assert_eq!(FaultPlan::from_spec(&spec).unwrap(), plan);
+        // Omitted keys default to zero; unknown keys and junk are typed
+        // errors, not panics.
+        assert_eq!(FaultPlan::from_spec("seed=5").unwrap(), FaultPlan::seeded(5));
+        assert_eq!(FaultPlan::from_spec("").unwrap(), FaultPlan::seeded(0));
+        assert!(FaultPlan::from_spec("warp=1").is_err());
+        assert!(FaultPlan::from_spec("drop").is_err());
+        assert!(FaultPlan::from_spec("drop=banana").is_err());
+        assert!(FaultPlan::from_spec("drop=1001").is_err());
+    }
+
+    #[test]
+    fn noop_plan_changes_nothing() {
+        let net = SimNetwork::new();
+        let plan = FaultPlan::seeded(1);
+        assert!(plan.is_noop());
+        let injector = plan.injector();
+        let a = injector.wrap(net.endpoint());
+        let b = net.endpoint();
+        for i in 0..100u8 {
+            a.send(b.id(), vec![i]).unwrap();
+        }
+        for i in 0..100u8 {
+            assert_eq!(b.recv().unwrap().payload, vec![i]);
+        }
+        assert_eq!(injector.injected_total(), 0);
+        assert_eq!(a.bytes_sent(), 100);
+    }
+
+    /// Same plan + same send sequence ⇒ bit-identical fault ledger and
+    /// identical delivered traffic. This is the contract the CI chaos
+    /// gate's seeded-replay assertion rests on.
+    #[test]
+    fn replay_is_bit_identical() {
+        let run = || {
+            let net = SimNetwork::new();
+            let injector = FaultPlan::seeded(7)
+                .with_drop_permille(200)
+                .with_dup_permille(150)
+                .with_truncate_permille(100)
+                .injector();
+            let a = injector.wrap(net.endpoint());
+            let b = net.endpoint();
+            let mut outcomes = Vec::new();
+            for i in 0..500u16 {
+                outcomes.push(a.send(b.id(), i.to_le_bytes().to_vec()).is_ok());
+            }
+            let mut delivered = Vec::new();
+            while let Ok(env) = b.recv_timeout(Duration::from_millis(10)) {
+                delivered.push(env.payload);
+            }
+            let counts: Vec<u64> = FaultKind::ALL.iter().map(|&k| injector.injected(k)).collect();
+            (outcomes, delivered, counts)
+        };
+        let first = run();
+        let second = run();
+        assert_eq!(first, second);
+        // The plan actually did something in every configured category.
+        assert!(first.2[FaultKind::Drop.index()] > 0);
+        assert!(first.2[FaultKind::Duplicate.index()] > 0);
+        assert!(first.2[FaultKind::Truncate.index()] > 0);
+        assert_eq!(first.2[FaultKind::Delay.index()], 0);
+        assert_eq!(first.2[FaultKind::Disconnect.index()], 0);
+    }
+
+    #[test]
+    fn drops_surface_as_closed_and_skip_the_fabric() {
+        let net = SimNetwork::new();
+        let injector = FaultPlan::seeded(3).with_drop_permille(1000).injector();
+        let a = injector.wrap(net.endpoint());
+        let b = net.endpoint();
+        for _ in 0..10 {
+            assert_eq!(a.send(b.id(), vec![1, 2, 3]), Err(SendError::Closed));
+        }
+        assert_eq!(injector.injected(FaultKind::Drop), 10);
+        assert_eq!(a.bytes_sent(), 0, "dropped frames never reach the fabric");
+        assert!(matches!(
+            b.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        ));
+    }
+
+    #[test]
+    fn duplicates_deliver_twice_and_count_both_sends() {
+        let net = SimNetwork::new();
+        let injector = FaultPlan::seeded(3).with_dup_permille(1000).injector();
+        let a = injector.wrap(net.endpoint());
+        let b = net.endpoint();
+        a.send(b.id(), vec![9; 4]).unwrap();
+        assert_eq!(b.recv().unwrap().payload, vec![9; 4]);
+        assert_eq!(b.recv().unwrap().payload, vec![9; 4]);
+        assert_eq!(injector.injected(FaultKind::Duplicate), 1);
+        assert_eq!(a.bytes_sent(), 8, "both copies count as real traffic");
+    }
+
+    #[test]
+    fn truncate_delivers_garbage_of_half_length() {
+        let net = SimNetwork::new();
+        let injector = FaultPlan::seeded(3).with_truncate_permille(1000).injector();
+        let a = injector.wrap(net.endpoint());
+        let b = net.endpoint();
+        let payload: Vec<u8> = (0..64).collect();
+        a.send(b.id(), payload.clone()).unwrap();
+        let got = b.recv().unwrap().payload;
+        assert_eq!(got.len(), 32);
+        assert_ne!(got, payload[..32].to_vec(), "garbage, not a prefix");
+        assert_eq!(injector.injected(FaultKind::Truncate), 1);
+    }
+
+    #[test]
+    fn disconnect_kills_the_link_permanently_after_n_frames() {
+        let net = SimNetwork::new();
+        let injector = FaultPlan::seeded(3).with_disconnect_after(5).injector();
+        let a = injector.wrap(net.endpoint());
+        let b = net.endpoint();
+        let c = net.endpoint();
+        for _ in 0..5 {
+            a.send(b.id(), vec![0]).unwrap();
+        }
+        for _ in 0..3 {
+            assert_eq!(a.send(b.id(), vec![0]), Err(SendError::Closed));
+        }
+        // Disconnect counts once (the transition), not per blocked frame.
+        assert_eq!(injector.injected(FaultKind::Disconnect), 1);
+        // Links are independent: a → c still works.
+        a.send(c.id(), vec![1]).unwrap();
+        assert_eq!(c.recv().unwrap().payload, vec![1]);
+    }
+
+    #[test]
+    fn faulty_transport_wraps_every_endpoint_under_one_ledger() {
+        let chaos = FaultyTransport::new(
+            SimNetwork::new(),
+            FaultPlan::seeded(11).with_drop_permille(1000),
+        );
+        assert_eq!(chaos.kind(), TransportKind::Sim);
+        let a = chaos.endpoint();
+        let b = chaos.endpoint();
+        assert_eq!(a.send(b.id(), vec![1]), Err(SendError::Closed));
+        assert_eq!(b.send(a.id(), vec![2]), Err(SendError::Closed));
+        assert_eq!(chaos.injector().injected(FaultKind::Drop), 2);
+        assert_eq!(chaos.stats().total_bytes(), 0);
+    }
+
+    #[test]
+    fn faulty_transport_composes_over_tcp() {
+        let chaos = FaultyTransport::new(
+            crate::TcpTransport::new(),
+            FaultPlan::seeded(11).with_dup_permille(1000),
+        );
+        assert_eq!(chaos.kind(), TransportKind::Tcp);
+        let a = chaos.endpoint();
+        let b = chaos.endpoint();
+        a.send(b.id(), vec![7; 3]).unwrap();
+        assert_eq!(b.recv().unwrap().payload, vec![7; 3]);
+        assert_eq!(b.recv().unwrap().payload, vec![7; 3]);
+        assert_eq!(chaos.injector().injected(FaultKind::Duplicate), 1);
+    }
+
+    #[test]
+    fn retry_rides_out_transient_failures() {
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            base: Duration::from_micros(10),
+            cap: Duration::from_micros(100),
+            seed: 1,
+        };
+        let calls = AtomicU32::new(0);
+        let out: Result<u32, SendError> = policy.run("test_send", || {
+            if calls.fetch_add(1, Ordering::Relaxed) < 3 {
+                Err(SendError::Closed)
+            } else {
+                Ok(99)
+            }
+        });
+        assert_eq!(out, Ok(99));
+        assert_eq!(calls.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn retry_gives_up_after_the_attempt_budget() {
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base: Duration::from_micros(10),
+            cap: Duration::from_micros(100),
+            seed: 1,
+        };
+        let calls = AtomicU32::new(0);
+        let out: Result<(), SendError> = policy.run("test_budget", || {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Err(SendError::Closed)
+        });
+        assert_eq!(out, Err(SendError::Closed));
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn fatal_errors_are_not_retried() {
+        let policy = RetryPolicy::default();
+        let calls = AtomicU32::new(0);
+        let out: Result<(), SendError> = policy.run("test_fatal", || {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Err(SendError::UnknownNode)
+        });
+        assert_eq!(out, Err(SendError::UnknownNode));
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        // And a single-attempt policy never retries anything.
+        let calls = AtomicU32::new(0);
+        let out: Result<(), SendError> = RetryPolicy::none().run("test_none", || {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Err(SendError::Closed)
+        });
+        assert_eq!(out, Err(SendError::Closed));
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn retry_plus_dedup_grade_faults_down_to_exactly_once() {
+        // The recovery contract end to end: a lossy link + retransmission
+        // delivers every frame at least once; receiver-side dedup (here, a
+        // seen-set like the server loop's) restores exactly-once.
+        let net = SimNetwork::new();
+        let injector = FaultPlan::seeded(23)
+            .with_drop_permille(300)
+            .with_dup_permille(200)
+            .injector();
+        let a = injector.wrap(net.endpoint());
+        let b = net.endpoint();
+        let policy = RetryPolicy {
+            max_attempts: 16,
+            base: Duration::from_micros(5),
+            cap: Duration::from_micros(50),
+            seed: 23,
+        };
+        const N: u64 = 200;
+        for i in 0..N {
+            policy
+                .run("chaos_send", || a.send(b.id(), i.to_le_bytes().to_vec()))
+                .unwrap();
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut duplicates = 0u64;
+        while let Ok(env) = b.recv_timeout(Duration::from_millis(10)) {
+            let mut id = [0u8; 8];
+            id.copy_from_slice(&env.payload);
+            if !seen.insert(u64::from_le_bytes(id)) {
+                duplicates += 1;
+            }
+        }
+        assert_eq!(seen.len() as u64, N, "every frame arrived at least once");
+        assert!(duplicates > 0, "the plan actually duplicated something");
+        assert!(injector.injected(FaultKind::Drop) > 0);
+    }
+
+    #[test]
+    fn backoff_is_bounded_and_deterministic() {
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base: Duration::from_millis(2),
+            cap: Duration::from_millis(250),
+            seed: 9,
+        };
+        let mut a = PrgRng::from_u64_seed(9, RETRY_JITTER_LABEL);
+        let mut b = PrgRng::from_u64_seed(9, RETRY_JITTER_LABEL);
+        for attempt in 1..=9 {
+            let x = policy.backoff(attempt, &mut a);
+            let y = policy.backoff(attempt, &mut b);
+            assert_eq!(x, y, "same seed, same schedule");
+            assert!(x <= policy.cap, "attempt {attempt} exceeded the cap: {x:?}");
+            assert!(x >= policy.base / 2, "attempt {attempt} under half base: {x:?}");
+        }
+    }
+}

@@ -65,6 +65,7 @@
 #![warn(missing_docs)]
 
 pub mod control;
+pub mod faults;
 #[cfg(unix)]
 pub(crate) mod reactor;
 pub mod sim;
@@ -72,6 +73,7 @@ pub mod tcp;
 pub mod transport;
 pub mod wire;
 
+pub use faults::{FaultInjector, FaultKind, FaultPlan, FaultyTransport, RetryPolicy, Retryable};
 pub use sim::{SimEndpoint, SimNetwork};
 pub use tcp::{BindError, TcpEndpoint, TcpIoMode, TcpTransport};
 pub use transport::{

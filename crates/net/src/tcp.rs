@@ -234,13 +234,25 @@ fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<Envelope>> {
     Ok(Some(Envelope { src, payload }))
 }
 
+/// What an id in the fabric's address registry currently names. The
+/// distinction carries the restart semantics: a [`Slot::Local`] id is
+/// owned by a live endpoint of *this* fabric and cannot be taken, a
+/// [`Slot::Remote`] id belongs to another process and may be
+/// re-registered at a new address (the rejoin path after a node
+/// restart), and a [`Slot::Tombstone`] is what a closed endpoint leaves
+/// behind — sends to it report [`SendError::Closed`], matching the sim
+/// fabric's dropped-mailbox semantics, rather than
+/// [`SendError::UnknownNode`], and anything may claim it.
+#[derive(Clone, Copy, Debug)]
+enum Slot {
+    Local(SocketAddr),
+    Remote(SocketAddr),
+    Tombstone,
+}
+
 struct Inner {
-    /// Where each registered node listens. `None` is a tombstone for a
-    /// closed endpoint, so sends to it report [`SendError::Closed`] —
-    /// matching the sim fabric's dropped-mailbox semantics — rather than
-    /// [`SendError::UnknownNode`]. A tombstone is *not* a duplicate: a
-    /// restarted node may bind or register over it under the same id.
-    addrs: Mutex<HashMap<NodeId, Option<SocketAddr>>>,
+    /// Where each registered node listens (see [`Slot`]).
+    addrs: Mutex<HashMap<NodeId, Slot>>,
     counters: TrafficCounters,
     metrics: FabricMetrics,
     latency: Option<Duration>,
@@ -337,10 +349,10 @@ impl TcpTransport {
         let addr = listener.local_addr().map_err(BindError::Io)?;
         {
             let mut addrs = lock(&self.inner.addrs);
-            if let Some(Some(_)) = addrs.get(&id) {
+            if let Some(Slot::Local(_) | Slot::Remote(_)) = addrs.get(&id) {
                 return Err(BindError::DuplicateId(id));
             }
-            addrs.insert(id, Some(addr));
+            addrs.insert(id, Slot::Local(addr));
         }
 
         let (tx, rx) = channel();
@@ -425,18 +437,20 @@ impl TcpTransport {
     /// deployment holds its own fabric and learns its peers' ephemeral
     /// addresses over the control plane.
     ///
-    /// Returns `Err(BindError::DuplicateId)` if the id already names a
-    /// *live* local endpoint or another peer. A tombstoned id (left by a
-    /// closed endpoint) can be re-registered: that is exactly the restart
-    /// path, where a relaunched node announces its new ephemeral address
-    /// under its old identity.
+    /// Returns `Err(BindError::DuplicateId)` only if the id names a
+    /// *live local* endpoint of this fabric — that identity is owned
+    /// here and a remote claim on it is a caller bug. A tombstoned id
+    /// (left by a closed endpoint) can be re-registered, and a known
+    /// *remote* peer's address may be updated in place: both are the
+    /// restart path, where a relaunched node announces its new ephemeral
+    /// address under its old identity and every surviving peer rebinds.
     pub fn register_peer(&self, id: NodeId, addr: SocketAddr) -> Result<(), BindError> {
         bump_next_id(&self.inner.next_id, id);
         let mut addrs = lock(&self.inner.addrs);
-        if let Some(Some(_)) = addrs.get(&id) {
+        if let Some(Slot::Local(_)) = addrs.get(&id) {
             return Err(BindError::DuplicateId(id));
         }
-        addrs.insert(id, Some(addr));
+        addrs.insert(id, Slot::Remote(addr));
         Ok(())
     }
 
@@ -602,8 +616,11 @@ pub struct TcpEndpoint {
     addr: SocketAddr,
     net: TcpTransport,
     rx: Receiver<Envelope>,
-    /// Outbound connections, one per destination, opened lazily.
-    conns: Mutex<HashMap<NodeId, TcpStream>>,
+    /// Outbound connections, one per destination, opened lazily. Each is
+    /// keyed with the address it was dialed to, so a registry rebind (a
+    /// restarted peer's fresh ephemeral port) invalidates the stale
+    /// connection instead of buffering frames into a dead socket.
+    conns: Mutex<HashMap<NodeId, (SocketAddr, TcpStream)>>,
     sent: Arc<AtomicU64>,
     received: Arc<AtomicU64>,
     msgs: Arc<AtomicU64>,
@@ -649,24 +666,39 @@ impl TcpEndpoint {
     }
 
     fn send_inner(&self, dst: NodeId, payload: Vec<u8>) -> Result<(), SendError> {
-        let addr = lock(&self.net.inner.addrs)
+        let addr = match lock(&self.net.inner.addrs)
             .get(&dst)
             .copied()
             .ok_or(SendError::UnknownNode)?
-            .ok_or(SendError::Closed)?;
+        {
+            Slot::Local(addr) | Slot::Remote(addr) => addr,
+            Slot::Tombstone => return Err(SendError::Closed),
+        };
         if let Some(latency) = self.net.inner.latency {
             std::thread::sleep(latency);
         }
         let frame = encode_frame(self.id, &payload).ok_or(SendError::TooLarge)?;
         let mut conns = lock(&self.conns);
-        let stream = match conns.entry(dst) {
-            Entry::Occupied(e) => e.into_mut(),
+        let entry = match conns.entry(dst) {
+            // A pooled connection dialed to a *different* address than the
+            // registry now holds points at a dead incarnation of the peer:
+            // a small write into it can "succeed" into the kernel buffer
+            // and vanish. Redial the current address instead.
+            Entry::Occupied(mut e) => {
+                if e.get().0 != addr {
+                    let stream = TcpStream::connect(addr).map_err(|_| SendError::Closed)?;
+                    let _ = stream.set_nodelay(true);
+                    e.insert((addr, stream));
+                }
+                e.into_mut()
+            }
             Entry::Vacant(v) => {
                 let stream = TcpStream::connect(addr).map_err(|_| SendError::Closed)?;
                 let _ = stream.set_nodelay(true);
-                v.insert(stream)
+                v.insert((addr, stream))
             }
         };
+        let stream = &mut entry.1;
         // Count before the write: once the kernel has the bytes the peer's
         // reader may deliver them at any moment, and a stats snapshot taken
         // after a protocol barrier must already include every message that
@@ -728,12 +760,12 @@ impl TcpEndpoint {
         if self.closed.swap(true, Ordering::SeqCst) {
             return;
         }
-        lock(&self.net.inner.addrs).insert(self.id, None);
+        lock(&self.net.inner.addrs).insert(self.id, Slot::Tombstone);
         // EOF both directions of every outbound connection we own.
         // Shutdown acts on the socket itself (clones share it), so reader
         // threads blocked in `read` — ours and our peers' — wake
         // immediately.
-        for (_, conn) in lock(&self.conns).drain() {
+        for (_, (_, conn)) in lock(&self.conns).drain() {
             let _ = conn.shutdown(Shutdown::Both);
         }
         match &mut self.driver {
@@ -886,6 +918,39 @@ mod tests {
         let net = TcpTransport::new();
         let a = net.endpoint();
         assert!(a.recv_timeout(Duration::from_millis(10)).is_err());
+    }
+
+    #[test]
+    fn closed_reactor_endpoint_reports_closed_not_timeout() {
+        // The two RecvTimeoutError flavours carry different diagnoses: a
+        // deadline expiry means "the peer is slow", a closed fabric means
+        // "stop waiting, nothing will ever arrive". A reactor-mode
+        // endpoint whose I/O driver has been torn down must report the
+        // latter — immediately, not after sitting out the full deadline.
+        for io_mode in [TcpIoMode::Threaded, TcpIoMode::Reactor] {
+            let net = TcpTransport::with_options(None, io_mode);
+            let crate::Endpoint::Tcp(mut ep) = net.endpoint() else {
+                panic!("tcp fabric must hand out tcp endpoints");
+            };
+            // Alive: a short wait is a deadline expiry.
+            assert!(matches!(
+                ep.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            ));
+            ep.close();
+            let start = std::time::Instant::now();
+            assert!(
+                matches!(
+                    ep.recv_timeout(Duration::from_secs(30)),
+                    Err(RecvTimeoutError::Closed)
+                ),
+                "{io_mode:?}: a killed endpoint must report the fabric closed"
+            );
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "{io_mode:?}: closed must surface promptly, not at the deadline"
+            );
+        }
     }
 
     #[test]
@@ -1112,11 +1177,47 @@ mod tests {
         drop(ep); // tombstone
         net.register_peer(NodeId(3), addr)
             .expect("re-register over tombstone");
-        // The id is live again, so a second registration is a duplicate.
-        assert!(matches!(
-            net.register_peer(NodeId(3), addr),
-            Err(BindError::DuplicateId(NodeId(3)))
-        ));
+        // The id now names a *remote* peer, and a remote address may be
+        // updated in place — the rejoin path after a node restart, where
+        // the replacement binds a fresh ephemeral port.
+        let moved = TcpListener::bind("127.0.0.1:0").unwrap();
+        net.register_peer(NodeId(3), moved.local_addr().unwrap())
+            .expect("update a remote peer's address");
+    }
+
+    #[test]
+    fn register_peer_rebinds_a_restarted_remote_peer() {
+        // Two fabrics model two processes. Peer 1 "restarts" onto a new
+        // ephemeral port; re-registering it must move traffic to the new
+        // incarnation (after the stale pooled connection is cleared by
+        // one failed send).
+        let fab_a = TcpTransport::new();
+        let a = fab_a.try_endpoint_with_id(NodeId(0)).unwrap();
+        let fab_b1 = TcpTransport::new();
+        let b1 = fab_b1.try_endpoint_with_id(NodeId(1)).unwrap();
+        fab_a.register_peer(NodeId(1), b1.local_addr().unwrap()).unwrap();
+        a.send(NodeId(1), vec![1]).unwrap();
+        assert_eq!(b1.recv().unwrap().payload, vec![1]);
+        drop(b1);
+        let fab_b2 = TcpTransport::new();
+        let b2 = fab_b2.try_endpoint_with_id(NodeId(1)).unwrap();
+        fab_a
+            .register_peer(NodeId(1), b2.local_addr().unwrap())
+            .expect("rebind the restarted peer's new address");
+        // The pooled connection still points at the dead incarnation. A
+        // small write there can even "succeed" into the kernel buffer
+        // before the RST lands, so poll: every failed or swallowed send
+        // clears the stale pool entry and the next one redials.
+        let mut got = None;
+        for _ in 0..20 {
+            let _ = a.send(NodeId(1), vec![2]);
+            if let Ok(env) = b2.recv_timeout(Duration::from_millis(100)) {
+                got = Some(env);
+                break;
+            }
+        }
+        let env = got.expect("send must redial the new incarnation");
+        assert_eq!(env.payload, vec![2]);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
+use crate::faults::FaultyEndpoint;
 use crate::sim::SimEndpoint;
 use crate::tcp::TcpEndpoint;
 
@@ -233,6 +234,10 @@ pub enum Endpoint {
     Sim(SimEndpoint),
     /// An endpoint on a [`TcpTransport`](crate::TcpTransport) socket.
     Tcp(TcpEndpoint),
+    /// Any endpoint wrapped by a fault-injection schedule
+    /// ([`crate::faults::FaultPlan`]); boxed because the wrapper holds an
+    /// `Endpoint` of its own.
+    Faulty(Box<FaultyEndpoint>),
 }
 
 impl Endpoint {
@@ -241,6 +246,7 @@ impl Endpoint {
         match self {
             Endpoint::Sim(ep) => ep.id(),
             Endpoint::Tcp(ep) => ep.id(),
+            Endpoint::Faulty(ep) => ep.id(),
         }
     }
 
@@ -251,6 +257,7 @@ impl Endpoint {
         match self {
             Endpoint::Sim(_) => None,
             Endpoint::Tcp(ep) => Some(ep.local_addr()),
+            Endpoint::Faulty(ep) => ep.local_addr(),
         }
     }
 
@@ -259,6 +266,7 @@ impl Endpoint {
         match self {
             Endpoint::Sim(ep) => ep.send(dst, payload),
             Endpoint::Tcp(ep) => ep.send(dst, payload),
+            Endpoint::Faulty(ep) => ep.send(dst, payload),
         }
     }
 
@@ -267,6 +275,7 @@ impl Endpoint {
         match self {
             Endpoint::Sim(ep) => ep.recv(),
             Endpoint::Tcp(ep) => ep.recv(),
+            Endpoint::Faulty(ep) => ep.recv(),
         }
     }
 
@@ -276,6 +285,7 @@ impl Endpoint {
         match self {
             Endpoint::Sim(ep) => ep.recv_timeout(timeout),
             Endpoint::Tcp(ep) => ep.recv_timeout(timeout),
+            Endpoint::Faulty(ep) => ep.recv_timeout(timeout),
         }
     }
 
@@ -284,6 +294,7 @@ impl Endpoint {
         match self {
             Endpoint::Sim(ep) => ep.bytes_sent(),
             Endpoint::Tcp(ep) => ep.bytes_sent(),
+            Endpoint::Faulty(ep) => ep.bytes_sent(),
         }
     }
 
@@ -292,6 +303,7 @@ impl Endpoint {
         match self {
             Endpoint::Sim(ep) => ep.bytes_received(),
             Endpoint::Tcp(ep) => ep.bytes_received(),
+            Endpoint::Faulty(ep) => ep.bytes_received(),
         }
     }
 }

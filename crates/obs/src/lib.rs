@@ -141,6 +141,11 @@ pub mod names {
     pub const NET_SEND_FAILURES: &str = "net_send_failures_total";
     /// TCP bind retries taken while racing for a listen address.
     pub const NET_BIND_RETRIES: &str = "net_bind_retries_total";
+    /// Faults injected by a `FaultPlan`, labelled `kind = drop | delay |
+    /// duplicate | truncate | disconnect`.
+    pub const NET_FAULTS_INJECTED: &str = "net_faults_injected_total";
+    /// Retries taken by a `RetryPolicy`, labelled `op = <operation>`.
+    pub const RETRY_ATTEMPTS: &str = "retry_attempts_total";
 
     /// Live inbound connections held by reactor-mode endpoints (gauge).
     pub const NET_REACTOR_CONNS: &str = "net_reactor_conns";
@@ -168,6 +173,15 @@ pub mod names {
     pub const SERVER_PHASE_US: &str = "server_phase_us";
     /// Current depth of the lenient-mode reorder stash (gauge).
     pub const SERVER_STASH_DEPTH: &str = "server_stash_depth";
+    /// Duplicate client submissions discarded by the idempotent-ingest
+    /// seen-set (a duplicated frame must not double-count).
+    pub const SERVER_FRAMES_DEDUPED: &str = "server_frames_deduped_total";
+    /// Batches a server abandoned mid-protocol because a round deadline
+    /// expired (graceful degradation instead of a wedged loop).
+    pub const SERVER_BATCHES_ABANDONED: &str = "server_batches_abandoned_total";
+    /// Batch outcomes observed by the submission driver, labelled
+    /// `outcome = complete | degraded | aborted`.
+    pub const DRIVER_BATCH_OUTCOME: &str = "driver_batch_outcome_total";
 }
 
 #[cfg(test)]

@@ -23,6 +23,11 @@ OPTIONS:
     --runs <N>              Replays of the submission set   [default: 1]
     --seed <N>              Client RNG seed                 [default: 1347569999]
     --timeout-ms <N>        Per-receive deadline            [default: 30000]
+    --fault-plan <SPEC>     Deterministic fault injection on the driver's
+                            outbound sends, e.g.
+                            \"seed=7,drop=50,dup=30\"       [default: none]
+    --batch-deadline-ms <N> Count a batch with no decisions by then as
+                            dropped and continue            [default: off]
     -h, --help              Print this help.
 
 The driver binds an ephemeral data-plane endpoint (node id = server
@@ -30,7 +35,9 @@ count), prints `PRIO-SUBMIT data=<ip:port>`, and waits for a `GO` line on
 stdin — the orchestrator registers the driver address at every node in
 that gap. It then uploads the batches, runs the publish phase, and prints
 
-    PRIO-RESULT accepted=.. rejected=.. upload_bytes=.. driver_publish_bytes=.. sigma=.. batch_wall_us=..
+    PRIO-RESULT accepted=.. rejected=.. dropped=.. complete=.. degraded=..
+                aborted=.. upload_bytes=.. driver_publish_bytes=.. sigma=..
+                batch_wall_us=..
 
 Failures print `PRIO-SUBMIT-ERROR <msg>` and exit 1.";
 
@@ -51,6 +58,8 @@ fn main() {
     let mut runs = 1usize;
     let mut seed = 0x5052_494fu64;
     let mut timeout_ms = 30_000u64;
+    let mut fault_plan = None;
+    let mut batch_deadline_ms = 0u64;
 
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -82,6 +91,16 @@ fn main() {
             "--runs" => runs = parse_num(&value("--runs"), "--runs") as usize,
             "--seed" => seed = parse_num(&value("--seed"), "--seed"),
             "--timeout-ms" => timeout_ms = parse_num(&value("--timeout-ms"), "--timeout-ms"),
+            "--fault-plan" => {
+                let spec = value("--fault-plan");
+                match prio_net::FaultPlan::from_spec(&spec) {
+                    Ok(plan) => fault_plan = Some(plan),
+                    Err(e) => usage_error(&format!("--fault-plan: {e}")),
+                }
+            }
+            "--batch-deadline-ms" => {
+                batch_deadline_ms = parse_num(&value("--batch-deadline-ms"), "--batch-deadline-ms")
+            }
             "-h" | "--help" => {
                 println!("{HELP}");
                 return;
@@ -112,6 +131,8 @@ fn main() {
         runs,
         seed,
         timeout: Duration::from_millis(timeout_ms),
+        fault_plan,
+        batch_deadline: (batch_deadline_ms > 0).then(|| Duration::from_millis(batch_deadline_ms)),
     };
     std::process::exit(prio_proc::submit::run(&args))
 }

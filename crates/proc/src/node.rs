@@ -34,7 +34,7 @@ use prio_afe::Afe;
 use prio_core::{run_server_loop, FramePolicy, Server, ServerConfig, ServerLoopOptions};
 use prio_field::{Field128, Field64, FieldElement};
 use prio_net::control::{read_ctrl, write_ctrl, CtrlMsg, NodeConfig, NodeStats};
-use prio_net::{NodeId, TcpIoMode, TcpTransport};
+use prio_net::{FaultPlan, NodeId, RetryPolicy, TcpIoMode, TcpTransport};
 use prio_obs::{Obs, Registry};
 use prio_snip::{HForm, VerifyMode};
 use std::io::Write as _;
@@ -82,6 +82,11 @@ pub fn run(cfg: &NodeConfig, opts: NodeOptions) -> i32 {
     }
     if TcpIoMode::from_tag(&cfg.io_mode).is_none() {
         return fail_startup(&format!("unknown io mode '{}'", cfg.io_mode));
+    }
+    if !cfg.fault_plan.is_empty() {
+        if let Err(e) = FaultPlan::from_spec(&cfg.fault_plan) {
+            return fail_startup(&format!("bad fault plan '{}': {e}", cfg.fault_plan));
+        }
     }
     match field {
         FieldSpec::F64 => dispatch_afe::<Field64>(cfg, opts, afe, verify_mode, h_form),
@@ -147,10 +152,25 @@ fn session<F: FieldElement, A: Afe<F> + Send + Sync + 'static>(
     // The tag was validated in `run`; an unknown value cannot reach here,
     // but degrade to the default rather than trusting that invariant.
     let io_mode = TcpIoMode::from_tag(&cfg.io_mode).unwrap_or_default();
+    // Validated in `run`; degrade an unparsable (or noop) plan to "no
+    // faults" rather than trusting that invariant.
+    let fault_plan = if cfg.fault_plan.is_empty() {
+        None
+    } else {
+        FaultPlan::from_spec(&cfg.fault_plan)
+            .ok()
+            .filter(|p| !p.is_noop())
+    };
     let net = TcpTransport::with_options(None, io_mode);
     let data_ep = match net.try_endpoint_with_id(NodeId(index)) {
         Ok(ep) => ep,
         Err(e) => return fail_startup(&format!("data-plane bind failed: {e}")),
+    };
+    // Fault injection wraps the node's own data endpoint, so every
+    // outbound frame this server sends rides the plan's per-link streams.
+    let data_ep = match &fault_plan {
+        Some(plan) => plan.wrap(data_ep),
+        None => data_ep,
     };
     let Some(data_addr) = data_ep.local_addr() else {
         return fail_startup("data-plane endpoint has no TCP address");
@@ -221,6 +241,27 @@ fn session<F: FieldElement, A: Afe<F> + Send + Sync + 'static>(
                                 verify_threads,
                                 frame_policy: FramePolicy::Lenient,
                                 obs: Obs::global(),
+                                batch_deadline: (cfg.batch_deadline_ms > 0)
+                                    .then(|| Duration::from_millis(cfg.batch_deadline_ms)),
+                                // Under fault injection, ride out injected
+                                // drops; a clean fabric keeps the classic
+                                // fail-fast sends.
+                                retry: if fault_plan.is_some() {
+                                    RetryPolicy::default().with_seed(cfg.index)
+                                } else {
+                                    RetryPolicy::none()
+                                },
+                                // A faulted node bounds its idle receive
+                                // so a dropped Shutdown frame can't leave
+                                // the loop thread blocked past the
+                                // orchestrator's teardown.
+                                idle_deadline: fault_plan.is_some().then(|| {
+                                    if cfg.batch_deadline_ms > 0 {
+                                        Duration::from_millis(cfg.batch_deadline_ms * 8)
+                                    } else {
+                                        Duration::from_secs(16)
+                                    }
+                                }),
                             };
                             handle = Some(std::thread::spawn(move || {
                                 let report =
@@ -245,6 +286,8 @@ fn session<F: FieldElement, A: Afe<F> + Send + Sync + 'static>(
                         round2_us: report.timings.round2.as_micros() as u64,
                         publish_us: report.timings.publish.as_micros() as u64,
                         frames_dropped: report.frames_dropped,
+                        frames_deduped: report.frames_deduped,
+                        batches_abandoned: report.batches_abandoned,
                         clean: report.clean,
                     }),
                     Err(_) => CtrlMsg::Fail("server loop panicked".into()),

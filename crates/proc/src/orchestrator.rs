@@ -24,7 +24,7 @@
 use crate::spec::{h_form_tag, verify_mode_tag, AfeSpec, FieldSpec};
 use prio_net::control::{read_ctrl, write_ctrl, CtrlMsg, NodeConfig, NodeStats};
 use prio_net::wire::Wire;
-use prio_net::TcpIoMode;
+use prio_net::{FaultPlan, TcpIoMode};
 use prio_snip::{HForm, VerifyMode};
 use std::io::{BufRead, BufReader, ErrorKind, Write as _};
 use std::net::{SocketAddr, TcpStream};
@@ -62,6 +62,12 @@ pub struct ProcConfig {
     pub seed: u64,
     /// Deadline for every handshake step and every driver receive.
     pub timeout: Duration,
+    /// Deterministic fault plan every node injects on its outbound data
+    /// plane (`None` = clean fabric).
+    pub fault_plan: Option<FaultPlan>,
+    /// Per-batch deadline for each node's server loop (`None` = wait
+    /// forever, the classic fail-fast behaviour).
+    pub batch_deadline: Option<Duration>,
     /// Override for the `prio-node` binary (default: next to the current
     /// executable's target directory).
     pub node_bin: Option<PathBuf>,
@@ -88,9 +94,25 @@ impl ProcConfig {
             runs: 1,
             seed: 0x5052_494f,
             timeout: Duration::from_secs(30),
+            fault_plan: None,
+            batch_deadline: None,
             node_bin: None,
             submit_bin: None,
         }
+    }
+
+    /// Builder-style: inject `plan`'s faults on every node's outbound
+    /// data plane. Pair with [`ProcConfig::with_batch_deadline`] so a
+    /// batch the faults starve degrades instead of wedging the cluster.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Builder-style: per-batch server-loop deadline.
+    pub fn with_batch_deadline(mut self, deadline: Duration) -> Self {
+        self.batch_deadline = Some(deadline);
+        self
     }
 
     /// Builder-style: tampered fraction in permille.
@@ -292,6 +314,12 @@ pub struct ProcReport {
     pub accepted: u64,
     /// Submissions rejected.
     pub rejected: u64,
+    /// Submissions dropped with degraded/aborted batches — never
+    /// accumulated anywhere. `accepted + rejected + dropped` equals the
+    /// submissions fed.
+    pub dropped: u64,
+    /// Driver batch outcomes: `(complete, degraded, aborted)`.
+    pub batch_outcomes: (u64, u64, u64),
     /// The summed accumulator `σ` (clamped to `u64` per element).
     pub sigma: Vec<u64>,
     /// Wall-clock time of each `run_batch` call, in order.
@@ -365,6 +393,89 @@ fn line_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
         .map(|(_, v)| v)
 }
 
+/// Spawns one `prio-node` process, feeds it its serialized config, reads
+/// the ephemeral-port handshake, and connects its control socket.
+fn spawn_node(node_bin: &PathBuf, cfg: &ProcConfig, index: usize) -> Result<NodeHandle, ProcError> {
+    let mut child = Command::new(node_bin)
+        .arg("--config")
+        .arg("-")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .map_err(ProcError::Spawn)?;
+    let node_cfg = NodeConfig {
+        index: index as u64,
+        num_servers: cfg.num_servers as u64,
+        afe: cfg.afe.tag().into(),
+        size: cfg.afe.size(),
+        field: cfg.field.tag().into(),
+        verify_mode: verify_mode_tag(cfg.verify_mode).into(),
+        h_form: h_form_tag(cfg.h_form).into(),
+        verify_threads: cfg.verify_threads as u64,
+        io_mode: cfg.io_mode.tag().into(),
+        fault_plan: cfg.fault_plan.as_ref().map(FaultPlan::to_spec).unwrap_or_default(),
+        batch_deadline_ms: cfg
+            .batch_deadline
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0),
+    };
+    // Both handles were requested as piped; a None here is a spawn
+    // anomaly — kill the half-started child instead of leaking it.
+    let (stdin_pipe, stdout_pipe) = (child.stdin.take(), child.stdout.take());
+    let (Some(mut stdin), Some(node_stdout)) = (stdin_pipe, stdout_pipe) else {
+        let _ = child.kill();
+        let _ = child.wait();
+        return Err(ProcError::Spawn(std::io::Error::new(
+            ErrorKind::BrokenPipe,
+            "node child is missing a piped stdio handle",
+        )));
+    };
+    // Write the serialized config and close stdin so the node's
+    // read-to-EOF completes.
+    stdin
+        .write_all(&node_cfg.to_wire_bytes())
+        .map_err(ProcError::Spawn)?;
+    drop(stdin);
+    let stdout = LineReader::spawn(node_stdout);
+    let who = format!("node {index}");
+    let line = stdout.next_line(cfg.timeout, &who)?;
+    if let Some(msg) = line.strip_prefix("PRIO-NODE-ERROR ") {
+        return Err(ProcError::Handshake { who, msg: msg.into() });
+    }
+    let parse = |key: &str| -> Result<SocketAddr, ProcError> {
+        line_field(&line, key)
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| ProcError::Handshake {
+                who: who.clone(),
+                msg: format!("bad handshake line {line:?}"),
+            })
+    };
+    let data_addr = parse("data")?;
+    let control_addr = parse("control")?;
+    let ctrl = TcpStream::connect(control_addr).map_err(|e| ProcError::Control {
+        index,
+        msg: format!("connect failed: {e}"),
+    })?;
+    let _ = ctrl.set_nodelay(true);
+    // A control socket without deadlines can hang the orchestrator on a
+    // wedged node, so a failure to arm them is a handshake failure, not
+    // a shrug.
+    let arm = |what: &str, r: std::io::Result<()>| -> Result<(), ProcError> {
+        r.map_err(|e| ProcError::Handshake {
+            who: who.clone(),
+            msg: format!("setting control {what} timeout failed: {e}"),
+        })
+    };
+    arm("read", ctrl.set_read_timeout(Some(cfg.timeout)))?;
+    arm("write", ctrl.set_write_timeout(Some(cfg.timeout)))?;
+    Ok(NodeHandle {
+        child,
+        _stdout: stdout,
+        ctrl,
+        data_addr,
+    })
+}
+
 impl ProcDeployment {
     /// Spawns the node cluster and brings it to the ready barrier: every
     /// node has bound its ephemeral ports, learned all its peers, and
@@ -394,75 +505,18 @@ impl ProcDeployment {
     }
 
     fn launch_inner(&mut self, node_bin: &PathBuf) -> Result<(), ProcError> {
-        let cfg = self.cfg.clone();
-        for index in 0..cfg.num_servers {
-            let mut child = Command::new(node_bin)
-                .arg("--config")
-                .arg("-")
-                .stdin(Stdio::piped())
-                .stdout(Stdio::piped())
-                .spawn()
-                .map_err(ProcError::Spawn)?;
-            let node_cfg = NodeConfig {
-                index: index as u64,
-                num_servers: cfg.num_servers as u64,
-                afe: cfg.afe.tag().into(),
-                size: cfg.afe.size(),
-                field: cfg.field.tag().into(),
-                verify_mode: verify_mode_tag(cfg.verify_mode).into(),
-                h_form: h_form_tag(cfg.h_form).into(),
-                verify_threads: cfg.verify_threads as u64,
-                io_mode: cfg.io_mode.tag().into(),
-            };
-            // Both handles were requested as piped; a None here is a spawn
-            // anomaly — kill the half-started child instead of leaking it.
-            let (stdin_pipe, stdout_pipe) = (child.stdin.take(), child.stdout.take());
-            let (Some(mut stdin), Some(node_stdout)) = (stdin_pipe, stdout_pipe) else {
-                let _ = child.kill();
-                let _ = child.wait();
-                return Err(ProcError::Spawn(std::io::Error::new(
-                    ErrorKind::BrokenPipe,
-                    "node child is missing a piped stdio handle",
-                )));
-            };
-            // Write the serialized config and close stdin so the node's
-            // read-to-EOF completes.
-            stdin
-                .write_all(&node_cfg.to_wire_bytes())
-                .map_err(ProcError::Spawn)?;
-            drop(stdin);
-            let stdout = LineReader::spawn(node_stdout);
-            let who = format!("node {index}");
-            let line = stdout.next_line(cfg.timeout, &who)?;
-            if let Some(msg) = line.strip_prefix("PRIO-NODE-ERROR ") {
-                return Err(ProcError::Handshake { who, msg: msg.into() });
-            }
-            let parse = |key: &str| -> Result<SocketAddr, ProcError> {
-                line_field(&line, key)
-                    .and_then(|v| v.parse().ok())
-                    .ok_or_else(|| ProcError::Handshake {
-                        who: who.clone(),
-                        msg: format!("bad handshake line {line:?}"),
-                    })
-            };
-            let data_addr = parse("data")?;
-            let control_addr = parse("control")?;
-            let ctrl = TcpStream::connect(control_addr).map_err(|e| ProcError::Control {
-                index,
-                msg: format!("connect failed: {e}"),
-            })?;
-            let _ = ctrl.set_nodelay(true);
-            let _ = ctrl.set_read_timeout(Some(cfg.timeout));
-            let _ = ctrl.set_write_timeout(Some(cfg.timeout));
-            self.nodes.push(NodeHandle {
-                child,
-                _stdout: stdout,
-                ctrl,
-                data_addr,
-            });
+        for index in 0..self.cfg.num_servers {
+            let handle = spawn_node(node_bin, &self.cfg, index)?;
+            self.nodes.push(handle);
         }
+        self.distribute_peers()
+    }
 
-        // Distribute the address map and pass the readiness barrier.
+    /// Sends the full data-plane address map to every node and passes the
+    /// readiness barrier. Safe to repeat — nodes update the addresses of
+    /// peers they already know, which is how a restarted node's fresh
+    /// ephemeral port propagates.
+    fn distribute_peers(&mut self) -> Result<(), ProcError> {
         let peers: Vec<(u64, SocketAddr)> = self
             .nodes
             .iter()
@@ -488,6 +542,85 @@ impl ProcDeployment {
     pub fn kill_node(&mut self, index: usize) {
         let _ = self.nodes[index].child.kill();
         let _ = self.nodes[index].child.wait();
+    }
+
+    /// Replaces node `index` with a fresh process: kills whatever is
+    /// there (idempotent if it already died), spawns a new `prio-node`
+    /// with the same config, and re-distributes the address map so every
+    /// surviving peer rebinds to the replacement's fresh ephemeral port.
+    ///
+    /// The replacement starts with an empty accumulator and no server
+    /// loop; callers that drive ingest themselves re-issue
+    /// [`ProcDeployment::ingest_node`] afterwards. This is the recovery
+    /// half of the paper's §7 availability story: a crashed server costs
+    /// the batches it was mid-way through, not the deployment.
+    pub fn restart_node(&mut self, index: usize) -> Result<(), ProcError> {
+        self.kill_node(index);
+        let node_bin = match &self.cfg.node_bin {
+            Some(path) => path.clone(),
+            None => find_binary("prio-node")?,
+        };
+        self.nodes[index] = spawn_node(&node_bin, &self.cfg, index)?;
+        self.distribute_peers()
+    }
+
+    /// Registers an external driver endpoint at node `index` and starts
+    /// its server loop — the driverless-API twin of what `run` does
+    /// through `prio-submit`, used by chaos tests and benches that hold
+    /// their own in-process [`BatchDriver`](prio_core::BatchDriver).
+    pub fn ingest_node(
+        &mut self,
+        index: usize,
+        driver: u64,
+        addr: SocketAddr,
+    ) -> Result<(), ProcError> {
+        self.control(index, &CtrlMsg::Ingest { driver, addr }, |m| {
+            matches!(m, CtrlMsg::IngestAck)
+        })
+        .map(|_| ())
+    }
+
+    /// [`ProcDeployment::ingest_node`] for every node.
+    pub fn ingest_all(&mut self, driver: u64, addr: SocketAddr) -> Result<(), ProcError> {
+        for index in 0..self.nodes.len() {
+            self.ingest_node(index, driver, addr)?;
+        }
+        Ok(())
+    }
+
+    /// Joins node `index`'s server loop and returns its statistics.
+    pub fn flush_stats(&mut self, index: usize) -> Result<NodeStats, ProcError> {
+        let reply =
+            self.control(index, &CtrlMsg::FlushAggregate, |m| matches!(m, CtrlMsg::Stats(_)))?;
+        match reply {
+            CtrlMsg::Stats(stats) => Ok(stats),
+            reply => Err(ProcError::Control {
+                index,
+                msg: format!("expected Stats, got {reply:?}"),
+            }),
+        }
+    }
+
+    /// Orderly teardown for driverless use: `Shutdown`/`Bye` every node,
+    /// wait for exits, and report whether all of them were clean.
+    /// Consumes the deployment.
+    pub fn shutdown_all(mut self) -> Result<bool, ProcError> {
+        let timeout = self.cfg.timeout;
+        let mut clean_exit = true;
+        for index in 0..self.nodes.len() {
+            let reply =
+                self.control(index, &CtrlMsg::Shutdown, |m| matches!(m, CtrlMsg::Bye { .. }))?;
+            let CtrlMsg::Bye { clean } = reply else {
+                return Err(ProcError::Control {
+                    index,
+                    msg: format!("expected Bye, got {reply:?}"),
+                });
+            };
+            let status = wait_deadline(&mut self.nodes[index].child, timeout)
+                .ok_or_else(|| ProcError::Timeout(format!("node {index} exit")))?;
+            clean_exit &= clean && status.success();
+        }
+        Ok(clean_exit)
     }
 
     /// Scrapes one node's live metrics registry over the control plane.
@@ -570,6 +703,17 @@ impl ProcDeployment {
             .args(["--runs", &cfg.runs.to_string()])
             .args(["--seed", &cfg.seed.to_string()])
             .args(["--timeout-ms", &cfg.timeout.as_millis().to_string()])
+            .args(match &cfg.fault_plan {
+                Some(plan) => vec!["--fault-plan".to_string(), plan.to_spec()],
+                None => Vec::new(),
+            })
+            .args(match cfg.batch_deadline {
+                Some(d) => vec![
+                    "--batch-deadline-ms".to_string(),
+                    d.as_millis().to_string(),
+                ],
+                None => Vec::new(),
+            })
             .stdin(Stdio::piped())
             .stdout(Stdio::piped())
             .spawn()
@@ -616,10 +760,19 @@ impl ProcDeployment {
                 .write_all(b"GO\n")
                 .map_err(|e| ProcError::Submit(format!("sending GO failed: {e}")))?;
 
-            // The whole workload runs between GO and the result line; every
-            // driver receive is bounded by cfg.timeout, so 4× covers the
-            // protocol tail without masking a wedged cluster.
-            let run_deadline = cfg.timeout.saturating_mul(4);
+            // The whole workload runs between GO and the result line.
+            // Derive the deadline from how many batches actually run: each
+            // batch is bounded driver-side (its deadline when degradation
+            // is on, otherwise the receive timeout), plus one timeout of
+            // slack for encode/publish/teardown — so a long sweep cannot
+            // trip a fixed multiple, and a wedged cluster still surfaces
+            // promptly.
+            let total_batches = (cfg.runs as u32)
+                .saturating_mul(cfg.submissions.div_ceil(cfg.batch.max(1)).max(1) as u32);
+            let per_batch = cfg.batch_deadline.unwrap_or(cfg.timeout);
+            let run_deadline = per_batch
+                .saturating_mul(total_batches)
+                .saturating_add(cfg.timeout);
             let line = submit_out.next_line(run_deadline, "submit result")?;
             if let Some(msg) = line.strip_prefix("PRIO-SUBMIT-ERROR ") {
                 return Err(ProcError::Submit(msg.into()));
@@ -647,6 +800,8 @@ impl ProcDeployment {
             };
             let accepted = num("accepted")?;
             let rejected = num("rejected")?;
+            let dropped = num("dropped")?;
+            let batch_outcomes = (num("complete")?, num("degraded")?, num("aborted")?);
             let upload_bytes = num("upload_bytes")?;
             let driver_publish_bytes = num("driver_publish_bytes")?;
             let sigma = list("sigma")?;
@@ -698,6 +853,8 @@ impl ProcDeployment {
             Ok(ProcReport {
                 accepted,
                 rejected,
+                dropped,
+                batch_outcomes,
                 sigma,
                 batch_wall,
                 upload_bytes,

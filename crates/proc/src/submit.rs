@@ -12,8 +12,12 @@
 //! at every node). On success it prints one machine-readable line —
 //!
 //! ```text
-//! PRIO-RESULT accepted=<n> rejected=<n> upload_bytes=<n> sigma=<v,..> batch_wall_us=<w,..>
+//! PRIO-RESULT accepted=<n> rejected=<n> dropped=<n> complete=<n> degraded=<n> aborted=<n> upload_bytes=<n> sigma=<v,..> batch_wall_us=<w,..>
 //! ```
+//!
+//! `accepted + rejected + dropped` always equals `submissions × runs`:
+//! a batch that missed its `--batch-deadline-ms` is counted dropped (and
+//! `degraded`), never silently lost.
 //!
 //! — and exits 0. Any failure (a dead node, a receive timeout, a protocol
 //! violation) prints `PRIO-SUBMIT-ERROR <msg>` and exits 1: the typed
@@ -22,9 +26,9 @@
 
 use crate::spec::{encode_submissions, AfeSpec, FieldSpec};
 use prio_snip::HForm;
-use prio_core::BatchDriver;
+use prio_core::{BatchDriver, BatchOutcome};
 use prio_field::{Field128, Field64, FieldElement};
-use prio_net::{NodeId, TcpTransport};
+use prio_net::{FaultPlan, NodeId, RetryPolicy, TcpTransport};
 use std::io::{BufRead, Write as _};
 use std::net::SocketAddr;
 use std::time::Duration;
@@ -53,6 +57,12 @@ pub struct SubmitArgs {
     pub seed: u64,
     /// Per-receive deadline.
     pub timeout: Duration,
+    /// Deterministic fault plan injected on the driver's outbound sends
+    /// (`None` = clean fabric).
+    pub fault_plan: Option<FaultPlan>,
+    /// Per-batch deadline: a batch with no decisions by then is counted
+    /// degraded and the run continues (`None` = classic fail-fast).
+    pub batch_deadline: Option<Duration>,
 }
 
 fn fail(msg: &str) -> i32 {
@@ -85,6 +95,13 @@ fn drive<F: FieldElement>(args: &SubmitArgs) -> i32 {
         Ok(ep) => ep,
         Err(e) => return fail(&format!("driver bind failed: {e}")),
     };
+    // Faults ride the driver's own outbound sends; the retry budget (and
+    // server-side dedup) is what grades them back down to exactly-once.
+    let faulted = args.fault_plan.as_ref().filter(|p| !p.is_noop()).is_some();
+    let ep = match args.fault_plan.as_ref().filter(|p| !p.is_noop()) {
+        Some(plan) => plan.wrap(ep),
+        None => ep,
+    };
     let Some(addr) = ep.local_addr() else {
         return fail("driver endpoint has no TCP address");
     };
@@ -115,10 +132,20 @@ fn drive<F: FieldElement>(args: &SubmitArgs) -> i32 {
     let server_ids: Vec<NodeId> = (0..s).map(NodeId).collect();
     let mut driver: BatchDriver<F> =
         BatchDriver::new(ep, server_ids).with_timeout(args.timeout);
+    if let Some(deadline) = args.batch_deadline {
+        driver = driver.with_batch_deadline(deadline);
+    }
+    if faulted {
+        driver = driver.with_retry(RetryPolicy::default().with_seed(args.seed));
+    }
     for _ in 0..args.runs.max(1) {
         for chunk in subs.chunks(args.batch.max(1)) {
-            if let Err(e) = driver.run_batch(chunk) {
-                return fail(&format!("batch failed: {e}"));
+            match driver.run_batch_outcome(chunk) {
+                // Complete and Degraded both keep the run going — partial
+                // results with exact accounting are the whole point.
+                Ok(BatchOutcome::Complete { .. }) | Ok(BatchOutcome::Degraded { .. }) => {}
+                Ok(BatchOutcome::Aborted) => return fail("batch aborted: no server reachable"),
+                Err(e) => return fail(&format!("batch failed: {e}")),
             }
         }
     }
@@ -150,10 +177,12 @@ fn drive<F: FieldElement>(args: &SubmitArgs) -> i32 {
         .map(|d| (d.as_micros() as u64).to_string())
         .collect::<Vec<_>>()
         .join(",");
+    let (complete, degraded, aborted) = driver.outcome_counts();
     println!(
-        "PRIO-RESULT accepted={} rejected={} upload_bytes={} driver_publish_bytes={} sigma={} batch_wall_us={}",
+        "PRIO-RESULT accepted={} rejected={} dropped={} complete={complete} degraded={degraded} aborted={aborted} upload_bytes={} driver_publish_bytes={} sigma={} batch_wall_us={}",
         driver.accepted(),
         driver.rejected(),
+        driver.dropped(),
         upload_bytes,
         driver_publish_bytes,
         sigma_str,

@@ -219,6 +219,8 @@ fn bad_config_is_a_handshake_error() {
         h_form: "point_value".into(),
         verify_threads: 1,
         io_mode: "threaded".into(),
+        fault_plan: String::new(),
+        batch_deadline_ms: 0,
     };
     use prio_net::wire::Wire;
     let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_prio-node"))
