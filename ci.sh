@@ -115,4 +115,19 @@ diff target/ledgers_a.txt target/ledgers_b.txt || {
   exit 1
 }
 
+# Distributed-tracing gate (ROADMAP.md "Observability"). A traced smoke
+# scenario runs on the sim fabric and on the multi-process fabric; each
+# merged timeline is exported as Chrome trace-event JSON and re-parsed by
+# prio-trace --check, which enforces the tracing invariants end to end:
+# unique span ids, acyclic parent edges that all resolve, causal order
+# (no recv before its send), and a critical-path compute/network split
+# that sums to within the batch wall time. The traced fig4 rows in the
+# main --smoke report above are additionally validated by
+# prio-bench --check (trace block required on traced scenarios).
+echo "==> trace gate (sim + proc Chrome-trace export, prio-trace --check)"
+cargo run --release --offline -q -p prio_bench -- --trace "fig4/throughput/sum/s=3" --out target/trace_sim.json
+cargo run --release --offline -q -p prio_bench -- --trace "fig4/throughput/sum/s=3/proc" --out target/trace_proc.json
+cargo run --release --offline -q -p prio_bench --bin prio-trace -- --check target/trace_sim.json
+cargo run --release --offline -q -p prio_bench --bin prio-trace -- --check target/trace_proc.json
+
 echo "CI OK"

@@ -1,0 +1,74 @@
+//! `prio-trace` — validator for exported Chrome trace-event timelines.
+//!
+//! `prio-bench --trace <scenario>` exports the merged cluster timeline as
+//! Chrome trace-event JSON; this tool re-parses such an export and checks
+//! the invariants the tracing subsystem promises: complete-event shape,
+//! unique nonzero span ids, resolvable acyclic parent edges, causal order
+//! (no span starting before its parent), and a critical-path split that
+//! stays within the batch wall time. The CI trace gate runs it against
+//! fresh sim- and proc-backend exports.
+
+use prio_obs::trace::check_chrome_json;
+
+const HELP: &str = "\
+prio-trace: validate a Chrome trace-event JSON export from prio-bench
+
+USAGE:
+    prio-trace --check <PATH>
+
+OPTIONS:
+    --check <PATH>   Parse PATH as Chrome trace-event JSON and verify the
+                     prio tracing invariants (unique ids, acyclic causal
+                     parent edges, durations, critical-path bounds).
+                     Exits 0 on success, 1 on a violation.
+    -h, --help       Print this help.";
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("prio-trace: {msg}\n\n{HELP}");
+    std::process::exit(2)
+}
+
+fn check(path: &str) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("prio-trace: cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    match check_chrome_json(&text) {
+        Ok(summary) => {
+            println!(
+                "{path}: valid trace with {} events from {} nodes over {} batches",
+                summary.events, summary.nodes, summary.batches
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("{path}: invalid trace: {e}");
+            1
+        }
+    }
+}
+
+fn main() {
+    let mut check_path = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => {
+                check_path =
+                    Some(it.next().unwrap_or_else(|| usage_error("--check needs a path")));
+            }
+            "-h" | "--help" => {
+                println!("{HELP}");
+                return;
+            }
+            other => usage_error(&format!("unknown argument: {other}")),
+        }
+    }
+    let Some(path) = check_path else {
+        usage_error("missing --check");
+    };
+    std::process::exit(check(&path))
+}

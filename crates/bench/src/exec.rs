@@ -49,15 +49,25 @@ impl Record {
 
 /// Runs one scenario to completion.
 pub fn run_scenario(sc: &Scenario) -> Record {
+    run_scenario_traced(sc).0
+}
+
+/// Runs one scenario and also returns the merged trace timeline, when the
+/// scenario family records one (`sc.traced` throughput runs on the
+/// deployment or proc backends). The same timeline is embedded in the
+/// record's `trace` metrics block; the structured copy is for consumers
+/// that need exact span ids — the Chrome exporter behind
+/// `prio-bench --trace`.
+pub fn run_scenario_traced(sc: &Scenario) -> (Record, Option<prio_obs::trace::MergedTrace>) {
     let before = prio_obs::Registry::global().snapshot();
-    let mut metrics = match sc.group {
+    let (mut metrics, trace) = match sc.group {
         Group::Throughput => run_throughput(sc),
-        Group::EncodeVerify => run_encode_verify(sc),
-        Group::Bandwidth => run_bandwidth(sc),
-        Group::Baseline => run_baseline(sc),
-        Group::BatchVerify => run_batch_verify(sc),
-        Group::ConnSweep => run_conn_sweep(sc),
-        Group::Robustness => run_robustness(sc),
+        Group::EncodeVerify => (run_encode_verify(sc), None),
+        Group::Bandwidth => (run_bandwidth(sc), None),
+        Group::Baseline => (run_baseline(sc), None),
+        Group::BatchVerify => (run_batch_verify(sc), None),
+        Group::ConnSweep => (run_conn_sweep(sc), None),
+        Group::Robustness => (run_robustness(sc), None),
     };
     // Registry-derived observability block: what this scenario did to the
     // process-wide metrics (phase-latency percentiles, drop and reject
@@ -68,12 +78,13 @@ pub fn run_scenario(sc: &Scenario) -> Record {
         let delta = prio_obs::Registry::global().snapshot().diff(&before);
         attach_obs(&mut metrics, obs_block(&delta));
     }
-    Record {
+    let record = Record {
         name: sc.name.clone(),
         group: sc.group,
         params: sc.params_json(),
         metrics,
-    }
+    };
+    (record, trace)
 }
 
 /// Appends an `obs` entry to a metrics object (no-op on non-objects).
@@ -129,6 +140,68 @@ fn obs_block(snap: &prio_obs::Snapshot) -> Json {
     ])
 }
 
+/// Builds the `trace` metrics block from a merged timeline: the schema
+/// tag, the full span list, and the critical-path attribution. Span /
+/// trace / parent ids are full-range 64-bit FNV values — beyond f64's
+/// exact-integer range — so they are emitted as decimal strings; every
+/// other field fits a JSON number exactly.
+fn trace_block(merged: &prio_obs::trace::MergedTrace) -> Json {
+    let cp = prio_obs::trace::critical_path(&merged.spans);
+    let id = |v: u64| Json::Str(v.to_string());
+    let spans = merged
+        .spans
+        .iter()
+        .map(|s| {
+            Json::obj(vec![
+                ("id", id(s.id)),
+                ("parent", id(s.parent)),
+                ("trace", id(s.trace)),
+                ("node", Json::Num(s.node as f64)),
+                ("kind", Json::Str(s.kind.name().into())),
+                ("phase", Json::Str(s.phase.into())),
+                ("ts_us", Json::Num(s.start_us as f64)),
+                ("end_us", Json::Num(s.end_us as f64)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("schema", Json::Str(prio_obs::trace::TRACE_SCHEMA.into())),
+        ("batches", Json::Num(cp.batches as f64)),
+        ("dropped", Json::Num(merged.dropped as f64)),
+        ("spans", Json::Arr(spans)),
+        (
+            "critical_path",
+            Json::obj(vec![
+                ("compute_us", Json::Num(cp.compute_us as f64)),
+                ("network_wait_us", Json::Num(cp.network_wait_us as f64)),
+                ("batch_wall_us", Json::Num(cp.batch_wall_us as f64)),
+                (
+                    "per_node",
+                    Json::Arr(
+                        cp.per_node
+                            .iter()
+                            .map(|nc| {
+                                Json::obj(vec![
+                                    ("node", Json::Num(nc.node as f64)),
+                                    ("compute_us", Json::Num(nc.compute_us as f64)),
+                                    ("wait_us", Json::Num(nc.wait_us as f64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// Appends a `trace` entry to a metrics object (no-op on non-objects).
+fn attach_trace(metrics: &mut Json, merged: &prio_obs::trace::MergedTrace) {
+    if let Json::Obj(pairs) = metrics {
+        pairs.push(("trace".into(), trace_block(merged)));
+    }
+}
+
 fn sum_inputs(bits: usize, n: usize, rng: &mut StdRng) -> Vec<u64> {
     let max = 1u64 << bits;
     (0..n).map(|_| rng.random_range(0..max)).collect()
@@ -142,7 +215,7 @@ fn ms(d: Duration) -> f64 {
 // Figure 4: throughput vs. number of servers (threaded deployment).
 // ---------------------------------------------------------------------------
 
-fn run_throughput(sc: &Scenario) -> Json {
+fn run_throughput(sc: &Scenario) -> (Json, Option<prio_obs::trace::MergedTrace>) {
     if sc.backend == Backend::Proc {
         return run_throughput_proc(sc);
     }
@@ -156,6 +229,9 @@ fn run_throughput(sc: &Scenario) -> Json {
         .with_transport(transport);
     if let Some(latency) = sc.latency {
         cfg = cfg.with_latency(latency);
+    }
+    if sc.traced {
+        cfg = cfg.with_trace();
     }
     let mut deployment: Deployment<Field64> = Deployment::start(afe.clone(), cfg);
     let mut client = Client::new(afe, ClientConfig::new(sc.servers));
@@ -174,13 +250,17 @@ fn run_throughput(sc: &Scenario) -> Json {
 
     let (leader, non_leader) = report.leader_vs_non_leader_bytes();
     let throughput = sc.submissions as f64 / (summary.median_ms / 1e3);
-    Json::obj(vec![
+    let mut metrics = Json::obj(vec![
         ("batch_wall", summary.to_json()),
         ("throughput_sub_per_s", Json::Num(throughput)),
         ("upload_bytes_per_sub", Json::Num(subs[0].upload_bytes() as f64)),
         ("leader_bytes_sent", Json::Num(leader as f64)),
         ("max_non_leader_bytes_sent", Json::Num(non_leader as f64)),
-    ])
+    ]);
+    if let Some(merged) = &report.trace {
+        attach_trace(&mut metrics, merged);
+    }
+    (metrics, report.trace)
 }
 
 // ---------------------------------------------------------------------------
@@ -193,12 +273,16 @@ fn proc_config(sc: &Scenario) -> ProcConfig {
     assert!(sc.latency.is_none(), "the proc backend has no latency model");
     let afe = AfeSpec::parse(sc.afe.tag(), sc.size as u64).expect("afe tag maps to a spec");
     let field = FieldSpec::parse(sc.field.tag()).expect("field tag maps to a spec");
-    ProcConfig::new(sc.servers, afe, field, sc.submissions)
+    let mut cfg = ProcConfig::new(sc.servers, afe, field, sc.submissions)
         .with_batch(sc.batch)
         .with_runs(sc.runner.warmup + sc.runner.iters)
         .with_seed(sc.seed)
         .with_verify_mode(sc.verify_mode)
-        .with_verify_threads(sc.verify_threads)
+        .with_verify_threads(sc.verify_threads);
+    if sc.traced {
+        cfg = cfg.with_trace();
+    }
+    cfg
 }
 
 /// The proc backend's obs block: the node processes have their own
@@ -241,7 +325,7 @@ fn proc_upload_bytes_per_sub(sc: &Scenario) -> usize {
     }
 }
 
-fn run_throughput_proc(sc: &Scenario) -> Json {
+fn run_throughput_proc(sc: &Scenario) -> (Json, Option<prio_obs::trace::MergedTrace>) {
     let report = run_proc(sc);
     // The driver reports one wall-clock entry per run_batch call; group
     // them back into per-run (full submission set) durations and drop the
@@ -261,7 +345,7 @@ fn run_throughput_proc(sc: &Scenario) -> Json {
     let totals = report.server_total_bytes();
     let leader = totals.first().copied().unwrap_or(0);
     let non_leader = totals.get(1..).unwrap_or(&[]).iter().copied().max().unwrap_or(0);
-    Json::obj(vec![
+    let mut metrics = Json::obj(vec![
         ("batch_wall", summary.to_json()),
         ("throughput_sub_per_s", Json::Num(throughput)),
         (
@@ -272,7 +356,12 @@ fn run_throughput_proc(sc: &Scenario) -> Json {
         ("max_non_leader_bytes_sent", Json::Num(non_leader as f64)),
         ("processes", Json::Num(sc.servers as f64 + 1.0)),
         ("obs", proc_obs_block(&report)),
-    ])
+    ]);
+    let trace = report.merged_trace();
+    if let Some(merged) = &trace {
+        attach_trace(&mut metrics, merged);
+    }
+    (metrics, trace)
 }
 
 fn run_bandwidth_proc(sc: &Scenario) -> Json {
@@ -1039,6 +1128,47 @@ mod tests {
                 "{key} diverges between sim and tcp backends"
             );
         }
+    }
+
+    #[test]
+    fn traced_throughput_record_embeds_a_trace_block() {
+        let mut sc = registry(Mode::Smoke)
+            .into_iter()
+            .find(|sc| {
+                sc.group == Group::Throughput
+                    && sc.backend == Backend::Deployment(prio_net::TransportKind::Sim)
+                    && sc.traced
+            })
+            .expect("smoke registry has a traced sim throughput scenario");
+        // Shrink for test speed; the trace-block shape is what's under test.
+        sc.submissions = 8;
+        sc.runner = crate::stats::Runner::new(0, 1);
+        let record = run_scenario(&sc);
+        let trace = record
+            .metrics
+            .get("trace")
+            .expect("traced scenario embeds a trace block");
+        assert_eq!(
+            trace.get("schema").and_then(Json::as_str),
+            Some(prio_obs::trace::TRACE_SCHEMA)
+        );
+        let spans = trace.get("spans").and_then(Json::as_arr).unwrap();
+        assert!(!spans.is_empty(), "a traced run records spans");
+        // Ids ride as decimal strings (u64 exceeds f64's exact range) and
+        // must parse back to nonzero values; durations are non-negative.
+        for s in spans {
+            let id: u64 = s.get("id").and_then(Json::as_str).unwrap().parse().unwrap();
+            assert_ne!(id, 0);
+            let ts = s.get("ts_us").and_then(Json::as_num).unwrap();
+            let end = s.get("end_us").and_then(Json::as_num).unwrap();
+            assert!(end >= ts, "span ends before it starts");
+        }
+        let cp = trace.get("critical_path").unwrap();
+        assert!(cp.get("batch_wall_us").and_then(Json::as_num).unwrap() > 0.0);
+        let sum = cp.get("compute_us").and_then(Json::as_num).unwrap()
+            + cp.get("network_wait_us").and_then(Json::as_num).unwrap();
+        assert!(sum >= 0.0);
+        assert_eq!(trace.get("dropped").and_then(Json::as_num), Some(0.0));
     }
 
     #[test]

@@ -6,7 +6,12 @@
 //! prio-bench --list [--full]
 //! prio-bench --check PATH
 //! prio-bench --ledgers PATH
+//! prio-bench --trace SCENARIO [--out PATH]
 //! ```
+//!
+//! `--trace` runs one scenario with per-batch tracing forced on and writes
+//! the merged cluster timeline as Chrome trace-event JSON (loadable in
+//! Perfetto); `prio-trace --check` re-validates such an export.
 //!
 //! `--backend` keeps only scenarios whose messages ride the given
 //! transport family: `tcp` selects the real-socket deployment scenarios,
@@ -15,7 +20,7 @@
 //! `prio-node` OS process — build the binaries first: `cargo build -p
 //! prio_proc`).
 
-use prio_bench::exec::run_scenario;
+use prio_bench::exec::{run_scenario, run_scenario_traced};
 use prio_bench::json::Json;
 use prio_bench::report::{build_document, render_table, validate_document};
 use prio_bench::scenario::{registry, Mode};
@@ -25,10 +30,11 @@ struct Args {
     mode: Mode,
     filter: Option<String>,
     backend: Option<String>,
-    out: String,
+    out: Option<String>,
     list: bool,
     check: Option<String>,
     ledgers: Option<String>,
+    trace: Option<String>,
 }
 
 fn usage() -> ! {
@@ -36,7 +42,8 @@ fn usage() -> ! {
         "usage: prio-bench [--smoke | --full] [--filter SUBSTR] [--backend sim|tcp|proc] \
          [--out PATH] [--list]\n\
          \x20      prio-bench --check PATH\n\
-         \x20      prio-bench --ledgers PATH"
+         \x20      prio-bench --ledgers PATH\n\
+         \x20      prio-bench --trace SCENARIO [--out PATH]  (Chrome trace-event JSON)"
     );
     std::process::exit(2)
 }
@@ -46,10 +53,11 @@ fn parse_args() -> Args {
         mode: Mode::Smoke,
         filter: None,
         backend: None,
-        out: "BENCH_prio.json".to_string(),
+        out: None,
         list: false,
         check: None,
         ledgers: None,
+        trace: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -65,10 +73,11 @@ fn parse_args() -> Args {
                 }
                 args.backend = Some(tag);
             }
-            "--out" => args.out = it.next().unwrap_or_else(|| usage()),
+            "--out" => args.out = Some(it.next().unwrap_or_else(|| usage())),
             "--list" => args.list = true,
             "--check" => args.check = Some(it.next().unwrap_or_else(|| usage())),
             "--ledgers" => args.ledgers = Some(it.next().unwrap_or_else(|| usage())),
+            "--trace" => args.trace = Some(it.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -158,6 +167,49 @@ fn ledgers(path: &str) -> i32 {
     0
 }
 
+/// Runs one scenario with tracing forced on and writes the merged timeline
+/// as Chrome trace-event JSON (loadable in Perfetto / chrome://tracing).
+fn trace_scenario(name: &str, mode: Mode, out: &str) -> i32 {
+    let Some(mut sc) = registry(mode).into_iter().find(|sc| sc.name == name) else {
+        eprintln!("no scenario named '{name}' (try --list)");
+        return 2;
+    };
+    sc.traced = true;
+    let (record, trace) = run_scenario_traced(&sc);
+    let Some(merged) = trace else {
+        eprintln!(
+            "scenario '{name}' records no trace timeline \
+             (tracing rides the deployment/proc throughput scenarios)"
+        );
+        return 2;
+    };
+    let chrome = prio_obs::trace::to_chrome_json(&merged);
+    // Re-check our own export before writing: the same validation the CI
+    // trace gate runs via `prio-trace --check`.
+    let summary = match prio_obs::trace::check_chrome_json(&chrome) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("exported trace for '{name}' failed validation: {e}");
+            return 1;
+        }
+    };
+    if let Err(e) = std::fs::write(out, &chrome) {
+        eprintln!("cannot write {out}: {e}");
+        return 1;
+    }
+    let cp = prio_obs::trace::critical_path(&merged.spans);
+    println!(
+        "wrote {out}: {} events, {} nodes, {} batches ({} spans dropped)",
+        summary.events, summary.nodes, summary.batches, merged.dropped
+    );
+    println!(
+        "critical path: compute {} µs + network wait {} µs over {} µs batch wall",
+        cp.compute_us, cp.network_wait_us, cp.batch_wall_us
+    );
+    println!("{}", render_table(std::slice::from_ref(&record)));
+    0
+}
+
 fn main() {
     let args = parse_args();
     if let Some(path) = &args.check {
@@ -166,6 +218,11 @@ fn main() {
     if let Some(path) = &args.ledgers {
         std::process::exit(ledgers(path));
     }
+    if let Some(name) = &args.trace {
+        let out = args.out.as_deref().unwrap_or("prio_trace.json");
+        std::process::exit(trace_scenario(name, args.mode, out));
+    }
+    let out = args.out.as_deref().unwrap_or("BENCH_prio.json");
 
     let mut scenarios = registry(args.mode);
     if let Some(backend) = &args.backend {
@@ -206,13 +263,12 @@ fn main() {
 
     print!("{}", render_table(&records));
     let doc = build_document(args.mode, &records, total);
-    if let Err(e) = std::fs::write(&args.out, doc.to_pretty()) {
-        eprintln!("cannot write {}: {e}", args.out);
+    if let Err(e) = std::fs::write(out, doc.to_pretty()) {
+        eprintln!("cannot write {out}: {e}");
         std::process::exit(1);
     }
     println!(
-        "\nwrote {} ({} results, {:.1} s total)",
-        args.out,
+        "\nwrote {out} ({} results, {:.1} s total)",
         records.len(),
         total.as_secs_f64()
     );

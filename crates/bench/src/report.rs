@@ -90,6 +90,16 @@ pub fn validate_document(doc: &Json) -> Result<(), String> {
                 count(key)?;
             }
         }
+        // Scenarios run with tracing must embed a structurally valid
+        // `trace` block; any embedded block is checked regardless.
+        let traced = params.get("traced") == Some(&Json::Bool(true));
+        match r.get("metrics").and_then(|m| m.get("trace")) {
+            Some(trace) => check_trace_block(trace, i)?,
+            None if traced => {
+                return Err(format!("traced result #{i} lacks a trace block"));
+            }
+            None => {}
+        }
         // Batch-verify entries must carry the throughput headline metric.
         if r.get("group").and_then(Json::as_str) == Some("batch_verify")
             && r.get("metrics")
@@ -99,6 +109,69 @@ pub fn validate_document(doc: &Json) -> Result<(), String> {
         {
             return Err(format!("batch_verify result #{i} lacks throughput_sub_per_s"));
         }
+    }
+    Ok(())
+}
+
+/// Checks an embedded `trace` metrics block: the `prio-trace/v1` schema
+/// tag, span ids that are unique nonzero u64s (serialized as decimal
+/// strings — beyond f64's exact-integer range), no span ending before it
+/// starts, and an acyclic parent tree. A parent id that resolves to no
+/// recorded span is treated as a root edge (overflowed rings may evict
+/// ancestors), but a parent cycle is always a corrupt document.
+fn check_trace_block(trace: &Json, record_idx: usize) -> Result<(), String> {
+    let fail = |msg: &str| Err(format!("result #{record_idx} trace: {msg}"));
+    match trace.get("schema").and_then(Json::as_str) {
+        Some(prio_obs::trace::TRACE_SCHEMA) => {}
+        Some(other) => return fail(&format!("unknown schema '{other}'")),
+        None => return fail("missing 'schema'"),
+    }
+    let Some(spans) = trace.get("spans").and_then(Json::as_arr) else {
+        return fail("missing 'spans' array");
+    };
+    if spans.is_empty() {
+        return fail("'spans' is empty");
+    }
+    let id_of = |span: &Json, key: &str| -> Result<u64, String> {
+        span.get(key)
+            .and_then(Json::as_str)
+            .and_then(|raw| raw.parse().ok())
+            .ok_or_else(|| {
+                format!("result #{record_idx} trace: span '{key}' is not a decimal u64 string")
+            })
+    };
+    let mut parents = std::collections::HashMap::with_capacity(spans.len());
+    for span in spans {
+        let id = id_of(span, "id")?;
+        let parent = id_of(span, "parent")?;
+        if id == 0 {
+            return fail("span id 0");
+        }
+        if parents.insert(id, parent).is_some() {
+            return fail(&format!("duplicate span id {id}"));
+        }
+        let ts = span.get("ts_us").and_then(Json::as_num);
+        let end = span.get("end_us").and_then(Json::as_num);
+        match (ts, end) {
+            (Some(ts), Some(end)) if end >= ts => {}
+            (Some(_), Some(_)) => return fail("span ends before it starts"),
+            _ => return fail("span missing ts_us/end_us"),
+        }
+    }
+    for &id in parents.keys() {
+        let mut cur = id;
+        for _ in 0..=parents.len() {
+            match parents.get(&cur) {
+                Some(&parent) if parent != 0 => cur = parent,
+                _ => break,
+            }
+            if cur == id {
+                return fail(&format!("span tree has a cycle through {id}"));
+            }
+        }
+    }
+    if trace.get("critical_path").is_none() {
+        return fail("missing 'critical_path'");
     }
     Ok(())
 }
@@ -278,6 +351,125 @@ mod tests {
         ]);
         let doc = build_document(Mode::Smoke, &[record], Duration::from_millis(1));
         validate_document(&doc).unwrap();
+    }
+
+    fn trace_span(id: &str, parent: &str, ts: f64, end: f64) -> Json {
+        Json::obj(vec![
+            ("id", Json::Str(id.into())),
+            ("parent", Json::Str(parent.into())),
+            ("trace", Json::Str("1".into())),
+            ("node", Json::Num(0.0)),
+            ("kind", Json::Str("unpack".into())),
+            ("phase", Json::Str(String::new())),
+            ("ts_us", Json::Num(ts)),
+            ("end_us", Json::Num(end)),
+        ])
+    }
+
+    fn trace_block_json(spans: Vec<Json>) -> Json {
+        Json::obj(vec![
+            ("schema", Json::Str("prio-trace/v1".into())),
+            ("batches", Json::Num(1.0)),
+            ("dropped", Json::Num(0.0)),
+            ("spans", Json::Arr(spans)),
+            (
+                "critical_path",
+                Json::obj(vec![
+                    ("compute_us", Json::Num(1.0)),
+                    ("network_wait_us", Json::Num(1.0)),
+                    ("batch_wall_us", Json::Num(2.0)),
+                    ("per_node", Json::Arr(vec![])),
+                ]),
+            ),
+        ])
+    }
+
+    fn with_trace_metrics(trace: Json) -> Record {
+        let mut record = fake_record("traced");
+        if let Json::Obj(pairs) = &mut record.params {
+            pairs.push(("traced".into(), Json::Bool(true)));
+        }
+        record.metrics = Json::obj(vec![
+            ("throughput_sub_per_s", Json::Num(1.0)),
+            ("trace", trace),
+        ]);
+        record
+    }
+
+    #[test]
+    fn traced_record_without_a_trace_block_is_rejected() {
+        let mut record = fake_record("traced");
+        if let Json::Obj(pairs) = &mut record.params {
+            pairs.push(("traced".into(), Json::Bool(true)));
+        }
+        let doc = build_document(Mode::Smoke, &[record], Duration::from_millis(1));
+        let err = validate_document(&doc).unwrap_err();
+        assert!(err.contains("lacks a trace block"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn valid_trace_block_roundtrips_full_range_span_ids() {
+        // u64::MAX exceeds f64's exact-integer range; the string encoding
+        // must survive serialize → parse → validate untouched.
+        let big = u64::MAX.to_string();
+        let record = with_trace_metrics(trace_block_json(vec![
+            trace_span(&big, "0", 0.0, 5.0),
+            trace_span("7", &big, 1.0, 4.0),
+        ]));
+        let doc = build_document(Mode::Smoke, &[record], Duration::from_millis(1));
+        let parsed = Json::parse(&doc.to_pretty()).unwrap();
+        validate_document(&parsed).unwrap();
+        let echoed = parsed.get("results").and_then(Json::as_arr).unwrap()[0]
+            .get("metrics")
+            .and_then(|m| m.get("trace"))
+            .and_then(|t| t.get("spans"))
+            .and_then(Json::as_arr)
+            .unwrap()[0]
+            .get("id")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_string();
+        assert_eq!(echoed, big);
+    }
+
+    #[test]
+    fn trace_validation_rejects_cycles_and_time_travel() {
+        // Parent cycle 1 → 2 → 1.
+        let record = with_trace_metrics(trace_block_json(vec![
+            trace_span("1", "2", 0.0, 5.0),
+            trace_span("2", "1", 1.0, 4.0),
+        ]));
+        let doc = build_document(Mode::Smoke, &[record], Duration::from_millis(1));
+        let err = validate_document(&doc).unwrap_err();
+        assert!(err.contains("cycle"), "unexpected error: {err}");
+        // A span ending before it starts.
+        let record =
+            with_trace_metrics(trace_block_json(vec![trace_span("3", "0", 9.0, 2.0)]));
+        let doc = build_document(Mode::Smoke, &[record], Duration::from_millis(1));
+        let err = validate_document(&doc).unwrap_err();
+        assert!(err.contains("ends before"), "unexpected error: {err}");
+        // Duplicate span ids.
+        let record = with_trace_metrics(trace_block_json(vec![
+            trace_span("4", "0", 0.0, 1.0),
+            trace_span("4", "0", 0.0, 1.0),
+        ]));
+        let doc = build_document(Mode::Smoke, &[record], Duration::from_millis(1));
+        let err = validate_document(&doc).unwrap_err();
+        assert!(err.contains("duplicate"), "unexpected error: {err}");
+        // An unresolved parent is fine (ring overflow may evict ancestors)…
+        let record =
+            with_trace_metrics(trace_block_json(vec![trace_span("5", "99", 0.0, 1.0)]));
+        let doc = build_document(Mode::Smoke, &[record], Duration::from_millis(1));
+        validate_document(&doc).unwrap();
+        // …but a wrong schema tag is not.
+        let mut bad = trace_block_json(vec![trace_span("6", "0", 0.0, 1.0)]);
+        if let Json::Obj(pairs) = &mut bad {
+            pairs[0].1 = Json::Str("prio-trace/v9".into());
+        }
+        let record = with_trace_metrics(bad);
+        let doc = build_document(Mode::Smoke, &[record], Duration::from_millis(1));
+        let err = validate_document(&doc).unwrap_err();
+        assert!(err.contains("unknown schema"), "unexpected error: {err}");
     }
 
     #[test]

@@ -192,6 +192,10 @@ pub struct Scenario {
     pub runner: Runner,
     /// Deterministic RNG seed for client inputs and shares.
     pub seed: u64,
+    /// Record per-batch trace spans on the measured run and embed the
+    /// merged timeline + critical-path breakdown as a `trace` block in the
+    /// scenario's bench record (Deployment and Proc backends only).
+    pub traced: bool,
 }
 
 impl Scenario {
@@ -230,6 +234,7 @@ impl Scenario {
             ("fault_seed", Json::Num(self.fault_seed as f64)),
             ("warmup", Json::Num(self.runner.warmup as f64)),
             ("iters", Json::Num(self.runner.iters as f64)),
+            ("traced", Json::Bool(self.traced)),
         ])
     }
 }
@@ -274,6 +279,7 @@ fn base(name: String, group: Group, afe: AfeKind, size: usize) -> Scenario {
         fault_seed: 0,
         runner: Runner::new(1, 3),
         seed: 0x5052_494f,
+        traced: false,
     }
 }
 
@@ -297,6 +303,9 @@ pub fn registry(mode: Mode) -> Vec<Scenario> {
         sc.submissions = if full { 128 } else { 24 };
         sc.batch = sc.submissions; // one context per run_batch call
         sc.runner = if full { Runner::new(1, 5) } else { Runner::new(1, 2) };
+        // The throughput rows double as the tracing gate: every committed
+        // smoke document carries per-batch timelines for all three fabrics.
+        sc.traced = true;
         out.push(sc);
     }
     // The same throughput pipeline over real localhost TCP sockets, so the
@@ -314,6 +323,7 @@ pub fn registry(mode: Mode) -> Vec<Scenario> {
         sc.submissions = if full { 128 } else { 24 };
         sc.batch = sc.submissions;
         sc.runner = if full { Runner::new(1, 5) } else { Runner::new(1, 2) };
+        sc.traced = true;
         out.push(sc);
     }
     // The same throughput pipeline as 4+ real OS processes: the node
@@ -333,6 +343,7 @@ pub fn registry(mode: Mode) -> Vec<Scenario> {
         sc.submissions = if full { 128 } else { 24 };
         sc.batch = sc.submissions;
         sc.runner = if full { Runner::new(1, 5) } else { Runner::new(1, 2) };
+        sc.traced = true;
         out.push(sc);
     }
 
@@ -725,6 +736,34 @@ mod tests {
             }
             for sc in scenarios.iter().filter(|sc| sc.backend == Backend::Proc) {
                 assert!(sc.latency.is_none(), "{} models latency on proc", sc.name);
+            }
+        }
+    }
+
+    #[test]
+    fn traced_scenarios_cover_all_three_fabrics() {
+        // Acceptance: every mode's throughput family runs traced on sim,
+        // tcp, and proc, so the committed smoke document carries timeline
+        // blocks for all three — and tracing never leaks onto the cluster
+        // backend, which has no frames to propagate a ctx over.
+        for mode in [Mode::Smoke, Mode::Full] {
+            let scenarios = registry(mode);
+            for backend in [
+                Backend::Deployment(TransportKind::Sim),
+                Backend::Deployment(TransportKind::Tcp),
+                Backend::Proc,
+            ] {
+                assert!(
+                    scenarios.iter().any(|sc| sc.traced && sc.backend == backend),
+                    "{mode:?} lacks a traced scenario on {backend:?}"
+                );
+            }
+            for sc in &scenarios {
+                assert!(
+                    !(sc.traced && sc.backend == Backend::Cluster),
+                    "{} traces the cluster backend",
+                    sc.name
+                );
             }
         }
     }

@@ -20,6 +20,7 @@ use crate::server_loop::{run_server_loop, ServerLoopOptions};
 use prio_afe::Afe;
 use prio_field::FieldElement;
 use prio_net::{FaultPlan, NetStats, NodeId, RetryPolicy, TcpIoMode, Transport, TransportKind};
+use prio_obs::trace::{MergedTrace, TraceRecorder};
 use prio_snip::{HForm, VerifyMode};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -57,6 +58,10 @@ pub struct DeploymentConfig {
     /// Per-batch deadline after which driver and servers symmetrically
     /// abandon a batch instead of blocking on a peer that never answers.
     pub batch_deadline: Option<std::time::Duration>,
+    /// Record per-batch trace spans on every node and the driver into one
+    /// shared recorder (all threads share a clock, so no offset estimation
+    /// is needed); the merged timeline lands on the report.
+    pub trace: bool,
 }
 
 impl DeploymentConfig {
@@ -74,6 +79,7 @@ impl DeploymentConfig {
             fault_plan: None,
             fault_servers: false,
             batch_deadline: None,
+            trace: false,
         }
     }
 
@@ -141,6 +147,13 @@ impl DeploymentConfig {
         self.batch_deadline = Some(deadline);
         self
     }
+
+    /// Builder-style: record per-batch trace spans; the merged timeline
+    /// lands in [`DeploymentReport::trace`].
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
 }
 
 /// Result of a deployment run.
@@ -164,6 +177,9 @@ pub struct DeploymentReport {
     /// Derived from the fabric so callers no longer have to map `NodeId`s
     /// back to server indices themselves.
     pub server_bytes_sent: Vec<u64>,
+    /// Causally ordered span timeline, present when the deployment was
+    /// started with [`DeploymentConfig::trace`].
+    pub trace: Option<MergedTrace>,
 }
 
 impl DeploymentReport {
@@ -199,6 +215,7 @@ pub struct Deployment<F: FieldElement> {
     driver: BatchDriver<F>,
     handles: Vec<JoinHandle<()>>,
     net: Arc<dyn Transport>,
+    trace: Option<Arc<TraceRecorder>>,
 }
 
 impl<F: FieldElement> Deployment<F> {
@@ -232,6 +249,12 @@ impl<F: FieldElement> Deployment<F> {
             Some(_) => RetryPolicy::default().with_seed(0xD1),
             None => RetryPolicy::none(),
         };
+        // One recorder for the whole cluster: every server thread and the
+        // driver share a clock, so merged timelines need no offset
+        // estimation (the multi-process deployment is where that lives).
+        let recorder = cfg
+            .trace
+            .then(|| Arc::new(prio_obs::trace::TraceRecorder::new(prio_obs::trace::TRACE_CAPACITY)));
 
         let handles = endpoints
             .into_iter()
@@ -263,6 +286,7 @@ impl<F: FieldElement> Deployment<F> {
                     batch_deadline: cfg.batch_deadline,
                     retry: retry.clone(),
                     idle_deadline,
+                    trace: recorder.clone(),
                     ..ServerLoopOptions::default()
                 };
                 std::thread::spawn(move || {
@@ -272,6 +296,9 @@ impl<F: FieldElement> Deployment<F> {
             .collect();
 
         let mut driver = BatchDriver::new(driver_ep, server_ids).with_retry(retry);
+        if let Some(rec) = &recorder {
+            driver = driver.with_trace(rec.clone());
+        }
         if let Some(deadline) = cfg.batch_deadline {
             driver = driver.with_batch_deadline(deadline);
         }
@@ -287,6 +314,7 @@ impl<F: FieldElement> Deployment<F> {
             driver,
             handles,
             net,
+            trace: recorder,
         }
     }
 
@@ -344,6 +372,11 @@ impl<F: FieldElement> Deployment<F> {
         for h in self.handles {
             let _ = h.join();
         }
+        // All recording threads have joined, so the drain sees every span.
+        let trace = self.trace.as_ref().map(|rec| {
+            let (spans, dropped) = rec.drain();
+            MergedTrace::from_single_clock(spans, dropped)
+        });
         let stats = self.net.stats();
         let server_bytes_sent = self
             .driver
@@ -363,6 +396,7 @@ impl<F: FieldElement> Deployment<F> {
             stats,
             batch_wall: self.driver.batch_wall().to_vec(),
             server_bytes_sent,
+            trace,
         }
     }
 
@@ -495,6 +529,58 @@ mod tests {
             let report = deployment.finish();
             assert_eq!(report.accepted, 6, "round {round}");
         }
+    }
+
+    #[test]
+    fn traced_sim_runs_replay_identical_span_trees() {
+        // Two seeded runs over the sim fabric must produce the same span
+        // tree — ids, parentage, kinds, phases, ordering — with only the
+        // durations free to differ (ids are content-addressed and parents
+        // ride the frames, so any divergence means nondeterministic
+        // propagation).
+        let tree = |seed: u64| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let afe = SumAfe::new(4);
+            let cfg = DeploymentConfig::new(3).with_trace();
+            let mut deployment: Deployment<Field64> = Deployment::start(afe, cfg);
+            let mut client = Client::new(SumAfe::new(4), ClientConfig::new(3));
+            for _ in 0..2 {
+                let subs: Vec<_> = (0..3u64)
+                    .map(|v| client.submit(&v, &mut rng).unwrap())
+                    .collect();
+                deployment.run_batch(&subs);
+            }
+            let report = deployment.finish();
+            let trace = report.trace.expect("traced deployment yields a trace");
+            assert_eq!(trace.dropped, 0);
+            let mut shape: Vec<_> = trace
+                .spans
+                .iter()
+                .map(|s| (s.trace, s.node, s.kind.name(), s.phase, s.id, s.parent))
+                .collect();
+            shape.sort_unstable();
+            shape
+        };
+        let a = tree(5);
+        let b = tree(5);
+        assert!(!a.is_empty());
+        assert_eq!(a, b);
+        // Spans from every server and the driver (node 3) are present.
+        let nodes: std::collections::HashSet<u64> = a.iter().map(|t| t.1).collect();
+        assert_eq!(nodes, (0..4).collect());
+    }
+
+    #[test]
+    fn untraced_deployment_reports_no_trace() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let afe = SumAfe::new(4);
+        let mut deployment: Deployment<Field64> =
+            Deployment::start(afe, DeploymentConfig::new(2));
+        let mut client = Client::new(SumAfe::new(4), ClientConfig::new(2));
+        let subs = vec![client.submit(&3u64, &mut rng).unwrap()];
+        deployment.run_batch(&subs);
+        let report = deployment.finish();
+        assert!(report.trace.is_none());
     }
 
     #[test]

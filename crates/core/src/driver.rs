@@ -11,10 +11,12 @@
 use crate::client::ClientSubmission;
 use crate::messages::{blob_to_bytes, unpack_decisions, ServerMsg};
 use prio_field::FieldElement;
-use prio_net::wire::Wire;
+use prio_net::wire::{from_traced_bytes, to_traced_bytes, Wire};
 use prio_net::{Endpoint, NodeId, RecvTimeoutError, RetryPolicy, SendError};
-use prio_obs::{names, Counter, Obs};
+use prio_obs::trace::{span_id, SpanKind, TraceRecorder};
+use prio_obs::{names, Counter, Obs, TraceCtx};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Typed failure from the driver's view of the protocol.
@@ -137,6 +139,7 @@ pub struct BatchDriver<F: FieldElement> {
     batch_deadline: Option<Duration>,
     retry: RetryPolicy,
     metrics: DriverMetrics,
+    trace: Option<Arc<TraceRecorder>>,
     _marker: std::marker::PhantomData<F>,
 }
 
@@ -161,6 +164,7 @@ impl<F: FieldElement> BatchDriver<F> {
             batch_deadline: None,
             retry: RetryPolicy::none(),
             metrics: DriverMetrics::resolve(&Obs::global()),
+            trace: None,
             _marker: std::marker::PhantomData,
         }
     }
@@ -195,6 +199,22 @@ impl<F: FieldElement> BatchDriver<F> {
     pub fn with_obs(mut self, obs: &Obs) -> Self {
         self.metrics = DriverMetrics::resolve(obs);
         self
+    }
+
+    /// Builder-style: record per-batch trace spans into `recorder` and ride
+    /// a [`TraceCtx`] on every `ClientBatch` frame, rooting each server's
+    /// span tree under this driver's batch span. Without it, frames go out
+    /// byte-identical to the untraced encoding.
+    pub fn with_trace(mut self, recorder: Arc<TraceRecorder>) -> Self {
+        self.trace = Some(recorder);
+        self
+    }
+
+    /// The driver's node id in trace spans: one past the last server, so
+    /// per-node breakdowns keep servers `0..s` and the submission source
+    /// distinct.
+    fn trace_node(&self) -> u64 {
+        self.server_ids.len() as u64
     }
 
     /// The driver's endpoint (e.g. for byte accounting: its sent bytes are
@@ -239,7 +259,7 @@ impl<F: FieldElement> BatchDriver<F> {
         &self.batch_wall
     }
 
-    fn recv_env(&self) -> Result<(NodeId, ServerMsg<F>), DriverError> {
+    fn recv_env(&self) -> Result<(NodeId, ServerMsg<F>, Option<TraceCtx>), DriverError> {
         let env = match self.timeout {
             Some(t) => self.ep.recv_timeout(t).map_err(|e| match e {
                 RecvTimeoutError::Timeout => DriverError::Timeout(t),
@@ -247,13 +267,9 @@ impl<F: FieldElement> BatchDriver<F> {
             })?,
             None => self.ep.recv().map_err(|_| DriverError::Recv)?,
         };
-        let msg = ServerMsg::from_wire_bytes(&env.payload)
+        let (msg, ctx) = from_traced_bytes(&env.payload)
             .map_err(|_| DriverError::Protocol("undecodable reply"))?;
-        Ok((env.src, msg))
-    }
-
-    fn recv(&self) -> Result<ServerMsg<F>, DriverError> {
-        self.recv_env().map(|(_, msg)| msg)
+        Ok((env.src, msg, ctx))
     }
 
     /// Discards every envelope already sitting in the mailbox. Called at
@@ -292,6 +308,17 @@ impl<F: FieldElement> BatchDriver<F> {
         let start = Instant::now();
         let ctx_seed = self.next_seed;
         self.next_seed += 1;
+        let rec = self.trace.as_deref();
+        let dnode = self.trace_node();
+        // The batch root span's id is deterministic, so it can ride the
+        // `ClientBatch` frames before the span itself (recorded once the
+        // batch's wall time is known) exists.
+        let batch_span = span_id(ctx_seed, dnode, SpanKind::Batch, "");
+        let send_ctx = rec.map(|_| TraceCtx {
+            trace: ctx_seed,
+            parent: batch_span,
+        });
+        let t_batch = rec.map_or(0, |r| r.now_us());
         let mut unreachable = 0usize;
         for (i, &sid) in self.server_ids.iter().enumerate() {
             let msg: ServerMsg<F> = ServerMsg::ClientBatch {
@@ -299,7 +326,7 @@ impl<F: FieldElement> BatchDriver<F> {
                 labels: subs.iter().map(|sub| sub.prg_label).collect(),
                 blobs: subs.iter().map(|sub| blob_to_bytes(&sub.blobs[i])).collect(),
             };
-            let bytes = msg.to_wire_bytes();
+            let bytes = to_traced_bytes(&msg, send_ctx);
             match self
                 .retry
                 .run("driver_batch_send", || self.ep.send(sid, bytes.clone()))
@@ -320,9 +347,12 @@ impl<F: FieldElement> BatchDriver<F> {
             return Ok(self.finish_batch(subs, start, BatchOutcome::Aborted));
         }
         // The leader forwards its decisions to the driver.
+        let t_wait = rec.map_or(0, |r| r.now_us());
         let bits = match self.batch_deadline {
-            None => match self.recv()? {
-                ServerMsg::Decisions { ctx, bits } if ctx == ctx_seed => Some(bits),
+            None => match self.recv_env()? {
+                (_, ServerMsg::Decisions { ctx, bits }, fctx) if ctx == ctx_seed => {
+                    Some((bits, fctx))
+                }
                 _ => return Err(DriverError::Protocol("expected decisions")),
             },
             Some(d) => {
@@ -333,14 +363,14 @@ impl<F: FieldElement> BatchDriver<F> {
                         break None;
                     }
                     match self.ep.recv_timeout(end - now) {
-                        Ok(env) => match ServerMsg::<F>::from_wire_bytes(&env.payload) {
+                        Ok(env) => match from_traced_bytes::<ServerMsg<F>>(&env.payload) {
                             // The leader's decisions *for this batch*: the
                             // ctx binding makes a late Decisions frame from
                             // a previously degraded batch harmless noise.
-                            Ok(ServerMsg::Decisions { ctx, bits })
+                            Ok((ServerMsg::Decisions { ctx, bits }, fctx))
                                 if env.src == self.server_ids[0] && ctx == ctx_seed =>
                             {
-                                break Some(bits);
+                                break Some((bits, fctx));
                             }
                             // Stale, duplicated, or undecodable noise:
                             // skip it and keep waiting for the leader.
@@ -355,7 +385,21 @@ impl<F: FieldElement> BatchDriver<F> {
             }
         };
         let outcome = match bits {
-            Some(bits) => {
+            Some((bits, fctx)) => {
+                // The driver's wait chains off the leader's gather-wait
+                // span carried on the `Decisions` frame — the last network
+                // edge of the batch.
+                let _ = rec.map(|r| {
+                    r.record_span(
+                        ctx_seed,
+                        fctx.map_or(batch_span, |c| c.parent),
+                        dnode,
+                        SpanKind::GatherWait,
+                        "decisions",
+                        t_wait,
+                        r.now_us(),
+                    )
+                });
                 let decisions = unpack_decisions(&bits, subs.len());
                 for &d in &decisions {
                     if d {
@@ -370,6 +414,9 @@ impl<F: FieldElement> BatchDriver<F> {
                 missing: subs.len() as u64,
             },
         };
+        let _ = rec.map(|r| {
+            r.record_span(ctx_seed, 0, dnode, SpanKind::Batch, "", t_batch, r.now_us())
+        });
         Ok(self.finish_batch(subs, start, outcome))
     }
 
@@ -408,7 +455,7 @@ impl<F: FieldElement> BatchDriver<F> {
         }
         let mut per_server: HashMap<NodeId, Vec<F>> = HashMap::new();
         while per_server.len() < self.server_ids.len() {
-            let (src, msg) = self.recv_env()?;
+            let (src, msg, _) = self.recv_env()?;
             match msg {
                 ServerMsg::Accumulator(acc) if self.server_ids.contains(&src) => {
                     per_server.entry(src).or_insert(acc);

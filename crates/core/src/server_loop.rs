@@ -22,11 +22,13 @@ use crate::messages::{blob_from_bytes, pack_decisions, unpack_decisions, ServerM
 use crate::server::Server;
 use prio_afe::Afe;
 use prio_field::FieldElement;
-use prio_net::wire::Wire;
+use prio_net::wire::{from_traced_bytes, to_traced_bytes, Wire};
 use prio_net::{Endpoint, NodeId, RecvTimeoutError, RetryPolicy};
-use prio_obs::{names, Obs, Span};
+use prio_obs::trace::{SpanKind, TraceRecorder};
+use prio_obs::{names, Obs, Span, TraceCtx};
 use prio_snip::{decide, Round1Msg};
 use std::collections::{HashSet, VecDeque};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Event target for everything this module narrates.
@@ -146,6 +148,13 @@ pub struct ServerLoopOptions {
     /// set a bound comfortably above the driver's worst inter-batch gap
     /// and treat its expiry as an orderly exit.
     pub idle_deadline: Option<std::time::Duration>,
+    /// Span recorder for distributed per-batch tracing. `None` (the
+    /// default) records nothing and keeps every data-plane frame
+    /// byte-identical to the untraced encoding; with a recorder, the
+    /// loop records unpack/round1/round2/publish/gather-wait spans and
+    /// stamps outgoing protocol frames with a `TraceCtx` suffix so
+    /// peers can parent their waits on the spans that fed them.
+    pub trace: Option<Arc<TraceRecorder>>,
 }
 
 impl Default for ServerLoopOptions {
@@ -157,6 +166,7 @@ impl Default for ServerLoopOptions {
             batch_deadline: None,
             retry: RetryPolicy::none(),
             idle_deadline: None,
+            trace: None,
         }
     }
 }
@@ -202,8 +212,8 @@ const MAX_SEEN_BATCHES: usize = 4096;
 /// How one [`recv_matching`] wait ended.
 enum RecvOutcome<F: FieldElement> {
     /// The wanted message arrived (or was stashed earlier), with the
-    /// sender it came from.
-    Msg(NodeId, ServerMsg<F>),
+    /// sender it came from and the trace context its frame carried.
+    Msg(NodeId, ServerMsg<F>, Option<TraceCtx>),
     /// The fabric closed underneath the loop.
     Closed,
     /// The caller's deadline expired first.
@@ -233,7 +243,7 @@ enum RecvOutcome<F: FieldElement> {
 #[allow(clippy::too_many_arguments)]
 fn recv_matching<F: FieldElement>(
     ep: &Endpoint,
-    stash: &mut VecDeque<(NodeId, ServerMsg<F>)>,
+    stash: &mut VecDeque<(NodeId, ServerMsg<F>, Option<TraceCtx>)>,
     policy: FramePolicy,
     known: &[NodeId],
     metrics: &LoopMetrics,
@@ -241,10 +251,10 @@ fn recv_matching<F: FieldElement>(
     deadline: Option<Instant>,
     want: impl Fn(NodeId, &ServerMsg<F>) -> bool,
 ) -> RecvOutcome<F> {
-    if let Some(pos) = stash.iter().position(|(src, m)| want(*src, m)) {
-        if let Some((src, msg)) = stash.remove(pos) {
+    if let Some(pos) = stash.iter().position(|(src, m, _)| want(*src, m)) {
+        if let Some((src, msg, ctx)) = stash.remove(pos) {
             metrics.stash_depth.set(stash.len() as i64);
-            return RecvOutcome::Msg(src, msg);
+            return RecvOutcome::Msg(src, msg, ctx);
         }
     }
     loop {
@@ -279,8 +289,8 @@ fn recv_matching<F: FieldElement>(
             );
             continue;
         }
-        let msg = match ServerMsg::<F>::from_wire_bytes(&env.payload) {
-            Ok(msg) => msg,
+        let (msg, ctx) = match from_traced_bytes::<ServerMsg<F>>(&env.payload) {
+            Ok(pair) => pair,
             // An undecodable payload from a deployment member is a protocol
             // violation, not noise: honest peers never produce one, and in
             // an in-process deployment silently dropping it would turn a
@@ -304,7 +314,7 @@ fn recv_matching<F: FieldElement>(
             },
         };
         if want(env.src, &msg) {
-            return RecvOutcome::Msg(env.src, msg);
+            return RecvOutcome::Msg(env.src, msg, ctx);
         }
         if policy == FramePolicy::Lenient && stash.len() >= MAX_LENIENT_STASH {
             metrics.drop_stash_overflow.inc();
@@ -319,7 +329,7 @@ fn recv_matching<F: FieldElement>(
             );
             continue;
         }
-        stash.push_back((env.src, msg));
+        stash.push_back((env.src, msg, ctx));
         metrics.stash_depth.set(stash.len() as i64);
     }
 }
@@ -332,10 +342,10 @@ fn recv_matching<F: FieldElement>(
 /// batch's decisions (or its deadline), after which any straggling or
 /// fault-duplicated round frame is by definition stale.
 fn clear_round_stash<F: FieldElement>(
-    stash: &mut VecDeque<(NodeId, ServerMsg<F>)>,
+    stash: &mut VecDeque<(NodeId, ServerMsg<F>, Option<TraceCtx>)>,
     metrics: &LoopMetrics,
 ) {
-    stash.retain(|(_, m)| {
+    stash.retain(|(_, m, _)| {
         !matches!(
             m,
             ServerMsg::Round1 { .. }
@@ -350,7 +360,7 @@ fn clear_round_stash<F: FieldElement>(
 /// [`clear_round_stash`] plus the abandonment accounting, for a batch a
 /// gather deadline killed.
 fn abandon_batch<F: FieldElement>(
-    stash: &mut VecDeque<(NodeId, ServerMsg<F>)>,
+    stash: &mut VecDeque<(NodeId, ServerMsg<F>, Option<TraceCtx>)>,
     metrics: &LoopMetrics,
     report: &mut ServerLoopReport,
 ) {
@@ -453,9 +463,13 @@ pub fn run_server_loop<F: FieldElement, A: Afe<F> + Sync>(
     let mut seen_batches: HashSet<u64> = HashSet::new();
     let mut seen_order: VecDeque<u64> = VecDeque::new();
     let retry = &opts.retry;
+    // Trace plumbing: `rec` is None on untraced runs, in which case every
+    // outgoing frame is byte-identical to the pre-tracing encoding.
+    let rec = opts.trace.as_deref();
+    let node = my_index as u64;
 
     loop {
-        let msg = match recv_matching(
+        let (msg, batch_ctx) = match recv_matching(
             ep,
             &mut stash,
             policy,
@@ -476,7 +490,7 @@ pub fn run_server_loop<F: FieldElement, A: Afe<F> + Sync>(
                     )
             },
         ) {
-            RecvOutcome::Msg(_, msg) => msg,
+            RecvOutcome::Msg(_, msg, ctx) => (msg, ctx),
             RecvOutcome::Closed | RecvOutcome::Deadline => return report,
         };
         match msg {
@@ -518,10 +532,17 @@ pub fn run_server_loop<F: FieldElement, A: Afe<F> + Sync>(
                 let count = blobs.len();
                 report.timings.submissions += count as u64;
                 metrics.batch_size.observe(count as u64);
+                // Span parentage: the driver's ClientBatch frame carries
+                // its batch-root span id; our unpack chains off it, and
+                // each later phase chains off the previous one. `tctx`
+                // stamps outgoing frames only when tracing is on.
+                let batch_parent = batch_ctx.map(|c| c.parent).unwrap_or(0);
+                let tctx = |parent: u64| rec.map(|_| TraceCtx { trace: ctx_seed, parent });
                 // Unpack every submission; parse/unpack failures — and a
                 // labels vector shorter than the blobs vector, possible on
                 // a forged batch — are flagged locally and voted "reject".
                 let span = Span::start(&metrics.phase_unpack);
+                let t_unpack = rec.map_or(0, |r| r.now_us());
                 let mut unpacked: Vec<Option<(Vec<F>, prio_snip::SnipProofShare<F>)>> =
                     Vec::with_capacity(count);
                 let mut local_ok = vec![true; count];
@@ -537,11 +558,15 @@ pub fn run_server_loop<F: FieldElement, A: Afe<F> + Sync>(
                     unpacked.push(parsed);
                 }
                 report.timings.unpack += span.finish();
+                let unpack_span = rec.map_or(0, |r| {
+                    r.record_span(ctx_seed, batch_parent, node, SpanKind::Unpack, "", t_unpack, r.now_us())
+                });
 
                 // Batched round 1 across the verify pool: one shared
                 // context, per-worker scratch, results merged in
                 // submission order.
                 let span = Span::start(&metrics.phase_round1);
+                let t_round1 = rec.map_or(0, |r| r.now_us());
                 let mut ok_idx: Vec<usize> = Vec::new();
                 let mut items: Vec<(&[F], &prio_snip::SnipProofShare<F>)> = Vec::new();
                 for (j, parsed) in unpacked.iter().enumerate() {
@@ -577,6 +602,9 @@ pub fn run_server_loop<F: FieldElement, A: Afe<F> + Sync>(
                     }
                 }
                 report.timings.round1 += span.finish();
+                let round1_span = rec.map_or(0, |r| {
+                    r.record_span(ctx_seed, unpack_span, node, SpanKind::Round1, "", t_round1, r.now_us())
+                });
 
                 // A deadline expiry anywhere in the gathers breaks out
                 // with `None`: the batch is abandoned (never accumulated)
@@ -592,8 +620,15 @@ pub fn run_server_loop<F: FieldElement, A: Afe<F> + Sync>(
                     // of impersonating a missing peer's contribution.
                     let mut all_r1 = vec![round1.clone()];
                     let mut pending_r1: HashSet<NodeId> = ids[1..].iter().copied().collect();
+                    // A gather-wait span's parent is the *earliest* sender
+                    // span among the frames that fed it (min over received
+                    // ctx parents — deterministic for a deterministic frame
+                    // set); with no traced frame it chains off our own
+                    // round-1 span.
+                    let t_gather1 = rec.map_or(0, |r| r.now_us());
+                    let mut gather1_parent: Option<u64> = None;
                     while !pending_r1.is_empty() {
-                        let (src, v) = match recv_matching(
+                        let (src, v, fctx) = match recv_matching(
                             ep,
                             &mut stash,
                             policy,
@@ -606,11 +641,17 @@ pub fn run_server_loop<F: FieldElement, A: Afe<F> + Sync>(
                                     && matches!(m, ServerMsg::Round1 { ctx, .. } if *ctx == ctx_seed)
                             },
                         ) {
-                            RecvOutcome::Msg(src, ServerMsg::Round1 { msgs: v, .. }) => (src, v),
+                            RecvOutcome::Msg(src, ServerMsg::Round1 { msgs: v, .. }, fctx) => {
+                                (src, v, fctx)
+                            }
                             RecvOutcome::Deadline => break 'gather None,
                             _ => return report,
                         };
                         pending_r1.remove(&src);
+                        if let Some(c) = fctx {
+                            gather1_parent =
+                                Some(gather1_parent.map_or(c.parent, |g| g.min(c.parent)));
+                        }
                         // A round-1 vector of the wrong length is a protocol
                         // violation (or a forgery); abandon the run rather
                         // than index out of bounds below.
@@ -627,6 +668,17 @@ pub fn run_server_loop<F: FieldElement, A: Afe<F> + Sync>(
                         }
                         all_r1.push(v);
                     }
+                    let gather1_span = rec.map_or(0, |r| {
+                        r.record_span(
+                            ctx_seed,
+                            gather1_parent.unwrap_or(round1_span),
+                            node,
+                            SpanKind::GatherWait,
+                            "round1",
+                            t_gather1,
+                            r.now_us(),
+                        )
+                    });
                     // Combine per submission and redistribute.
                     let combined: Vec<Round1Msg<F>> = (0..count)
                         .map(|j| Round1Msg {
@@ -634,11 +686,13 @@ pub fn run_server_loop<F: FieldElement, A: Afe<F> + Sync>(
                             e: all_r1.iter().map(|v| v[j].e).sum(),
                         })
                         .collect();
-                    let comb_msg = ServerMsg::Round1Combined {
-                        ctx: ctx_seed,
-                        msgs: combined.clone(),
-                    }
-                    .to_wire_bytes();
+                    let comb_msg = to_traced_bytes(
+                        &ServerMsg::Round1Combined {
+                            ctx: ctx_seed,
+                            msgs: combined.clone(),
+                        },
+                        tctx(gather1_span),
+                    );
                     for &sid in &ids[1..] {
                         if retry
                             .run("round1_combined_send", || ep.send(sid, comb_msg.clone()))
@@ -649,12 +703,18 @@ pub fn run_server_loop<F: FieldElement, A: Afe<F> + Sync>(
                     }
                     // Own round 2 (batched) plus gathered round 2s.
                     let span = Span::start(&metrics.phase_round2);
+                    let t_round2 = rec.map_or(0, |r| r.now_us());
                     let own_r2 = batched_round2(server, &states, &combined);
                     report.timings.round2 += span.finish();
+                    let round2_span = rec.map_or(0, |r| {
+                        r.record_span(ctx_seed, round1_span, node, SpanKind::Round2, "", t_round2, r.now_us())
+                    });
                     let mut all_r2 = vec![own_r2];
                     let mut pending_r2: HashSet<NodeId> = ids[1..].iter().copied().collect();
+                    let t_gather2 = rec.map_or(0, |r| r.now_us());
+                    let mut gather2_parent: Option<u64> = None;
                     while !pending_r2.is_empty() {
-                        let (src, v) = match recv_matching(
+                        let (src, v, fctx) = match recv_matching(
                             ep,
                             &mut stash,
                             policy,
@@ -667,11 +727,17 @@ pub fn run_server_loop<F: FieldElement, A: Afe<F> + Sync>(
                                     && matches!(m, ServerMsg::Round2 { ctx, .. } if *ctx == ctx_seed)
                             },
                         ) {
-                            RecvOutcome::Msg(src, ServerMsg::Round2 { msgs: v, .. }) => (src, v),
+                            RecvOutcome::Msg(src, ServerMsg::Round2 { msgs: v, .. }, fctx) => {
+                                (src, v, fctx)
+                            }
                             RecvOutcome::Deadline => break 'gather None,
                             _ => return report,
                         };
                         pending_r2.remove(&src);
+                        if let Some(c) = fctx {
+                            gather2_parent =
+                                Some(gather2_parent.map_or(c.parent, |g| g.min(c.parent)));
+                        }
                         if v.len() != count {
                             metrics.events.error(
                                 TARGET,
@@ -685,17 +751,30 @@ pub fn run_server_loop<F: FieldElement, A: Afe<F> + Sync>(
                         }
                         all_r2.push(v);
                     }
+                    let gather2_span = rec.map_or(0, |r| {
+                        r.record_span(
+                            ctx_seed,
+                            gather2_parent.unwrap_or(round2_span),
+                            node,
+                            SpanKind::GatherWait,
+                            "round2",
+                            t_gather2,
+                            r.now_us(),
+                        )
+                    });
                     let decisions: Vec<bool> = (0..count)
                         .map(|j| {
                             let msgs: Vec<_> = all_r2.iter().map(|v| v[j]).collect();
                             decide(&msgs)
                         })
                         .collect();
-                    let dec_msg = ServerMsg::<F>::Decisions {
-                        ctx: ctx_seed,
-                        bits: pack_decisions(&decisions),
-                    }
-                    .to_wire_bytes();
+                    let dec_msg = to_traced_bytes(
+                        &ServerMsg::<F>::Decisions {
+                            ctx: ctx_seed,
+                            bits: pack_decisions(&decisions),
+                        },
+                        tctx(gather2_span),
+                    );
                     for &sid in &ids[1..] {
                         if retry
                             .run("decisions_send", || ep.send(sid, dec_msg.clone()))
@@ -712,18 +791,25 @@ pub fn run_server_loop<F: FieldElement, A: Afe<F> + Sync>(
                     }
                     decisions
                 } else {
-                    let r1_msg = ServerMsg::Round1 {
-                        ctx: ctx_seed,
-                        msgs: round1,
-                    }
-                    .to_wire_bytes();
+                    let r1_msg = to_traced_bytes(
+                        &ServerMsg::Round1 {
+                            ctx: ctx_seed,
+                            msgs: round1,
+                        },
+                        tctx(round1_span),
+                    );
                     if retry
                         .run("round1_send", || ep.send(leader_id, r1_msg.clone()))
                         .is_err()
                     {
                         return report;
                     }
-                    let combined = match recv_matching(
+                    // Non-leader gather-waits chain off the leader's sender
+                    // span carried on the frame; a traceless frame falls
+                    // back to our own preceding span so the tree stays
+                    // connected.
+                    let t_wait1 = rec.map_or(0, |r| r.now_us());
+                    let (combined, comb_ctx) = match recv_matching(
                         ep,
                         &mut stash,
                         policy,
@@ -739,12 +825,23 @@ pub fn run_server_loop<F: FieldElement, A: Afe<F> + Sync>(
                                 && matches!(m, ServerMsg::Round1Combined { ctx, .. } if *ctx == ctx_seed)
                         },
                     ) {
-                        RecvOutcome::Msg(_, ServerMsg::Round1Combined { msgs: combined, .. }) => {
-                            combined
+                        RecvOutcome::Msg(_, ServerMsg::Round1Combined { msgs: combined, .. }, fctx) => {
+                            (combined, fctx)
                         }
                         RecvOutcome::Deadline => break 'gather None,
                         _ => return report,
                     };
+                    let _ = rec.map(|r| {
+                        r.record_span(
+                            ctx_seed,
+                            comb_ctx.map_or(round1_span, |c| c.parent),
+                            node,
+                            SpanKind::GatherWait,
+                            "round1combined",
+                            t_wait1,
+                            r.now_us(),
+                        )
+                    });
                     if combined.len() != count {
                         metrics.events.error(
                             TARGET,
@@ -757,20 +854,27 @@ pub fn run_server_loop<F: FieldElement, A: Afe<F> + Sync>(
                         return report;
                     }
                     let span = Span::start(&metrics.phase_round2);
+                    let t_round2 = rec.map_or(0, |r| r.now_us());
                     let r2 = batched_round2(server, &states, &combined);
                     report.timings.round2 += span.finish();
-                    let r2_msg = ServerMsg::Round2 {
-                        ctx: ctx_seed,
-                        msgs: r2,
-                    }
-                    .to_wire_bytes();
+                    let round2_span = rec.map_or(0, |r| {
+                        r.record_span(ctx_seed, round1_span, node, SpanKind::Round2, "", t_round2, r.now_us())
+                    });
+                    let r2_msg = to_traced_bytes(
+                        &ServerMsg::Round2 {
+                            ctx: ctx_seed,
+                            msgs: r2,
+                        },
+                        tctx(round2_span),
+                    );
                     if retry
                         .run("round2_send", || ep.send(leader_id, r2_msg.clone()))
                         .is_err()
                     {
                         return report;
                     }
-                    let bits = match recv_matching(
+                    let t_wait2 = rec.map_or(0, |r| r.now_us());
+                    let (bits, dec_ctx) = match recv_matching(
                         ep,
                         &mut stash,
                         policy,
@@ -783,10 +887,21 @@ pub fn run_server_loop<F: FieldElement, A: Afe<F> + Sync>(
                                 && matches!(m, ServerMsg::Decisions { ctx, .. } if *ctx == ctx_seed)
                         },
                     ) {
-                        RecvOutcome::Msg(_, ServerMsg::Decisions { bits, .. }) => bits,
+                        RecvOutcome::Msg(_, ServerMsg::Decisions { bits, .. }, fctx) => (bits, fctx),
                         RecvOutcome::Deadline => break 'gather None,
                         _ => return report,
                     };
+                    let _ = rec.map(|r| {
+                        r.record_span(
+                            ctx_seed,
+                            dec_ctx.map_or(round2_span, |c| c.parent),
+                            node,
+                            SpanKind::GatherWait,
+                            "decisions",
+                            t_wait2,
+                            r.now_us(),
+                        )
+                    });
                     unpack_decisions(&bits, count)
                     })
                 };
@@ -823,10 +938,16 @@ pub fn run_server_loop<F: FieldElement, A: Afe<F> + Sync>(
                 // split without a shared-fabric snapshot.
                 report.verify_bytes_sent = ep.bytes_sent();
                 let span = Span::start(&metrics.phase_publish);
+                let t_publish = rec.map_or(0, |r| r.now_us());
                 let acc = server.accumulator().to_vec();
                 let acc_msg = ServerMsg::Accumulator(acc).to_wire_bytes();
                 let sent = retry.run("publish_send", || ep.send(driver, acc_msg.clone()));
                 report.timings.publish += span.finish();
+                // Publish is not tied to any one batch; trace 0 groups the
+                // reveal phase per node without inventing a batch id.
+                let _ = rec.map(|r| {
+                    r.record_span(0, 0, node, SpanKind::Publish, "", t_publish, r.now_us())
+                });
                 if sent.is_err() {
                     return report;
                 }

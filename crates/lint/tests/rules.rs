@@ -118,6 +118,20 @@ fn no_panic_only_governs_designated_modules() {
     assert!(report.findings.is_empty());
 }
 
+#[test]
+fn no_panic_governs_the_trace_recorder() {
+    // The tracing subsystem records on the server hot path and parses
+    // GetTraces responses from the wire inside every network-facing
+    // process — an injected unwrap in it must fail R2 like any other
+    // obs module.
+    let report = lint_one(
+        "crates/obs/src/trace.rs",
+        "pub fn merge(t: Option<u64>) -> u64 { t.unwrap() }\n",
+    );
+    assert_eq!(rules_hit(&report), ["no-panic"]);
+    assert!(report.findings[0].msg.contains("unwrap"));
+}
+
 // ---------------------------------------------------------------- R3
 
 #[test]

@@ -71,6 +71,11 @@ pub struct NodeConfig {
     /// A node under fault injection abandons a wedged batch after this
     /// long instead of stalling the whole deployment.
     pub batch_deadline_ms: u64,
+    /// Whether the node records per-batch trace spans into its bounded
+    /// buffer (scraped later via [`CtrlMsg::GetTraces`]). Enabled at
+    /// startup so the recorder epoch pins near process start, which is
+    /// what the orchestrator's handshake clock-offset estimate assumes.
+    pub trace: bool,
 }
 
 impl Wire for NodeConfig {
@@ -86,6 +91,7 @@ impl Wire for NodeConfig {
         self.io_mode.encode(buf);
         self.fault_plan.encode(buf);
         self.batch_deadline_ms.encode(buf);
+        self.trace.encode(buf);
     }
 
     fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError> {
@@ -101,6 +107,7 @@ impl Wire for NodeConfig {
             io_mode: String::decode(buf)?,
             fault_plan: String::decode(buf)?,
             batch_deadline_ms: u64::decode(buf)?,
+            trace: bool::decode(buf)?,
         })
     }
 }
@@ -222,6 +229,15 @@ pub enum CtrlMsg {
     /// plane stays metric-agnostic: it ships opaque text, and the
     /// orchestrator parses it back into a `prio_obs::Snapshot`.
     Metrics(String),
+    /// Orchestrator → node: scrape the node's recorded trace spans.
+    /// Like `GetMetrics`, valid any time after `Ready`.
+    GetTraces,
+    /// Node → orchestrator: the reply to `GetTraces`, carrying the node's
+    /// span buffer in the `prio-trace/v1` JSON exposition (parsed back
+    /// into a `prio_obs::trace::NodeTrace`). The buffer is a fixed-size
+    /// ring, so the reply is bounded well below [`CTRL_MAX_FRAME`] by
+    /// construction.
+    Traces(String),
 }
 
 const TAG_PEERS: u8 = 1;
@@ -235,6 +251,8 @@ const TAG_BYE: u8 = 8;
 const TAG_FAIL: u8 = 9;
 const TAG_GET_METRICS: u8 = 10;
 const TAG_METRICS: u8 = 11;
+const TAG_GET_TRACES: u8 = 12;
+const TAG_TRACES: u8 = 13;
 
 impl Wire for CtrlMsg {
     fn encode<B: BufMut>(&self, buf: &mut B) {
@@ -273,6 +291,11 @@ impl Wire for CtrlMsg {
                 buf.put_u8(TAG_METRICS);
                 json.encode(buf);
             }
+            CtrlMsg::GetTraces => buf.put_u8(TAG_GET_TRACES),
+            CtrlMsg::Traces(json) => {
+                buf.put_u8(TAG_TRACES);
+                json.encode(buf);
+            }
         }
     }
 
@@ -306,6 +329,8 @@ impl Wire for CtrlMsg {
             TAG_FAIL => Ok(CtrlMsg::Fail(String::decode(buf)?)),
             TAG_GET_METRICS => Ok(CtrlMsg::GetMetrics),
             TAG_METRICS => Ok(CtrlMsg::Metrics(String::decode(buf)?)),
+            TAG_GET_TRACES => Ok(CtrlMsg::GetTraces),
+            TAG_TRACES => Ok(CtrlMsg::Traces(String::decode(buf)?)),
             _ => Err(WireError("unknown control message tag")),
         }
     }
@@ -450,6 +475,10 @@ mod tests {
             CtrlMsg::Fail("bind failed".into()),
             CtrlMsg::GetMetrics,
             CtrlMsg::Metrics("{\"schema\": \"prio-obs/v1\", \"metrics\": []}".into()),
+            CtrlMsg::GetTraces,
+            CtrlMsg::Traces(
+                "{\"schema\": \"prio-trace/v1\", \"node\": 0, \"dropped\": 0, \"spans\": []}".into(),
+            ),
         ]);
     }
 
@@ -480,6 +509,7 @@ mod tests {
             io_mode: "reactor".into(),
             fault_plan: "seed=7,drop=50,dup=30,trunc=0,delay=0,delay_ms=0,after=0".into(),
             batch_deadline_ms: 1500,
+            trace: true,
         };
         assert_eq!(NodeConfig::from_wire_bytes(&cfg.to_wire_bytes()), Ok(cfg));
     }

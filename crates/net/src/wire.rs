@@ -139,6 +139,42 @@ impl Wire for Vec<u8> {
     }
 }
 
+/// Tag byte opening a trace-context suffix (see [`to_traced_bytes`]).
+pub const TRACE_SUFFIX_CTX: u8 = 1;
+
+/// Encodes `msg` with an optional per-batch trace-context suffix: the
+/// canonical encoding, then — only when tracing — a tag byte and the
+/// `(trace, parent)` pair. With `ctx = None` the bytes are *identical*
+/// to [`Wire::to_wire_bytes`], so untraced runs keep the byte-exact
+/// frame sizes Figure 6 measures, and traced frames stay decodable by
+/// the suffix-aware reader everywhere.
+pub fn to_traced_bytes<W: Wire>(msg: &W, ctx: Option<prio_obs::TraceCtx>) -> Vec<u8> {
+    let mut v = msg.to_wire_bytes();
+    if let Some(ctx) = ctx {
+        v.put_u8(TRACE_SUFFIX_CTX);
+        v.put_u64_le(ctx.trace);
+        v.put_u64_le(ctx.parent);
+    }
+    v
+}
+
+/// Decodes a message that may carry a trace-context suffix. Zero bytes
+/// after the message means "untraced" (the backwards-compatible form);
+/// otherwise exactly a tagged `(trace, parent)` pair must remain —
+/// anything else is a typed error, as with all remote input.
+pub fn from_traced_bytes<W: Wire>(mut bytes: &[u8]) -> Result<(W, Option<prio_obs::TraceCtx>), WireError> {
+    let msg = W::decode(&mut bytes)?;
+    if !bytes.has_remaining() {
+        return Ok((msg, None));
+    }
+    if bytes.remaining() != 17 || u8::decode(&mut bytes)? != TRACE_SUFFIX_CTX {
+        return Err(WireError("malformed trace suffix"));
+    }
+    let trace = u64::decode(&mut bytes)?;
+    let parent = u64::decode(&mut bytes)?;
+    Ok((msg, Some(prio_obs::TraceCtx { trace, parent })))
+}
+
 /// Encodes a field element (canonical little-endian residue).
 pub fn put_field<F: FieldElement, B: BufMut>(buf: &mut B, x: F) {
     let mut tmp = vec![0u8; F::ENCODED_LEN];
@@ -226,6 +262,35 @@ mod tests {
         assert!(bool::from_wire_bytes(&[7]).is_err());
         // Trailing bytes rejected.
         assert!(u64::from_wire_bytes(&[0u8; 12]).is_err());
+    }
+
+    #[test]
+    fn traced_suffix_roundtrips_and_stays_byte_compatible() {
+        let msg = 42u64;
+        // No ctx: byte-identical to the plain encoding (fig6 exactness).
+        assert_eq!(to_traced_bytes(&msg, None), msg.to_wire_bytes());
+        assert_eq!(from_traced_bytes::<u64>(&msg.to_wire_bytes()), Ok((42, None)));
+        // With ctx: the pair rides a 17-byte suffix and round-trips.
+        let ctx = prio_obs::TraceCtx { trace: 7, parent: u64::MAX };
+        let bytes = to_traced_bytes(&msg, Some(ctx));
+        assert_eq!(bytes.len(), 8 + 17);
+        assert_eq!(from_traced_bytes::<u64>(&bytes), Ok((42, Some(ctx))));
+    }
+
+    #[test]
+    fn malformed_trace_suffixes_are_typed_errors() {
+        let ctx = prio_obs::TraceCtx { trace: 1, parent: 2 };
+        let good = to_traced_bytes(&42u64, Some(ctx));
+        // Truncated suffix.
+        assert!(from_traced_bytes::<u64>(&good[..good.len() - 1]).is_err());
+        // Unknown tag.
+        let mut bad = good.clone();
+        bad[8] = 9;
+        assert!(from_traced_bytes::<u64>(&bad).is_err());
+        // Trailing garbage after a complete suffix.
+        let mut long = good;
+        long.push(0);
+        assert!(from_traced_bytes::<u64>(&long).is_err());
     }
 
     #[test]

@@ -34,13 +34,20 @@
 //!   Unbounded detail goes in an event message, which is rate-limited,
 //!   or nowhere.
 //!
-//! # Event vs counter
+//! # Event vs counter vs span
 //!
 //! If it can happen per frame, it is a counter; emit an event alongside
 //! it only at `warn`+ and only through the rate limiter. If it happens
 //! per process lifecycle (startup, peer table installed, shutdown), it is
-//! an `info` event. When in doubt: counters answer "how many", events
-//! answer "what happened" — and only counters may be adversary-paced.
+//! an `info` event. If it is a *timed region of a batch's life* whose
+//! cause lives on another node (a protocol phase, a wait on a peer's
+//! frame), it is a trace span ([`TraceRecorder`]): spans carry identity
+//! and parentage so cross-node timelines can be reassembled, but they
+//! occupy bounded ring slots — at most one per `(batch, node, kind,
+//! phase)` — and overflow into `trace_spans_dropped_total`, never into
+//! RAM. When in doubt: counters answer "how many", events answer "what
+//! happened", spans answer "where did this batch spend its time, waiting
+//! for whom" — and only counters may be adversary-paced.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,6 +56,7 @@ mod event;
 mod json;
 mod metrics;
 mod span;
+pub mod trace;
 
 pub use event::{CaptureSink, Event, Events, JsonSink, Level, MockClock, RateLimit, Sink, StderrSink};
 pub use metrics::{
@@ -56,6 +64,7 @@ pub use metrics::{
     Value, NUM_BUCKETS, SNAPSHOT_SCHEMA,
 };
 pub use span::Span;
+pub use trace::{TraceCtx, TraceRecorder};
 
 use std::sync::Arc;
 
@@ -182,6 +191,9 @@ pub mod names {
     /// Batch outcomes observed by the submission driver, labelled
     /// `outcome = complete | degraded | aborted`.
     pub const DRIVER_BATCH_OUTCOME: &str = "driver_batch_outcome_total";
+    /// Trace spans dropped by a recorder's fixed-size ring once it was
+    /// full (the overflow policy is drop-and-count, keep-first-N).
+    pub const TRACE_SPANS_DROPPED: &str = "trace_spans_dropped_total";
 }
 
 #[cfg(test)]

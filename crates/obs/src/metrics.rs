@@ -249,7 +249,10 @@ impl Registry {
                 },
             })
             .collect();
-        Snapshot { samples }
+        Snapshot {
+            samples,
+            resets_detected: 0,
+        }
     }
 }
 
@@ -308,18 +311,28 @@ impl HistogramSnapshot {
         }
     }
 
-    fn diff(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+    /// Difference since `earlier`, plus a reset flag: a histogram whose
+    /// total count went *backwards* belongs to a process that restarted
+    /// (counters restart at zero), so the later values stand on their
+    /// own rather than being clamped to an empty delta.
+    fn diff(&self, earlier: &HistogramSnapshot) -> (HistogramSnapshot, bool) {
+        if self.count < earlier.count {
+            return (self.clone(), true);
+        }
         let buckets = self
             .buckets
             .iter()
             .enumerate()
             .map(|(i, &c)| c.saturating_sub(earlier.buckets.get(i).copied().unwrap_or(0)))
             .collect();
-        HistogramSnapshot {
-            buckets,
-            count: self.count.saturating_sub(earlier.count),
-            sum: self.sum.saturating_sub(earlier.sum),
-        }
+        (
+            HistogramSnapshot {
+                buckets,
+                count: self.count.saturating_sub(earlier.count),
+                sum: self.sum.saturating_sub(earlier.sum),
+            },
+            false,
+        )
     }
 }
 
@@ -363,6 +376,11 @@ pub const SNAPSHOT_SCHEMA: &str = "prio-obs/v1";
 pub struct Snapshot {
     /// Every metric, sorted by `(name, labels)`.
     pub samples: Vec<Sample>,
+    /// Counter resets found by [`Snapshot::diff`]: keys whose later
+    /// value was *below* the earlier one, which means the owning process
+    /// restarted in between (e.g. `ProcDeployment::restart_node`). Zero
+    /// on fresh snapshots and merges of reset-free diffs.
+    pub resets_detected: u64,
 }
 
 impl Snapshot {
@@ -434,14 +452,25 @@ impl Snapshot {
                 .into_iter()
                 .map(|((name, labels), value)| Sample { name, labels, value })
                 .collect(),
+            resets_detected: self.resets_detected.saturating_add(other.resets_detected),
         }
     }
 
-    /// What happened *after* `earlier` was taken: saturating difference of
-    /// counters and histograms. Gauges keep their current level (a gauge
-    /// is a reading, not a rate). Samples that only exist in `self` keep
+    /// What happened *after* `earlier` was taken: difference of counters
+    /// and histograms. Gauges keep their current level (a gauge is a
+    /// reading, not a rate). Samples that only exist in `self` keep
     /// their full values; samples only in `earlier` are dropped.
+    ///
+    /// A key whose later value is *below* the earlier one means the
+    /// owning process restarted in between (counters restart at zero,
+    /// e.g. after `ProcDeployment::restart_node`); a naive saturating
+    /// subtraction would clamp such deltas to 0 and silently
+    /// under-report all post-restart activity. Instead the later value
+    /// stands on its own (everything it counted happened after the
+    /// restart, hence after `earlier`) and the reset is tallied in
+    /// [`Snapshot::resets_detected`] on the returned diff.
     pub fn diff(&self, earlier: &Snapshot) -> Snapshot {
+        let mut resets_detected = 0u64;
         let samples = self
             .samples
             .iter()
@@ -452,10 +481,19 @@ impl Snapshot {
                     .find(|e| e.name == s.name && e.labels == s.labels);
                 let value = match (&s.value, prev.map(|e| &e.value)) {
                     (Value::Counter(v), Some(Value::Counter(p))) => {
-                        Value::Counter(v.saturating_sub(*p))
+                        if v < p {
+                            resets_detected += 1;
+                            Value::Counter(*v)
+                        } else {
+                            Value::Counter(v - p)
+                        }
                     }
                     (Value::Histogram(h), Some(Value::Histogram(p))) => {
-                        Value::Histogram(h.diff(p))
+                        let (d, reset) = h.diff(p);
+                        if reset {
+                            resets_detected += 1;
+                        }
+                        Value::Histogram(d)
                     }
                     (v, _) => v.clone(),
                 };
@@ -466,7 +504,10 @@ impl Snapshot {
                 }
             })
             .collect();
-        Snapshot { samples }
+        Snapshot {
+            samples,
+            resets_detected,
+        }
     }
 
     /// Prometheus-style text exposition: `# TYPE` lines, `name{labels}
@@ -526,6 +567,9 @@ impl Snapshot {
         let mut out = String::new();
         out.push_str("{\"schema\": ");
         write_escaped(&mut out, SNAPSHOT_SCHEMA);
+        if self.resets_detected > 0 {
+            let _ = write!(out, ", \"resets_detected\": {}", self.resets_detected);
+        }
         out.push_str(", \"metrics\": [");
         for (i, s) in self.samples.iter().enumerate() {
             if i > 0 {
@@ -657,7 +701,13 @@ impl Snapshot {
                 value,
             });
         }
-        Ok(Snapshot { samples })
+        Ok(Snapshot {
+            samples,
+            resets_detected: doc
+                .get("resets_detected")
+                .and_then(JVal::as_u64)
+                .unwrap_or(0),
+        })
     }
 }
 
@@ -792,9 +842,41 @@ mod tests {
         r1.histogram("h_us", &[]).observe(100);
         let delta = r1.snapshot().diff(&before);
         assert_eq!(delta.counter("c_total", &[]), Some(7));
+        assert_eq!(delta.resets_detected, 0);
         let h = delta.histogram("h_us", &[]).unwrap();
         assert_eq!(h.count, 1);
         assert_eq!(h.sum, 100);
+    }
+
+    #[test]
+    fn diff_detects_counter_resets_and_keeps_later_values() {
+        // "Before": a long-lived process. "After": it restarted and
+        // counted a little — every later value is below the earlier one.
+        let before = Registry::new();
+        before.counter("c_total", &[]).add(100);
+        before.histogram("h_us", &[]).observe(1);
+        before.histogram("h_us", &[]).observe(2);
+        before.counter("steady_total", &[]).add(5);
+        let before = before.snapshot();
+
+        let after = Registry::new();
+        after.counter("c_total", &[]).add(3); // restarted: 3 < 100
+        after.histogram("h_us", &[]).observe(9); // restarted: 1 < 2
+        after.counter("steady_total", &[]).add(8); // no reset: 8 >= 5
+        let delta = after.snapshot().diff(&before);
+
+        // The later values stand on their own instead of clamping to 0.
+        assert_eq!(delta.counter("c_total", &[]), Some(3));
+        assert_eq!(delta.counter("steady_total", &[]), Some(3));
+        let h = delta.histogram("h_us", &[]).unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 9);
+        assert_eq!(delta.resets_detected, 2);
+
+        // The reset tally survives the JSON exposition and merges add.
+        let parsed = Snapshot::from_json(&delta.to_json()).unwrap();
+        assert_eq!(parsed, delta);
+        assert_eq!(delta.merge(&parsed).resets_detected, 4);
     }
 
     #[test]

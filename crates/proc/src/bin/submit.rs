@@ -28,6 +28,8 @@ OPTIONS:
                             \"seed=7,drop=50,dup=30\"       [default: none]
     --batch-deadline-ms <N> Count a batch with no decisions by then as
                             dropped and continue            [default: off]
+    --trace                 Record per-batch trace spans and print them as
+                            a `PRIO-TRACE <json>` line before the result.
     -h, --help              Print this help.
 
 The driver binds an ephemeral data-plane endpoint (node id = server
@@ -60,6 +62,7 @@ fn main() {
     let mut timeout_ms = 30_000u64;
     let mut fault_plan = None;
     let mut batch_deadline_ms = 0u64;
+    let mut trace = false;
 
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -101,6 +104,7 @@ fn main() {
             "--batch-deadline-ms" => {
                 batch_deadline_ms = parse_num(&value("--batch-deadline-ms"), "--batch-deadline-ms")
             }
+            "--trace" => trace = true,
             "-h" | "--help" => {
                 println!("{HELP}");
                 return;
@@ -133,6 +137,7 @@ fn main() {
         timeout: Duration::from_millis(timeout_ms),
         fault_plan,
         batch_deadline: (batch_deadline_ms > 0).then(|| Duration::from_millis(batch_deadline_ms)),
+        trace,
     };
     std::process::exit(prio_proc::submit::run(&args))
 }

@@ -35,7 +35,8 @@ use prio_core::{run_server_loop, FramePolicy, Server, ServerConfig, ServerLoopOp
 use prio_field::{Field128, Field64, FieldElement};
 use prio_net::control::{read_ctrl, write_ctrl, CtrlMsg, NodeConfig, NodeStats};
 use prio_net::{FaultPlan, NodeId, RetryPolicy, TcpIoMode, TcpTransport};
-use prio_obs::{Obs, Registry};
+use prio_obs::trace::NodeTrace;
+use prio_obs::{Obs, Registry, TraceRecorder};
 use prio_snip::{HForm, VerifyMode};
 use std::io::Write as _;
 use std::net::{TcpListener, TcpStream};
@@ -184,6 +185,13 @@ fn session<F: FieldElement, A: Afe<F> + Send + Sync + 'static>(
         Err(e) => return fail_startup(&format!("control listener has no address: {e}")),
     };
 
+    // Enabling before the handshake pins the recorder's epoch at (nearly)
+    // process start — the assumption behind the orchestrator's
+    // spawn/handshake midpoint clock-offset estimate.
+    if cfg.trace {
+        TraceRecorder::global().enable();
+    }
+
     println!("PRIO-NODE index={index} data={data_addr} control={control_addr}");
     let _ = std::io::stdout().flush();
 
@@ -262,6 +270,7 @@ fn session<F: FieldElement, A: Afe<F> + Send + Sync + 'static>(
                                         Duration::from_secs(16)
                                     }
                                 }),
+                                trace: cfg.trace.then(|| TraceRecorder::global().clone()),
                             };
                             handle = Some(std::thread::spawn(move || {
                                 let report =
@@ -300,6 +309,21 @@ fn session<F: FieldElement, A: Afe<F> + Send + Sync + 'static>(
             // opaque prio-obs/v1 JSON exposition — the control plane stays
             // metric-agnostic.
             CtrlMsg::GetMetrics => CtrlMsg::Metrics(Registry::global().snapshot().to_json()),
+            // Span buffer scrape, mirroring `GetMetrics`: the payload is
+            // the opaque prio-trace/v1 JSON for this node's buffer. The
+            // clock offset is 0 here — the node only knows its own clock;
+            // the orchestrator overwrites it with its handshake estimate.
+            CtrlMsg::GetTraces => {
+                let rec = TraceRecorder::global();
+                let (spans, dropped) = rec.snapshot();
+                let nt = NodeTrace {
+                    node: cfg.index,
+                    clock_offset_us: 0,
+                    dropped,
+                    spans,
+                };
+                CtrlMsg::Traces(nt.to_json())
+            }
             CtrlMsg::Shutdown => {
                 // Clean when the loop either finished or never started;
                 // aborting a live loop is the orchestrator's failure path.

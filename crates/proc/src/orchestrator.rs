@@ -68,6 +68,10 @@ pub struct ProcConfig {
     /// Per-batch deadline for each node's server loop (`None` = wait
     /// forever, the classic fail-fast behaviour).
     pub batch_deadline: Option<Duration>,
+    /// Record per-batch trace spans on every node and the submit driver;
+    /// the per-process buffers (with orchestrator-estimated clock offsets)
+    /// land in [`ProcReport::node_traces`].
+    pub trace: bool,
     /// Override for the `prio-node` binary (default: next to the current
     /// executable's target directory).
     pub node_bin: Option<PathBuf>,
@@ -96,9 +100,16 @@ impl ProcConfig {
             timeout: Duration::from_secs(30),
             fault_plan: None,
             batch_deadline: None,
+            trace: false,
             node_bin: None,
             submit_bin: None,
         }
+    }
+
+    /// Builder-style: record per-batch trace spans in every process.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
     }
 
     /// Builder-style: inject `plan`'s faults on every node's outbound
@@ -295,6 +306,12 @@ struct NodeHandle {
     _stdout: LineReader,
     ctrl: TcpStream,
     data_addr: SocketAddr,
+    /// Estimated position of this node's trace-recorder epoch on the
+    /// orchestrator clock, in µs since the deployment epoch: the midpoint
+    /// of [spawn, handshake-read] — the node pins its epoch between those
+    /// two orchestrator-observed instants, so the true offset lies within
+    /// ±half that window. Causal merge tightens the residue.
+    epoch_est_us: i64,
 }
 
 /// A running multi-process deployment: `s` node processes plus, during
@@ -303,6 +320,9 @@ struct NodeHandle {
 pub struct ProcDeployment {
     cfg: ProcConfig,
     nodes: Vec<NodeHandle>,
+    /// The deployment's clock origin: every per-process trace buffer is
+    /// shifted onto µs-since-this-instant before merging.
+    epoch: Instant,
 }
 
 /// Everything one run produced, mirroring
@@ -336,6 +356,11 @@ pub struct ProcReport {
     /// registry, so phase histograms and drop counters survive the process
     /// boundary.
     pub node_metrics: Vec<prio_obs::Snapshot>,
+    /// Per-process trace buffers when the deployment ran with
+    /// [`ProcConfig::trace`]: one per node (index order) plus the submit
+    /// driver's last, each carrying the orchestrator's clock-offset
+    /// estimate. Empty on untraced runs.
+    pub node_traces: Vec<prio_obs::trace::NodeTrace>,
     /// Whether every child process exited with status 0.
     pub clean_exit: bool,
 }
@@ -356,6 +381,17 @@ impl ProcReport {
     /// Total bytes each server sent over its lifetime.
     pub fn server_total_bytes(&self) -> Vec<u64> {
         self.node_stats.iter().map(|s| s.total_bytes_sent).collect()
+    }
+
+    /// Merges the per-process trace buffers into one causally ordered
+    /// timeline: clock-offset shifts first, then happens-before repair
+    /// from the parent edges that rode the frames. `None` when the run
+    /// was untraced.
+    pub fn merged_trace(&self) -> Option<prio_obs::trace::MergedTrace> {
+        if self.node_traces.is_empty() {
+            return None;
+        }
+        Some(prio_obs::trace::merge_traces(&self.node_traces))
     }
 
     /// Leader verification bytes vs. the busiest non-leader — the
@@ -418,6 +454,7 @@ fn spawn_node(node_bin: &PathBuf, cfg: &ProcConfig, index: usize) -> Result<Node
             .batch_deadline
             .map(|d| d.as_millis() as u64)
             .unwrap_or(0),
+        trace: cfg.trace,
     };
     // Both handles were requested as piped; a None here is a spawn
     // anomaly — kill the half-started child instead of leaking it.
@@ -473,7 +510,15 @@ fn spawn_node(node_bin: &PathBuf, cfg: &ProcConfig, index: usize) -> Result<Node
         _stdout: stdout,
         ctrl,
         data_addr,
+        epoch_est_us: 0,
     })
+}
+
+/// Midpoint of a `[before, after]` window on the deployment clock, in µs —
+/// the orchestrator's estimate of where inside the window a child pinned
+/// its recorder epoch.
+fn midpoint_us(before: Duration, after: Duration) -> i64 {
+    ((before.as_micros() + after.as_micros()) / 2) as i64
 }
 
 impl ProcDeployment {
@@ -494,6 +539,7 @@ impl ProcDeployment {
         let mut deployment = ProcDeployment {
             nodes: Vec::with_capacity(cfg.num_servers),
             cfg,
+            epoch: Instant::now(),
         };
         match deployment.launch_inner(&node_bin) {
             Ok(()) => Ok(deployment),
@@ -506,7 +552,9 @@ impl ProcDeployment {
 
     fn launch_inner(&mut self, node_bin: &PathBuf) -> Result<(), ProcError> {
         for index in 0..self.cfg.num_servers {
-            let handle = spawn_node(node_bin, &self.cfg, index)?;
+            let before = self.epoch.elapsed();
+            let mut handle = spawn_node(node_bin, &self.cfg, index)?;
+            handle.epoch_est_us = midpoint_us(before, self.epoch.elapsed());
             self.nodes.push(handle);
         }
         self.distribute_peers()
@@ -560,7 +608,10 @@ impl ProcDeployment {
             Some(path) => path.clone(),
             None => find_binary("prio-node")?,
         };
-        self.nodes[index] = spawn_node(&node_bin, &self.cfg, index)?;
+        let before = self.epoch.elapsed();
+        let mut handle = spawn_node(&node_bin, &self.cfg, index)?;
+        handle.epoch_est_us = midpoint_us(before, self.epoch.elapsed());
+        self.nodes[index] = handle;
         self.distribute_peers()
     }
 
@@ -642,6 +693,31 @@ impl ProcDeployment {
         })
     }
 
+    /// Scrapes one node's trace span buffer over the control plane and
+    /// stamps it with the orchestrator's clock-offset estimate for that
+    /// node, so timestamps become comparable across the cluster.
+    pub fn scrape_traces(
+        &mut self,
+        index: usize,
+    ) -> Result<prio_obs::trace::NodeTrace, ProcError> {
+        let reply =
+            self.control(index, &CtrlMsg::GetTraces, |m| matches!(m, CtrlMsg::Traces(_)))?;
+        let CtrlMsg::Traces(json) = reply else {
+            return Err(ProcError::Control {
+                index,
+                msg: format!("expected Traces, got {reply:?}"),
+            });
+        };
+        let mut nt = prio_obs::trace::NodeTrace::from_json(&json).map_err(|e| {
+            ProcError::Control {
+                index,
+                msg: format!("unparseable trace buffer: {e}"),
+            }
+        })?;
+        nt.clock_offset_us = self.nodes[index].epoch_est_us;
+        Ok(nt)
+    }
+
     /// Sends one control message and checks the reply against `expect`.
     fn control(
         &mut self,
@@ -691,6 +767,7 @@ impl ProcDeployment {
             .map(|a| a.to_string())
             .collect::<Vec<_>>()
             .join(",");
+        let submit_spawned = self.epoch.elapsed();
         let mut submit = Command::new(&submit_bin)
             .args(["--servers", &servers])
             .args(["--afe", cfg.afe.tag()])
@@ -714,6 +791,7 @@ impl ProcDeployment {
                 ],
                 None => Vec::new(),
             })
+            .args(if cfg.trace { &["--trace"][..] } else { &[][..] })
             .stdin(Stdio::piped())
             .stdout(Stdio::piped())
             .spawn()
@@ -734,6 +812,7 @@ impl ProcDeployment {
 
         let result = (|| {
             let line = submit_out.next_line(cfg.timeout, "submit")?;
+            let submit_epoch_est_us = midpoint_us(submit_spawned, self.epoch.elapsed());
             if let Some(msg) = line.strip_prefix("PRIO-SUBMIT-ERROR ") {
                 return Err(ProcError::Submit(msg.into()));
             }
@@ -773,7 +852,18 @@ impl ProcDeployment {
             let run_deadline = per_batch
                 .saturating_mul(total_batches)
                 .saturating_add(cfg.timeout);
-            let line = submit_out.next_line(run_deadline, "submit result")?;
+            // A traced driver prints its own span buffer (`PRIO-TRACE`)
+            // just before the result line; anything else unexpected still
+            // errors.
+            let mut driver_trace_json: Option<String> = None;
+            let line = loop {
+                let line = submit_out.next_line(run_deadline, "submit result")?;
+                if let Some(payload) = line.strip_prefix("PRIO-TRACE ") {
+                    driver_trace_json = Some(payload.to_string());
+                    continue;
+                }
+                break line;
+            };
             if let Some(msg) = line.strip_prefix("PRIO-SUBMIT-ERROR ") {
                 return Err(ProcError::Submit(msg.into()));
             }
@@ -816,10 +906,13 @@ impl ProcDeployment {
                 return Err(ProcError::Submit(format!("exit status {submit_status:?}")));
             }
 
-            // Gather per-node stats and a final metrics scrape, then shut
-            // everything down.
+            // Gather per-node stats, a final metrics scrape, and (traced
+            // runs) each node's quiesced span buffer, then shut everything
+            // down. FlushAggregate joined the loop thread first, so the
+            // buffers are complete.
             let mut node_stats = Vec::with_capacity(self.nodes.len());
             let mut node_metrics = Vec::with_capacity(self.nodes.len());
+            let mut node_traces = Vec::new();
             for index in 0..self.nodes.len() {
                 let reply = self.control(index, &CtrlMsg::FlushAggregate, |m| {
                     matches!(m, CtrlMsg::Stats(_))
@@ -832,6 +925,17 @@ impl ProcDeployment {
                 };
                 node_stats.push(stats);
                 node_metrics.push(self.scrape_metrics(index)?);
+                if cfg.trace {
+                    node_traces.push(self.scrape_traces(index)?);
+                }
+            }
+            if cfg.trace {
+                let json = driver_trace_json
+                    .ok_or_else(|| ProcError::Submit("traced run printed no PRIO-TRACE".into()))?;
+                let mut nt = prio_obs::trace::NodeTrace::from_json(&json)
+                    .map_err(|e| ProcError::Submit(format!("unparseable driver trace: {e}")))?;
+                nt.clock_offset_us = submit_epoch_est_us;
+                node_traces.push(nt);
             }
             // submit_status.success() was checked above, so only the node
             // shutdowns can still flip this.
@@ -861,6 +965,7 @@ impl ProcDeployment {
                 driver_publish_bytes,
                 node_stats,
                 node_metrics,
+                node_traces,
                 clean_exit,
             })
         })();

@@ -29,6 +29,8 @@ use prio_snip::HForm;
 use prio_core::{BatchDriver, BatchOutcome};
 use prio_field::{Field128, Field64, FieldElement};
 use prio_net::{FaultPlan, NodeId, RetryPolicy, TcpTransport};
+use prio_obs::trace::NodeTrace;
+use prio_obs::TraceRecorder;
 use std::io::{BufRead, Write as _};
 use std::net::SocketAddr;
 use std::time::Duration;
@@ -63,6 +65,9 @@ pub struct SubmitArgs {
     /// Per-batch deadline: a batch with no decisions by then is counted
     /// degraded and the run continues (`None` = classic fail-fast).
     pub batch_deadline: Option<Duration>,
+    /// Record driver-side trace spans and print them as a `PRIO-TRACE`
+    /// line before the result (the `--trace` flag).
+    pub trace: bool,
 }
 
 fn fail(msg: &str) -> i32 {
@@ -105,6 +110,11 @@ fn drive<F: FieldElement>(args: &SubmitArgs) -> i32 {
     let Some(addr) = ep.local_addr() else {
         return fail("driver endpoint has no TCP address");
     };
+    // As in `prio-node`: enable before the handshake so the recorder epoch
+    // sits inside the orchestrator's spawn/handshake estimation window.
+    if args.trace {
+        TraceRecorder::global().enable();
+    }
     println!("PRIO-SUBMIT data={addr}");
     let _ = std::io::stdout().flush();
 
@@ -132,6 +142,9 @@ fn drive<F: FieldElement>(args: &SubmitArgs) -> i32 {
     let server_ids: Vec<NodeId> = (0..s).map(NodeId).collect();
     let mut driver: BatchDriver<F> =
         BatchDriver::new(ep, server_ids).with_timeout(args.timeout);
+    if args.trace {
+        driver = driver.with_trace(TraceRecorder::global().clone());
+    }
     if let Some(deadline) = args.batch_deadline {
         driver = driver.with_batch_deadline(deadline);
     }
@@ -178,6 +191,19 @@ fn drive<F: FieldElement>(args: &SubmitArgs) -> i32 {
         .collect::<Vec<_>>()
         .join(",");
     let (complete, degraded, aborted) = driver.outcome_counts();
+    if args.trace {
+        // The driver is node `s` on every fabric, and the orchestrator
+        // fills in the clock offset from its handshake estimate.
+        let rec = TraceRecorder::global();
+        let (spans, dropped) = rec.snapshot();
+        let nt = NodeTrace {
+            node: s as u64,
+            clock_offset_us: 0,
+            dropped,
+            spans,
+        };
+        println!("PRIO-TRACE {}", nt.to_json());
+    }
     println!(
         "PRIO-RESULT accepted={} rejected={} dropped={} complete={complete} degraded={degraded} aborted={aborted} upload_bytes={} driver_publish_bytes={} sigma={} batch_wall_us={}",
         driver.accepted(),

@@ -221,6 +221,7 @@ fn bad_config_is_a_handshake_error() {
         io_mode: "threaded".into(),
         fault_plan: String::new(),
         batch_deadline_ms: 0,
+        trace: false,
     };
     use prio_net::wire::Wire;
     let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_prio-node"))

@@ -1,0 +1,92 @@
+//! End-to-end tracing acceptance: the distributed per-batch timeline
+//! across real OS processes.
+//!
+//! A 3-server multi-process deployment runs with tracing on: every
+//! `prio-node` and the `prio-submit` driver record spans into their own
+//! bounded ring, the orchestrator scrapes them over the `GetTraces`
+//! control op (driver spans ride the `PRIO-TRACE` stdout line), and the
+//! clock-offset estimates from the spawn/handshake windows merge them into
+//! one causally ordered timeline. The test asserts the ISSUE's proc-side
+//! guarantees: spans from all nodes, no orphan `gather-wait` parent edges
+//! (each one names a span the sending node really recorded — i.e. a frame
+//! that was actually sent), and a Chrome trace-event export that passes
+//! the same validation `prio-trace --check` runs in CI.
+
+use prio_obs::trace::{check_chrome_json, critical_path, to_chrome_json, SpanKind, SpanRecord};
+use prio_proc::{AfeSpec, FieldSpec, ProcConfig, ProcDeployment};
+use std::collections::{BTreeSet, HashMap};
+
+#[test]
+fn traced_proc_run_yields_a_causal_cross_node_timeline() {
+    let servers = 3;
+    let cfg = ProcConfig::new(servers, AfeSpec::Sum(8), FieldSpec::F64, 24)
+        .with_batch(12) // two protocol batches
+        .with_seed(0x7ACE)
+        .with_trace();
+    let report = ProcDeployment::launch(cfg)
+        .expect("cluster launches")
+        .run()
+        .expect("pipeline completes");
+    assert_eq!(report.accepted, 24);
+    assert_eq!(
+        report.node_traces.len(),
+        servers + 1,
+        "every node plus the driver contributes a per-node trace"
+    );
+    let merged = report.merged_trace().expect("traced run yields a timeline");
+    assert_eq!(merged.dropped, 0, "nothing overflowed the span rings");
+
+    // Spans from every process: servers 0..s plus the driver as node s.
+    let nodes: BTreeSet<u64> = merged.spans.iter().map(|s| s.node).collect();
+    assert_eq!(nodes, (0..=servers as u64).collect::<BTreeSet<u64>>());
+
+    // No orphan gather-wait spans: every parent edge must resolve to a
+    // span some node actually recorded, in the same batch — the recv side
+    // of a frame that was really sent. Cross-node edges are the whole
+    // point, so at least one must survive the merge.
+    let by_id: HashMap<u64, &SpanRecord> = merged.spans.iter().map(|s| (s.id, s)).collect();
+    let mut cross_node_edges = 0;
+    for span in merged.spans.iter().filter(|s| s.kind == SpanKind::GatherWait) {
+        let parent = by_id.get(&span.parent).unwrap_or_else(|| {
+            panic!(
+                "orphan gather-wait span (node {}, phase {:?}): parent {} was never recorded",
+                span.node, span.phase, span.parent
+            )
+        });
+        assert_eq!(
+            parent.trace, span.trace,
+            "gather-wait parent edge crosses batch boundaries"
+        );
+        if parent.node != span.node {
+            cross_node_edges += 1;
+        }
+    }
+    assert!(cross_node_edges > 0, "no cross-node parent edge survived the merge");
+
+    // The Chrome export passes the CI trace gate's validation, which
+    // includes causal order: no span starts before the parent it waited on.
+    let chrome = to_chrome_json(&merged);
+    let summary = check_chrome_json(&chrome).expect("export validates");
+    assert_eq!(summary.nodes, servers as u64 + 1);
+    assert_eq!(summary.batches, 2);
+    assert_eq!(summary.events, merged.spans.len() as u64);
+
+    // Critical-path attribution covers both batches with a non-trivial
+    // compute/network split.
+    let cp = critical_path(&merged.spans);
+    assert_eq!(cp.batches, 2);
+    assert!(cp.compute_us > 0, "no compute attributed");
+    assert!(cp.batch_wall_us >= cp.compute_us.min(cp.batch_wall_us));
+    assert_eq!(cp.per_node.len(), servers + 1);
+}
+
+#[test]
+fn untraced_proc_run_scrapes_no_traces() {
+    let cfg = ProcConfig::new(2, AfeSpec::Sum(8), FieldSpec::F64, 8).with_seed(0x7ACE);
+    let report = ProcDeployment::launch(cfg)
+        .expect("cluster launches")
+        .run()
+        .expect("pipeline completes");
+    assert!(report.node_traces.is_empty());
+    assert!(report.merged_trace().is_none());
+}
